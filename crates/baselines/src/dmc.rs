@@ -1,0 +1,46 @@
+//! Duplex Micropayment Channels (Decker & Wattenhofer, SSS 2015):
+//! blockchain-cost model from Table 4.
+//!
+//! DMC builds an invalidation tree of depth `d`; closing bilaterally needs
+//! 2 transactions, unilaterally `1 + d + 2`. Each DMC transaction carries
+//! 2 public keys and 2 signatures (cost 2).
+
+/// Number of on-chain transactions for a bilateral close.
+pub fn txs_bilateral() -> f64 {
+    2.0
+}
+
+/// Number of on-chain transactions for a unilateral close with
+/// invalidation-tree depth `d >= 1`.
+pub fn txs_unilateral(d: u64) -> f64 {
+    (1 + d + 2) as f64
+}
+
+/// Blockchain cost (pubkey+signature pairs) bilateral.
+pub fn cost_bilateral() -> f64 {
+    2.0 * txs_bilateral()
+}
+
+/// Blockchain cost unilateral.
+pub fn cost_unilateral(d: u64) -> f64 {
+    2.0 * txs_unilateral(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values() {
+        assert_eq!(txs_bilateral(), 2.0);
+        assert_eq!(cost_bilateral(), 4.0);
+        // d = 1: 4 transactions, cost 8.
+        assert_eq!(txs_unilateral(1), 4.0);
+        assert_eq!(cost_unilateral(1), 8.0);
+    }
+
+    #[test]
+    fn unilateral_grows_with_depth() {
+        assert!(txs_unilateral(5) > txs_unilateral(1));
+    }
+}

@@ -1,0 +1,18 @@
+//! Baselines from the Teechain evaluation (§7).
+//!
+//! * [`ln`] — a protocol-level model of the Lightning Network: on-chain
+//!   funding with 6-confirmation waits, revocable commitments, justice
+//!   transactions bounded by the synchrony window τ, 2-RTT sequential
+//!   payments. Calibrated to the paper's measured lnd numbers.
+//! * [`dmc`] — Duplex Micropayment Channels blockchain-cost model
+//!   (Table 4).
+//! * [`sfmc`] — Scalable Funding of Micropayment Channels cost model
+//!   (Table 4).
+//! * [`attack`] — the transaction-delay attack that breaks
+//!   synchronous-access payment networks (§1, §2.2), demonstrated against
+//!   the LN model on the simulated chain; Teechain is immune by design.
+
+pub mod attack;
+pub mod dmc;
+pub mod ln;
+pub mod sfmc;

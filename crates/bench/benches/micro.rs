@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the substrates: crypto primitives,
+//! transaction validation and a real end-to-end enclave payment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use teechain::testkit::Cluster;
+use teechain_crypto::aead::Aead;
+use teechain_crypto::schnorr::{self, Keypair};
+use teechain_crypto::sha256::sha256;
+
+fn crypto(c: &mut Criterion) {
+    let mut g = c.benchmark_group("crypto");
+    let data = vec![0xabu8; 256];
+    g.bench_function("sha256_256B", |b| b.iter(|| sha256(black_box(&data))));
+    let kp = Keypair::from_seed(&[1; 32]);
+    g.bench_function("schnorr_sign", |b| b.iter(|| kp.sign(black_box(&data))));
+    let sig = kp.sign(&data);
+    g.bench_function("schnorr_verify", |b| {
+        b.iter(|| schnorr::verify(&kp.pk, black_box(&data), &sig))
+    });
+    let aead = Aead::new(&[7; 32]);
+    g.bench_function("aead_seal_256B", |b| {
+        b.iter(|| aead.seal(1, b"", black_box(&data)))
+    });
+    g.finish();
+}
+
+fn blockchain(c: &mut Criterion) {
+    use teechain_blockchain::{Chain, ScriptPubKey, Transaction, TxIn, TxOut};
+    let mut g = c.benchmark_group("blockchain");
+    g.bench_function("validate_p2pk_spend", |b| {
+        let mut chain = Chain::new();
+        let kp = Keypair::from_seed(&[2; 32]);
+        let op = chain.mint_p2pk(&kp.pk, 100);
+        let mut tx = Transaction {
+            inputs: vec![TxIn {
+                prevout: op,
+                witness: vec![],
+            }],
+            outputs: vec![TxOut {
+                value: 100,
+                script: ScriptPubKey::P2pk(kp.pk),
+            }],
+        };
+        tx.sign_input(0, &kp.sk);
+        b.iter(|| chain.validate(black_box(&tx)).unwrap());
+    });
+    g.finish();
+}
+
+fn enclave_payment(c: &mut Criterion) {
+    // End-to-end cost of one payment round trip through two real enclaves
+    // (AEAD seal/open, state update, ack) — the wall-clock cost that
+    // bounds how many simulated payments per second the harness achieves.
+    let mut g = c.benchmark_group("enclave");
+    g.bench_function("payment_roundtrip", |b| {
+        let mut cluster = Cluster::functional(2);
+        let chan = cluster.standard_channel(0, 1, "bench", u64::MAX / 4, 1);
+        b.iter(|| {
+            cluster.pay(0, chan, 1).unwrap();
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = crypto, blockchain, enclave_payment
+);
+criterion_main!(benches);

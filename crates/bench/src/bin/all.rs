@@ -1,0 +1,22 @@
+//! Runs every table and figure experiment in sequence (pass `--quick` for
+//! reduced parameter sweeps).
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let me = std::env::current_exe().expect("current exe");
+    let dir = me.parent().expect("bin dir");
+    for bin in ["table1", "table2", "fig4", "fig6", "table3", "fig7", "table4"] {
+        println!("\n===== {bin} =====");
+        let mut cmd = Command::new(dir.join(bin));
+        if quick {
+            cmd.arg("--quick");
+        }
+        let status = cmd.status().expect("spawn experiment");
+        if !status.success() {
+            eprintln!("{bin} failed: {status}");
+            std::process::exit(1);
+        }
+    }
+}

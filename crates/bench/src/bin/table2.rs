@@ -1,0 +1,148 @@
+//! Table 2: latency of payment channel operations.
+//!
+//! Measures, on the Fig. 3 testbed: channel creation (attested handshake +
+//! channel open), replica creation (attested handshake + chain
+//! assignment), and deposit association/dissociation across committee
+//! chain lengths. LN channel creation is six Bitcoin blocks.
+
+use teechain::enclave::Command;
+use teechain::types::ChannelId;
+use teechain_bench::harness::{BenchCluster, BenchConfig};
+use teechain_bench::report::Table;
+use teechain_bench::scenarios::{fig3_pair, FtMode};
+use teechain_net::topology::{fig3_link, Region};
+use teechain_net::NodeId;
+
+/// Measures one operation's simulated latency via a closure that drives
+/// the cluster and returns (start, end can be read from sim clock).
+fn timed(cluster: &mut BenchCluster, f: impl FnOnce(&mut BenchCluster)) -> f64 {
+    let start = cluster.sim.now_ns();
+    f(cluster);
+    (cluster.sim.now_ns() - start) as f64 / 1e6
+}
+
+fn fresh_pair() -> BenchCluster {
+    let cfg = BenchConfig {
+        n: 2,
+        default_link: fig3_link(Region::Us, Region::Uk),
+        ..BenchConfig::default()
+    };
+    BenchCluster::new(cfg)
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Table 2: payment channel operations — latency (ms)",
+        &["Operation", "Latency (ms)"],
+    );
+    table.row(&[
+        "LN channel creation (6 Bitcoin blocks)".into(),
+        format!("{:.0}", teechain_baselines::ln::perf::channel_creation_ms()),
+    ]);
+
+    // Teechain channel creation: attested session + channel open.
+    let mut c = fresh_pair();
+    let ms = timed(&mut c, |c| {
+        c.connect(0, 1);
+        let remote = c.ids[1];
+        c.command(0, Command::NewAddress).unwrap();
+        let addr = c
+            .sim
+            .node_mut(NodeId(0))
+            .host
+            .node
+            .drain_events()
+            .into_iter()
+            .find_map(|(_, e)| match e {
+                teechain::HostEvent::NewAddress(pk) => Some(pk),
+                _ => None,
+            })
+            .unwrap();
+        c.command(
+            0,
+            Command::NewChannel {
+                id: ChannelId::from_label("t2"),
+                remote,
+                my_settlement: addr,
+            },
+        )
+        .unwrap();
+        c.settle();
+    });
+    table.row(&["Teechain channel creation".into(), format!("{ms:.0}")]);
+
+    // Outsourced channel creation: the client additionally attests the
+    // remote TEE it outsources to (one extra attested handshake from IL).
+    let cfg = BenchConfig {
+        n: 3,
+        default_link: fig3_link(Region::Us, Region::Uk),
+        ..BenchConfig::default()
+    };
+    let mut c = BenchCluster::new(cfg);
+    c.sim
+        .set_link(NodeId(0), NodeId(2), fig3_link(Region::Us, Region::Il));
+    c.sim
+        .set_link(NodeId(1), NodeId(2), fig3_link(Region::Uk, Region::Il));
+    let ms = timed(&mut c, |c| {
+        // The IL client (node 2) attests its outsourced TEE (node 0)...
+        c.connect(2, 0);
+        // ...which then opens the channel to UK1 as usual.
+        let _ = c.standard_channel(0, 1, "outsourced", 1000, 1);
+    });
+    table.row(&[
+        "Teechain outsourced channel creation".into(),
+        format!("{ms:.0}"),
+    ]);
+
+    // Replica creation: attested session + chain assignment.
+    let mut c = fresh_pair();
+    let ms = timed(&mut c, |c| c.attach_backup(0, 1));
+    table.row(&["Teechain replica creation".into(), format!("{ms:.0}")]);
+
+    // Associate/dissociate deposit per committee chain length.
+    for (label, ft) in [
+        ("Associate/dissociate, no fault tolerance", FtMode::None),
+        ("Associate/dissociate, one backup (IL)", FtMode::Replicas(1)),
+        ("Associate/dissociate, two backups (IL & UK)", FtMode::Replicas(2)),
+        (
+            "Associate/dissociate, three backups (IL, US & UK)",
+            FtMode::Replicas(3),
+        ),
+    ] {
+        let (mut c, chan) = fig3_pair(ft, 77);
+        // Fund a spare deposit, then time the associate round trip.
+        let dep = c
+            .sim
+            .call(NodeId(0), |node, ctx| {
+                node.host.node.create_funded_committee_deposit(ctx, 500, 1)
+            })
+            .unwrap();
+        let remote = c.ids[1];
+        c.command(
+            0,
+            Command::ApproveDeposit {
+                remote,
+                outpoint: dep.outpoint,
+            },
+        )
+        .unwrap();
+        c.settle();
+        let ms = timed(&mut c, |c| {
+            c.command(
+                0,
+                Command::AssociateDeposit {
+                    id: chan,
+                    outpoint: dep.outpoint,
+                },
+            )
+            .unwrap();
+            c.settle();
+        });
+        table.row(&[label.into(), format!("{ms:.0}")]);
+    }
+    table.print();
+    println!(
+        "\nPaper: LN 3,600,000; creation 2,810 (4,322 outsourced); replica 2,765;\n\
+         associate/dissociate 101 / 289 / 422 / 677; stable storage 302."
+    );
+}

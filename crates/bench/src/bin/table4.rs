@@ -1,0 +1,96 @@
+//! Table 4 / §7.5: blockchain cost — number of transactions and
+//! pubkey/signature pairs per channel, analytic for all systems plus a
+//! *measured* Teechain row (settlements actually executed on the
+//! simulated chain).
+
+use teechain::enclave::Command;
+use teechain::testkit::Cluster;
+use teechain_baselines::{dmc, ln, sfmc};
+use teechain_bench::report::Table;
+
+/// Executes a real Teechain channel lifecycle and counts on-chain
+/// transactions + cost. `bilateral` ends with neutral balances (off-chain
+/// termination); unilateral settles on chain.
+fn measured_teechain(n_committee: u8, bilateral: bool) -> (usize, f64) {
+    let mut c = Cluster::functional(2 + n_committee as usize - 1);
+    for b in 0..(n_committee as usize - 1) {
+        let tail = if b == 0 { 0 } else { 2 + b - 1 };
+        c.attach_backup(tail, 2 + b);
+    }
+    c.connect(0, 1);
+    let chan = c.open_channel(0, 1, "t4");
+    let dep = c.fund_deposit(0, 1000, 1.min(n_committee));
+    c.approve_and_associate(0, 1, chan, &dep);
+    c.pay(0, chan, 400).unwrap();
+    if bilateral {
+        c.pay(1, chan, 400).unwrap(); // Back to neutral.
+    }
+    c.command(0, Command::Settle { id: chan }).unwrap();
+    c.settle_network();
+    c.mine(1);
+    // Count non-mint transactions (the mint is the faucet, which the
+    // paper's accounting attributes to the funding side: we add the
+    // funding tx cost of 1 + n/2 analytically below).
+    let chain = c.chain.lock();
+    chain.confirmed_footprint()
+}
+
+fn main() {
+    let mut table = Table::new(
+        "Table 4: on-chain transactions and cost per channel",
+        &["System", "Bilateral #txs / cost", "Unilateral #txs / cost"],
+    );
+    table.row(&[
+        "LN".into(),
+        format!("{:.0} / {:.0}", ln::cost::TXS, ln::cost::COST),
+        format!("{:.0} / {:.0}", ln::cost::TXS, ln::cost::COST),
+    ]);
+    let d = 1;
+    table.row(&[
+        format!("DMC (d={d})"),
+        format!("{:.0} / {:.0}", dmc::txs_bilateral(), dmc::cost_bilateral()),
+        format!(
+            "{:.0} / {:.0}",
+            dmc::txs_unilateral(d),
+            dmc::cost_unilateral(d)
+        ),
+    ]);
+    let (n, p, i) = (4, 4, 1);
+    table.row(&[
+        format!("SFMC (n={n}, p={p}, i={i}, d={d})"),
+        format!(
+            "{:.1} / {:.1}",
+            sfmc::txs_bilateral(n),
+            sfmc::cost_bilateral(n, p)
+        ),
+        format!(
+            "{:.1} / {:.1}",
+            sfmc::txs_unilateral(n, i, d),
+            sfmc::cost_unilateral(n, p, i, d)
+        ),
+    ]);
+    // Teechain analytic (paper formulas, 2-of-3 committee, one deposit):
+    // bilateral: 1 tx (the funding deposit), cost 1 + n/2;
+    // unilateral: 3 txs (two deposits + settlement), cost per Table 4.
+    let nn = 3.0;
+    let m = 2.0;
+    table.row(&[
+        "Teechain analytic (2-of-3 deposits)".into(),
+        format!("1 / {:.1}", 1.0 + nn / 2.0),
+        format!("3 / {:.1}", 1.0 + nn / 2.0 + nn / 2.0 + m + m),
+    ]);
+    // Teechain measured on the simulated chain (1-of-1 deposit).
+    let (txs_uni, cost_uni) = measured_teechain(1, false);
+    let (txs_bi, cost_bi) = measured_teechain(1, true);
+    table.row(&[
+        "Teechain measured (1-of-1, excl. funding)".into(),
+        format!("{txs_bi} / {cost_bi:.1}"),
+        format!("{txs_uni} / {cost_uni:.1}"),
+    ]);
+    table.print();
+    println!(
+        "\nPaper: Teechain places 25–75% fewer transactions than LN and is up to 58% cheaper\n\
+         bilaterally; unilateral termination is ~50% more expensive due to multisig inputs.\n\
+         Measured: bilateral (neutral) termination is fully off-chain — 0 settlement txs."
+    );
+}

@@ -1,0 +1,639 @@
+//! The workload-driving benchmark cluster.
+//!
+//! [`BenchNode`] wraps a Teechain host with a payment driver that issues
+//! direct or multi-hop payments from inside the simulation: a sliding
+//! window of in-flight payments per machine (W, §7.4), optional 100 ms
+//! client-side batching (§7), and retry with randomized 100–200 ms backoff
+//! on channel-lock failures — the exact mechanics of the paper's load
+//! generator.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+use parking_lot::Mutex;
+use teechain::driver::{CostModel, SimHost};
+use teechain::enclave::{Command, EnclaveConfig, HostEvent};
+use teechain::node::{SharedChain, TeechainNode};
+use teechain::types::{ChannelId, ProtocolError, RouteId};
+use teechain_blockchain::Chain;
+use teechain_crypto::schnorr::PublicKey;
+use teechain_net::{Ctx, Histogram, LinkSpec, NodeId, SimNode, Simulator};
+use teechain_tee::TrustRoot;
+
+/// Timer tokens used by the driver (distinct from the host's own).
+const BATCH_TOKEN: u64 = 0xBA7C4;
+const JOB_RETRY_TOKEN: u64 = 0x4E7247;
+
+/// One unit of offered load.
+#[derive(Debug, Clone)]
+pub enum Job {
+    /// A direct payment on a channel.
+    Direct {
+        /// The channel to pay over.
+        chan: ChannelId,
+        /// Amount.
+        amount: u64,
+    },
+    /// A multi-hop payment; `paths` are alternatives tried in order on
+    /// failure (dynamic routing, §7.4). Each path is (hop identities,
+    /// channels).
+    Multihop {
+        /// Alternative paths, shortest first.
+        paths: Vec<(Vec<PublicKey>, Vec<ChannelId>)>,
+        /// Which alternative to try next.
+        next_path: usize,
+        /// Amount.
+        amount: u64,
+    },
+}
+
+/// Client-side batching state (merge payments for `interval_ns` before
+/// sending one merged payment, §7).
+struct BatchState {
+    interval_ns: u64,
+    chan: ChannelId,
+    armed: bool,
+}
+
+/// Per-node driver statistics.
+#[derive(Default)]
+pub struct DriverStats {
+    /// Logical payments completed (acked).
+    pub completed: u64,
+    /// Lock-failure retries performed.
+    pub retries: u64,
+    /// Sum of path lengths (hops) over completed multi-hop payments.
+    pub hops_total: u64,
+    /// Multi-hop payments completed.
+    pub multihop_completed: u64,
+    /// Time of first issue (ns).
+    pub first_issue: Option<u64>,
+    /// Time of last completion (ns).
+    pub last_ack: u64,
+    /// Latency samples (ns).
+    pub latencies: Histogram,
+}
+
+/// A simulator node: Teechain host + workload driver.
+pub struct BenchNode {
+    /// The wrapped host (public for setup).
+    pub host: SimHost,
+    jobs: VecDeque<Job>,
+    retry_bucket: Vec<Job>,
+    window: usize,
+    inflight: usize,
+    batch: Option<BatchState>,
+    pending_direct: HashMap<ChannelId, VecDeque<(u64, u32)>>,
+    pending_routes: HashMap<RouteId, (u64, Job)>,
+    route_seq: u64,
+    /// Statistics (public for collection).
+    pub stats: DriverStats,
+}
+
+impl BenchNode {
+    fn new(host: SimHost) -> Self {
+        BenchNode {
+            host,
+            jobs: VecDeque::new(),
+            retry_bucket: Vec::new(),
+            window: 1,
+            inflight: 0,
+            batch: None,
+            pending_direct: HashMap::new(),
+            pending_routes: HashMap::new(),
+            route_seq: 0,
+            stats: DriverStats::default(),
+        }
+    }
+
+    fn drain_host_events(&mut self, ctx: &mut Ctx<'_>) {
+        let events = self.host.node.drain_events();
+        for (_, event) in events {
+            match event {
+                HostEvent::PaymentAcked { id, count, .. } => {
+                    if let Some(q) = self.pending_direct.get_mut(&id) {
+                        if let Some((sent, _)) = q.pop_front() {
+                            self.stats.latencies.record(ctx.now_ns() - sent);
+                        }
+                    }
+                    self.stats.completed += count as u64;
+                    self.stats.last_ack = ctx.now_ns();
+                    self.inflight = self.inflight.saturating_sub(count as usize);
+                }
+                HostEvent::PaymentNacked { id, amount, count } => {
+                    let _ = id;
+                    self.inflight = self.inflight.saturating_sub(count as usize);
+                    self.schedule_retry(ctx, Job::Direct { chan: id, amount });
+                }
+                HostEvent::MultihopComplete { route, .. } => {
+                    if let Some((sent, job)) = self.pending_routes.remove(&route) {
+                        self.stats.latencies.record(ctx.now_ns() - sent);
+                        if let Job::Multihop { paths, next_path, .. } = &job {
+                            let idx = next_path.saturating_sub(1).min(paths.len() - 1);
+                            self.stats.hops_total += (paths[idx].1.len()) as u64;
+                        }
+                        self.stats.multihop_completed += 1;
+                    }
+                    self.stats.completed += 1;
+                    self.stats.last_ack = ctx.now_ns();
+                    self.inflight = self.inflight.saturating_sub(1);
+                }
+                HostEvent::MultihopFailed { route } => {
+                    if let Some((_, job)) = self.pending_routes.remove(&route) {
+                        self.inflight = self.inflight.saturating_sub(1);
+                        self.schedule_retry(ctx, job);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    fn schedule_retry(&mut self, ctx: &mut Ctx<'_>, job: Job) {
+        self.stats.retries += 1;
+        self.retry_bucket.push(job);
+        // Randomized 100–200 ms backoff (§7.4).
+        let delay = ctx.rng().next_range(100_000_000, 200_000_000);
+        ctx.set_timer(delay, JOB_RETRY_TOKEN);
+    }
+
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(batch) = &self.batch {
+            if !batch.armed {
+                let interval = batch.interval_ns;
+                self.batch.as_mut().expect("checked").armed = true;
+                ctx.set_timer(interval, BATCH_TOKEN);
+            }
+            return; // Batched mode issues on the batch timer only.
+        }
+        while self.inflight < self.window {
+            let Some(job) = self.jobs.pop_front() else {
+                break;
+            };
+            self.issue(ctx, job);
+        }
+    }
+
+    fn next_route_id(&mut self, ctx: &Ctx<'_>) -> RouteId {
+        self.route_seq += 1;
+        let mut id = [0u8; 32];
+        id[..4].copy_from_slice(&ctx.self_id().0.to_le_bytes());
+        id[8..16].copy_from_slice(&self.route_seq.to_le_bytes());
+        RouteId(id)
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>, job: Job) {
+        if self.stats.first_issue.is_none() {
+            self.stats.first_issue = Some(ctx.now_ns());
+        }
+        match job {
+            Job::Direct { chan, amount } => {
+                ctx.busy(self.host.costs.logical_ns);
+                self.pending_direct
+                    .entry(chan)
+                    .or_default()
+                    .push_back((ctx.now_ns(), 1));
+                let result = self.host.node.command(
+                    ctx,
+                    Command::Pay {
+                        id: chan,
+                        amount,
+                        count: 1,
+                    },
+                );
+                match result {
+                    Ok(()) => self.inflight += 1,
+                    Err(ProtocolError::ChannelLocked) | Err(ProtocolError::CounterThrottled { .. }) => {
+                        self.pending_direct.get_mut(&chan).expect("pushed").pop_back();
+                        self.schedule_retry(ctx, Job::Direct { chan, amount });
+                    }
+                    Err(_) => {
+                        self.pending_direct.get_mut(&chan).expect("pushed").pop_back();
+                    }
+                }
+            }
+            Job::Multihop {
+                paths,
+                next_path,
+                amount,
+            } => {
+                ctx.busy(self.host.costs.logical_ns);
+                let idx = next_path.min(paths.len() - 1);
+                let (hops, channels) = paths[idx].clone();
+                let route = self.next_route_id(ctx);
+                let job = Job::Multihop {
+                    paths,
+                    next_path: idx + 1,
+                    amount,
+                };
+                self.pending_routes.insert(route, (ctx.now_ns(), job.clone()));
+                let result = self.host.node.command(
+                    ctx,
+                    Command::PayMultihop {
+                        route,
+                        hops,
+                        channels,
+                        amount,
+                    },
+                );
+                match result {
+                    Ok(()) => self.inflight += 1,
+                    Err(_) => {
+                        self.pending_routes.remove(&route);
+                        self.schedule_retry(ctx, job);
+                    }
+                }
+            }
+        }
+    }
+
+    fn flush_batch(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(batch) = &mut self.batch else {
+            return;
+        };
+        let interval = batch.interval_ns;
+        let chan = batch.chan;
+        // How many logical payments the client generated this interval:
+        // bounded by the per-payment generation cost (the CPU model).
+        let capacity = if self.host.costs.logical_ns == 0 {
+            u32::MAX as u64
+        } else {
+            interval / self.host.costs.logical_ns
+        };
+        let mut count = 0u32;
+        let mut amount = 0u64;
+        while (count as u64) < capacity {
+            match self.jobs.pop_front() {
+                Some(Job::Direct { amount: a, .. }) => {
+                    count += 1;
+                    amount += a;
+                }
+                Some(other) => {
+                    self.jobs.push_front(other);
+                    break;
+                }
+                None => break,
+            }
+        }
+        if count > 0 {
+            ctx.busy(self.host.costs.logical_ns * count as u64);
+            // Average queueing delay inside the batch is interval/2.
+            let effective_send = ctx.now_ns().saturating_sub(interval / 2);
+            self.pending_direct
+                .entry(chan)
+                .or_default()
+                .push_back((effective_send, count));
+            if self.stats.first_issue.is_none() {
+                self.stats.first_issue = Some(ctx.now_ns().saturating_sub(interval));
+            }
+            let result = self.host.node.command(
+                ctx,
+                Command::Pay {
+                    id: chan,
+                    amount,
+                    count,
+                },
+            );
+            if result.is_err() {
+                // Counter throttled (stable storage): put the jobs back.
+                self.pending_direct.get_mut(&chan).expect("pushed").pop_back();
+                for _ in 0..count {
+                    self.jobs.push_front(Job::Direct {
+                        chan,
+                        amount: amount / count as u64,
+                    });
+                }
+            } else {
+                self.inflight += count as usize;
+            }
+        }
+        if !self.jobs.is_empty() {
+            ctx.set_timer(interval, BATCH_TOKEN);
+        } else if let Some(b) = &mut self.batch {
+            b.armed = false;
+        }
+    }
+}
+
+impl SimNode for BenchNode {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Vec<u8>) {
+        self.host.on_message(ctx, from, msg);
+        self.drain_host_events(ctx);
+        self.pump(ctx);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            BATCH_TOKEN => self.flush_batch(ctx),
+            JOB_RETRY_TOKEN => {
+                if let Some(job) = self.retry_bucket.pop() {
+                    self.issue(ctx, job);
+                }
+            }
+            _ => self.host.on_timer(ctx, token),
+        }
+        self.drain_host_events(ctx);
+        self.pump(ctx);
+    }
+}
+
+/// Cluster configuration.
+#[derive(Clone)]
+pub struct BenchConfig {
+    /// Number of machines.
+    pub n: usize,
+    /// CPU cost model.
+    pub costs: CostModel,
+    /// Default link.
+    pub default_link: LinkSpec,
+    /// Persistent-storage (stable storage) mode.
+    pub persist: bool,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            n: 2,
+            costs: CostModel::default(),
+            default_link: LinkSpec::ideal(),
+            persist: false,
+            seed: 11,
+        }
+    }
+}
+
+/// Aggregated results of one run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunStats {
+    /// Logical payments completed.
+    pub completed: u64,
+    /// Makespan from first issue to last ack (ns).
+    pub duration_ns: u64,
+    /// Throughput (payments per second).
+    pub throughput: f64,
+    /// Mean latency (ms).
+    pub mean_ms: f64,
+    /// 99th-percentile latency (ms).
+    pub p99_ms: f64,
+    /// Average hops per completed multi-hop payment.
+    pub avg_hops: f64,
+    /// Total retries (lock contention).
+    pub retries: u64,
+}
+
+/// A benchmark cluster: like `teechain::testkit::Cluster` but with
+/// workload drivers on every node.
+pub struct BenchCluster {
+    /// The simulator.
+    pub sim: Simulator<BenchNode>,
+    /// The shared chain.
+    pub chain: SharedChain,
+    /// Node identities.
+    pub ids: Vec<PublicKey>,
+}
+
+impl BenchCluster {
+    /// Builds the cluster (attested, directories pre-filled).
+    pub fn new(cfg: BenchConfig) -> BenchCluster {
+        let root = TrustRoot::new(cfg.seed ^ 0xbe);
+        let chain: SharedChain = Arc::new(Mutex::new(Chain::new()));
+        let measurement = TeechainNode::measurement();
+        let mut nodes = Vec::with_capacity(cfg.n);
+        for i in 0..cfg.n {
+            let device = root.issue_device(5000 + i as u64);
+            let enclave_cfg = EnclaveConfig {
+                trust_root: root.public_key(),
+                measurement,
+                persist: cfg.persist,
+            };
+            let node = TeechainNode::new(
+                device,
+                enclave_cfg,
+                cfg.seed.wrapping_mul(0xD1B5_4A32).wrapping_add(i as u64),
+                chain.clone(),
+            );
+            nodes.push(BenchNode::new(SimHost::new(node, cfg.costs)));
+        }
+        let mut sim = Simulator::new(nodes, cfg.default_link, cfg.seed);
+        let mut ids = Vec::with_capacity(cfg.n);
+        for i in 0..cfg.n {
+            ids.push(sim.node_mut(NodeId(i as u32)).host.node.identity(0));
+        }
+        for i in 0..cfg.n {
+            for (j, id) in ids.iter().enumerate() {
+                if i != j {
+                    sim.node_mut(NodeId(i as u32))
+                        .host
+                        .node
+                        .register_peer(*id, NodeId(j as u32));
+                }
+            }
+        }
+        BenchCluster { sim, chain, ids }
+    }
+
+    /// Runs the simulation to quiescence.
+    pub fn settle(&mut self) {
+        self.sim.run_to_idle(200_000_000);
+    }
+
+    /// Issues a setup command, retrying counter throttling.
+    pub fn command(&mut self, i: usize, cmd: Command) -> Result<(), ProtocolError> {
+        loop {
+            let nid = NodeId(i as u32);
+            let r = self
+                .sim
+                .call(nid, |node, ctx| node.host.node.command(ctx, cmd.clone()));
+            match r {
+                Err(ProtocolError::CounterThrottled { ready_at }) => {
+                    self.sim.run_until(ready_at);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Connects a and b (sessions), runs to idle.
+    pub fn connect(&mut self, a: usize, b: usize) {
+        let remote = self.ids[b];
+        self.command(a, Command::StartSession { remote }).unwrap();
+        self.settle();
+    }
+
+    /// Opens + funds a channel from `a` to `b` with `value` on `a`'s side
+    /// and committee threshold `m` (n follows `a`'s chain length).
+    pub fn standard_channel(
+        &mut self,
+        a: usize,
+        b: usize,
+        label: &str,
+        value: u64,
+        m: u8,
+    ) -> ChannelId {
+        self.connect(a, b);
+        let id = ChannelId::from_label(label);
+        // Settlement address: generated in-enclave.
+        self.command(a, Command::NewAddress).unwrap();
+        let my_settlement = self
+            .sim
+            .node_mut(NodeId(a as u32))
+            .host
+            .node
+            .drain_events()
+            .into_iter()
+            .find_map(|(_, e)| match e {
+                HostEvent::NewAddress(pk) => Some(pk),
+                _ => None,
+            })
+            .expect("address");
+        let remote = self.ids[b];
+        self.command(
+            a,
+            Command::NewChannel {
+                id,
+                remote,
+                my_settlement,
+            },
+        )
+        .unwrap();
+        self.settle();
+        let nid = NodeId(a as u32);
+        let deposit = loop {
+            match self.sim.call(nid, |node, ctx| {
+                node.host.node.create_funded_committee_deposit(ctx, value, m)
+            }) {
+                Ok(dep) => break dep,
+                Err(ProtocolError::CounterThrottled { ready_at }) => {
+                    self.sim.run_until(ready_at);
+                }
+                Err(e) => panic!("deposit: {e:?}"),
+            }
+        };
+        self.command(
+            a,
+            Command::ApproveDeposit {
+                remote,
+                outpoint: deposit.outpoint,
+            },
+        )
+        .unwrap();
+        self.settle();
+        self.command(
+            a,
+            Command::AssociateDeposit {
+                id,
+                outpoint: deposit.outpoint,
+            },
+        )
+        .unwrap();
+        self.settle();
+        id
+    }
+
+    /// Attaches `backup` to `tail`'s committee chain.
+    pub fn attach_backup(&mut self, tail: usize, backup: usize) {
+        self.connect(tail, backup);
+        let backup_id = self.ids[backup];
+        self.command(tail, Command::AttachBackup { backup: backup_id })
+            .unwrap();
+        self.settle();
+        self.sim
+            .node_mut(NodeId(tail as u32))
+            .host
+            .node
+            .committee_peers
+            .push(backup_id);
+    }
+
+    /// Assigns jobs and window to a node (before `run`).
+    pub fn load(&mut self, i: usize, jobs: Vec<Job>, window: usize) {
+        let node = self.sim.node_mut(NodeId(i as u32));
+        node.jobs = jobs.into();
+        node.window = window;
+    }
+
+    /// Appends a single job to a node (window defaults to 50).
+    pub fn load_one(&mut self, i: usize, job: Job) {
+        let node = self.sim.node_mut(NodeId(i as u32));
+        node.jobs.push_back(job);
+        node.window = node.window.max(50);
+    }
+
+    /// Sets a node's sliding-window size.
+    pub fn set_window(&mut self, i: usize, window: usize) {
+        self.sim.node_mut(NodeId(i as u32)).window = window;
+    }
+
+    /// Enables 100 ms client-side batching on node `i` over `chan`.
+    pub fn enable_batching(&mut self, i: usize, chan: ChannelId, interval_ns: u64) {
+        let node = self.sim.node_mut(NodeId(i as u32));
+        node.batch = Some(BatchState {
+            interval_ns,
+            chan,
+            armed: false,
+        });
+    }
+
+    /// Kicks all drivers and runs until quiescent (or the event cap).
+    /// Returns aggregated statistics.
+    pub fn run(&mut self, max_events: u64) -> RunStats {
+        // Clear setup noise from the stats.
+        for i in 0..self.sim.len() {
+            let node = self.sim.node_mut(NodeId(i as u32));
+            node.stats = DriverStats::default();
+            node.host.node.drain_events();
+        }
+        for i in 0..self.sim.len() {
+            self.sim
+                .call(NodeId(i as u32), |node, ctx| node.pump(ctx));
+        }
+        self.sim.run_to_idle(max_events);
+        self.collect()
+    }
+
+    /// Aggregates stats across nodes.
+    pub fn collect(&mut self) -> RunStats {
+        let mut completed = 0;
+        let mut first = u64::MAX;
+        let mut last = 0;
+        let mut lat = Histogram::new();
+        let mut hops_total = 0;
+        let mut mh = 0;
+        let mut retries = 0;
+        for i in 0..self.sim.len() {
+            let node = self.sim.node_mut(NodeId(i as u32));
+            completed += node.stats.completed;
+            if let Some(f) = node.stats.first_issue {
+                first = first.min(f);
+            }
+            last = last.max(node.stats.last_ack);
+            hops_total += node.stats.hops_total;
+            mh += node.stats.multihop_completed;
+            retries += node.stats.retries;
+            // Merge latency histograms.
+            for &sample in node.stats.latencies.samples() {
+                lat.record(sample);
+            }
+        }
+        let duration_ns = last.saturating_sub(if first == u64::MAX { 0 } else { first });
+        let throughput = if duration_ns > 0 {
+            completed as f64 / (duration_ns as f64 / 1e9)
+        } else {
+            0.0
+        };
+        RunStats {
+            completed,
+            duration_ns,
+            throughput,
+            mean_ms: lat.mean() / 1e6,
+            p99_ms: lat.p99() as f64 / 1e6,
+            avg_hops: if mh > 0 {
+                hops_total as f64 / mh as f64
+            } else {
+                0.0
+            },
+            retries,
+        }
+    }
+}

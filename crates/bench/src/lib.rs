@@ -1,0 +1,24 @@
+//! Benchmark harness for the Teechain reproduction.
+//!
+//! Regenerates every table and figure of the paper's evaluation (§7):
+//!
+//! | Binary  | Artifact |
+//! |---------|----------|
+//! | `table1` | Table 1 — single-channel throughput and latency |
+//! | `table2` | Table 2 — channel operation latencies |
+//! | `fig4`   | Fig. 4 + §7.3 — multi-hop latency and throughput vs hops |
+//! | `fig6`   | Fig. 6 — complete-graph network throughput |
+//! | `table3` | Table 3 — hub-and-spoke throughput (incl. dynamic routing) |
+//! | `fig7`   | Fig. 7 — temporary channels |
+//! | `table4` | Table 4 / §7.5 — blockchain cost |
+//! | `all`    | everything above |
+//!
+//! `cargo bench` additionally runs Criterion micro-benchmarks of the
+//! substrates and the ablations listed in DESIGN.md §6.
+
+pub mod harness;
+pub mod report;
+pub mod scenarios;
+pub mod workload;
+
+pub use harness::{BenchCluster, BenchConfig, RunStats};

@@ -1,0 +1,329 @@
+//! Shared experiment scenario builders.
+
+use crate::harness::{BenchCluster, BenchConfig, Job};
+use crate::workload::Workload;
+use std::collections::HashMap;
+use teechain::driver::CostModel;
+use teechain::routing::ChannelGraph;
+use teechain::types::ChannelId;
+use teechain_net::topology::{fig3_link, fig3_regions, HubSpoke, Region};
+use teechain_net::{LinkSpec, NodeId, MS};
+
+/// Fault-tolerance strategies of Table 1 / Fig. 4 / Fig. 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FtMode {
+    /// Committee chain length 1 (just the primary).
+    None,
+    /// `k` additional committee members (replication chain length k+1).
+    Replicas(usize),
+    /// §6.2 persistent storage with monotonic counters.
+    StableStorage,
+}
+
+impl FtMode {
+    /// Number of backups to attach.
+    pub fn backups(&self) -> usize {
+        match self {
+            FtMode::Replicas(k) => *k,
+            _ => 0,
+        }
+    }
+
+    /// Whether persistent mode is enabled.
+    pub fn persist(&self) -> bool {
+        matches!(self, FtMode::StableStorage)
+    }
+}
+
+/// Builds the Fig. 3 two-party setup: node 0 = US, node 1 = UK1, plus
+/// enough backup nodes for both parties' committee chains, placed in the
+/// paper's failure domains (IL, then UK/US).
+///
+/// Returns (cluster, channel). Node layout: 0 = US (payer), 1 = UK1
+/// (payee), 2.. = backups of node 0 then backups of node 1.
+pub fn fig3_pair(ft: FtMode, seed: u64) -> (BenchCluster, ChannelId) {
+    let backups = ft.backups();
+    let n = 2 + 2 * backups;
+    let mut cfg = BenchConfig {
+        n,
+        costs: CostModel::default(),
+        default_link: fig3_link(Region::Uk, Region::Uk),
+        persist: ft.persist(),
+        seed,
+    };
+    // Regions: replicas live in different failure domains (IL first, then
+    // the other side of the Atlantic), as in §7.2.
+    let domains = [Region::Il, Region::Uk, Region::Us];
+    let mut regions = vec![Region::Us, Region::Uk];
+    for b in 0..backups {
+        regions.push(domains[b % domains.len()]); // Backups of node 0.
+    }
+    for b in 0..backups {
+        let alt = [Region::Il, Region::Us, Region::Il];
+        regions.push(alt[b % alt.len()]); // Backups of node 1.
+    }
+    cfg.n = regions.len();
+    let mut cluster = BenchCluster::new(cfg);
+    for i in 0..regions.len() {
+        for j in (i + 1)..regions.len() {
+            cluster.sim.set_link(
+                NodeId(i as u32),
+                NodeId(j as u32),
+                fig3_link(regions[i], regions[j]),
+            );
+        }
+    }
+    // Committee chains: node 0 → 2 → 3 → ..; node 1 → (2+backups) → ..
+    for b in 0..backups {
+        let tail = if b == 0 { 0 } else { 2 + b - 1 };
+        cluster.attach_backup(tail, 2 + b);
+    }
+    for b in 0..backups {
+        let tail = if b == 0 { 1 } else { 2 + backups + b - 1 };
+        cluster.attach_backup(tail, 2 + backups + b);
+    }
+    let chan = cluster.standard_channel(0, 1, "us-uk", u64::MAX / 4, 1);
+    (cluster, chan)
+}
+
+/// Builds the §7.3 multi-hop chain over `hops` channels with `backups`
+/// committee members per node, on transatlantic links (UK→US→IL→UK…).
+/// Node layout: 0..=hops are path nodes; backups follow.
+pub fn transatlantic_chain(hops: usize, backups: usize, seed: u64) -> (BenchCluster, Vec<ChannelId>) {
+    let path_nodes = hops + 1;
+    let n = path_nodes * (1 + backups);
+    let region_of = |i: usize| match i % 3 {
+        0 => Region::Uk,
+        1 => Region::Us,
+        _ => Region::Il,
+    };
+    // Path nodes rotate UK→US→IL; each backup lives in a *different*
+    // failure domain than its primary (§7.3: "committee members are
+    // deployed in different failure domains").
+    let mut regions: Vec<Region> = (0..path_nodes).map(region_of).collect();
+    for i in 0..path_nodes {
+        for b in 0..backups {
+            regions.push(region_of(i + 1 + b));
+        }
+    }
+    let cfg = BenchConfig {
+        n,
+        costs: CostModel::default(),
+        default_link: fig3_link(Region::Uk, Region::Us),
+        persist: false,
+        seed,
+    };
+    let mut cluster = BenchCluster::new(cfg);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            cluster.sim.set_link(
+                NodeId(i as u32),
+                NodeId(j as u32),
+                fig3_link(regions[i], regions[j]),
+            );
+        }
+    }
+    // Committee chains: path node i gets backups at path_nodes + i*backups ...
+    for i in 0..path_nodes {
+        for b in 0..backups {
+            let backup = path_nodes + i * backups + b;
+            debug_assert!(backup < n);
+            let tail = if b == 0 {
+                i
+            } else {
+                path_nodes + i * backups + b - 1
+            };
+            cluster.attach_backup(tail, backup);
+        }
+    }
+    let mut chans = Vec::new();
+    for i in 0..hops {
+        chans.push(cluster.standard_channel(
+            i,
+            i + 1,
+            &format!("hop{i}"),
+            u64::MAX / 8,
+            1,
+        ));
+    }
+    (cluster, chans)
+}
+
+/// A payment-network deployment: node count, channel edges (possibly with
+/// several parallel channels per edge), and a channel graph for routing.
+pub struct Network {
+    /// The cluster.
+    pub cluster: BenchCluster,
+    /// Channels per undirected edge.
+    pub channels: HashMap<(NodeId, NodeId), Vec<ChannelId>>,
+    /// Routing graph.
+    pub graph: ChannelGraph,
+}
+
+impl Network {
+    /// All channels between a and b (canonical order).
+    pub fn edge_channels(&self, a: NodeId, b: NodeId) -> &[ChannelId] {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.channels.get(&key).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Builds a multihop job for a payment along `path` (node ids),
+    /// choosing channel `variant` on each edge (temporary channels).
+    pub fn multihop_job(&self, path: &[NodeId], amount: u64, variant: usize) -> Option<Job> {
+        let hops: Vec<_> = path
+            .iter()
+            .map(|n| self.cluster.ids[n.0 as usize])
+            .collect();
+        let mut channels = Vec::new();
+        for w in path.windows(2) {
+            let chans = self.edge_channels(w[0], w[1]);
+            if chans.is_empty() {
+                return None;
+            }
+            channels.push(chans[variant % chans.len()]);
+        }
+        Some(Job::Multihop {
+            paths: vec![(hops, channels)],
+            next_path: 0,
+            amount,
+        })
+    }
+}
+
+/// Builds a network over explicit edges, `parallel` channels per edge,
+/// each funded on both sides. `backups` committee members per node.
+pub fn build_network(
+    n: usize,
+    edges: &[(NodeId, NodeId)],
+    parallel: usize,
+    backups: usize,
+    link: LinkSpec,
+    seed: u64,
+) -> Network {
+    let total = n * (1 + backups);
+    let cfg = BenchConfig {
+        n: total,
+        costs: CostModel::default(),
+        default_link: link,
+        persist: false,
+        seed,
+    };
+    let mut cluster = BenchCluster::new(cfg);
+    // Backups of node i live at n + i*backups + b, on the same default link.
+    for i in 0..n {
+        for b in 0..backups {
+            let backup = n + i * backups + b;
+            let tail = if b == 0 { i } else { n + i * backups + b - 1 };
+            cluster.attach_backup(tail, backup);
+        }
+    }
+    let mut channels: HashMap<(NodeId, NodeId), Vec<ChannelId>> = HashMap::new();
+    for &(a, b) in edges {
+        for p in 0..parallel {
+            let label = format!("e{}-{}-{}", a.0, b.0, p);
+            let chan =
+                cluster.standard_channel(a.0 as usize, b.0 as usize, &label, 1_000_000_000, 1);
+            // Fund the reverse direction too so payments flow both ways.
+            let nidb = b.0 as usize;
+            let dep = cluster
+                .sim
+                .call(NodeId(b.0), |node, ctx| {
+                    node.host.node.create_funded_committee_deposit(ctx, 1_000_000_000, 1)
+                })
+                .expect("reverse deposit");
+            let remote = cluster.ids[a.0 as usize];
+            cluster
+                .command(
+                    nidb,
+                    teechain::Command::ApproveDeposit {
+                        remote,
+                        outpoint: dep.outpoint,
+                    },
+                )
+                .unwrap();
+            cluster.settle();
+            cluster
+                .command(
+                    nidb,
+                    teechain::Command::AssociateDeposit {
+                        id: chan,
+                        outpoint: dep.outpoint,
+                    },
+                )
+                .unwrap();
+            cluster.settle();
+            channels.entry(if a <= b { (a, b) } else { (b, a) }).or_default().push(chan);
+        }
+    }
+    let graph = ChannelGraph::from_pairs(edges);
+    Network {
+        cluster,
+        channels,
+        graph,
+    }
+}
+
+/// Generates hub-and-spoke multihop jobs per machine from the §7.4
+/// skewed workload, with `alternatives` routing paths (1 = static
+/// shortest, >1 = dynamic routing).
+pub fn hub_spoke_jobs(
+    net: &Network,
+    hs: &HubSpoke,
+    payments: usize,
+    alternatives: usize,
+    seed: u64,
+) -> HashMap<usize, Vec<Job>> {
+    let mut wl = Workload::hub_spoke(hs, seed);
+    let mut jobs: HashMap<usize, Vec<Job>> = HashMap::new();
+    for p in wl.take(payments) {
+        let paths_nodes = net.graph.k_paths(p.from, p.to, alternatives);
+        if paths_nodes.is_empty() {
+            continue;
+        }
+        let mut paths = Vec::new();
+        for path in &paths_nodes {
+            let hops: Vec<_> = path
+                .iter()
+                .map(|n| net.cluster.ids[n.0 as usize])
+                .collect();
+            let mut channels = Vec::new();
+            let mut ok = true;
+            for w in path.windows(2) {
+                let chans = net.edge_channels(w[0], w[1]);
+                if chans.is_empty() {
+                    ok = false;
+                    break;
+                }
+                // Spread load over parallel (temporary) channels.
+                let pick = (p.value as usize) % chans.len();
+                channels.push(chans[pick]);
+            }
+            if ok {
+                paths.push((hops, channels));
+            }
+        }
+        if paths.is_empty() {
+            continue;
+        }
+        jobs.entry(p.from.0 as usize).or_default().push(Job::Multihop {
+            paths,
+            next_path: 0,
+            amount: p.value,
+        });
+    }
+    jobs
+}
+
+/// The Fig. 3 region list for reuse in binaries.
+pub fn fig3_region_list() -> Vec<Region> {
+    fig3_regions()
+}
+
+/// A convenient 100 ms symmetric WAN link (§7.4 emulation).
+pub fn wan_100ms() -> LinkSpec {
+    LinkSpec {
+        latency_ns: 50 * MS,
+        jitter_frac: 0.06,
+        bandwidth_bps: Some(1_000_000_000),
+    }
+}

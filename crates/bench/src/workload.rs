@@ -1,0 +1,152 @@
+//! Synthetic payment workloads.
+//!
+//! The paper replays 150M filtered Bitcoin-history payments (§7.4). No
+//! public micro-payment dataset exists (their observation, still true), so
+//! we reproduce the *relevant structure* of that trace synthetically:
+//! (source, destination, value) triples with Zipf-skewed address
+//! popularity, values filtered below a threshold, and addresses assigned
+//! to machines either uniformly (complete graph) or 50/35/15% per tier
+//! (hub-and-spoke) — exactly the assignment of §7.4.
+
+use teechain_net::topology::HubSpoke;
+use teechain_net::NodeId;
+use teechain_util::rng::Xoshiro256;
+
+/// One logical payment between two machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Payment {
+    /// Issuing machine.
+    pub from: NodeId,
+    /// Receiving machine.
+    pub to: NodeId,
+    /// Value (base units; filtered ≤ `MAX_VALUE`).
+    pub value: u64,
+}
+
+/// The $100-equivalent value filter from §7.4.
+pub const MAX_VALUE: u64 = 10_000;
+
+/// A deterministic payment-trace generator.
+pub struct Workload {
+    rng: Xoshiro256,
+    /// Cumulative address-ownership distribution per node.
+    cumulative: Vec<f64>,
+    /// Zipf skew across the address space (0.0 = uniform).
+    zipf_s: f64,
+}
+
+impl Workload {
+    /// Uniform address assignment over `n` machines (complete graph).
+    pub fn uniform(n: u32, seed: u64) -> Workload {
+        let weights = vec![1.0 / n as f64; n as usize];
+        Workload::from_weights(&weights, seed)
+    }
+
+    /// The §7.4 hub-and-spoke skew: 50% of addresses on tier 1, 35% on
+    /// tier 2, 15% on tier 3.
+    pub fn hub_spoke(hs: &HubSpoke, seed: u64) -> Workload {
+        let weights: Vec<f64> = (0..hs.total())
+            .map(|i| hs.address_weight(NodeId(i)))
+            .collect();
+        Workload::from_weights(&weights, seed)
+    }
+
+    /// Builds from explicit per-node address-ownership weights.
+    pub fn from_weights(weights: &[f64], seed: u64) -> Workload {
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Workload {
+            rng: Xoshiro256::new(seed),
+            cumulative,
+            zipf_s: 1.05,
+        }
+    }
+
+    fn sample_node(&mut self) -> NodeId {
+        let u = self.rng.next_f64();
+        let idx = self
+            .cumulative
+            .iter()
+            .position(|&c| u <= c)
+            .unwrap_or(self.cumulative.len() - 1);
+        NodeId(idx as u32)
+    }
+
+    /// Draws the next payment (source ≠ destination).
+    pub fn next_payment(&mut self) -> Payment {
+        loop {
+            let from = self.sample_node();
+            let to = self.sample_node();
+            if from == to {
+                continue;
+            }
+            // Zipf-skewed value in (0, MAX_VALUE]: most payments small,
+            // like the filtered Bitcoin history.
+            let bucket = self.rng.next_zipf(100, self.zipf_s) + 1;
+            let value = (MAX_VALUE / 100).max(1) * bucket;
+            return Payment { from, to, value };
+        }
+    }
+
+    /// Draws `count` payments.
+    pub fn take(&mut self, count: usize) -> Vec<Payment> {
+        (0..count).map(|_| self.next_payment()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_self_payments() {
+        let mut w = Workload::uniform(5, 1);
+        for p in w.take(1000) {
+            assert_ne!(p.from, p.to);
+            assert!(p.value <= MAX_VALUE && p.value > 0);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = Workload::uniform(10, 7).take(100);
+        let b = Workload::uniform(10, 7).take(100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hub_spoke_skew_matches_tiers() {
+        let hs = HubSpoke::paper_default();
+        let mut w = Workload::hub_spoke(&hs, 3);
+        let payments = w.take(20_000);
+        let mut tier_counts = [0usize; 3];
+        for p in &payments {
+            tier_counts[hs.tier_of(p.from) as usize - 1] += 1;
+        }
+        let total: usize = tier_counts.iter().sum();
+        let share1 = tier_counts[0] as f64 / total as f64;
+        let share3 = tier_counts[2] as f64 / total as f64;
+        // Tier 1 issues about half the payments; tier 3 about 15%.
+        assert!((0.45..0.55).contains(&share1), "{share1}");
+        assert!((0.10..0.20).contains(&share3), "{share3}");
+    }
+
+    #[test]
+    fn uniform_is_roughly_even() {
+        let mut w = Workload::uniform(4, 5);
+        let mut counts = [0usize; 4];
+        for p in w.take(8000) {
+            counts[p.from.0 as usize] += 1;
+        }
+        for c in counts {
+            assert!((1500..2500).contains(&c), "{c}");
+        }
+    }
+}

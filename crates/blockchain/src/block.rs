@@ -1,0 +1,80 @@
+//! Blocks: ordered batches of confirmed transactions.
+
+use crate::tx::{Transaction, TxId};
+use teechain_crypto::sha256::{sha256_concat, Sha256};
+use teechain_util::codec::Encode;
+
+/// A mined block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Height in the chain (genesis is 0).
+    pub height: u64,
+    /// Hash of the previous block (zero for genesis).
+    pub prev: [u8; 32],
+    /// Confirmed transactions, in order.
+    pub txs: Vec<Transaction>,
+}
+
+impl Block {
+    /// The block hash: commits to the height, predecessor and all txids.
+    pub fn hash(&self) -> [u8; 32] {
+        let mut h = Sha256::new();
+        h.update(&self.height.to_le_bytes());
+        h.update(&self.prev);
+        for tx in &self.txs {
+            h.update(&tx.txid().0);
+        }
+        h.finalize()
+    }
+
+    /// A Merkle-style digest over full transaction bytes (used only by
+    /// tests asserting serialization stability).
+    pub fn content_digest(&self) -> [u8; 32] {
+        let encoded: Vec<Vec<u8>> = self.txs.iter().map(|t| t.encode_to_vec()).collect();
+        let parts: Vec<&[u8]> = encoded.iter().map(|v| v.as_slice()).collect();
+        sha256_concat(&parts)
+    }
+
+    /// The txids in this block.
+    pub fn txids(&self) -> Vec<TxId> {
+        self.txs.iter().map(|t| t.txid()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::ScriptPubKey;
+    use crate::tx::TxOut;
+    use teechain_crypto::schnorr::Keypair;
+
+    fn block(height: u64, value: u64) -> Block {
+        Block {
+            height,
+            prev: [0; 32],
+            txs: vec![Transaction {
+                inputs: vec![],
+                outputs: vec![TxOut {
+                    value,
+                    script: ScriptPubKey::P2pk(Keypair::from_seed(&[1; 32]).pk),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn hash_commits_to_height() {
+        assert_ne!(block(0, 5).hash(), block(1, 5).hash());
+    }
+
+    #[test]
+    fn hash_commits_to_contents() {
+        assert_ne!(block(0, 5).hash(), block(0, 6).hash());
+    }
+
+    #[test]
+    fn txids_listed() {
+        let b = block(0, 5);
+        assert_eq!(b.txids(), vec![b.txs[0].txid()]);
+    }
+}

@@ -1,0 +1,28 @@
+//! A simulated Bitcoin-like blockchain for the Teechain reproduction.
+//!
+//! Teechain requires only *asynchronous* access to an append-only ledger
+//! with (i) a UTXO model, (ii) m-of-n multisignature outputs and
+//! (iii) conflict (double-spend) rejection. This crate provides exactly
+//! that, plus the pieces the evaluation needs:
+//!
+//! * [`tx`] — transactions, signature hashes, witness verification.
+//! * [`script`] — output conditions (pay-to-public-key and m-of-n multisig).
+//! * [`block`], [`chain`] — blocks, the UTXO set, validation and mining.
+//! * [`mempool`] — pending transactions with an *adversarial* policy that
+//!   can delay or censor transactions, modelling the write-latency attacks
+//!   ([54, 58, 27, 29, 16, 28] in the paper) that motivate asynchronous
+//!   blockchain access.
+//! * [`cost`] — the §7.5 blockchain-cost metric (public-key/signature pairs).
+
+pub mod block;
+pub mod chain;
+pub mod cost;
+pub mod mempool;
+pub mod script;
+pub mod tx;
+
+pub use block::Block;
+pub use chain::{Chain, SubmitError, ValidationError};
+pub use mempool::AdversaryPolicy;
+pub use script::ScriptPubKey;
+pub use tx::{OutPoint, Transaction, TxId, TxIn, TxOut};

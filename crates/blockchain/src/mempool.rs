@@ -1,0 +1,220 @@
+//! The pending-transaction pool, including the adversarial write-delay
+//! policies that break synchronous-access payment networks.
+//!
+//! The paper's core observation (§2.2) is that blockchains provide only
+//! best-effort write latency: spam floods, fee spikes and miner censorship
+//! can delay a transaction beyond any bound τ. [`AdversaryPolicy`] models
+//! exactly that capability so the evaluation can demonstrate the attack
+//! against the Lightning baseline and its irrelevance to Teechain.
+
+use crate::tx::{Transaction, TxId};
+use std::collections::HashSet;
+
+/// How the (adversarial) miner treats submitted transactions.
+#[derive(Debug, Clone, Default)]
+pub enum AdversaryPolicy {
+    /// Transactions are mined in the next block.
+    #[default]
+    Honest,
+    /// Every transaction waits `blocks` blocks before becoming eligible
+    /// (congestion / fee-spike model).
+    DelayAll {
+        /// Number of blocks each transaction is stalled.
+        blocks: u64,
+    },
+    /// Specific transactions are never mined while this policy is active
+    /// (targeted censorship, e.g. of a Lightning justice transaction).
+    Censor {
+        /// The victim transactions.
+        targets: HashSet<TxId>,
+    },
+    /// Specific transactions are stalled for `blocks` blocks.
+    DelayTargets {
+        /// The victim transactions.
+        targets: HashSet<TxId>,
+        /// The stall length.
+        blocks: u64,
+    },
+}
+
+fn eligible(policy: &AdversaryPolicy, p: &PendingTx, height: u64) -> bool {
+    match policy {
+        AdversaryPolicy::Honest => true,
+        AdversaryPolicy::DelayAll { blocks } => height >= p.submitted_at + blocks,
+        AdversaryPolicy::Censor { targets } => !targets.contains(&p.txid),
+        AdversaryPolicy::DelayTargets { targets, blocks } => {
+            !targets.contains(&p.txid) || height >= p.submitted_at + blocks
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct PendingTx {
+    pub tx: Transaction,
+    pub txid: TxId,
+    pub submitted_at: u64,
+}
+
+/// The pool of transactions awaiting confirmation.
+#[derive(Debug, Default)]
+pub struct Mempool {
+    pending: Vec<PendingTx>,
+    policy: AdversaryPolicy,
+}
+
+impl Mempool {
+    /// Installs an adversary policy.
+    pub fn set_policy(&mut self, policy: AdversaryPolicy) {
+        self.policy = policy;
+    }
+
+    /// The current policy.
+    pub fn policy(&self) -> &AdversaryPolicy {
+        &self.policy
+    }
+
+    /// True if a pending transaction conflicts with `tx`. Transactions
+    /// the adversary is actively suppressing do not count: a censoring
+    /// miner will happily accept a conflicting transaction over the one
+    /// it is censoring (this is what makes the delay attack profitable).
+    pub fn has_conflict(&self, tx: &Transaction) -> bool {
+        self.pending
+            .iter()
+            .filter(|p| !self.suppressed(&p.txid))
+            .any(|p| p.tx.conflicts_with(tx))
+    }
+
+    fn suppressed(&self, txid: &TxId) -> bool {
+        match &self.policy {
+            AdversaryPolicy::Censor { targets } | AdversaryPolicy::DelayTargets { targets, .. } => {
+                targets.contains(txid)
+            }
+            _ => false,
+        }
+    }
+
+    /// True if `txid` is waiting in the pool.
+    pub fn contains(&self, txid: &TxId) -> bool {
+        self.pending.iter().any(|p| p.txid == *txid)
+    }
+
+    /// Number of pending transactions.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True if no transactions are pending.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    pub(crate) fn insert(&mut self, tx: Transaction, height: u64) -> TxId {
+        let txid = tx.txid();
+        self.pending.push(PendingTx {
+            tx,
+            txid,
+            submitted_at: height,
+        });
+        txid
+    }
+
+    /// Removes and returns the transactions eligible for a block mined at
+    /// `height`, in submission order.
+    pub(crate) fn drain_eligible(&mut self, height: u64) -> Vec<Transaction> {
+        let pending = std::mem::take(&mut self.pending);
+        let mut taken = Vec::new();
+        for p in pending {
+            if eligible(&self.policy, &p, height) {
+                taken.push(p.tx);
+            } else {
+                self.pending.push(p);
+            }
+        }
+        taken
+    }
+
+    /// Drops pending transactions that conflict with `confirmed` (they can
+    /// never be mined once a conflicting spend is on chain).
+    pub(crate) fn evict_conflicts(&mut self, confirmed: &Transaction) -> Vec<TxId> {
+        let mut evicted = Vec::new();
+        self.pending.retain(|p| {
+            if p.tx.conflicts_with(confirmed) {
+                evicted.push(p.txid);
+                false
+            } else {
+                true
+            }
+        });
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::ScriptPubKey;
+    use crate::tx::{OutPoint, TxIn, TxOut};
+    use teechain_crypto::schnorr::Keypair;
+
+    fn tx(input_tag: u8, value: u64) -> Transaction {
+        Transaction {
+            inputs: vec![TxIn {
+                prevout: OutPoint {
+                    txid: TxId([input_tag; 32]),
+                    vout: 0,
+                },
+                witness: vec![],
+            }],
+            outputs: vec![TxOut {
+                value,
+                script: ScriptPubKey::P2pk(Keypair::from_seed(&[1; 32]).pk),
+            }],
+        }
+    }
+
+    #[test]
+    fn honest_drains_everything() {
+        let mut m = Mempool::default();
+        m.insert(tx(1, 1), 0);
+        m.insert(tx(2, 2), 0);
+        assert_eq!(m.drain_eligible(1).len(), 2);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn delay_all_stalls() {
+        let mut m = Mempool::default();
+        m.set_policy(AdversaryPolicy::DelayAll { blocks: 3 });
+        m.insert(tx(1, 1), 5);
+        assert!(m.drain_eligible(6).is_empty());
+        assert!(m.drain_eligible(7).is_empty());
+        assert_eq!(m.drain_eligible(8).len(), 1);
+    }
+
+    #[test]
+    fn censorship_is_indefinite_and_targeted() {
+        let mut m = Mempool::default();
+        let victim = tx(1, 1);
+        let vid = victim.txid();
+        m.set_policy(AdversaryPolicy::Censor {
+            targets: [vid].into(),
+        });
+        m.insert(victim, 0);
+        m.insert(tx(2, 2), 0);
+        let mined = m.drain_eligible(1000);
+        assert_eq!(mined.len(), 1);
+        assert!(m.contains(&vid));
+    }
+
+    #[test]
+    fn conflict_eviction() {
+        let mut m = Mempool::default();
+        let a = tx(1, 1);
+        let mut b = tx(1, 2); // spends the same outpoint as a
+        b.outputs[0].value = 2;
+        let bid = m.insert(b, 0);
+        let evicted = m.evict_conflicts(&a);
+        assert_eq!(evicted, vec![bid]);
+        assert!(m.is_empty());
+    }
+}

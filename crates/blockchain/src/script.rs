@@ -1,0 +1,230 @@
+//! Output spending conditions.
+
+use teechain_crypto::schnorr::{self, PublicKey, Signature};
+use teechain_util::codec::{Decode, Encode, Reader, WireError};
+
+/// The condition under which a transaction output may be spent.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ScriptPubKey {
+    /// Spendable with one signature from the given key.
+    P2pk(PublicKey),
+    /// Spendable with `m` signatures from distinct keys in `keys`
+    /// (the paper's m-out-of-n multisignature address, §3).
+    Multisig {
+        /// Threshold number of signatures.
+        m: u8,
+        /// The committee's public keys.
+        keys: Vec<PublicKey>,
+    },
+    /// A Lightning-style revocable output: `owner` may spend after the
+    /// output has `delay_blocks` confirmations (a CSV relative timelock);
+    /// the `revocation` key may spend immediately (the justice path).
+    /// Used only by the Lightning baseline — Teechain never needs
+    /// timelocks, which is the whole point of the paper.
+    Revocable {
+        /// The delayed owner key.
+        owner: PublicKey,
+        /// Relative timelock in blocks (the synchrony parameter τ).
+        delay_blocks: u64,
+        /// The immediate revocation key.
+        revocation: PublicKey,
+    },
+}
+
+impl ScriptPubKey {
+    /// Builds a multisig script, validating the threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is zero or exceeds the number of keys, or if keys
+    /// repeat (a repeated key would weaken the threshold).
+    pub fn multisig(m: u8, keys: Vec<PublicKey>) -> Self {
+        assert!(m >= 1 && (m as usize) <= keys.len(), "invalid threshold");
+        let mut dedup = keys.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len(), "duplicate committee key");
+        ScriptPubKey::Multisig { m, keys }
+    }
+
+    /// Number of public keys this script places on the chain.
+    pub fn pubkey_count(&self) -> usize {
+        match self {
+            ScriptPubKey::P2pk(_) => 1,
+            ScriptPubKey::Multisig { keys, .. } => keys.len(),
+            ScriptPubKey::Revocable { .. } => 2,
+        }
+    }
+
+    /// Number of signatures required to spend.
+    pub fn required_sigs(&self) -> usize {
+        match self {
+            ScriptPubKey::P2pk(_) => 1,
+            ScriptPubKey::Multisig { m, .. } => *m as usize,
+            ScriptPubKey::Revocable { .. } => 1,
+        }
+    }
+
+    /// Verifies a witness against `sighash`. `confirmations` is the number
+    /// of confirmations of the *spent output* (for relative timelocks).
+    ///
+    /// For multisig, each signature must verify under a *distinct* key from
+    /// the committee; extra signatures beyond `m` are permitted but
+    /// unnecessary.
+    pub fn verify_witness_at(
+        &self,
+        sighash: &[u8; 32],
+        witness: &[Signature],
+        confirmations: u64,
+    ) -> bool {
+        match self {
+            ScriptPubKey::P2pk(pk) => witness
+                .iter()
+                .any(|sig| schnorr::verify(pk, sighash, sig)),
+            ScriptPubKey::Revocable {
+                owner,
+                delay_blocks,
+                revocation,
+            } => witness.iter().any(|sig| {
+                schnorr::verify(revocation, sighash, sig)
+                    || (confirmations >= *delay_blocks && schnorr::verify(owner, sighash, sig))
+            }),
+            ScriptPubKey::Multisig { m, keys } => {
+                let mut used = vec![false; keys.len()];
+                let mut valid = 0usize;
+                for sig in witness {
+                    for (i, key) in keys.iter().enumerate() {
+                        if !used[i] && schnorr::verify(key, sighash, sig) {
+                            used[i] = true;
+                            valid += 1;
+                            break;
+                        }
+                    }
+                    if valid >= *m as usize {
+                        return true;
+                    }
+                }
+                false
+            }
+        }
+    }
+
+    /// Verifies a witness ignoring timelocks (legacy helper for scripts
+    /// without delays).
+    pub fn verify_witness(&self, sighash: &[u8; 32], witness: &[Signature]) -> bool {
+        self.verify_witness_at(sighash, witness, u64::MAX)
+    }
+}
+
+impl Encode for ScriptPubKey {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ScriptPubKey::P2pk(pk) => {
+                0u8.encode(out);
+                pk.encode(out);
+            }
+            ScriptPubKey::Multisig { m, keys } => {
+                1u8.encode(out);
+                m.encode(out);
+                keys.encode(out);
+            }
+            ScriptPubKey::Revocable {
+                owner,
+                delay_blocks,
+                revocation,
+            } => {
+                2u8.encode(out);
+                owner.encode(out);
+                delay_blocks.encode(out);
+                revocation.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for ScriptPubKey {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read::<u8>()? {
+            0 => Ok(ScriptPubKey::P2pk(r.read()?)),
+            1 => {
+                let m: u8 = r.read()?;
+                let keys: Vec<PublicKey> = r.read()?;
+                if m == 0 || (m as usize) > keys.len() {
+                    return Err(WireError::InvalidValue("multisig threshold"));
+                }
+                Ok(ScriptPubKey::Multisig { m, keys })
+            }
+            2 => Ok(ScriptPubKey::Revocable {
+                owner: r.read()?,
+                delay_blocks: r.read()?,
+                revocation: r.read()?,
+            }),
+            _ => Err(WireError::InvalidValue("script tag")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teechain_crypto::schnorr::Keypair;
+
+    fn kp(seed: u8) -> Keypair {
+        Keypair::from_seed(&[seed; 32])
+    }
+
+    #[test]
+    fn p2pk_verifies_correct_signer() {
+        let k = kp(1);
+        let script = ScriptPubKey::P2pk(k.pk);
+        let sighash = [7u8; 32];
+        assert!(script.verify_witness(&sighash, &[k.sign(&sighash)]));
+        assert!(!script.verify_witness(&sighash, &[kp(2).sign(&sighash)]));
+        assert!(!script.verify_witness(&sighash, &[]));
+    }
+
+    #[test]
+    fn multisig_two_of_three() {
+        let (a, b, c) = (kp(1), kp(2), kp(3));
+        let script = ScriptPubKey::multisig(2, vec![a.pk, b.pk, c.pk]);
+        let h = [9u8; 32];
+        assert!(script.verify_witness(&h, &[a.sign(&h), c.sign(&h)]));
+        assert!(script.verify_witness(&h, &[c.sign(&h), b.sign(&h)]));
+        // One signature is not enough.
+        assert!(!script.verify_witness(&h, &[a.sign(&h)]));
+        // The same signature twice must not count as two signers.
+        assert!(!script.verify_witness(&h, &[a.sign(&h), a.sign(&h)]));
+        // A foreign signature contributes nothing.
+        assert!(!script.verify_witness(&h, &[a.sign(&h), kp(4).sign(&h)]));
+    }
+
+    #[test]
+    fn multisig_full_threshold() {
+        let ks: Vec<Keypair> = (1..=4).map(kp).collect();
+        let script = ScriptPubKey::multisig(4, ks.iter().map(|k| k.pk).collect());
+        let h = [1u8; 32];
+        let wit: Vec<_> = ks.iter().map(|k| k.sign(&h)).collect();
+        assert!(script.verify_witness(&h, &wit));
+        assert!(!script.verify_witness(&h, &wit[..3]));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid threshold")]
+    fn zero_threshold_rejected() {
+        let _ = ScriptPubKey::multisig(0, vec![kp(1).pk]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate committee key")]
+    fn duplicate_keys_rejected() {
+        let k = kp(1);
+        let _ = ScriptPubKey::multisig(1, vec![k.pk, k.pk]);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let script = ScriptPubKey::multisig(2, vec![kp(1).pk, kp(2).pk, kp(3).pk]);
+        let decoded = ScriptPubKey::decode_exact(&script.encode_to_vec()).unwrap();
+        assert_eq!(decoded, script);
+    }
+}

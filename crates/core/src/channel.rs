@@ -1,0 +1,216 @@
+//! Payment channel state (Alg. 1's per-channel variables).
+
+use crate::types::{ChannelId, MultihopStage, RouteId};
+use teechain_blockchain::OutPoint;
+use teechain_crypto::schnorr::PublicKey;
+use teechain_util::codec::{Decode, Encode, Reader, WireError};
+
+/// The state of one bidirectional payment channel, as held inside a TEE.
+#[derive(Debug, Clone)]
+pub struct Channel {
+    /// Channel identifier.
+    pub id: ChannelId,
+    /// Remote TEE identity key (`c_remote_K`).
+    pub remote: PublicKey,
+    /// Our on-chain settlement address (`c_my_add`).
+    pub my_settlement: PublicKey,
+    /// Remote's settlement address (`c_remote_add`).
+    pub remote_settlement: PublicKey,
+    /// `c_is_open`: both sides acknowledged.
+    pub is_open: bool,
+    /// Our balance (`c_my_bal`).
+    pub my_bal: u64,
+    /// Remote balance (`c_remote_bal`).
+    pub remote_bal: u64,
+    /// Our associated deposits (`c_my_deps`), sorted.
+    pub my_deps: Vec<OutPoint>,
+    /// Remote associated deposits (`c_remote_deps`), sorted.
+    pub remote_deps: Vec<OutPoint>,
+    /// Multi-hop stage of this channel (Alg. 2's `c_stage`).
+    pub stage: MultihopStage,
+    /// The in-flight route locking this channel, if any.
+    pub route: Option<RouteId>,
+    /// Deposits we proposed to dissociate and await the remote's ack for.
+    pub pending_dissoc: Vec<OutPoint>,
+    /// True once settled/closed (terminal).
+    pub closed: bool,
+}
+
+impl Channel {
+    /// Creates a fresh, not-yet-open channel.
+    pub fn new(
+        id: ChannelId,
+        remote: PublicKey,
+        my_settlement: PublicKey,
+        remote_settlement: PublicKey,
+    ) -> Self {
+        Channel {
+            id,
+            remote,
+            my_settlement,
+            remote_settlement,
+            is_open: false,
+            my_bal: 0,
+            remote_bal: 0,
+            my_deps: Vec::new(),
+            remote_deps: Vec::new(),
+            stage: MultihopStage::Idle,
+            route: None,
+            pending_dissoc: Vec::new(),
+            closed: false,
+        }
+    }
+
+    /// True if the channel can process payments and deposit operations.
+    pub fn usable(&self) -> bool {
+        self.is_open && !self.closed
+    }
+
+    /// True if a multi-hop payment currently locks this channel.
+    pub fn locked(&self) -> bool {
+        self.stage != MultihopStage::Idle
+    }
+
+    /// Total value of all associated deposits, by the invariant
+    /// `my_bal + remote_bal == Σ deposits` (Proposition 2 of the paper's
+    /// proof, maintained by construction here).
+    pub fn total_balance(&self) -> u64 {
+        self.my_bal + self.remote_bal
+    }
+
+    /// All deposit outpoints in deterministic order (ours then remote's).
+    pub fn all_deposits(&self) -> Vec<OutPoint> {
+        let mut all: Vec<OutPoint> = self
+            .my_deps
+            .iter()
+            .chain(self.remote_deps.iter())
+            .copied()
+            .collect();
+        all.sort();
+        all
+    }
+
+    /// The view of this channel from the remote's perspective (used by
+    /// committee members replicating a peer's state in tests).
+    pub fn flipped(&self) -> Channel {
+        Channel {
+            id: self.id,
+            remote: self.remote, // Identity of the counterparty is contextual.
+            my_settlement: self.remote_settlement,
+            remote_settlement: self.my_settlement,
+            is_open: self.is_open,
+            my_bal: self.remote_bal,
+            remote_bal: self.my_bal,
+            my_deps: self.remote_deps.clone(),
+            remote_deps: self.my_deps.clone(),
+            stage: self.stage,
+            route: self.route,
+            pending_dissoc: Vec::new(),
+            closed: self.closed,
+        }
+    }
+}
+
+// Wire form: `route: Option<RouteId>` and `stage` included so replicas see
+// multi-hop context; `pending_dissoc` included for exact failover.
+impl Encode for Channel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.remote.encode(out);
+        self.my_settlement.encode(out);
+        self.remote_settlement.encode(out);
+        self.is_open.encode(out);
+        self.my_bal.encode(out);
+        self.remote_bal.encode(out);
+        self.my_deps.encode(out);
+        self.remote_deps.encode(out);
+        self.stage.encode(out);
+        self.route.encode(out);
+        self.pending_dissoc.encode(out);
+        self.closed.encode(out);
+    }
+}
+
+impl Decode for Channel {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(Channel {
+            id: r.read()?,
+            remote: r.read()?,
+            my_settlement: r.read()?,
+            remote_settlement: r.read()?,
+            is_open: r.read()?,
+            my_bal: r.read()?,
+            remote_bal: r.read()?,
+            my_deps: r.read()?,
+            remote_deps: r.read()?,
+            stage: r.read()?,
+            route: r.read()?,
+            pending_dissoc: r.read()?,
+            closed: r.read()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teechain_blockchain::TxId;
+    use teechain_crypto::schnorr::Keypair;
+
+    fn chan() -> Channel {
+        let r = Keypair::from_seed(&[1; 32]).pk;
+        let a = Keypair::from_seed(&[2; 32]).pk;
+        let b = Keypair::from_seed(&[3; 32]).pk;
+        Channel::new(ChannelId::from_label("t"), r, a, b)
+    }
+
+    fn op(n: u8) -> OutPoint {
+        OutPoint {
+            txid: TxId([n; 32]),
+            vout: 0,
+        }
+    }
+
+    #[test]
+    fn fresh_channel_not_usable() {
+        let c = chan();
+        assert!(!c.usable());
+        assert!(!c.locked());
+        assert_eq!(c.total_balance(), 0);
+    }
+
+    #[test]
+    fn deposits_sorted_deterministically() {
+        let mut c = chan();
+        c.my_deps = vec![op(9), op(1)];
+        c.remote_deps = vec![op(5)];
+        let all = c.all_deposits();
+        assert_eq!(all, vec![op(1), op(5), op(9)]);
+    }
+
+    #[test]
+    fn flipped_swaps_perspective() {
+        let mut c = chan();
+        c.my_bal = 10;
+        c.remote_bal = 20;
+        c.my_deps = vec![op(1)];
+        let f = c.flipped();
+        assert_eq!(f.my_bal, 20);
+        assert_eq!(f.remote_bal, 10);
+        assert_eq!(f.remote_deps, vec![op(1)]);
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        let mut c = chan();
+        c.my_bal = 7;
+        c.stage = MultihopStage::Lock;
+        c.route = Some(RouteId([4; 32]));
+        c.my_deps = vec![op(2)];
+        let d = Channel::decode_exact(&c.encode_to_vec()).unwrap();
+        assert_eq!(d.my_bal, 7);
+        assert_eq!(d.stage, MultihopStage::Lock);
+        assert_eq!(d.route, Some(RouteId([4; 32])));
+        assert_eq!(d.my_deps, vec![op(2)]);
+    }
+}

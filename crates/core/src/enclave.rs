@@ -1,0 +1,1464 @@
+//! The Teechain enclave program: state, ecall interface and the payment
+//! channel protocol (Alg. 1).
+//!
+//! The enclave is a *sans-io* state machine: every command or delivered
+//! message produces a list of [`Effect`]s (messages to send, transactions
+//! to broadcast, notifications for the host). The host performs all actual
+//! I/O — it is untrusted, so nothing it does with the effects can violate
+//! balance correctness; at worst it loses liveness, which the settlement
+//! path recovers from.
+//!
+//! Multi-hop payments (Alg. 2) live in [`crate::multihop`]; chain
+//! replication and committees (Alg. 3, §6) in [`crate::replication`].
+
+use crate::channel::Channel;
+use crate::deposit::{DepositBook, DepositStatus};
+use crate::msg::{ProtocolMsg, StateDelta, WireMsg};
+use crate::replication::{Replication, SigCollect};
+use crate::session::{self, Session};
+use crate::settle;
+use crate::types::{ChannelId, Deposit, ProtocolError, RouteId};
+use std::collections::HashMap;
+use teechain_crypto::schnorr::{Keypair, PrivateKey, PublicKey, Signature};
+use teechain_tee::{EnclaveEnv, EnclaveProgram, Measurement};
+use teechain_util::codec::{Decode, Encode};
+
+/// Static enclave configuration, fixed at launch.
+#[derive(Clone)]
+pub struct EnclaveConfig {
+    /// Manufacturer root key for verifying peer attestation quotes.
+    pub trust_root: PublicKey,
+    /// The measurement peers must present (same build of this program).
+    pub measurement: Measurement,
+    /// §6.2 persistent-storage mode: every state change requires a
+    /// (throttled) monotonic counter increment and emits a sealed blob.
+    pub persist: bool,
+}
+
+/// Ecalls accepted by the Teechain enclave.
+#[derive(Clone)]
+pub enum Command {
+    /// Returns this enclave's identity key via [`HostEvent::Identity`].
+    GetIdentity,
+    /// Initiates a secure session with a remote enclave (identity key
+    /// exchanged out-of-band, §4.1).
+    StartSession {
+        /// Remote enclave identity.
+        remote: PublicKey,
+    },
+    /// Delivers a raw network message.
+    Deliver {
+        /// Encoded [`WireMsg`].
+        wire: Vec<u8>,
+    },
+    /// Generates a fresh blockchain address inside the TEE (Alg. 1
+    /// `newAddr`); returned via [`HostEvent::NewAddress`].
+    NewAddress,
+    /// Builds an m-of-n committee spec for a new deposit: a fresh
+    /// per-deposit key plus every chain member's blockchain key (§6.1).
+    /// Returned via [`HostEvent::CommitteeAddress`].
+    NewCommitteeAddress {
+        /// Signature threshold `m` (1 ≤ m ≤ chain length + 1).
+        m: u8,
+    },
+    /// Opens a payment channel (Alg. 1 `newPayChannel`).
+    NewChannel {
+        /// Channel id (unique per peer pair).
+        id: ChannelId,
+        /// Remote enclave identity.
+        remote: PublicKey,
+        /// Our on-chain settlement address.
+        my_settlement: PublicKey,
+    },
+    /// Registers an on-chain deposit paying into an address (set) whose
+    /// first committee key this enclave controls (Alg. 1 `newDeposit`).
+    NewDeposit {
+        /// The deposit.
+        deposit: Deposit,
+    },
+    /// Releases a free deposit back to an address (Alg. 1
+    /// `releaseDeposit`).
+    ReleaseDeposit {
+        /// The deposit to release.
+        outpoint: teechain_blockchain::OutPoint,
+        /// Payout address.
+        to: PublicKey,
+    },
+    /// Asks `remote` to approve our deposit (Alg. 1 `approveMyDeposit`).
+    ApproveDeposit {
+        /// The counterparty.
+        remote: PublicKey,
+        /// Our free deposit.
+        outpoint: teechain_blockchain::OutPoint,
+    },
+    /// Host's answer to [`HostEvent::VerifyDeposit`]: the deposit is (not)
+    /// confirmed on chain with the host's required confirmations.
+    DepositVerified {
+        /// The deposit owner.
+        remote: PublicKey,
+        /// The deposit.
+        outpoint: teechain_blockchain::OutPoint,
+        /// Whether the host found it valid.
+        valid: bool,
+    },
+    /// Associates an approved free deposit with a channel (Alg. 1
+    /// `associateMyDeposit`).
+    AssociateDeposit {
+        /// The channel.
+        id: ChannelId,
+        /// Our deposit.
+        outpoint: teechain_blockchain::OutPoint,
+    },
+    /// Starts dissociating a deposit (Alg. 1 `dissociateDeposit`).
+    DissociateDeposit {
+        /// The channel.
+        id: ChannelId,
+        /// The deposit.
+        outpoint: teechain_blockchain::OutPoint,
+    },
+    /// Sends a payment (Alg. 1 `pay`); `count` logical payments may be
+    /// batched into one message (§7 client-side batching).
+    Pay {
+        /// The channel.
+        id: ChannelId,
+        /// Total amount.
+        amount: u64,
+        /// Batched logical payment count (≥1).
+        count: u32,
+    },
+    /// Settles a channel (Alg. 1 `settle`): off-chain if balances are
+    /// neutral, otherwise generates a settlement transaction.
+    Settle {
+        /// The channel.
+        id: ChannelId,
+    },
+    /// Issues a multi-hop payment (Alg. 2 `payMultihop`); this enclave is
+    /// p1, `hops` are p1..pn identities, `channels` the path's channels.
+    PayMultihop {
+        /// Route instance id (fresh).
+        route: RouteId,
+        /// Path identities p1..pn (including ourselves first).
+        hops: Vec<PublicKey>,
+        /// Path channels (len = hops-1).
+        channels: Vec<ChannelId>,
+        /// Amount.
+        amount: u64,
+    },
+    /// Prematurely terminates a multi-hop payment (Alg. 2 `eject`).
+    Eject {
+        /// The route.
+        route: RouteId,
+    },
+    /// Ejects with a proof of premature termination: a *confirmed*
+    /// conflicting settlement placed by another participant (Alg. 2
+    /// `eject(popt)`). The host asserts confirmation; the enclave verifies
+    /// the conflict structure.
+    EjectWithPopt {
+        /// The route.
+        route: RouteId,
+        /// The confirmed conflicting transaction.
+        popt: teechain_blockchain::Transaction,
+    },
+    /// Attaches a backup TEE: we become its replication upstream
+    /// (Alg. 3 `assignAsBackupFor`, inverted: command goes to the chain
+    /// member gaining a backup). Requires an established session.
+    AttachBackup {
+        /// The backup's identity key.
+        backup: PublicKey,
+    },
+    /// Force-freeze read of replicated state (issued on a backup, §6):
+    /// freezes the chain and reports replica summary via
+    /// [`HostEvent::ReplicaState`].
+    ReadReplica,
+    /// Generates settlement transactions for every replicated channel (the
+    /// failover path after the primary crashed).
+    SettleFromReplica,
+    /// Co-signs a settlement produced elsewhere in our committee, after
+    /// verifying it against replicated state (§6.1). Responds via
+    /// [`HostEvent::CoSignResult`].
+    CoSign {
+        /// Request id to echo.
+        req_id: u64,
+        /// The transaction to co-sign.
+        tx: teechain_blockchain::Transaction,
+    },
+    /// Merges co-signatures collected by the host into a pending
+    /// settlement; broadcasts when thresholds are met.
+    AddCoSigs {
+        /// The request id from [`HostEvent::NeedCoSign`].
+        req_id: u64,
+        /// `(input index, signature)` pairs from one member.
+        sigs: Vec<(u32, Signature)>,
+    },
+    /// Restores state from a sealed blob after a crash (§6.2).
+    RestoreSealed {
+        /// Blob previously emitted via [`Effect::Persist`].
+        blob: Vec<u8>,
+    },
+    /// Re-dispatches messages stashed while the monotonic counter was
+    /// throttled (persistent mode, §6.2). The host calls this at the
+    /// `ready_at` time from [`ProtocolError::CounterThrottled`].
+    RetryPending,
+}
+
+/// Notifications from the enclave to its host.
+#[derive(Debug, Clone)]
+pub enum HostEvent {
+    /// Our identity key (answer to [`Command::GetIdentity`]).
+    Identity(PublicKey),
+    /// A fresh in-enclave blockchain address.
+    NewAddress(PublicKey),
+    /// A committee spec for funding a new m-of-n deposit (§6.1).
+    CommitteeAddress(crate::types::CommitteeSpec),
+    /// Secure session established with `0`.
+    SessionEstablished(PublicKey),
+    /// Channel fully open.
+    ChannelOpen(ChannelId),
+    /// The host must check that a remote deposit is confirmed on chain and
+    /// answer with [`Command::DepositVerified`].
+    VerifyDeposit {
+        /// Deposit owner.
+        remote: PublicKey,
+        /// The deposit to verify.
+        deposit: Deposit,
+    },
+    /// A remote approved our deposit; it may now be associated.
+    DepositApproved {
+        /// The counterparty.
+        remote: PublicKey,
+        /// Our deposit.
+        outpoint: teechain_blockchain::OutPoint,
+    },
+    /// Deposit association completed on our side.
+    DepositAssociated {
+        /// Channel.
+        id: ChannelId,
+        /// Deposit.
+        outpoint: teechain_blockchain::OutPoint,
+    },
+    /// Deposit dissociation acknowledged; deposit is free again.
+    DepositDissociated {
+        /// Channel.
+        id: ChannelId,
+        /// Deposit.
+        outpoint: teechain_blockchain::OutPoint,
+    },
+    /// An incoming payment was applied.
+    PaymentReceived {
+        /// Channel.
+        id: ChannelId,
+        /// Amount.
+        amount: u64,
+        /// Batched count.
+        count: u32,
+    },
+    /// Our payment was acknowledged (the paper's latency endpoint).
+    PaymentAcked {
+        /// Channel.
+        id: ChannelId,
+        /// Amount.
+        amount: u64,
+        /// Batched count.
+        count: u32,
+    },
+    /// A payment we sent was refused (channel locked at the remote);
+    /// balances were rolled back. Retry later.
+    PaymentNacked {
+        /// Channel.
+        id: ChannelId,
+        /// Amount rolled back.
+        amount: u64,
+        /// Batched count.
+        count: u32,
+    },
+    /// Channel settled cooperatively off-chain; deposits are free.
+    SettledOffChain(ChannelId),
+    /// A settlement transaction is ready and was broadcast.
+    SettlementBroadcast {
+        /// Channel (or route) context.
+        id: ChannelId,
+        /// The settlement txid.
+        txid: teechain_blockchain::TxId,
+    },
+    /// A multi-hop payment completed end-to-end (we are p1).
+    MultihopComplete {
+        /// The route.
+        route: RouteId,
+        /// Amount delivered.
+        amount: u64,
+    },
+    /// A multi-hop payment failed at lock stage and was rolled back.
+    MultihopFailed {
+        /// The route.
+        route: RouteId,
+    },
+    /// An incoming multi-hop payment credited us (we are pn).
+    MultihopReceived {
+        /// The route.
+        route: RouteId,
+        /// Amount received.
+        amount: u64,
+    },
+    /// A settlement needs co-signatures from committee members; the host
+    /// must gather them (e.g. via node-level `SigRequest`s) and answer
+    /// with [`Command::AddCoSigs`].
+    NeedCoSign {
+        /// Request id.
+        req_id: u64,
+        /// The partially signed transaction.
+        tx: teechain_blockchain::Transaction,
+    },
+    /// Result of a [`Command::CoSign`].
+    CoSignResult {
+        /// Echoed request id.
+        req_id: u64,
+        /// Signatures granted.
+        sigs: Vec<(u32, Signature)>,
+        /// True if verification failed and signing was refused.
+        refused: bool,
+    },
+    /// A backup attached to us (we are now replicated).
+    BackupAttached(PublicKey),
+    /// Replica summary after a force-freeze read.
+    ReplicaState {
+        /// Number of replicated channels.
+        channels: usize,
+        /// Number of replicated deposits.
+        deposits: usize,
+        /// Replication updates applied.
+        applied_seq: u64,
+    },
+    /// This enclave froze (force-freeze tripped or Byzantine suspicion).
+    Frozen,
+    /// More stashed messages are waiting on the monotonic counter; call
+    /// [`Command::RetryPending`] at the given time (ns).
+    RetryAt(u64),
+}
+
+/// Effects the host must carry out.
+#[derive(Debug, Clone)]
+pub enum Effect {
+    /// Send `wire` to the node operating the enclave with identity `to`.
+    Send {
+        /// Destination enclave identity.
+        to: PublicKey,
+        /// Encoded [`WireMsg`].
+        wire: Vec<u8>,
+    },
+    /// Broadcast a transaction to the blockchain.
+    Broadcast(teechain_blockchain::Transaction),
+    /// Notify the host application.
+    Event(HostEvent),
+    /// Persist this sealed state blob (persistent-storage mode, §6.2).
+    Persist(Vec<u8>),
+}
+
+/// Result of an ecall.
+pub type Outcome = Result<Vec<Effect>, ProtocolError>;
+
+/// The Teechain enclave program state.
+pub struct TeechainEnclave {
+    pub(crate) cfg: EnclaveConfig,
+    pub(crate) identity: Option<Keypair>,
+    pub(crate) sessions: HashMap<PublicKey, Session>,
+    /// Our ephemeral private keys for in-flight handshakes.
+    pub(crate) pending_eph: HashMap<PublicKey, PrivateKey>,
+    pub(crate) channels: HashMap<ChannelId, Channel>,
+    pub(crate) book: DepositBook,
+    pub(crate) routes: HashMap<RouteId, crate::multihop::RouteState>,
+    pub(crate) rep: Replication,
+    pub(crate) sig_collects: HashMap<u64, SigCollect>,
+    pub(crate) next_req_id: u64,
+    pub(crate) frozen: bool,
+    pub(crate) counter_id: Option<usize>,
+    /// Decrypted messages stashed while the counter was throttled.
+    pub(crate) pending_msgs: std::collections::VecDeque<(PublicKey, ProtocolMsg)>,
+}
+
+impl TeechainEnclave {
+    /// Creates the program (state is empty until first ecall).
+    pub fn new(cfg: EnclaveConfig) -> Self {
+        TeechainEnclave {
+            cfg,
+            identity: None,
+            sessions: HashMap::new(),
+            pending_eph: HashMap::new(),
+            channels: HashMap::new(),
+            book: DepositBook::default(),
+            routes: HashMap::new(),
+            rep: Replication::default(),
+            sig_collects: HashMap::new(),
+            next_req_id: 0,
+            frozen: false,
+            counter_id: None,
+            pending_msgs: std::collections::VecDeque::new(),
+        }
+    }
+
+    pub(crate) fn identity(&mut self, env: &mut EnclaveEnv) -> Keypair {
+        if self.identity.is_none() {
+            let seed = env.random_bytes32();
+            self.identity = Some(Keypair::from_seed(&seed));
+        }
+        *self.identity.as_ref().expect("just set")
+    }
+
+    pub(crate) fn require_unfrozen(&self) -> Result<(), ProtocolError> {
+        if self.frozen {
+            Err(ProtocolError::Frozen)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Our monotonic counter id, reusing the device counter across enclave
+    /// restarts (hardware counters outlive the program, §6.2).
+    pub(crate) fn ensure_counter(&mut self, env: &mut EnclaveEnv) -> usize {
+        if let Some(id) = self.counter_id {
+            return id;
+        }
+        let id = if env.counter_count() > 0 {
+            0
+        } else {
+            env.create_counter(teechain_tee::counter::DEFAULT_THROTTLE_NS)
+        };
+        self.counter_id = Some(id);
+        id
+    }
+
+    /// In persistent mode, mutating operations must be able to increment
+    /// the monotonic counter *now*; otherwise they are rejected up front
+    /// so no state mutates (the host retries at `ready_at`). This is what
+    /// caps stable-storage throughput at 10 tx/s (Table 1).
+    pub(crate) fn require_counter_ready(
+        &mut self,
+        env: &mut EnclaveEnv,
+    ) -> Result<(), ProtocolError> {
+        if !self.cfg.persist {
+            return Ok(());
+        }
+        let id = self.ensure_counter(env);
+        let ready_at = env.counter_ready_at(id);
+        if env.now_ns() < ready_at {
+            return Err(ProtocolError::CounterThrottled { ready_at });
+        }
+        Ok(())
+    }
+
+    pub(crate) fn session_mut(
+        &mut self,
+        remote: &PublicKey,
+    ) -> Result<&mut Session, ProtocolError> {
+        match self.sessions.get_mut(remote) {
+            Some(s) if s.established => Ok(s),
+            _ => Err(ProtocolError::NoSession),
+        }
+    }
+
+    /// Seals `msg` for `remote` into a `Send` effect.
+    pub(crate) fn seal_to(
+        &mut self,
+        remote: &PublicKey,
+        msg: &ProtocolMsg,
+    ) -> Result<Effect, ProtocolError> {
+        let me = self.identity.as_ref().ok_or(ProtocolError::NoSession)?.pk;
+        let session = self.session_mut(remote)?;
+        let wire = session.seal(&me, msg);
+        Ok(Effect::Send {
+            to: *remote,
+            wire: wire.encode_to_vec(),
+        })
+    }
+
+    pub(crate) fn channel_mut(&mut self, id: &ChannelId) -> Result<&mut Channel, ProtocolError> {
+        self.channels
+            .get_mut(id)
+            .ok_or(ProtocolError::UnknownChannel)
+    }
+
+    pub(crate) fn stage_delta(&mut self, delta: StateDelta) {
+        self.rep.staged.push(delta);
+    }
+
+    pub(crate) fn stage_channel(&mut self, id: &ChannelId) {
+        if let Some(c) = self.channels.get(id) {
+            let boxed = Box::new(c.clone());
+            self.rep.staged.push(StateDelta::Channel(boxed));
+        }
+    }
+
+    fn next_req_id(&mut self) -> u64 {
+        self.next_req_id += 1;
+        self.next_req_id
+    }
+
+    /// Finishes a settlement: signs with every key we hold; broadcasts if
+    /// thresholds are met, otherwise opens a co-sign collection and asks
+    /// the host to gather committee signatures.
+    pub(crate) fn finish_settlement(
+        &mut self,
+        id: ChannelId,
+        mut tx: teechain_blockchain::Transaction,
+        effects: &mut Vec<Effect>,
+    ) {
+        // Sign every input with every key we can resolve: our own deposit
+        // book, keys replicated to us, and our committee chain key — a
+        // backup settling for a crashed primary needs all three (§6.1).
+        let sighash = tx.sighash();
+        for input in &mut tx.inputs {
+            let dep = self
+                .book
+                .deposit_of(&input.prevout)
+                .cloned()
+                .or_else(|| self.rep.replica.deposits.get(&input.prevout).cloned());
+            if let Some(dep) = dep {
+                for member in &dep.committee.member_keys {
+                    let sk = self
+                        .book
+                        .keys
+                        .get(member)
+                        .or_else(|| self.rep.replica.keys.get(member));
+                    if let Some(sk) = sk {
+                        let sig = teechain_crypto::schnorr::sign(sk, &sighash);
+                        if !input.witness.contains(&sig) {
+                            input.witness.push(sig);
+                        }
+                    }
+                }
+            }
+        }
+        let deposit_of = |op: &teechain_blockchain::OutPoint| {
+            self.book
+                .deposit_of(op)
+                .or_else(|| self.rep.replica.deposits.get(op))
+        };
+        if settle::threshold_met(&tx, deposit_of) {
+            effects.push(Effect::Event(HostEvent::SettlementBroadcast {
+                id,
+                txid: tx.txid(),
+            }));
+            effects.push(Effect::Broadcast(tx));
+        } else {
+            let req_id = self.next_req_id();
+            self.sig_collects.insert(req_id, SigCollect { id, tx: tx.clone() });
+            effects.push(Effect::Event(HostEvent::NeedCoSign { req_id, tx }));
+        }
+    }
+
+    // ---- Alg. 1 command handlers ----
+
+    fn cmd_new_channel(
+        &mut self,
+        env: &mut EnclaveEnv,
+        id: ChannelId,
+        remote: PublicKey,
+        my_settlement: PublicKey,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        self.session_mut(&remote)?;
+        if self.channels.contains_key(&id) {
+            return Err(ProtocolError::ChannelExists);
+        }
+        // Remote settlement arrives in the ack.
+        let chan = Channel::new(id, remote, my_settlement, my_settlement);
+        self.channels.insert(id, chan);
+        let msg = ProtocolMsg::NewChannel {
+            id,
+            settlement: my_settlement,
+        };
+        let eff = self.seal_to(&remote, &msg)?;
+        self.stage_channel(&id);
+        Ok(vec![eff])
+    }
+
+    fn on_new_channel(
+        &mut self,
+        from: PublicKey,
+        id: ChannelId,
+        settlement: PublicKey,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        if self.channels.contains_key(&id) {
+            return Err(ProtocolError::ChannelExists);
+        }
+        // We need our own settlement address: generate one from the
+        // deposit book if the host pre-registered one; otherwise reuse our
+        // identity-derived address. Hosts normally call NewAddress first
+        // and open channels themselves; as responder we auto-accept with a
+        // fresh address derived from the channel id and our identity.
+        let my_settlement = self.responder_settlement(&id);
+        let mut chan = Channel::new(id, from, my_settlement, settlement);
+        chan.is_open = true;
+        self.channels.insert(id, chan);
+        let msg = ProtocolMsg::NewChannelAck {
+            id,
+            settlement: my_settlement,
+        };
+        let eff = self.seal_to(&from, &msg)?;
+        self.stage_channel(&id);
+        Ok(vec![eff, Effect::Event(HostEvent::ChannelOpen(id))])
+    }
+
+    /// Deterministic responder settlement key: derived inside the TEE from
+    /// our identity and the channel id, and registered in the book so we
+    /// can also spend from it in tests.
+    fn responder_settlement(&mut self, id: &ChannelId) -> PublicKey {
+        let me = self.identity.as_ref().expect("session exists").sk;
+        let seed = teechain_crypto::sha256::tagged_hash(
+            "teechain/responder-settlement",
+            &[&me.to_bytes(), &id.0],
+        );
+        let sk = PrivateKey::from_seed(&seed);
+        self.book.insert_key(sk)
+    }
+
+    fn on_new_channel_ack(
+        &mut self,
+        from: PublicKey,
+        id: ChannelId,
+        settlement: PublicKey,
+    ) -> Outcome {
+        let chan = self.channel_mut(&id)?;
+        if chan.remote != from || chan.is_open {
+            return Err(ProtocolError::BadMessage);
+        }
+        chan.remote_settlement = settlement;
+        chan.is_open = true;
+        self.stage_channel(&id);
+        Ok(vec![Effect::Event(HostEvent::ChannelOpen(id))])
+    }
+
+    fn cmd_new_deposit(&mut self, env: &mut EnclaveEnv, deposit: Deposit) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        let key = self
+            .book
+            .keys
+            .get(&deposit.committee.member_keys[0])
+            .map(|k| k.to_bytes());
+        self.book.add_mine(deposit.clone())?;
+        self.stage_delta(StateDelta::Deposit {
+            dep: deposit,
+            key,
+        });
+        Ok(vec![])
+    }
+
+    fn cmd_release_deposit(
+        &mut self,
+        env: &mut EnclaveEnv,
+        outpoint: teechain_blockchain::OutPoint,
+        to: PublicKey,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        let dep = self.book.require_free(&outpoint)?.clone();
+        self.book.set_status(&outpoint, DepositStatus::Spent);
+        self.stage_delta(StateDelta::RemoveDeposit(outpoint));
+        let tx = settle::release_tx(&dep, to);
+        let mut effects = Vec::new();
+        // Release uses the same signing/co-signing path as settlements.
+        self.finish_settlement(ChannelId([0; 32]), tx, &mut effects);
+        Ok(effects)
+    }
+
+    fn cmd_approve_deposit(
+        &mut self,
+        remote: PublicKey,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        let dep = self.book.require_free(&outpoint)?.clone();
+        if self.book.is_approved_by(&remote, &outpoint) {
+            return Err(ProtocolError::BadDeposit); // Already approved.
+        }
+        let msg = ProtocolMsg::ApproveDeposit { deposit: dep };
+        Ok(vec![self.seal_to(&remote, &msg)?])
+    }
+
+    fn on_approve_deposit(&mut self, from: PublicKey, deposit: Deposit) -> Outcome {
+        self.require_unfrozen()?;
+        if self.book.did_approve(&from, &deposit.outpoint) {
+            return Err(ProtocolError::BadDeposit);
+        }
+        // The enclave cannot read the blockchain (§4): the host must verify
+        // inclusion and confirmations per its own security policy, then
+        // answer with DepositVerified.
+        Ok(vec![Effect::Event(HostEvent::VerifyDeposit {
+            remote: from,
+            deposit,
+        })])
+    }
+
+    fn cmd_deposit_verified(
+        &mut self,
+        remote: PublicKey,
+        outpoint: teechain_blockchain::OutPoint,
+        valid: bool,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        if !valid {
+            return Ok(vec![]);
+        }
+        // The host re-presents the deposit body it verified; we keep the
+        // copy from the pending approval. For simplicity the verify event
+        // carried the full deposit; hosts echo only identity + outpoint, so
+        // we require the deposit to have been offered before.
+        let dep = match self.book.remote.get(&outpoint) {
+            Some(d) => d.clone(),
+            None => return Err(ProtocolError::BadDeposit),
+        };
+        self.book.approve_remote(remote, dep);
+        let msg = ProtocolMsg::DepositApproved { outpoint };
+        Ok(vec![self.seal_to(&remote, &msg)?])
+    }
+
+    fn on_deposit_approved(
+        &mut self,
+        from: PublicKey,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Outcome {
+        self.book.require_free(&outpoint)?;
+        self.book.mark_approved_by(from, outpoint);
+        Ok(vec![Effect::Event(HostEvent::DepositApproved {
+            remote: from,
+            outpoint,
+        })])
+    }
+
+    fn cmd_associate(
+        &mut self,
+        env: &mut EnclaveEnv,
+        id: ChannelId,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        let chan = self.channels.get(&id).ok_or(ProtocolError::UnknownChannel)?;
+        if !chan.usable() {
+            return Err(ProtocolError::ChannelNotOpen);
+        }
+        if chan.locked() {
+            return Err(ProtocolError::ChannelLocked);
+        }
+        let remote = chan.remote;
+        if !self.book.is_approved_by(&remote, &outpoint) {
+            return Err(ProtocolError::BadDeposit);
+        }
+        let dep = self.book.require_free(&outpoint)?.clone();
+        // For 1-of-1 deposits, share the private key so the remote can
+        // settle unilaterally (Alg. 1 line 72). Committee deposits are
+        // spendable via m-of-n signatures instead.
+        let key = if dep.committee.n() == 1 {
+            self.book
+                .keys
+                .get(&dep.committee.member_keys[0])
+                .map(|k| k.to_bytes())
+        } else {
+            None
+        };
+        self.book.set_status(&outpoint, DepositStatus::Associated(id));
+        let chan = self.channels.get_mut(&id).expect("checked");
+        chan.my_deps.push(outpoint);
+        chan.my_deps.sort();
+        chan.my_bal += dep.value;
+        self.stage_channel(&id);
+        self.stage_delta(StateDelta::Deposit {
+            dep: dep.clone(),
+            key,
+        });
+        let msg = ProtocolMsg::AssociateDeposit {
+            id,
+            deposit: dep,
+            key,
+        };
+        let eff = self.seal_to(&remote, &msg)?;
+        Ok(vec![
+            eff,
+            Effect::Event(HostEvent::DepositAssociated { id, outpoint }),
+        ])
+    }
+
+    fn on_associate(
+        &mut self,
+        from: PublicKey,
+        id: ChannelId,
+        deposit: Deposit,
+        key: Option<[u8; 32]>,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        if !self.book.did_approve(&from, &deposit.outpoint) {
+            return Err(ProtocolError::BadDeposit);
+        }
+        let chan = self.channel_mut(&id)?;
+        if chan.remote != from || !chan.usable() {
+            return Err(ProtocolError::BadMessage);
+        }
+        chan.remote_deps.push(deposit.outpoint);
+        chan.remote_deps.sort();
+        chan.remote_bal += deposit.value;
+        let outpoint = deposit.outpoint;
+        if let Some(bytes) = key {
+            if let Some(sk) = PrivateKey::from_bytes(&bytes) {
+                self.book.insert_key(sk);
+            }
+        }
+        self.book.remote.insert(outpoint, deposit.clone());
+        self.stage_channel(&id);
+        self.stage_delta(StateDelta::Deposit { dep: deposit, key });
+        Ok(vec![Effect::Event(HostEvent::DepositAssociated {
+            id,
+            outpoint,
+        })])
+    }
+
+    fn cmd_dissociate(
+        &mut self,
+        env: &mut EnclaveEnv,
+        id: ChannelId,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        let dep_value = self.book.value_of(&outpoint).ok_or(ProtocolError::BadDeposit)?;
+        let chan = self.channel_mut(&id)?;
+        if chan.locked() {
+            return Err(ProtocolError::ChannelLocked);
+        }
+        if !chan.my_deps.contains(&outpoint) {
+            return Err(ProtocolError::BadDeposit);
+        }
+        // Double-spend guard (Alg. 1 line 92): our balance must cover the
+        // deposit being withdrawn.
+        if chan.my_bal < dep_value {
+            return Err(ProtocolError::InsufficientBalance);
+        }
+        chan.pending_dissoc.push(outpoint);
+        let remote = chan.remote;
+        self.stage_channel(&id);
+        let msg = ProtocolMsg::DissociateDeposit { id, outpoint };
+        Ok(vec![self.seal_to(&remote, &msg)?])
+    }
+
+    fn on_dissociate(
+        &mut self,
+        from: PublicKey,
+        id: ChannelId,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        let dep_value = self.book.value_of(&outpoint).ok_or(ProtocolError::BadDeposit)?;
+        let chan = self.channel_mut(&id)?;
+        if chan.remote != from || !chan.remote_deps.contains(&outpoint) {
+            return Err(ProtocolError::BadMessage);
+        }
+        if chan.remote_bal < dep_value {
+            return Err(ProtocolError::InsufficientBalance);
+        }
+        chan.remote_deps.retain(|d| *d != outpoint);
+        chan.remote_bal -= dep_value;
+        // Destroy our copy of the key (Alg. 1 line 104).
+        if let Some(dep) = self.book.remote.get(&outpoint) {
+            let key0 = dep.committee.member_keys[0];
+            self.book.destroy_key(&key0);
+        }
+        self.stage_channel(&id);
+        let msg = ProtocolMsg::DissociateAck { id, outpoint };
+        Ok(vec![self.seal_to(&from, &msg)?])
+    }
+
+    fn on_dissociate_ack(
+        &mut self,
+        from: PublicKey,
+        id: ChannelId,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Outcome {
+        let dep_value = self.book.value_of(&outpoint).ok_or(ProtocolError::BadDeposit)?;
+        let chan = self.channel_mut(&id)?;
+        if chan.remote != from || !chan.pending_dissoc.contains(&outpoint) {
+            return Err(ProtocolError::BadMessage);
+        }
+        chan.pending_dissoc.retain(|d| *d != outpoint);
+        chan.my_deps.retain(|d| *d != outpoint);
+        chan.my_bal -= dep_value;
+        self.book.set_status(&outpoint, DepositStatus::Free);
+        self.stage_channel(&id);
+        Ok(vec![Effect::Event(HostEvent::DepositDissociated {
+            id,
+            outpoint,
+        })])
+    }
+
+    fn cmd_pay(&mut self, env: &mut EnclaveEnv, id: ChannelId, amount: u64, count: u32) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        let chan = self.channel_mut(&id)?;
+        if !chan.usable() {
+            return Err(ProtocolError::ChannelNotOpen);
+        }
+        if chan.locked() {
+            return Err(ProtocolError::ChannelLocked);
+        }
+        if chan.my_bal < amount {
+            return Err(ProtocolError::InsufficientBalance);
+        }
+        chan.my_bal -= amount;
+        chan.remote_bal += amount;
+        let remote = chan.remote;
+        self.stage_delta(StateDelta::Pay {
+            id,
+            my_delta: -(amount as i64),
+            remote_delta: amount as i64,
+        });
+        let msg = ProtocolMsg::Pay { id, amount, count };
+        Ok(vec![self.seal_to(&remote, &msg)?])
+    }
+
+    fn on_pay(
+        &mut self,
+        env: &mut EnclaveEnv,
+        from: PublicKey,
+        id: ChannelId,
+        amount: u64,
+        count: u32,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        let chan = self.channel_mut(&id)?;
+        if chan.remote != from || !chan.usable() {
+            return Err(ProtocolError::BadMessage);
+        }
+        if chan.locked() {
+            // The channel was locked for a multi-hop payment after the
+            // peer sent this pay (racing in the other direction). Refuse
+            // and let the sender roll back — session FIFO keeps both sides
+            // consistent.
+            let msg = ProtocolMsg::PayNack { id, amount, count };
+            return Ok(vec![self.seal_to(&from, &msg)?]);
+        }
+        if chan.remote_bal < amount {
+            return Err(ProtocolError::BadMessage); // Peer violated protocol.
+        }
+        chan.remote_bal -= amount;
+        chan.my_bal += amount;
+        self.stage_delta(StateDelta::Pay {
+            id,
+            my_delta: amount as i64,
+            remote_delta: -(amount as i64),
+        });
+        let ack = ProtocolMsg::PayAck { id, amount, count };
+        let eff = self.seal_to(&from, &ack)?;
+        Ok(vec![
+            eff,
+            Effect::Event(HostEvent::PaymentReceived { id, amount, count }),
+        ])
+    }
+
+    fn on_pay_ack(&mut self, from: PublicKey, id: ChannelId, amount: u64, count: u32) -> Outcome {
+        let chan = self.channel_mut(&id)?;
+        if chan.remote != from {
+            return Err(ProtocolError::BadMessage);
+        }
+        Ok(vec![Effect::Event(HostEvent::PaymentAcked {
+            id,
+            amount,
+            count,
+        })])
+    }
+
+    fn on_pay_nack(&mut self, from: PublicKey, id: ChannelId, amount: u64, count: u32) -> Outcome {
+        let chan = self.channel_mut(&id)?;
+        if chan.remote != from {
+            return Err(ProtocolError::BadMessage);
+        }
+        // Roll back the optimistic debit.
+        chan.my_bal += amount;
+        chan.remote_bal -= amount;
+        self.stage_delta(StateDelta::Pay {
+            id,
+            my_delta: amount as i64,
+            remote_delta: -(amount as i64),
+        });
+        Ok(vec![Effect::Event(HostEvent::PaymentNacked {
+            id,
+            amount,
+            count,
+        })])
+    }
+
+    fn cmd_settle(&mut self, env: &mut EnclaveEnv, id: ChannelId) -> Outcome {
+        self.require_counter_ready(env)?;
+        let chan = self.channels.get(&id).ok_or(ProtocolError::UnknownChannel)?;
+        if chan.closed {
+            return Err(ProtocolError::ChannelNotOpen);
+        }
+        if chan.locked() {
+            return Err(ProtocolError::ChannelLocked);
+        }
+        let remote = chan.remote;
+        // Off-chain termination (Alg. 1 line 106): if balances are neutral
+        // (every deposit's value equals its owner's share), dissociating
+        // all deposits closes the channel with zero blockchain writes.
+        let my_total: u64 = chan
+            .my_deps
+            .iter()
+            .filter_map(|d| self.book.value_of(d))
+            .sum();
+        let remote_total: u64 = chan
+            .remote_deps
+            .iter()
+            .filter_map(|d| self.book.value_of(d))
+            .sum();
+        if chan.my_bal == my_total && chan.remote_bal == remote_total {
+            let my_deps = chan.my_deps.clone();
+            let mut effects = Vec::new();
+            for outpoint in my_deps {
+                let chan = self.channels.get_mut(&id).expect("exists");
+                chan.pending_dissoc.push(outpoint);
+                let msg = ProtocolMsg::DissociateDeposit { id, outpoint };
+                effects.push(self.seal_to(&remote, &msg)?);
+            }
+            // Ask the remote to dissociate its deposits too.
+            let msg = ProtocolMsg::SettleRequest { id };
+            effects.push(self.seal_to(&remote, &msg)?);
+            self.stage_channel(&id);
+            return Ok(effects);
+        }
+        // On-chain settlement.
+        let chan = self.channels.get_mut(&id).expect("exists");
+        chan.closed = true;
+        let tx = settle::current_settlement_tx(chan);
+        self.stage_delta(StateDelta::CloseChannel(id));
+        let mut effects = Vec::new();
+        // Best-effort courtesy notification: unilateral settlement must
+        // work with no session (e.g. after a crash-restore, §6.2).
+        let notify = ProtocolMsg::ChannelClosed { id };
+        if let Ok(eff) = self.seal_to(&remote, &notify) {
+            effects.push(eff);
+        }
+        self.finish_settlement(id, tx, &mut effects);
+        Ok(effects)
+    }
+
+    fn on_settle_request(&mut self, from: PublicKey, id: ChannelId) -> Outcome {
+        self.require_unfrozen()?;
+        let chan = self.channel_mut(&id)?;
+        if chan.remote != from {
+            return Err(ProtocolError::BadMessage);
+        }
+        let my_deps = chan.my_deps.clone();
+        let mut effects = Vec::new();
+        for outpoint in my_deps {
+            // Reuse the dissociation path; each will complete via acks.
+            let sub = self.cmd_dissociate_unchecked(id, outpoint)?;
+            effects.extend(sub);
+        }
+        // If we had no deposits, the channel is fully neutral on our side.
+        effects.push(Effect::Event(HostEvent::SettledOffChain(id)));
+        Ok(effects)
+    }
+
+    /// Dissociation without the counter/freeze preamble (used internally
+    /// during cooperative settlement, which already passed those checks).
+    fn cmd_dissociate_unchecked(
+        &mut self,
+        id: ChannelId,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Outcome {
+        let chan = self.channel_mut(&id)?;
+        let remote = chan.remote;
+        chan.pending_dissoc.push(outpoint);
+        self.stage_channel(&id);
+        let msg = ProtocolMsg::DissociateDeposit { id, outpoint };
+        Ok(vec![self.seal_to(&remote, &msg)?])
+    }
+
+    fn on_channel_closed(&mut self, from: PublicKey, id: ChannelId) -> Outcome {
+        let chan = self.channel_mut(&id)?;
+        if chan.remote != from {
+            return Err(ProtocolError::BadMessage);
+        }
+        chan.closed = true;
+        // Our deposits in this channel are now spent by the settlement.
+        let my_deps = chan.my_deps.clone();
+        for d in my_deps {
+            self.book.set_status(&d, DepositStatus::Spent);
+        }
+        self.stage_delta(StateDelta::CloseChannel(id));
+        Ok(vec![])
+    }
+
+    // ---- Protocol message dispatch ----
+
+    pub(crate) fn dispatch_protocol(
+        &mut self,
+        env: &mut EnclaveEnv,
+        from: PublicKey,
+        msg: ProtocolMsg,
+    ) -> Outcome {
+        match msg {
+            ProtocolMsg::NewChannel { id, settlement } => self.on_new_channel(from, id, settlement),
+            ProtocolMsg::NewChannelAck { id, settlement } => {
+                self.on_new_channel_ack(from, id, settlement)
+            }
+            ProtocolMsg::ApproveDeposit { deposit } => {
+                // Remember the offered deposit so DepositVerified can find it.
+                self.book.remote.insert(deposit.outpoint, deposit.clone());
+                self.on_approve_deposit(from, deposit)
+            }
+            ProtocolMsg::DepositApproved { outpoint } => self.on_deposit_approved(from, outpoint),
+            ProtocolMsg::AssociateDeposit { id, deposit, key } => {
+                self.on_associate(from, id, deposit, key)
+            }
+            ProtocolMsg::DissociateDeposit { id, outpoint } => {
+                self.on_dissociate(from, id, outpoint)
+            }
+            ProtocolMsg::DissociateAck { id, outpoint } => {
+                self.on_dissociate_ack(from, id, outpoint)
+            }
+            ProtocolMsg::Pay { id, amount, count } => self.on_pay(env, from, id, amount, count),
+            ProtocolMsg::PayAck { id, amount, count } => self.on_pay_ack(from, id, amount, count),
+            ProtocolMsg::PayNack { id, amount, count } => {
+                self.on_pay_nack(from, id, amount, count)
+            }
+            ProtocolMsg::SettleRequest { id } => self.on_settle_request(from, id),
+            ProtocolMsg::ChannelClosed { id } => self.on_channel_closed(from, id),
+            ProtocolMsg::MhLock(m) => self.on_mh_lock(from, m),
+            ProtocolMsg::MhSign { route, tau, digests, deposits } => {
+                self.on_mh_sign(from, route, tau, digests, deposits)
+            }
+            ProtocolMsg::MhPreUpdate { route, tau } => self.on_mh_pre_update(from, route, tau),
+            ProtocolMsg::MhUpdate { route } => self.on_mh_update(from, route),
+            ProtocolMsg::MhPostUpdate { route } => self.on_mh_post_update(from, route),
+            ProtocolMsg::MhRelease { route } => self.on_mh_release(from, route),
+            ProtocolMsg::MhAbort { route } => self.on_mh_abort(from, route),
+            ProtocolMsg::RepAssign => self.on_rep_assign(env, from),
+            ProtocolMsg::RepAssignAck { member_key } => self.on_rep_assign_ack(from, member_key),
+            ProtocolMsg::RepUpdate { seq, deltas } => self.on_rep_update(from, seq, deltas),
+            ProtocolMsg::RepAck { seq } => self.on_rep_ack(from, seq),
+            ProtocolMsg::RepFreeze => self.on_rep_freeze(from),
+            ProtocolMsg::SigRequest { .. } | ProtocolMsg::SigResponse { .. } => {
+                // Signing traffic is routed at the host layer (it carries
+                // no secrets); enclaves serve it via Command::CoSign.
+                Err(ProtocolError::BadMessage)
+            }
+        }
+    }
+}
+
+impl EnclaveProgram for TeechainEnclave {
+    type Cmd = Command;
+    type Resp = Outcome;
+
+    fn handle(&mut self, env: &mut EnclaveEnv, cmd: Command) -> Outcome {
+        debug_assert!(self.rep.staged.is_empty(), "staged deltas leaked");
+        self.rep.staged.clear();
+        let result = match cmd {
+            Command::GetIdentity => {
+                let kp = self.identity(env);
+                Ok(vec![Effect::Event(HostEvent::Identity(kp.pk))])
+            }
+            Command::StartSession { remote } => self.cmd_start_session(env, remote),
+            Command::Deliver { wire } => self.cmd_deliver(env, wire),
+            Command::NewAddress => {
+                let seed = env.random_bytes32();
+                let pk = self.book.insert_key(PrivateKey::from_seed(&seed));
+                Ok(vec![Effect::Event(HostEvent::NewAddress(pk))])
+            }
+            Command::NewCommitteeAddress { m } => self.cmd_new_committee(env, m),
+            Command::NewChannel {
+                id,
+                remote,
+                my_settlement,
+            } => self.cmd_new_channel(env, id, remote, my_settlement),
+            Command::NewDeposit { deposit } => self.cmd_new_deposit(env, deposit),
+            Command::ReleaseDeposit { outpoint, to } => self.cmd_release_deposit(env, outpoint, to),
+            Command::ApproveDeposit { remote, outpoint } => {
+                self.cmd_approve_deposit(remote, outpoint)
+            }
+            Command::DepositVerified {
+                remote,
+                outpoint,
+                valid,
+            } => self.cmd_deposit_verified(remote, outpoint, valid),
+            Command::AssociateDeposit { id, outpoint } => self.cmd_associate(env, id, outpoint),
+            Command::DissociateDeposit { id, outpoint } => self.cmd_dissociate(env, id, outpoint),
+            Command::Pay { id, amount, count } => self.cmd_pay(env, id, amount, count),
+            Command::Settle { id } => self.cmd_settle(env, id),
+            Command::PayMultihop {
+                route,
+                hops,
+                channels,
+                amount,
+            } => self.cmd_pay_multihop(env, route, hops, channels, amount),
+            Command::Eject { route } => self.cmd_eject(route),
+            Command::EjectWithPopt { route, popt } => self.cmd_eject_popt(route, popt),
+            Command::AttachBackup { backup } => self.cmd_attach_backup(backup),
+            Command::ReadReplica => self.cmd_read_replica(),
+            Command::SettleFromReplica => self.cmd_settle_from_replica(),
+            Command::CoSign { req_id, tx } => self.cmd_co_sign(req_id, tx),
+            Command::AddCoSigs { req_id, sigs } => self.cmd_add_co_sigs(req_id, sigs),
+            Command::RestoreSealed { blob } => self.cmd_restore_sealed(env, blob),
+            Command::RetryPending => self.cmd_retry_pending(env),
+        };
+        match result {
+            Ok(effects) => self.finalize(env, effects),
+            Err(e) => {
+                self.rep.staged.clear();
+                Err(e)
+            }
+        }
+    }
+}
+
+impl TeechainEnclave {
+    fn cmd_deliver(&mut self, env: &mut EnclaveEnv, wire: Vec<u8>) -> Outcome {
+        let msg = WireMsg::decode_exact(&wire).map_err(|_| ProtocolError::BadMessage)?;
+        match msg {
+            WireMsg::Hello(hs) => self.on_hello(env, hs),
+            WireMsg::HelloAck(hs) => self.on_hello_ack(env, hs),
+            WireMsg::Sealed { from, seq, ct, .. } => {
+                let session = self
+                    .sessions
+                    .get_mut(&from)
+                    .filter(|s| s.established)
+                    .ok_or(ProtocolError::NoSession)?;
+                let msg = session.open(seq, &ct)?;
+                match self.dispatch_protocol(env, from, msg.clone()) {
+                    Err(ProtocolError::CounterThrottled { ready_at }) => {
+                        // The handler rejected before mutating; stash the
+                        // decrypted message (its sequence number is spent)
+                        // and let the host retry via RetryPending.
+                        self.pending_msgs.push_back((from, msg));
+                        Err(ProtocolError::CounterThrottled { ready_at })
+                    }
+                    other => other,
+                }
+            }
+        }
+    }
+
+    fn cmd_retry_pending(&mut self, env: &mut EnclaveEnv) -> Outcome {
+        let mut out = Vec::new();
+        while let Some((from, msg)) = self.pending_msgs.pop_front() {
+            match self.dispatch_protocol(env, from, msg.clone()) {
+                Ok(effects) => {
+                    out.extend(effects);
+                    // Replicate/persist per message, preserving ordering.
+                    let flushed = self.finalize(env, std::mem::take(&mut out))?;
+                    out = flushed;
+                }
+                Err(ProtocolError::CounterThrottled { ready_at }) => {
+                    self.pending_msgs.push_front((from, msg));
+                    out.push(Effect::Event(HostEvent::RetryAt(ready_at)));
+                    return Ok(out);
+                }
+                Err(_) => {
+                    // Drop protocol-violating stashed messages.
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn cmd_start_session(&mut self, env: &mut EnclaveEnv, remote: PublicKey) -> Outcome {
+        self.require_unfrozen()?;
+        let me = self.identity(env);
+        if let Some(s) = self.sessions.get(&remote) {
+            if s.established {
+                // Idempotent: the session already exists.
+                return Ok(vec![Effect::Event(HostEvent::SessionEstablished(remote))]);
+            }
+            return Err(ProtocolError::BadMessage); // Handshake in flight.
+        }
+        let eph = Keypair::from_seed(&env.random_bytes32());
+        self.pending_eph.insert(remote, eph.sk);
+        let quote = env.quote(session::expected_quote_binding(&me.pk, &eph.pk));
+        let hs = session::make_handshake("teechain/hello", &me, &eph, &remote, quote);
+        Ok(vec![Effect::Send {
+            to: remote,
+            wire: WireMsg::Hello(hs).encode_to_vec(),
+        }])
+    }
+
+    fn on_hello(&mut self, env: &mut EnclaveEnv, hs: crate::msg::Handshake) -> Outcome {
+        self.require_unfrozen()?;
+        let me = self.identity(env);
+        session::verify_handshake(
+            "teechain/hello",
+            &hs,
+            &me.pk,
+            &self.cfg.trust_root,
+            &self.cfg.measurement,
+        )?;
+        let eph = Keypair::from_seed(&env.random_bytes32());
+        let secret = session::session_secret(&eph.sk, &hs.eph);
+        let mut s = Session::derive(&secret, &me.pk, &hs.identity);
+        s.established = true;
+        self.sessions.insert(hs.identity, s);
+        let quote = env.quote(session::expected_quote_binding(&me.pk, &eph.pk));
+        let ack = session::make_handshake("teechain/hello-ack", &me, &eph, &hs.identity, quote);
+        Ok(vec![
+            Effect::Send {
+                to: hs.identity,
+                wire: WireMsg::HelloAck(ack).encode_to_vec(),
+            },
+            Effect::Event(HostEvent::SessionEstablished(hs.identity)),
+        ])
+    }
+
+    fn on_hello_ack(&mut self, env: &mut EnclaveEnv, hs: crate::msg::Handshake) -> Outcome {
+        let me = self.identity(env);
+        session::verify_handshake(
+            "teechain/hello-ack",
+            &hs,
+            &me.pk,
+            &self.cfg.trust_root,
+            &self.cfg.measurement,
+        )?;
+        let my_eph = self
+            .pending_eph
+            .remove(&hs.identity)
+            .ok_or(ProtocolError::BadMessage)?;
+        let secret = session::session_secret(&my_eph, &hs.eph);
+        let mut s = Session::derive(&secret, &me.pk, &hs.identity);
+        s.established = true;
+        self.sessions.insert(hs.identity, s);
+        Ok(vec![Effect::Event(HostEvent::SessionEstablished(
+            hs.identity,
+        ))])
+    }
+
+    // ---- Persistence (§6.2) ----
+
+    /// Serializes the durable state (identity, channels, deposits, keys).
+    fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.identity
+            .as_ref()
+            .map(|k| k.sk.to_bytes())
+            .encode(&mut out);
+        let chans: Vec<Channel> = self.channels.values().cloned().collect();
+        chans.encode(&mut out);
+        let deposits: Vec<(Deposit, bool)> = self
+            .book
+            .mine
+            .values()
+            .map(|(d, s)| (d.clone(), matches!(s, DepositStatus::Free)))
+            .collect();
+        deposits.encode(&mut out);
+        let keys: Vec<[u8; 32]> = self.book.keys.values().map(|k| k.to_bytes()).collect();
+        keys.encode(&mut out);
+        out
+    }
+
+    pub(crate) fn finalize(&mut self, env: &mut EnclaveEnv, effects: Vec<Effect>) -> Outcome {
+        let deltas = std::mem::take(&mut self.rep.staged);
+        if deltas.is_empty() {
+            return Ok(effects);
+        }
+        let mut out = Vec::new();
+        if self.cfg.persist {
+            let id = self.ensure_counter(env);
+            // Guaranteed ready: mutating handlers checked first.
+            let counter = env
+                .increment_counter(id)
+                .map_err(|e| match e {
+                    teechain_tee::CounterError::Throttled { ready_at } => {
+                        ProtocolError::CounterThrottled { ready_at }
+                    }
+                })?;
+            let blob = env.seal(counter, &self.snapshot());
+            out.push(Effect::Persist(blob));
+        }
+        if let Some(backup) = self.rep.backup {
+            // Force-freeze chain replication (Alg. 3 line 21): hold the
+            // visible effects until the chain acknowledges the update.
+            let seq = self.rep.send_seq;
+            self.rep.send_seq += 1;
+            self.rep.pending.insert(seq, effects);
+            let msg = ProtocolMsg::RepUpdate { seq, deltas };
+            out.push(self.seal_to(&backup, &msg)?);
+            Ok(out)
+        } else {
+            out.extend(effects);
+            Ok(out)
+        }
+    }
+
+    fn cmd_restore_sealed(&mut self, env: &mut EnclaveEnv, blob: Vec<u8>) -> Outcome {
+        // The counter value proves freshness: the blob must carry the
+        // current hardware counter value, or it is a stale (rolled-back)
+        // state and is rejected.
+        let id = self.ensure_counter(env);
+        let min = env.read_counter(id);
+        let (_counter, state) = env
+            .unseal(min, &blob)
+            .map_err(|_| ProtocolError::BadMessage)?;
+        let mut r = teechain_util::codec::Reader::new(&state);
+        let sk_bytes: Option<[u8; 32]> =
+            r.read().map_err(|_| ProtocolError::BadMessage)?;
+        if let Some(bytes) = sk_bytes {
+            let sk = PrivateKey::from_bytes(&bytes).ok_or(ProtocolError::BadMessage)?;
+            self.identity = Some(Keypair {
+                sk,
+                pk: sk.public_key(),
+            });
+        }
+        let chans: Vec<Channel> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+        for c in chans {
+            self.channels.insert(c.id, c);
+        }
+        let deposits: Vec<(Deposit, bool)> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+        let keys: Vec<[u8; 32]> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+        for bytes in keys {
+            if let Some(sk) = PrivateKey::from_bytes(&bytes) {
+                self.book.insert_key(sk);
+            }
+        }
+        for (dep, free) in deposits {
+            let status = if free {
+                DepositStatus::Free
+            } else {
+                DepositStatus::Associated(ChannelId([0; 32]))
+            };
+            self.book.mine.insert(dep.outpoint, (dep, status));
+        }
+        Ok(vec![])
+    }
+
+    // Test/host introspection helpers (read-only; a real enclave would not
+    // expose these, but the *untrusted host* can always observe its own
+    // command stream, so nothing here grants extra power).
+
+    /// Our channel view (None if unknown).
+    pub fn channel(&self, id: &ChannelId) -> Option<&Channel> {
+        self.channels.get(id)
+    }
+
+    /// Number of established sessions.
+    pub fn session_count(&self) -> usize {
+        self.sessions.values().filter(|s| s.established).count()
+    }
+
+    /// The identity public key, if generated.
+    pub fn identity_pk(&self) -> Option<PublicKey> {
+        self.identity.as_ref().map(|k| k.pk)
+    }
+
+    /// Whether this enclave is frozen.
+    pub fn is_frozen(&self) -> bool {
+        self.frozen
+    }
+
+    /// A replicated channel's state (this enclave as a backup).
+    pub fn replica_channel(&self, id: &ChannelId) -> Option<&Channel> {
+        self.rep.replica.channels.get(id)
+    }
+
+    /// Read-only deposit book access (tests and compromised-TEE modelling).
+    pub fn book_ref(&self) -> &DepositBook {
+        &self.book
+    }
+}

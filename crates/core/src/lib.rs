@@ -1,0 +1,48 @@
+//! # Teechain
+//!
+//! A from-scratch Rust reproduction of *Teechain: A Secure Payment Network
+//! with Asynchronous Blockchain Access* (Lind et al., SOSP 2019).
+//!
+//! Teechain is a layer-two payment network that — unlike Lightning-style
+//! designs — never needs to write to the blockchain within a bounded time.
+//! Funds are controlled by trusted execution environments (TEEs); payment
+//! channels update by exchanging a single authenticated message; deposits
+//! are created independently of channels and assigned to them dynamically;
+//! and TEE crash/compromise is tolerated by force-freeze chain replication
+//! combined with m-of-n multisignature committee chains.
+//!
+//! Layering:
+//!
+//! * [`enclave`] — the TEE-resident program: [`enclave::TeechainEnclave`]
+//!   (a sans-io state machine), its [`enclave::Command`] ecalls and
+//!   [`enclave::Effect`] outputs. Payment channels (Alg. 1) live here.
+//! * [`multihop`] — multi-hop payments with proofs of premature
+//!   termination (Alg. 2).
+//! * [`replication`] — force-freeze chain replication and committees
+//!   (Alg. 3, §6).
+//! * [`node`] — the untrusted host: wraps the enclave, performs network
+//!   and blockchain I/O, gathers committee co-signatures.
+//! * [`driver`] — runs hosts inside the deterministic network simulator
+//!   with the calibrated CPU cost model (reproduces §7).
+//! * [`routing`] — shortest-path and k-path route selection for payment
+//!   networks (§7.4 dynamic routing).
+//!
+//! See `examples/quickstart.rs` for a end-to-end tour.
+
+pub mod channel;
+pub mod deposit;
+pub mod driver;
+pub mod enclave;
+pub mod msg;
+pub mod multihop;
+pub mod node;
+pub mod replication;
+pub mod routing;
+pub mod session;
+pub mod settle;
+pub mod testkit;
+pub mod types;
+
+pub use enclave::{Command, Effect, EnclaveConfig, HostEvent, Outcome, TeechainEnclave};
+pub use node::TeechainNode;
+pub use types::{ChannelId, CommitteeSpec, Deposit, MultihopStage, ProtocolError, RouteId};

@@ -1,0 +1,719 @@
+//! Multi-hop payments (Alg. 2): lock → sign → preUpdate → update →
+//! postUpdate → release, with proofs of premature termination (PoPT).
+//!
+//! The intermediate settlement transaction τ spends *every* deposit of
+//! *every* channel on the path and pays every participant its post-payment
+//! balance. Because τ and the per-channel pre-/post-payment settlements all
+//! spend the same deposits, the blockchain accepts exactly one of them —
+//! so whatever any participant manages to confirm, all others can present
+//! it (as a PoPT) and settle their own channels *consistently* at the same
+//! logical state.
+//!
+//! Deviation noted in DESIGN.md: the mapping from a confirmed conflicting
+//! transaction to "pre" or "post" state is implemented by distributing the
+//! txids of every channel's two candidate settlements along the path
+//! during lock/sign (the `digests`), rather than by inspecting transaction
+//! structure. This is equivalent (settlements are canonical and
+//! deterministic) and keeps verification exact.
+
+use crate::enclave::{Effect, HostEvent, Outcome, TeechainEnclave};
+use crate::msg::{MhLock, ProtocolMsg, SettleDigest, StateDelta};
+use crate::settle;
+use crate::types::{ChannelId, MultihopStage, ProtocolError, RouteId};
+use std::collections::HashMap;
+use teechain_blockchain::{Transaction, TxIn};
+use teechain_crypto::schnorr::PublicKey;
+use teechain_tee::EnclaveEnv;
+
+/// Per-route state at one TEE.
+pub struct RouteState {
+    /// Route instance id.
+    pub id: RouteId,
+    /// Payment amount.
+    pub amount: u64,
+    /// Path identities p1..pn.
+    pub hops: Vec<PublicKey>,
+    /// Path channels.
+    pub channels: Vec<ChannelId>,
+    /// Our index in `hops`.
+    pub pos: usize,
+    /// τ (partially signed during sign, full after preUpdate).
+    pub tau: Option<Transaction>,
+    /// txid → state map for PoPT classification.
+    pub digests: Vec<SettleDigest>,
+    /// Pre-payment balances of our route channels (for pre-state
+    /// settlement reconstruction after balances were updated).
+    pub pre_balances: HashMap<ChannelId, (u64, u64)>,
+    /// Committee metadata for every deposit τ spends (needed to verify
+    /// τ's signature thresholds for channels we do not participate in).
+    pub path_deposits: Vec<crate::types::Deposit>,
+    /// True once terminated (ejected or completed).
+    pub terminated: bool,
+}
+
+impl RouteState {
+    /// The channel toward the previous hop, if any.
+    pub fn in_chan(&self) -> Option<ChannelId> {
+        (self.pos > 0).then(|| self.channels[self.pos - 1])
+    }
+
+    /// The channel toward the next hop, if any.
+    pub fn out_chan(&self) -> Option<ChannelId> {
+        (self.pos + 1 < self.hops.len()).then(|| self.channels[self.pos])
+    }
+
+    /// Our route channels (one or two).
+    pub fn my_channels(&self) -> Vec<ChannelId> {
+        self.in_chan().into_iter().chain(self.out_chan()).collect()
+    }
+
+    fn prev_hop(&self) -> Option<PublicKey> {
+        (self.pos > 0).then(|| self.hops[self.pos - 1])
+    }
+
+    fn next_hop(&self) -> Option<PublicKey> {
+        (self.pos + 1 < self.hops.len()).then(|| self.hops[self.pos + 1])
+    }
+}
+
+impl TeechainEnclave {
+    fn set_route_stage(&mut self, route: &RouteId, stage: MultihopStage) {
+        let Some(rs) = self.routes.get(route) else {
+            return;
+        };
+        let ids = rs.my_channels();
+        let route_id = *route;
+        for id in ids {
+            if let Some(chan) = self.channels.get_mut(&id) {
+                chan.stage = stage;
+                chan.route = if stage == MultihopStage::Idle {
+                    None
+                } else {
+                    Some(route_id)
+                };
+                self.stage_delta(StateDelta::Stage { id, stage });
+            }
+        }
+    }
+
+    /// Validates and snapshots a channel for route participation.
+    fn prepare_route_channel(
+        &mut self,
+        route: &mut RouteState,
+        id: ChannelId,
+        must_cover: Option<u64>,
+    ) -> Result<(), ProtocolError> {
+        let chan = self.channels.get(&id).ok_or(ProtocolError::UnknownChannel)?;
+        if !chan.usable() {
+            return Err(ProtocolError::ChannelNotOpen);
+        }
+        if chan.locked() {
+            return Err(ProtocolError::ChannelLocked);
+        }
+        if let Some(amount) = must_cover {
+            if chan.my_bal < amount {
+                return Err(ProtocolError::InsufficientBalance);
+            }
+        }
+        route
+            .pre_balances
+            .insert(id, (chan.my_bal, chan.remote_bal));
+        Ok(())
+    }
+
+    /// Appends our *outgoing* channel's deposits and post-payment outputs
+    /// to τ, and its two settlement digests to the map.
+    fn extend_tau(
+        &self,
+        route: &RouteState,
+        tau: &mut Transaction,
+        digests: &mut Vec<SettleDigest>,
+        deposits: &mut Vec<crate::types::Deposit>,
+    ) {
+        let id = route.out_chan().expect("only non-terminal hops extend τ");
+        let chan = &self.channels[&id];
+        for prevout in chan.all_deposits() {
+            tau.inputs.push(TxIn {
+                prevout,
+                witness: Vec::new(),
+            });
+            if let Some(dep) = self.book.deposit_of(&prevout) {
+                deposits.push(dep.clone());
+            }
+        }
+        let post = settle::settlement_tx(
+            chan,
+            chan.my_bal - route.amount,
+            chan.remote_bal + route.amount,
+        );
+        for out in &post.outputs {
+            tau.outputs.push(out.clone());
+        }
+        let pre = settle::current_settlement_tx(chan);
+        digests.push(SettleDigest {
+            txid: pre.txid(),
+            post: false,
+        });
+        digests.push(SettleDigest {
+            txid: post.txid(),
+            post: true,
+        });
+    }
+
+    /// Signs every τ input whose deposit keys we hold.
+    fn sign_tau(&self, tau: &mut Transaction) {
+        let mut tx = std::mem::replace(
+            tau,
+            Transaction {
+                inputs: vec![],
+                outputs: vec![],
+            },
+        );
+        settle::sign_with_book(&mut tx, &self.book);
+        *tau = tx;
+    }
+
+    // ---- Alg. 2 handlers ----
+
+    pub(crate) fn cmd_pay_multihop(
+        &mut self,
+        env: &mut EnclaveEnv,
+        route_id: RouteId,
+        hops: Vec<PublicKey>,
+        channels: Vec<ChannelId>,
+        amount: u64,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        if hops.len() < 2 || channels.len() != hops.len() - 1 {
+            return Err(ProtocolError::BadStage);
+        }
+        let me = self.identity(env).pk;
+        if hops[0] != me || self.routes.contains_key(&route_id) {
+            return Err(ProtocolError::BadStage);
+        }
+        let mut route = RouteState {
+            id: route_id,
+            amount,
+            hops: hops.clone(),
+            channels: channels.clone(),
+            pos: 0,
+            tau: None,
+            digests: Vec::new(),
+            pre_balances: HashMap::new(),
+            path_deposits: Vec::new(),
+            terminated: false,
+        };
+        self.prepare_route_channel(&mut route, channels[0], Some(amount))?;
+        let mut tau = Transaction {
+            inputs: vec![],
+            outputs: vec![],
+        };
+        let mut digests = Vec::new();
+        let mut deposits = Vec::new();
+        self.routes.insert(route_id, route);
+        let route_ref = &self.routes[&route_id];
+        self.extend_tau(route_ref, &mut tau, &mut digests, &mut deposits);
+        self.set_route_stage(&route_id, MultihopStage::Lock);
+        let lock = MhLock {
+            route: route_id,
+            amount,
+            hops: hops.clone(),
+            channels,
+            tau,
+            digests,
+            deposits,
+        };
+        let next = hops[1];
+        let eff = self.seal_to(&next, &ProtocolMsg::MhLock(lock))?;
+        Ok(vec![eff])
+    }
+
+    pub(crate) fn on_mh_lock(&mut self, from: PublicKey, m: MhLock) -> Outcome {
+        self.require_unfrozen()?;
+        let me = self
+            .identity
+            .as_ref()
+            .ok_or(ProtocolError::NoSession)?
+            .pk;
+        let pos = m
+            .hops
+            .iter()
+            .position(|h| *h == me)
+            .ok_or(ProtocolError::BadStage)?;
+        if pos == 0 || m.hops[pos - 1] != from || self.routes.contains_key(&m.route) {
+            return Err(ProtocolError::BadStage);
+        }
+        let n = m.hops.len();
+        let mut route = RouteState {
+            id: m.route,
+            amount: m.amount,
+            hops: m.hops.clone(),
+            channels: m.channels.clone(),
+            pos,
+            tau: None,
+            digests: Vec::new(),
+            pre_balances: HashMap::new(),
+            path_deposits: Vec::new(),
+            terminated: false,
+        };
+        // Validate our channels; on failure, abort backward so upstream
+        // hops unlock (payments then retry, §7.4).
+        let check = (|| -> Result<(), ProtocolError> {
+            self.prepare_route_channel(&mut route, m.channels[pos - 1], None)?;
+            if pos + 1 < n {
+                self.prepare_route_channel(&mut route, m.channels[pos], Some(m.amount))?;
+            }
+            Ok(())
+        })();
+        if check.is_err() {
+            let abort = ProtocolMsg::MhAbort { route: m.route };
+            return Ok(vec![self.seal_to(&from, &abort)?]);
+        }
+        if pos + 1 < n {
+            // Intermediate hop: extend τ with our outgoing channel, lock,
+            // forward.
+            let mut tau = m.tau;
+            let mut digests = m.digests;
+            let mut deposits = m.deposits;
+            self.routes.insert(m.route, route);
+            let route_ref = &self.routes[&m.route];
+            self.extend_tau(route_ref, &mut tau, &mut digests, &mut deposits);
+            self.set_route_stage(&m.route, MultihopStage::Lock);
+            let lock = MhLock {
+                route: m.route,
+                amount: m.amount,
+                hops: m.hops.clone(),
+                channels: m.channels,
+                tau,
+                digests,
+                deposits,
+            };
+            let next = m.hops[pos + 1];
+            Ok(vec![self.seal_to(&next, &ProtocolMsg::MhLock(lock))?])
+        } else {
+            // Terminal hop pn: τ is complete; canonicalize, sign, send the
+            // sign pass backward (Alg. 2 line 13).
+            let mut tau = settle::canonicalize(m.tau);
+            self.sign_tau(&mut tau);
+            route.tau = Some(tau.clone());
+            route.digests = m.digests.clone();
+            route.path_deposits = m.deposits.clone();
+            self.routes.insert(m.route, route);
+            self.set_route_stage(&m.route, MultihopStage::Sign);
+            self.stage_delta(StateDelta::Tau {
+                route: m.route,
+                tau: Some(tau.clone()),
+            });
+            let msg = ProtocolMsg::MhSign {
+                route: m.route,
+                tau,
+                digests: m.digests,
+                deposits: m.deposits,
+            };
+            Ok(vec![self.seal_to(&from, &msg)?])
+        }
+    }
+
+    pub(crate) fn on_mh_sign(
+        &mut self,
+        from: PublicKey,
+        route_id: RouteId,
+        tau: Transaction,
+        digests: Vec<SettleDigest>,
+        deposits: Vec<crate::types::Deposit>,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        let route = self
+            .routes
+            .get(&route_id)
+            .ok_or(ProtocolError::BadStage)?;
+        if route.next_hop() != Some(from) {
+            return Err(ProtocolError::BadMessage);
+        }
+        let stage = self.route_stage(&route_id);
+        if stage != MultihopStage::Lock {
+            return Err(ProtocolError::BadStage);
+        }
+        let mut tau = tau;
+        self.sign_tau(&mut tau);
+        let route = self.routes.get_mut(&route_id).expect("checked");
+        route.tau = Some(tau.clone());
+        route.digests = digests.clone();
+        route.path_deposits = deposits.clone();
+        let pos = route.pos;
+        let prev = route.prev_hop();
+        self.set_route_stage(&route_id, MultihopStage::Sign);
+        self.stage_delta(StateDelta::Tau {
+            route: route_id,
+            tau: Some(tau.clone()),
+        });
+        if pos > 0 {
+            let msg = ProtocolMsg::MhSign {
+                route: route_id,
+                tau,
+                digests,
+                deposits,
+            };
+            Ok(vec![self.seal_to(&prev.expect("pos > 0"), &msg)?])
+        } else {
+            // p1: τ must now be fully signed — verify before distributing.
+            // Deposits of other hops' channels are known via the metadata
+            // accumulated during lock.
+            let deposit_of = |op: &teechain_blockchain::OutPoint| {
+                self.book
+                    .deposit_of(op)
+                    .or_else(|| deposits.iter().find(|d| d.outpoint == *op))
+            };
+            if !settle::threshold_met(&tau, deposit_of) {
+                return Err(ProtocolError::BadStage);
+            }
+            self.set_route_stage(&route_id, MultihopStage::PreUpdate);
+            let next = self.routes[&route_id].hops[1];
+            let msg = ProtocolMsg::MhPreUpdate {
+                route: route_id,
+                tau,
+            };
+            Ok(vec![self.seal_to(&next, &msg)?])
+        }
+    }
+
+    fn route_stage(&self, route: &RouteId) -> MultihopStage {
+        self.routes
+            .get(route)
+            .and_then(|r| r.my_channels().first().copied())
+            .and_then(|id| self.channels.get(&id))
+            .map(|c| c.stage)
+            .unwrap_or(MultihopStage::Idle)
+    }
+
+    pub(crate) fn on_mh_pre_update(
+        &mut self,
+        from: PublicKey,
+        route_id: RouteId,
+        tau: Transaction,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        let route = self.routes.get(&route_id).ok_or(ProtocolError::BadStage)?;
+        if route.prev_hop() != Some(from) {
+            return Err(ProtocolError::BadMessage);
+        }
+        if self.route_stage(&route_id) != MultihopStage::Sign {
+            return Err(ProtocolError::BadStage);
+        }
+        let route = self.routes.get_mut(&route_id).expect("checked");
+        route.tau = Some(tau.clone());
+        let pos = route.pos;
+        let n = route.hops.len();
+        self.set_route_stage(&route_id, MultihopStage::PreUpdate);
+        self.stage_delta(StateDelta::Tau {
+            route: route_id,
+            tau: Some(tau.clone()),
+        });
+        if pos + 1 < n {
+            let next = self.routes[&route_id].hops[pos + 1];
+            let msg = ProtocolMsg::MhPreUpdate {
+                route: route_id,
+                tau,
+            };
+            Ok(vec![self.seal_to(&next, &msg)?])
+        } else {
+            // pn: apply our credit and start the update pass backward.
+            self.apply_route_balances(&route_id);
+            self.set_route_stage(&route_id, MultihopStage::Update);
+            let route = &self.routes[&route_id];
+            let amount = route.amount;
+            let prev = route.prev_hop().expect("pn has a predecessor");
+            let msg = ProtocolMsg::MhUpdate { route: route_id };
+            let eff = self.seal_to(&prev, &msg)?;
+            Ok(vec![
+                eff,
+                Effect::Event(HostEvent::MultihopReceived {
+                    route: route_id,
+                    amount,
+                }),
+            ])
+        }
+    }
+
+    /// Applies post-payment balances to our route channels.
+    fn apply_route_balances(&mut self, route_id: &RouteId) {
+        let Some(route) = self.routes.get(route_id) else {
+            return;
+        };
+        let amount = route.amount;
+        let in_chan = route.in_chan();
+        let out_chan = route.out_chan();
+        if let Some(id) = in_chan {
+            if let Some(c) = self.channels.get_mut(&id) {
+                c.my_bal += amount;
+                c.remote_bal -= amount;
+                self.stage_delta(StateDelta::Pay {
+                    id,
+                    my_delta: amount as i64,
+                    remote_delta: -(amount as i64),
+                });
+            }
+        }
+        if let Some(id) = out_chan {
+            if let Some(c) = self.channels.get_mut(&id) {
+                c.my_bal -= amount;
+                c.remote_bal += amount;
+                self.stage_delta(StateDelta::Pay {
+                    id,
+                    my_delta: -(amount as i64),
+                    remote_delta: amount as i64,
+                });
+            }
+        }
+    }
+
+    pub(crate) fn on_mh_update(&mut self, from: PublicKey, route_id: RouteId) -> Outcome {
+        self.require_unfrozen()?;
+        let route = self.routes.get(&route_id).ok_or(ProtocolError::BadStage)?;
+        if route.next_hop() != Some(from) {
+            return Err(ProtocolError::BadMessage);
+        }
+        if self.route_stage(&route_id) != MultihopStage::PreUpdate {
+            return Err(ProtocolError::BadStage);
+        }
+        self.apply_route_balances(&route_id);
+        let pos = self.routes[&route_id].pos;
+        if pos > 0 {
+            self.set_route_stage(&route_id, MultihopStage::Update);
+            let prev = self.routes[&route_id].prev_hop().expect("pos > 0");
+            let msg = ProtocolMsg::MhUpdate { route: route_id };
+            Ok(vec![self.seal_to(&prev, &msg)?])
+        } else {
+            // p1: discard τ (Alg. 2 line 42) and start postUpdate forward.
+            self.routes.get_mut(&route_id).expect("checked").tau = None;
+            self.stage_delta(StateDelta::Tau {
+                route: route_id,
+                tau: None,
+            });
+            self.set_route_stage(&route_id, MultihopStage::PostUpdate);
+            let next = self.routes[&route_id].hops[1];
+            let msg = ProtocolMsg::MhPostUpdate { route: route_id };
+            Ok(vec![self.seal_to(&next, &msg)?])
+        }
+    }
+
+    pub(crate) fn on_mh_post_update(&mut self, from: PublicKey, route_id: RouteId) -> Outcome {
+        self.require_unfrozen()?;
+        let route = self.routes.get(&route_id).ok_or(ProtocolError::BadStage)?;
+        if route.prev_hop() != Some(from) {
+            return Err(ProtocolError::BadMessage);
+        }
+        if self.route_stage(&route_id) != MultihopStage::Update {
+            return Err(ProtocolError::BadStage);
+        }
+        let route = self.routes.get_mut(&route_id).expect("checked");
+        route.tau = None;
+        let pos = route.pos;
+        let n = route.hops.len();
+        self.stage_delta(StateDelta::Tau {
+            route: route_id,
+            tau: None,
+        });
+        if pos + 1 < n {
+            self.set_route_stage(&route_id, MultihopStage::PostUpdate);
+            let next = self.routes[&route_id].hops[pos + 1];
+            let msg = ProtocolMsg::MhPostUpdate { route: route_id };
+            Ok(vec![self.seal_to(&next, &msg)?])
+        } else {
+            // pn: unlock and send release backward (Alg. 2 line 53).
+            self.set_route_stage(&route_id, MultihopStage::Idle);
+            let prev = self.routes[&route_id].prev_hop().expect("pn");
+            self.routes.remove(&route_id);
+            let msg = ProtocolMsg::MhRelease { route: route_id };
+            Ok(vec![self.seal_to(&prev, &msg)?])
+        }
+    }
+
+    pub(crate) fn on_mh_release(&mut self, from: PublicKey, route_id: RouteId) -> Outcome {
+        self.require_unfrozen()?;
+        let route = self.routes.get(&route_id).ok_or(ProtocolError::BadStage)?;
+        if route.next_hop() != Some(from) {
+            return Err(ProtocolError::BadMessage);
+        }
+        if self.route_stage(&route_id) != MultihopStage::PostUpdate {
+            return Err(ProtocolError::BadStage);
+        }
+        self.set_route_stage(&route_id, MultihopStage::Idle);
+        let route = self.routes.remove(&route_id).expect("checked");
+        if route.pos > 0 {
+            let msg = ProtocolMsg::MhRelease { route: route_id };
+            Ok(vec![self.seal_to(&route.prev_hop().expect("pos > 0"), &msg)?])
+        } else {
+            Ok(vec![Effect::Event(HostEvent::MultihopComplete {
+                route: route_id,
+                amount: route.amount,
+            })])
+        }
+    }
+
+    pub(crate) fn on_mh_abort(&mut self, from: PublicKey, route_id: RouteId) -> Outcome {
+        let Some(route) = self.routes.get(&route_id) else {
+            return Err(ProtocolError::BadStage);
+        };
+        if route.next_hop() != Some(from) {
+            return Err(ProtocolError::BadMessage);
+        }
+        // Abort is only legal before any balances moved.
+        let stage = self.route_stage(&route_id);
+        if stage != MultihopStage::Lock && stage != MultihopStage::Sign {
+            return Err(ProtocolError::BadStage);
+        }
+        self.set_route_stage(&route_id, MultihopStage::Idle);
+        self.stage_delta(StateDelta::Tau {
+            route: route_id,
+            tau: None,
+        });
+        let route = self.routes.remove(&route_id).expect("checked");
+        if route.pos > 0 {
+            let msg = ProtocolMsg::MhAbort { route: route_id };
+            Ok(vec![self.seal_to(&route.prev_hop().expect("pos > 0"), &msg)?])
+        } else {
+            Ok(vec![Effect::Event(HostEvent::MultihopFailed {
+                route: route_id,
+            })])
+        }
+    }
+
+    // ---- Eject and PoPT (Alg. 2 lines 60–72) ----
+
+    pub(crate) fn cmd_eject(&mut self, route_id: RouteId) -> Outcome {
+        let stage = self.route_stage(&route_id);
+        let route = self.routes.get_mut(&route_id).ok_or(ProtocolError::BadStage)?;
+        if route.terminated {
+            return Err(ProtocolError::BadStage);
+        }
+        route.terminated = true;
+        let tau = route.tau.clone();
+        let my_channels = route.my_channels();
+        self.set_route_stage(&route_id, MultihopStage::Terminated);
+        let mut effects = Vec::new();
+        match stage {
+            MultihopStage::Lock
+            | MultihopStage::Sign
+            | MultihopStage::PostUpdate
+            | MultihopStage::Release
+            | MultihopStage::Idle => {
+                // Current-state settlements (pre-payment before update,
+                // post-payment after).
+                for id in my_channels {
+                    let chan = self.channels.get_mut(&id).ok_or(ProtocolError::UnknownChannel)?;
+                    chan.closed = true;
+                    let tx = settle::current_settlement_tx(chan);
+                    self.stage_delta(StateDelta::CloseChannel(id));
+                    self.finish_settlement(id, tx, &mut effects);
+                }
+            }
+            MultihopStage::PreUpdate | MultihopStage::Update => {
+                // Only τ may settle in the intermediate states.
+                let tau = tau.ok_or(ProtocolError::BadStage)?;
+                for id in my_channels {
+                    if let Some(chan) = self.channels.get_mut(&id) {
+                        chan.closed = true;
+                        self.stage_delta(StateDelta::CloseChannel(id));
+                    }
+                }
+                effects.push(Effect::Event(HostEvent::SettlementBroadcast {
+                    id: ChannelId(route_id.0),
+                    txid: tau.txid(),
+                }));
+                effects.push(Effect::Broadcast(tau));
+            }
+            MultihopStage::Terminated => return Err(ProtocolError::BadStage),
+        }
+        Ok(effects)
+    }
+
+    pub(crate) fn cmd_eject_popt(&mut self, route_id: RouteId, popt: Transaction) -> Outcome {
+        let stage = self.route_stage(&route_id);
+        let route = self.routes.get(&route_id).ok_or(ProtocolError::BadStage)?;
+        let tau = route.tau.clone().ok_or(ProtocolError::BadPopt)?;
+        let txid = popt.txid();
+        // The PoPT must genuinely conflict with this route's τ — i.e. spend
+        // at least one of the path's deposits.
+        if !popt.conflicts_with(&tau) {
+            return Err(ProtocolError::BadPopt);
+        }
+        let my_channels = route.my_channels();
+        let amount = route.amount;
+        let pre_balances = route.pre_balances.clone();
+        let classify = if txid == tau.txid() {
+            None // τ itself confirmed: everything is already settled.
+        } else {
+            let digest = route
+                .digests
+                .iter()
+                .find(|d| d.txid == txid)
+                .ok_or(ProtocolError::BadPopt)?;
+            Some(digest.post)
+        };
+        let route = self.routes.get_mut(&route_id).expect("checked");
+        route.terminated = true;
+        self.set_route_stage(&route_id, MultihopStage::Terminated);
+        let mut effects = Vec::new();
+        match classify {
+            None => {
+                // τ confirmed: our channels are settled by it; just close.
+                for id in my_channels {
+                    if let Some(chan) = self.channels.get_mut(&id) {
+                        chan.closed = true;
+                        self.stage_delta(StateDelta::CloseChannel(id));
+                    }
+                }
+            }
+            Some(post) => {
+                let valid = if post {
+                    matches!(
+                        stage,
+                        MultihopStage::PreUpdate
+                            | MultihopStage::Update
+                            | MultihopStage::PostUpdate
+                            | MultihopStage::Release
+                    )
+                } else {
+                    matches!(
+                        stage,
+                        MultihopStage::Lock
+                            | MultihopStage::Sign
+                            | MultihopStage::PreUpdate
+                            | MultihopStage::Update
+                    )
+                };
+                if !valid {
+                    return Err(ProtocolError::BadPopt);
+                }
+                for id in my_channels {
+                    let (pre_my, pre_remote) = pre_balances
+                        .get(&id)
+                        .copied()
+                        .ok_or(ProtocolError::BadPopt)?;
+                    let chan = self.channels.get_mut(&id).ok_or(ProtocolError::UnknownChannel)?;
+                    chan.closed = true;
+                    // Determine the payment direction for this channel:
+                    // settle at the state matching the PoPT.
+                    let (my_bal, remote_bal) = if post {
+                        let rs = &self.routes[&route_id];
+                        let outgoing = rs.out_chan() == Some(id);
+                        if outgoing {
+                            (pre_my - amount, pre_remote + amount)
+                        } else {
+                            (pre_my + amount, pre_remote - amount)
+                        }
+                    } else {
+                        (pre_my, pre_remote)
+                    };
+                    let chan = self.channels.get_mut(&id).expect("checked");
+                    let tx = settle::settlement_tx(chan, my_bal, remote_bal);
+                    self.stage_delta(StateDelta::CloseChannel(id));
+                    self.finish_settlement(id, tx, &mut effects);
+                }
+            }
+        }
+        Ok(effects)
+    }
+}

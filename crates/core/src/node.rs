@@ -1,0 +1,417 @@
+//! The untrusted host: wraps a Teechain enclave, performs network and
+//! blockchain I/O, stores sealed blobs, and coordinates committee
+//! co-signing. Nothing here is trusted — a malicious host can only delay
+//! or drop traffic, which the protocol tolerates by construction.
+
+use crate::enclave::{Command, Effect, EnclaveConfig, HostEvent, TeechainEnclave};
+use crate::types::{Deposit, ProtocolError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use teechain_blockchain::{Chain, Transaction};
+use teechain_crypto::schnorr::{PublicKey, Signature};
+use teechain_net::{Ctx, NodeId};
+use teechain_tee::{DeviceIdentity, Enclave, Measurement};
+use teechain_util::codec::{Decode, Encode, Reader, WireError};
+
+/// Node-to-node wire wrapper: enclave traffic plus host-level committee
+/// signing coordination (signatures are not confidential; only
+/// authenticity matters, and that is enforced *inside* the enclave by
+/// checking the transaction against replicated state).
+pub enum NodeWire {
+    /// Enclave-to-enclave message (encoded [`crate::msg::WireMsg`]).
+    Enclave(Vec<u8>),
+    /// Co-signing request for a settlement.
+    SigRequest {
+        /// Correlates response with request at the origin.
+        req_id: u64,
+        /// The origin enclave identity (route the response back).
+        origin: PublicKey,
+        /// The transaction to co-sign.
+        tx: Transaction,
+    },
+    /// Co-signing response.
+    SigResponse {
+        /// Correlates with the request.
+        req_id: u64,
+        /// Granted signatures.
+        sigs: Vec<(u32, Signature)>,
+        /// True if the member refused.
+        refused: bool,
+    },
+}
+
+impl Encode for NodeWire {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            NodeWire::Enclave(b) => {
+                0u8.encode(out);
+                b.encode(out);
+            }
+            NodeWire::SigRequest { req_id, origin, tx } => {
+                1u8.encode(out);
+                req_id.encode(out);
+                origin.encode(out);
+                tx.encode(out);
+            }
+            NodeWire::SigResponse {
+                req_id,
+                sigs,
+                refused,
+            } => {
+                2u8.encode(out);
+                req_id.encode(out);
+                sigs.encode(out);
+                refused.encode(out);
+            }
+        }
+    }
+}
+
+impl Decode for NodeWire {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(match r.read::<u8>()? {
+            0 => NodeWire::Enclave(r.read()?),
+            1 => NodeWire::SigRequest {
+                req_id: r.read()?,
+                origin: r.read()?,
+                tx: r.read()?,
+            },
+            2 => NodeWire::SigResponse {
+                req_id: r.read()?,
+                sigs: r.read()?,
+                refused: r.read()?,
+            },
+            _ => return Err(WireError::InvalidValue("node wire tag")),
+        })
+    }
+}
+
+/// A shared handle to the simulated blockchain.
+pub type SharedChain = Arc<Mutex<Chain>>;
+
+/// A Teechain node: enclave + host logic.
+pub struct TeechainNode {
+    /// The TEE.
+    pub enclave: Enclave<TeechainEnclave>,
+    /// Cached enclave identity (after first `GetIdentity`).
+    pub identity: Option<PublicKey>,
+    /// Identity key → simulator node directory (out-of-band knowledge).
+    pub directory: HashMap<PublicKey, NodeId>,
+    /// The blockchain this node reads and writes asynchronously.
+    pub chain: SharedChain,
+    /// Confirmations this host requires before approving a deposit
+    /// (the per-participant security parameter of §4.1).
+    pub required_confirmations: u64,
+    /// Committee peers to ask for co-signatures (our chain members).
+    pub committee_peers: Vec<PublicKey>,
+    /// Host-side sealed storage (persistent mode).
+    pub sealed_store: Option<Vec<u8>>,
+    /// Events produced by the enclave, in order, with timestamps.
+    pub events: Vec<(u64, HostEvent)>,
+    /// Transactions this node broadcast (txids, for assertions).
+    pub broadcasts: Vec<teechain_blockchain::TxId>,
+    /// Errors surfaced while delivering messages (protocol violations by
+    /// peers are dropped, as a real implementation logs-and-drops).
+    pub delivery_errors: Vec<ProtocolError>,
+    /// True when a counter-retry timer is outstanding.
+    retry_scheduled: bool,
+}
+
+/// Timer token the node uses for counter-retry wakeups.
+pub const RETRY_TOKEN: u64 = 0x7EE_C8A1_4E57;
+
+impl TeechainNode {
+    /// Creates a node with a freshly launched enclave.
+    pub fn new(
+        device: DeviceIdentity,
+        cfg: EnclaveConfig,
+        seed: u64,
+        chain: SharedChain,
+    ) -> Self {
+        let measurement = cfg.measurement;
+        let program = TeechainEnclave::new(cfg);
+        TeechainNode {
+            enclave: Enclave::launch(device, measurement, seed, program),
+            identity: None,
+            directory: HashMap::new(),
+            chain,
+            required_confirmations: 1,
+            committee_peers: Vec::new(),
+            sealed_store: None,
+            events: Vec::new(),
+            broadcasts: Vec::new(),
+            delivery_errors: Vec::new(),
+            retry_scheduled: false,
+        }
+    }
+
+    /// The standard measurement for this build of the enclave program.
+    pub fn measurement() -> Measurement {
+        Measurement::of_program("teechain-enclave", 1)
+    }
+
+    /// Registers where a peer identity lives on the network.
+    pub fn register_peer(&mut self, pk: PublicKey, node: NodeId) {
+        self.directory.insert(pk, node);
+    }
+
+    /// Fetches (and caches) the enclave identity.
+    pub fn identity(&mut self, now_ns: u64) -> PublicKey {
+        if let Some(pk) = self.identity {
+            return pk;
+        }
+        let effects = self
+            .enclave
+            .call(now_ns, Command::GetIdentity)
+            .expect("enclave alive")
+            .expect("GetIdentity is infallible");
+        for e in &effects {
+            if let Effect::Event(HostEvent::Identity(pk)) = e {
+                self.identity = Some(*pk);
+            }
+        }
+        self.identity.expect("identity event")
+    }
+
+    /// Issues a command to the enclave and performs the resulting effects.
+    pub fn command(&mut self, ctx: &mut Ctx<'_>, cmd: Command) -> Result<(), ProtocolError> {
+        let outcome = self
+            .enclave
+            .call(ctx.now_ns(), cmd)
+            .map_err(|_| ProtocolError::Frozen)?;
+        let effects = outcome?;
+        self.perform(ctx, effects);
+        Ok(())
+    }
+
+    /// Handles an incoming network message.
+    pub fn handle_wire(&mut self, ctx: &mut Ctx<'_>, _from: NodeId, bytes: Vec<u8>) {
+        let Ok(msg) = NodeWire::decode_exact(&bytes) else {
+            return; // Garbage from the network: drop.
+        };
+        match msg {
+            NodeWire::Enclave(wire) => {
+                let result = self.enclave.call(ctx.now_ns(), Command::Deliver { wire });
+                match result {
+                    Err(_) => {} // Crashed enclave drops traffic.
+                    Ok(Ok(effects)) => self.perform(ctx, effects),
+                    Ok(Err(ProtocolError::CounterThrottled { ready_at })) => {
+                        // Persistent mode backpressure: the enclave stashed
+                        // the message; retry once the counter is ready.
+                        self.schedule_retry(ctx, ready_at);
+                    }
+                    Ok(Err(e)) => self.delivery_errors.push(e),
+                }
+            }
+            NodeWire::SigRequest { req_id, origin, tx } => {
+                let result = self
+                    .enclave
+                    .call(ctx.now_ns(), Command::CoSign { req_id, tx });
+                if let Ok(Ok(effects)) = result {
+                    // CoSignResult events answer back to the origin node.
+                    for e in effects {
+                        if let Effect::Event(HostEvent::CoSignResult {
+                            req_id,
+                            sigs,
+                            refused,
+                        }) = e
+                        {
+                            if let Some(&node) = self.directory.get(&origin) {
+                                let resp = NodeWire::SigResponse {
+                                    req_id,
+                                    sigs,
+                                    refused,
+                                };
+                                ctx.send(node, resp.encode_to_vec());
+                            }
+                        } else {
+                            self.perform(ctx, vec![e]);
+                        }
+                    }
+                }
+            }
+            NodeWire::SigResponse { req_id, sigs, .. } => {
+                let result = self
+                    .enclave
+                    .call(ctx.now_ns(), Command::AddCoSigs { req_id, sigs });
+                if let Ok(Ok(effects)) = result {
+                    self.perform(ctx, effects);
+                }
+            }
+        }
+    }
+
+    fn schedule_retry(&mut self, ctx: &mut Ctx<'_>, ready_at: u64) {
+        if self.retry_scheduled {
+            return;
+        }
+        self.retry_scheduled = true;
+        let delay = ready_at.saturating_sub(ctx.now_ns()).max(1);
+        ctx.set_timer(delay, RETRY_TOKEN);
+    }
+
+    /// Fires node timers (counter retry).
+    pub fn handle_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token != RETRY_TOKEN {
+            return;
+        }
+        self.retry_scheduled = false;
+        match self.enclave.call(ctx.now_ns(), Command::RetryPending) {
+            Ok(Ok(effects)) => self.perform(ctx, effects),
+            Ok(Err(ProtocolError::CounterThrottled { ready_at })) => {
+                self.schedule_retry(ctx, ready_at);
+            }
+            _ => {}
+        }
+    }
+
+    /// Carries out enclave effects: sends, broadcasts, chain checks,
+    /// co-sign fan-out, persistence, event collection.
+    pub fn perform(&mut self, ctx: &mut Ctx<'_>, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, wire } => {
+                    if let Some(&node) = self.directory.get(&to) {
+                        ctx.send(node, NodeWire::Enclave(wire).encode_to_vec());
+                    }
+                }
+                Effect::Broadcast(tx) => {
+                    self.broadcasts.push(tx.txid());
+                    // Asynchronous access: submission may fail (conflict)
+                    // or linger unconfirmed arbitrarily long; the protocol
+                    // never depends on when this lands.
+                    let _ = self.chain.lock().submit(tx);
+                }
+                Effect::Persist(blob) => {
+                    self.sealed_store = Some(blob);
+                }
+                Effect::Event(event) => {
+                    self.react(ctx, &event);
+                    self.events.push((ctx.now_ns(), event));
+                }
+            }
+        }
+    }
+
+    /// Automatic host reactions to enclave events.
+    fn react(&mut self, ctx: &mut Ctx<'_>, event: &HostEvent) {
+        match event {
+            HostEvent::VerifyDeposit { remote, deposit } => {
+                // The host checks the chain per its own policy and answers.
+                let valid = self.verify_deposit_on_chain(deposit);
+                let outpoint = deposit.outpoint;
+                let remote = *remote;
+                let result = self.enclave.call(
+                    ctx.now_ns(),
+                    Command::DepositVerified {
+                        remote,
+                        outpoint,
+                        valid,
+                    },
+                );
+                if let Ok(Ok(effects)) = result {
+                    self.perform(ctx, effects);
+                }
+            }
+            HostEvent::RetryAt(ready_at) => {
+                let ready_at = *ready_at;
+                self.schedule_retry(ctx, ready_at);
+            }
+            HostEvent::NeedCoSign { req_id, tx } => {
+                let me = self.identity.expect("identity known by now");
+                for peer in self.committee_peers.clone() {
+                    if let Some(&node) = self.directory.get(&peer) {
+                        let req = NodeWire::SigRequest {
+                            req_id: *req_id,
+                            origin: me,
+                            tx: tx.clone(),
+                        };
+                        ctx.send(node, req.encode_to_vec());
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn verify_deposit_on_chain(&self, deposit: &Deposit) -> bool {
+        let chain = self.chain.lock();
+        let Some(out) = chain.utxo(&deposit.outpoint) else {
+            return false;
+        };
+        if out.value != deposit.value {
+            return false;
+        }
+        // The on-chain script must match the claimed committee.
+        let expected = teechain_blockchain::ScriptPubKey::multisig(
+            deposit.committee.m,
+            deposit.committee.member_keys.clone(),
+        );
+        if out.script != expected {
+            return false;
+        }
+        chain.confirmations(&deposit.outpoint.txid) >= self.required_confirmations
+    }
+
+    /// Drains collected host events.
+    pub fn drain_events(&mut self) -> Vec<(u64, HostEvent)> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Convenience: funds and registers a 1-of-1 deposit for this node.
+    /// Mints `value` to a fresh in-enclave address, waits for the host's
+    /// required confirmations, and registers the deposit. Returns it.
+    pub fn create_funded_deposit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        value: u64,
+    ) -> Result<Deposit, ProtocolError> {
+        self.create_funded_committee_deposit(ctx, value, 1)
+    }
+
+    /// Funds a deposit into an m-of-n committee address (n = chain length
+    /// + 1). With `m = 1` and no backups this degenerates to Alg. 1's
+    /// 1-of-1 deposits.
+    pub fn create_funded_committee_deposit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        value: u64,
+        m: u8,
+    ) -> Result<Deposit, ProtocolError> {
+        let outcome = self
+            .enclave
+            .call(ctx.now_ns(), Command::NewCommitteeAddress { m })
+            .map_err(|_| ProtocolError::Frozen)??;
+        let mut spec = None;
+        for e in &outcome {
+            if let Effect::Event(HostEvent::CommitteeAddress(s)) = e {
+                spec = Some(s.clone());
+            }
+        }
+        let spec = spec.ok_or(ProtocolError::BadDeposit)?;
+        let outpoint = {
+            let mut chain = self.chain.lock();
+            let script =
+                teechain_blockchain::ScriptPubKey::multisig(spec.m, spec.member_keys.clone());
+            let op = chain.mint(script, value);
+            // Ensure our own confirmation policy is met.
+            if self.required_confirmations > 1 {
+                chain.mine_blocks(self.required_confirmations - 1);
+            }
+            op
+        };
+        let deposit = Deposit {
+            outpoint,
+            value,
+            committee: spec,
+        };
+        self.command(
+            ctx,
+            Command::NewDeposit {
+                deposit: deposit.clone(),
+            },
+        )?;
+        Ok(deposit)
+    }
+}

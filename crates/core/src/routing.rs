@@ -1,0 +1,168 @@
+//! Route selection over the payment-channel overlay (§7.4).
+//!
+//! The paper assumes routes are found out-of-band (§3, footnote 2); the
+//! evaluation nevertheless needs shortest paths for the hub-and-spoke
+//! experiments and *alternative* paths for the dynamic-routing ablation
+//! (Table 3). This module provides both over a static channel graph.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use teechain_net::NodeId;
+
+/// An undirected channel graph over simulator node ids.
+#[derive(Debug, Default, Clone)]
+pub struct ChannelGraph {
+    adj: HashMap<NodeId, Vec<NodeId>>,
+}
+
+impl ChannelGraph {
+    /// Builds a graph from channel endpoint pairs.
+    pub fn from_pairs(pairs: &[(NodeId, NodeId)]) -> Self {
+        let mut g = ChannelGraph::default();
+        for &(a, b) in pairs {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Adds an undirected edge.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
+        self.adj.entry(a).or_default().push(b);
+        self.adj.entry(b).or_default().push(a);
+    }
+
+    /// Neighbours of `n`.
+    pub fn neighbours(&self, n: NodeId) -> &[NodeId] {
+        self.adj.get(&n).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// BFS shortest path from `from` to `to` (inclusive of endpoints),
+    /// optionally avoiding a set of edges.
+    pub fn shortest_path_avoiding(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        avoid: &HashSet<(NodeId, NodeId)>,
+    ) -> Option<Vec<NodeId>> {
+        if from == to {
+            return Some(vec![from]);
+        }
+        let mut prev: HashMap<NodeId, NodeId> = HashMap::new();
+        let mut queue = VecDeque::from([from]);
+        let mut seen = HashSet::from([from]);
+        while let Some(cur) = queue.pop_front() {
+            for &next in self.neighbours(cur) {
+                let edge = canon(cur, next);
+                if avoid.contains(&edge) || !seen.insert(next) {
+                    continue;
+                }
+                prev.insert(next, cur);
+                if next == to {
+                    let mut path = vec![to];
+                    let mut at = to;
+                    while let Some(&p) = prev.get(&at) {
+                        path.push(p);
+                        at = p;
+                    }
+                    path.reverse();
+                    return Some(path);
+                }
+                queue.push_back(next);
+            }
+        }
+        None
+    }
+
+    /// BFS shortest path.
+    pub fn shortest_path(&self, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+        self.shortest_path_avoiding(from, to, &HashSet::new())
+    }
+
+    /// Up to `k` edge-disjoint-ish alternative paths, shortest first —
+    /// the dynamic-routing strategy of §7.4 ("each machine first tries the
+    /// shortest path, before incrementally trying longer paths").
+    pub fn k_paths(&self, from: NodeId, to: NodeId, k: usize) -> Vec<Vec<NodeId>> {
+        let mut paths = Vec::new();
+        let mut avoid = HashSet::new();
+        for _ in 0..k {
+            let Some(path) = self.shortest_path_avoiding(from, to, &avoid) else {
+                break;
+            };
+            // Ban this path's middle edges so the next search diverges.
+            for w in path.windows(2) {
+                avoid.insert(canon(w[0], w[1]));
+            }
+            paths.push(path);
+        }
+        paths
+    }
+}
+
+fn canon(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn diamond() -> ChannelGraph {
+        // 0 - 1 - 3, 0 - 2 - 3.
+        ChannelGraph::from_pairs(&[(n(0), n(1)), (n(1), n(3)), (n(0), n(2)), (n(2), n(3))])
+    }
+
+    #[test]
+    fn shortest_path_found() {
+        let g = diamond();
+        let p = g.shortest_path(n(0), n(3)).unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0], n(0));
+        assert_eq!(p[2], n(3));
+    }
+
+    #[test]
+    fn no_path_when_disconnected() {
+        let g = ChannelGraph::from_pairs(&[(n(0), n(1))]);
+        assert!(g.shortest_path(n(0), n(5)).is_none());
+    }
+
+    #[test]
+    fn trivial_path_to_self() {
+        let g = diamond();
+        assert_eq!(g.shortest_path(n(1), n(1)).unwrap(), vec![n(1)]);
+    }
+
+    #[test]
+    fn k_paths_diverge() {
+        let g = diamond();
+        let paths = g.k_paths(n(0), n(3), 3);
+        assert_eq!(paths.len(), 2); // Only two disjoint routes exist.
+        assert_ne!(paths[0], paths[1]);
+    }
+
+    #[test]
+    fn direct_edge_preferred() {
+        let mut g = diamond();
+        g.add_edge(n(0), n(3));
+        assert_eq!(g.shortest_path(n(0), n(3)).unwrap(), vec![n(0), n(3)]);
+    }
+
+    #[test]
+    fn hub_spoke_paths_route_through_hubs() {
+        let hs = teechain_net::topology::HubSpoke::paper_default();
+        let g = ChannelGraph::from_pairs(&hs.channel_pairs());
+        // Two tier-3 leaves must route via their tier-2 parents (and
+        // possibly a hub): path length 3-5 nodes.
+        let a = n(hs.tier1 + hs.tier2); // first leaf
+        let b = n(hs.tier1 + hs.tier2 + 1); // second leaf
+        let p = g.shortest_path(a, b).unwrap();
+        assert!(p.len() >= 3 && p.len() <= 6, "path {p:?}");
+    }
+}

@@ -1,0 +1,283 @@
+//! Secure network channels between enclaves (Alg. 1, `newNetworkChannel`).
+//!
+//! The handshake performs mutual remote attestation and an authenticated
+//! ephemeral Diffie-Hellman exchange. Each side proves: (i) it runs the
+//! expected Teechain enclave build on a genuine TEE (the quote binds the
+//! identity and ephemeral keys); and (ii) it owns its identity key and is
+//! talking to the intended peer (the transcript signature covers both
+//! identities), which prevents messages from being relayed between enclave
+//! instances — the state-forking defence of §4.1.
+//!
+//! After the handshake, all traffic is AEAD-sealed under per-direction keys
+//! with strictly increasing sequence numbers as nonces (freshness).
+
+use crate::msg::{Handshake, ProtocolMsg, WireMsg};
+use crate::types::ProtocolError;
+use teechain_crypto::aead::Aead;
+use teechain_crypto::ecdh;
+use teechain_crypto::schnorr::{self, Keypair, PrivateKey, PublicKey};
+use teechain_crypto::sha256::{hkdf, tagged_hash};
+use teechain_tee::attest::report_data_from;
+use teechain_tee::Quote;
+use teechain_util::codec::{Decode, Encode};
+
+/// An established (or half-open) secure session with a remote enclave.
+pub struct Session {
+    /// Remote enclave identity key.
+    pub remote: PublicKey,
+    send: Aead,
+    recv: Aead,
+    send_seq: u64,
+    recv_seq: u64,
+    /// True once the handshake completed.
+    pub established: bool,
+}
+
+impl Session {
+    /// Derives directional session keys from the DH secret. Both sides
+    /// derive identical keys; direction is disambiguated by canonical key
+    /// order so the two directions never share an AEAD nonce space.
+    pub fn derive(secret: &[u8; 32], me: &PublicKey, remote: &PublicKey) -> Session {
+        let (lo, hi) = if me.to_bytes() <= remote.to_bytes() {
+            (me, remote)
+        } else {
+            (remote, me)
+        };
+        let mut info = Vec::with_capacity(128);
+        info.extend_from_slice(&lo.to_bytes());
+        info.extend_from_slice(&hi.to_bytes());
+        let okm = hkdf(b"teechain-session-v2", secret, &info, 64);
+        let key_lo_hi: [u8; 32] = okm[..32].try_into().unwrap();
+        let key_hi_lo: [u8; 32] = okm[32..].try_into().unwrap();
+        let i_am_lo = me.to_bytes() <= remote.to_bytes();
+        let (send_key, recv_key) = if i_am_lo {
+            (key_lo_hi, key_hi_lo)
+        } else {
+            (key_hi_lo, key_lo_hi)
+        };
+        Session {
+            remote: *remote,
+            send: Aead::new(&send_key),
+            recv: Aead::new(&recv_key),
+            send_seq: 0,
+            recv_seq: 0,
+            established: false,
+        }
+    }
+
+    /// Seals a protocol message into a wire envelope.
+    pub fn seal(&mut self, me: &PublicKey, msg: &ProtocolMsg) -> WireMsg {
+        let seq = self.send_seq;
+        self.send_seq += 1;
+        let ct = self.send.seal(seq, &me.to_bytes(), &msg.encode_to_vec());
+        WireMsg::Sealed {
+            from: *me,
+            seq,
+            class: crate::msg::CostClass::of(msg) as u8,
+            ct,
+        }
+    }
+
+    /// Opens a sealed envelope, enforcing strict sequence ordering (replay,
+    /// reorder and drop all surface as authentication failures).
+    pub fn open(&mut self, seq: u64, ct: &[u8]) -> Result<ProtocolMsg, ProtocolError> {
+        if seq != self.recv_seq {
+            return Err(ProtocolError::BadMessage);
+        }
+        let plain = self
+            .recv
+            .open(seq, &self.remote.to_bytes(), ct)
+            .map_err(|_| ProtocolError::BadMessage)?;
+        let msg = ProtocolMsg::decode_exact(&plain).map_err(|_| ProtocolError::BadMessage)?;
+        self.recv_seq += 1;
+        Ok(msg)
+    }
+}
+
+fn transcript_digest(role: &str, me: &PublicKey, eph: &PublicKey, peer: &PublicKey) -> [u8; 32] {
+    tagged_hash(
+        role,
+        &[&me.to_bytes(), &eph.to_bytes(), &peer.to_bytes()],
+    )
+}
+
+fn quote_binding(identity: &PublicKey, eph: &PublicKey) -> [u8; 64] {
+    report_data_from(&tagged_hash(
+        "teechain/quote-binding",
+        &[&identity.to_bytes(), &eph.to_bytes()],
+    ))
+}
+
+/// Builds a handshake message (either direction).
+pub fn make_handshake(
+    role: &str,
+    identity: &Keypair,
+    eph: &Keypair,
+    peer: &PublicKey,
+    quote: Quote,
+) -> Handshake {
+    let digest = transcript_digest(role, &identity.pk, &eph.pk, peer);
+    Handshake {
+        identity: identity.pk,
+        eph: eph.pk,
+        quote,
+        sig: identity.sign(&digest),
+    }
+}
+
+/// Verifies a peer's handshake: attestation (root + measurement + binding)
+/// and transcript signature. `me` is the verifier's identity (the signature
+/// must name us as the intended peer).
+pub fn verify_handshake(
+    role: &str,
+    hs: &Handshake,
+    me: &PublicKey,
+    trust_root: &PublicKey,
+    expected_measurement: &teechain_tee::Measurement,
+) -> Result<(), ProtocolError> {
+    if !hs.quote.verify_for(trust_root, expected_measurement) {
+        return Err(ProtocolError::AttestationFailed);
+    }
+    if hs.quote.report_data != quote_binding(&hs.identity, &hs.eph) {
+        return Err(ProtocolError::AttestationFailed);
+    }
+    let digest = transcript_digest(role, &hs.identity, &hs.eph, me);
+    if !schnorr::verify(&hs.identity, &digest, &hs.sig) {
+        return Err(ProtocolError::AttestationFailed);
+    }
+    Ok(())
+}
+
+/// Computes the session secret from our ephemeral private key and the
+/// peer's ephemeral public key.
+pub fn session_secret(my_eph: &PrivateKey, peer_eph: &PublicKey) -> [u8; 32] {
+    ecdh::shared_secret(my_eph, peer_eph)
+}
+
+/// The report data a handshake quote must carry for (identity, eph).
+pub fn expected_quote_binding(identity: &PublicKey, eph: &PublicKey) -> [u8; 64] {
+    quote_binding(identity, eph)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teechain_tee::{Measurement, TrustRoot};
+
+    const M: (&str, u32) = ("teechain", 1);
+
+    fn quote_for(root: &TrustRoot, dev_seed: u64, identity: &Keypair, eph: &Keypair) -> Quote {
+        let dev = root.issue_device(dev_seed);
+        dev.quote(
+            Measurement::of_program(M.0, M.1),
+            expected_quote_binding(&identity.pk, &eph.pk),
+        )
+    }
+
+    fn pair() -> (Keypair, Keypair, Keypair, Keypair, TrustRoot) {
+        let a_id = Keypair::from_seed(&[1; 32]);
+        let a_eph = Keypair::from_seed(&[2; 32]);
+        let b_id = Keypair::from_seed(&[3; 32]);
+        let b_eph = Keypair::from_seed(&[4; 32]);
+        (a_id, a_eph, b_id, b_eph, TrustRoot::new(9))
+    }
+
+    #[test]
+    fn handshake_verifies() {
+        let (a_id, a_eph, b_id, _b_eph, root) = pair();
+        let q = quote_for(&root, 1, &a_id, &a_eph);
+        let hs = make_handshake("hello", &a_id, &a_eph, &b_id.pk, q);
+        let m = Measurement::of_program(M.0, M.1);
+        assert!(verify_handshake("hello", &hs, &b_id.pk, &root.public_key(), &m).is_ok());
+        // Wrong intended peer: signature check fails.
+        let c = Keypair::from_seed(&[7; 32]);
+        assert_eq!(
+            verify_handshake("hello", &hs, &c.pk, &root.public_key(), &m),
+            Err(ProtocolError::AttestationFailed)
+        );
+        // Wrong role string: cross-protocol confusion rejected.
+        assert_eq!(
+            verify_handshake("hello-ack", &hs, &b_id.pk, &root.public_key(), &m),
+            Err(ProtocolError::AttestationFailed)
+        );
+    }
+
+    #[test]
+    fn quote_must_bind_ephemeral() {
+        let (a_id, a_eph, b_id, _b, root) = pair();
+        // Quote binds a *different* ephemeral key (MitM key substitution).
+        let evil_eph = Keypair::from_seed(&[99; 32]);
+        let q = quote_for(&root, 1, &a_id, &evil_eph);
+        let hs = make_handshake("hello", &a_id, &a_eph, &b_id.pk, q);
+        let m = Measurement::of_program(M.0, M.1);
+        assert_eq!(
+            verify_handshake("hello", &hs, &b_id.pk, &root.public_key(), &m),
+            Err(ProtocolError::AttestationFailed)
+        );
+    }
+
+    #[test]
+    fn sessions_agree_and_transfer() {
+        let (a_id, a_eph, b_id, b_eph, _) = pair();
+        let sa = session_secret(&a_eph.sk, &b_eph.pk);
+        let sb = session_secret(&b_eph.sk, &a_eph.pk);
+        assert_eq!(sa, sb);
+        let mut alice = Session::derive(&sa, &a_id.pk, &b_id.pk);
+        let mut bob = Session::derive(&sb, &b_id.pk, &a_id.pk);
+        let msg = ProtocolMsg::RepAck { seq: 42 };
+        let wire = alice.seal(&a_id.pk, &msg);
+        let WireMsg::Sealed { seq, ct, .. } = wire else {
+            panic!("expected sealed");
+        };
+        match bob.open(seq, &ct).unwrap() {
+            ProtocolMsg::RepAck { seq: 42 } => {}
+            _ => panic!("wrong message"),
+        }
+    }
+
+    #[test]
+    fn replay_rejected() {
+        let (a_id, a_eph, b_id, b_eph, _) = pair();
+        let secret = session_secret(&a_eph.sk, &b_eph.pk);
+        let mut alice = Session::derive(&secret, &a_id.pk, &b_id.pk);
+        let mut bob = Session::derive(&secret, &b_id.pk, &a_id.pk);
+        let WireMsg::Sealed { seq, ct, .. } = alice.seal(&a_id.pk, &ProtocolMsg::RepAck { seq: 1 })
+        else {
+            panic!();
+        };
+        assert!(bob.open(seq, &ct).is_ok());
+        // Replaying the same envelope fails the strict-ordering check.
+        assert!(matches!(bob.open(seq, &ct), Err(ProtocolError::BadMessage)));
+    }
+
+    #[test]
+    fn directions_use_distinct_keys() {
+        let (a_id, a_eph, b_id, b_eph, _) = pair();
+        let secret = session_secret(&a_eph.sk, &b_eph.pk);
+        let mut alice = Session::derive(&secret, &a_id.pk, &b_id.pk);
+        let mut bob = Session::derive(&secret, &b_id.pk, &a_id.pk);
+        // A message sealed by Alice cannot be "reflected" back to her.
+        let WireMsg::Sealed { seq, ct, .. } = alice.seal(&a_id.pk, &ProtocolMsg::RepAck { seq: 1 })
+        else {
+            panic!();
+        };
+        assert!(matches!(alice.open(seq, &ct), Err(ProtocolError::BadMessage)));
+        // But Bob reads it fine.
+        assert!(bob.open(seq, &ct).is_ok());
+    }
+
+    #[test]
+    fn tampered_ciphertext_rejected() {
+        let (a_id, a_eph, b_id, b_eph, _) = pair();
+        let secret = session_secret(&a_eph.sk, &b_eph.pk);
+        let mut alice = Session::derive(&secret, &a_id.pk, &b_id.pk);
+        let mut bob = Session::derive(&secret, &b_id.pk, &a_id.pk);
+        let WireMsg::Sealed { seq, mut ct, .. } =
+            alice.seal(&a_id.pk, &ProtocolMsg::RepAck { seq: 1 })
+        else {
+            panic!();
+        };
+        ct[0] ^= 1;
+        assert!(matches!(bob.open(seq, &ct), Err(ProtocolError::BadMessage)));
+    }
+}

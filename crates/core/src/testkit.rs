@@ -1,0 +1,344 @@
+//! A reusable harness: a cluster of Teechain nodes on the simulated
+//! network with a shared simulated blockchain.
+//!
+//! Used by the crate's own tests, the workspace integration tests, the
+//! examples and the benchmark harness — it is the "public deployment API"
+//! of the reproduction.
+
+use crate::driver::{CostModel, SimHost};
+use crate::enclave::{Command, EnclaveConfig, HostEvent};
+use crate::node::{SharedChain, TeechainNode};
+use crate::types::{ChannelId, Deposit, ProtocolError, RouteId};
+use parking_lot::Mutex;
+use std::sync::Arc;
+use teechain_blockchain::Chain;
+use teechain_crypto::schnorr::PublicKey;
+use teechain_net::{LinkSpec, NodeId, Simulator};
+use teechain_tee::TrustRoot;
+
+/// Configuration for a [`Cluster`].
+#[derive(Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub n: usize,
+    /// CPU cost model (use [`CostModel::free`] for functional tests).
+    pub costs: CostModel,
+    /// Default link between nodes.
+    pub default_link: LinkSpec,
+    /// Persistent-storage mode (§6.2).
+    pub persist: bool,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            n: 2,
+            costs: CostModel::free(),
+            default_link: LinkSpec::ideal(),
+            persist: false,
+            seed: 7,
+        }
+    }
+}
+
+/// A running cluster of Teechain nodes.
+pub struct Cluster {
+    /// The discrete-event simulator hosting all nodes.
+    pub sim: Simulator<SimHost>,
+    /// The shared blockchain.
+    pub chain: SharedChain,
+    /// Enclave identity of each node.
+    pub ids: Vec<PublicKey>,
+    /// The manufacturer trust root (for launching additional TEEs).
+    pub root: TrustRoot,
+}
+
+impl Cluster {
+    /// Builds a cluster of `cfg.n` nodes, all sharing one trust root and
+    /// one blockchain. Identities are pre-exchanged (the paper's
+    /// out-of-band key distribution).
+    pub fn new(cfg: ClusterConfig) -> Cluster {
+        let root = TrustRoot::new(cfg.seed ^ 0x7ee);
+        let chain: SharedChain = Arc::new(Mutex::new(Chain::new()));
+        let measurement = TeechainNode::measurement();
+        let mut hosts = Vec::with_capacity(cfg.n);
+        for i in 0..cfg.n {
+            let device = root.issue_device(1000 + i as u64);
+            let enclave_cfg = EnclaveConfig {
+                trust_root: root.public_key(),
+                measurement,
+                persist: cfg.persist,
+            };
+            let node = TeechainNode::new(
+                device,
+                enclave_cfg,
+                cfg.seed.wrapping_mul(0x9E3779B9).wrapping_add(i as u64),
+                chain.clone(),
+            );
+            hosts.push(SimHost::new(node, cfg.costs));
+        }
+        let mut sim = Simulator::new(hosts, cfg.default_link, cfg.seed);
+        // Collect identities and populate every directory.
+        let mut ids = Vec::with_capacity(cfg.n);
+        for i in 0..cfg.n {
+            let id = sim.node_mut(NodeId(i as u32)).node.identity(0);
+            ids.push(id);
+        }
+        for i in 0..cfg.n {
+            for (j, id) in ids.iter().enumerate() {
+                if i != j {
+                    sim.node_mut(NodeId(i as u32))
+                        .node
+                        .register_peer(*id, NodeId(j as u32));
+                }
+            }
+        }
+        Cluster {
+            sim,
+            chain,
+            ids,
+            root,
+        }
+    }
+
+    /// Shorthand: a functional-test cluster (free CPU, ideal links).
+    pub fn functional(n: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            n,
+            ..ClusterConfig::default()
+        })
+    }
+
+    /// The node id of index `i`.
+    pub fn nid(&self, i: usize) -> NodeId {
+        NodeId(i as u32)
+    }
+
+    /// Immutable node access.
+    pub fn node(&self, i: usize) -> &TeechainNode {
+        &self.sim.node(NodeId(i as u32)).node
+    }
+
+    /// Mutable node access.
+    pub fn node_mut(&mut self, i: usize) -> &mut TeechainNode {
+        &mut self.sim.node_mut(NodeId(i as u32)).node
+    }
+
+    /// Issues an enclave command on node `i` and performs its effects.
+    /// If the monotonic counter is throttled (persistent mode), advances
+    /// simulated time and retries — mirroring a host that waits out the
+    /// hardware throttle.
+    pub fn command(&mut self, i: usize, cmd: Command) -> Result<(), ProtocolError> {
+        loop {
+            match self.try_command(i, cmd.clone()) {
+                Err(ProtocolError::CounterThrottled { ready_at }) => {
+                    self.sim.run_until(ready_at);
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Issues a command without retrying counter throttling.
+    pub fn try_command(&mut self, i: usize, cmd: Command) -> Result<(), ProtocolError> {
+        let id = self.nid(i);
+        self.sim.call(id, |host, ctx| host.node.command(ctx, cmd))
+    }
+
+    /// Runs the simulation until quiescent.
+    pub fn settle_network(&mut self) {
+        self.sim.run_to_idle(50_000_000);
+    }
+
+    /// Establishes a secure session between nodes `a` and `b`.
+    pub fn connect(&mut self, a: usize, b: usize) {
+        let remote = self.ids[b];
+        self.command(a, Command::StartSession { remote })
+            .expect("start session");
+        self.settle_network();
+        assert!(
+            self.node(a)
+                .enclave
+                .program()
+                .map(|p| p.session_count() > 0)
+                .unwrap_or(false),
+            "session {a}->{b} failed"
+        );
+    }
+
+    /// Opens a payment channel between connected nodes; returns its id.
+    pub fn open_channel(&mut self, a: usize, b: usize, label: &str) -> ChannelId {
+        let id = ChannelId::from_label(label);
+        let my_settlement = self.new_address(a);
+        let remote = self.ids[b];
+        self.command(
+            a,
+            Command::NewChannel {
+                id,
+                remote,
+                my_settlement,
+            },
+        )
+        .expect("new channel");
+        self.settle_network();
+        let open = self
+            .node(a)
+            .enclave
+            .program()
+            .and_then(|p| p.channel(&id))
+            .map(|c| c.is_open)
+            .unwrap_or(false);
+        assert!(open, "channel {label} failed to open");
+        id
+    }
+
+    /// Generates a fresh in-enclave address on node `i`.
+    pub fn new_address(&mut self, i: usize) -> PublicKey {
+        self.command(i, Command::NewAddress).expect("new address");
+        for (_, e) in self.node_mut(i).events.iter().rev() {
+            if let HostEvent::NewAddress(pk) = e {
+                return *pk;
+            }
+        }
+        panic!("no NewAddress event");
+    }
+
+    /// Funds an m-of-n deposit on node `i` (n = 1 + committee chain
+    /// length) and registers it with the enclave.
+    pub fn fund_deposit(&mut self, i: usize, value: u64, m: u8) -> Deposit {
+        let id = self.nid(i);
+        self.sim
+            .call(id, |host, ctx| {
+                host.node.create_funded_committee_deposit(ctx, value, m)
+            })
+            .expect("fund deposit")
+    }
+
+    /// Approves `deposit` of node `a` with counterparty `b`, then
+    /// associates it with `chan`. Panics on failure.
+    pub fn approve_and_associate(
+        &mut self,
+        a: usize,
+        b: usize,
+        chan: ChannelId,
+        deposit: &Deposit,
+    ) {
+        let remote = self.ids[b];
+        self.command(
+            a,
+            Command::ApproveDeposit {
+                remote,
+                outpoint: deposit.outpoint,
+            },
+        )
+        .expect("approve deposit");
+        self.settle_network();
+        self.command(
+            a,
+            Command::AssociateDeposit {
+                id: chan,
+                outpoint: deposit.outpoint,
+            },
+        )
+        .expect("associate deposit");
+        self.settle_network();
+    }
+
+    /// Full channel setup: connect, open, fund `value` on side `a` with
+    /// threshold `m`, approve and associate. Returns the channel id.
+    pub fn standard_channel(
+        &mut self,
+        a: usize,
+        b: usize,
+        label: &str,
+        value: u64,
+        m: u8,
+    ) -> ChannelId {
+        self.connect(a, b);
+        let chan = self.open_channel(a, b, label);
+        let dep = self.fund_deposit(a, value, m);
+        self.approve_and_associate(a, b, chan, &dep);
+        chan
+    }
+
+    /// Sends a payment and runs the network to quiescence.
+    pub fn pay(&mut self, from: usize, chan: ChannelId, amount: u64) -> Result<(), ProtocolError> {
+        self.command(
+            from,
+            Command::Pay {
+                id: chan,
+                amount,
+                count: 1,
+            },
+        )?;
+        self.settle_network();
+        Ok(())
+    }
+
+    /// Issues a multi-hop payment from `path[0]` through `path[..]` over
+    /// `channels`. Runs to quiescence.
+    pub fn pay_multihop(
+        &mut self,
+        path: &[usize],
+        channels: &[ChannelId],
+        amount: u64,
+        label: &str,
+    ) -> Result<RouteId, ProtocolError> {
+        let route = RouteId(teechain_crypto::sha256::tagged_hash(
+            "teechain/route",
+            &[label.as_bytes()],
+        ));
+        let hops: Vec<PublicKey> = path.iter().map(|&i| self.ids[i]).collect();
+        self.command(
+            path[0],
+            Command::PayMultihop {
+                route,
+                hops,
+                channels: channels.to_vec(),
+                amount,
+            },
+        )?;
+        self.settle_network();
+        Ok(route)
+    }
+
+    /// Attaches node `backup` as the replication backup of node `tail`
+    /// (extends `tail`'s committee chain).
+    pub fn attach_backup(&mut self, tail: usize, backup: usize) {
+        self.connect(tail, backup);
+        let backup_id = self.ids[backup];
+        self.command(tail, Command::AttachBackup { backup: backup_id })
+            .expect("attach backup");
+        self.settle_network();
+        // The host remembers its committee peers for co-sign fan-out.
+        self.node_mut(tail).committee_peers.push(backup_id);
+    }
+
+    /// The channel balances `(my, remote)` as seen by node `i`.
+    pub fn balances(&self, i: usize, chan: ChannelId) -> (u64, u64) {
+        let c = self
+            .node(i)
+            .enclave
+            .program()
+            .and_then(|p| p.channel(&chan))
+            .expect("channel exists");
+        (c.my_bal, c.remote_bal)
+    }
+
+    /// On-chain balance of a settlement key.
+    pub fn chain_balance(&self, pk: &PublicKey) -> u64 {
+        self.chain.lock().balance_p2pk(pk)
+    }
+
+    /// Mines `k` blocks.
+    pub fn mine(&mut self, k: u64) {
+        self.chain.lock().mine_blocks(k);
+    }
+
+    /// Counts events matching `pred` on node `i`.
+    pub fn count_events(&self, i: usize, pred: impl Fn(&HostEvent) -> bool) -> usize {
+        self.node(i).events.iter().filter(|(_, e)| pred(e)).count()
+    }
+}

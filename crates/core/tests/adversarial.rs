@@ -1,0 +1,171 @@
+//! Adversarial inputs: malformed wire bytes, cross-session replay, and
+//! the §5.2 temporary-channel lifecycle.
+
+use proptest::prelude::*;
+use teechain::enclave::Command;
+use teechain::testkit::Cluster;
+
+#[test]
+fn junk_wire_bytes_never_panic() {
+    let mut c = Cluster::functional(2);
+    c.connect(0, 1);
+    // Deliver assorted garbage straight into the enclave.
+    for len in [0usize, 1, 2, 16, 64, 300] {
+        let junk: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
+        let _ = c.command(0, Command::Deliver { wire: junk });
+    }
+    // The enclave still works.
+    let chan = c.standard_channel(0, 1, "after-junk", 100, 1);
+    c.pay(0, chan, 10).unwrap();
+    assert_eq!(c.balances(0, chan), (90, 10));
+}
+
+#[test]
+fn cross_session_replay_rejected() {
+    // A message sealed for the A↔B session must not be accepted by C,
+    // even though C runs the identical enclave build (state-forking
+    // defence, §4.1).
+    let mut c = Cluster::functional(3);
+    c.connect(0, 1);
+    c.connect(0, 2);
+    let chan = c.standard_channel(0, 1, "ab", 100, 1);
+    // Capture the wire bytes of a payment from A to B by replaying the
+    // effect: easiest via a fresh payment whose Send effect we intercept.
+    // Here we simply deliver B-bound traffic to C by asking A's enclave
+    // for the message and handing it to C's enclave directly.
+    let msg_for_b = {
+        let node0 = c.node_mut(0);
+        let outcome = node0
+            .enclave
+            .call(
+                0,
+                Command::Pay {
+                    id: chan,
+                    amount: 5,
+                    count: 1,
+                },
+            )
+            .unwrap()
+            .unwrap();
+        outcome
+            .into_iter()
+            .find_map(|e| match e {
+                teechain::Effect::Send { wire, .. } => Some(wire),
+                _ => None,
+            })
+            .expect("payment message")
+    };
+    // C cannot decrypt or accept it.
+    let err = c
+        .command(2, Command::Deliver { wire: msg_for_b })
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        teechain::ProtocolError::NoSession | teechain::ProtocolError::BadMessage
+    ));
+}
+
+#[test]
+fn duplicate_delivery_rejected_once_consumed() {
+    let mut c = Cluster::functional(2);
+    c.connect(0, 1);
+    let chan = c.standard_channel(0, 1, "dup", 100, 1);
+    let msg_for_b = {
+        let node0 = c.node_mut(0);
+        let outcome = node0
+            .enclave
+            .call(
+                0,
+                Command::Pay {
+                    id: chan,
+                    amount: 5,
+                    count: 1,
+                },
+            )
+            .unwrap()
+            .unwrap();
+        outcome
+            .into_iter()
+            .find_map(|e| match e {
+                teechain::Effect::Send { wire, .. } => Some(wire),
+                _ => None,
+            })
+            .expect("payment message")
+    };
+    // First delivery applies; replaying it is rejected (strict seq).
+    c.command(1, Command::Deliver { wire: msg_for_b.clone() })
+        .unwrap();
+    let err = c
+        .command(1, Command::Deliver { wire: msg_for_b })
+        .unwrap_err();
+    assert_eq!(err, teechain::ProtocolError::BadMessage);
+    // The balance moved exactly once.
+    assert_eq!(c.balances(1, chan).0, 5);
+}
+
+#[test]
+fn temporary_channel_merge_cycle() {
+    // §5.2: a temporary channel is drained back to neutral by paying a
+    // cycle to yourself over the primary channel, then closed off-chain.
+    let mut c = Cluster::functional(2);
+    let primary = c.standard_channel(0, 1, "primary", 1_000, 1);
+    // Temporary channel from spare deposits, instantly.
+    let temp = c.open_channel(0, 1, "temp");
+    let dep = c.fund_deposit(0, 500, 1);
+    c.approve_and_associate(0, 1, temp, &dep);
+    // Traffic flows over the temporary channel...
+    c.pay(0, temp, 200).unwrap();
+    assert_eq!(c.balances(0, temp), (300, 200));
+    // ...then Alice merges: she routes the 200 back to herself by paying
+    // over the primary channel in the opposite direction (the two-party
+    // degenerate case of the paper's cycle payment).
+    c.pay(1, temp, 200).unwrap(); // Bob returns over temp...
+    c.pay(0, primary, 200).unwrap(); // ...Alice compensates over primary.
+    assert_eq!(c.balances(0, temp), (500, 0), "temp back to neutral");
+    // Off-chain close of the temporary channel: zero blockchain writes.
+    c.command(0, Command::Settle { id: temp }).unwrap();
+    c.settle_network();
+    assert_eq!(c.node(0).broadcasts.len(), 0);
+    // The freed deposit can fund something else immediately.
+    let p = c.node(0).enclave.program().unwrap();
+    assert_eq!(p.book_ref().free_deposits().len(), 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random mutations of a legitimate sealed message are always rejected
+    /// and never panic the enclave.
+    #[test]
+    fn prop_mutated_wire_rejected(flip_at in 0usize..200, xor in 1u8..255) {
+        let mut c = Cluster::functional(2);
+        c.connect(0, 1);
+        let chan = c.standard_channel(0, 1, "fuzz", 100, 1);
+        let mut wire = {
+            let node0 = c.node_mut(0);
+            let outcome = node0
+                .enclave
+                .call(0, Command::Pay { id: chan, amount: 1, count: 1 })
+                .unwrap()
+                .unwrap();
+            outcome
+                .into_iter()
+                .find_map(|e| match e {
+                    teechain::Effect::Send { wire, .. } => Some(wire),
+                    _ => None,
+                })
+                .expect("payment message")
+        };
+        let idx = flip_at % wire.len();
+        wire[idx] ^= xor;
+        let before = c.balances(1, chan);
+        let result = c.command(1, Command::Deliver { wire });
+        // Either rejected outright, or (if only the cost-class byte was
+        // flipped, which is outside the AEAD) accepted identically — but
+        // never a divergent state.
+        match result {
+            Err(_) => prop_assert_eq!(c.balances(1, chan), before),
+            Ok(()) => prop_assert_eq!(c.balances(1, chan).0, before.0 + 1),
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Replication, committee and persistence tests (§6).
+
+use teechain::enclave::{Command, HostEvent};
+use teechain::testkit::{Cluster, ClusterConfig};
+
+#[test]
+fn backup_attachment_builds_committee() {
+    let mut c = Cluster::functional(3);
+    c.attach_backup(0, 1); // 0 → 1
+    c.attach_backup(1, 2); // chain: 0 → 1 → 2
+    assert_eq!(
+        c.count_events(0, |e| matches!(e, HostEvent::BackupAttached(_))),
+        2,
+        "head learns of both chain members"
+    );
+}
+
+#[test]
+fn replicated_payments_reach_backup() {
+    let mut c = Cluster::functional(3);
+    c.attach_backup(0, 2);
+    let chan = c.standard_channel(0, 1, "c1", 1000, 1);
+    c.pay(0, chan, 150).unwrap();
+    assert_eq!(c.balances(0, chan), (850, 150));
+    // The backup's replica mirrors the channel.
+    let replica_bal = {
+        let p = c.node(2).enclave.program().unwrap();
+        let chan_replica = p.replica_channel(&chan).expect("replicated channel");
+        (chan_replica.my_bal, chan_replica.remote_bal)
+    };
+    assert_eq!(replica_bal, (850, 150));
+}
+
+#[test]
+fn payment_ack_gated_on_replication() {
+    // With a backup attached, the Pay message must not leave the primary
+    // before the backup acks — so a dead backup stalls payments without
+    // losing funds (liveness sacrificed, never safety).
+    let mut c = Cluster::functional(3);
+    c.attach_backup(0, 2);
+    let chan = c.standard_channel(0, 1, "c1", 1000, 1);
+    // Crash the backup's enclave: updates will go unacknowledged.
+    c.node_mut(2).enclave.crash();
+    c.command(
+        0,
+        Command::Pay {
+            id: chan,
+            amount: 100,
+            count: 1,
+        },
+    )
+    .unwrap();
+    c.settle_network();
+    // The peer never saw the payment (no ack event at the sender).
+    assert_eq!(
+        c.count_events(0, |e| matches!(e, HostEvent::PaymentAcked { .. })),
+        0
+    );
+    assert_eq!(c.balances(1, chan), (0, 1000), "receiver saw nothing");
+}
+
+#[test]
+fn crash_failover_settles_from_replica() {
+    // Primary crashes; the user reads the backup (force-freeze) and
+    // settles every replicated channel on chain — balance correctness
+    // under crash faults.
+    let mut c = Cluster::functional(3);
+    c.attach_backup(0, 2);
+    let chan = c.standard_channel(0, 1, "c1", 1000, 1);
+    c.pay(0, chan, 400).unwrap();
+    let my_settle = {
+        let p = c.node(0).enclave.program().unwrap();
+        p.channel(&chan).unwrap().my_settlement
+    };
+    // Primary is gone.
+    c.node_mut(0).enclave.crash();
+    // Failover via the backup.
+    c.command(2, Command::ReadReplica).unwrap();
+    c.command(2, Command::SettleFromReplica).unwrap();
+    c.settle_network();
+    c.mine(1);
+    assert_eq!(c.chain_balance(&my_settle), 600);
+}
+
+#[test]
+fn frozen_backup_rejects_further_updates() {
+    let mut c = Cluster::functional(3);
+    c.attach_backup(0, 2);
+    let chan = c.standard_channel(0, 1, "c1", 1000, 1);
+    c.pay(0, chan, 100).unwrap();
+    // Freeze via a replica read.
+    c.command(2, Command::ReadReplica).unwrap();
+    c.settle_network();
+    assert!(c.node(2).enclave.program().unwrap().is_frozen());
+    // The freeze propagated up the chain to the primary.
+    assert!(c.node(0).enclave.program().unwrap().is_frozen());
+    // Frozen primary refuses new payments (roll-back defence, §6).
+    assert!(c.pay(0, chan, 10).is_err());
+}
+
+#[test]
+fn committee_two_of_two_settlement() {
+    // A 2-of-2 committee deposit: settlement needs the backup's signature.
+    let mut c = Cluster::functional(3);
+    c.attach_backup(0, 2);
+    c.connect(0, 1);
+    let chan = c.open_channel(0, 1, "c1");
+    let dep = c.fund_deposit(0, 800, 2); // m=2, n=2 (self + backup)
+    assert_eq!(dep.committee.m, 2);
+    assert_eq!(dep.committee.n(), 2);
+    c.approve_and_associate(0, 1, chan, &dep);
+    c.pay(0, chan, 300).unwrap();
+    let my_settle = {
+        let p = c.node(0).enclave.program().unwrap();
+        p.channel(&chan).unwrap().my_settlement
+    };
+    c.command(0, Command::Settle { id: chan }).unwrap();
+    // The co-sign round trip happens over the network.
+    c.settle_network();
+    c.mine(1);
+    assert_eq!(c.chain_balance(&my_settle), 500);
+}
+
+#[test]
+fn byzantine_primary_cannot_inflate_settlement() {
+    // Compromise the primary TEE and try to settle the channel at a stale
+    // (pre-payment) state. The committee member's replica knows the true
+    // balances and refuses to co-sign, so the theft fails.
+    let mut c = Cluster::functional(3);
+    c.attach_backup(0, 2);
+    c.connect(0, 1);
+    let chan = c.open_channel(0, 1, "c1");
+    let dep = c.fund_deposit(0, 800, 2);
+    c.approve_and_associate(0, 1, chan, &dep);
+    c.pay(0, chan, 300).unwrap(); // Honest state: (500, 300).
+    // Attacker extracts the channel and rolls back the payment.
+    let forged_tx = {
+        let (program, _env) = c.node_mut(0).enclave.compromise().unwrap();
+        let mut stale = program.channel(&chan).unwrap().clone();
+        stale.my_bal = 800; // Pretend the payment never happened.
+        stale.remote_bal = 0;
+        teechain::settle::current_settlement_tx(&stale)
+    };
+    // The attacker asks the committee member to co-sign the stale
+    // settlement directly.
+    c.command(
+        2,
+        Command::CoSign {
+            req_id: 99,
+            tx: forged_tx.clone(),
+        },
+    )
+    .unwrap();
+    let refused = c.node(2).events.iter().any(|(_, e)| {
+        matches!(
+            e,
+            HostEvent::CoSignResult { req_id: 99, refused: true, .. }
+        )
+    });
+    assert!(refused, "committee member must refuse the stale settlement");
+    // And the chain rejects the forged tx outright (1 of 2 signatures).
+    let submit = {
+        let mut tx = forged_tx;
+        // The attacker signs with every key it extracted.
+        let (program, _env) = c.node_mut(0).enclave.compromise().unwrap();
+        teechain::settle::sign_with_book(&mut tx, &program.book_ref());
+        c.chain.lock().submit(tx)
+    };
+    assert!(submit.is_err(), "chain must reject sub-threshold witness");
+}
+
+#[test]
+fn one_of_two_committee_tolerates_crash_but_not_byzantine() {
+    // m=1, n=2: crash tolerant (backup can settle alone) — but a
+    // compromised backup could steal, which is why the paper recommends
+    // m ≥ 2 for Byzantine tolerance.
+    let mut c = Cluster::functional(3);
+    c.attach_backup(0, 2);
+    c.connect(0, 1);
+    let chan = c.open_channel(0, 1, "c1");
+    let dep = c.fund_deposit(0, 500, 1); // m=1, n=2
+    assert_eq!(dep.committee.n(), 2);
+    c.approve_and_associate(0, 1, chan, &dep);
+    c.pay(0, chan, 200).unwrap();
+    c.node_mut(0).enclave.crash();
+    c.command(2, Command::SettleFromReplica).unwrap();
+    c.settle_network();
+    c.mine(1);
+    let my_settle = {
+        let p = c.node(2).enclave.program().unwrap();
+        p.replica_channel(&chan).unwrap().my_settlement
+    };
+    assert_eq!(c.chain_balance(&my_settle), 300);
+}
+
+// ---- Persistent storage mode (§6.2) ----
+
+#[test]
+fn persist_mode_throttles_payments() {
+    let mut c = Cluster::new(ClusterConfig {
+        n: 2,
+        persist: true,
+        ..ClusterConfig::default()
+    });
+    let chan = c.standard_channel(0, 1, "c1", 1000, 1);
+    // First payment increments the counter; an immediate second payment
+    // at the same instant is throttled.
+    c.command(
+        0,
+        Command::Pay {
+            id: chan,
+            amount: 1,
+            count: 1,
+        },
+    )
+    .unwrap();
+    let err = c
+        .try_command(
+            0,
+            Command::Pay {
+                id: chan,
+                amount: 1,
+                count: 1,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        teechain::ProtocolError::CounterThrottled { .. }
+    ));
+}
+
+#[test]
+fn persist_mode_emits_sealed_blobs_and_restores() {
+    let mut c = Cluster::new(ClusterConfig {
+        n: 2,
+        persist: true,
+        ..ClusterConfig::default()
+    });
+    let chan = c.standard_channel(0, 1, "c1", 1000, 1);
+    c.pay(0, chan, 50).unwrap();
+    c.settle_network();
+    let blob = c.node(0).sealed_store.clone().expect("sealed blob stored");
+    // Crash and restore.
+    c.node_mut(0).enclave.crash();
+    let cfg = teechain::EnclaveConfig {
+        trust_root: c.root.public_key(),
+        measurement: teechain::TeechainNode::measurement(),
+        persist: true,
+    };
+    c.node_mut(0)
+        .enclave
+        .restart(teechain::TeechainEnclave::new(cfg));
+    c.command(0, Command::RestoreSealed { blob }).unwrap();
+    // The restored enclave can settle the channel unilaterally.
+    let my_settle = {
+        let p = c.node(0).enclave.program().unwrap();
+        p.channel(&chan).unwrap().my_settlement
+    };
+    c.command(0, Command::Settle { id: chan }).unwrap();
+    c.mine(1);
+    assert_eq!(c.chain_balance(&my_settle), 950);
+}
+
+#[test]
+fn stale_sealed_blob_rejected() {
+    // Roll-back attack: restore an *old* sealed blob after newer state
+    // was sealed. The hardware counter exposes the staleness.
+    let mut c = Cluster::new(ClusterConfig {
+        n: 2,
+        persist: true,
+        ..ClusterConfig::default()
+    });
+    let chan = c.standard_channel(0, 1, "c1", 1000, 1);
+    c.pay(0, chan, 50).unwrap();
+    c.settle_network();
+    let old_blob = c.node(0).sealed_store.clone().unwrap();
+    // Advance simulated time past the counter throttle, then pay again.
+    let nid = c.nid(0);
+    c.sim.call(nid, |_, ctx| ctx.set_timer(200_000_000, 1));
+    c.settle_network();
+    c.pay(0, chan, 50).unwrap();
+    c.settle_network();
+    // Crash; attacker restores the older blob.
+    c.node_mut(0).enclave.crash();
+    let cfg = teechain::EnclaveConfig {
+        trust_root: c.root.public_key(),
+        measurement: teechain::TeechainNode::measurement(),
+        persist: true,
+    };
+    c.node_mut(0)
+        .enclave
+        .restart(teechain::TeechainEnclave::new(cfg));
+    let result = c.command(0, Command::RestoreSealed { blob: old_blob });
+    assert!(result.is_err(), "stale blob must be rejected");
+}

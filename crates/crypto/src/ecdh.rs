@@ -1,0 +1,78 @@
+//! Elliptic-curve Diffie-Hellman key agreement.
+//!
+//! Used by the Teechain secure network channel handshake (Alg. 1 line 17):
+//! after mutual remote attestation, both TEEs derive the same session key
+//! from their identity keys plus ephemeral keys.
+
+use crate::schnorr::{PrivateKey, PublicKey};
+use crate::sha256::{hkdf, sha256};
+
+/// Computes the raw shared secret `SHA256(x-coordinate of sk·P)`.
+pub fn shared_secret(sk: &PrivateKey, pk: &PublicKey) -> [u8; 32] {
+    let shared = pk
+        .0
+        .to_jacobian()
+        .scalar_mul(&sk.0)
+        .to_affine()
+        .expect("valid public key times nonzero scalar is never infinity");
+    sha256(&shared.x.to_be_bytes())
+}
+
+/// Derives a 32-byte session key from the DH secret and both parties'
+/// identity public keys. The keys are ordered canonically so both sides
+/// derive the same value.
+pub fn session_key(secret: &[u8; 32], a: &PublicKey, b: &PublicKey) -> [u8; 32] {
+    let (lo, hi) = if a.to_bytes() <= b.to_bytes() {
+        (a, b)
+    } else {
+        (b, a)
+    };
+    let mut info = Vec::with_capacity(128);
+    info.extend_from_slice(&lo.to_bytes());
+    info.extend_from_slice(&hi.to_bytes());
+    let okm = hkdf(b"teechain-session-v1", secret, &info, 32);
+    okm.try_into().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schnorr::Keypair;
+
+    #[test]
+    fn ecdh_symmetric() {
+        let a = Keypair::from_seed(&[1; 32]);
+        let b = Keypair::from_seed(&[2; 32]);
+        let sa = shared_secret(&a.sk, &b.pk);
+        let sb = shared_secret(&b.sk, &a.pk);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn distinct_pairs_distinct_secrets() {
+        let a = Keypair::from_seed(&[1; 32]);
+        let b = Keypair::from_seed(&[2; 32]);
+        let c = Keypair::from_seed(&[3; 32]);
+        assert_ne!(shared_secret(&a.sk, &b.pk), shared_secret(&a.sk, &c.pk));
+    }
+
+    #[test]
+    fn session_key_order_independent() {
+        let a = Keypair::from_seed(&[4; 32]);
+        let b = Keypair::from_seed(&[5; 32]);
+        let secret = shared_secret(&a.sk, &b.pk);
+        assert_eq!(session_key(&secret, &a.pk, &b.pk), session_key(&secret, &b.pk, &a.pk));
+    }
+
+    #[test]
+    fn session_key_binds_identities() {
+        let a = Keypair::from_seed(&[6; 32]);
+        let b = Keypair::from_seed(&[7; 32]);
+        let c = Keypair::from_seed(&[8; 32]);
+        let secret = [9u8; 32];
+        assert_ne!(
+            session_key(&secret, &a.pk, &b.pk),
+            session_key(&secret, &a.pk, &c.pk)
+        );
+    }
+}

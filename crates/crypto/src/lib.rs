@@ -1,0 +1,38 @@
+//! Cryptographic substrate for the Teechain reproduction.
+//!
+//! The original system links libsecp256k1, a side-channel-resistant ECDH and
+//! AES-GCM from the SGX SDK. This offline reproduction implements the same
+//! algebraic functionality from scratch:
+//!
+//! * [`sha256`](mod@sha256) — SHA-256, HMAC-SHA256 and HKDF.
+//! * [`chacha20`] — the ChaCha20 stream cipher (RFC 8439).
+//! * [`aead`] — authenticated encryption (ChaCha20 + HMAC, encrypt-then-MAC;
+//!   substituted for the paper's AES-GCM, see DESIGN.md).
+//! * [`u256`], [`modarith`] — 256-bit integers and modular arithmetic.
+//! * [`point`] — secp256k1 group operations.
+//! * [`schnorr`] — Schnorr signatures over secp256k1 (the signature scheme
+//!   used for enclave identities, attestation quotes and blockchain
+//!   transactions).
+//! * [`ecdh`] — authenticated Diffie-Hellman key agreement for the secure
+//!   network channels of Alg. 1.
+//!
+//! None of this code attempts constant-time execution; the Teechain protocol
+//! logic needs the algebra, and side-channel resistance of the substrate is
+//! out of scope for a simulator (the paper's committee chains exist exactly
+//! because TEE compromises — e.g. via side channels — are assumed possible).
+
+pub mod aead;
+pub mod chacha20;
+pub mod ecdh;
+pub mod modarith;
+pub mod point;
+pub mod schnorr;
+pub mod sha256;
+pub mod u256;
+pub mod wire;
+
+pub use aead::{Aead, AeadError};
+pub use ecdh::shared_secret;
+pub use schnorr::{Keypair, PrivateKey, PublicKey, Signature};
+pub use sha256::{hkdf, hmac_sha256, sha256, Sha256};
+pub use u256::U256;

@@ -1,0 +1,377 @@
+//! secp256k1 group operations.
+//!
+//! Curve: `y² = x³ + 7` over `F_p`. Points are kept in Jacobian projective
+//! coordinates for arithmetic (one field inversion per affine conversion)
+//! and serialized uncompressed as `x || y` (64 bytes).
+
+use crate::modarith::{fn_order, fp};
+use crate::u256::U256;
+use std::sync::OnceLock;
+
+/// A point in Jacobian coordinates; `z == 0` encodes the point at infinity.
+#[derive(Debug, Clone, Copy)]
+pub struct Jacobian {
+    x: U256,
+    y: U256,
+    z: U256,
+}
+
+/// A normalized affine point (never infinity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Affine {
+    /// x coordinate.
+    pub x: U256,
+    /// y coordinate.
+    pub y: U256,
+}
+
+/// The generator point G.
+pub fn generator() -> Affine {
+    Affine {
+        x: U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798"),
+        y: U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8"),
+    }
+}
+
+impl Affine {
+    /// Serializes as 64 bytes (`x || y`, big-endian).
+    pub fn to_bytes(self) -> [u8; 64] {
+        let mut out = [0u8; 64];
+        out[..32].copy_from_slice(&self.x.to_be_bytes());
+        out[32..].copy_from_slice(&self.y.to_be_bytes());
+        out
+    }
+
+    /// Parses 64 bytes, validating that the point is on the curve.
+    pub fn from_bytes(bytes: &[u8; 64]) -> Option<Affine> {
+        let x = U256::from_be_bytes(&bytes[..32].try_into().unwrap());
+        let y = U256::from_be_bytes(&bytes[32..].try_into().unwrap());
+        let f = fp();
+        if x >= f.m || y >= f.m {
+            return None;
+        }
+        let p = Affine { x, y };
+        p.is_on_curve().then_some(p)
+    }
+
+    /// Checks the curve equation `y² = x³ + 7`.
+    pub fn is_on_curve(&self) -> bool {
+        let f = fp();
+        let y2 = f.square(&self.y);
+        let x3 = f.mul(&f.square(&self.x), &self.x);
+        y2 == f.add(&x3, &U256::from_u64(7))
+    }
+
+    /// Lifts to Jacobian coordinates.
+    pub fn to_jacobian(self) -> Jacobian {
+        Jacobian {
+            x: self.x,
+            y: self.y,
+            z: U256::ONE,
+        }
+    }
+
+    /// Point negation.
+    pub fn neg(self) -> Affine {
+        Affine {
+            x: self.x,
+            y: fp().neg(&self.y),
+        }
+    }
+}
+
+impl Jacobian {
+    /// The point at infinity (group identity).
+    pub const INFINITY: Jacobian = Jacobian {
+        x: U256::ONE,
+        y: U256::ONE,
+        z: U256::ZERO,
+    };
+
+    /// Returns true for the point at infinity.
+    pub fn is_infinity(&self) -> bool {
+        self.z.is_zero()
+    }
+
+    /// Point doubling (`dbl-2007-bl` for a = 0).
+    pub fn double(&self) -> Jacobian {
+        if self.is_infinity() || self.y.is_zero() {
+            return Jacobian::INFINITY;
+        }
+        let f = fp();
+        let a = f.square(&self.x);
+        let b = f.square(&self.y);
+        let c = f.square(&b);
+        // D = 2*((X+B)^2 - A - C)
+        let xb = f.add(&self.x, &b);
+        let d0 = f.sub(&f.sub(&f.square(&xb), &a), &c);
+        let d = f.add(&d0, &d0);
+        let e = f.add(&f.add(&a, &a), &a);
+        let ff = f.square(&e);
+        let x3 = f.sub(&ff, &f.add(&d, &d));
+        let c8 = {
+            let c2 = f.add(&c, &c);
+            let c4 = f.add(&c2, &c2);
+            f.add(&c4, &c4)
+        };
+        let y3 = f.sub(&f.mul(&e, &f.sub(&d, &x3)), &c8);
+        let z3 = {
+            let yz = f.mul(&self.y, &self.z);
+            f.add(&yz, &yz)
+        };
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// General point addition.
+    pub fn add(&self, other: &Jacobian) -> Jacobian {
+        if self.is_infinity() {
+            return *other;
+        }
+        if other.is_infinity() {
+            return *self;
+        }
+        let f = fp();
+        let z1z1 = f.square(&self.z);
+        let z2z2 = f.square(&other.z);
+        let u1 = f.mul(&self.x, &z2z2);
+        let u2 = f.mul(&other.x, &z1z1);
+        let s1 = f.mul(&f.mul(&self.y, &other.z), &z2z2);
+        let s2 = f.mul(&f.mul(&other.y, &self.z), &z1z1);
+        if u1 == u2 {
+            return if s1 == s2 {
+                self.double()
+            } else {
+                Jacobian::INFINITY
+            };
+        }
+        let h = f.sub(&u2, &u1);
+        let hh = f.square(&h);
+        let hhh = f.mul(&h, &hh);
+        let v = f.mul(&u1, &hh);
+        let r = f.sub(&s2, &s1);
+        let x3 = f.sub(&f.sub(&f.square(&r), &hhh), &f.add(&v, &v));
+        let y3 = f.sub(&f.mul(&r, &f.sub(&v, &x3)), &f.mul(&s1, &hhh));
+        let z3 = f.mul(&f.mul(&self.z, &other.z), &h);
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    /// Adds an affine point (mixed addition via lifting; clarity over speed).
+    pub fn add_affine(&self, other: &Affine) -> Jacobian {
+        self.add(&other.to_jacobian())
+    }
+
+    /// Scalar multiplication with a 4-bit window.
+    pub fn scalar_mul(&self, k: &U256) -> Jacobian {
+        if k.is_zero() || self.is_infinity() {
+            return Jacobian::INFINITY;
+        }
+        // Precompute 1P..15P.
+        let mut table = [Jacobian::INFINITY; 16];
+        table[1] = *self;
+        for i in 2..16 {
+            table[i] = table[i - 1].add(self);
+        }
+        let mut acc = Jacobian::INFINITY;
+        for i in (0..64).rev() {
+            if !acc.is_infinity() {
+                acc = acc.double().double().double().double();
+            }
+            let nib = k.nibble(i) as usize;
+            if nib != 0 {
+                acc = acc.add(&table[nib]);
+            }
+        }
+        acc
+    }
+
+    /// Converts to affine coordinates (`None` for infinity).
+    pub fn to_affine(&self) -> Option<Affine> {
+        if self.is_infinity() {
+            return None;
+        }
+        let f = fp();
+        let zinv = f.inv(&self.z);
+        let zinv2 = f.square(&zinv);
+        let zinv3 = f.mul(&zinv2, &zinv);
+        Some(Affine {
+            x: f.mul(&self.x, &zinv2),
+            y: f.mul(&self.y, &zinv3),
+        })
+    }
+}
+
+/// Precomputed multiples of G: `TABLE[i][j-1] = j * 16^i * G`.
+fn base_table() -> &'static Vec<[Jacobian; 15]> {
+    static TABLE: OnceLock<Vec<[Jacobian; 15]>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut rows = Vec::with_capacity(64);
+        let mut base = generator().to_jacobian();
+        for _ in 0..64 {
+            let mut row = [Jacobian::INFINITY; 15];
+            row[0] = base;
+            for j in 1..15 {
+                row[j] = row[j - 1].add(&base);
+            }
+            rows.push(row);
+            base = base.double().double().double().double();
+        }
+        rows
+    })
+}
+
+/// Fast fixed-base multiplication `k * G` using the precomputed table.
+pub fn base_mul(k: &U256) -> Jacobian {
+    let table = base_table();
+    let mut acc = Jacobian::INFINITY;
+    for (i, row) in table.iter().enumerate() {
+        let nib = k.nibble(i) as usize;
+        if nib != 0 {
+            acc = acc.add(&row[nib - 1]);
+        }
+    }
+    acc
+}
+
+/// Double-scalar multiplication `a*G + b*P` (the verifier hot path).
+pub fn base_double_mul(a: &U256, b: &U256, p: &Affine) -> Jacobian {
+    base_mul(a).add(&p.to_jacobian().scalar_mul(b))
+}
+
+/// The group order as a scalar-context convenience.
+pub fn order() -> U256 {
+    fn_order().m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn affine_hex(p: &Jacobian) -> (String, String) {
+        let a = p.to_affine().unwrap();
+        (a.x.to_hex(), a.y.to_hex())
+    }
+
+    #[test]
+    fn generator_on_curve() {
+        assert!(generator().is_on_curve());
+    }
+
+    #[test]
+    fn known_multiples() {
+        // Vectors computed with an independent Python implementation.
+        let g = generator().to_jacobian();
+        let (x2, y2) = affine_hex(&g.double());
+        assert_eq!(
+            x2,
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5"
+        );
+        assert_eq!(
+            y2,
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a"
+        );
+        let (x3, y3) = affine_hex(&g.scalar_mul(&U256::from_u64(3)));
+        assert_eq!(
+            x3,
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9"
+        );
+        assert_eq!(
+            y3,
+            "388f7b0f632de8140fe337e62a37f3566500a99934c2231b6cb9fd7584b8e672"
+        );
+        let (x7, _) = affine_hex(&g.scalar_mul(&U256::from_u64(7)));
+        assert_eq!(
+            x7,
+            "5cbdf0646e5db4eaa398f365f2ea7a0e3d419b7e0330e39ce92bddedcac4f9bc"
+        );
+        let (xd, yd) = affine_hex(&g.scalar_mul(&U256::from_u64(0xdead_beef)));
+        assert_eq!(
+            xd,
+            "76d2fdf1302d1fa9556f4df94ec84cefba6d482e54f47c6c2a238c1baa560f0e"
+        );
+        assert_eq!(
+            yd,
+            "b754ac7e7a3e09c44184cb451a4f5fb557f32053eb015dffebb655b5cfd54d8a"
+        );
+    }
+
+    #[test]
+    fn order_minus_one_is_negation() {
+        let g = generator().to_jacobian();
+        let nm1 = fn_order().sub(&U256::ZERO, &U256::ONE);
+        let p = g.scalar_mul(&nm1).to_affine().unwrap();
+        assert_eq!(p.x, generator().x);
+        assert_eq!(p, generator().neg());
+        // (n-1)G + G = infinity.
+        assert!(g.scalar_mul(&nm1).add(&g).is_infinity());
+    }
+
+    #[test]
+    fn base_mul_matches_generic() {
+        for k in [1u64, 2, 3, 15, 16, 17, 255, 0xdead_beef] {
+            let k = U256::from_u64(k);
+            assert_eq!(
+                base_mul(&k).to_affine(),
+                generator().to_jacobian().scalar_mul(&k).to_affine()
+            );
+        }
+        // A full-width scalar.
+        let k = U256::from_hex("e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+        assert_eq!(
+            base_mul(&k).to_affine(),
+            generator().to_jacobian().scalar_mul(&k).to_affine()
+        );
+    }
+
+    #[test]
+    fn add_commutes_and_identity() {
+        let g = generator().to_jacobian();
+        let a = g.scalar_mul(&U256::from_u64(5));
+        let b = g.scalar_mul(&U256::from_u64(11));
+        assert_eq!(a.add(&b).to_affine(), b.add(&a).to_affine());
+        assert_eq!(a.add(&Jacobian::INFINITY).to_affine(), a.to_affine());
+        assert_eq!(Jacobian::INFINITY.add(&a).to_affine(), a.to_affine());
+        // 5G + 11G = 16G.
+        assert_eq!(
+            a.add(&b).to_affine(),
+            g.scalar_mul(&U256::from_u64(16)).to_affine()
+        );
+    }
+
+    #[test]
+    fn double_equals_add_self() {
+        let p = generator().to_jacobian().scalar_mul(&U256::from_u64(9));
+        assert_eq!(p.double().to_affine(), p.add(&p).to_affine());
+    }
+
+    #[test]
+    fn serialization_roundtrip_and_validation() {
+        let p = generator()
+            .to_jacobian()
+            .scalar_mul(&U256::from_u64(12345))
+            .to_affine()
+            .unwrap();
+        let bytes = p.to_bytes();
+        assert_eq!(Affine::from_bytes(&bytes), Some(p));
+        // Corrupt a coordinate: the point leaves the curve.
+        let mut bad = bytes;
+        bad[5] ^= 1;
+        assert_eq!(Affine::from_bytes(&bad), None);
+    }
+
+    #[test]
+    fn scalar_mul_zero_is_infinity() {
+        assert!(generator()
+            .to_jacobian()
+            .scalar_mul(&U256::ZERO)
+            .is_infinity());
+        assert!(base_mul(&U256::ZERO).is_infinity());
+    }
+}

@@ -1,0 +1,33 @@
+//! A deterministic discrete-event network simulator.
+//!
+//! The paper's evaluation runs on a 33-machine testbed spanning the UK, the
+//! US and Israel (Fig. 3). This crate reproduces that substrate in
+//! simulation:
+//!
+//! * [`sim`] — the event loop: message delivery, timers, and a per-node
+//!   single-server CPU model (a node busy processing one message queues the
+//!   next), which is what turns per-operation costs into throughput limits.
+//! * [`link`] — per-link latency, jitter and bandwidth.
+//! * [`topology`] — the Fig. 3 WAN testbed, complete graphs and the Fig. 5
+//!   hub-and-spoke overlay.
+//! * [`stats`] — latency histograms (mean / p50 / p99, as reported in the
+//!   paper's tables).
+//!
+//! Everything is deterministic given a seed: two runs of the same scenario
+//! produce identical traces.
+
+pub mod link;
+pub mod sim;
+pub mod stats;
+pub mod topology;
+
+pub use link::LinkSpec;
+pub use sim::{Ctx, NodeId, SimNode, Simulator};
+pub use stats::Histogram;
+
+/// Nanoseconds per microsecond.
+pub const US: u64 = 1_000;
+/// Nanoseconds per millisecond.
+pub const MS: u64 = 1_000_000;
+/// Nanoseconds per second.
+pub const SEC: u64 = 1_000_000_000;

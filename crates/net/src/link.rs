@@ -1,0 +1,90 @@
+//! Network link models.
+
+use teechain_util::rng::Xoshiro256;
+
+/// A directed link's characteristics. Delivery time for a message of `n`
+/// bytes is `latency * (1 + U[0, jitter_frac)) + n*8/bandwidth`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// One-way propagation delay in nanoseconds.
+    pub latency_ns: u64,
+    /// Multiplicative jitter bound (e.g. 0.06 = up to +6%).
+    pub jitter_frac: f64,
+    /// Bandwidth in bits per second (`None` = infinite).
+    pub bandwidth_bps: Option<u64>,
+}
+
+impl LinkSpec {
+    /// A symmetric link described by its round-trip time in milliseconds
+    /// and bandwidth in megabits per second — the units of Fig. 3.
+    pub fn from_rtt_ms(rtt_ms: f64, bandwidth_mbps: f64) -> Self {
+        LinkSpec {
+            latency_ns: (rtt_ms / 2.0 * 1_000_000.0) as u64,
+            jitter_frac: 0.06,
+            bandwidth_bps: Some((bandwidth_mbps * 1_000_000.0) as u64),
+        }
+    }
+
+    /// An ideal link (zero latency, infinite bandwidth) for unit tests.
+    pub fn ideal() -> Self {
+        LinkSpec {
+            latency_ns: 0,
+            jitter_frac: 0.0,
+            bandwidth_bps: None,
+        }
+    }
+
+    /// Samples the one-way delay for a message of `bytes` bytes.
+    pub fn sample_delay(&self, bytes: usize, rng: &mut Xoshiro256) -> u64 {
+        let jitter = if self.jitter_frac > 0.0 {
+            (self.latency_ns as f64 * self.jitter_frac * rng.next_f64()) as u64
+        } else {
+            0
+        };
+        let serialization = match self.bandwidth_bps {
+            Some(bps) if bps > 0 => (bytes as u64 * 8).saturating_mul(1_000_000_000) / bps,
+            _ => 0,
+        };
+        self.latency_ns + jitter + serialization
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rtt_conversion() {
+        let l = LinkSpec::from_rtt_ms(90.0, 150.0);
+        assert_eq!(l.latency_ns, 45_000_000);
+        assert_eq!(l.bandwidth_bps, Some(150_000_000));
+    }
+
+    #[test]
+    fn ideal_link_is_instant() {
+        let mut rng = Xoshiro256::new(1);
+        assert_eq!(LinkSpec::ideal().sample_delay(1_000_000, &mut rng), 0);
+    }
+
+    #[test]
+    fn serialization_delay_scales_with_size() {
+        let mut rng = Xoshiro256::new(1);
+        let mut l = LinkSpec::from_rtt_ms(0.0, 8.0); // 8 Mb/s = 1 byte/µs
+        l.jitter_frac = 0.0;
+        assert_eq!(l.sample_delay(1000, &mut rng), 1000 * 1000);
+    }
+
+    #[test]
+    fn jitter_bounded() {
+        let mut rng = Xoshiro256::new(7);
+        let l = LinkSpec {
+            latency_ns: 1_000_000,
+            jitter_frac: 0.1,
+            bandwidth_bps: None,
+        };
+        for _ in 0..1000 {
+            let d = l.sample_delay(0, &mut rng);
+            assert!((1_000_000..1_100_000).contains(&d));
+        }
+    }
+}

@@ -1,0 +1,529 @@
+//! The discrete-event simulation core.
+
+use crate::link::LinkSpec;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use teechain_util::rng::Xoshiro256;
+
+/// Identifies a node within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+impl std::fmt::Display for NodeId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Behaviour of a simulated node.
+pub trait SimNode {
+    /// Called once at simulation start (time 0).
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let _ = ctx;
+    }
+
+    /// Called when a message from `from` is delivered.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Vec<u8>);
+
+    /// Called when a timer set with [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let _ = (ctx, token);
+    }
+}
+
+enum Action {
+    Send { to: NodeId, msg: Vec<u8> },
+    Timer { delay_ns: u64, token: u64 },
+    Busy { ns: u64 },
+}
+
+/// Handler context: lets a node observe time, send messages, set timers and
+/// account CPU service time.
+pub struct Ctx<'a> {
+    now: u64,
+    self_id: NodeId,
+    actions: &'a mut Vec<Action>,
+    rng: &'a mut Xoshiro256,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now
+    }
+
+    /// This node's id.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Sends `msg` to `to`; it will be delivered after the link delay.
+    pub fn send(&mut self, to: NodeId, msg: Vec<u8>) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Schedules [`SimNode::on_timer`] with `token` after `delay_ns`.
+    pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
+        self.actions.push(Action::Timer { delay_ns, token });
+    }
+
+    /// Accounts `ns` of CPU service time for handling the current event:
+    /// the node will not process further events before `now + ns`. This is
+    /// the single-server queue that converts per-operation costs into
+    /// throughput ceilings.
+    pub fn busy(&mut self, ns: u64) {
+        self.actions.push(Action::Busy { ns });
+    }
+
+    /// Deterministic per-simulation randomness.
+    pub fn rng(&mut self) -> &mut Xoshiro256 {
+        self.rng
+    }
+}
+
+enum EventKind {
+    Deliver { to: NodeId, from: NodeId, msg: Vec<u8> },
+    Timer { node: NodeId, token: u64 },
+    /// Internal: a busy node re-checks its inbox.
+    Wake { node: NodeId },
+}
+
+impl EventKind {
+    fn target(&self) -> NodeId {
+        match self {
+            EventKind::Deliver { to, .. } => *to,
+            EventKind::Timer { node, .. } | EventKind::Wake { node } => *node,
+        }
+    }
+}
+
+/// Aggregate simulation counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SimStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Total payload bytes delivered.
+    pub bytes: u64,
+    /// Events processed (messages + timers).
+    pub events: u64,
+}
+
+/// The simulator: owns all nodes, links and the event queue.
+pub struct Simulator<N> {
+    nodes: Vec<N>,
+    busy_until: Vec<u64>,
+    inbox: Vec<std::collections::VecDeque<EventKind>>,
+    wake_scheduled: Vec<bool>,
+    links: HashMap<(u32, u32), LinkSpec>,
+    /// Last scheduled arrival per (src, dst): links are FIFO (TCP-like),
+    /// so jitter never reorders messages within one connection.
+    last_arrival: HashMap<(u32, u32), u64>,
+    default_link: LinkSpec,
+    queue: BinaryHeap<Reverse<EventKey>>,
+    events: HashMap<u64, EventKind>,
+    now: u64,
+    seq: u64,
+    rng: Xoshiro256,
+    stats: SimStats,
+    started: bool,
+}
+
+#[derive(PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey {
+    time: u64,
+    seq: u64,
+}
+
+impl<N: SimNode> Simulator<N> {
+    /// Creates a simulator over `nodes` with the given default link.
+    pub fn new(nodes: Vec<N>, default_link: LinkSpec, seed: u64) -> Self {
+        let n = nodes.len();
+        Self {
+            nodes,
+            busy_until: vec![0; n],
+            inbox: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            wake_scheduled: vec![false; n],
+            links: HashMap::new(),
+            last_arrival: HashMap::new(),
+            default_link,
+            queue: BinaryHeap::new(),
+            events: HashMap::new(),
+            now: 0,
+            seq: 0,
+            rng: Xoshiro256::new(seed),
+            stats: SimStats::default(),
+            started: false,
+        }
+    }
+
+    /// Sets the (symmetric) link between two nodes.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.links.insert((a.0, b.0), spec);
+        self.links.insert((b.0, a.0), spec);
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the simulator has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current simulated time.
+    pub fn now_ns(&self) -> u64 {
+        self.now
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Immutable access to a node (for assertions and result collection).
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Mutable access to a node. Intended for setup and for harness-driven
+    /// actions *between* event processing; effects take place at the
+    /// current simulation time via [`Simulator::call`].
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// Invokes `f` on a node with a live [`Ctx`] at the current time, then
+    /// applies any resulting actions. This is how external drivers (the
+    /// benchmark harness, examples) inject work.
+    pub fn call<R>(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Ctx<'_>) -> R) -> R {
+        let mut actions = Vec::new();
+        let r = {
+            let mut ctx = Ctx {
+                now: self.now,
+                self_id: id,
+                actions: &mut actions,
+                rng: &mut self.rng,
+            };
+            f(&mut self.nodes[id.0 as usize], &mut ctx)
+        };
+        self.apply_actions(id, actions);
+        r
+    }
+
+    fn link_for(&self, a: NodeId, b: NodeId) -> LinkSpec {
+        *self.links.get(&(a.0, b.0)).unwrap_or(&self.default_link)
+    }
+
+    fn push_event(&mut self, time: u64, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(EventKey { time, seq }));
+        self.events.insert(seq, kind);
+    }
+
+    fn apply_actions(&mut self, from: NodeId, actions: Vec<Action>) {
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let link = self.link_for(from, to);
+                    let delay = link.sample_delay(msg.len(), &mut self.rng);
+                    // Outputs leave once the node finishes its accounted
+                    // processing (Busy actions precede Sends in handler
+                    // order), so e.g. attestation verification time shows
+                    // up in handshake latency, not only in queueing.
+                    let depart = self.now.max(self.busy_until[from.0 as usize]);
+                    let mut time = depart + delay;
+                    // FIFO per connection: never deliver before an earlier
+                    // message on the same (src, dst) pair.
+                    let last = self.last_arrival.entry((from.0, to.0)).or_insert(0);
+                    time = time.max(*last);
+                    *last = time;
+                    self.push_event(time, EventKind::Deliver { to, from, msg });
+                }
+                Action::Timer { delay_ns, token } => {
+                    let time = self.now + delay_ns;
+                    self.push_event(time, EventKind::Timer { node: from, token });
+                }
+                Action::Busy { ns } => {
+                    let idx = from.0 as usize;
+                    self.busy_until[idx] = self.busy_until[idx].max(self.now) + ns;
+                }
+            }
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.nodes.len() {
+            let id = NodeId(i as u32);
+            self.call(id, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Ensures a wake event is scheduled for a node whose inbox holds
+    /// deferred events.
+    fn ensure_wake(&mut self, node: NodeId) {
+        let idx = node.0 as usize;
+        if self.wake_scheduled[idx] || self.inbox[idx].is_empty() {
+            return;
+        }
+        self.wake_scheduled[idx] = true;
+        let at = self.busy_until[idx].max(self.now);
+        self.push_event(at, EventKind::Wake { node });
+    }
+
+    /// Runs one event's handler at the current time.
+    fn dispatch(&mut self, kind: EventKind) {
+        self.stats.events += 1;
+        match kind {
+            EventKind::Deliver { to, from, msg } => {
+                self.stats.messages += 1;
+                self.stats.bytes += msg.len() as u64;
+                self.call(to, |node, ctx| node.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { node, token } => {
+                self.call(node, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::Wake { .. } => unreachable!("wake handled in step"),
+        }
+    }
+
+    /// Processes a single event; returns false if the queue is empty.
+    pub fn step(&mut self) -> bool {
+        self.start_if_needed();
+        let Some(Reverse(key)) = self.queue.pop() else {
+            return false;
+        };
+        let kind = self.events.remove(&key.seq).expect("event body");
+        self.now = self.now.max(key.time);
+        let node = kind.target();
+        let idx = node.0 as usize;
+        if let EventKind::Wake { .. } = kind {
+            self.wake_scheduled[idx] = false;
+            if self.busy_until[idx] > self.now {
+                // Busy period was extended after the wake was scheduled.
+                self.ensure_wake(node);
+            } else if let Some(deferred) = self.inbox[idx].pop_front() {
+                self.dispatch(deferred);
+                self.ensure_wake(node);
+            }
+            return true;
+        }
+        // A busy node defers the event into its inbox (single-server
+        // queue). A free node with a non-empty inbox must also defer, or
+        // the fresh event would overtake older deferred ones and break
+        // per-connection FIFO.
+        if self.busy_until[idx] > self.now || !self.inbox[idx].is_empty() {
+            self.inbox[idx].push_back(kind);
+            self.ensure_wake(node);
+            return true;
+        }
+        self.dispatch(kind);
+        self.ensure_wake(node);
+        true
+    }
+
+    /// Runs until the queue drains or `deadline_ns` passes. Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, deadline_ns: u64) -> u64 {
+        self.start_if_needed();
+        let mut processed = 0;
+        while let Some(Reverse(key)) = self.queue.peek() {
+            if key.time > deadline_ns {
+                break;
+            }
+            self.step();
+            processed += 1;
+        }
+        self.now = self.now.max(deadline_ns);
+        processed
+    }
+
+    /// Runs until the event queue is empty (or `max_events` were processed,
+    /// as a runaway guard). Returns the number of events processed.
+    pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        self.start_if_needed();
+        let mut processed = 0;
+        while processed < max_events && self.step() {
+            processed += 1;
+        }
+        processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MS;
+
+    /// Echoes every message back; counts receipts; optionally burns CPU.
+    struct Echo {
+        received: Vec<(u64, NodeId, Vec<u8>)>,
+        timers: Vec<(u64, u64)>,
+        echo: bool,
+        cost_ns: u64,
+    }
+
+    impl Echo {
+        fn new(echo: bool) -> Self {
+            Echo {
+                received: Vec::new(),
+                timers: Vec::new(),
+                echo,
+                cost_ns: 0,
+            }
+        }
+    }
+
+    impl SimNode for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Vec<u8>) {
+            self.received.push((ctx.now_ns(), from, msg.clone()));
+            if self.cost_ns > 0 {
+                ctx.busy(self.cost_ns);
+            }
+            if self.echo {
+                ctx.send(from, msg);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+            self.timers.push((ctx.now_ns(), token));
+        }
+    }
+
+    fn two_nodes(latency_ms: u64) -> Simulator<Echo> {
+        let link = LinkSpec {
+            latency_ns: latency_ms * MS,
+            jitter_frac: 0.0,
+            bandwidth_bps: None,
+        };
+        Simulator::new(vec![Echo::new(false), Echo::new(true)], link, 1)
+    }
+
+    #[test]
+    fn message_arrives_after_latency() {
+        let mut sim = two_nodes(10);
+        sim.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), b"ping".to_vec()));
+        sim.run_to_idle(100);
+        let (t, from, msg) = &sim.node(NodeId(1)).received[0];
+        assert_eq!(*t, 10 * MS);
+        assert_eq!(*from, NodeId(0));
+        assert_eq!(msg, b"ping");
+        // Echo arrives back after another 10 ms.
+        assert_eq!(sim.node(NodeId(0)).received[0].0, 20 * MS);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = two_nodes(1);
+        sim.call(NodeId(0), |_, ctx| {
+            ctx.set_timer(5 * MS, 5);
+            ctx.set_timer(2 * MS, 2);
+            ctx.set_timer(9 * MS, 9);
+        });
+        sim.run_to_idle(100);
+        let timers = &sim.node(NodeId(0)).timers;
+        assert_eq!(
+            timers,
+            &vec![(2 * MS, 2u64), (5 * MS, 5u64), (9 * MS, 9u64)]
+        );
+    }
+
+    #[test]
+    fn busy_node_queues_messages() {
+        let mut sim = two_nodes(0);
+        sim.node_mut(NodeId(1)).cost_ns = 10 * MS;
+        // Three back-to-back messages: service times 0,10,20 ms.
+        sim.call(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), b"a".to_vec());
+            ctx.send(NodeId(1), b"b".to_vec());
+            ctx.send(NodeId(1), b"c".to_vec());
+        });
+        sim.run_to_idle(100);
+        let times: Vec<u64> = sim.node(NodeId(1)).received.iter().map(|r| r.0).collect();
+        assert_eq!(times, vec![0, 10 * MS, 20 * MS]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = || {
+            let mut sim = two_nodes(3);
+            sim.call(NodeId(0), |_, ctx| {
+                for i in 0..10u8 {
+                    ctx.send(NodeId(1), vec![i]);
+                }
+            });
+            sim.run_to_idle(1000);
+            sim.node(NodeId(0))
+                .received
+                .iter()
+                .map(|r| r.0)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn per_link_overrides() {
+        let mut sim = Simulator::new(
+            vec![Echo::new(false), Echo::new(false), Echo::new(false)],
+            LinkSpec {
+                latency_ns: MS,
+                jitter_frac: 0.0,
+                bandwidth_bps: None,
+            },
+            1,
+        );
+        sim.set_link(
+            NodeId(0),
+            NodeId(2),
+            LinkSpec {
+                latency_ns: 50 * MS,
+                jitter_frac: 0.0,
+                bandwidth_bps: None,
+            },
+        );
+        sim.call(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), b"fast".to_vec());
+            ctx.send(NodeId(2), b"slow".to_vec());
+        });
+        sim.run_to_idle(100);
+        assert_eq!(sim.node(NodeId(1)).received[0].0, MS);
+        assert_eq!(sim.node(NodeId(2)).received[0].0, 50 * MS);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = two_nodes(10);
+        sim.call(NodeId(0), |_, ctx| {
+            ctx.set_timer(5 * MS, 1);
+            ctx.set_timer(50 * MS, 2);
+        });
+        sim.run_until(20 * MS);
+        assert_eq!(sim.node(NodeId(0)).timers.len(), 1);
+        assert_eq!(sim.now_ns(), 20 * MS);
+        sim.run_to_idle(10);
+        assert_eq!(sim.node(NodeId(0)).timers.len(), 2);
+    }
+
+    #[test]
+    fn throughput_limited_by_service_time() {
+        // With a 1 ms service time, 1000 messages take ~1 s to drain:
+        // the single-server queue caps throughput at 1/cost.
+        let mut sim = two_nodes(0);
+        sim.node_mut(NodeId(1)).cost_ns = MS;
+        sim.call(NodeId(0), |_, ctx| {
+            for _ in 0..1000 {
+                ctx.send(NodeId(1), vec![0]);
+            }
+        });
+        sim.run_to_idle(10_000);
+        let last = sim.node(NodeId(1)).received.last().unwrap().0;
+        assert_eq!(last, 999 * MS);
+    }
+}

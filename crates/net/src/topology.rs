@@ -1,0 +1,215 @@
+//! Topology builders matching the paper's evaluation setups.
+//!
+//! * [`Region`] and [`fig3_link`] — the Fig. 3 testbed: 30 machines in the
+//!   UK, one in the US, two in Israel, with the measured WAN RTTs.
+//! * [`HubSpoke`] — the Fig. 5 three-tier hub-and-spoke overlay with
+//!   100 ms links between machines.
+//! * [`complete_pairs`] — all pairs of a complete payment-channel graph.
+
+use crate::link::LinkSpec;
+use crate::sim::NodeId;
+
+/// Geographic placement of a machine in the Fig. 3 testbed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// London cluster (UK1..UK30): 0.5 ms LAN at 1 Gb/s.
+    Uk,
+    /// The single US machine.
+    Us,
+    /// The Israeli machines (IL1, IL2): 0.5 ms LAN at 100 Mb/s.
+    Il,
+}
+
+/// The WAN/LAN link between two regions, with Fig. 3's RTTs and
+/// bandwidths. The assignment of the three WAN RTTs (90/140/60 ms) to the
+/// (UK,US)/(US,IL)/(UK,IL) pairs is the one consistent with Table 1: the
+/// no-fault-tolerance payment (one UK↔US round trip) measures 86 ms, and
+/// one replica in IL adds ≈206 ms (one US↔IL plus one UK↔IL round trip).
+pub fn fig3_link(a: Region, b: Region) -> LinkSpec {
+    use Region::*;
+    match (a, b) {
+        (Uk, Uk) => LinkSpec::from_rtt_ms(0.5, 1000.0),
+        (Il, Il) => LinkSpec::from_rtt_ms(0.5, 100.0),
+        (Us, Us) => LinkSpec::from_rtt_ms(0.1, 1000.0),
+        (Uk, Us) | (Us, Uk) => LinkSpec::from_rtt_ms(84.0, 150.0),
+        (Us, Il) | (Il, Us) => LinkSpec::from_rtt_ms(140.0, 90.0),
+        (Uk, Il) | (Il, Uk) => LinkSpec::from_rtt_ms(60.0, 180.0),
+    }
+}
+
+/// The Fig. 3 testbed: returns the region of each of the 33 machines.
+/// Index 0 is the US machine, 1–2 are IL1/IL2, 3–32 are UK1..UK30.
+pub fn fig3_regions() -> Vec<Region> {
+    let mut regions = vec![Region::Us, Region::Il, Region::Il];
+    regions.extend(std::iter::repeat(Region::Uk).take(30));
+    regions
+}
+
+/// Applies Fig. 3 links to a simulator-sized region list: yields
+/// `(a, b, LinkSpec)` for every ordered pair (callers apply symmetric).
+pub fn region_links(regions: &[Region]) -> Vec<(NodeId, NodeId, LinkSpec)> {
+    let mut out = Vec::new();
+    for i in 0..regions.len() {
+        for j in (i + 1)..regions.len() {
+            out.push((
+                NodeId(i as u32),
+                NodeId(j as u32),
+                fig3_link(regions[i], regions[j]),
+            ));
+        }
+    }
+    out
+}
+
+/// All unordered node pairs of a complete graph over `n` nodes — the §7.4
+/// complete-graph deployment, where every pair shares a direct channel.
+pub fn complete_pairs(n: u32) -> Vec<(NodeId, NodeId)> {
+    let mut out = Vec::new();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            out.push((NodeId(i), NodeId(j)));
+        }
+    }
+    out
+}
+
+/// The Fig. 5 hub-and-spoke overlay: three tiers of connectivity.
+///
+/// * Tier 1 — fully interconnected hubs.
+/// * Tier 2 — each connected to every tier-1 hub.
+/// * Tier 3 — each connected to exactly one tier-2 node (round-robin).
+#[derive(Debug, Clone)]
+pub struct HubSpoke {
+    /// Number of tier-1 hubs.
+    pub tier1: u32,
+    /// Number of tier-2 nodes.
+    pub tier2: u32,
+    /// Number of tier-3 leaves.
+    pub tier3: u32,
+}
+
+impl HubSpoke {
+    /// The 30-machine configuration used in §7.4: 3 hubs, 9 mid-tier,
+    /// 18 leaves.
+    pub fn paper_default() -> Self {
+        HubSpoke {
+            tier1: 3,
+            tier2: 9,
+            tier3: 18,
+        }
+    }
+
+    /// Total number of nodes.
+    pub fn total(&self) -> u32 {
+        self.tier1 + self.tier2 + self.tier3
+    }
+
+    /// The tier (1, 2 or 3) of a node id.
+    pub fn tier_of(&self, id: NodeId) -> u8 {
+        if id.0 < self.tier1 {
+            1
+        } else if id.0 < self.tier1 + self.tier2 {
+            2
+        } else {
+            3
+        }
+    }
+
+    /// The payment-channel edges of the overlay.
+    pub fn channel_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        let mut out = Vec::new();
+        // Tier 1: complete among hubs.
+        for i in 0..self.tier1 {
+            for j in (i + 1)..self.tier1 {
+                out.push((NodeId(i), NodeId(j)));
+            }
+        }
+        // Tier 2: each to every hub.
+        for k in 0..self.tier2 {
+            let id = self.tier1 + k;
+            for hub in 0..self.tier1 {
+                out.push((NodeId(hub), NodeId(id)));
+            }
+        }
+        // Tier 3: each to one tier-2 node, round-robin.
+        for k in 0..self.tier3 {
+            let id = self.tier1 + self.tier2 + k;
+            let parent = self.tier1 + (k % self.tier2);
+            out.push((NodeId(parent), NodeId(id)));
+        }
+        out
+    }
+
+    /// Address-ownership weights from §7.4: 50% of addresses on tier 1,
+    /// 35% on tier 2, 15% on tier 3 (divided evenly within a tier).
+    pub fn address_weight(&self, id: NodeId) -> f64 {
+        match self.tier_of(id) {
+            1 => 0.50 / self.tier1 as f64,
+            2 => 0.35 / self.tier2 as f64,
+            _ => 0.15 / self.tier3 as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig3_has_33_machines() {
+        let regions = fig3_regions();
+        assert_eq!(regions.len(), 33);
+        assert_eq!(regions.iter().filter(|r| **r == Region::Uk).count(), 30);
+        assert_eq!(regions.iter().filter(|r| **r == Region::Il).count(), 2);
+    }
+
+    #[test]
+    fn wan_rtts_match_calibration() {
+        // One UK↔US round trip ≈ 84 ms (Table 1 no-FT latency 86 ms with
+        // jitter); see module docs.
+        assert_eq!(fig3_link(Region::Uk, Region::Us).latency_ns, 42_000_000);
+        assert_eq!(fig3_link(Region::Us, Region::Il).latency_ns, 70_000_000);
+        assert_eq!(fig3_link(Region::Il, Region::Uk).latency_ns, 30_000_000);
+        // Symmetry.
+        assert_eq!(
+            fig3_link(Region::Us, Region::Uk),
+            fig3_link(Region::Uk, Region::Us)
+        );
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        assert_eq!(complete_pairs(5).len(), 10);
+        assert_eq!(complete_pairs(30).len(), 435);
+    }
+
+    #[test]
+    fn hub_spoke_shape() {
+        let hs = HubSpoke::paper_default();
+        assert_eq!(hs.total(), 30);
+        let pairs = hs.channel_pairs();
+        // 3 hub-hub + 9*3 tier2-hub + 18 tier3 edges.
+        assert_eq!(pairs.len(), 3 + 27 + 18);
+        assert_eq!(hs.tier_of(NodeId(0)), 1);
+        assert_eq!(hs.tier_of(NodeId(3)), 2);
+        assert_eq!(hs.tier_of(NodeId(12)), 3);
+    }
+
+    #[test]
+    fn address_weights_sum_to_one() {
+        let hs = HubSpoke::paper_default();
+        let total: f64 = (0..hs.total()).map(|i| hs.address_weight(NodeId(i))).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tier3_nodes_have_one_edge() {
+        let hs = HubSpoke::paper_default();
+        let pairs = hs.channel_pairs();
+        for k in 0..hs.tier3 {
+            let id = NodeId(hs.tier1 + hs.tier2 + k);
+            let degree = pairs.iter().filter(|(a, b)| *a == id || *b == id).count();
+            assert_eq!(degree, 1);
+        }
+    }
+}

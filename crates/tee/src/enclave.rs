@@ -1,0 +1,361 @@
+//! The enclave container: program isolation, ecall dispatch and fault
+//! injection.
+//!
+//! Mirrors the paper's `F_TEE` ideal functionality (Appendix A.2): install
+//! a program, then `resume` it with inputs; outputs can be attested. On top
+//! of the ideal functionality we expose the two failure modes the paper's
+//! fault model requires: **crash** (volatile state lost; hardware counters
+//! survive) and **compromise** (the adversary reads and drives the program
+//! state directly — the abstraction of a side-channel key-extraction
+//! attack \[67\]).
+
+use crate::attest::{DeviceIdentity, Quote};
+use crate::counter::{CounterError, MonotonicCounter};
+use crate::measurement::Measurement;
+use crate::sealing::{SealError, Sealer};
+use teechain_util::rng::Xoshiro256;
+
+/// The services an enclave program may use, provided by the "hardware".
+pub struct EnclaveEnv {
+    rng: Xoshiro256,
+    device: DeviceIdentity,
+    measurement: Measurement,
+    sealer: Sealer,
+    counters: Vec<MonotonicCounter>,
+    now_ns: u64,
+}
+
+impl EnclaveEnv {
+    /// Current time in nanoseconds. Enclaves have no trusted clock in SGX;
+    /// Teechain only uses time for counter throttling and never for
+    /// security decisions, matching the paper's asynchronous model.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// In-enclave entropy (for key generation).
+    pub fn random_bytes32(&mut self) -> [u8; 32] {
+        self.rng.next_bytes32()
+    }
+
+    /// Allocates a new monotonic counter; returns its id.
+    pub fn create_counter(&mut self, throttle_ns: u64) -> usize {
+        self.counters.push(MonotonicCounter::new(throttle_ns));
+        self.counters.len() - 1
+    }
+
+    /// Increments counter `id` (throttled).
+    pub fn increment_counter(&mut self, id: usize) -> Result<u64, CounterError> {
+        let now = self.now_ns;
+        self.counters[id].increment(now)
+    }
+
+    /// Reads counter `id`.
+    pub fn read_counter(&self, id: usize) -> u64 {
+        self.counters[id].read()
+    }
+
+    /// Number of counters provisioned on this device (counters survive
+    /// enclave restarts, so a restored program reuses existing ids).
+    pub fn counter_count(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Earliest time counter `id` can next be incremented.
+    pub fn counter_ready_at(&self, id: usize) -> u64 {
+        self.counters[id].ready_at()
+    }
+
+    /// Produces an attestation quote binding `report_data`.
+    pub fn quote(&self, report_data: [u8; 64]) -> Quote {
+        self.device.quote(self.measurement, report_data)
+    }
+
+    /// Seals state to untrusted storage (see [`crate::sealing`]).
+    pub fn seal(&self, counter: u64, state: &[u8]) -> Vec<u8> {
+        self.sealer.seal(counter, state)
+    }
+
+    /// Unseals state from untrusted storage.
+    pub fn unseal(&self, min_counter: u64, blob: &[u8]) -> Result<(u64, Vec<u8>), SealError> {
+        self.sealer.unseal(min_counter, blob)
+    }
+
+    /// This enclave's measurement.
+    pub fn measurement(&self) -> Measurement {
+        self.measurement
+    }
+}
+
+/// A program runnable inside an [`Enclave`].
+pub trait EnclaveProgram {
+    /// Ecall request type.
+    type Cmd;
+    /// Ecall response type.
+    type Resp;
+
+    /// Handles one ecall.
+    fn handle(&mut self, env: &mut EnclaveEnv, cmd: Self::Cmd) -> Self::Resp;
+}
+
+/// Enclave call failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnclaveError {
+    /// The enclave has crashed; volatile state is gone.
+    Crashed,
+}
+
+impl std::fmt::Display for EnclaveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EnclaveError::Crashed => write!(f, "enclave crashed"),
+        }
+    }
+}
+
+impl std::error::Error for EnclaveError {}
+
+/// An enclave instance hosting a program `P`.
+pub struct Enclave<P> {
+    program: Option<P>,
+    env: EnclaveEnv,
+    compromised: bool,
+}
+
+impl<P: EnclaveProgram> Enclave<P> {
+    /// Launches `program` on `device`.
+    pub fn launch(device: DeviceIdentity, measurement: Measurement, seed: u64, program: P) -> Self {
+        let sealer = Sealer::new(&device, &measurement);
+        Self {
+            program: Some(program),
+            env: EnclaveEnv {
+                rng: Xoshiro256::new(seed),
+                device,
+                measurement,
+                sealer,
+                counters: Vec::new(),
+                now_ns: 0,
+            },
+            compromised: false,
+        }
+    }
+
+    /// Performs an ecall at time `now_ns`.
+    pub fn call(&mut self, now_ns: u64, cmd: P::Cmd) -> Result<P::Resp, EnclaveError> {
+        let program = self.program.as_mut().ok_or(EnclaveError::Crashed)?;
+        self.env.now_ns = self.env.now_ns.max(now_ns);
+        Ok(program.handle(&mut self.env, cmd))
+    }
+
+    /// Crashes the enclave: all volatile program state is lost. Hardware
+    /// monotonic counters and the sealing key survive (they live in the
+    /// CPU package, which is the whole point of §6.2).
+    pub fn crash(&mut self) -> Option<P> {
+        self.program.take()
+    }
+
+    /// Restarts the enclave with a fresh program instance (typically one
+    /// that immediately unseals persisted state).
+    pub fn restart(&mut self, program: P) {
+        self.program = Some(program);
+    }
+
+    /// True if the enclave is currently crashed.
+    pub fn is_crashed(&self) -> bool {
+        self.program.is_none()
+    }
+
+    /// Compromises the enclave: models a side-channel attack that breaks
+    /// confidentiality and integrity. The returned references give the
+    /// adversary direct access to program state *and* hardware services,
+    /// letting tests forge messages with stolen keys.
+    pub fn compromise(&mut self) -> Option<(&mut P, &mut EnclaveEnv)> {
+        self.compromised = true;
+        let program = self.program.as_mut()?;
+        Some((program, &mut self.env))
+    }
+
+    /// True once [`Enclave::compromise`] has been invoked.
+    pub fn is_compromised(&self) -> bool {
+        self.compromised
+    }
+
+    /// Read-only program access for assertions in tests and for the host's
+    /// *untrusted* bookkeeping (a real host can observe its own requests;
+    /// we additionally let it peek for test convenience — never used by
+    /// protocol logic).
+    pub fn program(&self) -> Option<&P> {
+        self.program.as_ref()
+    }
+
+    /// The enclave's measurement.
+    pub fn measurement(&self) -> Measurement {
+        self.env.measurement
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attest::TrustRoot;
+
+    /// A toy program: stores a secret, returns it only to the right query.
+    struct Vault {
+        secret: u64,
+        counter_id: Option<usize>,
+    }
+
+    enum Cmd {
+        Put(u64),
+        Get,
+        Bump,
+        Quote([u8; 64]),
+    }
+
+    enum Resp {
+        Ok,
+        Value(u64),
+        Counter(Result<u64, CounterError>),
+        Quoted(Box<Quote>),
+    }
+
+    impl EnclaveProgram for Vault {
+        type Cmd = Cmd;
+        type Resp = Resp;
+
+        fn handle(&mut self, env: &mut EnclaveEnv, cmd: Cmd) -> Resp {
+            match cmd {
+                Cmd::Put(v) => {
+                    self.secret = v;
+                    Resp::Ok
+                }
+                Cmd::Get => Resp::Value(self.secret),
+                Cmd::Bump => {
+                    let id = *self
+                        .counter_id
+                        .get_or_insert_with(|| env.create_counter(100));
+                    Resp::Counter(env.increment_counter(id))
+                }
+                Cmd::Quote(data) => Resp::Quoted(Box::new(env.quote(data))),
+            }
+        }
+    }
+
+    fn launch() -> (TrustRoot, Enclave<Vault>) {
+        let root = TrustRoot::new(1);
+        let dev = root.issue_device(5);
+        let m = Measurement::of_program("vault", 1);
+        (
+            root,
+            Enclave::launch(
+                dev,
+                m,
+                42,
+                Vault {
+                    secret: 0,
+                    counter_id: None,
+                },
+            ),
+        )
+    }
+
+    #[test]
+    fn ecall_roundtrip() {
+        let (_, mut e) = launch();
+        e.call(0, Cmd::Put(7)).unwrap();
+        match e.call(0, Cmd::Get).unwrap() {
+            Resp::Value(7) => {}
+            _ => panic!("wrong value"),
+        }
+    }
+
+    #[test]
+    fn crash_loses_volatile_state() {
+        let (_, mut e) = launch();
+        e.call(0, Cmd::Put(7)).unwrap();
+        e.crash();
+        assert!(e.is_crashed());
+        assert!(matches!(e.call(0, Cmd::Get), Err(EnclaveError::Crashed)));
+        e.restart(Vault {
+            secret: 0,
+            counter_id: None,
+        });
+        match e.call(0, Cmd::Get).unwrap() {
+            Resp::Value(0) => {}
+            _ => panic!("state should be fresh after restart"),
+        }
+    }
+
+    #[test]
+    fn counters_survive_crash() {
+        let (_, mut e) = launch();
+        match e.call(0, Cmd::Bump).unwrap() {
+            Resp::Counter(Ok(1)) => {}
+            _ => panic!("first bump should give 1"),
+        }
+        e.crash();
+        e.restart(Vault {
+            secret: 0,
+            counter_id: Some(0),
+        });
+        // The hardware counter retains its value and its throttle state.
+        match e.call(1_000_000_000, Cmd::Bump).unwrap() {
+            Resp::Counter(Ok(2)) => {}
+            other => panic!(
+                "counter should continue from hardware value, got {:?}",
+                matches!(other, Resp::Counter(_))
+            ),
+        }
+    }
+
+    #[test]
+    fn counter_throttled_through_env() {
+        let (_, mut e) = launch();
+        assert!(matches!(e.call(0, Cmd::Bump).unwrap(), Resp::Counter(Ok(1))));
+        assert!(matches!(
+            e.call(10, Cmd::Bump).unwrap(),
+            Resp::Counter(Err(CounterError::Throttled { ready_at: 100 }))
+        ));
+        assert!(matches!(
+            e.call(100, Cmd::Bump).unwrap(),
+            Resp::Counter(Ok(2))
+        ));
+    }
+
+    #[test]
+    fn quotes_verify_under_root() {
+        let (root, mut e) = launch();
+        let data = [9u8; 64];
+        match e.call(0, Cmd::Quote(data)).unwrap() {
+            Resp::Quoted(q) => {
+                assert!(q.verify_for(&root.public_key(), &Measurement::of_program("vault", 1)));
+            }
+            _ => panic!("expected quote"),
+        }
+    }
+
+    #[test]
+    fn compromise_leaks_secrets() {
+        let (_, mut e) = launch();
+        e.call(0, Cmd::Put(1234)).unwrap();
+        assert!(!e.is_compromised());
+        let (program, _env) = e.compromise().unwrap();
+        assert_eq!(program.secret, 1234);
+        assert!(e.is_compromised());
+    }
+
+    #[test]
+    fn time_is_monotonic_inside_enclave() {
+        let (_, mut e) = launch();
+        e.call(100, Cmd::Put(1)).unwrap();
+        // A stale host-supplied timestamp cannot move enclave time backward
+        // (hosts are untrusted; letting time regress would unthrottle the
+        // counters).
+        e.call(50, Cmd::Put(2)).unwrap();
+        assert!(matches!(e.call(0, Cmd::Bump).unwrap(), Resp::Counter(Ok(1))));
+        assert!(matches!(
+            e.call(99, Cmd::Bump).unwrap(),
+            Resp::Counter(Err(_))
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! A simulated trusted execution environment.
+//!
+//! The Teechain protocols consume an *abstract* TEE — the paper formalizes
+//! it as the ideal functionality `F_TEE` (Appendix A.2): a container that
+//! runs a program with confidentiality and integrity, generates keys
+//! inside, can prove to remote parties what it is running (remote
+//! attestation), can seal state to untrusted storage, and offers throttled
+//! monotonic counters. Crucially, TEEs may *fail*: they can crash (losing
+//! volatile state) and they can be *compromised* (Foreshadow-style attacks,
+//! \[67\]), leaking secrets to the adversary. This crate implements exactly
+//! that contract plus explicit fault injection:
+//!
+//! * [`measurement`] — program identities.
+//! * [`attest`] — a simulated manufacturer root, device keys and quotes.
+//! * [`sealing`] — authenticated encryption of state to untrusted storage.
+//! * [`counter`] — monotonic counters throttled to the SGX-realistic rate
+//!   (the paper emulates them with a 100 ms delay; so do we, §7).
+//! * [`enclave`] — the container: ecall dispatch, crash, compromise.
+
+pub mod attest;
+pub mod counter;
+pub mod enclave;
+pub mod measurement;
+pub mod sealing;
+
+pub use attest::{DeviceIdentity, Quote, TrustRoot};
+pub use counter::{CounterError, MonotonicCounter};
+pub use enclave::{Enclave, EnclaveEnv, EnclaveError, EnclaveProgram};
+pub use measurement::Measurement;

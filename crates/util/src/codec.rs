@@ -1,0 +1,338 @@
+//! A small, bit-stable binary wire codec.
+//!
+//! Transaction identifiers and enclave state digests are SHA-256 hashes of
+//! serialized bytes, so serialization must be deterministic and stable. All
+//! integers are little-endian; variable-length collections are prefixed with
+//! a `u32` length.
+
+use std::collections::BTreeMap;
+
+/// Errors produced while decoding wire bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The input ended before the value was complete.
+    UnexpectedEof,
+    /// A length prefix or tag was outside the permitted range.
+    InvalidValue(&'static str),
+    /// Trailing bytes remained after decoding a top-level value.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::UnexpectedEof => write!(f, "unexpected end of input"),
+            WireError::InvalidValue(what) => write!(f, "invalid value: {what}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Sequential reader over a byte slice.
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a reader positioned at the start of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Takes the next `n` bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        if self.remaining() < n {
+            return Err(WireError::UnexpectedEof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Decodes a value of type `T` from the current position.
+    pub fn read<T: Decode>(&mut self) -> Result<T, WireError> {
+        T::decode(self)
+    }
+}
+
+/// Types that can be serialized to the wire format.
+pub trait Encode {
+    /// Appends the serialized form of `self` to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Serializes `self` into a fresh buffer.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+/// Types that can be deserialized from the wire format.
+pub trait Decode: Sized {
+    /// Decodes a value from `r`.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError>;
+
+    /// Decodes a value that must consume the entire input.
+    fn decode_exact(buf: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Encode for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+        }
+        impl Decode for $t {
+            fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+impl_int!(u8, u16, u32, u64, u128, i64);
+
+impl Encode for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+}
+
+impl Decode for bool {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read::<u8>()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::InvalidValue("bool")),
+        }
+    }
+}
+
+impl<const N: usize> Encode for [u8; N] {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(self);
+    }
+}
+
+impl<const N: usize> Decode for [u8; N] {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(r.take(N)?.try_into().unwrap())
+    }
+}
+
+impl<T: Encode> Encode for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+}
+
+impl<T: Decode> Decode for Vec<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.read::<u32>()? as usize;
+        // Guard against absurd allocations from corrupt input.
+        if len > r.remaining() {
+            return Err(WireError::InvalidValue("vec length"));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(r.read::<T>()?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Encode> Encode for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+}
+
+impl<T: Decode> Decode for Option<T> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        match r.read::<u8>()? {
+            0 => Ok(None),
+            1 => Ok(Some(r.read::<T>()?)),
+            _ => Err(WireError::InvalidValue("option tag")),
+        }
+    }
+}
+
+impl Encode for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+}
+
+impl Decode for String {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.read::<u32>()? as usize;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::InvalidValue("utf8"))
+    }
+}
+
+impl<A: Encode, B: Encode> Encode for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+}
+
+impl<A: Decode, B: Decode> Decode for (A, B) {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok((r.read()?, r.read()?))
+    }
+}
+
+impl<K: Encode + Ord, V: Encode> Encode for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+}
+
+impl<K: Decode + Ord, V: Decode> Decode for BTreeMap<K, V> {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        let len = r.read::<u32>()? as usize;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = r.read::<K>()?;
+            let v = r.read::<V>()?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+/// Implements `Encode`/`Decode` for a struct field-by-field.
+#[macro_export]
+macro_rules! impl_wire_struct {
+    ($ty:ty { $($field:ident),+ $(,)? }) => {
+        impl $crate::codec::Encode for $ty {
+            fn encode(&self, out: &mut Vec<u8>) {
+                $(self.$field.encode(out);)+
+            }
+        }
+        impl $crate::codec::Decode for $ty {
+            fn decode(r: &mut $crate::codec::Reader<'_>) -> Result<Self, $crate::codec::WireError> {
+                Ok(Self { $($field: r.read()?),+ })
+            }
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn ints_roundtrip() {
+        let mut buf = Vec::new();
+        42u8.encode(&mut buf);
+        7u32.encode(&mut buf);
+        u64::MAX.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read::<u8>().unwrap(), 42);
+        assert_eq!(r.read::<u32>().unwrap(), 7);
+        assert_eq!(r.read::<u64>().unwrap(), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn eof_detected() {
+        let buf = [1u8, 2];
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.read::<u32>(), Err(WireError::UnexpectedEof));
+    }
+
+    #[test]
+    fn bool_rejects_junk() {
+        assert_eq!(bool::decode_exact(&[2]), Err(WireError::InvalidValue("bool")));
+    }
+
+    #[test]
+    fn option_roundtrip() {
+        let v: Option<u32> = Some(9);
+        assert_eq!(Option::<u32>::decode_exact(&v.encode_to_vec()).unwrap(), v);
+        let n: Option<u32> = None;
+        assert_eq!(Option::<u32>::decode_exact(&n.encode_to_vec()).unwrap(), n);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut buf = 1u8.encode_to_vec();
+        buf.push(0);
+        assert_eq!(u8::decode_exact(&buf), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn vec_length_guard() {
+        // Claims 2^32-1 elements with 0 bytes of payload.
+        let buf = u32::MAX.encode_to_vec();
+        assert!(Vec::<u8>::decode_exact(&buf).is_err());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m = BTreeMap::new();
+        m.insert(3u32, "three".to_string());
+        m.insert(1u32, "one".to_string());
+        let decoded = BTreeMap::<u32, String>::decode_exact(&m.encode_to_vec()).unwrap();
+        assert_eq!(decoded, m);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_vec_u64_roundtrip(v in proptest::collection::vec(any::<u64>(), 0..64)) {
+            let decoded = Vec::<u64>::decode_exact(&v.encode_to_vec()).unwrap();
+            prop_assert_eq!(decoded, v);
+        }
+
+        #[test]
+        fn prop_string_roundtrip(s in ".{0,64}") {
+            let decoded = String::decode_exact(&s.encode_to_vec()).unwrap();
+            prop_assert_eq!(decoded, s);
+        }
+
+        #[test]
+        fn prop_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+            // Decoding arbitrary junk must fail gracefully, never panic.
+            let _ = Vec::<u32>::decode_exact(&bytes);
+            let _ = String::decode_exact(&bytes);
+            let _ = Option::<u64>::decode_exact(&bytes);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Minimal hexadecimal encoding and decoding.
+
+/// Encodes `bytes` as a lowercase hexadecimal string.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(teechain_util::hex::encode(&[0xde, 0xad]), "dead");
+/// ```
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        out.push(char::from_digit((b >> 4) as u32, 16).unwrap());
+        out.push(char::from_digit((b & 0xf) as u32, 16).unwrap());
+    }
+    out
+}
+
+/// Decodes a hexadecimal string (upper or lower case) into bytes.
+///
+/// Returns `None` if the input has odd length or contains a non-hex digit.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(teechain_util::hex::decode("DEad"), Some(vec![0xde, 0xad]));
+/// assert_eq!(teechain_util::hex::decode("xy"), None);
+/// ```
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if s.len() % 2 != 0 {
+        return None;
+    }
+    let digits: Vec<u8> = s
+        .chars()
+        .map(|c| c.to_digit(16).map(|d| d as u8))
+        .collect::<Option<_>>()?;
+    Some(digits.chunks(2).map(|p| (p[0] << 4) | p[1]).collect())
+}
+
+/// Decodes a hex string into a fixed-size array.
+///
+/// Returns `None` on bad digits or length mismatch.
+pub fn decode_array<const N: usize>(s: &str) -> Option<[u8; N]> {
+    let v = decode(s)?;
+    v.try_into().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = (0..=255).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn rejects_odd_length() {
+        assert_eq!(decode("abc"), None);
+    }
+
+    #[test]
+    fn rejects_bad_digit() {
+        assert_eq!(decode("zz"), None);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(encode(&[]), "");
+        assert_eq!(decode(""), Some(vec![]));
+    }
+
+    #[test]
+    fn fixed_size() {
+        assert_eq!(decode_array::<2>("beef"), Some([0xbe, 0xef]));
+        assert_eq!(decode_array::<3>("beef"), None);
+    }
+}

@@ -1,0 +1,12 @@
+//! Shared utilities for the Teechain reproduction.
+//!
+//! This crate deliberately has no dependencies: the wire codec defined here
+//! is used to compute transaction identifiers (hashes of serialized bytes),
+//! so its output must be bit-stable across platforms and versions.
+
+pub mod codec;
+pub mod hex;
+pub mod rng;
+
+pub use codec::{Decode, Encode, Reader, WireError};
+pub use rng::{SplitMix64, Xoshiro256};

@@ -1,0 +1,58 @@
+//! Quickstart: two parties open a Teechain channel, pay each other, and
+//! settle — all with *asynchronous* blockchain access.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use teechain::enclave::Command;
+use teechain::testkit::Cluster;
+
+fn main() {
+    // Two nodes, each with an attested TEE, sharing a simulated Bitcoin-
+    // like blockchain. Identities are exchanged out-of-band.
+    let mut net = Cluster::functional(2);
+    println!("Alice  = {}", net.ids[0].fingerprint());
+    println!("Bob    = {}", net.ids[1].fingerprint());
+
+    // 1. Secure channel: mutual remote attestation + authenticated DH.
+    net.connect(0, 1);
+    println!("\n[1] attested session established");
+
+    // 2. Payment channel: created instantly — no blockchain write.
+    let chan = net.open_channel(0, 1, "alice-bob");
+    println!("[2] payment channel open ({}) — zero on-chain writes", chan.short());
+
+    // 3. Fund deposit: Alice mints 1,000 on chain into a TEE-controlled
+    //    address, Bob's host verifies it on chain and his TEE approves,
+    //    then the deposit is associated with the channel dynamically.
+    let deposit = net.fund_deposit(0, 1_000, 1);
+    net.approve_and_associate(0, 1, chan, &deposit);
+    println!(
+        "[3] deposit {} (1,000) approved and associated",
+        deposit.outpoint.txid.short()
+    );
+
+    // 4. Payments: single message + ack, no consensus in the loop.
+    for amount in [250, 100, 50] {
+        net.pay(0, chan, amount).unwrap();
+    }
+    net.pay(1, chan, 150).unwrap(); // Bob pays some back.
+    let (alice, bob) = net.balances(0, chan);
+    println!("[4] after payments: Alice={alice} Bob={bob}");
+    assert_eq!((alice, bob), (750, 250));
+
+    // 5. Settlement: one transaction carrying the final balances. The
+    //    blockchain is only now involved — and only eventually.
+    let alice_addr = {
+        let p = net.node(0).enclave.program().unwrap();
+        p.channel(&chan).unwrap().my_settlement
+    };
+    net.command(0, Command::Settle { id: chan }).unwrap();
+    net.settle_network();
+    net.mine(1);
+    println!(
+        "[5] settled on chain: Alice's settlement address holds {}",
+        net.chain_balance(&alice_addr)
+    );
+    assert_eq!(net.chain_balance(&alice_addr), 750);
+    println!("\nDone: 4 payments, 2 on-chain transactions total (funding + settlement).");
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the Teechain reproduction workspace.
+//!
+//! Re-exports the member crates for convenient use by the workspace-level
+//! examples and integration tests. See `README.md` for a tour.
+
+pub use teechain;
+pub use teechain_baselines;
+pub use teechain_bench;
+pub use teechain_blockchain;
+pub use teechain_crypto;
+pub use teechain_net;
+pub use teechain_tee;
+pub use teechain_util;

@@ -1,0 +1,118 @@
+//! Cross-crate integration tests: the full stack (crypto → TEE →
+//! blockchain → network → protocol) under realistic conditions.
+
+use teechain::enclave::Command;
+use teechain::testkit::{Cluster, ClusterConfig};
+use teechain_baselines::attack::delay_attack_on_ln;
+use teechain_blockchain::AdversaryPolicy;
+use teechain_net::topology::{fig3_link, Region};
+
+#[test]
+fn full_lifecycle_on_wan_links() {
+    // Same flow as the quickstart, but over the Fig. 3 transatlantic link
+    // with real latencies and the calibrated cost model.
+    let mut net = Cluster::new(ClusterConfig {
+        n: 2,
+        costs: teechain::driver::CostModel::default(),
+        default_link: fig3_link(Region::Us, Region::Uk),
+        ..ClusterConfig::default()
+    });
+    let chan = net.standard_channel(0, 1, "wan", 1_000, 1);
+    let t0 = net.sim.now_ns();
+    net.pay(0, chan, 100).unwrap();
+    let elapsed_ms = (net.sim.now_ns() - t0) as f64 / 1e6;
+    // One payment = one 84 ms round trip (+jitter/processing).
+    assert!((80.0..120.0).contains(&elapsed_ms), "{elapsed_ms}");
+    net.command(0, Command::Settle { id: chan }).unwrap();
+    net.settle_network();
+    net.mine(1);
+    let chain = net.chain.lock();
+    assert_eq!(chain.utxo_total() + chain.total_fees(), chain.total_minted());
+}
+
+#[test]
+fn teechain_immune_to_delay_attack_ln_is_not() {
+    // LN: censoring past τ steals funds.
+    let ln = delay_attack_on_ln(1_000, 600, 10, 11);
+    assert!(ln.theft_succeeded);
+    // Teechain under the same (stronger: delay EVERYTHING) adversary.
+    let mut net = Cluster::functional(2);
+    let chan = net.standard_channel(0, 1, "attack", 1_000, 1);
+    net.pay(0, chan, 600).unwrap();
+    net.chain
+        .lock()
+        .set_policy(AdversaryPolicy::DelayAll { blocks: 100 });
+    let bob_addr = {
+        let p = net.node(1).enclave.program().unwrap();
+        p.channel(&chan).unwrap().my_settlement
+    };
+    net.command(1, Command::Settle { id: chan }).unwrap();
+    net.settle_network();
+    net.mine(101);
+    // Delayed, never diverted: Bob receives exactly what he is owed.
+    assert_eq!(net.chain_balance(&bob_addr), 600);
+}
+
+#[test]
+fn channel_state_survives_host_message_loss() {
+    // The host is untrusted: drop Bob's network entirely mid-payment.
+    // Alice's debit is gated on... nothing here (no replication), so her
+    // enclave state moved — but settlement still reflects a consistent
+    // state pair because Bob never acked and Alice can only settle at a
+    // state her TEE actually reached.
+    let mut net = Cluster::functional(2);
+    let chan = net.standard_channel(0, 1, "loss", 1_000, 1);
+    net.pay(0, chan, 100).unwrap();
+    // Crash Bob. Alice settles unilaterally.
+    net.node_mut(1).enclave.crash();
+    let addr = {
+        let p = net.node(0).enclave.program().unwrap();
+        p.channel(&chan).unwrap().my_settlement
+    };
+    net.command(0, Command::Settle { id: chan }).unwrap();
+    net.mine(1);
+    assert_eq!(net.chain_balance(&addr), 900);
+}
+
+#[test]
+fn thirty_node_complete_graph_smoke() {
+    // A small slice of the Fig. 6 deployment as an integration test.
+    let mut net = Cluster::functional(6);
+    let mut chans = Vec::new();
+    for i in 0..6usize {
+        for j in (i + 1)..6 {
+            chans.push((i, net.standard_channel(i, j, &format!("c{i}{j}"), 1_000, 1)));
+        }
+    }
+    for &(i, chan) in &chans {
+        net.pay(i, chan, 10).unwrap();
+    }
+    for &(i, chan) in &chans {
+        let (my, _) = net.balances(i, chan);
+        assert_eq!(my, 990);
+    }
+}
+
+#[test]
+fn outsourced_user_via_remote_tee() {
+    // Dave (no TEE) uses a remote TEE: modelled as operating a node whose
+    // enclave he attested (the trust argument is the committee chain, so
+    // we attach one and verify failover works for the outsourced user).
+    let mut net = Cluster::functional(3);
+    net.attach_backup(0, 2); // Dave's outsourced TEE is replicated.
+    net.connect(0, 1);
+    let chan = net.open_channel(0, 1, "dave");
+    let dep = net.fund_deposit(0, 500, 1);
+    net.approve_and_associate(0, 1, chan, &dep);
+    net.pay(0, chan, 50).unwrap();
+    // The outsourced operator disappears; Dave recovers via the committee.
+    net.node_mut(0).enclave.crash();
+    net.command(2, Command::SettleFromReplica).unwrap();
+    net.settle_network();
+    net.mine(1);
+    let addr = {
+        let p = net.node(2).enclave.program().unwrap();
+        p.replica_channel(&chan).unwrap().my_settlement
+    };
+    assert_eq!(net.chain_balance(&addr), 450);
+}
