@@ -26,12 +26,7 @@ pub struct AttackOutcome {
 /// (it only becomes timelock-valid after τ). The theft succeeds iff the
 /// justice transaction is delayed *beyond* the reaction window τ — i.e.
 /// `censor_blocks > tau`.
-pub fn delay_attack_on_ln(
-    value: u64,
-    payment: u64,
-    tau: u64,
-    censor_blocks: u64,
-) -> AttackOutcome {
+pub fn delay_attack_on_ln(value: u64, payment: u64, tau: u64, censor_blocks: u64) -> AttackOutcome {
     let mut chain = Chain::new();
     let mut ch = LnChannel::open(&mut chain, 7, value, tau);
     ch.pay_a_to_b(payment).expect("payment fits");

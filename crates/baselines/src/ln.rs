@@ -87,10 +87,7 @@ impl LnChannel {
         let key_b = Keypair::from_seed(&[seed ^ 0xff; 32]);
         let rev_a = Keypair::from_seed(&[seed ^ 0xa5; 32]);
         let rev_b = Keypair::from_seed(&[seed ^ 0x5a; 32]);
-        let funding = chain.mint(
-            ScriptPubKey::multisig(2, vec![key_a.pk, key_b.pk]),
-            value,
-        );
+        let funding = chain.mint(ScriptPubKey::multisig(2, vec![key_a.pk, key_b.pk]), value);
         chain.mine_blocks(perf::FUNDING_CONFIRMATIONS - 1);
         LnChannel {
             key_a,

@@ -7,7 +7,16 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("bin dir");
-    for bin in ["table1", "table2", "fig4", "fig6", "table3", "fig7", "table4"] {
+    for bin in [
+        "table1",
+        "table2",
+        "fig4",
+        "fig6",
+        "table3",
+        "fig7",
+        "table4",
+        "persistence",
+    ] {
         println!("\n===== {bin} =====");
         let mut cmd = Command::new(dir.join(bin));
         if quick {

@@ -6,7 +6,7 @@ use teechain_bench::report::{fmt_thousands, Table};
 use teechain_bench::scenarios::build_network;
 use teechain_bench::workload::Workload;
 use teechain_net::topology::complete_pairs;
-use teechain_net::{LinkSpec, NodeId, MS};
+use teechain_net::{LinkSpec, MS};
 
 fn run(nodes: usize, committee_n: usize, payments_per_node: usize, seed: u64) -> f64 {
     // The complete-graph deployment runs on the UK LAN cluster (Fig. 3):

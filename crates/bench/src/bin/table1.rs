@@ -31,7 +31,11 @@ fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64) {
 
     // Latency: a sequential (window = 1) run on a fresh cluster.
     let (mut cluster, chan) = fig3_pair(ft, seed + 1);
-    let lat_payments = if matches!(ft, FtMode::StableStorage) { 40 } else { 300 };
+    let lat_payments = if matches!(ft, FtMode::StableStorage) {
+        40
+    } else {
+        300
+    };
     let jobs: Vec<Job> = (0..lat_payments)
         .map(|_| Job::Direct { chan, amount: 1 })
         .collect();
@@ -63,12 +67,32 @@ fn main() {
         vec![
             ("Teechain, no fault tolerance", FtMode::None, false),
             ("Teechain, one replica (IL)", FtMode::Replicas(1), false),
-            ("Teechain, two replicas (IL & UK)", FtMode::Replicas(2), false),
-            ("Teechain, three replicas (IL, US & UK)", FtMode::Replicas(3), false),
+            (
+                "Teechain, two replicas (IL & UK)",
+                FtMode::Replicas(2),
+                false,
+            ),
+            (
+                "Teechain, three replicas (IL, US & UK)",
+                FtMode::Replicas(3),
+                false,
+            ),
             ("Teechain, stable storage", FtMode::StableStorage, false),
-            ("Teechain, batching (no fault tolerance)", FtMode::None, true),
-            ("Teechain, batching (two replicas)", FtMode::Replicas(2), true),
-            ("Teechain, batching (stable storage)", FtMode::StableStorage, true),
+            (
+                "Teechain, batching (no fault tolerance)",
+                FtMode::None,
+                true,
+            ),
+            (
+                "Teechain, batching (two replicas)",
+                FtMode::Replicas(2),
+                true,
+            ),
+            (
+                "Teechain, batching (stable storage)",
+                FtMode::StableStorage,
+                true,
+            ),
         ]
     };
     for (name, ft, batching) in rows {

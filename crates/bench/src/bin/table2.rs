@@ -103,7 +103,10 @@ fn main() {
     for (label, ft) in [
         ("Associate/dissociate, no fault tolerance", FtMode::None),
         ("Associate/dissociate, one backup (IL)", FtMode::Replicas(1)),
-        ("Associate/dissociate, two backups (IL & UK)", FtMode::Replicas(2)),
+        (
+            "Associate/dissociate, two backups (IL & UK)",
+            FtMode::Replicas(2),
+        ),
         (
             "Associate/dissociate, three backups (IL, US & UK)",
             FtMode::Replicas(3),

@@ -29,7 +29,12 @@ fn main() {
     let payments = if quick { 600 } else { 3000 };
     let mut table = Table::new(
         "Table 3: hub-and-spoke performance",
-        &["Approach", "Throughput (tx/s)", "Avg latency (ms)", "Avg hops"],
+        &[
+            "Approach",
+            "Throughput (tx/s)",
+            "Avg latency (ms)",
+            "Avg hops",
+        ],
     );
     let rows: Vec<(&str, usize, usize)> = if quick {
         vec![("No fault tolerance", 1, 1)]

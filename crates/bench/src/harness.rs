@@ -7,16 +7,18 @@
 //! on channel-lock failures — the exact mechanics of the paper's load
 //! generator.
 
+use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use parking_lot::Mutex;
 use teechain::driver::{CostModel, SimHost};
+use teechain::durability::DurabilityBackend;
 use teechain::enclave::{Command, EnclaveConfig, HostEvent};
 use teechain::node::{SharedChain, TeechainNode};
 use teechain::types::{ChannelId, ProtocolError, RouteId};
 use teechain_blockchain::Chain;
 use teechain_crypto::schnorr::PublicKey;
 use teechain_net::{Ctx, Histogram, LinkSpec, NodeId, SimNode, Simulator};
+use teechain_persist::{PersistentStore, SharedStore};
 use teechain_tee::TrustRoot;
 
 /// Timer tokens used by the driver (distinct from the host's own).
@@ -127,7 +129,10 @@ impl BenchNode {
                 HostEvent::MultihopComplete { route, .. } => {
                     if let Some((sent, job)) = self.pending_routes.remove(&route) {
                         self.stats.latencies.record(ctx.now_ns() - sent);
-                        if let Job::Multihop { paths, next_path, .. } = &job {
+                        if let Job::Multihop {
+                            paths, next_path, ..
+                        } = &job
+                        {
                             let idx = next_path.saturating_sub(1).min(paths.len() - 1);
                             self.stats.hops_total += (paths[idx].1.len()) as u64;
                         }
@@ -202,12 +207,19 @@ impl BenchNode {
                 );
                 match result {
                     Ok(()) => self.inflight += 1,
-                    Err(ProtocolError::ChannelLocked) | Err(ProtocolError::CounterThrottled { .. }) => {
-                        self.pending_direct.get_mut(&chan).expect("pushed").pop_back();
+                    Err(ProtocolError::ChannelLocked)
+                    | Err(ProtocolError::CounterThrottled { .. }) => {
+                        self.pending_direct
+                            .get_mut(&chan)
+                            .expect("pushed")
+                            .pop_back();
                         self.schedule_retry(ctx, Job::Direct { chan, amount });
                     }
                     Err(_) => {
-                        self.pending_direct.get_mut(&chan).expect("pushed").pop_back();
+                        self.pending_direct
+                            .get_mut(&chan)
+                            .expect("pushed")
+                            .pop_back();
                     }
                 }
             }
@@ -225,7 +237,8 @@ impl BenchNode {
                     next_path: idx + 1,
                     amount,
                 };
-                self.pending_routes.insert(route, (ctx.now_ns(), job.clone()));
+                self.pending_routes
+                    .insert(route, (ctx.now_ns(), job.clone()));
                 let result = self.host.node.command(
                     ctx,
                     Command::PayMultihop {
@@ -254,11 +267,9 @@ impl BenchNode {
         let chan = batch.chan;
         // How many logical payments the client generated this interval:
         // bounded by the per-payment generation cost (the CPU model).
-        let capacity = if self.host.costs.logical_ns == 0 {
-            u32::MAX as u64
-        } else {
-            interval / self.host.costs.logical_ns
-        };
+        let capacity = interval
+            .checked_div(self.host.costs.logical_ns)
+            .unwrap_or(u32::MAX as u64);
         let mut count = 0u32;
         let mut amount = 0u64;
         while (count as u64) < capacity {
@@ -295,7 +306,10 @@ impl BenchNode {
             );
             if result.is_err() {
                 // Counter throttled (stable storage): put the jobs back.
-                self.pending_direct.get_mut(&chan).expect("pushed").pop_back();
+                self.pending_direct
+                    .get_mut(&chan)
+                    .expect("pushed")
+                    .pop_back();
                 for _ in 0..count {
                     self.jobs.push_front(Job::Direct {
                         chan,
@@ -345,8 +359,10 @@ pub struct BenchConfig {
     pub costs: CostModel,
     /// Default link.
     pub default_link: LinkSpec,
-    /// Persistent-storage (stable storage) mode.
-    pub persist: bool,
+    /// Fault-tolerance backend (§6). Replication chains are wired by the
+    /// scenario builders (they choose failure domains), so only the
+    /// persistence policy is consumed here.
+    pub durability: DurabilityBackend,
     /// Seed.
     pub seed: u64,
 }
@@ -357,7 +373,7 @@ impl Default for BenchConfig {
             n: 2,
             costs: CostModel::default(),
             default_link: LinkSpec::ideal(),
-            persist: false,
+            durability: DurabilityBackend::None,
             seed: 11,
         }
     }
@@ -391,6 +407,9 @@ pub struct BenchCluster {
     pub chain: SharedChain,
     /// Node identities.
     pub ids: Vec<PublicKey>,
+    /// Durable stores per node (persistent mode; harness-owned so they
+    /// survive node crashes).
+    pub stores: Vec<Option<SharedStore>>,
 }
 
 impl BenchCluster {
@@ -400,19 +419,27 @@ impl BenchCluster {
         let chain: SharedChain = Arc::new(Mutex::new(Chain::new()));
         let measurement = TeechainNode::measurement();
         let mut nodes = Vec::with_capacity(cfg.n);
+        let mut stores: Vec<Option<SharedStore>> = Vec::with_capacity(cfg.n);
         for i in 0..cfg.n {
             let device = root.issue_device(5000 + i as u64);
             let enclave_cfg = EnclaveConfig {
                 trust_root: root.public_key(),
                 measurement,
-                persist: cfg.persist,
+                durability: cfg.durability,
             };
-            let node = TeechainNode::new(
+            let mut node = TeechainNode::new(
                 device,
                 enclave_cfg,
                 cfg.seed.wrapping_mul(0xD1B5_4A32).wrapping_add(i as u64),
                 chain.clone(),
             );
+            if cfg.durability.is_persist() {
+                let store = PersistentStore::in_memory().into_shared();
+                node.attach_store(store.clone());
+                stores.push(Some(store));
+            } else {
+                stores.push(None);
+            }
             nodes.push(BenchNode::new(SimHost::new(node, cfg.costs)));
         }
         let mut sim = Simulator::new(nodes, cfg.default_link, cfg.seed);
@@ -430,7 +457,12 @@ impl BenchCluster {
                 }
             }
         }
-        BenchCluster { sim, chain, ids }
+        BenchCluster {
+            sim,
+            chain,
+            ids,
+            stores,
+        }
     }
 
     /// Runs the simulation to quiescence.
@@ -501,7 +533,9 @@ impl BenchCluster {
         let nid = NodeId(a as u32);
         let deposit = loop {
             match self.sim.call(nid, |node, ctx| {
-                node.host.node.create_funded_committee_deposit(ctx, value, m)
+                node.host
+                    .node
+                    .create_funded_committee_deposit(ctx, value, m)
             }) {
                 Ok(dep) => break dep,
                 Err(ProtocolError::CounterThrottled { ready_at }) => {
@@ -585,8 +619,7 @@ impl BenchCluster {
             node.host.node.drain_events();
         }
         for i in 0..self.sim.len() {
-            self.sim
-                .call(NodeId(i as u32), |node, ctx| node.pump(ctx));
+            self.sim.call(NodeId(i as u32), |node, ctx| node.pump(ctx));
         }
         self.sim.run_to_idle(max_events);
         self.collect()

@@ -11,6 +11,7 @@
 //! | `table3` | Table 3 — hub-and-spoke throughput (incl. dynamic routing) |
 //! | `fig7`   | Fig. 7 — temporary channels |
 //! | `table4` | Table 4 / §7.5 — blockchain cost |
+//! | `persistence` | §6 persistence vs. replication cost + crash churn |
 //! | `all`    | everything above |
 //!
 //! `cargo bench` additionally runs Criterion micro-benchmarks of the

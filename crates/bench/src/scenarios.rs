@@ -16,8 +16,12 @@ pub enum FtMode {
     None,
     /// `k` additional committee members (replication chain length k+1).
     Replicas(usize),
-    /// §6.2 persistent storage with monotonic counters.
+    /// §6.2 persistent storage with monotonic counters, sealing the full
+    /// state on every commit (the paper's configuration).
     StableStorage,
+    /// §6.2 persistent storage in WAL mode: sealed delta records with
+    /// group commit, snapshot + compaction every few commits.
+    StableStorageWal,
 }
 
 impl FtMode {
@@ -31,7 +35,18 @@ impl FtMode {
 
     /// Whether persistent mode is enabled.
     pub fn persist(&self) -> bool {
-        matches!(self, FtMode::StableStorage)
+        matches!(self, FtMode::StableStorage | FtMode::StableStorageWal)
+    }
+
+    /// The per-node durability backend this mode implies. Replication
+    /// chains are wired explicitly by the scenario (the backup *placement*
+    /// matters), so `Replicas` maps to `None` here.
+    pub fn durability(&self) -> teechain::DurabilityBackend {
+        match self {
+            FtMode::StableStorage => teechain::DurabilityBackend::eager_persist(),
+            FtMode::StableStorageWal => teechain::DurabilityBackend::persistent(),
+            _ => teechain::DurabilityBackend::None,
+        }
     }
 }
 
@@ -48,7 +63,7 @@ pub fn fig3_pair(ft: FtMode, seed: u64) -> (BenchCluster, ChannelId) {
         n,
         costs: CostModel::default(),
         default_link: fig3_link(Region::Uk, Region::Uk),
-        persist: ft.persist(),
+        durability: ft.durability(),
         seed,
     };
     // Regions: replicas live in different failure domains (IL first, then
@@ -89,7 +104,11 @@ pub fn fig3_pair(ft: FtMode, seed: u64) -> (BenchCluster, ChannelId) {
 /// Builds the §7.3 multi-hop chain over `hops` channels with `backups`
 /// committee members per node, on transatlantic links (UK→US→IL→UK…).
 /// Node layout: 0..=hops are path nodes; backups follow.
-pub fn transatlantic_chain(hops: usize, backups: usize, seed: u64) -> (BenchCluster, Vec<ChannelId>) {
+pub fn transatlantic_chain(
+    hops: usize,
+    backups: usize,
+    seed: u64,
+) -> (BenchCluster, Vec<ChannelId>) {
     let path_nodes = hops + 1;
     let n = path_nodes * (1 + backups);
     let region_of = |i: usize| match i % 3 {
@@ -110,7 +129,7 @@ pub fn transatlantic_chain(hops: usize, backups: usize, seed: u64) -> (BenchClus
         n,
         costs: CostModel::default(),
         default_link: fig3_link(Region::Uk, Region::Us),
-        persist: false,
+        durability: teechain::DurabilityBackend::None,
         seed,
     };
     let mut cluster = BenchCluster::new(cfg);
@@ -138,13 +157,7 @@ pub fn transatlantic_chain(hops: usize, backups: usize, seed: u64) -> (BenchClus
     }
     let mut chans = Vec::new();
     for i in 0..hops {
-        chans.push(cluster.standard_channel(
-            i,
-            i + 1,
-            &format!("hop{i}"),
-            u64::MAX / 8,
-            1,
-        ));
+        chans.push(cluster.standard_channel(i, i + 1, &format!("hop{i}"), u64::MAX / 8, 1));
     }
     (cluster, chans)
 }
@@ -205,7 +218,7 @@ pub fn build_network(
         n: total,
         costs: CostModel::default(),
         default_link: link,
-        persist: false,
+        durability: teechain::DurabilityBackend::None,
         seed,
     };
     let mut cluster = BenchCluster::new(cfg);
@@ -228,7 +241,9 @@ pub fn build_network(
             let dep = cluster
                 .sim
                 .call(NodeId(b.0), |node, ctx| {
-                    node.host.node.create_funded_committee_deposit(ctx, 1_000_000_000, 1)
+                    node.host
+                        .node
+                        .create_funded_committee_deposit(ctx, 1_000_000_000, 1)
                 })
                 .expect("reverse deposit");
             let remote = cluster.ids[a.0 as usize];
@@ -252,7 +267,10 @@ pub fn build_network(
                 )
                 .unwrap();
             cluster.settle();
-            channels.entry(if a <= b { (a, b) } else { (b, a) }).or_default().push(chan);
+            channels
+                .entry(if a <= b { (a, b) } else { (b, a) })
+                .or_default()
+                .push(chan);
         }
     }
     let graph = ChannelGraph::from_pairs(edges);
@@ -282,10 +300,7 @@ pub fn hub_spoke_jobs(
         }
         let mut paths = Vec::new();
         for path in &paths_nodes {
-            let hops: Vec<_> = path
-                .iter()
-                .map(|n| net.cluster.ids[n.0 as usize])
-                .collect();
+            let hops: Vec<_> = path.iter().map(|n| net.cluster.ids[n.0 as usize]).collect();
             let mut channels = Vec::new();
             let mut ok = true;
             for w in path.windows(2) {
@@ -305,11 +320,13 @@ pub fn hub_spoke_jobs(
         if paths.is_empty() {
             continue;
         }
-        jobs.entry(p.from.0 as usize).or_default().push(Job::Multihop {
-            paths,
-            next_path: 0,
-            amount: p.value,
-        });
+        jobs.entry(p.from.0 as usize)
+            .or_default()
+            .push(Job::Multihop {
+                paths,
+                next_path: 0,
+                amount: p.value,
+            });
     }
     jobs
 }

@@ -51,7 +51,12 @@ impl std::fmt::Display for ValidationError {
                 write!(f, "outputs {output} exceed inputs {input}")
             }
             ValidationError::BadWitness(op) => {
-                write!(f, "witness fails script for {}:{}", op.txid.short(), op.vout)
+                write!(
+                    f,
+                    "witness fails script for {}:{}",
+                    op.txid.short(),
+                    op.vout
+                )
             }
             ValidationError::ValueOverflow => write!(f, "value overflow"),
         }
@@ -363,7 +368,13 @@ mod tests {
         Keypair::from_seed(&[seed; 32])
     }
 
-    fn spend(chain: &Chain, from: OutPoint, key: &Keypair, to: &PublicKey, value: u64) -> Transaction {
+    fn spend(
+        chain: &Chain,
+        from: OutPoint,
+        key: &Keypair,
+        to: &PublicKey,
+        value: u64,
+    ) -> Transaction {
         let _ = chain;
         let mut tx = Transaction {
             inputs: vec![TxIn {
@@ -445,7 +456,9 @@ mod tests {
         let tx = spend(&chain, op, &alice, &kp(2).pk, 101);
         assert!(matches!(
             chain.submit(tx),
-            Err(SubmitError::Invalid(ValidationError::OutputsExceedInputs { .. }))
+            Err(SubmitError::Invalid(
+                ValidationError::OutputsExceedInputs { .. }
+            ))
         ));
     }
 
@@ -564,7 +577,10 @@ mod tests {
         let tx = spend(&chain, op, &alice, &kp(2).pk, 60);
         chain.submit(tx).unwrap();
         chain.mine_block();
-        assert_eq!(chain.utxo_total() + chain.total_fees(), chain.total_minted());
+        assert_eq!(
+            chain.utxo_total() + chain.total_fees(),
+            chain.total_minted()
+        );
     }
 
     #[test]

@@ -78,9 +78,7 @@ impl ScriptPubKey {
         confirmations: u64,
     ) -> bool {
         match self {
-            ScriptPubKey::P2pk(pk) => witness
-                .iter()
-                .any(|sig| schnorr::verify(pk, sighash, sig)),
+            ScriptPubKey::P2pk(pk) => witness.iter().any(|sig| schnorr::verify(pk, sighash, sig)),
             ScriptPubKey::Revocable {
                 owner,
                 delay_blocks,

@@ -145,9 +145,7 @@ impl Transaction {
     /// outpoint) — the mechanism behind the paper's proofs of premature
     /// termination (§5.1, "Enforcing transaction conflicts").
     pub fn conflicts_with(&self, other: &Transaction) -> bool {
-        self.inputs
-            .iter()
-            .any(|i| other.spends(&i.prevout))
+        self.inputs.iter().any(|i| other.spends(&i.prevout))
     }
 }
 

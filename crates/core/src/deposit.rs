@@ -56,8 +56,7 @@ impl DepositBook {
         if !self.keys.contains_key(our_key) {
             return Err(ProtocolError::BadDeposit);
         }
-        self.mine
-            .insert(dep.outpoint, (dep, DepositStatus::Free));
+        self.mine.insert(dep.outpoint, (dep, DepositStatus::Free));
         Ok(())
     }
 
@@ -164,7 +163,10 @@ mod tests {
         let d = dep(&mut book, 1, 100);
         book.add_mine(d.clone()).unwrap();
         assert!(book.require_free(&op(1)).is_ok());
-        book.set_status(&op(1), DepositStatus::Associated(ChannelId::from_label("c")));
+        book.set_status(
+            &op(1),
+            DepositStatus::Associated(ChannelId::from_label("c")),
+        );
         assert_eq!(book.require_free(&op(1)), Err(ProtocolError::BadDeposit));
         book.set_status(&op(1), DepositStatus::Free);
         book.set_status(&op(1), DepositStatus::Spent);

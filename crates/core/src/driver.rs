@@ -152,7 +152,10 @@ mod tests {
         // on the chain members (one update + overhead per payment):
         // ≈ 34k tx/s for any chain length ≥ 2 (Table 1 rows 3-5).
         let rep_tx_per_sec = 1e9 / (c.replication_ns as f64 + c.payment_ns as f64);
-        assert!((30_000.0..50_000.0).contains(&rep_tx_per_sec), "{rep_tx_per_sec}");
+        assert!(
+            (30_000.0..50_000.0).contains(&rep_tx_per_sec),
+            "{rep_tx_per_sec}"
+        );
     }
 
     #[test]

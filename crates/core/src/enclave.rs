@@ -13,6 +13,7 @@
 
 use crate::channel::Channel;
 use crate::deposit::{DepositBook, DepositStatus};
+use crate::durability::DurabilityBackend;
 use crate::msg::{ProtocolMsg, StateDelta, WireMsg};
 use crate::replication::{Replication, SigCollect};
 use crate::session::{self, Session};
@@ -30,9 +31,26 @@ pub struct EnclaveConfig {
     pub trust_root: PublicKey,
     /// The measurement peers must present (same build of this program).
     pub measurement: Measurement,
-    /// §6.2 persistent-storage mode: every state change requires a
-    /// (throttled) monotonic counter increment and emits a sealed blob.
-    pub persist: bool,
+    /// Fault-tolerance backend (§6). Under
+    /// [`DurabilityBackend::Persist`], every state change requires a
+    /// (throttled) monotonic counter increment and emits a sealed WAL
+    /// record, plus a periodic sealed snapshot per the policy.
+    pub durability: DurabilityBackend,
+}
+
+impl EnclaveConfig {
+    /// True in §6.2 persistent-storage mode.
+    pub fn persist(&self) -> bool {
+        self.durability.is_persist()
+    }
+
+    /// Commits between full sealed snapshots (1 when not persisting).
+    fn snapshot_every(&self) -> u64 {
+        self.durability
+            .persist_policy()
+            .map(|p| p.snapshot_every.max(1) as u64)
+            .unwrap_or(1)
+    }
 }
 
 /// Ecalls accepted by the Teechain enclave.
@@ -195,6 +213,18 @@ pub enum Command {
         /// Blob previously emitted via [`Effect::Persist`].
         blob: Vec<u8>,
     },
+    /// Full crash recovery from durable storage (§6.2): the latest
+    /// sealed snapshot (if any) plus every sealed WAL record appended
+    /// after it, oldest first. The enclave verifies that commit counters
+    /// form an unbroken chain ending at the hardware monotonic counter;
+    /// any gap — a rolled-back snapshot, a dropped log suffix, a torn
+    /// tail — is rejected with [`ProtocolError::StaleState`].
+    Recover {
+        /// Sealed snapshot from [`Effect::Persist`], if one was taken.
+        snapshot: Option<Vec<u8>>,
+        /// Sealed WAL records from [`Effect::AppendLog`], oldest first.
+        log: Vec<Vec<u8>>,
+    },
     /// Re-dispatches messages stashed while the monotonic counter was
     /// throttled (persistent mode, §6.2). The host calls this at the
     /// `ready_at` time from [`ProtocolError::CounterThrottled`].
@@ -333,6 +363,15 @@ pub enum HostEvent {
     /// More stashed messages are waiting on the monotonic counter; call
     /// [`Command::RetryPending`] at the given time (ns).
     RetryAt(u64),
+    /// Crash recovery succeeded (answer to [`Command::Recover`]).
+    Recovered {
+        /// Channels restored.
+        channels: usize,
+        /// Deposits restored (own and remote).
+        deposits: usize,
+        /// Durable commits replayed (snapshot counter + WAL records).
+        commits: u64,
+    },
 }
 
 /// Effects the host must carry out.
@@ -349,12 +388,22 @@ pub enum Effect {
     Broadcast(teechain_blockchain::Transaction),
     /// Notify the host application.
     Event(HostEvent),
-    /// Persist this sealed state blob (persistent-storage mode, §6.2).
+    /// Persist this sealed full-state snapshot, superseding the WAL so
+    /// far — the host should compact (persistent-storage mode, §6.2).
     Persist(Vec<u8>),
+    /// Append this sealed commit record to the write-ahead log and make
+    /// it durable before releasing the accompanying effects
+    /// (persistent-storage mode, §6.2). One record carries a whole
+    /// group-committed batch of state deltas.
+    AppendLog(Vec<u8>),
 }
 
 /// Result of an ecall.
 pub type Outcome = Result<Vec<Effect>, ProtocolError>;
+
+/// Version tag of the durable state-image format (the legacy format has
+/// no tag; its first byte is the 0/1 of an `Option`).
+const STATE_IMAGE_V2: u8 = 2;
 
 /// The Teechain enclave program state.
 pub struct TeechainEnclave {
@@ -373,6 +422,9 @@ pub struct TeechainEnclave {
     pub(crate) counter_id: Option<usize>,
     /// Decrypted messages stashed while the counter was throttled.
     pub(crate) pending_msgs: std::collections::VecDeque<(PublicKey, ProtocolMsg)>,
+    /// Durable commits performed (persistent mode); drives the snapshot
+    /// cadence. Restored during recovery.
+    pub(crate) commits: u64,
 }
 
 impl TeechainEnclave {
@@ -392,6 +444,7 @@ impl TeechainEnclave {
             frozen: false,
             counter_id: None,
             pending_msgs: std::collections::VecDeque::new(),
+            commits: 0,
         }
     }
 
@@ -434,7 +487,7 @@ impl TeechainEnclave {
         &mut self,
         env: &mut EnclaveEnv,
     ) -> Result<(), ProtocolError> {
-        if !self.cfg.persist {
+        if !self.cfg.persist() {
             return Ok(());
         }
         let id = self.ensure_counter(env);
@@ -540,7 +593,8 @@ impl TeechainEnclave {
             effects.push(Effect::Broadcast(tx));
         } else {
             let req_id = self.next_req_id();
-            self.sig_collects.insert(req_id, SigCollect { id, tx: tx.clone() });
+            self.sig_collects
+                .insert(req_id, SigCollect { id, tx: tx.clone() });
             effects.push(Effect::Event(HostEvent::NeedCoSign { req_id, tx }));
         }
     }
@@ -572,12 +626,7 @@ impl TeechainEnclave {
         Ok(vec![eff])
     }
 
-    fn on_new_channel(
-        &mut self,
-        from: PublicKey,
-        id: ChannelId,
-        settlement: PublicKey,
-    ) -> Outcome {
+    fn on_new_channel(&mut self, from: PublicKey, id: ChannelId, settlement: PublicKey) -> Outcome {
         self.require_unfrozen()?;
         if self.channels.contains_key(&id) {
             return Err(ProtocolError::ChannelExists);
@@ -641,6 +690,7 @@ impl TeechainEnclave {
         self.stage_delta(StateDelta::Deposit {
             dep: deposit,
             key,
+            mine: true,
         });
         Ok(vec![])
     }
@@ -735,7 +785,10 @@ impl TeechainEnclave {
     ) -> Outcome {
         self.require_unfrozen()?;
         self.require_counter_ready(env)?;
-        let chan = self.channels.get(&id).ok_or(ProtocolError::UnknownChannel)?;
+        let chan = self
+            .channels
+            .get(&id)
+            .ok_or(ProtocolError::UnknownChannel)?;
         if !chan.usable() {
             return Err(ProtocolError::ChannelNotOpen);
         }
@@ -758,7 +811,8 @@ impl TeechainEnclave {
         } else {
             None
         };
-        self.book.set_status(&outpoint, DepositStatus::Associated(id));
+        self.book
+            .set_status(&outpoint, DepositStatus::Associated(id));
         let chan = self.channels.get_mut(&id).expect("checked");
         chan.my_deps.push(outpoint);
         chan.my_deps.sort();
@@ -767,6 +821,7 @@ impl TeechainEnclave {
         self.stage_delta(StateDelta::Deposit {
             dep: dep.clone(),
             key,
+            mine: true,
         });
         let msg = ProtocolMsg::AssociateDeposit {
             id,
@@ -806,7 +861,11 @@ impl TeechainEnclave {
         }
         self.book.remote.insert(outpoint, deposit.clone());
         self.stage_channel(&id);
-        self.stage_delta(StateDelta::Deposit { dep: deposit, key });
+        self.stage_delta(StateDelta::Deposit {
+            dep: deposit,
+            key,
+            mine: false,
+        });
         Ok(vec![Effect::Event(HostEvent::DepositAssociated {
             id,
             outpoint,
@@ -821,7 +880,10 @@ impl TeechainEnclave {
     ) -> Outcome {
         self.require_unfrozen()?;
         self.require_counter_ready(env)?;
-        let dep_value = self.book.value_of(&outpoint).ok_or(ProtocolError::BadDeposit)?;
+        let dep_value = self
+            .book
+            .value_of(&outpoint)
+            .ok_or(ProtocolError::BadDeposit)?;
         let chan = self.channel_mut(&id)?;
         if chan.locked() {
             return Err(ProtocolError::ChannelLocked);
@@ -848,7 +910,10 @@ impl TeechainEnclave {
         outpoint: teechain_blockchain::OutPoint,
     ) -> Outcome {
         self.require_unfrozen()?;
-        let dep_value = self.book.value_of(&outpoint).ok_or(ProtocolError::BadDeposit)?;
+        let dep_value = self
+            .book
+            .value_of(&outpoint)
+            .ok_or(ProtocolError::BadDeposit)?;
         let chan = self.channel_mut(&id)?;
         if chan.remote != from || !chan.remote_deps.contains(&outpoint) {
             return Err(ProtocolError::BadMessage);
@@ -874,7 +939,10 @@ impl TeechainEnclave {
         id: ChannelId,
         outpoint: teechain_blockchain::OutPoint,
     ) -> Outcome {
-        let dep_value = self.book.value_of(&outpoint).ok_or(ProtocolError::BadDeposit)?;
+        let dep_value = self
+            .book
+            .value_of(&outpoint)
+            .ok_or(ProtocolError::BadDeposit)?;
         let chan = self.channel_mut(&id)?;
         if chan.remote != from || !chan.pending_dissoc.contains(&outpoint) {
             return Err(ProtocolError::BadMessage);
@@ -989,7 +1057,10 @@ impl TeechainEnclave {
 
     fn cmd_settle(&mut self, env: &mut EnclaveEnv, id: ChannelId) -> Outcome {
         self.require_counter_ready(env)?;
-        let chan = self.channels.get(&id).ok_or(ProtocolError::UnknownChannel)?;
+        let chan = self
+            .channels
+            .get(&id)
+            .ok_or(ProtocolError::UnknownChannel)?;
         if chan.closed {
             return Err(ProtocolError::ChannelNotOpen);
         }
@@ -1119,15 +1190,16 @@ impl TeechainEnclave {
             }
             ProtocolMsg::Pay { id, amount, count } => self.on_pay(env, from, id, amount, count),
             ProtocolMsg::PayAck { id, amount, count } => self.on_pay_ack(from, id, amount, count),
-            ProtocolMsg::PayNack { id, amount, count } => {
-                self.on_pay_nack(from, id, amount, count)
-            }
+            ProtocolMsg::PayNack { id, amount, count } => self.on_pay_nack(from, id, amount, count),
             ProtocolMsg::SettleRequest { id } => self.on_settle_request(from, id),
             ProtocolMsg::ChannelClosed { id } => self.on_channel_closed(from, id),
             ProtocolMsg::MhLock(m) => self.on_mh_lock(from, m),
-            ProtocolMsg::MhSign { route, tau, digests, deposits } => {
-                self.on_mh_sign(from, route, tau, digests, deposits)
-            }
+            ProtocolMsg::MhSign {
+                route,
+                tau,
+                digests,
+                deposits,
+            } => self.on_mh_sign(from, route, tau, digests, deposits),
             ProtocolMsg::MhPreUpdate { route, tau } => self.on_mh_pre_update(from, route, tau),
             ProtocolMsg::MhUpdate { route } => self.on_mh_update(from, route),
             ProtocolMsg::MhPostUpdate { route } => self.on_mh_post_update(from, route),
@@ -1200,6 +1272,7 @@ impl EnclaveProgram for TeechainEnclave {
             Command::CoSign { req_id, tx } => self.cmd_co_sign(req_id, tx),
             Command::AddCoSigs { req_id, sigs } => self.cmd_add_co_sigs(req_id, sigs),
             Command::RestoreSealed { blob } => self.cmd_restore_sealed(env, blob),
+            Command::Recover { snapshot, log } => self.cmd_recover(env, snapshot, log),
             Command::RetryPending => self.cmd_retry_pending(env),
         };
         match result {
@@ -1225,11 +1298,27 @@ impl TeechainEnclave {
                     .filter(|s| s.established)
                     .ok_or(ProtocolError::NoSession)?;
                 let msg = session.open(seq, &ct)?;
+                // Persistent mode gates *before* dispatch: handlers
+                // mutate state and the commit in `finalize` must never
+                // fail after the fact. Stashed messages keep FIFO order
+                // behind anything already waiting.
+                if !self.pending_msgs.is_empty() {
+                    self.pending_msgs.push_back((from, msg));
+                    let id = self.ensure_counter(env);
+                    return Err(ProtocolError::CounterThrottled {
+                        ready_at: env.counter_ready_at(id),
+                    });
+                }
+                if let Err(e) = self.require_counter_ready(env) {
+                    self.pending_msgs.push_back((from, msg));
+                    return Err(e);
+                }
                 match self.dispatch_protocol(env, from, msg.clone()) {
                     Err(ProtocolError::CounterThrottled { ready_at }) => {
-                        // The handler rejected before mutating; stash the
-                        // decrypted message (its sequence number is spent)
-                        // and let the host retry via RetryPending.
+                        // Defensive: handlers re-check; stash the
+                        // decrypted message (its sequence number is
+                        // spent) and let the host retry via
+                        // RetryPending.
                         self.pending_msgs.push_back((from, msg));
                         Err(ProtocolError::CounterThrottled { ready_at })
                     }
@@ -1240,6 +1329,31 @@ impl TeechainEnclave {
     }
 
     fn cmd_retry_pending(&mut self, env: &mut EnclaveEnv) -> Outcome {
+        // Group commit (§6.2): with no replication chain attached, every
+        // stashed message is dispatched into ONE commit — a single
+        // counter increment and WAL append cover the whole batch,
+        // amortizing the 100 ms counter throttle over many payments.
+        if self.cfg.persist() && self.rep.backup.is_none() {
+            self.require_counter_ready(env)?;
+            let mut out = Vec::new();
+            while let Some((from, msg)) = self.pending_msgs.pop_front() {
+                match self.dispatch_protocol(env, from, msg.clone()) {
+                    Ok(effects) => out.extend(effects),
+                    Err(ProtocolError::CounterThrottled { ready_at }) => {
+                        // Defensive: cannot trigger mid-batch (the counter
+                        // is only spent by the finalize below), but if a
+                        // handler ever throttles, preserve ordering.
+                        self.pending_msgs.push_front((from, msg));
+                        out.push(Effect::Event(HostEvent::RetryAt(ready_at)));
+                        break;
+                    }
+                    Err(_) => {
+                        // Drop protocol-violating stashed messages.
+                    }
+                }
+            }
+            return self.finalize(env, out);
+        }
         let mut out = Vec::new();
         while let Some((from, msg)) = self.pending_msgs.pop_front() {
             match self.dispatch_protocol(env, from, msg.clone()) {
@@ -1332,25 +1446,96 @@ impl TeechainEnclave {
 
     // ---- Persistence (§6.2) ----
 
-    /// Serializes the durable state (identity, channels, deposits, keys).
-    fn snapshot(&self) -> Vec<u8> {
-        let mut out = Vec::new();
+    /// Serializes the full durable state: identity, channels, both sides
+    /// of the deposit book with statuses, and blockchain keys.
+    fn state_image(&self) -> Vec<u8> {
+        let mut out = vec![STATE_IMAGE_V2];
         self.identity
             .as_ref()
             .map(|k| k.sk.to_bytes())
             .encode(&mut out);
         let chans: Vec<Channel> = self.channels.values().cloned().collect();
         chans.encode(&mut out);
-        let deposits: Vec<(Deposit, bool)> = self
+        let mine: Vec<(Deposit, (u8, Option<ChannelId>))> = self
             .book
             .mine
             .values()
-            .map(|(d, s)| (d.clone(), matches!(s, DepositStatus::Free)))
+            .map(|(d, s)| {
+                let status = match s {
+                    DepositStatus::Free => (0u8, None),
+                    DepositStatus::Associated(id) => (1u8, Some(*id)),
+                    DepositStatus::Spent => (2u8, None),
+                };
+                (d.clone(), status)
+            })
             .collect();
-        deposits.encode(&mut out);
+        mine.encode(&mut out);
+        let remote: Vec<Deposit> = self.book.remote.values().cloned().collect();
+        remote.encode(&mut out);
         let keys: Vec<[u8; 32]> = self.book.keys.values().map(|k| k.to_bytes()).collect();
         keys.encode(&mut out);
         out
+    }
+
+    /// Deserializes a state image produced by [`Self::state_image`] (v2)
+    /// or by the legacy format that predates the WAL (no version byte).
+    fn load_state_image(&mut self, state: &[u8]) -> Result<(), ProtocolError> {
+        let mut r = teechain_util::codec::Reader::new(state);
+        let v2 = state.first() == Some(&STATE_IMAGE_V2);
+        if v2 {
+            let _version: u8 = r.read().map_err(|_| ProtocolError::BadMessage)?;
+        }
+        let sk_bytes: Option<[u8; 32]> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+        if let Some(bytes) = sk_bytes {
+            let sk = PrivateKey::from_bytes(&bytes).ok_or(ProtocolError::BadMessage)?;
+            self.identity = Some(Keypair {
+                sk,
+                pk: sk.public_key(),
+            });
+        }
+        let chans: Vec<Channel> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+        for c in chans {
+            self.channels.insert(c.id, c);
+        }
+        if v2 {
+            let mine: Vec<(Deposit, (u8, Option<ChannelId>))> =
+                r.read().map_err(|_| ProtocolError::BadMessage)?;
+            let remote: Vec<Deposit> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+            let keys: Vec<[u8; 32]> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+            for bytes in keys {
+                if let Some(sk) = PrivateKey::from_bytes(&bytes) {
+                    self.book.insert_key(sk);
+                }
+            }
+            for (dep, (tag, id)) in mine {
+                let status = match (tag, id) {
+                    (1, Some(id)) => DepositStatus::Associated(id),
+                    (2, _) => DepositStatus::Spent,
+                    _ => DepositStatus::Free,
+                };
+                self.book.mine.insert(dep.outpoint, (dep, status));
+            }
+            for dep in remote {
+                self.book.remote.insert(dep.outpoint, dep);
+            }
+        } else {
+            let deposits: Vec<(Deposit, bool)> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+            let keys: Vec<[u8; 32]> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+            for bytes in keys {
+                if let Some(sk) = PrivateKey::from_bytes(&bytes) {
+                    self.book.insert_key(sk);
+                }
+            }
+            for (dep, free) in deposits {
+                let status = if free {
+                    DepositStatus::Free
+                } else {
+                    DepositStatus::Associated(ChannelId([0; 32]))
+                };
+                self.book.mine.insert(dep.outpoint, (dep, status));
+            }
+        }
+        Ok(())
     }
 
     pub(crate) fn finalize(&mut self, env: &mut EnclaveEnv, effects: Vec<Effect>) -> Outcome {
@@ -1359,18 +1544,34 @@ impl TeechainEnclave {
             return Ok(effects);
         }
         let mut out = Vec::new();
-        if self.cfg.persist {
+        if self.cfg.persist() {
             let id = self.ensure_counter(env);
             // Guaranteed ready: mutating handlers checked first.
-            let counter = env
-                .increment_counter(id)
-                .map_err(|e| match e {
-                    teechain_tee::CounterError::Throttled { ready_at } => {
-                        ProtocolError::CounterThrottled { ready_at }
-                    }
-                })?;
-            let blob = env.seal(counter, &self.snapshot());
-            out.push(Effect::Persist(blob));
+            let counter = env.increment_counter(id).map_err(|e| match e {
+                teechain_tee::CounterError::Throttled { ready_at } => {
+                    ProtocolError::CounterThrottled { ready_at }
+                }
+            })?;
+            self.commits = counter;
+            if counter % self.cfg.snapshot_every() == 0 {
+                // Snapshot commit: the sealed full-state image carries
+                // this commit by itself (the host compacts the WAL), so
+                // no log record is needed — sealing the deltas too
+                // would only double the write.
+                out.push(Effect::Persist(env.seal(counter, &self.state_image())));
+            } else {
+                // One sealed WAL record carries the whole delta batch:
+                // a single counter increment and durability barrier per
+                // group commit, no matter how many payments are inside.
+                let mut record = Vec::new();
+                counter.encode(&mut record);
+                self.identity
+                    .as_ref()
+                    .map(|k| k.sk.to_bytes())
+                    .encode(&mut record);
+                deltas.encode(&mut record);
+                out.push(Effect::AppendLog(env.seal(counter, &record)));
+            }
         }
         if let Some(backup) = self.rep.backup {
             // Force-freeze chain replication (Alg. 3 line 21): hold the
@@ -1390,42 +1591,208 @@ impl TeechainEnclave {
     fn cmd_restore_sealed(&mut self, env: &mut EnclaveEnv, blob: Vec<u8>) -> Outcome {
         // The counter value proves freshness: the blob must carry the
         // current hardware counter value, or it is a stale (rolled-back)
-        // state and is rejected.
+        // state and is rejected. This path restores a snapshot alone; if
+        // WAL records were appended after it, use [`Command::Recover`].
         let id = self.ensure_counter(env);
         let min = env.read_counter(id);
-        let (_counter, state) = env
+        let (counter, state) = env
             .unseal(min, &blob)
             .map_err(|_| ProtocolError::BadMessage)?;
-        let mut r = teechain_util::codec::Reader::new(&state);
-        let sk_bytes: Option<[u8; 32]> =
-            r.read().map_err(|_| ProtocolError::BadMessage)?;
-        if let Some(bytes) = sk_bytes {
-            let sk = PrivateKey::from_bytes(&bytes).ok_or(ProtocolError::BadMessage)?;
-            self.identity = Some(Keypair {
-                sk,
-                pk: sk.public_key(),
-            });
+        self.load_state_image(&state)?;
+        self.commits = counter;
+        Ok(vec![])
+    }
+
+    fn cmd_recover(
+        &mut self,
+        env: &mut EnclaveEnv,
+        snapshot: Option<Vec<u8>>,
+        log: Vec<Vec<u8>>,
+    ) -> Outcome {
+        if !self.cfg.persist() {
+            return Err(ProtocolError::BadMessage);
         }
-        let chans: Vec<Channel> = r.read().map_err(|_| ProtocolError::BadMessage)?;
-        for c in chans {
-            self.channels.insert(c.id, c);
+        // Recovery must be the first ecall of a fresh program instance:
+        // replaying deltas over live state would double-apply them (a
+        // malicious host could otherwise inflate its own balances by
+        // feeding the real WAL to a running enclave). Rejecting here
+        // leaves the live state untouched, so no freeze.
+        if self.commits != 0
+            || self.identity.is_some()
+            || !self.channels.is_empty()
+            || !self.book.mine.is_empty()
+            || !self.book.remote.is_empty()
+        {
+            return Err(ProtocolError::BadMessage);
         }
-        let deposits: Vec<(Deposit, bool)> = r.read().map_err(|_| ProtocolError::BadMessage)?;
-        let keys: Vec<[u8; 32]> = r.read().map_err(|_| ProtocolError::BadMessage)?;
-        for bytes in keys {
-            if let Some(sk) = PrivateKey::from_bytes(&bytes) {
-                self.book.insert_key(sk);
+        // A failed recovery leaves partially applied state behind;
+        // freeze so nothing can run on it. A fresh program instance can
+        // always retry with better storage.
+        let result = self.recover_inner(env, snapshot, log);
+        if result.is_err() {
+            self.frozen = true;
+        }
+        result
+    }
+
+    fn recover_inner(
+        &mut self,
+        env: &mut EnclaveEnv,
+        snapshot: Option<Vec<u8>>,
+        log: Vec<Vec<u8>>,
+    ) -> Outcome {
+        let id = self.ensure_counter(env);
+        let hw = env.read_counter(id);
+        // `applied` tracks the highest commit counter incorporated so
+        // far; the chain must end exactly at the hardware counter.
+        let mut applied = 0u64;
+        if let Some(blob) = &snapshot {
+            if !blob.is_empty() {
+                let (counter, state) =
+                    env.unseal(0, blob).map_err(|_| ProtocolError::BadMessage)?;
+                self.load_state_image(&state)?;
+                applied = counter;
             }
         }
-        for (dep, free) in deposits {
-            let status = if free {
-                DepositStatus::Free
-            } else {
-                DepositStatus::Associated(ChannelId([0; 32]))
-            };
-            self.book.mine.insert(dep.outpoint, (dep, status));
+        for rec in &log {
+            let (counter, payload) = env.unseal(0, rec).map_err(|_| ProtocolError::BadMessage)?;
+            if counter <= applied {
+                // Record predates the snapshot (host compaction lagged);
+                // its effects are already in the image.
+                continue;
+            }
+            if counter != applied + 1 {
+                // A commit is missing from the log: rolled-back storage
+                // or a torn tail. Either way the state would be stale.
+                return Err(ProtocolError::StaleState {
+                    found: applied,
+                    expected: hw,
+                });
+            }
+            let mut r = teechain_util::codec::Reader::new(&payload);
+            let embedded: u64 = r.read().map_err(|_| ProtocolError::BadMessage)?;
+            if embedded != counter {
+                return Err(ProtocolError::BadMessage);
+            }
+            let identity: Option<[u8; 32]> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+            if self.identity.is_none() {
+                if let Some(bytes) = identity {
+                    let sk = PrivateKey::from_bytes(&bytes).ok_or(ProtocolError::BadMessage)?;
+                    self.identity = Some(Keypair {
+                        sk,
+                        pk: sk.public_key(),
+                    });
+                }
+            }
+            let deltas: Vec<StateDelta> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+            for delta in deltas {
+                self.apply_delta_to_primary(delta);
+            }
+            applied = counter;
         }
-        Ok(vec![])
+        if applied != hw {
+            // The hardware counter proves more commits happened than the
+            // storage shows: refuse to run on rolled-back state (§6.2).
+            return Err(ProtocolError::StaleState {
+                found: applied,
+                expected: hw,
+            });
+        }
+        self.commits = applied;
+        self.rebuild_deposit_statuses();
+        Ok(vec![Effect::Event(HostEvent::Recovered {
+            channels: self.channels.len(),
+            deposits: self.book.mine.len() + self.book.remote.len(),
+            commits: applied,
+        })])
+    }
+
+    /// Applies a WAL-replayed delta to *primary* state (the dual of
+    /// [`crate::replication::ReplicaState::apply`], which applies the
+    /// same deltas to a backup's replica).
+    fn apply_delta_to_primary(&mut self, delta: StateDelta) {
+        match delta {
+            StateDelta::Channel(c) => {
+                self.channels.insert(c.id, *c);
+            }
+            StateDelta::Pay {
+                id,
+                my_delta,
+                remote_delta,
+            } => {
+                if let Some(c) = self.channels.get_mut(&id) {
+                    c.my_bal = c.my_bal.wrapping_add_signed(my_delta);
+                    c.remote_bal = c.remote_bal.wrapping_add_signed(remote_delta);
+                }
+            }
+            StateDelta::Stage { id, stage } => {
+                if let Some(c) = self.channels.get_mut(&id) {
+                    c.stage = stage;
+                }
+            }
+            StateDelta::Deposit { dep, key, mine } => {
+                if let Some(bytes) = key {
+                    if let Some(sk) = PrivateKey::from_bytes(&bytes) {
+                        self.book.insert_key(sk);
+                    }
+                }
+                if mine {
+                    // Status is recomputed from channel membership after
+                    // the full replay (`rebuild_deposit_statuses`).
+                    self.book
+                        .mine
+                        .insert(dep.outpoint, (dep, DepositStatus::Free));
+                } else {
+                    self.book.remote.insert(dep.outpoint, dep);
+                }
+            }
+            StateDelta::RemoveDeposit(op) => {
+                if let Some(entry) = self.book.mine.get_mut(&op) {
+                    entry.1 = DepositStatus::Spent;
+                }
+                self.book.remote.remove(&op);
+            }
+            StateDelta::Tau { .. } => {
+                // In-flight multi-hop settlements do not survive a crash;
+                // locked channels are released via eject / settlement.
+            }
+            StateDelta::CloseChannel(id) => {
+                if let Some(c) = self.channels.get_mut(&id) {
+                    c.closed = true;
+                }
+            }
+        }
+    }
+
+    /// Recomputes own-deposit statuses after a WAL replay: association is
+    /// recorded in the channels' deposit lists, which the deltas carry
+    /// exactly; deposits of closed channels were consumed by settlement.
+    fn rebuild_deposit_statuses(&mut self) {
+        let mut assoc: HashMap<teechain_blockchain::OutPoint, ChannelId> = HashMap::new();
+        let mut spent: std::collections::HashSet<teechain_blockchain::OutPoint> =
+            std::collections::HashSet::new();
+        for c in self.channels.values() {
+            for op in &c.my_deps {
+                if c.closed {
+                    spent.insert(*op);
+                } else {
+                    assoc.insert(*op, c.id);
+                }
+            }
+        }
+        for (op, entry) in self.book.mine.iter_mut() {
+            if entry.1 == DepositStatus::Spent {
+                continue;
+            }
+            entry.1 = if spent.contains(op) {
+                DepositStatus::Spent
+            } else {
+                match assoc.get(op) {
+                    Some(id) => DepositStatus::Associated(*id),
+                    None => DepositStatus::Free,
+                }
+            };
+        }
     }
 
     // Test/host introspection helpers (read-only; a real enclave would not

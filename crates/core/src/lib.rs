@@ -29,9 +29,41 @@
 //!
 //! See `examples/quickstart.rs` for a end-to-end tour.
 
+//! # Fault-tolerance backends (§6)
+//!
+//! TEEs crash (losing volatile state) and can be compromised; §6 of the
+//! paper offers two interchangeable defences, both implemented here and
+//! selected per node via [`durability::DurabilityBackend`]:
+//!
+//! * **Committee-chain replication** ([`replication`], Alg. 3): every
+//!   state delta propagates down a chain of backup TEEs — deployed in
+//!   *different failure domains* — and is acknowledged before any effect
+//!   of the mutation becomes visible (force-freeze). Throughput stays in
+//!   the tens of thousands of tx/s because only one replication message
+//!   per payment traverses the chain, but each committee member is an
+//!   extra machine. Use when machines are available and latency across
+//!   failure domains is acceptable (Table 1 rows 3–5).
+//! * **Persistent storage** ([`durability`] + the `teechain-persist`
+//!   crate, §6.2): every commit seals its state deltas, binds them to a
+//!   hardware monotonic-counter increment and appends them to a
+//!   host-side write-ahead log; periodic sealed snapshots compact the
+//!   log. A restarted enclave replays snapshot + log and verifies the
+//!   commit counters form an unbroken chain ending at the hardware
+//!   counter, so rolled-back storage is detected and refused
+//!   ([`ProtocolError::StaleState`]). No extra machines, but the SGX
+//!   counter throttle (~10 increments/s) caps unbatched throughput at
+//!   ~10 tx/s (Table 1 row 6) — group commit amortizes one increment
+//!   over a whole batch of deltas, recovering throughput when clients
+//!   batch (§7).
+//!
+//! With neither backend, a crashed TEE strands its channels until the
+//! counterparty settles unilaterally; funds are safe (balance
+//! correctness never depends on liveness), only availability is lost.
+
 pub mod channel;
 pub mod deposit;
 pub mod driver;
+pub mod durability;
 pub mod enclave;
 pub mod msg;
 pub mod multihop;
@@ -43,6 +75,7 @@ pub mod settle;
 pub mod testkit;
 pub mod types;
 
+pub use durability::{DurabilityBackend, PersistPolicy};
 pub use enclave::{Command, Effect, EnclaveConfig, HostEvent, Outcome, TeechainEnclave};
 pub use node::TeechainNode;
 pub use types::{ChannelId, CommitteeSpec, Deposit, MultihopStage, ProtocolError, RouteId};

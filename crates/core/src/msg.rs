@@ -63,9 +63,9 @@ impl CostClass {
     /// Classifies a protocol message.
     pub fn of(msg: &ProtocolMsg) -> CostClass {
         match msg {
-            ProtocolMsg::Pay { .. }
-            | ProtocolMsg::PayAck { .. }
-            | ProtocolMsg::PayNack { .. } => CostClass::Payment,
+            ProtocolMsg::Pay { .. } | ProtocolMsg::PayAck { .. } | ProtocolMsg::PayNack { .. } => {
+                CostClass::Payment
+            }
             ProtocolMsg::RepUpdate { .. } => CostClass::Replication,
             ProtocolMsg::RepAck { .. } => CostClass::ReplicationAck,
             ProtocolMsg::MhLock(_)
@@ -182,6 +182,11 @@ pub enum StateDelta {
         dep: Deposit,
         /// Serialized private key, if this member holds one.
         key: Option<[u8; 32]>,
+        /// True if the staging enclave owns this deposit (it entered via
+        /// `NewDeposit`/association of *our* deposit rather than a
+        /// counterparty's). Replicas ignore this; WAL recovery uses it
+        /// to rebuild the own/remote split of the deposit book.
+        mine: bool,
     },
     /// Remove a deposit (released or spent).
     RemoveDeposit(OutPoint),
@@ -218,10 +223,11 @@ impl Encode for StateDelta {
                 id.encode(out);
                 stage.encode(out);
             }
-            StateDelta::Deposit { dep, key } => {
+            StateDelta::Deposit { dep, key, mine } => {
                 3u8.encode(out);
                 dep.encode(out);
                 key.encode(out);
+                mine.encode(out);
             }
             StateDelta::RemoveDeposit(op) => {
                 4u8.encode(out);
@@ -256,6 +262,7 @@ impl Decode for StateDelta {
             3 => StateDelta::Deposit {
                 dep: r.read()?,
                 key: r.read()?,
+                mine: r.read()?,
             },
             4 => StateDelta::RemoveDeposit(r.read()?),
             5 => StateDelta::Tau {
@@ -513,7 +520,12 @@ impl Encode for ProtocolMsg {
             SettleRequest { id } => tagged!(out, 9, id),
             ChannelClosed { id } => tagged!(out, 10, id),
             MhLock(m) => tagged!(out, 11, m),
-            MhSign { route, tau, digests, deposits } => tagged!(out, 12, route, tau, digests, deposits),
+            MhSign {
+                route,
+                tau,
+                digests,
+                deposits,
+            } => tagged!(out, 12, route, tau, digests, deposits),
             MhPreUpdate { route, tau } => tagged!(out, 13, route, tau),
             MhUpdate { route } => tagged!(out, 14, route),
             MhPostUpdate { route } => tagged!(out, 15, route),
@@ -548,7 +560,9 @@ impl Decode for ProtocolMsg {
                 settlement: r.read()?,
             },
             2 => ApproveDeposit { deposit: r.read()? },
-            3 => DepositApproved { outpoint: r.read()? },
+            3 => DepositApproved {
+                outpoint: r.read()?,
+            },
             4 => AssociateDeposit {
                 id: r.read()?,
                 deposit: r.read()?,

@@ -103,7 +103,10 @@ impl TeechainEnclave {
         id: ChannelId,
         must_cover: Option<u64>,
     ) -> Result<(), ProtocolError> {
-        let chan = self.channels.get(&id).ok_or(ProtocolError::UnknownChannel)?;
+        let chan = self
+            .channels
+            .get(&id)
+            .ok_or(ProtocolError::UnknownChannel)?;
         if !chan.usable() {
             return Err(ProtocolError::ChannelNotOpen);
         }
@@ -231,11 +234,7 @@ impl TeechainEnclave {
 
     pub(crate) fn on_mh_lock(&mut self, from: PublicKey, m: MhLock) -> Outcome {
         self.require_unfrozen()?;
-        let me = self
-            .identity
-            .as_ref()
-            .ok_or(ProtocolError::NoSession)?
-            .pk;
+        let me = self.identity.as_ref().ok_or(ProtocolError::NoSession)?.pk;
         let pos = m
             .hops
             .iter()
@@ -324,10 +323,7 @@ impl TeechainEnclave {
         deposits: Vec<crate::types::Deposit>,
     ) -> Outcome {
         self.require_unfrozen()?;
-        let route = self
-            .routes
-            .get(&route_id)
-            .ok_or(ProtocolError::BadStage)?;
+        let route = self.routes.get(&route_id).ok_or(ProtocolError::BadStage)?;
         if route.next_hop() != Some(from) {
             return Err(ProtocolError::BadMessage);
         }
@@ -543,7 +539,9 @@ impl TeechainEnclave {
         let route = self.routes.remove(&route_id).expect("checked");
         if route.pos > 0 {
             let msg = ProtocolMsg::MhRelease { route: route_id };
-            Ok(vec![self.seal_to(&route.prev_hop().expect("pos > 0"), &msg)?])
+            Ok(vec![
+                self.seal_to(&route.prev_hop().expect("pos > 0"), &msg)?
+            ])
         } else {
             Ok(vec![Effect::Event(HostEvent::MultihopComplete {
                 route: route_id,
@@ -572,7 +570,9 @@ impl TeechainEnclave {
         let route = self.routes.remove(&route_id).expect("checked");
         if route.pos > 0 {
             let msg = ProtocolMsg::MhAbort { route: route_id };
-            Ok(vec![self.seal_to(&route.prev_hop().expect("pos > 0"), &msg)?])
+            Ok(vec![
+                self.seal_to(&route.prev_hop().expect("pos > 0"), &msg)?
+            ])
         } else {
             Ok(vec![Effect::Event(HostEvent::MultihopFailed {
                 route: route_id,
@@ -584,7 +584,10 @@ impl TeechainEnclave {
 
     pub(crate) fn cmd_eject(&mut self, route_id: RouteId) -> Outcome {
         let stage = self.route_stage(&route_id);
-        let route = self.routes.get_mut(&route_id).ok_or(ProtocolError::BadStage)?;
+        let route = self
+            .routes
+            .get_mut(&route_id)
+            .ok_or(ProtocolError::BadStage)?;
         if route.terminated {
             return Err(ProtocolError::BadStage);
         }
@@ -602,7 +605,10 @@ impl TeechainEnclave {
                 // Current-state settlements (pre-payment before update,
                 // post-payment after).
                 for id in my_channels {
-                    let chan = self.channels.get_mut(&id).ok_or(ProtocolError::UnknownChannel)?;
+                    let chan = self
+                        .channels
+                        .get_mut(&id)
+                        .ok_or(ProtocolError::UnknownChannel)?;
                     chan.closed = true;
                     let tx = settle::current_settlement_tx(chan);
                     self.stage_delta(StateDelta::CloseChannel(id));
@@ -692,7 +698,10 @@ impl TeechainEnclave {
                         .get(&id)
                         .copied()
                         .ok_or(ProtocolError::BadPopt)?;
-                    let chan = self.channels.get_mut(&id).ok_or(ProtocolError::UnknownChannel)?;
+                    let chan = self
+                        .channels
+                        .get_mut(&id)
+                        .ok_or(ProtocolError::UnknownChannel)?;
                     chan.closed = true;
                     // Determine the payment direction for this channel:
                     // settle at the state matching the PoPT.

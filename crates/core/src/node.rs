@@ -11,6 +11,7 @@ use std::sync::Arc;
 use teechain_blockchain::{Chain, Transaction};
 use teechain_crypto::schnorr::{PublicKey, Signature};
 use teechain_net::{Ctx, NodeId};
+use teechain_persist::SharedStore;
 use teechain_tee::{DeviceIdentity, Enclave, Measurement};
 use teechain_util::codec::{Decode, Encode, Reader, WireError};
 
@@ -105,8 +106,16 @@ pub struct TeechainNode {
     pub required_confirmations: u64,
     /// Committee peers to ask for co-signatures (our chain members).
     pub committee_peers: Vec<PublicKey>,
-    /// Host-side sealed storage (persistent mode).
+    /// Host-side sealed storage: the latest full snapshot (persistent
+    /// mode). Kept alongside [`TeechainNode::store`] for direct
+    /// snapshot-only restores via [`Command::RestoreSealed`].
     pub sealed_store: Option<Vec<u8>>,
+    /// Durable WAL + snapshot storage (persistent mode). Owned jointly
+    /// with the harness: it models the disk, so it survives enclave and
+    /// host crashes.
+    pub store: Option<SharedStore>,
+    /// Launch configuration, kept to rebuild the program on restart.
+    pub cfg: EnclaveConfig,
     /// Events produced by the enclave, in order, with timestamps.
     pub events: Vec<(u64, HostEvent)>,
     /// Transactions this node broadcast (txids, for assertions).
@@ -123,14 +132,9 @@ pub const RETRY_TOKEN: u64 = 0x7EE_C8A1_4E57;
 
 impl TeechainNode {
     /// Creates a node with a freshly launched enclave.
-    pub fn new(
-        device: DeviceIdentity,
-        cfg: EnclaveConfig,
-        seed: u64,
-        chain: SharedChain,
-    ) -> Self {
+    pub fn new(device: DeviceIdentity, cfg: EnclaveConfig, seed: u64, chain: SharedChain) -> Self {
         let measurement = cfg.measurement;
-        let program = TeechainEnclave::new(cfg);
+        let program = TeechainEnclave::new(cfg.clone());
         TeechainNode {
             enclave: Enclave::launch(device, measurement, seed, program),
             identity: None,
@@ -139,11 +143,55 @@ impl TeechainNode {
             required_confirmations: 1,
             committee_peers: Vec::new(),
             sealed_store: None,
+            store: None,
+            cfg,
             events: Vec::new(),
             broadcasts: Vec::new(),
             delivery_errors: Vec::new(),
             retry_scheduled: false,
         }
+    }
+
+    /// Attaches durable storage (persistent mode). The store should be
+    /// shared with the harness so it outlives crashes of this node.
+    pub fn attach_store(&mut self, store: SharedStore) {
+        self.store = Some(store);
+    }
+
+    /// Crashes the enclave: volatile state is lost; hardware counters,
+    /// the sealing key and the durable store survive.
+    pub fn crash_enclave(&mut self) {
+        self.enclave.crash();
+        self.retry_scheduled = false;
+    }
+
+    /// Restarts a crashed enclave with a fresh program and replays the
+    /// durable store ([`Command::Recover`]). Fails with
+    /// [`ProtocolError::StaleState`] if the store was rolled back.
+    pub fn recover_from_store(&mut self, now_ns: u64) -> Result<(), ProtocolError> {
+        let store = self.store.clone().ok_or(ProtocolError::BadMessage)?;
+        let recovery = store
+            .lock()
+            .recover()
+            .map_err(|_| ProtocolError::BadMessage)?;
+        self.enclave.restart(TeechainEnclave::new(self.cfg.clone()));
+        let outcome = self
+            .enclave
+            .call(
+                now_ns,
+                Command::Recover {
+                    snapshot: recovery.snapshot,
+                    log: recovery.log,
+                },
+            )
+            .map_err(|_| ProtocolError::Frozen)?;
+        // Recovery produces only host events; no network I/O is needed.
+        for effect in outcome? {
+            if let Effect::Event(event) = effect {
+                self.events.push((now_ns, event));
+            }
+        }
+        Ok(())
     }
 
     /// The standard measurement for this build of the enclave program.
@@ -283,7 +331,28 @@ impl TeechainNode {
                     // never depends on when this lands.
                     let _ = self.chain.lock().submit(tx);
                 }
+                Effect::AppendLog(blob) => {
+                    // Durability barrier before anything else in this
+                    // batch becomes visible: effects are performed in
+                    // order and the enclave emits AppendLog first. A
+                    // failed append is fatal — the enclave has already
+                    // spent the counter increment, so continuing would
+                    // turn the lost commit into an undetectable-until-
+                    // restart roll-back.
+                    if let Some(store) = &self.store {
+                        store
+                            .lock()
+                            .append_commit(&blob)
+                            .expect("durable WAL append failed; node cannot continue");
+                    }
+                }
                 Effect::Persist(blob) => {
+                    if let Some(store) = &self.store {
+                        store
+                            .lock()
+                            .install_snapshot(&blob)
+                            .expect("durable snapshot install failed; node cannot continue");
+                    }
                     self.sealed_store = Some(blob);
                 }
                 Effect::Event(event) => {
@@ -370,9 +439,9 @@ impl TeechainNode {
         self.create_funded_committee_deposit(ctx, value, 1)
     }
 
-    /// Funds a deposit into an m-of-n committee address (n = chain length
-    /// + 1). With `m = 1` and no backups this degenerates to Alg. 1's
-    /// 1-of-1 deposits.
+    /// Funds a deposit into an m-of-n committee address (n = chain
+    /// length + 1). With `m = 1` and no backups this degenerates to
+    /// Alg. 1's 1-of-1 deposits.
     pub fn create_funded_committee_deposit(
         &mut self,
         ctx: &mut Ctx<'_>,

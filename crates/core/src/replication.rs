@@ -92,7 +92,7 @@ impl ReplicaState {
                     c.stage = stage;
                 }
             }
-            StateDelta::Deposit { dep, key } => {
+            StateDelta::Deposit { dep, key, mine: _ } => {
                 if let Some(bytes) = key {
                     if let Some(sk) = PrivateKey::from_bytes(&bytes) {
                         self.keys.insert(sk.public_key(), sk);
@@ -122,9 +122,10 @@ impl ReplicaState {
     /// True if no replicated channel currently contains `op` (i.e. the
     /// deposit is free and may be released by its owner).
     pub fn deposit_is_free(&self, op: &OutPoint) -> bool {
-        !self.channels.values().any(|c| {
-            !c.closed && (c.my_deps.contains(op) || c.remote_deps.contains(op))
-        })
+        !self
+            .channels
+            .values()
+            .any(|c| !c.closed && (c.my_deps.contains(op) || c.remote_deps.contains(op)))
     }
 }
 
@@ -240,12 +241,7 @@ impl TeechainEnclave {
         }
         // Chain head: release all effects gated at or below `seq`
         // (acks are cumulative because the chain is FIFO).
-        let released: Vec<u64> = self
-            .rep
-            .pending
-            .range(..=seq)
-            .map(|(k, _)| *k)
-            .collect();
+        let released: Vec<u64> = self.rep.pending.range(..=seq).map(|(k, _)| *k).collect();
         let mut out = Vec::new();
         for k in released {
             if let Some(effects) = self.rep.pending.remove(&k) {
@@ -335,8 +331,7 @@ impl TeechainEnclave {
         // (3) Release of a deposit that is free in the replica.
         if !valid && tx.inputs.len() == 1 {
             let op = tx.inputs[0].prevout;
-            if self.rep.replica.deposits.contains_key(&op)
-                && self.rep.replica.deposit_is_free(&op)
+            if self.rep.replica.deposits.contains_key(&op) && self.rep.replica.deposit_is_free(&op)
             {
                 valid = true;
             }

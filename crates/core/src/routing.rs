@@ -24,10 +24,18 @@ impl ChannelGraph {
         g
     }
 
-    /// Adds an undirected edge.
+    /// Adds an undirected edge. Re-adding an existing channel pair is a
+    /// no-op: parallel channels between the same endpoints share one
+    /// graph edge (the routing layer picks the channel variant).
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) {
-        self.adj.entry(a).or_default().push(b);
-        self.adj.entry(b).or_default().push(a);
+        let fwd = self.adj.entry(a).or_default();
+        if !fwd.contains(&b) {
+            fwd.push(b);
+        }
+        let back = self.adj.entry(b).or_default();
+        if !back.contains(&a) {
+            back.push(a);
+        }
     }
 
     /// Neighbours of `n`.
@@ -145,6 +153,20 @@ mod tests {
         let paths = g.k_paths(n(0), n(3), 3);
         assert_eq!(paths.len(), 2); // Only two disjoint routes exist.
         assert_ne!(paths[0], paths[1]);
+    }
+
+    #[test]
+    fn duplicate_edges_dedup() {
+        // Regression: parallel channels between one endpoint pair used to
+        // insert duplicate adjacency entries, skewing BFS fan-out and
+        // k-path divergence.
+        let mut g = ChannelGraph::from_pairs(&[(n(0), n(1)), (n(0), n(1)), (n(1), n(0))]);
+        g.add_edge(n(0), n(1));
+        assert_eq!(g.neighbours(n(0)), &[n(1)]);
+        assert_eq!(g.neighbours(n(1)), &[n(0)]);
+        // Self-loops are still representable exactly once.
+        g.add_edge(n(2), n(2));
+        assert_eq!(g.neighbours(n(2)), &[n(2)]);
     }
 
     #[test]

@@ -95,10 +95,7 @@ impl Session {
 }
 
 fn transcript_digest(role: &str, me: &PublicKey, eph: &PublicKey, peer: &PublicKey) -> [u8; 32] {
-    tagged_hash(
-        role,
-        &[&me.to_bytes(), &eph.to_bytes(), &peer.to_bytes()],
-    )
+    tagged_hash(role, &[&me.to_bytes(), &eph.to_bytes(), &peer.to_bytes()])
 }
 
 fn quote_binding(identity: &PublicKey, eph: &PublicKey) -> [u8; 64] {
@@ -261,7 +258,10 @@ mod tests {
         else {
             panic!();
         };
-        assert!(matches!(alice.open(seq, &ct), Err(ProtocolError::BadMessage)));
+        assert!(matches!(
+            alice.open(seq, &ct),
+            Err(ProtocolError::BadMessage)
+        ));
         // But Bob reads it fine.
         assert!(bob.open(seq, &ct).is_ok());
     }

@@ -67,7 +67,7 @@ pub fn release_tx(dep: &Deposit, to: PublicKey) -> Transaction {
 pub fn canonicalize(mut tx: Transaction) -> Transaction {
     tx.inputs.sort_by_key(|i| i.prevout);
     tx.outputs
-        .sort_by(|a, b| (a.script.encode_to_vec(), a.value).cmp(&(b.script.encode_to_vec(), b.value)));
+        .sort_by_key(|a| (a.script.encode_to_vec(), a.value));
     tx
 }
 
@@ -258,8 +258,10 @@ mod tests {
                 member_keys: vec![pk_a, b.pk],
             },
         };
-        book.mine
-            .insert(dep.outpoint, (dep.clone(), crate::deposit::DepositStatus::Free));
+        book.mine.insert(
+            dep.outpoint,
+            (dep.clone(), crate::deposit::DepositStatus::Free),
+        );
         let mut tx = release_tx(&dep, kp(5).pk);
         // We hold only one of the two required keys.
         sign_with_book(&mut tx, &book);

@@ -6,6 +6,7 @@
 //! of the reproduction.
 
 use crate::driver::{CostModel, SimHost};
+use crate::durability::DurabilityBackend;
 use crate::enclave::{Command, EnclaveConfig, HostEvent};
 use crate::node::{SharedChain, TeechainNode};
 use crate::types::{ChannelId, Deposit, ProtocolError, RouteId};
@@ -14,19 +15,22 @@ use std::sync::Arc;
 use teechain_blockchain::Chain;
 use teechain_crypto::schnorr::PublicKey;
 use teechain_net::{LinkSpec, NodeId, Simulator};
+use teechain_persist::{PersistentStore, SharedStore};
 use teechain_tee::TrustRoot;
 
 /// Configuration for a [`Cluster`].
 #[derive(Clone)]
 pub struct ClusterConfig {
-    /// Number of nodes.
+    /// Number of nodes. Under [`DurabilityBackend::Replication`] this
+    /// counts *primaries*; `n * backups` extra backup nodes are appended
+    /// and chained automatically.
     pub n: usize,
     /// CPU cost model (use [`CostModel::free`] for functional tests).
     pub costs: CostModel,
     /// Default link between nodes.
     pub default_link: LinkSpec,
-    /// Persistent-storage mode (§6.2).
-    pub persist: bool,
+    /// Fault-tolerance backend applied to every node (§6).
+    pub durability: DurabilityBackend,
     /// Simulation seed.
     pub seed: u64,
 }
@@ -37,7 +41,7 @@ impl Default for ClusterConfig {
             n: 2,
             costs: CostModel::free(),
             default_link: LinkSpec::ideal(),
-            persist: false,
+            durability: DurabilityBackend::None,
             seed: 7,
         }
     }
@@ -53,40 +57,55 @@ pub struct Cluster {
     pub ids: Vec<PublicKey>,
     /// The manufacturer trust root (for launching additional TEEs).
     pub root: TrustRoot,
+    /// Durable stores per node (persistent mode; the harness owns them
+    /// so they survive node crashes, like a disk does).
+    pub stores: Vec<Option<SharedStore>>,
 }
 
 impl Cluster {
     /// Builds a cluster of `cfg.n` nodes, all sharing one trust root and
     /// one blockchain. Identities are pre-exchanged (the paper's
-    /// out-of-band key distribution).
+    /// out-of-band key distribution). Persistent-mode nodes get a
+    /// harness-owned in-memory store; replication mode appends and
+    /// chains `backups` extra nodes per primary.
     pub fn new(cfg: ClusterConfig) -> Cluster {
         let root = TrustRoot::new(cfg.seed ^ 0x7ee);
         let chain: SharedChain = Arc::new(Mutex::new(Chain::new()));
         let measurement = TeechainNode::measurement();
-        let mut hosts = Vec::with_capacity(cfg.n);
-        for i in 0..cfg.n {
+        let backups = cfg.durability.auto_backups();
+        let total = cfg.n * (1 + backups);
+        let mut stores: Vec<Option<SharedStore>> = Vec::with_capacity(total);
+        let mut hosts = Vec::with_capacity(total);
+        for i in 0..total {
             let device = root.issue_device(1000 + i as u64);
             let enclave_cfg = EnclaveConfig {
                 trust_root: root.public_key(),
                 measurement,
-                persist: cfg.persist,
+                durability: cfg.durability,
             };
-            let node = TeechainNode::new(
+            let mut node = TeechainNode::new(
                 device,
                 enclave_cfg,
                 cfg.seed.wrapping_mul(0x9E3779B9).wrapping_add(i as u64),
                 chain.clone(),
             );
+            if cfg.durability.is_persist() {
+                let store = PersistentStore::in_memory().into_shared();
+                node.attach_store(store.clone());
+                stores.push(Some(store));
+            } else {
+                stores.push(None);
+            }
             hosts.push(SimHost::new(node, cfg.costs));
         }
         let mut sim = Simulator::new(hosts, cfg.default_link, cfg.seed);
         // Collect identities and populate every directory.
-        let mut ids = Vec::with_capacity(cfg.n);
-        for i in 0..cfg.n {
+        let mut ids = Vec::with_capacity(total);
+        for i in 0..total {
             let id = sim.node_mut(NodeId(i as u32)).node.identity(0);
             ids.push(id);
         }
-        for i in 0..cfg.n {
+        for i in 0..total {
             for (j, id) in ids.iter().enumerate() {
                 if i != j {
                     sim.node_mut(NodeId(i as u32))
@@ -95,12 +114,23 @@ impl Cluster {
                 }
             }
         }
-        Cluster {
+        let mut cluster = Cluster {
             sim,
             chain,
             ids,
             root,
+            stores,
+        };
+        // Replication backend: chain primary i → n + i*k .. (Alg. 3).
+        for i in 0..cfg.n {
+            let mut tail = i;
+            for j in 0..backups {
+                let backup = cfg.n + i * backups + j;
+                cluster.attach_backup(tail, backup);
+                tail = backup;
+            }
         }
+        cluster
     }
 
     /// Shorthand: a functional-test cluster (free CPU, ideal links).
@@ -209,11 +239,18 @@ impl Cluster {
     /// length) and registers it with the enclave.
     pub fn fund_deposit(&mut self, i: usize, value: u64, m: u8) -> Deposit {
         let id = self.nid(i);
-        self.sim
-            .call(id, |host, ctx| {
+        loop {
+            let r = self.sim.call(id, |host, ctx| {
                 host.node.create_funded_committee_deposit(ctx, value, m)
-            })
-            .expect("fund deposit")
+            });
+            match r {
+                Ok(dep) => return dep,
+                Err(ProtocolError::CounterThrottled { ready_at }) => {
+                    self.sim.run_until(ready_at);
+                }
+                Err(e) => panic!("fund deposit: {e:?}"),
+            }
+        }
     }
 
     /// Approves `deposit` of node `a` with counterparty `b`, then
@@ -314,6 +351,32 @@ impl Cluster {
         self.settle_network();
         // The host remembers its committee peers for co-sign fan-out.
         self.node_mut(tail).committee_peers.push(backup_id);
+    }
+
+    /// Crashes node `i`: its enclave loses all volatile state and the
+    /// simulator drops traffic and timers targeting it, exactly as if
+    /// the machine lost power. Hardware counters, the sealing key and
+    /// the durable store survive.
+    pub fn crash_node(&mut self, i: usize) {
+        let nid = self.nid(i);
+        self.sim.set_offline(nid, true);
+        self.sim.node_mut(nid).node.crash_enclave();
+    }
+
+    /// Brings node `i` back and replays its durable store through
+    /// [`Command::Recover`]. Sessions are *not* restored (session keys
+    /// are deliberately volatile); call [`Cluster::connect`] again to
+    /// re-handshake with peers.
+    pub fn recover_node(&mut self, i: usize) -> Result<(), ProtocolError> {
+        let nid = self.nid(i);
+        self.sim.set_offline(nid, false);
+        let now = self.sim.now_ns();
+        self.sim.node_mut(nid).node.recover_from_store(now)
+    }
+
+    /// The durable store of node `i` (persistent mode only).
+    pub fn store(&self, i: usize) -> Option<SharedStore> {
+        self.stores[i].clone()
     }
 
     /// The channel balances `(my, remote)` as seen by node `i`.

@@ -188,6 +188,16 @@ pub enum ProtocolError {
         /// Earliest retry time.
         ready_at: u64,
     },
+    /// Crash recovery presented storage older than the hardware
+    /// monotonic counter proves must exist — a roll-back attack or a
+    /// lost WAL suffix. The enclave refuses to run on stale state
+    /// (§6.2).
+    StaleState {
+        /// Highest commit counter the presented storage reaches.
+        found: u64,
+        /// The hardware counter value (commits that must be present).
+        expected: u64,
+    },
 }
 
 impl std::fmt::Display for ProtocolError {
@@ -207,6 +217,12 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::ReplicationError => "replication error",
             ProtocolError::BadPopt => "invalid proof of premature termination",
             ProtocolError::CounterThrottled { .. } => "monotonic counter throttled",
+            ProtocolError::StaleState { found, expected } => {
+                return write!(
+                    f,
+                    "stale durable state: storage reaches commit {found}, hardware counter proves {expected}"
+                );
+            }
         };
         write!(f, "{s}")
     }
@@ -229,9 +245,7 @@ mod tests {
     fn committee_spec_roundtrip() {
         let spec = CommitteeSpec {
             m: 2,
-            member_keys: (1..=3u8)
-                .map(|i| Keypair::from_seed(&[i; 32]).pk)
-                .collect(),
+            member_keys: (1..=3u8).map(|i| Keypair::from_seed(&[i; 32]).pk).collect(),
         };
         let decoded = CommitteeSpec::decode_exact(&spec.encode_to_vec()).unwrap();
         assert_eq!(decoded, spec);

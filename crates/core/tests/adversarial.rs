@@ -93,8 +93,13 @@ fn duplicate_delivery_rejected_once_consumed() {
             .expect("payment message")
     };
     // First delivery applies; replaying it is rejected (strict seq).
-    c.command(1, Command::Deliver { wire: msg_for_b.clone() })
-        .unwrap();
+    c.command(
+        1,
+        Command::Deliver {
+            wire: msg_for_b.clone(),
+        },
+    )
+    .unwrap();
     let err = c
         .command(1, Command::Deliver { wire: msg_for_b })
         .unwrap_err();

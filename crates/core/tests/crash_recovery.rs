@@ -1,0 +1,227 @@
+//! Crash/restart fault injection against the §6.2 persistence stack:
+//! WAL + sealed snapshots + monotonic-counter roll-back detection,
+//! exercised end-to-end through the simulator.
+
+use teechain::enclave::{Command, HostEvent};
+use teechain::testkit::{Cluster, ClusterConfig};
+use teechain::{DurabilityBackend, PersistPolicy, ProtocolError};
+
+fn persist_cluster(n: usize, snapshot_every: u32) -> Cluster {
+    Cluster::new(ClusterConfig {
+        n,
+        durability: DurabilityBackend::Persist(PersistPolicy { snapshot_every }),
+        ..ClusterConfig::default()
+    })
+}
+
+#[test]
+fn killed_mid_payment_recovers_from_wal_and_snapshot() {
+    let mut c = persist_cluster(2, 4);
+    let chan = c.standard_channel(0, 1, "crash", 10_000, 1);
+    for _ in 0..5 {
+        c.pay(0, chan, 100).unwrap();
+    }
+    let before = c.balances(1, chan);
+    assert_eq!(before, (500, 9_500));
+    // The snapshot cadence (4) must have both compacted at least once and
+    // left live WAL records — recovery below exercises snapshot + replay.
+    let stats = c.store(1).unwrap().lock().stats();
+    assert!(stats.compactions >= 1, "snapshot taken: {stats:?}");
+    assert!(
+        stats.commits > stats.compactions,
+        "WAL records written: {stats:?}"
+    );
+
+    // Kill the payee with a payment in flight: the payer has issued it,
+    // the message is on the wire, the payee never processes it.
+    c.command(
+        0,
+        Command::Pay {
+            id: chan,
+            amount: 77,
+            count: 1,
+        },
+    )
+    .unwrap();
+    c.crash_node(1);
+    c.settle_network();
+    assert!(c.node(1).enclave.is_crashed());
+
+    c.recover_node(1).unwrap();
+    assert_eq!(
+        c.count_events(1, |e| matches!(e, HostEvent::Recovered { .. })),
+        1
+    );
+    // Balances are exactly the last durably committed state; the
+    // in-flight payment was never applied and never acked.
+    assert_eq!(c.balances(1, chan), before, "recovered balances intact");
+    // Identity survived the crash (it is in the durable state).
+    assert_eq!(
+        c.node(1).enclave.program().unwrap().identity_pk(),
+        Some(c.ids[1])
+    );
+
+    // Session keys are volatile by design: the recovered node
+    // re-handshakes, after which payments flow again.
+    c.connect(1, 0);
+    c.pay(0, chan, 100).unwrap();
+    assert_eq!(c.balances(1, chan).0, 600);
+}
+
+#[test]
+fn recovered_node_settles_on_chain_with_correct_balances() {
+    let mut c = persist_cluster(2, 3);
+    let chan = c.standard_channel(0, 1, "settle", 10_000, 1);
+    for _ in 0..3 {
+        c.pay(0, chan, 150).unwrap();
+    }
+    c.crash_node(1);
+    c.settle_network();
+    c.recover_node(1).unwrap();
+    c.connect(1, 0);
+    // The recovered enclave settles unilaterally; its on-chain payout
+    // must equal its perceived balance (balance correctness across a
+    // crash).
+    let my_settle = {
+        let p = c.node(1).enclave.program().unwrap();
+        p.channel(&chan).unwrap().my_settlement
+    };
+    c.command(1, Command::Settle { id: chan }).unwrap();
+    c.settle_network();
+    c.mine(1);
+    assert_eq!(c.chain_balance(&my_settle), 450);
+}
+
+#[test]
+fn forged_stale_storage_rejected_and_enclave_freezes() {
+    let mut c = persist_cluster(2, 4);
+    let chan = c.standard_channel(0, 1, "forge", 10_000, 1);
+    c.pay(0, chan, 100).unwrap();
+    c.pay(0, chan, 100).unwrap();
+    // A malicious host copies the storage now...
+    let (old_snapshot, old_log) = c.store(0).unwrap().lock().raw_dump().unwrap();
+    // ...lets two more payments commit (counter advances)...
+    c.pay(0, chan, 100).unwrap();
+    c.pay(0, chan, 100).unwrap();
+    // ...then crashes the node and restores the stale copy.
+    c.crash_node(0);
+    c.store(0)
+        .unwrap()
+        .lock()
+        .restore_raw(old_snapshot, old_log)
+        .unwrap();
+    let err = c.recover_node(0).unwrap_err();
+    assert!(
+        matches!(err, ProtocolError::StaleState { found, expected } if found < expected),
+        "stale storage must be detected: {err:?}"
+    );
+    // The enclave froze itself: nothing runs on rolled-back state.
+    let refused = c.try_command(
+        0,
+        Command::Pay {
+            id: chan,
+            amount: 1,
+            count: 1,
+        },
+    );
+    assert!(matches!(refused, Err(ProtocolError::Frozen)), "{refused:?}");
+}
+
+#[test]
+fn torn_wal_tail_is_treated_as_rollback() {
+    // Snapshot cadence high enough that every payment lives in the WAL.
+    let mut c = persist_cluster(2, 100);
+    let chan = c.standard_channel(0, 1, "torn", 10_000, 1);
+    c.pay(0, chan, 100).unwrap();
+    c.pay(0, chan, 100).unwrap();
+    // Host crash tears the tail off the last append: the final commit is
+    // gone but the hardware counter proves it happened.
+    c.crash_node(0);
+    c.store(0).unwrap().lock().tear_tail(4).unwrap();
+    let err = c.recover_node(0).unwrap_err();
+    assert!(
+        matches!(err, ProtocolError::StaleState { .. }),
+        "torn tail is indistinguishable from roll-back: {err:?}"
+    );
+}
+
+#[test]
+fn group_commit_batches_concurrent_receipts() {
+    // Three spokes pay one hub inside a single counter-throttle window:
+    // the first receipt commits alone, the other two are stashed and
+    // then group-committed — one counter increment, one WAL append.
+    let mut c = persist_cluster(4, 1_000);
+    let chans: Vec<_> = (1..4)
+        .map(|i| c.standard_channel(i, 0, &format!("spoke{i}"), 10_000, 1))
+        .collect();
+    // Let every node's counter throttle expire, then freeze a baseline.
+    let t = c.sim.now_ns() + 300_000_000;
+    c.sim.run_until(t);
+    let base = c.store(0).unwrap().lock().stats().commits;
+    for (k, chan) in chans.iter().enumerate() {
+        c.command(
+            1 + k,
+            Command::Pay {
+                id: *chan,
+                amount: 100,
+                count: 1,
+            },
+        )
+        .unwrap();
+    }
+    c.settle_network();
+    for chan in &chans {
+        assert_eq!(c.balances(0, *chan).0, 100, "every payment applied");
+    }
+    let commits = c.store(0).unwrap().lock().stats().commits - base;
+    assert_eq!(
+        commits, 2,
+        "3 receipts cost 2 commits: 1 immediate + 1 group commit"
+    );
+}
+
+#[test]
+fn recover_on_live_enclave_rejected() {
+    // A malicious host must not be able to feed the (genuine!) WAL to a
+    // *running* enclave: relative Pay deltas would double-apply and
+    // inflate balances. Recovery is only legal as the first ecall of a
+    // fresh program instance.
+    let mut c = persist_cluster(2, 100);
+    let chan = c.standard_channel(0, 1, "live", 10_000, 1);
+    c.pay(0, chan, 100).unwrap();
+    let before = c.balances(1, chan);
+    let recovery = c.store(1).unwrap().lock().recover().unwrap();
+    let nid = c.nid(1);
+    let result = c.sim.call(nid, |host, ctx| {
+        host.node.command(
+            ctx,
+            Command::Recover {
+                snapshot: recovery.snapshot,
+                log: recovery.log,
+            },
+        )
+    });
+    assert!(result.is_err(), "live replay must be refused: {result:?}");
+    assert_eq!(c.balances(1, chan), before, "no double-apply");
+    // Refusal is not a freeze: the live enclave keeps working.
+    c.pay(0, chan, 50).unwrap();
+    assert_eq!(c.balances(1, chan).0, before.0 + 50);
+}
+
+#[test]
+fn recovery_on_fresh_node_is_a_no_op() {
+    let mut c = persist_cluster(1, 4);
+    c.crash_node(0);
+    c.recover_node(0).unwrap();
+    assert_eq!(
+        c.count_events(0, |e| matches!(
+            e,
+            HostEvent::Recovered {
+                channels: 0,
+                deposits: 0,
+                commits: 0
+            }
+        )),
+        1
+    );
+}

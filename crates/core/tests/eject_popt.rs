@@ -96,7 +96,8 @@ fn popt_forces_consistent_pre_payment_settlement() {
         let p = c.node(0).enclave.program().unwrap();
         p.channel(&c01).unwrap().my_settlement
     };
-    c.command(0, Command::EjectWithPopt { route, popt }).unwrap();
+    c.command(0, Command::EjectWithPopt { route, popt })
+        .unwrap();
     c.mine(1);
     assert_eq!(c.chain_balance(&my_settle), 1000, "pre-payment, not 700");
 }
@@ -111,11 +112,23 @@ fn popt_forces_consistent_post_payment_settlement() {
     // overlap window of the paper's case analysis (stage update, case ii).
     c.sim.run_to_idle(9);
     assert_eq!(
-        c.node(1).enclave.program().unwrap().channel(&c12).unwrap().stage,
+        c.node(1)
+            .enclave
+            .program()
+            .unwrap()
+            .channel(&c12)
+            .unwrap()
+            .stage,
         teechain::MultihopStage::PostUpdate
     );
     assert_eq!(
-        c.node(2).enclave.program().unwrap().channel(&c12).unwrap().stage,
+        c.node(2)
+            .enclave
+            .program()
+            .unwrap()
+            .channel(&c12)
+            .unwrap()
+            .stage,
         teechain::MultihopStage::Update
     );
     // p2 prematurely terminates at postUpdate: individual *post-payment*
@@ -131,7 +144,8 @@ fn popt_forces_consistent_post_payment_settlement() {
         let dep = p.channel(&c12).unwrap().all_deposits()[0];
         c.chain.lock().find_spender(&dep).unwrap().clone()
     };
-    c.command(2, Command::EjectWithPopt { route, popt }).unwrap();
+    c.command(2, Command::EjectWithPopt { route, popt })
+        .unwrap();
     c.mine(1);
     // Everyone ended post-payment: p3's settlement address holds 300.
     let p3_settle = {
@@ -141,7 +155,10 @@ fn popt_forces_consistent_post_payment_settlement() {
     assert_eq!(c.chain_balance(&p3_settle), 300, "post-payment settlement");
     // And value was conserved: no deposit settled twice.
     let chain = c.chain.lock();
-    assert_eq!(chain.utxo_total() + chain.total_fees(), chain.total_minted());
+    assert_eq!(
+        chain.utxo_total() + chain.total_fees(),
+        chain.total_minted()
+    );
 }
 
 #[test]
@@ -149,7 +166,7 @@ fn conflicting_settlements_cannot_both_confirm() {
     let (mut c, c01, c12, route) = setup();
     start_multihop(&mut c, route, c01, c12, 300);
     c.sim.run_to_idle(4); // p1 at preUpdate with τ.
-    // p1 ejects via τ; p3 simultaneously ejects at its own state.
+                          // p1 ejects via τ; p3 simultaneously ejects at its own state.
     c.command(0, Command::Eject { route }).unwrap();
     c.command(2, Command::Eject { route }).unwrap();
     c.mine(2);
@@ -174,10 +191,7 @@ fn bad_popt_rejected() {
     c.sim.run_to_idle(4);
     // A random transaction that does NOT conflict with the route's τ.
     let alien_key = teechain_crypto::schnorr::Keypair::from_seed(&[99; 32]);
-    let op = c
-        .chain
-        .lock()
-        .mint_p2pk(&alien_key.pk, 5);
+    let op = c.chain.lock().mint_p2pk(&alien_key.pk, 5);
     let mut alien = teechain_blockchain::Transaction {
         inputs: vec![teechain_blockchain::TxIn {
             prevout: op,
@@ -190,13 +204,7 @@ fn bad_popt_rejected() {
     };
     alien.sign_input(0, &alien_key.sk);
     let err = c
-        .command(
-            0,
-            Command::EjectWithPopt {
-                route,
-                popt: alien,
-            },
-        )
+        .command(0, Command::EjectWithPopt { route, popt: alien })
         .unwrap_err();
     assert_eq!(err, teechain::ProtocolError::BadPopt);
 }

@@ -133,7 +133,7 @@ fn byzantine_primary_cannot_inflate_settlement() {
     let dep = c.fund_deposit(0, 800, 2);
     c.approve_and_associate(0, 1, chan, &dep);
     c.pay(0, chan, 300).unwrap(); // Honest state: (500, 300).
-    // Attacker extracts the channel and rolls back the payment.
+                                  // Attacker extracts the channel and rolls back the payment.
     let forged_tx = {
         let (program, _env) = c.node_mut(0).enclave.compromise().unwrap();
         let mut stale = program.channel(&chan).unwrap().clone();
@@ -154,7 +154,11 @@ fn byzantine_primary_cannot_inflate_settlement() {
     let refused = c.node(2).events.iter().any(|(_, e)| {
         matches!(
             e,
-            HostEvent::CoSignResult { req_id: 99, refused: true, .. }
+            HostEvent::CoSignResult {
+                req_id: 99,
+                refused: true,
+                ..
+            }
         )
     });
     assert!(refused, "committee member must refuse the stale settlement");
@@ -163,7 +167,7 @@ fn byzantine_primary_cannot_inflate_settlement() {
         let mut tx = forged_tx;
         // The attacker signs with every key it extracted.
         let (program, _env) = c.node_mut(0).enclave.compromise().unwrap();
-        teechain::settle::sign_with_book(&mut tx, &program.book_ref());
+        teechain::settle::sign_with_book(&mut tx, program.book_ref());
         c.chain.lock().submit(tx)
     };
     assert!(submit.is_err(), "chain must reject sub-threshold witness");
@@ -199,7 +203,7 @@ fn one_of_two_committee_tolerates_crash_but_not_byzantine() {
 fn persist_mode_throttles_payments() {
     let mut c = Cluster::new(ClusterConfig {
         n: 2,
-        persist: true,
+        durability: teechain::DurabilityBackend::eager_persist(),
         ..ClusterConfig::default()
     });
     let chan = c.standard_channel(0, 1, "c1", 1000, 1);
@@ -234,7 +238,7 @@ fn persist_mode_throttles_payments() {
 fn persist_mode_emits_sealed_blobs_and_restores() {
     let mut c = Cluster::new(ClusterConfig {
         n: 2,
-        persist: true,
+        durability: teechain::DurabilityBackend::eager_persist(),
         ..ClusterConfig::default()
     });
     let chan = c.standard_channel(0, 1, "c1", 1000, 1);
@@ -246,7 +250,7 @@ fn persist_mode_emits_sealed_blobs_and_restores() {
     let cfg = teechain::EnclaveConfig {
         trust_root: c.root.public_key(),
         measurement: teechain::TeechainNode::measurement(),
-        persist: true,
+        durability: teechain::DurabilityBackend::eager_persist(),
     };
     c.node_mut(0)
         .enclave
@@ -268,7 +272,7 @@ fn stale_sealed_blob_rejected() {
     // was sealed. The hardware counter exposes the staleness.
     let mut c = Cluster::new(ClusterConfig {
         n: 2,
-        persist: true,
+        durability: teechain::DurabilityBackend::eager_persist(),
         ..ClusterConfig::default()
     });
     let chan = c.standard_channel(0, 1, "c1", 1000, 1);
@@ -286,7 +290,7 @@ fn stale_sealed_blob_rejected() {
     let cfg = teechain::EnclaveConfig {
         trust_root: c.root.public_key(),
         measurement: teechain::TeechainNode::measurement(),
-        persist: true,
+        durability: teechain::DurabilityBackend::eager_persist(),
     };
     c.node_mut(0)
         .enclave

@@ -227,7 +227,14 @@ fn multihop_payment_completes() {
     );
     // Channels unlocked again.
     for (i, ch) in [(0usize, c01), (1, c01), (1, c12), (2, c12)] {
-        let stage = c.node(i).enclave.program().unwrap().channel(&ch).unwrap().stage;
+        let stage = c
+            .node(i)
+            .enclave
+            .program()
+            .unwrap()
+            .channel(&ch)
+            .unwrap()
+            .stage;
         assert_eq!(stage, MultihopStage::Idle);
     }
 }
@@ -246,7 +253,14 @@ fn multihop_insufficient_balance_aborts_cleanly() {
     );
     // Balances unchanged and channels unlocked.
     assert_eq!(c.balances(0, c01), (1000, 0));
-    let stage = c.node(0).enclave.program().unwrap().channel(&c01).unwrap().stage;
+    let stage = c
+        .node(0)
+        .enclave
+        .program()
+        .unwrap()
+        .channel(&c01)
+        .unwrap()
+        .stage;
     assert_eq!(stage, MultihopStage::Idle);
 }
 
@@ -301,7 +315,8 @@ fn longer_path_multihop() {
     for i in 0..4 {
         chans.push(c.standard_channel(i, i + 1, &format!("c{i}"), 1000, 1));
     }
-    c.pay_multihop(&[0, 1, 2, 3, 4], &chans, 123, "long").unwrap();
+    c.pay_multihop(&[0, 1, 2, 3, 4], &chans, 123, "long")
+        .unwrap();
     assert_eq!(c.balances(4, chans[3]), (123, 877));
     assert_eq!(c.balances(0, chans[0]), (877, 123));
     // Intermediate nodes net zero: +123 on the inbound channel, -123 on

@@ -9,12 +9,11 @@ use crate::sha256::{hkdf, sha256};
 
 /// Computes the raw shared secret `SHA256(x-coordinate of sk·P)`.
 pub fn shared_secret(sk: &PrivateKey, pk: &PublicKey) -> [u8; 32] {
-    let shared = pk
-        .0
-        .to_jacobian()
-        .scalar_mul(&sk.0)
-        .to_affine()
-        .expect("valid public key times nonzero scalar is never infinity");
+    let shared =
+        pk.0.to_jacobian()
+            .scalar_mul(&sk.0)
+            .to_affine()
+            .expect("valid public key times nonzero scalar is never infinity");
     sha256(&shared.x.to_be_bytes())
 }
 
@@ -61,7 +60,10 @@ mod tests {
         let a = Keypair::from_seed(&[4; 32]);
         let b = Keypair::from_seed(&[5; 32]);
         let secret = shared_secret(&a.sk, &b.pk);
-        assert_eq!(session_key(&secret, &a.pk, &b.pk), session_key(&secret, &b.pk, &a.pk));
+        assert_eq!(
+            session_key(&secret, &a.pk, &b.pk),
+            session_key(&secret, &b.pk, &a.pk)
+        );
     }
 
     #[test]

@@ -72,6 +72,7 @@ impl Affine {
     }
 
     /// Point negation.
+    #[allow(clippy::should_implement_trait)] // group-theory vocabulary; operands are &self elsewhere
     pub fn neg(self) -> Affine {
         Affine {
             x: self.x,

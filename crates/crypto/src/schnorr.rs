@@ -124,10 +124,7 @@ impl PublicKey {
 }
 
 fn challenge(r: &Affine, pk: &PublicKey, msg: &[u8]) -> U256 {
-    let digest = tagged_hash(
-        "teechain/challenge",
-        &[&r.to_bytes(), &pk.to_bytes(), msg],
-    );
+    let digest = tagged_hash("teechain/challenge", &[&r.to_bytes(), &pk.to_bytes(), msg]);
     fn_order().from_bytes(&digest)
 }
 
@@ -158,7 +155,10 @@ pub fn verify(pk: &PublicKey, msg: &[u8], sig: &Signature) -> bool {
     }
     let e = challenge(&sig.r, pk, msg);
     let lhs = base_mul(&sig.s);
-    let rhs = sig.r.to_jacobian().add(&base_double_mul(&U256::ZERO, &e, &pk.0));
+    let rhs = sig
+        .r
+        .to_jacobian()
+        .add(&base_double_mul(&U256::ZERO, &e, &pk.0));
     match (lhs.to_affine(), rhs.to_affine()) {
         (Some(a), Some(b)) => a == b,
         _ => false,

@@ -253,7 +253,7 @@ mod tests {
     fn padding_boundary_55_bytes() {
         // 55 bytes is the largest message fitting one block with padding.
         assert_eq!(
-            sha256(&vec![b'a'; 55]),
+            sha256(&[b'a'; 55]),
             hex32("9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318")
         );
     }

@@ -16,7 +16,9 @@ impl U256 {
     /// The value 0.
     pub const ZERO: U256 = U256 { limbs: [0; 4] };
     /// The value 1.
-    pub const ONE: U256 = U256 { limbs: [1, 0, 0, 0] };
+    pub const ONE: U256 = U256 {
+        limbs: [1, 0, 0, 0],
+    };
 
     /// Creates a value from a `u64`.
     pub const fn from_u64(v: u64) -> Self {
@@ -92,10 +94,10 @@ impl U256 {
     pub fn overflowing_add(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut carry = false;
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (v1, c1) = self.limbs[i].overflowing_add(rhs.limbs[i]);
             let (v2, c2) = v1.overflowing_add(u64::from(carry));
-            out[i] = v2;
+            *slot = v2;
             carry = c1 || c2;
         }
         (U256 { limbs: out }, carry)
@@ -105,10 +107,10 @@ impl U256 {
     pub fn overflowing_sub(&self, rhs: &U256) -> (U256, bool) {
         let mut out = [0u64; 4];
         let mut borrow = false;
-        for i in 0..4 {
+        for (i, slot) in out.iter_mut().enumerate() {
             let (v1, b1) = self.limbs[i].overflowing_sub(rhs.limbs[i]);
             let (v2, b2) = v1.overflowing_sub(u64::from(borrow));
-            out[i] = v2;
+            *slot = v2;
             borrow = b1 || b2;
         }
         (U256 { limbs: out }, borrow)
@@ -167,10 +169,10 @@ impl std::fmt::Display for U256 {
 /// guarantee headroom).
 pub fn add_into_512(acc: &mut [u64; 8], v: &U256) {
     let mut carry: u64 = 0;
-    for i in 0..8 {
+    for (i, slot) in acc.iter_mut().enumerate() {
         let add = if i < 4 { v.limbs[i] } else { 0 };
-        let wide = acc[i] as u128 + add as u128 + carry as u128;
-        acc[i] = wide as u64;
+        let wide = *slot as u128 + add as u128 + carry as u128;
+        *slot = wide as u64;
         carry = (wide >> 64) as u64;
         if i >= 4 && add == 0 && carry == 0 {
             return;

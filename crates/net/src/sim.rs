@@ -82,10 +82,19 @@ impl Ctx<'_> {
 }
 
 enum EventKind {
-    Deliver { to: NodeId, from: NodeId, msg: Vec<u8> },
-    Timer { node: NodeId, token: u64 },
+    Deliver {
+        to: NodeId,
+        from: NodeId,
+        msg: Vec<u8>,
+    },
+    Timer {
+        node: NodeId,
+        token: u64,
+    },
     /// Internal: a busy node re-checks its inbox.
-    Wake { node: NodeId },
+    Wake {
+        node: NodeId,
+    },
 }
 
 impl EventKind {
@@ -106,6 +115,9 @@ pub struct SimStats {
     pub bytes: u64,
     /// Events processed (messages + timers).
     pub events: u64,
+    /// Messages and timers dropped because the target node was down
+    /// (crash fault injection).
+    pub dropped: u64,
 }
 
 /// The simulator: owns all nodes, links and the event queue.
@@ -114,6 +126,11 @@ pub struct Simulator<N> {
     busy_until: Vec<u64>,
     inbox: Vec<std::collections::VecDeque<EventKind>>,
     wake_scheduled: Vec<bool>,
+    /// Crash fault injection: while a node is offline, every message and
+    /// timer targeting it is dropped (the machine is down; TCP
+    /// connections to it fail). Its volatile state is the owner's
+    /// problem — see `teechain::testkit::Cluster::crash_node`.
+    offline: Vec<bool>,
     links: HashMap<(u32, u32), LinkSpec>,
     /// Last scheduled arrival per (src, dst): links are FIFO (TCP-like),
     /// so jitter never reorders messages within one connection.
@@ -143,6 +160,7 @@ impl<N: SimNode> Simulator<N> {
             busy_until: vec![0; n],
             inbox: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
             wake_scheduled: vec![false; n],
+            offline: vec![false; n],
             links: HashMap::new(),
             last_arrival: HashMap::new(),
             default_link,
@@ -160,6 +178,26 @@ impl<N: SimNode> Simulator<N> {
     pub fn set_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
         self.links.insert((a.0, b.0), spec);
         self.links.insert((b.0, a.0), spec);
+    }
+
+    /// Takes a node down or brings it back up (crash fault injection).
+    /// While down, every message and timer targeting the node is dropped
+    /// and its deferred inbox is discarded — exactly what a machine
+    /// losing power does to in-flight traffic. Bringing the node back up
+    /// restores delivery only; recovering its *state* is the node
+    /// owner's job (e.g. WAL replay).
+    pub fn set_offline(&mut self, id: NodeId, offline: bool) {
+        let idx = id.0 as usize;
+        if offline {
+            self.stats.dropped += self.inbox[idx].len() as u64;
+            self.inbox[idx].clear();
+        }
+        self.offline[idx] = offline;
+    }
+
+    /// True while `id` is crashed.
+    pub fn is_offline(&self, id: NodeId) -> bool {
+        self.offline[id.0 as usize]
     }
 
     /// Number of nodes.
@@ -269,7 +307,7 @@ impl<N: SimNode> Simulator<N> {
     /// deferred events.
     fn ensure_wake(&mut self, node: NodeId) {
         let idx = node.0 as usize;
-        if self.wake_scheduled[idx] || self.inbox[idx].is_empty() {
+        if self.offline[idx] || self.wake_scheduled[idx] || self.inbox[idx].is_empty() {
             return;
         }
         self.wake_scheduled[idx] = true;
@@ -303,6 +341,15 @@ impl<N: SimNode> Simulator<N> {
         self.now = self.now.max(key.time);
         let node = kind.target();
         let idx = node.0 as usize;
+        if self.offline[idx] {
+            // The machine is down: in-flight traffic and timers are lost.
+            if let EventKind::Wake { .. } = kind {
+                self.wake_scheduled[idx] = false;
+            } else {
+                self.stats.dropped += 1;
+            }
+            return true;
+        }
         if let EventKind::Wake { .. } = kind {
             self.wake_scheduled[idx] = false;
             if self.busy_until[idx] > self.now {
@@ -509,6 +556,44 @@ mod tests {
         assert_eq!(sim.now_ns(), 20 * MS);
         sim.run_to_idle(10);
         assert_eq!(sim.node(NodeId(0)).timers.len(), 2);
+    }
+
+    #[test]
+    fn offline_node_drops_traffic_then_recovers_delivery() {
+        let mut sim = two_nodes(5);
+        sim.set_offline(NodeId(1), true);
+        sim.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), b"lost".to_vec()));
+        sim.run_to_idle(100);
+        assert!(sim.node(NodeId(1)).received.is_empty());
+        assert_eq!(sim.stats().dropped, 1);
+        sim.set_offline(NodeId(1), false);
+        sim.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), b"arrives".to_vec()));
+        sim.run_to_idle(100);
+        assert_eq!(sim.node(NodeId(1)).received.len(), 1);
+        assert_eq!(sim.node(NodeId(1)).received[0].2, b"arrives");
+    }
+
+    #[test]
+    fn crash_discards_deferred_inbox_and_timers() {
+        let mut sim = two_nodes(0);
+        sim.node_mut(NodeId(1)).cost_ns = 10 * MS;
+        sim.call(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), b"a".to_vec());
+            ctx.send(NodeId(1), b"b".to_vec());
+            ctx.send(NodeId(1), b"c".to_vec());
+        });
+        // Process only the first; b and c sit deferred in the inbox.
+        sim.step();
+        sim.call(NodeId(1), |_, ctx| ctx.set_timer(50 * MS, 9));
+        sim.set_offline(NodeId(1), true);
+        sim.run_to_idle(1000);
+        assert_eq!(sim.node(NodeId(1)).received.len(), 1);
+        assert!(
+            sim.node(NodeId(1)).timers.is_empty(),
+            "timer died with the node"
+        );
+        assert!(sim.stats().dropped >= 2, "deferred inbox was discarded");
+        assert!(sim.is_offline(NodeId(1)));
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub fn fig3_link(a: Region, b: Region) -> LinkSpec {
 /// Index 0 is the US machine, 1–2 are IL1/IL2, 3–32 are UK1..UK30.
 pub fn fig3_regions() -> Vec<Region> {
     let mut regions = vec![Region::Us, Region::Il, Region::Il];
-    regions.extend(std::iter::repeat(Region::Uk).take(30));
+    regions.extend(std::iter::repeat_n(Region::Uk, 30));
     regions
 }
 

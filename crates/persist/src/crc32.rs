@@ -1,0 +1,60 @@
+//! CRC32 (IEEE 802.3, reflected) for WAL record framing.
+
+/// Reflected polynomial of the IEEE CRC32.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Byte-at-a-time lookup table, built at compile time.
+const TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = u32::MAX;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_any_flip() {
+        let base = crc32(b"teechain-wal-record");
+        let mut data = b"teechain-wal-record".to_vec();
+        for i in 0..data.len() {
+            for bit in 0..8 {
+                data[i] ^= 1 << bit;
+                assert_ne!(crc32(&data), base, "flip at byte {i} bit {bit}");
+                data[i] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -122,6 +122,43 @@ mod tests {
     }
 
     #[test]
+    fn monotonic_across_simulated_restart() {
+        // The counter models fuse/NVRAM hardware in the CPU package: an
+        // enclave restart reuses the *same* counter object (see
+        // `EnclaveEnv`), so the value and the throttle state must carry
+        // over — a restarted enclave can neither reset the count nor
+        // dodge the throttle by "rebooting".
+        let mut c = MonotonicCounter::new(100);
+        assert_eq!(c.increment(1_000).unwrap(), 1);
+        assert_eq!(c.increment(1_100).unwrap(), 2);
+        // ---- enclave crash + restart happens here; the program is gone,
+        // the counter persists ----
+        assert_eq!(c.read(), 2, "value survives restart");
+        assert_eq!(
+            c.increment(1_150),
+            Err(CounterError::Throttled { ready_at: 1_200 }),
+            "throttle state survives restart"
+        );
+        assert_eq!(c.increment(1_200).unwrap(), 3);
+    }
+
+    #[test]
+    fn value_never_decreases_even_when_clock_regresses() {
+        // A malicious host feeding stale timestamps can delay increments
+        // (liveness) but can never move the value backwards (safety).
+        let mut c = MonotonicCounter::new(100);
+        let mut last = 0;
+        for now in [0u64, 500, 100, 50, 700, 650, 900] {
+            if let Ok(v) = c.increment(now) {
+                assert!(v > last, "value must strictly increase");
+                last = v;
+            }
+            assert!(c.read() >= last);
+        }
+        assert_eq!(c.read(), last);
+    }
+
+    #[test]
     fn ten_per_second_rate() {
         // With the SGX-realistic throttle, exactly 10 increments fit in
         // one second of simulated time — the Table 1 stable-storage cap.

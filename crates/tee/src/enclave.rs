@@ -311,7 +311,10 @@ mod tests {
     #[test]
     fn counter_throttled_through_env() {
         let (_, mut e) = launch();
-        assert!(matches!(e.call(0, Cmd::Bump).unwrap(), Resp::Counter(Ok(1))));
+        assert!(matches!(
+            e.call(0, Cmd::Bump).unwrap(),
+            Resp::Counter(Ok(1))
+        ));
         assert!(matches!(
             e.call(10, Cmd::Bump).unwrap(),
             Resp::Counter(Err(CounterError::Throttled { ready_at: 100 }))
@@ -352,7 +355,10 @@ mod tests {
         // (hosts are untrusted; letting time regress would unthrottle the
         // counters).
         e.call(50, Cmd::Put(2)).unwrap();
-        assert!(matches!(e.call(0, Cmd::Bump).unwrap(), Resp::Counter(Ok(1))));
+        assert!(matches!(
+            e.call(0, Cmd::Bump).unwrap(),
+            Resp::Counter(Ok(1))
+        ));
         assert!(matches!(
             e.call(99, Cmd::Bump).unwrap(),
             Resp::Counter(Err(_))

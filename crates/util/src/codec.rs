@@ -280,7 +280,10 @@ mod tests {
 
     #[test]
     fn bool_rejects_junk() {
-        assert_eq!(bool::decode_exact(&[2]), Err(WireError::InvalidValue("bool")));
+        assert_eq!(
+            bool::decode_exact(&[2]),
+            Err(WireError::InvalidValue("bool"))
+        );
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub fn encode(bytes: &[u8]) -> String {
 /// assert_eq!(teechain_util::hex::decode("xy"), None);
 /// ```
 pub fn decode(s: &str) -> Option<Vec<u8>> {
-    if s.len() % 2 != 0 {
+    if !s.len().is_multiple_of(2) {
         return None;
     }
     let digits: Vec<u8> = s

@@ -35,8 +35,14 @@ fn main() {
         stale.remote_bal = 0;
         teechain::settle::current_settlement_tx(&stale)
     };
-    net.command(2, Command::CoSign { req_id: 1, tx: forged.clone() })
-        .unwrap();
+    net.command(
+        2,
+        Command::CoSign {
+            req_id: 1,
+            tx: forged.clone(),
+        },
+    )
+    .unwrap();
     let refused = net
         .node(2)
         .events

@@ -15,7 +15,11 @@ fn main() {
     // Channels: Alice ↔ Processor ↔ Carol, each funded with 1,000.
     let c1 = net.standard_channel(alice, processor, "alice-pp", 1_000, 1);
     let c2 = net.standard_channel(processor, carol, "pp-carol", 1_000, 1);
-    println!("channels open: alice-pp ({}), pp-carol ({})", c1.short(), c2.short());
+    println!(
+        "channels open: alice-pp ({}), pp-carol ({})",
+        c1.short(),
+        c2.short()
+    );
 
     // A multi-hop purchase: 420 flows Alice → Processor → Carol, with all
     // channels updating atomically (lock → sign τ → preUpdate → update →

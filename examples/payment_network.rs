@@ -3,7 +3,6 @@
 //!
 //! Run with: `cargo run --release --example payment_network`
 
-use teechain_bench::harness::Job;
 use teechain_bench::scenarios::{build_network, wan_100ms};
 use teechain_bench::workload::Workload;
 use teechain_net::topology::HubSpoke;

@@ -19,7 +19,10 @@ fn main() {
 
     // 2. Payment channel: created instantly — no blockchain write.
     let chan = net.open_channel(0, 1, "alice-bob");
-    println!("[2] payment channel open ({}) — zero on-chain writes", chan.short());
+    println!(
+        "[2] payment channel open ({}) — zero on-chain writes",
+        chan.short()
+    );
 
     // 3. Fund deposit: Alice mints 1,000 on chain into a TEE-controlled
     //    address, Bob's host verifies it on chain and his TEE approves,

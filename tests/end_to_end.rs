@@ -27,7 +27,10 @@ fn full_lifecycle_on_wan_links() {
     net.settle_network();
     net.mine(1);
     let chain = net.chain.lock();
-    assert_eq!(chain.utxo_total() + chain.total_fees(), chain.total_minted());
+    assert_eq!(
+        chain.utxo_total() + chain.total_fees(),
+        chain.total_minted()
+    );
 }
 
 #[test]
