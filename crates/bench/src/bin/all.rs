@@ -1,13 +1,16 @@
 //! Runs every table and figure experiment in sequence (pass `--quick` for
-//! reduced parameter sweeps).
+//! reduced parameter sweeps). Each child bin writes its own
+//! `BENCH_<name>.json`; this bin records the run manifest in
+//! `BENCH_all.json`.
 
 use std::process::Command;
+use teechain_bench::report::{BenchJson, JsonValue};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("bin dir");
-    for bin in [
+    let bins = [
         "table1",
         "table2",
         "fig4",
@@ -16,16 +19,29 @@ fn main() {
         "fig7",
         "table4",
         "persistence",
-    ] {
+        "scale",
+    ];
+    let mut ran = Vec::new();
+    for bin in bins {
         println!("\n===== {bin} =====");
         let mut cmd = Command::new(dir.join(bin));
         if quick {
             cmd.arg("--quick");
         }
+        let start = std::time::Instant::now();
         let status = cmd.status().expect("spawn experiment");
         if !status.success() {
             eprintln!("{bin} failed: {status}");
             std::process::exit(1);
         }
+        ran.push(JsonValue::Obj(vec![
+            ("bin".into(), bin.into()),
+            ("artifact".into(), format!("BENCH_{bin}.json").into()),
+            ("wall_s".into(), start.elapsed().as_secs_f64().into()),
+        ]));
     }
+    let mut doc = BenchJson::new("all");
+    doc.metric("quick", JsonValue::Bool(quick))
+        .metric("experiments", JsonValue::Arr(ran));
+    doc.write().expect("bench json");
 }

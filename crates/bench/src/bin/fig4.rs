@@ -4,7 +4,7 @@
 //! hops with committee chains of length 1–3 per node, plus the LN model.
 
 use teechain_bench::harness::Job;
-use teechain_bench::report::Table;
+use teechain_bench::report::{BenchJson, Table};
 use teechain_bench::scenarios::transatlantic_chain;
 
 fn teechain_latency(hops: usize, backups: usize, probes: usize) -> f64 {
@@ -78,6 +78,8 @@ fn main() {
         ]);
     }
     t2.print();
+    let mut doc = BenchJson::new("fig4");
+    doc.table(&table).table(&t2).write().expect("bench json");
     println!(
         "\nPaper: LN 1 s @ 2 hops → 7 s @ 11 hops; Teechain no-FT ≈2× LN;\n\
          1 replica 5 s @ 2 hops → 23 s @ 11 hops. Throughput: Teechain 14,062 → 3,649 tx/s;\n\

@@ -2,7 +2,7 @@
 //! machines, for committee chains of n = 1, 2, 3.
 
 use teechain_bench::harness::Job;
-use teechain_bench::report::{fmt_thousands, Table};
+use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::build_network;
 use teechain_bench::workload::Workload;
 use teechain_net::topology::complete_pairs;
@@ -61,6 +61,8 @@ fn main() {
         table.row(&cells);
     }
     table.print();
+    let mut doc = BenchJson::new("fig6");
+    doc.table(&table).write().expect("bench json");
     println!(
         "\nPaper: linear scaling; ≈2.2M tx/s at 30 machines with n=1;\n\
          ≈1M tx/s with n=2 or n=3 (9% apart)."

@@ -1,8 +1,8 @@
 //! Fig. 7: throughput with temporary channels — tier-1/tier-2 edges get
 //! G parallel channels, relieving lock contention (§5.2).
 
-use teechain_bench::report::{fmt_thousands, Table};
-use teechain_bench::scenarios::{build_network, hub_spoke_jobs, wan_100ms};
+use teechain_bench::report::{fmt_thousands, BenchJson, Table};
+use teechain_bench::scenarios::{build_network, fund_reverse, hub_spoke_jobs, wan_100ms};
 use teechain_net::topology::HubSpoke;
 
 fn run(committee_n: usize, g: usize, payments: usize, seed: u64) -> f64 {
@@ -35,6 +35,10 @@ fn run(committee_n: usize, g: usize, payments: usize, seed: u64) -> f64 {
                     1_000_000_000,
                     1,
                 );
+                // Fund the reverse side too: payments flow both ways over
+                // temporary channels (one-sided funding made any payment
+                // routed the other way fail and retry forever).
+                fund_reverse(&mut net.cluster, chan, a, b, 1_000_000_000);
                 let key = if a <= b { (a, b) } else { (b, a) };
                 net.channels.get_mut(&key).expect("edge exists").push(chan);
             }
@@ -68,5 +72,7 @@ fn main() {
         table.row(&cells);
     }
     table.print();
+    let mut doc = BenchJson::new("fig7");
+    doc.table(&table).write().expect("bench json");
     println!("\nPaper: near-linear scaling in G with diminishing returns (tier-3 congestion).");
 }

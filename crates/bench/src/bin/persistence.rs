@@ -9,7 +9,7 @@ use teechain::enclave::{Command, HostEvent};
 use teechain::testkit::{Cluster, ClusterConfig};
 use teechain::{DurabilityBackend, PersistPolicy};
 use teechain_bench::harness::Job;
-use teechain_bench::report::{fmt_thousands, Table};
+use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::{fig3_pair, FtMode};
 
 /// One throughput/latency row over the Fig. 3 US↔UK pair.
@@ -183,4 +183,6 @@ fn main() {
         commits.to_string(),
     ]);
     churn.print();
+    let mut doc = BenchJson::new("persistence");
+    doc.table(&table).table(&churn).write().expect("bench json");
 }

@@ -6,7 +6,7 @@
 //! `teechain_baselines::ln::perf`).
 
 use teechain_bench::harness::Job;
-use teechain_bench::report::{fmt_thousands, Table};
+use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::{fig3_pair, FtMode};
 
 fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64) {
@@ -104,6 +104,8 @@ fn main() {
         ]);
     }
     table.print();
+    let mut doc = BenchJson::new("table1");
+    doc.table(&table).write().expect("bench json");
     println!(
         "\nPaper: LN 1,000 tx/s @ 387 ms; Teechain no-FT 130,311 @ 86 ms; 1 replica 34,115 @ 292 ms;\n\
          2 replicas 33,180 @ 415 ms; 3 replicas 33,178 @ 672 ms; stable storage 10 @ 288 ms;\n\

@@ -8,7 +8,7 @@
 use teechain::enclave::Command;
 use teechain::types::ChannelId;
 use teechain_bench::harness::{BenchCluster, BenchConfig};
-use teechain_bench::report::Table;
+use teechain_bench::report::{BenchJson, Table};
 use teechain_bench::scenarios::{fig3_pair, FtMode};
 use teechain_net::topology::{fig3_link, Region};
 use teechain_net::NodeId;
@@ -144,6 +144,8 @@ fn main() {
         table.row(&[label.into(), format!("{ms:.0}")]);
     }
     table.print();
+    let mut doc = BenchJson::new("table2");
+    doc.table(&table).write().expect("bench json");
     println!(
         "\nPaper: LN 3,600,000; creation 2,810 (4,322 outsourced); replica 2,765;\n\
          associate/dissociate 101 / 289 / 422 / 677; stable storage 302."

@@ -1,7 +1,7 @@
 //! Table 3: hub-and-spoke topology — throughput, latency, hops, with
 //! static shortest-path and dynamic routing, n = 1 and n = 2 committees.
 
-use teechain_bench::report::{fmt_thousands, Table};
+use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::{build_network, hub_spoke_jobs, wan_100ms};
 use teechain_net::topology::HubSpoke;
 
@@ -56,6 +56,8 @@ fn main() {
         ]);
     }
     table.print();
+    let mut doc = BenchJson::new("table3");
+    doc.table(&table).write().expect("bench json");
     println!(
         "\nPaper: no FT 671 tx/s @ 540 ms, 3.2 hops; one replica 210 tx/s @ 720 ms;\n\
          dynamic routing 235 tx/s (no FT) / 54 tx/s (one replica), 5.4 hops."

@@ -6,7 +6,7 @@
 use teechain::enclave::Command;
 use teechain::testkit::Cluster;
 use teechain_baselines::{dmc, ln, sfmc};
-use teechain_bench::report::Table;
+use teechain_bench::report::{BenchJson, Table};
 
 /// Executes a real Teechain channel lifecycle and counts on-chain
 /// transactions + cost. `bilateral` ends with neutral balances (off-chain
@@ -88,6 +88,8 @@ fn main() {
         format!("{txs_uni} / {cost_uni:.1}"),
     ]);
     table.print();
+    let mut doc = BenchJson::new("table4");
+    doc.table(&table).write().expect("bench json");
     println!(
         "\nPaper: Teechain places 25–75% fewer transactions than LN and is up to 58% cheaper\n\
          bilaterally; unilateral termination is ~50% more expensive due to multisig inputs.\n\

@@ -17,7 +17,7 @@ use teechain::node::{SharedChain, TeechainNode};
 use teechain::types::{ChannelId, ProtocolError, RouteId};
 use teechain_blockchain::Chain;
 use teechain_crypto::schnorr::PublicKey;
-use teechain_net::{Ctx, Histogram, LinkSpec, NodeId, SimNode, Simulator};
+use teechain_net::{AnyEngine, Ctx, EngineKind, Histogram, LinkSpec, NodeId, SimNode};
 use teechain_persist::{PersistentStore, SharedStore};
 use teechain_tee::TrustRoot;
 
@@ -80,7 +80,7 @@ pub struct BenchNode {
     /// The wrapped host (public for setup).
     pub host: SimHost,
     jobs: VecDeque<Job>,
-    retry_bucket: Vec<Job>,
+    retry_bucket: VecDeque<Job>,
     window: usize,
     inflight: usize,
     batch: Option<BatchState>,
@@ -96,7 +96,7 @@ impl BenchNode {
         BenchNode {
             host,
             jobs: VecDeque::new(),
-            retry_bucket: Vec::new(),
+            retry_bucket: VecDeque::new(),
             window: 1,
             inflight: 0,
             batch: None,
@@ -155,7 +155,7 @@ impl BenchNode {
 
     fn schedule_retry(&mut self, ctx: &mut Ctx<'_>, job: Job) {
         self.stats.retries += 1;
-        self.retry_bucket.push(job);
+        self.retry_bucket.push_back(job);
         // Randomized 100–200 ms backoff (§7.4).
         let delay = ctx.rng().next_range(100_000_000, 200_000_000);
         ctx.set_timer(delay, JOB_RETRY_TOKEN);
@@ -339,7 +339,9 @@ impl SimNode for BenchNode {
         match token {
             BATCH_TOKEN => self.flush_batch(ctx),
             JOB_RETRY_TOKEN => {
-                if let Some(job) = self.retry_bucket.pop() {
+                // FIFO: oldest failed job first, so backoff cannot
+                // starve early payments into a pathological tail.
+                if let Some(job) = self.retry_bucket.pop_front() {
                     self.issue(ctx, job);
                 }
             }
@@ -365,6 +367,16 @@ pub struct BenchConfig {
     pub durability: DurabilityBackend,
     /// Seed.
     pub seed: u64,
+    /// Which event-loop engine hosts the cluster (see
+    /// `teechain_net::EngineKind`). Defaults to the `TEECHAIN_ENGINE` /
+    /// `TEECHAIN_SHARDS` environment, sequential when unset.
+    pub engine: EngineKind,
+    /// Which pairs of nodes learn each other's enclave identity at
+    /// startup. `None` registers the full mesh — O(n²) directory
+    /// entries, fine for paper-scale clusters but prohibitive at 10k+
+    /// nodes. Large generated topologies pass their channel edges (plus
+    /// any committee pairs) instead; routing only ever needs neighbors.
+    pub peers: Option<Vec<(usize, usize)>>,
 }
 
 impl Default for BenchConfig {
@@ -375,6 +387,8 @@ impl Default for BenchConfig {
             default_link: LinkSpec::ideal(),
             durability: DurabilityBackend::None,
             seed: 11,
+            engine: EngineKind::from_env(),
+            peers: None,
         }
     }
 }
@@ -401,8 +415,8 @@ pub struct RunStats {
 /// A benchmark cluster: like `teechain::testkit::Cluster` but with
 /// workload drivers on every node.
 pub struct BenchCluster {
-    /// The simulator.
-    pub sim: Simulator<BenchNode>,
+    /// The discrete-event engine hosting all nodes.
+    pub sim: AnyEngine<BenchNode>,
     /// The shared chain.
     pub chain: SharedChain,
     /// Node identities.
@@ -442,18 +456,34 @@ impl BenchCluster {
             }
             nodes.push(BenchNode::new(SimHost::new(node, cfg.costs)));
         }
-        let mut sim = Simulator::new(nodes, cfg.default_link, cfg.seed);
+        let mut sim = AnyEngine::new(cfg.engine, nodes, cfg.default_link, cfg.seed);
         let mut ids = Vec::with_capacity(cfg.n);
         for i in 0..cfg.n {
             ids.push(sim.node_mut(NodeId(i as u32)).host.node.identity(0));
         }
-        for i in 0..cfg.n {
-            for (j, id) in ids.iter().enumerate() {
-                if i != j {
+        match &cfg.peers {
+            None => {
+                for i in 0..cfg.n {
+                    for (j, id) in ids.iter().enumerate() {
+                        if i != j {
+                            sim.node_mut(NodeId(i as u32))
+                                .host
+                                .node
+                                .register_peer(*id, NodeId(j as u32));
+                        }
+                    }
+                }
+            }
+            Some(edges) => {
+                for &(i, j) in edges {
                     sim.node_mut(NodeId(i as u32))
                         .host
                         .node
-                        .register_peer(*id, NodeId(j as u32));
+                        .register_peer(ids[j], NodeId(j as u32));
+                    sim.node_mut(NodeId(j as u32))
+                        .host
+                        .node
+                        .register_peer(ids[i], NodeId(i as u32));
                 }
             }
         }
@@ -463,6 +493,16 @@ impl BenchCluster {
             ids,
             stores,
         }
+    }
+
+    /// Converts the quiescent cluster to another engine kind (see
+    /// `AnyEngine::into_kind`): build one topology sequentially, then
+    /// measure every engine configuration on it.
+    pub fn set_engine(&mut self, kind: EngineKind) {
+        // Temporarily replace with an empty engine to take ownership.
+        let placeholder = AnyEngine::new(EngineKind::Seq, Vec::new(), LinkSpec::ideal(), 0);
+        let sim = std::mem::replace(&mut self.sim, placeholder);
+        self.sim = sim.into_kind(kind);
     }
 
     /// Runs the simulation to quiescence.
@@ -644,10 +684,7 @@ impl BenchCluster {
             hops_total += node.stats.hops_total;
             mh += node.stats.multihop_completed;
             retries += node.stats.retries;
-            // Merge latency histograms.
-            for &sample in node.stats.latencies.samples() {
-                lat.record(sample);
-            }
+            lat.merge(&node.stats.latencies);
         }
         let duration_ns = last.saturating_sub(if first == u64::MAX { 0 } else { first });
         let throughput = if duration_ns > 0 {

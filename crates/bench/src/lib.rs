@@ -12,10 +12,17 @@
 //! | `fig7`   | Fig. 7 — temporary channels |
 //! | `table4` | Table 4 / §7.5 — blockchain cost |
 //! | `persistence` | §6 persistence vs. replication cost + crash churn |
+//! | `scale`  | engine scaling: a generated 10k+-node hub-and-spoke overlay measured under every engine configuration |
 //! | `all`    | everything above |
 //!
+//! Every binary also writes a machine-readable `BENCH_<name>.json`
+//! artifact (see [`report::BenchJson`]) so the perf trajectory is
+//! tracked across PRs.
+//!
 //! `cargo bench` additionally runs Criterion micro-benchmarks of the
-//! substrates and the ablations listed in DESIGN.md §6.
+//! substrates, the ablations listed in DESIGN.md §6, and the raw
+//! engine-overhead bench (`--bench engine`, which feeds
+//! `BENCH_engine_micro.json`).
 
 pub mod harness;
 pub mod report;

@@ -1,4 +1,8 @@
-//! Plain-text table/figure rendering for the experiment binaries.
+//! Plain-text table/figure rendering for the experiment binaries, plus
+//! the machine-readable `BENCH_<name>.json` artifacts that track the
+//! perf trajectory across PRs.
+
+use std::path::PathBuf;
 
 /// Renders a markdown-style table.
 pub struct Table {
@@ -61,6 +65,186 @@ impl Table {
     }
 }
 
+/// A JSON value for the benchmark artifacts. Hand-rolled (the workspace
+/// is dependency-free): strings are escaped, non-finite numbers render
+/// as `null`.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A number (rendered with full round-trip precision).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// A boolean.
+    Bool(bool),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object (insertion-ordered).
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::Num(v)
+    }
+}
+
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::Num(v as f64)
+    }
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+
+impl JsonValue {
+    fn render_into(&self, out: &mut String) {
+        match self {
+            JsonValue::Num(v) => {
+                if !v.is_finite() {
+                    out.push_str("null");
+                } else if v.fract() == 0.0 && v.abs() < 9e15 {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&format!("{v:?}"));
+                }
+            }
+            JsonValue::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            JsonValue::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            JsonValue::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.render_into(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    JsonValue::Str(k.clone()).render_into(out);
+                    out.push(':');
+                    v.render_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
+    /// Renders to a compact JSON string.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out);
+        out
+    }
+}
+
+/// A machine-readable benchmark artifact, written as
+/// `BENCH_<name>.json` next to the printed tables so the perf
+/// trajectory is tracked across PRs. The directory defaults to the
+/// current working directory and can be redirected with
+/// `TEECHAIN_BENCH_DIR`.
+pub struct BenchJson {
+    name: String,
+    metrics: Vec<(String, JsonValue)>,
+    tables: Vec<JsonValue>,
+}
+
+impl BenchJson {
+    /// Starts an artifact for the bench bin `name`.
+    pub fn new(name: &str) -> BenchJson {
+        BenchJson {
+            name: name.to_string(),
+            metrics: Vec::new(),
+            tables: Vec::new(),
+        }
+    }
+
+    /// Records a named metric.
+    pub fn metric(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
+        self.metrics.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Records a rendered [`Table`] structurally (title, headers, rows).
+    pub fn table(&mut self, t: &Table) -> &mut Self {
+        self.tables.push(JsonValue::Obj(vec![
+            ("title".into(), JsonValue::Str(t.title.clone())),
+            (
+                "headers".into(),
+                JsonValue::Arr(t.headers.iter().map(|h| h.as_str().into()).collect()),
+            ),
+            (
+                "rows".into(),
+                JsonValue::Arr(
+                    t.rows
+                        .iter()
+                        .map(|r| JsonValue::Arr(r.iter().map(|c| c.as_str().into()).collect()))
+                        .collect(),
+                ),
+            ),
+        ]));
+        self
+    }
+
+    /// The artifact as a JSON value.
+    pub fn to_value(&self) -> JsonValue {
+        JsonValue::Obj(vec![
+            ("bench".into(), self.name.as_str().into()),
+            ("metrics".into(), JsonValue::Obj(self.metrics.clone())),
+            ("tables".into(), JsonValue::Arr(self.tables.clone())),
+        ])
+    }
+
+    /// The output path (`$TEECHAIN_BENCH_DIR` or cwd).
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var("TEECHAIN_BENCH_DIR").unwrap_or_else(|_| ".".into());
+        PathBuf::from(dir).join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Writes `BENCH_<name>.json` and reports the path on stdout.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        std::fs::write(&path, self.to_value().render() + "\n")?;
+        println!("\nwrote {}", path.display());
+        Ok(path)
+    }
+}
+
 /// Formats a float with thousands separators (for tx/s columns).
 pub fn fmt_thousands(v: f64) -> String {
     let n = v.round() as i64;
@@ -97,5 +281,35 @@ mod tests {
     fn thousands() {
         assert_eq!(fmt_thousands(1234567.0), "1,234,567");
         assert_eq!(fmt_thousands(999.0), "999");
+    }
+
+    #[test]
+    fn json_rendering() {
+        let v = JsonValue::Obj(vec![
+            ("int".into(), 42u64.into()),
+            ("float".into(), 1.5.into()),
+            ("nan".into(), f64::NAN.into()),
+            ("s".into(), "a\"b\\c\nd".into()),
+            ("flag".into(), JsonValue::Bool(true)),
+            ("arr".into(), JsonValue::Arr(vec![1u64.into(), 2u64.into()])),
+        ]);
+        assert_eq!(
+            v.render(),
+            r#"{"int":42,"float":1.5,"nan":null,"s":"a\"b\\c\nd","flag":true,"arr":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn bench_json_includes_tables_and_metrics() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(&["1".into(), "x".into()]);
+        let mut doc = BenchJson::new("demo");
+        doc.metric("throughput", 1000.5).table(&t);
+        let s = doc.to_value().render();
+        assert!(s.contains(r#""bench":"demo""#));
+        assert!(s.contains(r#""throughput":1000.5"#));
+        assert!(s.contains(r#""title":"Demo""#));
+        assert!(s.contains(r#""rows":[["1","x"]]"#));
+        assert!(doc.path().ends_with("BENCH_demo.json"));
     }
 }

@@ -65,6 +65,7 @@ pub fn fig3_pair(ft: FtMode, seed: u64) -> (BenchCluster, ChannelId) {
         default_link: fig3_link(Region::Uk, Region::Uk),
         durability: ft.durability(),
         seed,
+        ..BenchConfig::default()
     };
     // Regions: replicas live in different failure domains (IL first, then
     // the other side of the Atlantic), as in §7.2.
@@ -131,6 +132,7 @@ pub fn transatlantic_chain(
         default_link: fig3_link(Region::Uk, Region::Us),
         durability: teechain::DurabilityBackend::None,
         seed,
+        ..BenchConfig::default()
     };
     let mut cluster = BenchCluster::new(cfg);
     for i in 0..n {
@@ -203,6 +205,41 @@ impl Network {
     }
 }
 
+/// Funds the `b` side of an existing channel between `a` and `b` so
+/// payments can flow both ways.
+pub fn fund_reverse(cluster: &mut BenchCluster, chan: ChannelId, a: NodeId, b: NodeId, value: u64) {
+    let nidb = b.0 as usize;
+    let dep = cluster
+        .sim
+        .call(NodeId(b.0), |node, ctx| {
+            node.host
+                .node
+                .create_funded_committee_deposit(ctx, value, 1)
+        })
+        .expect("reverse deposit");
+    let remote = cluster.ids[a.0 as usize];
+    cluster
+        .command(
+            nidb,
+            teechain::Command::ApproveDeposit {
+                remote,
+                outpoint: dep.outpoint,
+            },
+        )
+        .unwrap();
+    cluster.settle();
+    cluster
+        .command(
+            nidb,
+            teechain::Command::AssociateDeposit {
+                id: chan,
+                outpoint: dep.outpoint,
+            },
+        )
+        .unwrap();
+    cluster.settle();
+}
+
 /// Builds a network over explicit edges, `parallel` channels per edge,
 /// each funded on both sides. `backups` committee members per node.
 pub fn build_network(
@@ -220,6 +257,7 @@ pub fn build_network(
         default_link: link,
         durability: teechain::DurabilityBackend::None,
         seed,
+        ..BenchConfig::default()
     };
     let mut cluster = BenchCluster::new(cfg);
     // Backups of node i live at n + i*backups + b, on the same default link.
@@ -237,36 +275,7 @@ pub fn build_network(
             let chan =
                 cluster.standard_channel(a.0 as usize, b.0 as usize, &label, 1_000_000_000, 1);
             // Fund the reverse direction too so payments flow both ways.
-            let nidb = b.0 as usize;
-            let dep = cluster
-                .sim
-                .call(NodeId(b.0), |node, ctx| {
-                    node.host
-                        .node
-                        .create_funded_committee_deposit(ctx, 1_000_000_000, 1)
-                })
-                .expect("reverse deposit");
-            let remote = cluster.ids[a.0 as usize];
-            cluster
-                .command(
-                    nidb,
-                    teechain::Command::ApproveDeposit {
-                        remote,
-                        outpoint: dep.outpoint,
-                    },
-                )
-                .unwrap();
-            cluster.settle();
-            cluster
-                .command(
-                    nidb,
-                    teechain::Command::AssociateDeposit {
-                        id: chan,
-                        outpoint: dep.outpoint,
-                    },
-                )
-                .unwrap();
-            cluster.settle();
+            fund_reverse(&mut cluster, chan, a, b, 1_000_000_000);
             channels
                 .entry(if a <= b { (a, b) } else { (b, a) })
                 .or_default()
@@ -279,6 +288,15 @@ pub fn build_network(
         channels,
         graph,
     }
+}
+
+/// Which of an edge's parallel (temporary) channels a payment uses.
+/// Derived from the value bucket and the endpoints: raw workload values
+/// are multiples of `MAX_VALUE/100`, so a bare `value % G` would always
+/// pick channel 0 and leave temporary channels idle.
+fn channel_variant(p: &crate::workload::Payment) -> usize {
+    (p.value / (crate::workload::MAX_VALUE / 100).max(1) + p.from.0 as u64 * 7 + p.to.0 as u64 * 13)
+        as usize
 }
 
 /// Generates hub-and-spoke multihop jobs per machine from the §7.4
@@ -310,7 +328,7 @@ pub fn hub_spoke_jobs(
                     break;
                 }
                 // Spread load over parallel (temporary) channels.
-                let pick = (p.value as usize) % chans.len();
+                let pick = channel_variant(&p) % chans.len();
                 channels.push(chans[pick]);
             }
             if ok {
@@ -342,5 +360,196 @@ pub fn wan_100ms() -> LinkSpec {
         latency_ns: 50 * MS,
         jitter_frac: 0.06,
         bandwidth_bps: Some(1_000_000_000),
+    }
+}
+
+/// Builds a large sparse hub-and-spoke network for generated topologies
+/// (the `scale` bench bin): channels funded on both sides, **peer
+/// directories populated along edges only** — O(edges) instead of the
+/// O(n²) full mesh, which is what makes 10k+-node clusters buildable —
+/// and no committee backups. Upper-tier edges (both endpoints in tiers
+/// 1–2) get `upper_parallel` parallel channels, the Fig. 7 temporary
+/// channels that relieve hub lock contention; leaf edges get one.
+pub fn build_sparse_network(
+    hs: &HubSpoke,
+    link: LinkSpec,
+    seed: u64,
+    upper_parallel: usize,
+) -> Network {
+    let n = hs.total() as usize;
+    let edges = hs.channel_pairs();
+    let peer_edges: Vec<(usize, usize)> = edges
+        .iter()
+        .map(|&(a, b)| (a.0 as usize, b.0 as usize))
+        .collect();
+    let cfg = BenchConfig {
+        n,
+        costs: CostModel::default(),
+        default_link: link,
+        durability: teechain::DurabilityBackend::None,
+        seed,
+        peers: Some(peer_edges),
+        ..BenchConfig::default()
+    };
+    let mut cluster = BenchCluster::new(cfg);
+    let mut channels: HashMap<(NodeId, NodeId), Vec<ChannelId>> = HashMap::new();
+    for &(a, b) in &edges {
+        let parallel = if hs.tier_of(a) <= 2 && hs.tier_of(b) <= 2 {
+            upper_parallel.max(1)
+        } else {
+            1
+        };
+        for p in 0..parallel {
+            let label = format!("e{}-{}-{}", a.0, b.0, p);
+            let chan =
+                cluster.standard_channel(a.0 as usize, b.0 as usize, &label, 1_000_000_000, 1);
+            fund_reverse(&mut cluster, chan, a, b, 1_000_000_000);
+            channels
+                .entry(if a <= b { (a, b) } else { (b, a) })
+                .or_default()
+                .push(chan);
+        }
+    }
+    let graph = ChannelGraph::from_pairs(&edges);
+    Network {
+        cluster,
+        channels,
+        graph,
+    }
+}
+
+/// The static route between two nodes of a hub-and-spoke overlay,
+/// computed from the tier structure instead of a graph search (BFS per
+/// payment does not scale to 10k-node topologies): climb `from` to a
+/// deterministic hub, descend to `to`, then cut any revisit loop (e.g.
+/// two leaves sharing a parent route leaf→parent→leaf, not through the
+/// hub). Returns `None` when `from == to`.
+pub fn hub_spoke_path(hs: &HubSpoke, from: NodeId, to: NodeId) -> Option<Vec<NodeId>> {
+    if from == to {
+        return None;
+    }
+    // The transit hub: an endpoint that already is a hub, otherwise a
+    // deterministic pick (tier-2 nodes connect to every hub).
+    let hub = if hs.tier_of(from) == 1 {
+        from
+    } else if hs.tier_of(to) == 1 {
+        to
+    } else {
+        NodeId((from.0 + to.0) % hs.tier1)
+    };
+    let parent_of = |id: NodeId| -> NodeId {
+        match hs.tier_of(id) {
+            3 => {
+                let k = id.0 - hs.tier1 - hs.tier2;
+                NodeId(hs.tier1 + (k % hs.tier2))
+            }
+            2 => hub,
+            _ => id,
+        }
+    };
+    // Climb to the hub tier.
+    let mut up = vec![from];
+    while hs.tier_of(*up.last().expect("nonempty")) != 1 {
+        let next = parent_of(*up.last().expect("nonempty"));
+        up.push(next);
+    }
+    let mut down = vec![to];
+    while hs.tier_of(*down.last().expect("nonempty")) != 1 {
+        let next = parent_of(*down.last().expect("nonempty"));
+        down.push(next);
+    }
+    // Join, shortcutting at the first shared node: whenever the next
+    // descending node is already on the path, truncate back to it.
+    let mut path = up;
+    for &node in down.iter().rev() {
+        if let Some(pos) = path.iter().position(|&p| p == node) {
+            path.truncate(pos + 1);
+        } else {
+            path.push(node);
+        }
+    }
+    debug_assert!(path.len() >= 2);
+    Some(path)
+}
+
+/// Generates per-machine jobs for a generated hub-and-spoke overlay
+/// using the §7.4 skewed workload and [`hub_spoke_path`] static routes.
+/// Adjacent pairs pay directly; everything else goes multi-hop.
+pub fn scale_jobs(
+    net: &Network,
+    hs: &HubSpoke,
+    payments: usize,
+    seed: u64,
+) -> HashMap<usize, Vec<Job>> {
+    let mut wl = Workload::hub_spoke(hs, seed);
+    let mut jobs: HashMap<usize, Vec<Job>> = HashMap::new();
+    for p in wl.take(payments) {
+        let Some(path) = hub_spoke_path(hs, p.from, p.to) else {
+            continue;
+        };
+        let amount = p.value.max(1);
+        // Spread load across parallel (temporary) channels.
+        let variant = channel_variant(&p);
+        let job = if path.len() == 2 {
+            let chans = net.edge_channels(path[0], path[1]);
+            Job::Direct {
+                chan: chans[variant % chans.len()],
+                amount,
+            }
+        } else {
+            let Some(job) = net.multihop_job(&path, amount, variant) else {
+                continue;
+            };
+            job
+        };
+        jobs.entry(p.from.0 as usize).or_default().push(job);
+    }
+    jobs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_spoke_paths_follow_channel_edges() {
+        let hs = HubSpoke::scaled(1_000);
+        let edges: std::collections::HashSet<(u32, u32)> = hs
+            .channel_pairs()
+            .iter()
+            .map(|(a, b)| (a.0.min(b.0), a.0.max(b.0)))
+            .collect();
+        let n = hs.total();
+        // A deterministic spread of pairs including same-parent leaves,
+        // cross-tier and hub-to-hub routes.
+        for i in 0..60u32 {
+            let from = NodeId((i * 37) % n);
+            let to = NodeId((i * 101 + 13) % n);
+            let Some(path) = hub_spoke_path(&hs, from, to) else {
+                assert_eq!(from, to);
+                continue;
+            };
+            assert_eq!(path[0], from);
+            assert_eq!(*path.last().expect("nonempty"), to);
+            assert!(path.len() <= 5, "paths stay short: {path:?}");
+            // No node repeats.
+            let mut seen = std::collections::HashSet::new();
+            assert!(path.iter().all(|p| seen.insert(p.0)), "loop in {path:?}");
+            // Every hop is a real channel edge.
+            for w in path.windows(2) {
+                let key = (w[0].0.min(w[1].0), w[0].0.max(w[1].0));
+                assert!(edges.contains(&key), "no channel for hop {key:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn same_parent_leaves_shortcut_through_parent() {
+        let hs = HubSpoke::paper_default();
+        // Leaves k and k + tier2 share parent tier1 + k.
+        let a = NodeId(hs.tier1 + hs.tier2);
+        let b = NodeId(hs.tier1 + hs.tier2 + hs.tier2);
+        let path = hub_spoke_path(&hs, a, b).expect("distinct");
+        assert_eq!(path, vec![a, NodeId(hs.tier1), b]);
     }
 }

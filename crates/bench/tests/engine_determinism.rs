@@ -1,0 +1,119 @@
+//! The determinism suite: a fixed-seed cluster — setup, payments,
+//! everything — produces identical `SimStats`, latency histograms and
+//! final enclave balances for shard counts 1, 2 and 8.
+//!
+//! The compared shard counts come from `TEECHAIN_SHARDS` (a comma list,
+//! default `1,2,8`); CI runs a matrix over pairs so a regression names
+//! the offending count.
+
+use teechain_bench::report::fmt_thousands;
+use teechain_bench::scenarios::{build_sparse_network, scale_jobs, wan_100ms};
+use teechain_net::topology::HubSpoke;
+use teechain_net::SimStats;
+
+/// Everything observable about one end-to-end run.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    completed: u64,
+    retries: u64,
+    duration_ns: u64,
+    sim_stats: SimStats,
+    now_ns: u64,
+    /// Latency samples in collection order (exact, not summarized).
+    latencies: Vec<u64>,
+    /// (channel, node, my_bal, remote_bal) for both ends of every
+    /// channel, in deterministic order.
+    balances: Vec<(u32, u64, u64)>,
+}
+
+/// Builds the cluster AND runs the workload entirely under
+/// `sharded:<shards>` (via the env knob every harness honors), then
+/// fingerprints the world.
+fn run_at(shards: usize) -> Fingerprint {
+    std::env::set_var("TEECHAIN_ENGINE", format!("sharded:{shards}"));
+    // A shrunk Fig. 5 overlay (same three-tier shape as paper_default,
+    // fewer leaves) so three full setups stay fast in debug builds.
+    let hs = HubSpoke {
+        tier1: 3,
+        tier2: 9,
+        tier3: 9,
+    };
+    let mut net = build_sparse_network(&hs, wan_100ms(), 1234, 2);
+    let jobs = scale_jobs(&net, &hs, 300, 99);
+    for (i, j) in jobs {
+        net.cluster.load(i, j, 8);
+    }
+    let stats = net.cluster.run(50_000_000);
+    let mut latencies = Vec::new();
+    for i in 0..net.cluster.sim.len() {
+        let node = net.cluster.sim.node(teechain_net::NodeId(i as u32));
+        latencies.extend_from_slice(node.stats.latencies.samples());
+    }
+    let mut balances = Vec::new();
+    let mut keys: Vec<_> = net.channels.keys().copied().collect();
+    keys.sort();
+    for key in keys {
+        for chan in &net.channels[&key] {
+            for node in [key.0, key.1] {
+                let c = net
+                    .cluster
+                    .sim
+                    .node(node)
+                    .host
+                    .node
+                    .enclave
+                    .program()
+                    .and_then(|p| p.channel(chan))
+                    .expect("channel exists on both ends");
+                balances.push((node.0, c.my_bal, c.remote_bal));
+            }
+        }
+    }
+    Fingerprint {
+        completed: stats.completed,
+        retries: stats.retries,
+        duration_ns: stats.duration_ns,
+        sim_stats: net.cluster.sim.stats(),
+        now_ns: net.cluster.sim.now_ns(),
+        latencies,
+        balances,
+    }
+}
+
+#[test]
+fn fixed_seed_run_is_identical_across_shard_counts() {
+    let counts: Vec<usize> = std::env::var("TEECHAIN_SHARDS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 8]);
+    let prev_engine = std::env::var("TEECHAIN_ENGINE").ok();
+
+    let baseline = run_at(counts[0]);
+    assert!(
+        baseline.completed >= 250,
+        "workload barely ran: {} completed",
+        baseline.completed
+    );
+    assert!(!baseline.latencies.is_empty());
+    println!(
+        "baseline (sharded:{}): {} payments, {} events, {} retries",
+        counts[0],
+        baseline.completed,
+        fmt_thousands(baseline.sim_stats.events as f64),
+        baseline.retries,
+    );
+    for &shards in &counts[1..] {
+        let run = run_at(shards);
+        assert_eq!(
+            run, baseline,
+            "sharded:{shards} diverged from sharded:{}",
+            counts[0]
+        );
+    }
+
+    match prev_engine {
+        Some(v) => std::env::set_var("TEECHAIN_ENGINE", v),
+        None => std::env::remove_var("TEECHAIN_ENGINE"),
+    }
+}

@@ -14,7 +14,7 @@ use parking_lot::Mutex;
 use std::sync::Arc;
 use teechain_blockchain::Chain;
 use teechain_crypto::schnorr::PublicKey;
-use teechain_net::{LinkSpec, NodeId, Simulator};
+use teechain_net::{AnyEngine, EngineKind, LinkSpec, NodeId};
 use teechain_persist::{PersistentStore, SharedStore};
 use teechain_tee::TrustRoot;
 
@@ -33,6 +33,11 @@ pub struct ClusterConfig {
     pub durability: DurabilityBackend,
     /// Simulation seed.
     pub seed: u64,
+    /// Which event-loop engine hosts the cluster. Defaults to the
+    /// `TEECHAIN_ENGINE` / `TEECHAIN_SHARDS` environment (sequential
+    /// when unset), which is how CI re-runs whole suites under the
+    /// sharded engine without code changes.
+    pub engine: EngineKind,
 }
 
 impl Default for ClusterConfig {
@@ -43,14 +48,16 @@ impl Default for ClusterConfig {
             default_link: LinkSpec::ideal(),
             durability: DurabilityBackend::None,
             seed: 7,
+            engine: EngineKind::from_env(),
         }
     }
 }
 
 /// A running cluster of Teechain nodes.
 pub struct Cluster {
-    /// The discrete-event simulator hosting all nodes.
-    pub sim: Simulator<SimHost>,
+    /// The discrete-event engine hosting all nodes (sequential or
+    /// sharded, per [`ClusterConfig::engine`]).
+    pub sim: AnyEngine<SimHost>,
     /// The shared blockchain.
     pub chain: SharedChain,
     /// Enclave identity of each node.
@@ -98,7 +105,7 @@ impl Cluster {
             }
             hosts.push(SimHost::new(node, cfg.costs));
         }
-        let mut sim = Simulator::new(hosts, cfg.default_link, cfg.seed);
+        let mut sim = AnyEngine::new(cfg.engine, hosts, cfg.default_link, cfg.seed);
         // Collect identities and populate every directory.
         let mut ids = Vec::with_capacity(total);
         for i in 0..total {

@@ -1,127 +1,18 @@
-//! The discrete-event simulation core.
+//! The sequential discrete-event engine — the original `Simulator`.
+//!
+//! One binary heap orders every event by `(time, global seq)`; ties go to
+//! creation order. Semantics are unchanged from the pre-refactor
+//! `sim.rs`, so the calibrated suite keeps its exact timings.
 
+use super::queue::EventKey;
+use super::{Action, Ctx, EngineState, EventKind, NodeId, SimNode, SimStats};
 use crate::link::LinkSpec;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 use teechain_util::rng::Xoshiro256;
 
-/// Identifies a node within one simulation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct NodeId(pub u32);
-
-impl std::fmt::Display for NodeId {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "n{}", self.0)
-    }
-}
-
-/// Behaviour of a simulated node.
-pub trait SimNode {
-    /// Called once at simulation start (time 0).
-    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
-        let _ = ctx;
-    }
-
-    /// Called when a message from `from` is delivered.
-    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Vec<u8>);
-
-    /// Called when a timer set with [`Ctx::set_timer`] fires.
-    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        let _ = (ctx, token);
-    }
-}
-
-enum Action {
-    Send { to: NodeId, msg: Vec<u8> },
-    Timer { delay_ns: u64, token: u64 },
-    Busy { ns: u64 },
-}
-
-/// Handler context: lets a node observe time, send messages, set timers and
-/// account CPU service time.
-pub struct Ctx<'a> {
-    now: u64,
-    self_id: NodeId,
-    actions: &'a mut Vec<Action>,
-    rng: &'a mut Xoshiro256,
-}
-
-impl Ctx<'_> {
-    /// Current simulated time in nanoseconds.
-    pub fn now_ns(&self) -> u64 {
-        self.now
-    }
-
-    /// This node's id.
-    pub fn self_id(&self) -> NodeId {
-        self.self_id
-    }
-
-    /// Sends `msg` to `to`; it will be delivered after the link delay.
-    pub fn send(&mut self, to: NodeId, msg: Vec<u8>) {
-        self.actions.push(Action::Send { to, msg });
-    }
-
-    /// Schedules [`SimNode::on_timer`] with `token` after `delay_ns`.
-    pub fn set_timer(&mut self, delay_ns: u64, token: u64) {
-        self.actions.push(Action::Timer { delay_ns, token });
-    }
-
-    /// Accounts `ns` of CPU service time for handling the current event:
-    /// the node will not process further events before `now + ns`. This is
-    /// the single-server queue that converts per-operation costs into
-    /// throughput ceilings.
-    pub fn busy(&mut self, ns: u64) {
-        self.actions.push(Action::Busy { ns });
-    }
-
-    /// Deterministic per-simulation randomness.
-    pub fn rng(&mut self) -> &mut Xoshiro256 {
-        self.rng
-    }
-}
-
-enum EventKind {
-    Deliver {
-        to: NodeId,
-        from: NodeId,
-        msg: Vec<u8>,
-    },
-    Timer {
-        node: NodeId,
-        token: u64,
-    },
-    /// Internal: a busy node re-checks its inbox.
-    Wake {
-        node: NodeId,
-    },
-}
-
-impl EventKind {
-    fn target(&self) -> NodeId {
-        match self {
-            EventKind::Deliver { to, .. } => *to,
-            EventKind::Timer { node, .. } | EventKind::Wake { node } => *node,
-        }
-    }
-}
-
-/// Aggregate simulation counters.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct SimStats {
-    /// Messages delivered.
-    pub messages: u64,
-    /// Total payload bytes delivered.
-    pub bytes: u64,
-    /// Events processed (messages + timers).
-    pub events: u64,
-    /// Messages and timers dropped because the target node was down
-    /// (crash fault injection).
-    pub dropped: u64,
-}
-
-/// The simulator: owns all nodes, links and the event queue.
-pub struct Simulator<N> {
+/// The sequential engine: owns all nodes, links and one event queue.
+pub struct SeqEngine<N> {
     nodes: Vec<N>,
     busy_until: Vec<u64>,
     inbox: Vec<std::collections::VecDeque<EventKind>>,
@@ -140,19 +31,14 @@ pub struct Simulator<N> {
     events: HashMap<u64, EventKind>,
     now: u64,
     seq: u64,
+    seed: u64,
     rng: Xoshiro256,
     stats: SimStats,
     started: bool,
 }
 
-#[derive(PartialEq, Eq, PartialOrd, Ord)]
-struct EventKey {
-    time: u64,
-    seq: u64,
-}
-
-impl<N: SimNode> Simulator<N> {
-    /// Creates a simulator over `nodes` with the given default link.
+impl<N: SimNode> SeqEngine<N> {
+    /// Creates an engine over `nodes` with the given default link.
     pub fn new(nodes: Vec<N>, default_link: LinkSpec, seed: u64) -> Self {
         let n = nodes.len();
         Self {
@@ -168,9 +54,61 @@ impl<N: SimNode> Simulator<N> {
             events: HashMap::new(),
             now: 0,
             seq: 0,
+            seed,
             rng: Xoshiro256::new(seed),
             stats: SimStats::default(),
             started: false,
+        }
+    }
+
+    /// Rebuilds a sequential engine from a quiescent snapshot (see
+    /// `AnyEngine::into_kind`). The global RNG stream restarts from the
+    /// seed.
+    pub(crate) fn from_state(state: EngineState<N>) -> Self {
+        let n = state.nodes.len();
+        Self {
+            nodes: state.nodes,
+            busy_until: state.busy_until,
+            inbox: (0..n).map(|_| std::collections::VecDeque::new()).collect(),
+            wake_scheduled: vec![false; n],
+            offline: state.offline,
+            links: state.links,
+            last_arrival: state.last_arrival,
+            default_link: state.default_link,
+            queue: BinaryHeap::new(),
+            events: HashMap::new(),
+            now: state.now,
+            seq: 0,
+            seed: state.seed,
+            rng: Xoshiro256::new(state.seed),
+            stats: state.stats,
+            started: state.started,
+        }
+    }
+
+    /// Tears a **quiescent** engine down to the engine-independent
+    /// snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are still queued or deferred.
+    pub(crate) fn into_state(self) -> EngineState<N> {
+        assert!(
+            self.queue.is_empty() && self.inbox.iter().all(|q| q.is_empty()),
+            "engine conversion requires a quiescent simulation \
+             (run_to_idle first)"
+        );
+        EngineState {
+            nodes: self.nodes,
+            busy_until: self.busy_until,
+            offline: self.offline,
+            links: self.links,
+            default_link: self.default_link,
+            last_arrival: self.last_arrival,
+            now: self.now,
+            seed: self.seed,
+            stats: self.stats,
+            started: self.started,
         }
     }
 
@@ -227,7 +165,7 @@ impl<N: SimNode> Simulator<N> {
 
     /// Mutable access to a node. Intended for setup and for harness-driven
     /// actions *between* event processing; effects take place at the
-    /// current simulation time via [`Simulator::call`].
+    /// current simulation time via [`SeqEngine::call`].
     pub fn node_mut(&mut self, id: NodeId) -> &mut N {
         &mut self.nodes[id.0 as usize]
     }
@@ -403,47 +341,51 @@ impl<N: SimNode> Simulator<N> {
     }
 }
 
+impl<N: SimNode> super::Engine<N> for SeqEngine<N> {
+    fn len(&self) -> usize {
+        SeqEngine::len(self)
+    }
+    fn now_ns(&self) -> u64 {
+        SeqEngine::now_ns(self)
+    }
+    fn stats(&self) -> SimStats {
+        SeqEngine::stats(self)
+    }
+    fn node(&self, id: NodeId) -> &N {
+        SeqEngine::node(self, id)
+    }
+    fn node_mut(&mut self, id: NodeId) -> &mut N {
+        SeqEngine::node_mut(self, id)
+    }
+    fn set_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        SeqEngine::set_link(self, a, b, spec)
+    }
+    fn set_offline(&mut self, id: NodeId, offline: bool) {
+        SeqEngine::set_offline(self, id, offline)
+    }
+    fn is_offline(&self, id: NodeId) -> bool {
+        SeqEngine::is_offline(self, id)
+    }
+    fn call<R>(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Ctx<'_>) -> R) -> R {
+        SeqEngine::call(self, id, f)
+    }
+    fn run_until(&mut self, deadline_ns: u64) -> u64 {
+        SeqEngine::run_until(self, deadline_ns)
+    }
+    fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        SeqEngine::run_to_idle(self, max_events)
+    }
+}
+
 #[cfg(test)]
 mod tests {
+    use super::super::testutil::Echo;
     use super::*;
     use crate::MS;
 
-    /// Echoes every message back; counts receipts; optionally burns CPU.
-    struct Echo {
-        received: Vec<(u64, NodeId, Vec<u8>)>,
-        timers: Vec<(u64, u64)>,
-        echo: bool,
-        cost_ns: u64,
-    }
+    type Simulator = SeqEngine<Echo>;
 
-    impl Echo {
-        fn new(echo: bool) -> Self {
-            Echo {
-                received: Vec::new(),
-                timers: Vec::new(),
-                echo,
-                cost_ns: 0,
-            }
-        }
-    }
-
-    impl SimNode for Echo {
-        fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Vec<u8>) {
-            self.received.push((ctx.now_ns(), from, msg.clone()));
-            if self.cost_ns > 0 {
-                ctx.busy(self.cost_ns);
-            }
-            if self.echo {
-                ctx.send(from, msg);
-            }
-        }
-
-        fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-            self.timers.push((ctx.now_ns(), token));
-        }
-    }
-
-    fn two_nodes(latency_ms: u64) -> Simulator<Echo> {
+    fn two_nodes(latency_ms: u64) -> Simulator {
         let link = LinkSpec {
             latency_ns: latency_ms * MS,
             jitter_frac: 0.0,
@@ -610,5 +552,29 @@ mod tests {
         sim.run_to_idle(10_000);
         let last = sim.node(NodeId(1)).received.last().unwrap().0;
         assert_eq!(last, 999 * MS);
+    }
+
+    #[test]
+    fn state_roundtrip_preserves_nodes_and_clock() {
+        let mut sim = two_nodes(2);
+        sim.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), b"x".to_vec()));
+        sim.run_to_idle(100);
+        let stats = sim.stats();
+        let now = sim.now_ns();
+        sim.set_offline(NodeId(1), true);
+        let state = sim.into_state();
+        let sim2 = SeqEngine::from_state(state);
+        assert_eq!(sim2.now_ns(), now);
+        assert_eq!(sim2.stats(), stats);
+        assert!(sim2.is_offline(NodeId(1)));
+        assert_eq!(sim2.node(NodeId(1)).received.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "quiescent")]
+    fn conversion_rejects_pending_events() {
+        let mut sim = two_nodes(2);
+        sim.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), b"x".to_vec()));
+        let _ = sim.into_state();
     }
 }

@@ -1,0 +1,940 @@
+//! The sharded conservative-parallel engine.
+//!
+//! Nodes are partitioned round-robin into `S` shards (`node i → shard
+//! i mod S`). Each shard owns its nodes' full per-node state — event
+//! heap, busy periods, deferred inboxes, per-node RNG lanes and
+//! per-connection FIFO clamps — so a window of events can be processed
+//! by `S` worker threads with no shared mutable state. Shards
+//! synchronize on **conservative lookahead windows**:
+//!
+//! 1. The coordinator takes the globally earliest pending event time
+//!    `T` and opens the window `[T, T + L)`, where the lookahead `L` is
+//!    the minimum latency over every configured link (clamped to ≥ 1 ns,
+//!    see below).
+//! 2. Every shard independently processes *all* of its events scheduled
+//!    before `T + L`, buffering cross-shard deliveries.
+//! 3. At the window barrier the buffered deliveries are merged into the
+//!    target shards' heaps, and the next window opens.
+//!
+//! A message sent at time `t ≥ T` arrives no earlier than `t + L ≥ T +
+//! L` — outside the current window — so no shard can ever receive an
+//! event "in the past": the classic conservative-synchronization
+//! argument (Chandy–Misra–Bryant lookahead, here derived from link
+//! latency the way the paper's WAN testbed would justify).
+//!
+//! # Determinism across shard counts
+//!
+//! The engine produces bit-for-bit identical results for *any* shard
+//! count (including 1), which the integration suite asserts. The
+//! argument:
+//!
+//! * **Per-node total order.** Every event carries the key `(time,
+//!   origin node, per-origin seq)`. A node's actions are applied in its
+//!   own deterministic handler order, so the key of every event is
+//!   independent of the partition. A shard's heap pops its nodes'
+//!   events in global key order, and cross-shard arrivals always carry
+//!   times beyond anything the target has processed (previous point),
+//!   so each node observes its events in the same total order no matter
+//!   where its peers live.
+//! * **Per-node RNG lanes.** Link jitter is sampled from the *sender's*
+//!   lane and handler randomness from the *handling node's* lane, so
+//!   the random streams consumed by a node are a function of that
+//!   node's own deterministic event sequence — never of thread
+//!   interleaving.
+//! * **Partition-independent windows.** `L` is the minimum over *all*
+//!   links (not just the currently-cross-shard ones) and window starts
+//!   are global minima, so window boundaries — and therefore the
+//!   `run_to_idle` event-budget check, which runs at window granularity
+//!   — are the same for every shard count.
+//! * **Minimum link delay.** Zero-latency ("ideal") links would make
+//!   the lookahead zero, and a zero-delay cross-node message could
+//!   interleave with the target's same-instant events differently
+//!   under different partitions. The sharded engine therefore clamps
+//!   every message delay to ≥ 1 ns — a physical link has nonzero
+//!   latency — which makes every cross-node event strictly future and
+//!   restores the argument. (This is the one visible semantic
+//!   difference from the sequential engine on ideal links.)
+//!
+//! The escape hatch from this guarantee is shared state *outside* the
+//! engine: node handlers that mutate a cross-node shared structure
+//! (e.g. broadcasting a settlement transaction to the shared
+//! blockchain) are serialized by a lock, not by event order. The
+//! Teechain workloads keep such operations in the harness-driven setup
+//! and settlement phases; the payment hot path touches per-node state
+//! only.
+
+use super::queue::{Ev, LaneKey, LaneQueue};
+use super::{Action, Ctx, EngineState, EventKind, NodeId, SimNode, SimStats};
+use crate::link::LinkSpec;
+use std::collections::{HashMap, VecDeque};
+use teechain_util::rng::{SplitMix64, Xoshiro256};
+
+/// Every sampled message delay is clamped to at least this (see the
+/// module docs' determinism argument).
+pub const MIN_DELAY_NS: u64 = 1;
+
+/// Below this many queued events a window is processed inline on the
+/// calling thread: spawning workers for a handful of events (handshake
+/// chatter during setup) costs more than it saves. The threshold only
+/// affects wall-clock, never results — both paths run the identical
+/// per-shard algorithm.
+const PARALLEL_THRESHOLD: usize = 384;
+
+/// Link lookup shared read-only by every worker during a window.
+struct LinkTable {
+    links: HashMap<(u32, u32), LinkSpec>,
+    default_link: LinkSpec,
+    /// Minimum latency over the default link and every override,
+    /// clamped to ≥ [`MIN_DELAY_NS`]; the conservative lookahead.
+    lookahead: u64,
+}
+
+impl LinkTable {
+    fn new(default_link: LinkSpec) -> Self {
+        let mut t = LinkTable {
+            links: HashMap::new(),
+            default_link,
+            lookahead: MIN_DELAY_NS,
+        };
+        t.recompute();
+        t
+    }
+
+    fn link_for(&self, a: NodeId, b: NodeId) -> LinkSpec {
+        *self.links.get(&(a.0, b.0)).unwrap_or(&self.default_link)
+    }
+
+    fn set(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.links.insert((a.0, b.0), spec);
+        self.links.insert((b.0, a.0), spec);
+        self.recompute();
+    }
+
+    fn recompute(&mut self) {
+        let mut l = self.default_link.latency_ns.max(MIN_DELAY_NS);
+        for spec in self.links.values() {
+            l = l.min(spec.latency_ns.max(MIN_DELAY_NS));
+        }
+        self.lookahead = l;
+    }
+}
+
+/// Everything one node owns: the node itself, its RNG lane, sequence
+/// lane, CPU-queue state and sender-side FIFO clamps.
+struct Slot<N> {
+    node: N,
+    rng: Xoshiro256,
+    /// Per-origin event sequence lane (monotone, never reused).
+    oseq: u64,
+    busy_until: u64,
+    inbox: VecDeque<EventKind>,
+    wake_scheduled: bool,
+    offline: bool,
+    /// Last scheduled arrival per destination: links are FIFO
+    /// (TCP-like), so jitter never reorders one connection.
+    last_arrival: HashMap<u32, u64>,
+}
+
+impl<N> Slot<N> {
+    fn new(node: N, engine_seed: u64, id: u64) -> Self {
+        // Lane seed: decorrelate node lanes from each other and from the
+        // sequential engine's global stream.
+        let lane =
+            SplitMix64::new(engine_seed ^ (id + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)).next_u64();
+        Slot {
+            node,
+            rng: Xoshiro256::new(lane),
+            oseq: 0,
+            busy_until: 0,
+            inbox: VecDeque::new(),
+            wake_scheduled: false,
+            offline: false,
+            last_arrival: HashMap::new(),
+        }
+    }
+}
+
+/// One shard: a disjoint subset of nodes plus their event heap.
+struct Shard<N> {
+    index: usize,
+    num_shards: usize,
+    slots: Vec<Slot<N>>,
+    queue: LaneQueue,
+    /// Cross-shard deliveries buffered during a window, indexed by
+    /// destination shard; merged at the window barrier.
+    outbound: Vec<Vec<Ev>>,
+    now: u64,
+    stats: SimStats,
+}
+
+impl<N: SimNode> Shard<N> {
+    fn local(&self, id: NodeId) -> usize {
+        id.0 as usize / self.num_shards
+    }
+
+    fn route(&mut self, ev: Ev) {
+        let dst = ev.kind.target().0 as usize % self.num_shards;
+        if dst == self.index {
+            self.queue.push(ev);
+        } else {
+            self.outbound[dst].push(ev);
+        }
+    }
+
+    /// Applies a handler's actions on behalf of `from` at time `now`.
+    fn apply_actions(&mut self, now: u64, from: NodeId, actions: Vec<Action>, links: &LinkTable) {
+        let local = self.local(from);
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => {
+                    let ev = {
+                        let slot = &mut self.slots[local];
+                        let link = links.link_for(from, to);
+                        let delay = link
+                            .sample_delay(msg.len(), &mut slot.rng)
+                            .max(MIN_DELAY_NS);
+                        // Outputs leave once the node finishes its
+                        // accounted processing.
+                        let depart = now.max(slot.busy_until);
+                        let mut time = depart + delay;
+                        let last = slot.last_arrival.entry(to.0).or_insert(0);
+                        time = time.max(*last);
+                        *last = time;
+                        let key = LaneKey {
+                            time,
+                            origin: from.0,
+                            oseq: slot.oseq,
+                        };
+                        slot.oseq += 1;
+                        Ev {
+                            key,
+                            kind: EventKind::Deliver { to, from, msg },
+                        }
+                    };
+                    self.route(ev);
+                }
+                Action::Timer { delay_ns, token } => {
+                    let slot = &mut self.slots[local];
+                    let key = LaneKey {
+                        time: now + delay_ns,
+                        origin: from.0,
+                        oseq: slot.oseq,
+                    };
+                    slot.oseq += 1;
+                    // A timer always targets its own node — same shard.
+                    self.queue.push(Ev {
+                        key,
+                        kind: EventKind::Timer { node: from, token },
+                    });
+                }
+                Action::Busy { ns } => {
+                    let slot = &mut self.slots[local];
+                    slot.busy_until = slot.busy_until.max(now) + ns;
+                }
+            }
+        }
+    }
+
+    /// Runs `f` on a node with a live [`Ctx`] at the shard clock, then
+    /// applies the resulting actions.
+    fn invoke<R>(
+        &mut self,
+        id: NodeId,
+        links: &LinkTable,
+        f: impl FnOnce(&mut N, &mut Ctx<'_>) -> R,
+    ) -> R {
+        let mut actions = Vec::new();
+        let now = self.now;
+        let local = self.local(id);
+        let r = {
+            let slot = &mut self.slots[local];
+            let mut ctx = Ctx {
+                now,
+                self_id: id,
+                actions: &mut actions,
+                rng: &mut slot.rng,
+            };
+            f(&mut slot.node, &mut ctx)
+        };
+        self.apply_actions(now, id, actions, links);
+        r
+    }
+
+    /// Ensures a wake event is scheduled for a node whose inbox holds
+    /// deferred events.
+    fn ensure_wake(&mut self, node: NodeId) {
+        let local = self.local(node);
+        let slot = &mut self.slots[local];
+        if slot.offline || slot.wake_scheduled || slot.inbox.is_empty() {
+            return;
+        }
+        slot.wake_scheduled = true;
+        let key = LaneKey {
+            time: slot.busy_until.max(self.now),
+            origin: node.0,
+            oseq: slot.oseq,
+        };
+        slot.oseq += 1;
+        self.queue.push(Ev {
+            key,
+            kind: EventKind::Wake { node },
+        });
+    }
+
+    fn dispatch(&mut self, kind: EventKind, links: &LinkTable) {
+        self.stats.events += 1;
+        match kind {
+            EventKind::Deliver { to, from, msg } => {
+                self.stats.messages += 1;
+                self.stats.bytes += msg.len() as u64;
+                self.invoke(to, links, |node, ctx| node.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { node, token } => {
+                self.invoke(node, links, |n, ctx| n.on_timer(ctx, token));
+            }
+            EventKind::Wake { .. } => unreachable!("wake handled in process_window"),
+        }
+    }
+
+    /// Processes every local event scheduled strictly before `w_end`.
+    /// Same per-event semantics as the sequential engine's `step`.
+    fn process_window(&mut self, w_end: u64, links: &LinkTable) -> u64 {
+        let mut processed = 0;
+        while let Some(ev) = self.queue.pop_before(w_end) {
+            processed += 1;
+            self.now = self.now.max(ev.key.time);
+            let node = ev.kind.target();
+            let local = self.local(node);
+            if self.slots[local].offline {
+                // The machine is down: in-flight traffic and timers die.
+                if let EventKind::Wake { .. } = ev.kind {
+                    self.slots[local].wake_scheduled = false;
+                } else {
+                    self.stats.dropped += 1;
+                }
+                continue;
+            }
+            if let EventKind::Wake { .. } = ev.kind {
+                self.slots[local].wake_scheduled = false;
+                if self.slots[local].busy_until > self.now {
+                    // Busy period was extended after the wake was set.
+                    self.ensure_wake(node);
+                } else if let Some(deferred) = self.slots[local].inbox.pop_front() {
+                    self.dispatch(deferred, links);
+                    self.ensure_wake(node);
+                }
+                continue;
+            }
+            // A busy node defers the event into its inbox (single-server
+            // queue); a free node with a non-empty inbox must also defer
+            // to preserve per-connection FIFO.
+            if self.slots[local].busy_until > self.now || !self.slots[local].inbox.is_empty() {
+                self.slots[local].inbox.push_back(ev.kind);
+                self.ensure_wake(node);
+                continue;
+            }
+            self.dispatch(ev.kind, links);
+            self.ensure_wake(node);
+        }
+        processed
+    }
+}
+
+/// The sharded conservative-parallel engine (see module docs).
+pub struct ShardedEngine<N> {
+    shards: Vec<Shard<N>>,
+    num_nodes: usize,
+    links: LinkTable,
+    now: u64,
+    seed: u64,
+    /// Counters carried over from an engine conversion.
+    base_stats: SimStats,
+    started: bool,
+}
+
+impl<N: SimNode + Send> ShardedEngine<N> {
+    /// Creates an engine over `nodes` partitioned into `shards` shards
+    /// (clamped to `1..=nodes.len()`).
+    pub fn new(nodes: Vec<N>, default_link: LinkSpec, seed: u64, shards: usize) -> Self {
+        let num_nodes = nodes.len();
+        let s = shards.clamp(1, num_nodes.max(1));
+        let mut built: Vec<Shard<N>> = (0..s)
+            .map(|index| Shard {
+                index,
+                num_shards: s,
+                slots: Vec::new(),
+                queue: LaneQueue::new(),
+                outbound: (0..s).map(|_| Vec::new()).collect(),
+                now: 0,
+                stats: SimStats::default(),
+            })
+            .collect();
+        for (i, node) in nodes.into_iter().enumerate() {
+            built[i % s].slots.push(Slot::new(node, seed, i as u64));
+        }
+        ShardedEngine {
+            shards: built,
+            num_nodes,
+            links: LinkTable::new(default_link),
+            now: 0,
+            seed,
+            base_stats: SimStats::default(),
+            started: false,
+        }
+    }
+
+    /// Rebuilds from a quiescent snapshot (see `AnyEngine::into_kind`).
+    /// RNG lanes restart from the seed.
+    pub(crate) fn from_state(state: EngineState<N>, shards: usize) -> Self {
+        let mut engine = ShardedEngine::new(state.nodes, state.default_link, state.seed, shards);
+        let s = engine.shards.len();
+        for (i, busy) in state.busy_until.iter().enumerate() {
+            engine.shards[i % s].slots[i / s].busy_until = *busy;
+        }
+        for (i, off) in state.offline.iter().enumerate() {
+            engine.shards[i % s].slots[i / s].offline = *off;
+        }
+        for ((src, dst), t) in state.last_arrival {
+            engine.shards[src as usize % s].slots[src as usize / s]
+                .last_arrival
+                .insert(dst, t);
+        }
+        for ((a, b), spec) in state.links {
+            // Insert raw (recompute once below): set() would recompute
+            // the lookahead per entry.
+            engine.links.links.insert((a, b), spec);
+        }
+        engine.links.recompute();
+        for shard in &mut engine.shards {
+            shard.now = state.now;
+        }
+        engine.now = state.now;
+        engine.base_stats = state.stats;
+        engine.started = state.started;
+        engine
+    }
+
+    /// Tears a **quiescent** engine down to the engine-independent
+    /// snapshot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if events are still queued or deferred.
+    pub(crate) fn into_state(self) -> EngineState<N> {
+        assert!(
+            self.shards.iter().all(|sh| sh.queue.is_empty()
+                && sh.slots.iter().all(|sl| sl.inbox.is_empty())
+                && sh.outbound.iter().all(|o| o.is_empty())),
+            "engine conversion requires a quiescent simulation \
+             (run_to_idle first)"
+        );
+        let stats = self.stats();
+        let s = self.shards.len();
+        let n = self.num_nodes;
+        let mut nodes: Vec<Option<N>> = (0..n).map(|_| None).collect();
+        let mut busy_until = vec![0u64; n];
+        let mut offline = vec![false; n];
+        let mut last_arrival = HashMap::new();
+        for (si, shard) in self.shards.into_iter().enumerate() {
+            for (li, slot) in shard.slots.into_iter().enumerate() {
+                let gid = li * s + si;
+                busy_until[gid] = slot.busy_until;
+                offline[gid] = slot.offline;
+                for (dst, t) in slot.last_arrival {
+                    last_arrival.insert((gid as u32, dst), t);
+                }
+                nodes[gid] = Some(slot.node);
+            }
+        }
+        EngineState {
+            nodes: nodes
+                .into_iter()
+                .map(|n| n.expect("every id filled"))
+                .collect(),
+            busy_until,
+            offline,
+            links: self.links.links,
+            default_link: self.links.default_link,
+            last_arrival,
+            now: self.now,
+            seed: self.seed,
+            stats,
+            started: self.started,
+        }
+    }
+
+    /// Number of shards (worker lanes).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The conservative lookahead (minimum clamped link latency).
+    pub fn lookahead_ns(&self) -> u64 {
+        self.links.lookahead
+    }
+
+    /// Sets the (symmetric) link between two nodes.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.links.set(a, b, spec);
+    }
+
+    /// Takes a node down or brings it back up (crash fault injection).
+    pub fn set_offline(&mut self, id: NodeId, offline: bool) {
+        let s = self.shards.len();
+        let shard = &mut self.shards[id.0 as usize % s];
+        let local = shard.local(id);
+        if offline {
+            shard.stats.dropped += shard.slots[local].inbox.len() as u64;
+            shard.slots[local].inbox.clear();
+        }
+        shard.slots[local].offline = offline;
+    }
+
+    /// True while `id` is crashed.
+    pub fn is_offline(&self, id: NodeId) -> bool {
+        let s = self.shards.len();
+        let shard = &self.shards[id.0 as usize % s];
+        shard.slots[shard.local(id)].offline
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// True if the engine has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.num_nodes == 0
+    }
+
+    /// Current simulated time.
+    pub fn now_ns(&self) -> u64 {
+        self.now
+    }
+
+    /// Aggregate counters, merged across shards.
+    pub fn stats(&self) -> SimStats {
+        self.shards
+            .iter()
+            .fold(self.base_stats, |acc, sh| acc.merged(&sh.stats))
+    }
+
+    /// Immutable access to a node.
+    pub fn node(&self, id: NodeId) -> &N {
+        let s = self.shards.len();
+        let shard = &self.shards[id.0 as usize % s];
+        &shard.slots[shard.local(id)].node
+    }
+
+    /// Mutable access to a node (setup / between-run inspection).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        let s = self.shards.len();
+        let shard = &mut self.shards[id.0 as usize % s];
+        let local = shard.local(id);
+        &mut shard.slots[local].node
+    }
+
+    /// Invokes `f` on a node with a live [`Ctx`] at the current time,
+    /// then applies any resulting actions.
+    pub fn call<R>(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Ctx<'_>) -> R) -> R {
+        let s = self.shards.len();
+        let si = id.0 as usize % s;
+        self.shards[si].now = self.now;
+        let r = self.shards[si].invoke(id, &self.links, f);
+        self.exchange();
+        r
+    }
+
+    /// Moves buffered cross-shard deliveries into their target heaps.
+    fn exchange(&mut self) {
+        let s = self.shards.len();
+        for src in 0..s {
+            for dst in 0..s {
+                if src == dst || self.shards[src].outbound[dst].is_empty() {
+                    continue;
+                }
+                let evs = std::mem::take(&mut self.shards[src].outbound[dst]);
+                self.shards[dst].queue.extend(evs);
+            }
+        }
+    }
+
+    fn start_if_needed(&mut self) {
+        if self.started {
+            return;
+        }
+        self.started = true;
+        for i in 0..self.num_nodes {
+            let id = NodeId(i as u32);
+            self.call(id, |node, ctx| node.on_start(ctx));
+        }
+    }
+
+    /// Processes one lookahead window ending (exclusively) at `w_end`,
+    /// in parallel when enough work is queued. Returns events processed.
+    fn run_window(&mut self, w_end: u64) -> u64 {
+        let pending: usize = self.shards.iter().map(|sh| sh.queue.len()).sum();
+        let links = &self.links;
+        let shards = &mut self.shards;
+        let processed: u64 = if shards.len() > 1 && pending >= PARALLEL_THRESHOLD {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .map(|shard| scope.spawn(move || shard.process_window(w_end, links)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .sum()
+            })
+        } else {
+            shards
+                .iter_mut()
+                .map(|shard| shard.process_window(w_end, links))
+                .sum()
+        };
+        self.exchange();
+        processed
+    }
+
+    /// The window loop: picks the global minimum pending time, opens the
+    /// lookahead window, fans out, merges, repeats.
+    fn drive(&mut self, deadline: Option<u64>, max_events: u64) -> u64 {
+        self.start_if_needed();
+        let mut total: u64 = 0;
+        while total < max_events {
+            let Some(t_min) = self
+                .shards
+                .iter()
+                .filter_map(|sh| sh.queue.next_time())
+                .min()
+            else {
+                break;
+            };
+            if t_min == u64::MAX || deadline.is_some_and(|d| t_min > d) {
+                break;
+            }
+            let mut w_end = t_min.saturating_add(self.links.lookahead);
+            if let Some(d) = deadline {
+                w_end = w_end.min(d.saturating_add(1));
+            }
+            total += self.run_window(w_end);
+        }
+        let frontier = self.shards.iter().map(|sh| sh.now).max().unwrap_or(0);
+        self.now = self.now.max(frontier);
+        total
+    }
+
+    /// Runs until the queue drains or `deadline_ns` passes. Returns the
+    /// number of events processed.
+    pub fn run_until(&mut self, deadline_ns: u64) -> u64 {
+        let processed = self.drive(Some(deadline_ns), u64::MAX);
+        self.now = self.now.max(deadline_ns);
+        processed
+    }
+
+    /// Runs until the event queue is empty, or approximately `max_events`
+    /// were processed (a runaway guard, checked at window boundaries —
+    /// unlike the sequential engine the budget can overshoot by up to
+    /// one window). Returns the number of events processed.
+    pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        self.drive(None, max_events)
+    }
+}
+
+impl<N: SimNode + Send> super::Engine<N> for ShardedEngine<N> {
+    fn len(&self) -> usize {
+        ShardedEngine::len(self)
+    }
+    fn now_ns(&self) -> u64 {
+        ShardedEngine::now_ns(self)
+    }
+    fn stats(&self) -> SimStats {
+        ShardedEngine::stats(self)
+    }
+    fn node(&self, id: NodeId) -> &N {
+        ShardedEngine::node(self, id)
+    }
+    fn node_mut(&mut self, id: NodeId) -> &mut N {
+        ShardedEngine::node_mut(self, id)
+    }
+    fn set_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        ShardedEngine::set_link(self, a, b, spec)
+    }
+    fn set_offline(&mut self, id: NodeId, offline: bool) {
+        ShardedEngine::set_offline(self, id, offline)
+    }
+    fn is_offline(&self, id: NodeId) -> bool {
+        ShardedEngine::is_offline(self, id)
+    }
+    fn call<R>(&mut self, id: NodeId, f: impl FnOnce(&mut N, &mut Ctx<'_>) -> R) -> R {
+        ShardedEngine::call(self, id, f)
+    }
+    fn run_until(&mut self, deadline_ns: u64) -> u64 {
+        ShardedEngine::run_until(self, deadline_ns)
+    }
+    fn run_to_idle(&mut self, max_events: u64) -> u64 {
+        ShardedEngine::run_to_idle(self, max_events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::testutil::Echo;
+    use super::super::{AnyEngine, EngineKind};
+    use super::*;
+    use crate::MS;
+
+    /// A mixed scenario: jittery links, per-link overrides, CPU costs,
+    /// echo cascades, timers and a crash/recovery — run at a given shard
+    /// count, returning a full fingerprint of everything observable.
+    #[allow(clippy::type_complexity)]
+    fn scenario(
+        shards: usize,
+    ) -> (
+        Vec<Vec<(u64, NodeId, Vec<u8>)>>,
+        Vec<Vec<(u64, u64)>>,
+        SimStats,
+        u64,
+    ) {
+        let default = LinkSpec {
+            latency_ns: 2 * MS,
+            jitter_frac: 0.10,
+            bandwidth_bps: Some(100_000_000),
+        };
+        let n = 6;
+        let nodes: Vec<Echo> = (0..n).map(|i| Echo::new(i % 2 == 1)).collect();
+        let mut sim = ShardedEngine::new(nodes, default, 42, shards);
+        sim.set_link(
+            NodeId(0),
+            NodeId(3),
+            LinkSpec {
+                latency_ns: 7 * MS,
+                jitter_frac: 0.05,
+                bandwidth_bps: None,
+            },
+        );
+        for i in 0..n as u32 {
+            sim.node_mut(NodeId(i)).cost_ns = (i as u64) * 300_000;
+        }
+        for i in 0..n as u32 {
+            sim.call(NodeId(i), |_, ctx| {
+                for k in 0..5u8 {
+                    ctx.send(NodeId((i + 1) % n as u32), vec![i as u8, k]);
+                    ctx.send(NodeId((i + 2) % n as u32), vec![i as u8, k, k]);
+                }
+                ctx.set_timer(((i as u64) + 1) * MS, i as u64);
+            });
+        }
+        sim.run_until(9 * MS);
+        sim.set_offline(NodeId(4), true);
+        sim.call(NodeId(1), |_, ctx| ctx.send(NodeId(4), b"lost".to_vec()));
+        sim.run_until(15 * MS);
+        sim.set_offline(NodeId(4), false);
+        sim.call(NodeId(1), |_, ctx| ctx.send(NodeId(4), b"back".to_vec()));
+        sim.run_to_idle(100_000);
+        let received = (0..n as u32)
+            .map(|i| sim.node(NodeId(i)).received.clone())
+            .collect();
+        let timers = (0..n as u32)
+            .map(|i| sim.node(NodeId(i)).timers.clone())
+            .collect();
+        (received, timers, sim.stats(), sim.now_ns())
+    }
+
+    #[test]
+    fn identical_results_for_any_shard_count() {
+        let baseline = scenario(1);
+        for shards in [2, 3, 6, 8] {
+            let run = scenario(shards);
+            assert_eq!(
+                run.0, baseline.0,
+                "received traces differ at {shards} shards"
+            );
+            assert_eq!(run.1, baseline.1, "timer traces differ at {shards} shards");
+            assert_eq!(run.2, baseline.2, "stats differ at {shards} shards");
+            assert_eq!(run.3, baseline.3, "clock differs at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn ideal_links_are_clamped_to_min_delay() {
+        let mut sim = ShardedEngine::new(
+            vec![Echo::new(false), Echo::new(false)],
+            LinkSpec::ideal(),
+            1,
+            2,
+        );
+        assert_eq!(sim.lookahead_ns(), MIN_DELAY_NS);
+        sim.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), b"x".to_vec()));
+        sim.run_to_idle(10);
+        // A "zero-latency" hop takes the 1 ns physical minimum.
+        assert_eq!(sim.node(NodeId(1)).received[0].0, MIN_DELAY_NS);
+    }
+
+    #[test]
+    fn per_connection_fifo_under_jitter() {
+        let link = LinkSpec {
+            latency_ns: MS,
+            jitter_frac: 0.5,
+            bandwidth_bps: None,
+        };
+        for shards in [1, 2] {
+            let mut sim =
+                ShardedEngine::new(vec![Echo::new(false), Echo::new(false)], link, 7, shards);
+            sim.call(NodeId(0), |_, ctx| {
+                for k in 0..50u8 {
+                    ctx.send(NodeId(1), vec![k]);
+                }
+            });
+            sim.run_to_idle(1000);
+            let seen: Vec<u8> = sim
+                .node(NodeId(1))
+                .received
+                .iter()
+                .map(|(_, _, m)| m[0])
+                .collect();
+            assert_eq!(seen, (0..50u8).collect::<Vec<_>>(), "{shards} shards");
+        }
+    }
+
+    #[test]
+    fn busy_node_defers_like_sequential_engine() {
+        // 1 ms links (no clamping distortion): service times must serialize.
+        let link = LinkSpec {
+            latency_ns: MS,
+            jitter_frac: 0.0,
+            bandwidth_bps: None,
+        };
+        let mut sim = ShardedEngine::new(vec![Echo::new(false), Echo::new(false)], link, 1, 2);
+        sim.node_mut(NodeId(1)).cost_ns = 10 * MS;
+        sim.call(NodeId(0), |_, ctx| {
+            ctx.send(NodeId(1), b"a".to_vec());
+            ctx.send(NodeId(1), b"b".to_vec());
+            ctx.send(NodeId(1), b"c".to_vec());
+        });
+        sim.run_to_idle(100);
+        let times: Vec<u64> = sim.node(NodeId(1)).received.iter().map(|r| r.0).collect();
+        assert_eq!(times, vec![MS, 11 * MS, 21 * MS]);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let link = LinkSpec {
+            latency_ns: MS,
+            jitter_frac: 0.0,
+            bandwidth_bps: None,
+        };
+        let mut sim = ShardedEngine::new(vec![Echo::new(false), Echo::new(false)], link, 1, 2);
+        sim.call(NodeId(0), |_, ctx| {
+            ctx.set_timer(5 * MS, 1);
+            ctx.set_timer(50 * MS, 2);
+        });
+        sim.run_until(20 * MS);
+        assert_eq!(sim.node(NodeId(0)).timers.len(), 1);
+        assert_eq!(sim.now_ns(), 20 * MS);
+        sim.run_to_idle(100);
+        assert_eq!(sim.node(NodeId(0)).timers.len(), 2);
+    }
+
+    #[test]
+    fn threaded_windows_match_inline_windows() {
+        // Enough pending events to cross PARALLEL_THRESHOLD and exercise
+        // the worker-thread path; results must match a 1-shard run.
+        let link = LinkSpec {
+            latency_ns: MS,
+            jitter_frac: 0.2,
+            bandwidth_bps: None,
+        };
+        let run = |shards: usize| {
+            let nodes: Vec<Echo> = (0..4).map(|i| Echo::new(i % 2 == 1)).collect();
+            let mut sim = ShardedEngine::new(nodes, link, 9, shards);
+            for i in 0..4u32 {
+                sim.call(NodeId(i), |_, ctx| {
+                    for k in 0..200u16 {
+                        ctx.send(NodeId((i + 1) % 4), k.to_le_bytes().to_vec());
+                    }
+                });
+            }
+            sim.run_to_idle(1_000_000);
+            let trace: Vec<_> = (0..4u32)
+                .map(|i| sim.node(NodeId(i)).received.clone())
+                .collect();
+            (trace, sim.stats())
+        };
+        assert_eq!(run(1), run(4));
+    }
+
+    #[test]
+    fn conversion_between_engines_preserves_world() {
+        let link = LinkSpec {
+            latency_ns: MS,
+            jitter_frac: 0.0,
+            bandwidth_bps: None,
+        };
+        let mut seq: AnyEngine<Echo> = AnyEngine::new(
+            EngineKind::Seq,
+            vec![Echo::new(false), Echo::new(true), Echo::new(false)],
+            link,
+            5,
+        );
+        seq.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), b"hello".to_vec()));
+        seq.run_to_idle(100);
+        let stats = seq.stats();
+        let now = seq.now_ns();
+
+        // Convert at quiescence and continue under the sharded engine:
+        // history, clock and counters carry over.
+        let mut sharded = seq.into_kind(EngineKind::Sharded { shards: 2 });
+        assert_eq!(sharded.kind(), EngineKind::Sharded { shards: 2 });
+        assert_eq!(sharded.now_ns(), now);
+        assert_eq!(sharded.stats(), stats);
+        assert_eq!(sharded.node(NodeId(1)).received.len(), 1);
+        sharded.call(NodeId(0), |_, ctx| ctx.send(NodeId(2), b"more".to_vec()));
+        sharded.run_to_idle(100);
+        assert_eq!(sharded.node(NodeId(2)).received.len(), 1);
+        assert_eq!(sharded.stats().messages, stats.messages + 1);
+
+        // And back to sequential.
+        let back = sharded.into_kind(EngineKind::Seq);
+        assert_eq!(back.kind(), EngineKind::Seq);
+        assert_eq!(back.node(NodeId(2)).received.len(), 1);
+    }
+
+    #[test]
+    fn shard_count_does_not_change_converted_continuation() {
+        // Continuing a converted quiescent world must agree across shard
+        // counts too (this is the scale benchmark's usage pattern).
+        let link = LinkSpec {
+            latency_ns: 2 * MS,
+            jitter_frac: 0.1,
+            bandwidth_bps: None,
+        };
+        let continue_at = |shards: usize| {
+            let mut seq: AnyEngine<Echo> = AnyEngine::new(
+                EngineKind::Seq,
+                (0..5).map(|i| Echo::new(i % 2 == 1)).collect(),
+                link,
+                11,
+            );
+            seq.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), b"setup".to_vec()));
+            seq.run_to_idle(100);
+            let mut sim = seq.into_kind(EngineKind::Sharded { shards });
+            for i in 0..5u32 {
+                sim.call(NodeId(i), |_, ctx| {
+                    for k in 0..8u8 {
+                        ctx.send(NodeId((i + 2) % 5), vec![k]);
+                    }
+                });
+            }
+            sim.run_to_idle(10_000);
+            let trace: Vec<_> = (0..5u32)
+                .map(|i| sim.node(NodeId(i)).received.clone())
+                .collect();
+            (trace, sim.stats(), sim.now_ns())
+        };
+        let base = continue_at(1);
+        assert_eq!(continue_at(2), base);
+        assert_eq!(continue_at(5), base);
+    }
+}

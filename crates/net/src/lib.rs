@@ -4,25 +4,32 @@
 //! US and Israel (Fig. 3). This crate reproduces that substrate in
 //! simulation:
 //!
-//! * [`sim`] — the event loop: message delivery, timers, and a per-node
-//!   single-server CPU model (a node busy processing one message queues the
-//!   next), which is what turns per-operation costs into throughput limits.
+//! * [`engine`] — the event-loop family behind the [`Engine`] trait:
+//!   message delivery, timers, and a per-node single-server CPU model (a
+//!   node busy processing one message queues the next), which is what
+//!   turns per-operation costs into throughput limits. Two
+//!   implementations: the sequential loop ([`SeqEngine`], the original
+//!   `Simulator`) and the sharded conservative-parallel engine
+//!   ([`ShardedEngine`]) whose results are identical for any shard count.
 //! * [`link`] — per-link latency, jitter and bandwidth.
 //! * [`topology`] — the Fig. 3 WAN testbed, complete graphs and the Fig. 5
-//!   hub-and-spoke overlay.
+//!   hub-and-spoke overlay (including generated large-scale variants).
 //! * [`stats`] — latency histograms (mean / p50 / p99, as reported in the
-//!   paper's tables).
+//!   paper's tables), mergeable across shards and runs.
 //!
 //! Everything is deterministic given a seed: two runs of the same scenario
 //! produce identical traces.
 
+pub mod engine;
 pub mod link;
-pub mod sim;
 pub mod stats;
 pub mod topology;
 
+pub use engine::{
+    AnyEngine, Ctx, Engine, EngineKind, NodeId, SeqEngine, ShardedEngine, SimNode, SimStats,
+    Simulator,
+};
 pub use link::LinkSpec;
-pub use sim::{Ctx, NodeId, SimNode, Simulator};
 pub use stats::Histogram;
 
 /// Nanoseconds per microsecond.

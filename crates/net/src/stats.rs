@@ -30,6 +30,18 @@ impl Histogram {
         &self.samples
     }
 
+    /// Folds another histogram's samples into this one — the shard/run
+    /// aggregation primitive. Quantiles of the merged histogram are
+    /// exact (samples are stored, not bucketed), so merging per-shard
+    /// histograms gives the same percentiles as one global histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
     /// True if no samples were recorded.
     pub fn is_empty(&self) -> bool {
         self.samples.is_empty()
@@ -118,6 +130,48 @@ mod tests {
         h.record(30);
         assert_eq!(h.p50(), 20);
         assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn merge_equals_global_recording() {
+        // Recording 1..=100 split across three shards and merging gives
+        // exactly the same statistics as one global histogram.
+        let mut global = Histogram::new();
+        let mut shards = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for v in 1..=100u64 {
+            global.record(v);
+            shards[(v % 3) as usize].record(v);
+        }
+        let mut merged = Histogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.len(), global.len());
+        assert_eq!(merged.mean(), global.mean());
+        assert_eq!(merged.p50(), global.p50());
+        assert_eq!(merged.p99(), global.p99());
+        assert_eq!(merged.min(), global.min());
+        assert_eq!(merged.max(), global.max());
+    }
+
+    #[test]
+    fn merge_empty_is_identity_and_resets_sort() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(1);
+        assert_eq!(h.p50(), 1); // Forces a sort.
+        let empty = Histogram::new();
+        h.merge(&empty);
+        assert_eq!(h.len(), 2);
+        let mut other = Histogram::new();
+        other.record(0);
+        h.merge(&other);
+        // Still correct after merging into a previously-sorted histogram.
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 5);
+        let mut into_empty = Histogram::new();
+        into_empty.merge(&h);
+        assert_eq!(into_empty.len(), 3);
     }
 
     #[test]

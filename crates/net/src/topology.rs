@@ -6,8 +6,8 @@
 //!   100 ms links between machines.
 //! * [`complete_pairs`] — all pairs of a complete payment-channel graph.
 
+use crate::engine::NodeId;
 use crate::link::LinkSpec;
-use crate::sim::NodeId;
 
 /// Geographic placement of a machine in the Fig. 3 testbed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -96,6 +96,28 @@ impl HubSpoke {
             tier1: 3,
             tier2: 9,
             tier3: 18,
+        }
+    }
+
+    /// A generated large-scale overlay with `total` nodes — the shape of
+    /// Fig. 5 grown to simulator-stress sizes (the §7.4 deployment is 30
+    /// machines; the `scale` benchmark runs 10k+). The hub tier grows
+    /// slowly (hubs are fully meshed, so their edge count is quadratic),
+    /// the mid tier at ~4% of nodes, and everything else is leaves, so
+    /// the channel count stays linear in `total`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total < 30` (use [`HubSpoke::paper_default`] for small
+    /// overlays).
+    pub fn scaled(total: u32) -> Self {
+        assert!(total >= 30, "scaled overlays start at 30 nodes");
+        let tier1 = (total / 1000).clamp(3, 16);
+        let tier2 = (total / 25).clamp(9, 2000);
+        HubSpoke {
+            tier1,
+            tier2,
+            tier3: total - tier1 - tier2,
         }
     }
 
@@ -200,6 +222,25 @@ mod tests {
         let hs = HubSpoke::paper_default();
         let total: f64 = (0..hs.total()).map(|i| hs.address_weight(NodeId(i))).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scaled_overlay_keeps_edges_linear() {
+        for total in [30u32, 1_000, 10_032, 50_000] {
+            let hs = HubSpoke::scaled(total);
+            assert_eq!(hs.total(), total, "node count preserved");
+            assert!(hs.tier1 >= 3 && hs.tier2 >= 9 && hs.tier3 >= 1);
+            let edges = hs.channel_pairs().len() as u32;
+            // hub mesh + tier2*hubs + one edge per leaf: linear overall.
+            assert_eq!(
+                edges,
+                hs.tier1 * (hs.tier1 - 1) / 2 + hs.tier2 * hs.tier1 + hs.tier3
+            );
+            assert!(edges < 2 * total, "edge count stays linear ({edges})");
+            // The §7.4 address skew still normalizes.
+            let sum: f64 = (0..total).map(|i| hs.address_weight(NodeId(i))).sum();
+            assert!((sum - 1.0).abs() < 1e-9);
+        }
     }
 
     #[test]

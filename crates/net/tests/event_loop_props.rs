@@ -1,0 +1,187 @@
+//! Property tests of the event-loop invariants, run against **both**
+//! engines under randomized link latencies, jitter, CPU costs, traffic
+//! patterns and crash/offline toggles:
+//!
+//! 1. per-connection FIFO — a receiver never observes messages from one
+//!    sender out of order, whatever the jitter;
+//! 2. busy-queue deferral — a node charging `c` ns per message never
+//!    processes two messages closer than `c` apart (the single-server
+//!    queue);
+//! 3. conservation — every sent message is either delivered or counted
+//!    dropped by crash fault injection;
+//! 4. shard-count invariance — the sharded engine's full receipt trace
+//!    is bit-for-bit identical at 1 and 3 shards.
+
+use proptest::prelude::*;
+use teechain_net::{AnyEngine, Ctx, EngineKind, LinkSpec, NodeId, SimNode, SimStats, MS};
+
+const NODES: u32 = 4;
+
+/// Records receipts; charges a fixed CPU cost per message.
+struct Recorder {
+    received: Vec<(u64, u32, u32)>,
+    cost_ns: u64,
+}
+
+impl SimNode for Recorder {
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Vec<u8>) {
+        let seq = u32::from_le_bytes([msg[0], msg[1], msg[2], msg[3]]);
+        self.received.push((ctx.now_ns(), from.0, seq));
+        if self.cost_ns > 0 {
+            ctx.busy(self.cost_ns);
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `from` sends `count` tagged messages to `to`.
+    Send { from: u32, to: u32, count: u32 },
+    /// Crash or recover a node.
+    Offline { node: u32, down: bool },
+    /// Advance simulated time.
+    Run { ms: u64 },
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0u64..1 << 16).prop_map(|bits| Op::Send {
+                from: (bits % NODES as u64) as u32,
+                to: ((bits >> 2) % NODES as u64) as u32,
+                count: (1 + (bits >> 4) % 6) as u32,
+            }),
+            (0u64..2 * NODES as u64).prop_map(|bits| Op::Offline {
+                node: (bits % NODES as u64) as u32,
+                down: bits >= NODES as u64,
+            }),
+            (1u64..25).prop_map(|ms| Op::Run { ms }),
+        ],
+        1..36,
+    )
+}
+
+#[allow(clippy::type_complexity)]
+fn run_case(
+    kind: EngineKind,
+    ops: &[Op],
+    latency_ms: u64,
+    jitter_pct: u64,
+    costs: &[u64],
+) -> (Vec<Vec<(u64, u32, u32)>>, SimStats, u64) {
+    let link = LinkSpec {
+        latency_ns: latency_ms * MS,
+        jitter_frac: jitter_pct as f64 / 100.0,
+        bandwidth_bps: Some(10_000_000),
+    };
+    let nodes = costs
+        .iter()
+        .map(|&cost_ns| Recorder {
+            received: Vec::new(),
+            cost_ns,
+        })
+        .collect();
+    let mut eng: AnyEngine<Recorder> = AnyEngine::new(kind, nodes, link, 0xfeed);
+    let mut next_seq = vec![0u32; (NODES * NODES) as usize];
+    let mut sent = 0u64;
+    for op in ops {
+        match *op {
+            Op::Send { from, to, count } => {
+                let base = next_seq[(from * NODES + to) as usize];
+                next_seq[(from * NODES + to) as usize] += count;
+                eng.call(NodeId(from), |_, ctx| {
+                    for k in 0..count {
+                        ctx.send(NodeId(to), (base + k).to_le_bytes().to_vec());
+                    }
+                });
+                sent += count as u64;
+            }
+            Op::Offline { node, down } => eng.set_offline(NodeId(node), down),
+            Op::Run { ms } => {
+                let t = eng.now_ns() + ms * MS;
+                eng.run_until(t);
+            }
+        }
+    }
+    eng.run_to_idle(1_000_000);
+    let traces = (0..NODES)
+        .map(|i| eng.node(NodeId(i)).received.clone())
+        .collect();
+    (traces, eng.stats(), sent)
+}
+
+fn check_invariants(
+    label: &str,
+    traces: &[Vec<(u64, u32, u32)>],
+    stats: &SimStats,
+    sent: u64,
+    costs: &[u64],
+) -> Result<(), proptest::TestCaseError> {
+    let mut delivered = 0u64;
+    for (i, trace) in traces.iter().enumerate() {
+        delivered += trace.len() as u64;
+        // (1) Per-connection FIFO: per sender, seqs strictly increase.
+        let mut last_seq: Vec<Option<u32>> = vec![None; NODES as usize];
+        let mut last_t: Option<u64> = None;
+        for &(t, from, seq) in trace {
+            if let Some(prev) = last_seq[from as usize] {
+                prop_assert!(
+                    seq > prev,
+                    "{label}: node {i} saw {from}'s #{seq} after #{prev}"
+                );
+            }
+            last_seq[from as usize] = Some(seq);
+            // (2) Single-server queue: receipts spaced by the CPU cost.
+            if let Some(pt) = last_t {
+                prop_assert!(
+                    t >= pt + costs[i],
+                    "{label}: node {i} processed at {t} < {pt} + cost {}",
+                    costs[i]
+                );
+            }
+            last_t = Some(t);
+        }
+    }
+    // (3) Conservation: delivered + dropped accounts for every send.
+    prop_assert!(
+        delivered + stats.dropped == sent,
+        "{label}: {delivered} delivered + {} dropped != {sent} sent",
+        stats.dropped
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FIFO, busy-queue deferral and message conservation hold on both
+    /// engines for random schedules; the sharded engine's trace is
+    /// identical at 1 and 3 shards.
+    #[test]
+    fn prop_event_loop_invariants(
+        ops in arb_ops(),
+        latency_ms in 0u64..12,
+        jitter_pct in 0u64..40,
+        costs in proptest::collection::vec(0u64..2_000_000, 4..5),
+    ) {
+        let (seq_traces, seq_stats, seq_sent) =
+            run_case(EngineKind::Seq, &ops, latency_ms, jitter_pct, &costs);
+        check_invariants("seq", &seq_traces, &seq_stats, seq_sent, &costs)?;
+
+        let one = run_case(
+            EngineKind::Sharded { shards: 1 },
+            &ops, latency_ms, jitter_pct, &costs,
+        );
+        check_invariants("sharded:1", &one.0, &one.1, one.2, &costs)?;
+
+        let three = run_case(
+            EngineKind::Sharded { shards: 3 },
+            &ops, latency_ms, jitter_pct, &costs,
+        );
+        check_invariants("sharded:3", &three.0, &three.1, three.2, &costs)?;
+
+        // (4) Shard-count invariance, trace-exact.
+        prop_assert!(one.0 == three.0, "sharded traces diverged");
+        prop_assert!(one.1 == three.1, "sharded stats diverged");
+    }
+}

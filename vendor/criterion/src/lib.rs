@@ -84,12 +84,10 @@ impl BenchmarkGroup<'_> {
             result_ns: 0.0,
         };
         f(&mut b);
-        println!(
-            "bench {:<40} {:>14} ns/iter",
-            format!("{}/{}", self.name, id),
-            fmt_ns(b.result_ns)
-        );
+        let full = format!("{}/{}", self.name, id);
+        println!("bench {:<40} {:>14} ns/iter", full, fmt_ns(b.result_ns));
         self.criterion.benchmarks_run += 1;
+        self.criterion.results.push((full, b.result_ns));
     }
 
     /// Benchmarks `f` under `id`.
@@ -118,6 +116,7 @@ impl BenchmarkGroup<'_> {
 pub struct Criterion {
     sample_size: usize,
     benchmarks_run: usize,
+    results: Vec<(String, f64)>,
 }
 
 impl Criterion {
@@ -145,6 +144,13 @@ impl Criterion {
     pub fn bench_function(&mut self, id: &str, f: impl FnOnce(&mut Bencher)) -> &mut Self {
         self.benchmark_group("top").bench_function(id, f);
         self
+    }
+
+    /// Measured `(benchmark id, median ns/iter)` pairs, in run order —
+    /// lets custom bench mains persist results (e.g. to JSON artifacts).
+    /// Not part of upstream criterion's API.
+    pub fn results(&self) -> &[(String, f64)] {
+        &self.results
     }
 }
 
