@@ -7,7 +7,9 @@ use teechain_bench::harness::Job;
 use teechain_bench::report::{BenchJson, Table};
 use teechain_bench::scenarios::transatlantic_chain;
 
-fn teechain_latency(hops: usize, backups: usize, probes: usize) -> f64 {
+type OpErrors = std::collections::BTreeMap<String, u64>;
+
+fn teechain_latency(hops: usize, backups: usize, probes: usize, errs: &mut OpErrors) -> f64 {
     let (mut cluster, chans) = transatlantic_chain(hops, backups, 55 + hops as u64);
     let hops_ids: Vec<_> = (0..=hops).map(|i| cluster.ids[i]).collect();
     let jobs: Vec<Job> = (0..probes)
@@ -19,6 +21,9 @@ fn teechain_latency(hops: usize, backups: usize, probes: usize) -> f64 {
         .collect();
     cluster.load(0, jobs, 1); // Sequential: multi-hop is not pipelined.
     let stats = cluster.run(20_000_000);
+    for (label, n) in cluster.op_errors() {
+        *errs.entry(label).or_insert(0) += n;
+    }
     stats.mean_ms
 }
 
@@ -30,6 +35,7 @@ fn main() {
         vec![2, 3, 4, 5, 6, 7, 8, 9, 10, 11]
     };
     let probes = if quick { 3 } else { 10 };
+    let mut errs = OpErrors::new();
     let mut table = Table::new(
         "Fig. 4: multi-hop payment latency (seconds) vs hops",
         &["Hops", "LN", "No FT", "1 replica", "2 replicas"],
@@ -39,12 +45,12 @@ fn main() {
         // LN: measured slope of Fig. 4 is ≈0.63 s/hop (lnd HTLC commit +
         // revoke per hop on the transatlantic path).
         let ln_s = hops as f64 * 0.63;
-        let no_ft = teechain_latency(hops, 0, probes) / 1000.0;
-        let one_rep = teechain_latency(hops, 1, probes) / 1000.0;
+        let no_ft = teechain_latency(hops, 0, probes, &mut errs) / 1000.0;
+        let one_rep = teechain_latency(hops, 1, probes, &mut errs) / 1000.0;
         let two_rep = if quick {
             f64::NAN
         } else {
-            teechain_latency(hops, 2, probes) / 1000.0
+            teechain_latency(hops, 2, probes, &mut errs) / 1000.0
         };
         last_lat = (no_ft, one_rep);
         table.row(&[
@@ -70,7 +76,7 @@ fn main() {
         &["Hops", "Teechain (batch 135k)", "LN (batch 1k)"],
     );
     for hops in [2usize, max_hops] {
-        let lat = teechain_latency(hops, reps, probes) / 1000.0;
+        let lat = teechain_latency(hops, reps, probes, &mut errs) / 1000.0;
         t2.row(&[
             hops.to_string(),
             format!("{:.0} tx/s", 135_000.0 / lat.max(1e-9)),
@@ -79,6 +85,7 @@ fn main() {
     }
     t2.print();
     let mut doc = BenchJson::new("fig4");
+    doc.op_errors(&errs);
     doc.table(&table).table(&t2).write().expect("bench json");
     println!(
         "\nPaper: LN 1 s @ 2 hops → 7 s @ 11 hops; Teechain no-FT ≈2× LN;\n\

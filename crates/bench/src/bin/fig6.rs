@@ -8,7 +8,15 @@ use teechain_bench::workload::Workload;
 use teechain_net::topology::complete_pairs;
 use teechain_net::{LinkSpec, MS};
 
-fn run(nodes: usize, committee_n: usize, payments_per_node: usize, seed: u64) -> f64 {
+type OpErrors = std::collections::BTreeMap<String, u64>;
+
+fn run(
+    nodes: usize,
+    committee_n: usize,
+    payments_per_node: usize,
+    seed: u64,
+    errs: &mut OpErrors,
+) -> f64 {
     // The complete-graph deployment runs on the UK LAN cluster (Fig. 3):
     // 0.5 ms RTT at 1 Gb/s. (The 100 ms WAN emulation of §7.4 applies to
     // the hub-and-spoke runs; with W=1000 per machine a 100 ms RTT would
@@ -33,6 +41,9 @@ fn run(nodes: usize, committee_n: usize, payments_per_node: usize, seed: u64) ->
         net.cluster.load(i, jobs, 1000); // W = 1000 sliding window (§7.4).
     }
     let stats = net.cluster.run(2_000_000_000);
+    for (label, n) in net.cluster.op_errors() {
+        *errs.entry(label).or_insert(0) += n;
+    }
     stats.throughput
 }
 
@@ -49,10 +60,11 @@ fn main() {
         "Fig. 6: complete-graph throughput (tx/s) vs machines",
         &["Machines", "n=1 (no FT)", "n=2", "n=3"],
     );
+    let mut errs = OpErrors::new();
     for &nodes in &node_counts {
         let mut cells = vec![nodes.to_string()];
         for &n in &committee_ns {
-            let tput = run(nodes, n, per_node, 42 + nodes as u64);
+            let tput = run(nodes, n, per_node, 42 + nodes as u64, &mut errs);
             cells.push(fmt_thousands(tput));
         }
         while cells.len() < 4 {
@@ -62,6 +74,7 @@ fn main() {
     }
     table.print();
     let mut doc = BenchJson::new("fig6");
+    doc.op_errors(&errs);
     doc.table(&table).write().expect("bench json");
     println!(
         "\nPaper: linear scaling; ≈2.2M tx/s at 30 machines with n=1;\n\

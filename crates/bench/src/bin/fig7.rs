@@ -5,7 +5,9 @@ use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::{build_network, fund_reverse, hub_spoke_jobs, wan_100ms};
 use teechain_net::topology::HubSpoke;
 
-fn run(committee_n: usize, g: usize, payments: usize, seed: u64) -> f64 {
+type OpErrors = std::collections::BTreeMap<String, u64>;
+
+fn run(committee_n: usize, g: usize, payments: usize, seed: u64, errs: &mut OpErrors) -> f64 {
     let hs = HubSpoke::paper_default();
     let edges = hs.channel_pairs();
     // Temporary channels on tier1-tier1, tier1-tier2 edges only: tier-3
@@ -49,6 +51,9 @@ fn run(committee_n: usize, g: usize, payments: usize, seed: u64) -> f64 {
         net.cluster.load(i, j, 16);
     }
     let stats = net.cluster.run(3_000_000_000);
+    for (label, n) in net.cluster.op_errors() {
+        *errs.entry(label).or_insert(0) += n;
+    }
     stats.throughput
 }
 
@@ -61,10 +66,11 @@ fn main() {
         "Fig. 7: throughput (tx/s) with G temporary channels",
         &["G", "n=1 (no FT)", "n=2 (one replica)"],
     );
+    let mut errs = OpErrors::new();
     for &g in &gs {
         let mut cells = vec![g.to_string()];
         for &n in &ns {
-            cells.push(fmt_thousands(run(n, g, payments, 7 + g as u64)));
+            cells.push(fmt_thousands(run(n, g, payments, 7 + g as u64, &mut errs)));
         }
         while cells.len() < 3 {
             cells.push("-".into());
@@ -73,6 +79,7 @@ fn main() {
     }
     table.print();
     let mut doc = BenchJson::new("fig7");
+    doc.op_errors(&errs);
     doc.table(&table).write().expect("bench json");
     println!("\nPaper: near-linear scaling in G with diminishing returns (tier-3 congestion).");
 }

@@ -5,7 +5,7 @@
 //!
 //! Run with `--quick` for a reduced sweep.
 
-use teechain::enclave::{Command, HostEvent};
+use teechain::enclave::Command;
 use teechain::testkit::{Cluster, ClusterConfig};
 use teechain::{DurabilityBackend, PersistPolicy};
 use teechain_bench::harness::Job;
@@ -13,7 +13,17 @@ use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::{fig3_pair, FtMode};
 
 /// One throughput/latency row over the Fig. 3 US↔UK pair.
-fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64, String) {
+fn run_row(
+    ft: FtMode,
+    batching: bool,
+    seed: u64,
+) -> (
+    f64,
+    f64,
+    f64,
+    String,
+    std::collections::BTreeMap<String, u64>,
+) {
     let (mut cluster, chan) = fig3_pair(ft, seed);
     let payments = match (ft.persist(), batching) {
         (true, false) => 60,
@@ -29,6 +39,7 @@ fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64, String) {
         cluster.enable_batching(0, chan, 100_000_000);
     }
     let stats = cluster.run(300_000_000);
+    let op_errors = cluster.op_errors();
     // Storage-cost column: what the durability engine actually wrote.
     let storage = match &cluster.stores[1] {
         Some(store) => {
@@ -56,6 +67,7 @@ fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64, String) {
         stats_lat.mean_ms,
         stats_lat.p99_ms,
         storage,
+        op_errors,
     )
 }
 
@@ -79,25 +91,22 @@ fn crash_churn(rounds: usize, payments_per_round: usize) -> (u64, usize, u64) {
             completed += 1;
         }
         // Kill the payee with one more payment in flight, then recover.
-        c.command(
+        // (Submitted, deliberately not resolved: the payee dies first.)
+        c.submit(
             0,
             Command::Pay {
                 id: chan,
                 amount: 1,
                 count: 1,
             },
-        )
-        .expect("in-flight payment");
+        );
         c.crash_node(1);
         c.settle_network();
-        c.recover_node(1)
+        let recovery = c
+            .recover_node(1)
             .unwrap_or_else(|e| panic!("recovery {round}: {e}"));
         recoveries += 1;
-        for (_, e) in c.node_mut(1).drain_events() {
-            if let HostEvent::Recovered { commits, .. } = e {
-                commits_replayed = commits;
-            }
-        }
+        commits_replayed = recovery.commits;
         // Fresh sessions, and on we go.
         c.connect(1, 0);
     }
@@ -156,8 +165,12 @@ fn main() {
             ),
         ]
     };
+    let mut all_op_errors = std::collections::BTreeMap::new();
     for (name, ft, batching) in rows {
-        let (tps, mean, p99, storage) = run_row(ft, batching, 4321);
+        let (tps, mean, p99, storage, op_errors) = run_row(ft, batching, 4321);
+        for (label, n) in op_errors {
+            *all_op_errors.entry(label).or_insert(0) += n;
+        }
         table.row(&[
             name.into(),
             fmt_thousands(tps),
@@ -184,5 +197,6 @@ fn main() {
     ]);
     churn.print();
     let mut doc = BenchJson::new("persistence");
+    doc.op_errors(&all_op_errors);
     doc.table(&table).table(&churn).write().expect("bench json");
 }

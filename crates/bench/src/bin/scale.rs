@@ -85,6 +85,7 @@ fn main() {
         kinds.push((format!("sharded:{s}"), EngineKind::Sharded { shards: s }));
     }
     let mut runs: Vec<ConfigRun> = Vec::new();
+    let mut op_errors_all: Vec<std::collections::BTreeMap<String, u64>> = Vec::new();
     for (label, kind) in kinds {
         net.cluster.set_engine(kind);
         for (i, j) in jobs.clone() {
@@ -93,6 +94,7 @@ fn main() {
         let ev0 = net.cluster.sim.stats().events;
         let t = Instant::now();
         let stats = net.cluster.run(2_000_000_000);
+        op_errors_all.push(net.cluster.op_errors());
         let wall_s = t.elapsed().as_secs_f64();
         let events = net.cluster.sim.stats().events - ev0;
         println!(
@@ -164,6 +166,9 @@ fn main() {
         }
     }
     table.print();
+    for errs in &op_errors_all {
+        doc.op_errors(errs);
+    }
     doc.metric("best_speedup_vs_seq", best_speedup);
     doc.metric("configs", JsonValue::Arr(configs));
     doc.table(&table);

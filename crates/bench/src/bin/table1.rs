@@ -9,7 +9,9 @@ use teechain_bench::harness::Job;
 use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::{fig3_pair, FtMode};
 
-fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64) {
+type OpErrors = std::collections::BTreeMap<String, u64>;
+
+fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64, OpErrors) {
     // Throughput: a large pipelined load.
     let (mut cluster, chan) = fig3_pair(ft, seed);
     let payments = match (ft, batching) {
@@ -28,6 +30,7 @@ fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64) {
     }
     let stats = cluster.run(300_000_000);
     let throughput = stats.throughput;
+    let op_errors = cluster.op_errors();
 
     // Latency: a sequential (window = 1) run on a fresh cluster.
     let (mut cluster, chan) = fig3_pair(ft, seed + 1);
@@ -44,7 +47,7 @@ fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64) {
         cluster.enable_batching(0, chan, 100_000_000);
     }
     let stats = cluster.run(50_000_000);
-    (throughput, stats.mean_ms, stats.p99_ms)
+    (throughput, stats.mean_ms, stats.p99_ms, op_errors)
 }
 
 fn main() {
@@ -95,8 +98,10 @@ fn main() {
             ),
         ]
     };
+    let mut doc = BenchJson::new("table1");
     for (name, ft, batching) in rows {
-        let (tps, mean, p99) = run_row(ft, batching, 1234);
+        let (tps, mean, p99, op_errors) = run_row(ft, batching, 1234);
+        doc.op_errors(&op_errors);
         table.row(&[
             name.into(),
             fmt_thousands(tps),
@@ -104,7 +109,6 @@ fn main() {
         ]);
     }
     table.print();
-    let mut doc = BenchJson::new("table1");
     doc.table(&table).write().expect("bench json");
     println!(
         "\nPaper: LN 1,000 tx/s @ 387 ms; Teechain no-FT 130,311 @ 86 ms; 1 replica 34,115 @ 292 ms;\n\

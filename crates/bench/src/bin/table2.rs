@@ -6,6 +6,7 @@
 //! chain lengths. LN channel creation is six Bitcoin blocks.
 
 use teechain::enclave::Command;
+use teechain::ops::OpOutput;
 use teechain::types::ChannelId;
 use teechain_bench::harness::{BenchCluster, BenchConfig};
 use teechain_bench::report::{BenchJson, Table};
@@ -45,29 +46,18 @@ fn main() {
     let ms = timed(&mut c, |c| {
         c.connect(0, 1);
         let remote = c.ids[1];
-        c.command(0, Command::NewAddress).unwrap();
-        let addr = c
-            .sim
-            .node_mut(NodeId(0))
-            .host
-            .node
-            .drain_events()
-            .into_iter()
-            .find_map(|(_, e)| match e {
-                teechain::HostEvent::NewAddress(pk) => Some(pk),
-                _ => None,
-            })
-            .unwrap();
-        c.command(
+        let addr = match c.exec(0, Command::NewAddress) {
+            OpOutput::Address(pk) => pk,
+            other => panic!("unexpected output {other:?}"),
+        };
+        c.exec(
             0,
             Command::NewChannel {
                 id: ChannelId::from_label("t2"),
                 remote,
                 my_settlement: addr,
             },
-        )
-        .unwrap();
-        c.settle();
+        );
     });
     table.row(&["Teechain channel creation".into(), format!("{ms:.0}")]);
 
@@ -114,32 +104,23 @@ fn main() {
     ] {
         let (mut c, chan) = fig3_pair(ft, 77);
         // Fund a spare deposit, then time the associate round trip.
-        let dep = c
-            .sim
-            .call(NodeId(0), |node, ctx| {
-                node.host.node.create_funded_committee_deposit(ctx, 500, 1)
-            })
-            .unwrap();
+        let dep = c.fund_deposit(0, 500, 1);
         let remote = c.ids[1];
-        c.command(
+        c.exec(
             0,
             Command::ApproveDeposit {
                 remote,
                 outpoint: dep.outpoint,
             },
-        )
-        .unwrap();
-        c.settle();
+        );
         let ms = timed(&mut c, |c| {
-            c.command(
+            c.exec(
                 0,
                 Command::AssociateDeposit {
                     id: chan,
                     outpoint: dep.outpoint,
                 },
-            )
-            .unwrap();
-            c.settle();
+            );
         });
         table.row(&[label.into(), format!("{ms:.0}")]);
     }

@@ -5,7 +5,15 @@ use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::{build_network, hub_spoke_jobs, wan_100ms};
 use teechain_net::topology::HubSpoke;
 
-fn run(committee_n: usize, alternatives: usize, payments: usize, seed: u64) -> (f64, f64, f64) {
+type OpErrors = std::collections::BTreeMap<String, u64>;
+
+fn run(
+    committee_n: usize,
+    alternatives: usize,
+    payments: usize,
+    seed: u64,
+    errs: &mut OpErrors,
+) -> (f64, f64, f64) {
     let hs = HubSpoke::paper_default();
     let edges = hs.channel_pairs();
     let mut net = build_network(
@@ -21,6 +29,9 @@ fn run(committee_n: usize, alternatives: usize, payments: usize, seed: u64) -> (
         net.cluster.load(i, j, 16);
     }
     let stats = net.cluster.run(3_000_000_000);
+    for (label, n) in net.cluster.op_errors() {
+        *errs.entry(label).or_insert(0) += n;
+    }
     (stats.throughput, stats.mean_ms, stats.avg_hops + 1.0)
 }
 
@@ -46,8 +57,9 @@ fn main() {
             ("Dynamic routing (One replica)", 2, 3),
         ]
     };
+    let mut errs = OpErrors::new();
     for (name, n, alts) in rows {
-        let (tput, lat, hops) = run(n, alts, payments, 99);
+        let (tput, lat, hops) = run(n, alts, payments, 99, &mut errs);
         table.row(&[
             name.into(),
             fmt_thousands(tput),
@@ -57,6 +69,7 @@ fn main() {
     }
     table.print();
     let mut doc = BenchJson::new("table3");
+    doc.op_errors(&errs);
     doc.table(&table).write().expect("bench json");
     println!(
         "\nPaper: no FT 671 tx/s @ 540 ms, 3.2 hops; one replica 210 tx/s @ 720 ms;\n\

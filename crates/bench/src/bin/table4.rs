@@ -3,7 +3,6 @@
 //! *measured* Teechain row (settlements actually executed on the
 //! simulated chain).
 
-use teechain::enclave::Command;
 use teechain::testkit::Cluster;
 use teechain_baselines::{dmc, ln, sfmc};
 use teechain_bench::report::{BenchJson, Table};
@@ -25,8 +24,7 @@ fn measured_teechain(n_committee: u8, bilateral: bool) -> (usize, f64) {
     if bilateral {
         c.pay(1, chan, 400).unwrap(); // Back to neutral.
     }
-    c.command(0, Command::Settle { id: chan }).unwrap();
-    c.settle_network();
+    c.settle_channel(0, chan).unwrap();
     c.mine(1);
     // Count non-mint transactions (the mint is the faucet, which the
     // paper's accounting attributes to the funding side: we add the

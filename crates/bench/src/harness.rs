@@ -6,14 +6,22 @@
 //! client-side batching (§7), and retry with randomized 100–200 ms backoff
 //! on channel-lock failures — the exact mechanics of the paper's load
 //! generator.
+//!
+//! The driver is built on the correlated-operation API: every issued
+//! payment is a submitted operation, and the driver reacts to its typed
+//! [`Completion`] — latency comes from the completion timestamps (per
+//! operation, measured from the job's *first* issue so retries do not
+//! reset the clock), and every failure is counted per [`OpError`] variant
+//! in [`DriverStats::op_errors`] instead of vanishing.
 
 use parking_lot::Mutex;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 use teechain::driver::{CostModel, SimHost};
 use teechain::durability::DurabilityBackend;
-use teechain::enclave::{Command, EnclaveConfig, HostEvent};
+use teechain::enclave::{Command, EnclaveConfig};
 use teechain::node::{SharedChain, TeechainNode};
+use teechain::ops::{Completion, OpError, OpOutput, OpResult, Pending};
 use teechain::types::{ChannelId, ProtocolError, RouteId};
 use teechain_blockchain::Chain;
 use teechain_crypto::schnorr::PublicKey;
@@ -61,8 +69,16 @@ struct BatchState {
 pub struct DriverStats {
     /// Logical payments completed (acked).
     pub completed: u64,
-    /// Lock-failure retries performed.
+    /// Retry attempts performed (a job re-issued after a transient
+    /// failure — distinct from first attempts).
     pub retries: u64,
+    /// Completed payments that needed at least one retry (their latency
+    /// samples span the full first-issue → ack interval).
+    pub retried_completed: u64,
+    /// Failed completions per [`OpError::label`] — typed error
+    /// accounting, exported as the `op_errors` section of the
+    /// `BENCH_*.json` artifacts.
+    pub op_errors: BTreeMap<String, u64>,
     /// Sum of path lengths (hops) over completed multi-hop payments.
     pub hops_total: u64,
     /// Multi-hop payments completed.
@@ -71,8 +87,25 @@ pub struct DriverStats {
     pub first_issue: Option<u64>,
     /// Time of last completion (ns).
     pub last_ack: u64,
-    /// Latency samples (ns).
+    /// Latency samples (ns), measured from each job's first issue.
     pub latencies: Histogram,
+}
+
+impl DriverStats {
+    fn count_error(&mut self, e: &OpError) {
+        *self.op_errors.entry(e.label()).or_insert(0) += 1;
+    }
+}
+
+/// Bookkeeping for one in-flight operation the driver issued.
+struct Flight {
+    job: Job,
+    /// When this job was FIRST issued (survives retries).
+    first_issue: u64,
+    /// Logical payments inside the operation (batching).
+    count: u32,
+    /// True if this attempt is a retry.
+    retried: bool,
 }
 
 /// A simulator node: Teechain host + workload driver.
@@ -80,13 +113,24 @@ pub struct BenchNode {
     /// The wrapped host (public for setup).
     pub host: SimHost,
     jobs: VecDeque<Job>,
-    retry_bucket: VecDeque<Job>,
+    /// Failed jobs awaiting their backoff timer: `(job, first_issue)`.
+    retry_bucket: VecDeque<(Job, u64)>,
     window: usize,
     inflight: usize,
     batch: Option<BatchState>,
-    pending_direct: HashMap<ChannelId, VecDeque<(u64, u32)>>,
-    pending_routes: HashMap<RouteId, (u64, Job)>,
+    /// Driver-issued operations awaiting completion, by op sequence.
+    flights: HashMap<u64, Flight>,
+    /// Completions of non-driver (setup) operations, claimed by
+    /// [`BenchCluster::wait`].
+    unclaimed: HashMap<u64, Completion>,
     route_seq: u64,
+    /// When true, every drained completion is appended to
+    /// [`BenchNode::completion_log`] (the determinism suite fingerprints
+    /// it; off by default to keep 10k-node runs lean).
+    pub record_completions: bool,
+    /// Recorded completion stream (see
+    /// [`BenchNode::record_completions`]).
+    pub completion_log: Vec<Completion>,
     /// Statistics (public for collection).
     pub stats: DriverStats,
 }
@@ -100,62 +144,116 @@ impl BenchNode {
             window: 1,
             inflight: 0,
             batch: None,
-            pending_direct: HashMap::new(),
-            pending_routes: HashMap::new(),
+            flights: HashMap::new(),
+            unclaimed: HashMap::new(),
             route_seq: 0,
+            record_completions: false,
+            completion_log: Vec::new(),
             stats: DriverStats::default(),
         }
     }
 
-    fn drain_host_events(&mut self, ctx: &mut Ctx<'_>) {
-        let events = self.host.node.drain_events();
-        for (_, event) in events {
-            match event {
-                HostEvent::PaymentAcked { id, count, .. } => {
-                    if let Some(q) = self.pending_direct.get_mut(&id) {
-                        if let Some((sent, _)) = q.pop_front() {
-                            self.stats.latencies.record(ctx.now_ns() - sent);
-                        }
-                    }
+    /// Consumes the host's completion stream: driver flights update the
+    /// stats and retry machinery; anything else (setup operations) is
+    /// parked for [`BenchCluster::wait`].
+    fn drain_completions(&mut self, ctx: &mut Ctx<'_>) {
+        let completions = std::mem::take(&mut self.host.node.completions);
+        for c in completions {
+            if self.record_completions {
+                self.completion_log.push(c.clone());
+            }
+            let Some(flight) = self.flights.remove(&c.op.seq) else {
+                self.unclaimed.insert(c.op.seq, c);
+                continue;
+            };
+            match c.outcome {
+                Ok(OpOutput::PaymentApplied { count, .. }) => {
                     self.stats.completed += count as u64;
-                    self.stats.last_ack = ctx.now_ns();
-                    self.inflight = self.inflight.saturating_sub(count as usize);
-                }
-                HostEvent::PaymentNacked { id, amount, count } => {
-                    let _ = id;
-                    self.inflight = self.inflight.saturating_sub(count as usize);
-                    self.schedule_retry(ctx, Job::Direct { chan: id, amount });
-                }
-                HostEvent::MultihopComplete { route, .. } => {
-                    if let Some((sent, job)) = self.pending_routes.remove(&route) {
-                        self.stats.latencies.record(ctx.now_ns() - sent);
-                        if let Job::Multihop {
-                            paths, next_path, ..
-                        } = &job
-                        {
-                            let idx = next_path.saturating_sub(1).min(paths.len() - 1);
-                            self.stats.hops_total += (paths[idx].1.len()) as u64;
-                        }
-                        self.stats.multihop_completed += 1;
+                    self.stats.last_ack = c.time_ns;
+                    self.stats
+                        .latencies
+                        .record(c.time_ns.saturating_sub(flight.first_issue));
+                    if flight.retried {
+                        self.stats.retried_completed += 1;
                     }
+                    self.inflight = self.inflight.saturating_sub(count as usize);
+                }
+                Ok(OpOutput::MultihopDelivered { .. }) => {
                     self.stats.completed += 1;
-                    self.stats.last_ack = ctx.now_ns();
+                    self.stats.multihop_completed += 1;
+                    self.stats.last_ack = c.time_ns;
+                    self.stats
+                        .latencies
+                        .record(c.time_ns.saturating_sub(flight.first_issue));
+                    if flight.retried {
+                        self.stats.retried_completed += 1;
+                    }
+                    if let Job::Multihop {
+                        paths, next_path, ..
+                    } = &flight.job
+                    {
+                        let idx = next_path.saturating_sub(1).min(paths.len() - 1);
+                        self.stats.hops_total += paths[idx].1.len() as u64;
+                    }
                     self.inflight = self.inflight.saturating_sub(1);
                 }
-                HostEvent::MultihopFailed { route } => {
-                    if let Some((_, job)) = self.pending_routes.remove(&route) {
-                        self.inflight = self.inflight.saturating_sub(1);
-                        self.schedule_retry(ctx, job);
-                    }
+                Ok(_) => {
+                    // A driver flight always resolves to a payment
+                    // output; anything else is a harness bug.
+                    unreachable!("driver operation resolved to a non-payment output");
                 }
-                _ => {}
+                Err(e) => {
+                    self.stats.count_error(&e);
+                    self.inflight = self.inflight.saturating_sub(flight.count as usize);
+                    self.handle_failure(ctx, flight, &e);
+                }
             }
         }
     }
 
-    fn schedule_retry(&mut self, ctx: &mut Ctx<'_>, job: Job) {
+    /// Retry policy per typed failure, matching the paper's load
+    /// generator: transient refusals (lock contention races, throttling
+    /// surfaced synchronously) back off and retry; permanent rejections
+    /// drop the job (they are already counted in `op_errors`).
+    fn handle_failure(&mut self, ctx: &mut Ctx<'_>, flight: Flight, e: &OpError) {
+        let transient = match (&flight.job, e) {
+            // A nack or a remote abort: the multi-hop machinery retries
+            // over the next alternative path; direct payments re-send.
+            (_, OpError::Remote(_)) => true,
+            (_, OpError::Rejected(ProtocolError::ChannelLocked)) => true,
+            (_, OpError::Rejected(ProtocolError::CounterThrottled { .. })) => true,
+            // Multi-hop lock setup can also fail locally mid-race.
+            (Job::Multihop { .. }, OpError::Rejected(_)) => true,
+            _ => false,
+        };
+        if !transient {
+            return;
+        }
+        if flight.count > 1 {
+            // A failed merged batch: put the logical payments back,
+            // conserving the total (the division remainder goes to the
+            // first jobs — the merged message no longer remembers the
+            // original per-job split).
+            if let Job::Direct { chan, amount } = flight.job {
+                let count = flight.count as u64;
+                let each = amount / count;
+                let remainder = amount % count;
+                for k in 0..count {
+                    let extra = u64::from(k < remainder);
+                    self.jobs.push_front(Job::Direct {
+                        chan,
+                        amount: each + extra,
+                    });
+                }
+            }
+            return;
+        }
+        self.schedule_retry(ctx, flight.job, flight.first_issue);
+    }
+
+    fn schedule_retry(&mut self, ctx: &mut Ctx<'_>, job: Job, first_issue: u64) {
         self.stats.retries += 1;
-        self.retry_bucket.push_back(job);
+        self.retry_bucket.push_back((job, first_issue));
         // Randomized 100–200 ms backoff (§7.4).
         let delay = ctx.rng().next_range(100_000_000, 200_000_000);
         ctx.set_timer(delay, JOB_RETRY_TOKEN);
@@ -174,7 +272,10 @@ impl BenchNode {
             let Some(job) = self.jobs.pop_front() else {
                 break;
             };
-            self.issue(ctx, job);
+            self.issue(ctx, job, None);
+            // Synchronous rejections complete immediately; reclaim their
+            // window slots before deciding to issue more.
+            self.drain_completions(ctx);
         }
     }
 
@@ -186,42 +287,38 @@ impl BenchNode {
         RouteId(id)
     }
 
-    fn issue(&mut self, ctx: &mut Ctx<'_>, job: Job) {
+    /// Issues one job as a correlated operation. `first_issue` carries
+    /// the original issue time through retries (None = this is the first
+    /// attempt).
+    fn issue(&mut self, ctx: &mut Ctx<'_>, job: Job, first_issue: Option<u64>) {
         if self.stats.first_issue.is_none() {
             self.stats.first_issue = Some(ctx.now_ns());
         }
+        let retried = first_issue.is_some();
+        let first_issue = first_issue.unwrap_or_else(|| ctx.now_ns());
         match job {
             Job::Direct { chan, amount } => {
                 ctx.busy(self.host.costs.logical_ns);
-                self.pending_direct
-                    .entry(chan)
-                    .or_default()
-                    .push_back((ctx.now_ns(), 1));
-                let result = self.host.node.command(
+                let op = self.host.node.submit_op(
                     ctx,
                     Command::Pay {
                         id: chan,
                         amount,
                         count: 1,
                     },
+                    None,
+                    true,
                 );
-                match result {
-                    Ok(()) => self.inflight += 1,
-                    Err(ProtocolError::ChannelLocked)
-                    | Err(ProtocolError::CounterThrottled { .. }) => {
-                        self.pending_direct
-                            .get_mut(&chan)
-                            .expect("pushed")
-                            .pop_back();
-                        self.schedule_retry(ctx, Job::Direct { chan, amount });
-                    }
-                    Err(_) => {
-                        self.pending_direct
-                            .get_mut(&chan)
-                            .expect("pushed")
-                            .pop_back();
-                    }
-                }
+                self.inflight += 1;
+                self.flights.insert(
+                    op.seq,
+                    Flight {
+                        job: Job::Direct { chan, amount },
+                        first_issue,
+                        count: 1,
+                        retried,
+                    },
+                );
             }
             Job::Multihop {
                 paths,
@@ -232,14 +329,7 @@ impl BenchNode {
                 let idx = next_path.min(paths.len() - 1);
                 let (hops, channels) = paths[idx].clone();
                 let route = self.next_route_id(ctx);
-                let job = Job::Multihop {
-                    paths,
-                    next_path: idx + 1,
-                    amount,
-                };
-                self.pending_routes
-                    .insert(route, (ctx.now_ns(), job.clone()));
-                let result = self.host.node.command(
+                let op = self.host.node.submit_op(
                     ctx,
                     Command::PayMultihop {
                         route,
@@ -247,14 +337,23 @@ impl BenchNode {
                         channels,
                         amount,
                     },
+                    None,
+                    true,
                 );
-                match result {
-                    Ok(()) => self.inflight += 1,
-                    Err(_) => {
-                        self.pending_routes.remove(&route);
-                        self.schedule_retry(ctx, job);
-                    }
-                }
+                self.inflight += 1;
+                self.flights.insert(
+                    op.seq,
+                    Flight {
+                        job: Job::Multihop {
+                            paths,
+                            next_path: idx + 1,
+                            amount,
+                        },
+                        first_issue,
+                        count: 1,
+                        retried,
+                    },
+                );
             }
         }
     }
@@ -289,36 +388,32 @@ impl BenchNode {
             ctx.busy(self.host.costs.logical_ns * count as u64);
             // Average queueing delay inside the batch is interval/2.
             let effective_send = ctx.now_ns().saturating_sub(interval / 2);
-            self.pending_direct
-                .entry(chan)
-                .or_default()
-                .push_back((effective_send, count));
             if self.stats.first_issue.is_none() {
                 self.stats.first_issue = Some(ctx.now_ns().saturating_sub(interval));
             }
-            let result = self.host.node.command(
+            // Counter throttling (stable storage) is retried inside the
+            // node at `ready_at` — the merged operation simply stays in
+            // flight until the whole batch group-commits.
+            let op = self.host.node.submit_op(
                 ctx,
                 Command::Pay {
                     id: chan,
                     amount,
                     count,
                 },
+                None,
+                true,
             );
-            if result.is_err() {
-                // Counter throttled (stable storage): put the jobs back.
-                self.pending_direct
-                    .get_mut(&chan)
-                    .expect("pushed")
-                    .pop_back();
-                for _ in 0..count {
-                    self.jobs.push_front(Job::Direct {
-                        chan,
-                        amount: amount / count as u64,
-                    });
-                }
-            } else {
-                self.inflight += count as usize;
-            }
+            self.inflight += count as usize;
+            self.flights.insert(
+                op.seq,
+                Flight {
+                    job: Job::Direct { chan, amount },
+                    first_issue: effective_send,
+                    count,
+                    retried: false,
+                },
+            );
         }
         if !self.jobs.is_empty() {
             ctx.set_timer(interval, BATCH_TOKEN);
@@ -331,7 +426,7 @@ impl BenchNode {
 impl SimNode for BenchNode {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: NodeId, msg: Vec<u8>) {
         self.host.on_message(ctx, from, msg);
-        self.drain_host_events(ctx);
+        self.drain_completions(ctx);
         self.pump(ctx);
     }
 
@@ -341,13 +436,13 @@ impl SimNode for BenchNode {
             JOB_RETRY_TOKEN => {
                 // FIFO: oldest failed job first, so backoff cannot
                 // starve early payments into a pathological tail.
-                if let Some(job) = self.retry_bucket.pop_front() {
-                    self.issue(ctx, job);
+                if let Some((job, first_issue)) = self.retry_bucket.pop_front() {
+                    self.issue(ctx, job, Some(first_issue));
                 }
             }
             _ => self.host.on_timer(ctx, token),
         }
-        self.drain_host_events(ctx);
+        self.drain_completions(ctx);
         self.pump(ctx);
     }
 }
@@ -408,8 +503,12 @@ pub struct RunStats {
     pub p99_ms: f64,
     /// Average hops per completed multi-hop payment.
     pub avg_hops: f64,
-    /// Total retries (lock contention).
+    /// Total retry attempts (lock contention and other transients).
     pub retries: u64,
+    /// Completed payments that needed at least one retry — kept separate
+    /// from first-attempt completions so retry-heavy runs cannot
+    /// masquerade as clean ones.
+    pub retried_completed: u64,
 }
 
 /// A benchmark cluster: like `teechain::testkit::Cluster` but with
@@ -505,32 +604,124 @@ impl BenchCluster {
         self.sim = sim.into_kind(kind);
     }
 
-    /// Runs the simulation to quiescence.
+    /// Runs the simulation to quiescence, then resolves every
+    /// still-pending operation as dead (`OpError::Timeout`) — once the
+    /// network is silent no terminal response can arrive, and a stale
+    /// pending operation would steal a later same-key response.
     pub fn settle(&mut self) {
-        self.sim.run_to_idle(200_000_000);
-    }
-
-    /// Issues a setup command, retrying counter throttling.
-    pub fn command(&mut self, i: usize, cmd: Command) -> Result<(), ProtocolError> {
-        loop {
-            let nid = NodeId(i as u32);
-            let r = self
-                .sim
-                .call(nid, |node, ctx| node.host.node.command(ctx, cmd.clone()));
-            match r {
-                Err(ProtocolError::CounterThrottled { ready_at }) => {
-                    self.sim.run_until(ready_at);
-                }
-                other => return other,
+        // Dead-op resolution is only sound at true quiescence: the cap
+        // is a runaway guard, so keep running until a pass processes
+        // fewer events than it (bounded against pathological livelock).
+        const CAP: u64 = 200_000_000;
+        for _ in 0..64 {
+            if self.sim.run_to_idle(CAP) < CAP {
+                break;
             }
         }
+        self.resolve_dead_ops();
+    }
+
+    /// Quiescence resolution: typed-timeout every pending operation and
+    /// route the completions through the driver accounting.
+    fn resolve_dead_ops(&mut self) {
+        let now = self.sim.now_ns();
+        for i in 0..self.sim.len() {
+            let node = self.sim.node_mut(NodeId(i as u32));
+            if node.host.node.resolve_all_dead(now) == 0 {
+                continue;
+            }
+            let completions = std::mem::take(&mut node.host.node.completions);
+            for c in completions {
+                if node.record_completions {
+                    node.completion_log.push(c.clone());
+                }
+                match node.flights.remove(&c.op.seq) {
+                    Some(flight) => {
+                        // A driver payment died (e.g. its peer crashed):
+                        // count the typed timeout — it must not vanish.
+                        if let Err(e) = &c.outcome {
+                            node.stats.count_error(e);
+                        }
+                        node.inflight = node.inflight.saturating_sub(flight.count as usize);
+                    }
+                    None => {
+                        node.unclaimed.insert(c.op.seq, c);
+                    }
+                }
+            }
+        }
+    }
+
+    // ---- Setup operations (the same correlated-op API as the testkit) ----
+
+    /// Submits a setup command on node `i` (throttle auto-retried).
+    pub fn submit(&mut self, i: usize, cmd: Command) -> teechain::OpId {
+        let nid = NodeId(i as u32);
+        self.sim.call(nid, |node, ctx| {
+            node.host.node.submit_op(ctx, cmd, None, true)
+        })
+    }
+
+    /// Resolves a pending setup operation: runs to quiescence and
+    /// extracts the typed result ([`OpError::Timeout`] if the network
+    /// fell silent without a terminal response).
+    pub fn wait<T: OpResult>(&mut self, p: Pending<T>) -> Result<T, OpError> {
+        self.settle();
+        let nid = NodeId(p.op.node);
+        let now = self.sim.now_ns();
+        let node = self.sim.node_mut(nid);
+        let outcome = if let Some(c) = node.unclaimed.remove(&p.op.seq) {
+            c.outcome
+        } else if let Some(pos) = node.host.node.completions.iter().position(|c| c.op == p.op) {
+            let c = node.host.node.completions.remove(pos);
+            if node.record_completions {
+                node.completion_log.push(c.clone());
+            }
+            c.outcome
+        } else {
+            match node.host.node.resolve_dead_op(p.op, now) {
+                Some(c) => {
+                    // The dead-op completion was appended to the host
+                    // stream; claim it so it is not mistaken for a
+                    // driver flight later.
+                    node.host.node.completions.retain(|x| x.op != p.op);
+                    if node.record_completions {
+                        node.completion_log.push(c.clone());
+                    }
+                    c.outcome
+                }
+                None => Err(OpError::Timeout { at_ns: now }),
+            }
+        };
+        outcome.map(|out| {
+            T::from_output(out).expect("completion output does not match the operation's type")
+        })
+    }
+
+    /// Submits and resolves one setup command.
+    pub fn op(&mut self, i: usize, cmd: Command) -> Result<OpOutput, OpError> {
+        let op = self.submit(i, cmd);
+        self.wait(Pending::new(op))
+    }
+
+    /// Panicking wrapper over [`BenchCluster::op`].
+    pub fn exec(&mut self, i: usize, cmd: Command) -> OpOutput {
+        self.op(i, cmd).expect("operation failed")
     }
 
     /// Connects a and b (sessions), runs to idle.
     pub fn connect(&mut self, a: usize, b: usize) {
         let remote = self.ids[b];
-        self.command(a, Command::StartSession { remote }).unwrap();
-        self.settle();
+        self.exec(a, Command::StartSession { remote });
+    }
+
+    /// Funds an m-of-n committee deposit of `value` on node `i`.
+    pub fn fund_deposit(&mut self, i: usize, value: u64, m: u8) -> teechain::Deposit {
+        let nid = NodeId(i as u32);
+        let op = self.sim.call(nid, |node, ctx| {
+            node.host.node.submit_fund_deposit(ctx, value, m, true)
+        });
+        self.wait(Pending::new(op)).expect("fund deposit failed")
     }
 
     /// Opens + funds a channel from `a` to `b` with `value` on `a`'s side
@@ -546,62 +737,36 @@ impl BenchCluster {
         self.connect(a, b);
         let id = ChannelId::from_label(label);
         // Settlement address: generated in-enclave.
-        self.command(a, Command::NewAddress).unwrap();
-        let my_settlement = self
-            .sim
-            .node_mut(NodeId(a as u32))
-            .host
-            .node
-            .drain_events()
-            .into_iter()
-            .find_map(|(_, e)| match e {
-                HostEvent::NewAddress(pk) => Some(pk),
-                _ => None,
-            })
-            .expect("address");
+        let my_settlement = match self.exec(a, Command::NewAddress) {
+            OpOutput::Address(pk) => pk,
+            other => panic!("unexpected output {other:?}"),
+        };
         let remote = self.ids[b];
-        self.command(
+        let open = self.submit(
             a,
             Command::NewChannel {
                 id,
                 remote,
                 my_settlement,
             },
-        )
-        .unwrap();
-        self.settle();
-        let nid = NodeId(a as u32);
-        let deposit = loop {
-            match self.sim.call(nid, |node, ctx| {
-                node.host
-                    .node
-                    .create_funded_committee_deposit(ctx, value, m)
-            }) {
-                Ok(dep) => break dep,
-                Err(ProtocolError::CounterThrottled { ready_at }) => {
-                    self.sim.run_until(ready_at);
-                }
-                Err(e) => panic!("deposit: {e:?}"),
-            }
-        };
-        self.command(
+        );
+        self.wait::<ChannelId>(Pending::new(open))
+            .expect("channel open failed");
+        let deposit = self.fund_deposit(a, value, m);
+        self.exec(
             a,
             Command::ApproveDeposit {
                 remote,
                 outpoint: deposit.outpoint,
             },
-        )
-        .unwrap();
-        self.settle();
-        self.command(
+        );
+        self.exec(
             a,
             Command::AssociateDeposit {
                 id,
                 outpoint: deposit.outpoint,
             },
-        )
-        .unwrap();
-        self.settle();
+        );
         id
     }
 
@@ -609,9 +774,7 @@ impl BenchCluster {
     pub fn attach_backup(&mut self, tail: usize, backup: usize) {
         self.connect(tail, backup);
         let backup_id = self.ids[backup];
-        self.command(tail, Command::AttachBackup { backup: backup_id })
-            .unwrap();
-        self.settle();
+        self.exec(tail, Command::AttachBackup { backup: backup_id });
         self.sim
             .node_mut(NodeId(tail as u32))
             .host
@@ -649,19 +812,48 @@ impl BenchCluster {
         });
     }
 
+    /// Enables (or disables) completion-stream recording on every node —
+    /// the determinism suite fingerprints [`BenchNode::completion_log`].
+    pub fn set_record_completions(&mut self, on: bool) {
+        for i in 0..self.sim.len() {
+            let node = self.sim.node_mut(NodeId(i as u32));
+            node.record_completions = on;
+            node.completion_log.clear();
+        }
+    }
+
+    /// The cluster-wide completion history recorded since
+    /// [`BenchCluster::set_record_completions`], merged deterministically
+    /// by `(time, node, seq)`.
+    pub fn completion_log(&self) -> Vec<Completion> {
+        let streams: Vec<&[Completion]> = (0..self.sim.len())
+            .map(|i| self.sim.node(NodeId(i as u32)).completion_log.as_slice())
+            .collect();
+        teechain::ops::merge_completions(&streams)
+    }
+
     /// Kicks all drivers and runs until quiescent (or the event cap).
     /// Returns aggregated statistics.
     pub fn run(&mut self, max_events: u64) -> RunStats {
-        // Clear setup noise from the stats.
+        // Clear setup noise from the stats and completion bookkeeping.
         for i in 0..self.sim.len() {
             let node = self.sim.node_mut(NodeId(i as u32));
             node.stats = DriverStats::default();
-            node.host.node.drain_events();
+            node.unclaimed.clear();
+            node.host.node.events.clear();
+            node.host.node.completions.clear();
         }
         for i in 0..self.sim.len() {
             self.sim.call(NodeId(i as u32), |node, ctx| node.pump(ctx));
         }
         self.sim.run_to_idle(max_events);
+        // This measurement run is over — whether the queue drained or
+        // the caller's event budget expired. Operations still pending
+        // are dead *for this run's accounting*: turn them into counted
+        // timeouts instead of silent losses. (A run is never resumed:
+        // `set_engine` requires a drained queue and a fresh `run` resets
+        // the stats and completion bookkeeping.)
+        self.resolve_dead_ops();
         self.collect()
     }
 
@@ -674,6 +866,7 @@ impl BenchCluster {
         let mut hops_total = 0;
         let mut mh = 0;
         let mut retries = 0;
+        let mut retried_completed = 0;
         for i in 0..self.sim.len() {
             let node = self.sim.node_mut(NodeId(i as u32));
             completed += node.stats.completed;
@@ -684,6 +877,7 @@ impl BenchCluster {
             hops_total += node.stats.hops_total;
             mh += node.stats.multihop_completed;
             retries += node.stats.retries;
+            retried_completed += node.stats.retried_completed;
             lat.merge(&node.stats.latencies);
         }
         let duration_ns = last.saturating_sub(if first == u64::MAX { 0 } else { first });
@@ -704,6 +898,20 @@ impl BenchCluster {
                 0.0
             },
             retries,
+            retried_completed,
         }
+    }
+
+    /// Aggregated typed-failure counts (per [`OpError::label`]) across
+    /// all drivers since the last [`BenchCluster::run`] — the source of
+    /// the `op_errors` section in the `BENCH_*.json` artifacts.
+    pub fn op_errors(&self) -> BTreeMap<String, u64> {
+        let mut out: BTreeMap<String, u64> = BTreeMap::new();
+        for i in 0..self.sim.len() {
+            for (label, n) in &self.sim.node(NodeId(i as u32)).stats.op_errors {
+                *out.entry(label.clone()).or_insert(0) += n;
+            }
+        }
+        out
     }
 }

@@ -182,6 +182,7 @@ pub struct BenchJson {
     name: String,
     metrics: Vec<(String, JsonValue)>,
     tables: Vec<JsonValue>,
+    op_errors: std::collections::BTreeMap<String, u64>,
 }
 
 impl BenchJson {
@@ -191,12 +192,25 @@ impl BenchJson {
             name: name.to_string(),
             metrics: Vec::new(),
             tables: Vec::new(),
+            op_errors: std::collections::BTreeMap::new(),
         }
     }
 
     /// Records a named metric.
     pub fn metric(&mut self, key: &str, value: impl Into<JsonValue>) -> &mut Self {
         self.metrics.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// Folds typed-failure counts (per `OpError` label, from
+    /// `BenchCluster::op_errors`) into the artifact's `op_errors`
+    /// section. Call once per measured run; counts accumulate, so
+    /// silent-failure regressions show up in the perf trajectory even
+    /// when throughput looks healthy.
+    pub fn op_errors(&mut self, counts: &std::collections::BTreeMap<String, u64>) -> &mut Self {
+        for (label, n) in counts {
+            *self.op_errors.entry(label.clone()).or_insert(0) += n;
+        }
         self
     }
 
@@ -223,9 +237,16 @@ impl BenchJson {
 
     /// The artifact as a JSON value.
     pub fn to_value(&self) -> JsonValue {
+        let op_errors = JsonValue::Obj(
+            self.op_errors
+                .iter()
+                .map(|(k, v)| (k.clone(), JsonValue::from(*v)))
+                .collect(),
+        );
         JsonValue::Obj(vec![
             ("bench".into(), self.name.as_str().into()),
             ("metrics".into(), JsonValue::Obj(self.metrics.clone())),
+            ("op_errors".into(), op_errors),
             ("tables".into(), JsonValue::Arr(self.tables.clone())),
         ])
     }

@@ -209,35 +209,22 @@ impl Network {
 /// payments can flow both ways.
 pub fn fund_reverse(cluster: &mut BenchCluster, chan: ChannelId, a: NodeId, b: NodeId, value: u64) {
     let nidb = b.0 as usize;
-    let dep = cluster
-        .sim
-        .call(NodeId(b.0), |node, ctx| {
-            node.host
-                .node
-                .create_funded_committee_deposit(ctx, value, 1)
-        })
-        .expect("reverse deposit");
+    let dep = cluster.fund_deposit(nidb, value, 1);
     let remote = cluster.ids[a.0 as usize];
-    cluster
-        .command(
-            nidb,
-            teechain::Command::ApproveDeposit {
-                remote,
-                outpoint: dep.outpoint,
-            },
-        )
-        .unwrap();
-    cluster.settle();
-    cluster
-        .command(
-            nidb,
-            teechain::Command::AssociateDeposit {
-                id: chan,
-                outpoint: dep.outpoint,
-            },
-        )
-        .unwrap();
-    cluster.settle();
+    cluster.exec(
+        nidb,
+        teechain::Command::ApproveDeposit {
+            remote,
+            outpoint: dep.outpoint,
+        },
+    );
+    cluster.exec(
+        nidb,
+        teechain::Command::AssociateDeposit {
+            id: chan,
+            outpoint: dep.outpoint,
+        },
+    );
 }
 
 /// Builds a network over explicit edges, `parallel` channels per edge,

@@ -6,6 +6,7 @@
 //! default `1,2,8`); CI runs a matrix over pairs so a regression names
 //! the offending count.
 
+use teechain::ops::Completion;
 use teechain_bench::report::fmt_thousands;
 use teechain_bench::scenarios::{build_sparse_network, scale_jobs, wan_100ms};
 use teechain_net::topology::HubSpoke;
@@ -16,6 +17,7 @@ use teechain_net::SimStats;
 struct Fingerprint {
     completed: u64,
     retries: u64,
+    retried_completed: u64,
     duration_ns: u64,
     sim_stats: SimStats,
     now_ns: u64,
@@ -24,6 +26,9 @@ struct Fingerprint {
     /// (channel, node, my_bal, remote_bal) for both ends of every
     /// channel, in deterministic order.
     balances: Vec<(u32, u64, u64)>,
+    /// The merged completion stream of the measured phase: operation
+    /// ids, outcomes AND times must be identical for any shard count.
+    completions: Vec<Completion>,
 }
 
 /// Builds the cluster AND runs the workload entirely under
@@ -43,6 +48,10 @@ fn run_at(shards: usize) -> Fingerprint {
     for (i, j) in jobs {
         net.cluster.load(i, j, 8);
     }
+    // Record the measured phase's completion streams: every operation's
+    // terminal outcome (id, result, timestamp) must be bit-identical
+    // across shard counts, like any other event.
+    net.cluster.set_record_completions(true);
     let stats = net.cluster.run(50_000_000);
     let mut latencies = Vec::new();
     for i in 0..net.cluster.sim.len() {
@@ -72,11 +81,13 @@ fn run_at(shards: usize) -> Fingerprint {
     Fingerprint {
         completed: stats.completed,
         retries: stats.retries,
+        retried_completed: stats.retried_completed,
         duration_ns: stats.duration_ns,
         sim_stats: net.cluster.sim.stats(),
         now_ns: net.cluster.sim.now_ns(),
         latencies,
         balances,
+        completions: net.cluster.completion_log(),
     }
 }
 
@@ -96,6 +107,10 @@ fn fixed_seed_run_is_identical_across_shard_counts() {
         baseline.completed
     );
     assert!(!baseline.latencies.is_empty());
+    assert!(
+        baseline.completions.len() as u64 >= baseline.completed,
+        "every logical payment resolves through a completion"
+    );
     println!(
         "baseline (sharded:{}): {} payments, {} events, {} retries",
         counts[0],

@@ -34,6 +34,11 @@ pub struct Channel {
     pub pending_dissoc: Vec<OutPoint>,
     /// True once settled/closed (terminal).
     pub closed: bool,
+    /// True while we (as initiator) are driving a cooperative off-chain
+    /// settlement: once every deposit on both sides has dissociated, the
+    /// enclave emits the terminal `SettledOffChain` notification that
+    /// resolves the initiator's settle operation.
+    pub settling: bool,
 }
 
 impl Channel {
@@ -58,6 +63,7 @@ impl Channel {
             route: None,
             pending_dissoc: Vec::new(),
             closed: false,
+            settling: false,
         }
     }
 
@@ -107,6 +113,7 @@ impl Channel {
             route: self.route,
             pending_dissoc: Vec::new(),
             closed: self.closed,
+            settling: false,
         }
     }
 }
@@ -128,6 +135,7 @@ impl Encode for Channel {
         self.route.encode(out);
         self.pending_dissoc.encode(out);
         self.closed.encode(out);
+        self.settling.encode(out);
     }
 }
 
@@ -147,6 +155,7 @@ impl Decode for Channel {
             route: r.read()?,
             pending_dissoc: r.read()?,
             closed: r.read()?,
+            settling: r.read()?,
         })
     }
 }

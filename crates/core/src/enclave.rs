@@ -321,6 +321,10 @@ pub enum HostEvent {
     MultihopFailed {
         /// The route.
         route: RouteId,
+        /// The refusing hop's failure reason, carried backward along the
+        /// abort unwind so the originator learns *why* (e.g. an
+        /// intermediary's [`ProtocolError::InsufficientBalance`]).
+        reason: ProtocolError,
     },
     /// An incoming multi-hop payment credited us (we are pn).
     MultihopReceived {
@@ -930,7 +934,30 @@ impl TeechainEnclave {
         }
         self.stage_channel(&id);
         let msg = ProtocolMsg::DissociateAck { id, outpoint };
-        Ok(vec![self.seal_to(&from, &msg)?])
+        let mut effects = vec![self.seal_to(&from, &msg)?];
+        self.maybe_finish_offchain_settle(&id, &mut effects);
+        Ok(effects)
+    }
+
+    /// Terminal check for a cooperative off-chain settlement we initiated
+    /// (Alg. 1 line 106): once every deposit on both sides has
+    /// dissociated and no dissociation ack is outstanding, the
+    /// termination is complete and exactly one `SettledOffChain`
+    /// notification resolves the initiator's settle operation. (The
+    /// responder reports its own side in `on_settle_request`.)
+    fn maybe_finish_offchain_settle(&mut self, id: &ChannelId, effects: &mut Vec<Effect>) {
+        let Some(chan) = self.channels.get_mut(id) else {
+            return;
+        };
+        if chan.settling
+            && chan.my_deps.is_empty()
+            && chan.remote_deps.is_empty()
+            && chan.pending_dissoc.is_empty()
+        {
+            chan.settling = false;
+            self.stage_channel(id);
+            effects.push(Effect::Event(HostEvent::SettledOffChain(*id)));
+        }
     }
 
     fn on_dissociate_ack(
@@ -952,10 +979,12 @@ impl TeechainEnclave {
         chan.my_bal -= dep_value;
         self.book.set_status(&outpoint, DepositStatus::Free);
         self.stage_channel(&id);
-        Ok(vec![Effect::Event(HostEvent::DepositDissociated {
+        let mut effects = vec![Effect::Event(HostEvent::DepositDissociated {
             id,
             outpoint,
-        })])
+        })];
+        self.maybe_finish_offchain_settle(&id, &mut effects);
+        Ok(effects)
     }
 
     fn cmd_pay(&mut self, env: &mut EnclaveEnv, id: ChannelId, amount: u64, count: u32) -> Outcome {
@@ -1082,6 +1111,17 @@ impl TeechainEnclave {
             .filter_map(|d| self.book.value_of(d))
             .sum();
         if chan.my_bal == my_total && chan.remote_bal == remote_total {
+            if chan.my_deps.is_empty() && chan.remote_deps.is_empty() {
+                // Nothing funds the channel: the off-chain termination is
+                // already complete on our side. Still ask the remote (so
+                // its host gets its own SettledOffChain notification, as
+                // in the deposit-carrying path), and report our terminal
+                // state immediately — the initiator's settle operation
+                // resolves on this notification.
+                let msg = ProtocolMsg::SettleRequest { id };
+                let eff = self.seal_to(&remote, &msg)?;
+                return Ok(vec![eff, Effect::Event(HostEvent::SettledOffChain(id))]);
+            }
             let my_deps = chan.my_deps.clone();
             let mut effects = Vec::new();
             for outpoint in my_deps {
@@ -1090,9 +1130,13 @@ impl TeechainEnclave {
                 let msg = ProtocolMsg::DissociateDeposit { id, outpoint };
                 effects.push(self.seal_to(&remote, &msg)?);
             }
-            // Ask the remote to dissociate its deposits too.
+            // Ask the remote to dissociate its deposits too, and remember
+            // that we are driving this settlement: the terminal
+            // `SettledOffChain` fires once both deposit lists drain.
             let msg = ProtocolMsg::SettleRequest { id };
             effects.push(self.seal_to(&remote, &msg)?);
+            let chan = self.channels.get_mut(&id).expect("exists");
+            chan.settling = true;
             self.stage_channel(&id);
             return Ok(effects);
         }
@@ -1204,7 +1248,7 @@ impl TeechainEnclave {
             ProtocolMsg::MhUpdate { route } => self.on_mh_update(from, route),
             ProtocolMsg::MhPostUpdate { route } => self.on_mh_post_update(from, route),
             ProtocolMsg::MhRelease { route } => self.on_mh_release(from, route),
-            ProtocolMsg::MhAbort { route } => self.on_mh_abort(from, route),
+            ProtocolMsg::MhAbort { route, reason } => self.on_mh_abort(from, route, reason),
             ProtocolMsg::RepAssign => self.on_rep_assign(env, from),
             ProtocolMsg::RepAssignAck { member_key } => self.on_rep_assign_ack(from, member_key),
             ProtocolMsg::RepUpdate { seq, deltas } => self.on_rep_update(from, seq, deltas),

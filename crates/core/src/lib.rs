@@ -22,12 +22,38 @@
 //!   (Alg. 3, §6).
 //! * [`node`] — the untrusted host: wraps the enclave, performs network
 //!   and blockchain I/O, gathers committee co-signatures.
+//! * [`ops`] — the correlated-operation layer: every submitted command
+//!   gets an [`ops::OpId`] and resolves to exactly one typed
+//!   [`ops::Completion`] (success payload or [`ops::OpError`], including
+//!   remote rejections and timeouts).
 //! * [`driver`] — runs hosts inside the deterministic network simulator
 //!   with the calibrated CPU cost model (reproduces §7).
 //! * [`routing`] — shortest-path and k-path route selection for payment
 //!   networks (§7.4 dynamic routing).
 //!
-//! See `examples/quickstart.rs` for a end-to-end tour.
+//! # Quickstart
+//!
+//! Applications drive a cluster through typed operations — submit via a
+//! [`testkit::NodeHandle`], resolve the [`ops::Pending`] token; raw
+//! commands and `HostEvent` scraping never appear:
+//!
+//! ```
+//! use teechain::testkit::Cluster;
+//!
+//! let mut net = Cluster::functional(2);
+//! let session = net.handle(0).connect(1);
+//! net.wait(session).unwrap();
+//! let open = net.handle(0).open_channel(1, "demo");
+//! let chan = net.wait(open).unwrap();
+//! let fund = net.handle(0).fund_deposit(1_000, 1);
+//! let deposit = net.wait(fund).unwrap();
+//! net.approve_and_associate(0, 1, chan, &deposit);
+//! let receipt = net.pay(0, chan, 250).unwrap(); // The completion IS the ack.
+//! assert_eq!((receipt.amount, net.balances(0, chan)), (250, (750, 250)));
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full end-to-end tour (funding,
+//! settlement kinds, typed error paths).
 
 //! # Fault-tolerance backends (§6)
 //!
@@ -68,6 +94,7 @@ pub mod enclave;
 pub mod msg;
 pub mod multihop;
 pub mod node;
+pub mod ops;
 pub mod replication;
 pub mod routing;
 pub mod session;
@@ -78,4 +105,5 @@ pub mod types;
 pub use durability::{DurabilityBackend, PersistPolicy};
 pub use enclave::{Command, Effect, EnclaveConfig, HostEvent, Outcome, TeechainEnclave};
 pub use node::TeechainNode;
+pub use ops::{Completion, OpError, OpId, OpOutput, Pending, SettleKind};
 pub use types::{ChannelId, CommitteeSpec, Deposit, MultihopStage, ProtocolError, RouteId};

@@ -450,10 +450,15 @@ pub enum ProtocolMsg {
         /// Route.
         route: RouteId,
     },
-    /// Lock failed downstream; unwind (backward) and unlock.
+    /// Lock failed downstream; unwind (backward) and unlock. Carries the
+    /// refusing hop's failure reason ([`crate::types::ProtocolError::abort_code`])
+    /// so the originator's operation completes with the *real* error
+    /// instead of an anonymous failure.
     MhAbort {
         /// Route.
         route: RouteId,
+        /// Failure reason wire code.
+        reason: u8,
     },
 
     // ---- Replication (Alg. 3) and committees (§6.1) ----
@@ -542,7 +547,7 @@ impl Encode for ProtocolMsg {
                 refused,
             } => tagged!(out, 23, req_id, sigs, refused),
             PayNack { id, amount, count } => tagged!(out, 24, id, amount, count),
-            MhAbort { route } => tagged!(out, 25, route),
+            MhAbort { route, reason } => tagged!(out, 25, route, reason),
         }
     }
 }
@@ -626,7 +631,10 @@ impl Decode for ProtocolMsg {
                 amount: r.read()?,
                 count: r.read()?,
             },
-            25 => MhAbort { route: r.read()? },
+            25 => MhAbort {
+                route: r.read()?,
+                reason: r.read()?,
+            },
             _ => return Err(WireError::InvalidValue("protocol tag")),
         })
     }

@@ -265,8 +265,13 @@ impl TeechainEnclave {
             }
             Ok(())
         })();
-        if check.is_err() {
-            let abort = ProtocolMsg::MhAbort { route: m.route };
+        if let Err(reason) = check {
+            // Unwind with the real refusal reason so the originator's
+            // operation completes with a typed error.
+            let abort = ProtocolMsg::MhAbort {
+                route: m.route,
+                reason: reason.abort_code(),
+            };
             return Ok(vec![self.seal_to(&from, &abort)?]);
         }
         if pos + 1 < n {
@@ -550,7 +555,12 @@ impl TeechainEnclave {
         }
     }
 
-    pub(crate) fn on_mh_abort(&mut self, from: PublicKey, route_id: RouteId) -> Outcome {
+    pub(crate) fn on_mh_abort(
+        &mut self,
+        from: PublicKey,
+        route_id: RouteId,
+        reason: u8,
+    ) -> Outcome {
         let Some(route) = self.routes.get(&route_id) else {
             return Err(ProtocolError::BadStage);
         };
@@ -569,13 +579,17 @@ impl TeechainEnclave {
         });
         let route = self.routes.remove(&route_id).expect("checked");
         if route.pos > 0 {
-            let msg = ProtocolMsg::MhAbort { route: route_id };
+            let msg = ProtocolMsg::MhAbort {
+                route: route_id,
+                reason,
+            };
             Ok(vec![
                 self.seal_to(&route.prev_hop().expect("pos > 0"), &msg)?
             ])
         } else {
             Ok(vec![Effect::Event(HostEvent::MultihopFailed {
                 route: route_id,
+                reason: ProtocolError::from_abort_code(reason),
             })])
         }
     }

@@ -4,6 +4,7 @@
 //! or drop traffic, which the protocol tolerates by construction.
 
 use crate::enclave::{Command, Effect, EnclaveConfig, HostEvent, TeechainEnclave};
+use crate::ops::{self, Completion, OpError, OpId, OpJob, OpOutput, OpTracker};
 use crate::types::{Deposit, ProtocolError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -116,8 +117,17 @@ pub struct TeechainNode {
     pub store: Option<SharedStore>,
     /// Launch configuration, kept to rebuild the program on restart.
     pub cfg: EnclaveConfig,
-    /// Events produced by the enclave, in order, with timestamps.
+    /// Events produced by the enclave, in order, with timestamps. This is
+    /// the host's *internal* notification stream (unsolicited events such
+    /// as `VerifyDeposit` callbacks land here); external callers consume
+    /// [`TeechainNode::completions`] instead.
     pub events: Vec<(u64, HostEvent)>,
+    /// Terminal completions of submitted operations, in resolution order.
+    /// Exactly one entry per [`TeechainNode::submit_op`] call eventually
+    /// appears here; harness layers drain or scan it.
+    pub completions: Vec<Completion>,
+    /// In-flight operation correlation state.
+    pub(crate) ops: OpTracker,
     /// Transactions this node broadcast (txids, for assertions).
     pub broadcasts: Vec<teechain_blockchain::TxId>,
     /// Errors surfaced while delivering messages (protocol violations by
@@ -129,6 +139,14 @@ pub struct TeechainNode {
 
 /// Timer token the node uses for counter-retry wakeups.
 pub const RETRY_TOKEN: u64 = 0x7EE_C8A1_4E57;
+
+/// High-16-bit timer-token tag for operation deadline timers (low 48
+/// bits carry the operation sequence number).
+const OP_DEADLINE_TAG: u64 = 0x4F44 << 48;
+/// Tag for operation throttle-retry timers.
+const OP_RETRY_TAG: u64 = 0x4F52 << 48;
+/// Mask selecting a token's tag bits.
+const OP_TAG_MASK: u64 = 0xFFFF << 48;
 
 impl TeechainNode {
     /// Creates a node with a freshly launched enclave.
@@ -146,6 +164,8 @@ impl TeechainNode {
             store: None,
             cfg,
             events: Vec::new(),
+            completions: Vec::new(),
+            ops: OpTracker::default(),
             broadcasts: Vec::new(),
             delivery_errors: Vec::new(),
             retry_scheduled: false,
@@ -188,7 +208,7 @@ impl TeechainNode {
         // Recovery produces only host events; no network I/O is needed.
         for effect in outcome? {
             if let Effect::Event(event) = effect {
-                self.events.push((now_ns, event));
+                self.note_event(now_ns, event);
             }
         }
         Ok(())
@@ -299,8 +319,26 @@ impl TeechainNode {
         ctx.set_timer(delay, RETRY_TOKEN);
     }
 
-    /// Fires node timers (counter retry).
+    /// Fires node timers: counter retry, operation deadlines and
+    /// operation throttle retries.
     pub fn handle_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token & OP_TAG_MASK {
+            OP_DEADLINE_TAG => {
+                let seq = token & !OP_TAG_MASK;
+                if let Some(c) = self.ops.cancel(seq, ctx.now_ns()) {
+                    self.completions.push(c);
+                }
+                return;
+            }
+            OP_RETRY_TAG => {
+                let seq = token & !OP_TAG_MASK;
+                if self.ops.is_pending(seq) {
+                    self.dispatch_op(ctx, seq);
+                }
+                return;
+            }
+            _ => {}
+        }
         if token != RETRY_TOKEN {
             return;
         }
@@ -357,7 +395,7 @@ impl TeechainNode {
                 }
                 Effect::Event(event) => {
                     self.react(ctx, &event);
-                    self.events.push((ctx.now_ns(), event));
+                    self.note_event(ctx.now_ns(), event);
                 }
             }
         }
@@ -423,9 +461,215 @@ impl TeechainNode {
         chain.confirmations(&deposit.outpoint.txid) >= self.required_confirmations
     }
 
+    /// Routes a host event through the operation tracker (which may
+    /// resolve a pending operation into a completion), then records it on
+    /// the internal notification stream.
+    fn note_event(&mut self, now_ns: u64, event: HostEvent) {
+        if let Some(c) = self.ops.observe(&event, now_ns) {
+            self.completions.push(c);
+        }
+        self.events.push((now_ns, event));
+    }
+
     /// Drains collected host events.
     pub fn drain_events(&mut self) -> Vec<(u64, HostEvent)> {
         std::mem::take(&mut self.events)
+    }
+
+    // ---- Correlated operations (the `ops` layer) ----
+
+    /// Submits `cmd` as a correlated operation: the returned [`OpId`]'s
+    /// terminal [`Completion`] eventually appears in
+    /// [`TeechainNode::completions`] — exactly once.
+    ///
+    /// * `deadline_ns`: absolute simulated time at which a still-pending
+    ///   operation is declared dead with [`OpError::Timeout`] (via an
+    ///   in-simulation timer, so the timeout is part of the deterministic
+    ///   event stream). `None` leaves resolution to the harness's
+    ///   quiescence check. Deadlines are for presumed-dead paths (a
+    ///   crashed or unreachable peer): the wire protocol carries no
+    ///   per-operation correlation ids, so if a deadline shorter than
+    ///   the round trip expires on a *live* path, the late response
+    ///   FIFO-matches the next same-key operation. Pick deadlines above
+    ///   the path RTT.
+    /// * `retry_throttle`: when the enclave's monotonic counter is
+    ///   throttled (persistent mode), automatically re-issue the command
+    ///   at `ready_at` instead of failing — mirroring a host that waits
+    ///   out the hardware throttle.
+    pub fn submit_op(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        cmd: Command,
+        deadline_ns: Option<u64>,
+        retry_throttle: bool,
+    ) -> OpId {
+        let key = ops::expect_for(&cmd);
+        self.submit_job(ctx, OpJob::Cmd(cmd), key, deadline_ns, retry_throttle)
+    }
+
+    /// Submits the composite fund-deposit operation (mint on chain, wait
+    /// for confirmations, register with the enclave) as a correlated
+    /// operation completing with [`OpOutput::DepositFunded`].
+    pub fn submit_fund_deposit(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        value: u64,
+        m: u8,
+        retry_throttle: bool,
+    ) -> OpId {
+        self.submit_job(
+            ctx,
+            OpJob::FundDeposit { value, m },
+            None,
+            None,
+            retry_throttle,
+        )
+    }
+
+    /// Submits the composite open-channel operation (generate an
+    /// in-enclave settlement address, then propose the channel) as a
+    /// correlated operation completing with [`OpOutput::ChannelOpen`].
+    pub fn submit_open_channel(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: crate::types::ChannelId,
+        remote: PublicKey,
+        retry_throttle: bool,
+    ) -> OpId {
+        self.submit_job(
+            ctx,
+            OpJob::OpenChannel { id, remote },
+            Some(ops::MatchKey::ChannelOpen(id)),
+            None,
+            retry_throttle,
+        )
+    }
+
+    /// Submits crash recovery from the durable store as a correlated
+    /// operation completing with [`OpOutput::Recovered`].
+    pub fn submit_recover(&mut self, ctx: &mut Ctx<'_>) -> OpId {
+        self.submit_job(
+            ctx,
+            OpJob::Recover,
+            Some(ops::MatchKey::Recovered),
+            None,
+            false,
+        )
+    }
+
+    fn submit_job(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        job: OpJob,
+        key: Option<crate::ops::MatchKey>,
+        deadline_ns: Option<u64>,
+        retry_throttle: bool,
+    ) -> OpId {
+        let op = self.ops.register(ctx.self_id().0, job, key, retry_throttle);
+        if let Some(deadline) = deadline_ns {
+            let delay = deadline.saturating_sub(ctx.now_ns()).max(1);
+            ctx.set_timer(delay, OP_DEADLINE_TAG | op.seq);
+        }
+        self.dispatch_op(ctx, op.seq);
+        op
+    }
+
+    /// Executes (or re-executes, after a throttle retry) a pending
+    /// operation's job and resolves what can be resolved synchronously.
+    fn dispatch_op(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
+        let Some(job) = self.ops.job(seq) else {
+            return;
+        };
+        let retry = self.ops.retries_throttle(seq);
+        let result: Result<Option<OpOutput>, ProtocolError> = match job {
+            OpJob::Cmd(cmd) => self.command(ctx, cmd).map(|()| None),
+            OpJob::FundDeposit { value, m } => self
+                .create_funded_committee_deposit(ctx, value, m)
+                .map(|dep| Some(OpOutput::DepositFunded(dep))),
+            OpJob::OpenChannel { id, remote } => {
+                self.open_channel_steps(ctx, id, remote).map(|()| None)
+            }
+            OpJob::Recover => self.recover_from_store(ctx.now_ns()).map(|()| None),
+        };
+        match result {
+            Ok(output) => {
+                if let Some(out) = output {
+                    self.finish_op(seq, ctx.now_ns(), Ok(out));
+                } else if self.ops.expects_nothing(seq) {
+                    // No asynchronous terminal event: accepted == done.
+                    self.finish_op(seq, ctx.now_ns(), Ok(OpOutput::Done));
+                }
+                // Otherwise the terminal event either already resolved
+                // the operation (it was in this call's own effects) or
+                // will arrive over the network.
+            }
+            Err(ProtocolError::CounterThrottled { ready_at }) if retry => {
+                let delay = ready_at.saturating_sub(ctx.now_ns()).max(1);
+                ctx.set_timer(delay, OP_RETRY_TAG | seq);
+            }
+            Err(e) => self.finish_op(seq, ctx.now_ns(), Err(OpError::Rejected(e))),
+        }
+    }
+
+    /// The open-channel composite: a fresh in-enclave settlement address
+    /// followed by the channel proposal. The address is extracted from
+    /// the ecall outcome directly (not routed through the event stream),
+    /// so it cannot be mistaken for a user-submitted `NewAddress`
+    /// operation's response.
+    fn open_channel_steps(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        id: crate::types::ChannelId,
+        remote: PublicKey,
+    ) -> Result<(), ProtocolError> {
+        let outcome = self
+            .enclave
+            .call(ctx.now_ns(), Command::NewAddress)
+            .map_err(|_| ProtocolError::Frozen)??;
+        let my_settlement = outcome
+            .iter()
+            .find_map(|e| match e {
+                Effect::Event(HostEvent::NewAddress(pk)) => Some(*pk),
+                _ => None,
+            })
+            .ok_or(ProtocolError::BadMessage)?;
+        self.command(
+            ctx,
+            Command::NewChannel {
+                id,
+                remote,
+                my_settlement,
+            },
+        )
+    }
+
+    fn finish_op(&mut self, seq: u64, now_ns: u64, outcome: Result<OpOutput, OpError>) {
+        if let Some(c) = self.ops.complete(seq, now_ns, outcome) {
+            self.completions.push(c);
+        }
+    }
+
+    /// Declares a still-pending operation dead (harness quiescence
+    /// resolution): records and returns its [`OpError::Timeout`]
+    /// completion. `None` if the operation already completed.
+    pub fn resolve_dead_op(&mut self, op: OpId, now_ns: u64) -> Option<Completion> {
+        let c = self.ops.cancel(op.seq, now_ns)?;
+        self.completions.push(c.clone());
+        Some(c)
+    }
+
+    /// Declares EVERY still-pending operation dead: the harness calls
+    /// this when the network reaches quiescence, at which point no
+    /// terminal response can arrive anymore. Guarantees exactly-once
+    /// completion delivery even for operations nobody waits on (a stale
+    /// pending operation would otherwise poison the per-key FIFO and
+    /// steal a later operation's response). Returns how many were
+    /// resolved.
+    pub fn resolve_all_dead(&mut self, now_ns: u64) -> usize {
+        let dead = self.ops.cancel_all(now_ns);
+        let n = dead.len();
+        self.completions.extend(dead);
+        n
     }
 
     /// Convenience: funds and registers a 1-of-1 deposit for this node.

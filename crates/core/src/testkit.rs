@@ -4,12 +4,35 @@
 //! Used by the crate's own tests, the workspace integration tests, the
 //! examples and the benchmark harness — it is the "public deployment API"
 //! of the reproduction.
+//!
+//! # The operation model
+//!
+//! Every interaction goes through the correlated-operation layer
+//! ([`crate::ops`]): submitting a [`Command`] yields an [`OpId`], and the
+//! protocol delivers exactly one terminal [`Completion`] — a typed
+//! success payload or a typed error (including remote rejections and
+//! timeouts). Callers never touch `HostEvent`.
+//!
+//! Three altitudes, pick per call site:
+//!
+//! * [`Cluster::handle`] → [`NodeHandle`] typed methods returning
+//!   [`Pending<T>`] tokens, resolved with [`Cluster::wait`] — the
+//!   documented application API.
+//! * [`Cluster::op`] / [`Cluster::exec`] — submit any raw [`Command`] and
+//!   block until its typed outcome (`exec` panics on failure; it is the
+//!   thin `.expect` over the fallible path).
+//! * [`Cluster::submit`] + [`Cluster::wait`] — split submission from
+//!   resolution to drive several operations concurrently.
 
 use crate::driver::{CostModel, SimHost};
 use crate::durability::DurabilityBackend;
-use crate::enclave::{Command, EnclaveConfig, HostEvent};
+use crate::enclave::{Command, EnclaveConfig};
 use crate::node::{SharedChain, TeechainNode};
-use crate::types::{ChannelId, Deposit, ProtocolError, RouteId};
+use crate::ops::{
+    Completion, Delivered, OpError, OpId, OpOutput, OpResult, Payment, Pending, Recovery,
+    Settlement,
+};
+use crate::types::{ChannelId, Deposit, RouteId};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use teechain_blockchain::Chain;
@@ -163,101 +186,175 @@ impl Cluster {
         &mut self.sim.node_mut(NodeId(i as u32)).node
     }
 
-    /// Issues an enclave command on node `i` and performs its effects.
-    /// If the monotonic counter is throttled (persistent mode), advances
-    /// simulated time and retries — mirroring a host that waits out the
-    /// hardware throttle.
-    pub fn command(&mut self, i: usize, cmd: Command) -> Result<(), ProtocolError> {
-        loop {
-            match self.try_command(i, cmd.clone()) {
-                Err(ProtocolError::CounterThrottled { ready_at }) => {
-                    self.sim.run_until(ready_at);
-                }
-                other => return other,
+    // ---- Operation submission and resolution ----
+
+    /// Submits `cmd` on node `i` as a correlated operation. Monotonic-
+    /// counter throttling (persistent mode) is retried automatically at
+    /// `ready_at` via an in-simulation timer.
+    pub fn submit(&mut self, i: usize, cmd: Command) -> OpId {
+        let id = self.nid(i);
+        self.sim
+            .call(id, |host, ctx| host.node.submit_op(ctx, cmd, None, true))
+    }
+
+    /// Submits without throttle auto-retry: a throttled counter surfaces
+    /// as `Err(OpError::Rejected(ProtocolError::CounterThrottled))`.
+    pub fn submit_no_retry(&mut self, i: usize, cmd: Command) -> OpId {
+        let id = self.nid(i);
+        self.sim
+            .call(id, |host, ctx| host.node.submit_op(ctx, cmd, None, false))
+    }
+
+    /// Submits with an absolute deadline (simulated ns): a still-pending
+    /// operation is declared dead at that instant by an in-simulation
+    /// timer, so the resulting [`OpError::Timeout`] completion is part of
+    /// the deterministic event stream.
+    pub fn submit_with_deadline(&mut self, i: usize, cmd: Command, deadline_ns: u64) -> OpId {
+        let id = self.nid(i);
+        self.sim.call(id, |host, ctx| {
+            host.node.submit_op(ctx, cmd, Some(deadline_ns), true)
+        })
+    }
+
+    /// Wraps an operation id in a typed pending token.
+    pub fn pending<T: OpResult>(&self, op: OpId) -> Pending<T> {
+        Pending::new(op)
+    }
+
+    /// Resolves a pending operation: runs the network to quiescence (or
+    /// the operation's deadline) and extracts the typed result. An
+    /// operation with no terminal response by quiescence is declared dead
+    /// with [`OpError::Timeout`] — its completion is recorded like any
+    /// other, so the completion stream stays exactly-once.
+    pub fn wait<T: OpResult>(&mut self, p: Pending<T>) -> Result<T, OpError> {
+        self.settle_network();
+        let nid = NodeId(p.op.node);
+        let now = self.sim.now_ns();
+        let node = &mut self.sim.node_mut(nid).node;
+        let outcome = match node.completions.iter().find(|c| c.op == p.op) {
+            Some(c) => c.outcome.clone(),
+            None => match node.resolve_dead_op(p.op, now) {
+                Some(c) => c.outcome,
+                None => Err(OpError::Timeout { at_ns: now }),
+            },
+        };
+        outcome.map(|out| {
+            T::from_output(out).expect("completion output does not match the operation's type")
+        })
+    }
+
+    /// Submits `cmd` on node `i` and blocks until its typed outcome: the
+    /// single fallible command path.
+    pub fn op(&mut self, i: usize, cmd: Command) -> Result<OpOutput, OpError> {
+        let op = self.submit(i, cmd);
+        self.wait(Pending::new(op))
+    }
+
+    /// [`Cluster::op`] without throttle auto-retry.
+    pub fn op_no_retry(&mut self, i: usize, cmd: Command) -> Result<OpOutput, OpError> {
+        let op = self.submit_no_retry(i, cmd);
+        self.wait(Pending::new(op))
+    }
+
+    /// The thin panicking wrapper over [`Cluster::op`].
+    pub fn exec(&mut self, i: usize, cmd: Command) -> OpOutput {
+        self.op(i, cmd).expect("operation failed")
+    }
+
+    /// Submits `cmd` and resolves it *synchronously*, without running the
+    /// network — for commands whose outcome is local (eject, raw message
+    /// delivery, sealed-state restore), or to observe a synchronous
+    /// rejection while leaving in-flight traffic untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the command did not resolve within its own submission
+    /// (i.e. it awaits a network response); use [`Cluster::op`] for
+    /// those.
+    pub fn op_now(&mut self, i: usize, cmd: Command) -> Result<OpOutput, OpError> {
+        let op = self.submit_no_retry(i, cmd);
+        self.node(i)
+            .completions
+            .iter()
+            .find(|c| c.op == op)
+            .map(|c| c.outcome.clone())
+            .expect("operation did not resolve synchronously; use Cluster::op")
+    }
+
+    /// Node `i`'s completion stream so far (setup included), in
+    /// resolution order.
+    pub fn completions(&self, i: usize) -> &[Completion] {
+        &self.node(i).completions
+    }
+
+    /// The cluster-wide completion history, merged deterministically by
+    /// `(time, node, seq)` — identical for any shard count of the
+    /// sharded engine.
+    pub fn completion_log(&self) -> Vec<Completion> {
+        let streams: Vec<&[Completion]> = (0..self.sim.len())
+            .map(|i| self.node(i).completions.as_slice())
+            .collect();
+        crate::ops::merge_completions(&streams)
+    }
+
+    /// A typed operation handle for node `i`.
+    pub fn handle(&mut self, i: usize) -> NodeHandle<'_> {
+        NodeHandle { cluster: self, i }
+    }
+
+    /// Runs the simulation until quiescent, then resolves every
+    /// still-pending operation as dead ([`OpError::Timeout`]): once the
+    /// network has fallen silent, no terminal response can arrive, so
+    /// leaving such operations pending would only let them steal a later
+    /// same-key response. This is the "resolved at quiescence" half of
+    /// the operation contract (deadlines are the other half).
+    pub fn settle_network(&mut self) {
+        // The per-pass cap is a runaway guard, not a quiescence signal:
+        // only a pass that processed fewer events than the cap proves
+        // the queue drained, and dead-op resolution is only sound at
+        // true quiescence. The pass bound keeps a pathological livelock
+        // from spinning forever (at which point resolution is moot —
+        // the simulation itself is broken).
+        const CAP: u64 = 50_000_000;
+        for _ in 0..64 {
+            if self.sim.run_to_idle(CAP) < CAP {
+                break;
             }
+        }
+        let now = self.sim.now_ns();
+        for i in 0..self.sim.len() {
+            self.sim
+                .node_mut(NodeId(i as u32))
+                .node
+                .resolve_all_dead(now);
         }
     }
 
-    /// Issues a command without retrying counter throttling.
-    pub fn try_command(&mut self, i: usize, cmd: Command) -> Result<(), ProtocolError> {
-        let id = self.nid(i);
-        self.sim.call(id, |host, ctx| host.node.command(ctx, cmd))
-    }
-
-    /// Runs the simulation until quiescent.
-    pub fn settle_network(&mut self) {
-        self.sim.run_to_idle(50_000_000);
-    }
+    // ---- Typed conveniences (thin `.expect`s over the ops API) ----
 
     /// Establishes a secure session between nodes `a` and `b`.
     pub fn connect(&mut self, a: usize, b: usize) {
-        let remote = self.ids[b];
-        self.command(a, Command::StartSession { remote })
-            .expect("start session");
-        self.settle_network();
-        assert!(
-            self.node(a)
-                .enclave
-                .program()
-                .map(|p| p.session_count() > 0)
-                .unwrap_or(false),
-            "session {a}->{b} failed"
-        );
+        let p = self.handle(a).connect(b);
+        self.wait(p).expect("session establishment failed");
     }
 
     /// Opens a payment channel between connected nodes; returns its id.
     pub fn open_channel(&mut self, a: usize, b: usize, label: &str) -> ChannelId {
-        let id = ChannelId::from_label(label);
-        let my_settlement = self.new_address(a);
-        let remote = self.ids[b];
-        self.command(
-            a,
-            Command::NewChannel {
-                id,
-                remote,
-                my_settlement,
-            },
-        )
-        .expect("new channel");
-        self.settle_network();
-        let open = self
-            .node(a)
-            .enclave
-            .program()
-            .and_then(|p| p.channel(&id))
-            .map(|c| c.is_open)
-            .unwrap_or(false);
-        assert!(open, "channel {label} failed to open");
-        id
+        let p = self.handle(a).open_channel(b, label);
+        self.wait(p).expect("channel open failed")
     }
 
     /// Generates a fresh in-enclave address on node `i`.
     pub fn new_address(&mut self, i: usize) -> PublicKey {
-        self.command(i, Command::NewAddress).expect("new address");
-        for (_, e) in self.node_mut(i).events.iter().rev() {
-            if let HostEvent::NewAddress(pk) = e {
-                return *pk;
-            }
-        }
-        panic!("no NewAddress event");
+        let p = self.handle(i).new_address();
+        self.wait(p).expect("new address failed")
     }
 
     /// Funds an m-of-n deposit on node `i` (n = 1 + committee chain
     /// length) and registers it with the enclave.
     pub fn fund_deposit(&mut self, i: usize, value: u64, m: u8) -> Deposit {
-        let id = self.nid(i);
-        loop {
-            let r = self.sim.call(id, |host, ctx| {
-                host.node.create_funded_committee_deposit(ctx, value, m)
-            });
-            match r {
-                Ok(dep) => return dep,
-                Err(ProtocolError::CounterThrottled { ready_at }) => {
-                    self.sim.run_until(ready_at);
-                }
-                Err(e) => panic!("fund deposit: {e:?}"),
-            }
-        }
+        let p = self.handle(i).fund_deposit(value, m);
+        self.wait(p).expect("fund deposit failed")
     }
 
     /// Approves `deposit` of node `a` with counterparty `b`, then
@@ -269,25 +366,10 @@ impl Cluster {
         chan: ChannelId,
         deposit: &Deposit,
     ) {
-        let remote = self.ids[b];
-        self.command(
-            a,
-            Command::ApproveDeposit {
-                remote,
-                outpoint: deposit.outpoint,
-            },
-        )
-        .expect("approve deposit");
-        self.settle_network();
-        self.command(
-            a,
-            Command::AssociateDeposit {
-                id: chan,
-                outpoint: deposit.outpoint,
-            },
-        )
-        .expect("associate deposit");
-        self.settle_network();
+        let p = self.handle(a).approve_deposit(b, deposit.outpoint);
+        self.wait(p).expect("approve deposit failed");
+        let p = self.handle(a).associate_deposit(chan, deposit.outpoint);
+        self.wait(p).expect("associate deposit failed");
     }
 
     /// Full channel setup: connect, open, fund `value` on side `a` with
@@ -307,56 +389,44 @@ impl Cluster {
         chan
     }
 
-    /// Sends a payment and runs the network to quiescence.
-    pub fn pay(&mut self, from: usize, chan: ChannelId, amount: u64) -> Result<(), ProtocolError> {
-        self.command(
-            from,
-            Command::Pay {
-                id: chan,
-                amount,
-                count: 1,
-            },
-        )?;
-        self.settle_network();
-        Ok(())
+    /// Sends a payment and resolves its completion: `Ok` carries the
+    /// acknowledged [`Payment`]; failures are typed (local rejection,
+    /// remote nack, timeout).
+    pub fn pay(&mut self, from: usize, chan: ChannelId, amount: u64) -> Result<Payment, OpError> {
+        let p = self.handle(from).pay(chan, amount);
+        self.wait(p)
     }
 
     /// Issues a multi-hop payment from `path[0]` through `path[..]` over
-    /// `channels`. Runs to quiescence.
+    /// `channels` and resolves its completion.
     pub fn pay_multihop(
         &mut self,
         path: &[usize],
         channels: &[ChannelId],
         amount: u64,
         label: &str,
-    ) -> Result<RouteId, ProtocolError> {
-        let route = RouteId(teechain_crypto::sha256::tagged_hash(
-            "teechain/route",
-            &[label.as_bytes()],
-        ));
-        let hops: Vec<PublicKey> = path.iter().map(|&i| self.ids[i]).collect();
-        self.command(
-            path[0],
-            Command::PayMultihop {
-                route,
-                hops,
-                channels: channels.to_vec(),
-                amount,
-            },
-        )?;
-        self.settle_network();
-        Ok(route)
+    ) -> Result<Delivered, OpError> {
+        let p = self
+            .handle(path[0])
+            .pay_multihop(path, channels, amount, label);
+        self.wait(p)
+    }
+
+    /// Settles a channel from node `i` and resolves the terminal
+    /// [`Settlement`] (off-chain or on-chain).
+    pub fn settle_channel(&mut self, i: usize, chan: ChannelId) -> Result<Settlement, OpError> {
+        let p = self.handle(i).settle(chan);
+        self.wait(p)
     }
 
     /// Attaches node `backup` as the replication backup of node `tail`
     /// (extends `tail`'s committee chain).
     pub fn attach_backup(&mut self, tail: usize, backup: usize) {
         self.connect(tail, backup);
-        let backup_id = self.ids[backup];
-        self.command(tail, Command::AttachBackup { backup: backup_id })
-            .expect("attach backup");
-        self.settle_network();
+        let p = self.handle(tail).attach_backup(backup);
+        self.wait(p).expect("attach backup failed");
         // The host remembers its committee peers for co-sign fan-out.
+        let backup_id = self.ids[backup];
         self.node_mut(tail).committee_peers.push(backup_id);
     }
 
@@ -370,15 +440,15 @@ impl Cluster {
         self.sim.node_mut(nid).node.crash_enclave();
     }
 
-    /// Brings node `i` back and replays its durable store through
-    /// [`Command::Recover`]. Sessions are *not* restored (session keys
-    /// are deliberately volatile); call [`Cluster::connect`] again to
-    /// re-handshake with peers.
-    pub fn recover_node(&mut self, i: usize) -> Result<(), ProtocolError> {
+    /// Brings node `i` back and replays its durable store as a
+    /// correlated recovery operation. Sessions are *not* restored
+    /// (session keys are deliberately volatile); call
+    /// [`Cluster::connect`] again to re-handshake with peers.
+    pub fn recover_node(&mut self, i: usize) -> Result<Recovery, OpError> {
         let nid = self.nid(i);
         self.sim.set_offline(nid, false);
-        let now = self.sim.now_ns();
-        self.sim.node_mut(nid).node.recover_from_store(now)
+        let p = self.handle(i).recover();
+        self.wait(p)
     }
 
     /// The durable store of node `i` (persistent mode only).
@@ -406,9 +476,141 @@ impl Cluster {
     pub fn mine(&mut self, k: u64) {
         self.chain.lock().mine_blocks(k);
     }
+}
 
-    /// Counts events matching `pred` on node `i`.
-    pub fn count_events(&self, i: usize, pred: impl Fn(&HostEvent) -> bool) -> usize {
-        self.node(i).events.iter().filter(|(_, e)| pred(e)).count()
+/// A typed operation handle for one node of a [`Cluster`]: every method
+/// submits one correlated operation and returns its [`Pending`] token;
+/// resolve with [`Cluster::wait`]. The handle borrows the cluster for a
+/// single submission, so chains read naturally:
+///
+/// ```ignore
+/// let p = net.handle(0).pay(chan, 100);
+/// let receipt = net.wait(p)?;
+/// ```
+pub struct NodeHandle<'c> {
+    cluster: &'c mut Cluster,
+    i: usize,
+}
+
+impl NodeHandle<'_> {
+    fn submit(self, cmd: Command) -> OpId {
+        let i = self.i;
+        self.cluster.submit(i, cmd)
+    }
+
+    /// Starts an attested session with node `peer`.
+    pub fn connect(self, peer: usize) -> Pending<PublicKey> {
+        let remote = self.cluster.ids[peer];
+        Pending::new(self.submit(Command::StartSession { remote }))
+    }
+
+    /// Generates a fresh in-enclave blockchain address.
+    pub fn new_address(self) -> Pending<PublicKey> {
+        Pending::new(self.submit(Command::NewAddress))
+    }
+
+    /// Opens a payment channel to node `peer` (requires a session): one
+    /// composite operation that generates the in-enclave settlement
+    /// address and proposes the channel — submit-only, like every other
+    /// handle method.
+    pub fn open_channel(self, peer: usize, label: &str) -> Pending<ChannelId> {
+        let i = self.i;
+        let id = ChannelId::from_label(label);
+        let remote = self.cluster.ids[peer];
+        let op = self.cluster.sim.call(NodeId(i as u32), |host, ctx| {
+            host.node.submit_open_channel(ctx, id, remote, true)
+        });
+        Pending::new(op)
+    }
+
+    /// Funds and registers an m-of-n committee deposit of `value`.
+    pub fn fund_deposit(self, value: u64, m: u8) -> Pending<Deposit> {
+        let i = self.i;
+        let op = self.cluster.sim.call(NodeId(i as u32), |host, ctx| {
+            host.node.submit_fund_deposit(ctx, value, m, true)
+        });
+        Pending::new(op)
+    }
+
+    /// Asks node `peer` to approve our free deposit.
+    pub fn approve_deposit(
+        self,
+        peer: usize,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Pending<OpOutput> {
+        let remote = self.cluster.ids[peer];
+        Pending::new(self.submit(Command::ApproveDeposit { remote, outpoint }))
+    }
+
+    /// Associates an approved deposit with a channel.
+    pub fn associate_deposit(
+        self,
+        chan: ChannelId,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Pending<OpOutput> {
+        Pending::new(self.submit(Command::AssociateDeposit { id: chan, outpoint }))
+    }
+
+    /// Dissociates a deposit from a channel (frees it on completion).
+    pub fn dissociate_deposit(
+        self,
+        chan: ChannelId,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Pending<OpOutput> {
+        Pending::new(self.submit(Command::DissociateDeposit { id: chan, outpoint }))
+    }
+
+    /// Sends a payment over `chan`.
+    pub fn pay(self, chan: ChannelId, amount: u64) -> Pending<Payment> {
+        Pending::new(self.submit(Command::Pay {
+            id: chan,
+            amount,
+            count: 1,
+        }))
+    }
+
+    /// Issues a multi-hop payment along `path` (cluster node indices,
+    /// this node first) over `channels`; `label` derives the route id.
+    pub fn pay_multihop(
+        self,
+        path: &[usize],
+        channels: &[ChannelId],
+        amount: u64,
+        label: &str,
+    ) -> Pending<Delivered> {
+        let route = RouteId(teechain_crypto::sha256::tagged_hash(
+            "teechain/route",
+            &[label.as_bytes()],
+        ));
+        let hops: Vec<PublicKey> = path.iter().map(|&i| self.cluster.ids[i]).collect();
+        Pending::new(self.submit(Command::PayMultihop {
+            route,
+            hops,
+            channels: channels.to_vec(),
+            amount,
+        }))
+    }
+
+    /// Settles a channel: off-chain when balances are neutral, otherwise
+    /// broadcasting a settlement transaction.
+    pub fn settle(self, chan: ChannelId) -> Pending<Settlement> {
+        Pending::new(self.submit(Command::Settle { id: chan }))
+    }
+
+    /// Attaches node `backup` to this node's committee chain (requires a
+    /// session).
+    pub fn attach_backup(self, backup: usize) -> Pending<PublicKey> {
+        let backup_id = self.cluster.ids[backup];
+        Pending::new(self.submit(Command::AttachBackup { backup: backup_id }))
+    }
+
+    /// Replays the durable store after a crash (persistent mode).
+    pub fn recover(self) -> Pending<Recovery> {
+        let i = self.i;
+        let op = self
+            .cluster
+            .sim
+            .call(NodeId(i as u32), |host, ctx| host.node.submit_recover(ctx));
+        Pending::new(op)
     }
 }

@@ -200,6 +200,79 @@ pub enum ProtocolError {
     },
 }
 
+impl ProtocolError {
+    /// Short stable variant name (used for `op_errors` accounting in the
+    /// bench artifacts and for [`crate::ops::OpError::label`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ProtocolError::NoSession => "NoSession",
+            ProtocolError::UnknownChannel => "UnknownChannel",
+            ProtocolError::ChannelExists => "ChannelExists",
+            ProtocolError::ChannelNotOpen => "ChannelNotOpen",
+            ProtocolError::ChannelLocked => "ChannelLocked",
+            ProtocolError::InsufficientBalance => "InsufficientBalance",
+            ProtocolError::BadDeposit => "BadDeposit",
+            ProtocolError::BadMessage => "BadMessage",
+            ProtocolError::AttestationFailed => "AttestationFailed",
+            ProtocolError::BadStage => "BadStage",
+            ProtocolError::Frozen => "Frozen",
+            ProtocolError::ReplicationError => "ReplicationError",
+            ProtocolError::BadPopt => "BadPopt",
+            ProtocolError::CounterThrottled { .. } => "CounterThrottled",
+            ProtocolError::StaleState { .. } => "StaleState",
+        }
+    }
+
+    /// Wire code for carrying a failure *reason* inside a protocol
+    /// message (multi-hop abort unwinding). Only payload-free variants
+    /// travel; the payload-carrying ones collapse to their tag and decode
+    /// to a zeroed payload.
+    pub fn abort_code(&self) -> u8 {
+        match self {
+            ProtocolError::NoSession => 0,
+            ProtocolError::UnknownChannel => 1,
+            ProtocolError::ChannelExists => 2,
+            ProtocolError::ChannelNotOpen => 3,
+            ProtocolError::ChannelLocked => 4,
+            ProtocolError::InsufficientBalance => 5,
+            ProtocolError::BadDeposit => 6,
+            ProtocolError::BadMessage => 7,
+            ProtocolError::AttestationFailed => 8,
+            ProtocolError::BadStage => 9,
+            ProtocolError::Frozen => 10,
+            ProtocolError::ReplicationError => 11,
+            ProtocolError::BadPopt => 12,
+            ProtocolError::CounterThrottled { .. } => 13,
+            ProtocolError::StaleState { .. } => 14,
+        }
+    }
+
+    /// Inverse of [`ProtocolError::abort_code`] (unknown codes collapse
+    /// to [`ProtocolError::BadStage`], the generic multi-hop failure).
+    pub fn from_abort_code(code: u8) -> ProtocolError {
+        match code {
+            0 => ProtocolError::NoSession,
+            1 => ProtocolError::UnknownChannel,
+            2 => ProtocolError::ChannelExists,
+            3 => ProtocolError::ChannelNotOpen,
+            4 => ProtocolError::ChannelLocked,
+            5 => ProtocolError::InsufficientBalance,
+            6 => ProtocolError::BadDeposit,
+            7 => ProtocolError::BadMessage,
+            8 => ProtocolError::AttestationFailed,
+            10 => ProtocolError::Frozen,
+            11 => ProtocolError::ReplicationError,
+            12 => ProtocolError::BadPopt,
+            13 => ProtocolError::CounterThrottled { ready_at: 0 },
+            14 => ProtocolError::StaleState {
+                found: 0,
+                expected: 0,
+            },
+            _ => ProtocolError::BadStage,
+        }
+    }
+}
+
 impl std::fmt::Display for ProtocolError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

@@ -3,6 +3,7 @@
 
 use proptest::prelude::*;
 use teechain::enclave::Command;
+use teechain::ops::{OpError, SettleKind};
 use teechain::testkit::Cluster;
 
 #[test]
@@ -12,7 +13,7 @@ fn junk_wire_bytes_never_panic() {
     // Deliver assorted garbage straight into the enclave.
     for len in [0usize, 1, 2, 16, 64, 300] {
         let junk: Vec<u8> = (0..len).map(|i| (i * 37 + 11) as u8).collect();
-        let _ = c.command(0, Command::Deliver { wire: junk });
+        let _ = c.op_now(0, Command::Deliver { wire: junk });
     }
     // The enclave still works.
     let chan = c.standard_channel(0, 1, "after-junk", 100, 1);
@@ -55,13 +56,13 @@ fn cross_session_replay_rejected() {
             })
             .expect("payment message")
     };
-    // C cannot decrypt or accept it.
+    // C cannot decrypt or accept it: a typed local rejection.
     let err = c
-        .command(2, Command::Deliver { wire: msg_for_b })
+        .op_now(2, Command::Deliver { wire: msg_for_b })
         .unwrap_err();
     assert!(matches!(
-        err,
-        teechain::ProtocolError::NoSession | teechain::ProtocolError::BadMessage
+        err.protocol_error(),
+        Some(teechain::ProtocolError::NoSession | teechain::ProtocolError::BadMessage)
     ));
 }
 
@@ -93,7 +94,7 @@ fn duplicate_delivery_rejected_once_consumed() {
             .expect("payment message")
     };
     // First delivery applies; replaying it is rejected (strict seq).
-    c.command(
+    c.op_now(
         1,
         Command::Deliver {
             wire: msg_for_b.clone(),
@@ -101,9 +102,9 @@ fn duplicate_delivery_rejected_once_consumed() {
     )
     .unwrap();
     let err = c
-        .command(1, Command::Deliver { wire: msg_for_b })
+        .op_now(1, Command::Deliver { wire: msg_for_b })
         .unwrap_err();
-    assert_eq!(err, teechain::ProtocolError::BadMessage);
+    assert_eq!(err, OpError::Rejected(teechain::ProtocolError::BadMessage));
     // The balance moved exactly once.
     assert_eq!(c.balances(1, chan).0, 5);
 }
@@ -128,8 +129,8 @@ fn temporary_channel_merge_cycle() {
     c.pay(0, primary, 200).unwrap(); // ...Alice compensates over primary.
     assert_eq!(c.balances(0, temp), (500, 0), "temp back to neutral");
     // Off-chain close of the temporary channel: zero blockchain writes.
-    c.command(0, Command::Settle { id: temp }).unwrap();
-    c.settle_network();
+    let s = c.settle_channel(0, temp).unwrap();
+    assert_eq!(s.kind, SettleKind::OffChain);
     assert_eq!(c.node(0).broadcasts.len(), 0);
     // The freed deposit can fund something else immediately.
     let p = c.node(0).enclave.program().unwrap();
@@ -164,13 +165,13 @@ proptest! {
         let idx = flip_at % wire.len();
         wire[idx] ^= xor;
         let before = c.balances(1, chan);
-        let result = c.command(1, Command::Deliver { wire });
+        let result = c.op_now(1, Command::Deliver { wire });
         // Either rejected outright, or (if only the cost-class byte was
         // flipped, which is outside the AEAD) accepted identically — but
         // never a divergent state.
         match result {
             Err(_) => prop_assert_eq!(c.balances(1, chan), before),
-            Ok(()) => prop_assert_eq!(c.balances(1, chan).0, before.0 + 1),
+            Ok(_) => prop_assert_eq!(c.balances(1, chan).0, before.0 + 1),
         }
     }
 }

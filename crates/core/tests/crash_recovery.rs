@@ -2,7 +2,8 @@
 //! WAL + sealed snapshots + monotonic-counter roll-back detection,
 //! exercised end-to-end through the simulator.
 
-use teechain::enclave::{Command, HostEvent};
+use teechain::enclave::Command;
+use teechain::ops::OpError;
 use teechain::testkit::{Cluster, ClusterConfig};
 use teechain::{DurabilityBackend, PersistPolicy, ProtocolError};
 
@@ -34,24 +35,25 @@ fn killed_mid_payment_recovers_from_wal_and_snapshot() {
 
     // Kill the payee with a payment in flight: the payer has issued it,
     // the message is on the wire, the payee never processes it.
-    c.command(
+    let inflight = c.submit(
         0,
         Command::Pay {
             id: chan,
             amount: 77,
             count: 1,
         },
-    )
-    .unwrap();
+    );
     c.crash_node(1);
     c.settle_network();
     assert!(c.node(1).enclave.is_crashed());
+    // The in-flight payment's operation is typed-dead, not silently gone.
+    let err = c
+        .wait::<teechain::ops::Payment>(c.pending(inflight))
+        .unwrap_err();
+    assert!(matches!(err, OpError::Timeout { .. }), "{err:?}");
 
-    c.recover_node(1).unwrap();
-    assert_eq!(
-        c.count_events(1, |e| matches!(e, HostEvent::Recovered { .. })),
-        1
-    );
+    let recovery = c.recover_node(1).unwrap();
+    assert_eq!(recovery.channels, 1, "{recovery:?}");
     // Balances are exactly the last durably committed state; the
     // in-flight payment was never applied and never acked.
     assert_eq!(c.balances(1, chan), before, "recovered balances intact");
@@ -86,8 +88,7 @@ fn recovered_node_settles_on_chain_with_correct_balances() {
         let p = c.node(1).enclave.program().unwrap();
         p.channel(&chan).unwrap().my_settlement
     };
-    c.command(1, Command::Settle { id: chan }).unwrap();
-    c.settle_network();
+    c.settle_channel(1, chan).unwrap();
     c.mine(1);
     assert_eq!(c.chain_balance(&my_settle), 450);
 }
@@ -112,11 +113,14 @@ fn forged_stale_storage_rejected_and_enclave_freezes() {
         .unwrap();
     let err = c.recover_node(0).unwrap_err();
     assert!(
-        matches!(err, ProtocolError::StaleState { found, expected } if found < expected),
+        matches!(
+            err,
+            OpError::Rejected(ProtocolError::StaleState { found, expected }) if found < expected
+        ),
         "stale storage must be detected: {err:?}"
     );
     // The enclave froze itself: nothing runs on rolled-back state.
-    let refused = c.try_command(
+    let refused = c.op_no_retry(
         0,
         Command::Pay {
             id: chan,
@@ -124,7 +128,10 @@ fn forged_stale_storage_rejected_and_enclave_freezes() {
             count: 1,
         },
     );
-    assert!(matches!(refused, Err(ProtocolError::Frozen)), "{refused:?}");
+    assert!(
+        matches!(refused, Err(OpError::Rejected(ProtocolError::Frozen))),
+        "{refused:?}"
+    );
 }
 
 #[test]
@@ -140,7 +147,7 @@ fn torn_wal_tail_is_treated_as_rollback() {
     c.store(0).unwrap().lock().tear_tail(4).unwrap();
     let err = c.recover_node(0).unwrap_err();
     assert!(
-        matches!(err, ProtocolError::StaleState { .. }),
+        matches!(err, OpError::Rejected(ProtocolError::StaleState { .. })),
         "torn tail is indistinguishable from roll-back: {err:?}"
     );
 }
@@ -158,18 +165,25 @@ fn group_commit_batches_concurrent_receipts() {
     let t = c.sim.now_ns() + 300_000_000;
     c.sim.run_until(t);
     let base = c.store(0).unwrap().lock().stats().commits;
-    for (k, chan) in chans.iter().enumerate() {
-        c.command(
-            1 + k,
-            Command::Pay {
-                id: *chan,
-                amount: 100,
-                count: 1,
-            },
-        )
-        .unwrap();
-    }
+    // Submit all three spoke payments at the same instant (no wait in
+    // between), so the receipts land inside one hub throttle window.
+    let pends: Vec<_> = (0..chans.len())
+        .map(|k| {
+            c.submit(
+                1 + k,
+                Command::Pay {
+                    id: chans[k],
+                    amount: 100,
+                    count: 1,
+                },
+            )
+        })
+        .collect();
     c.settle_network();
+    for p in pends {
+        c.wait::<teechain::ops::Payment>(c.pending(p))
+            .expect("spoke payment acked");
+    }
     for chan in &chans {
         assert_eq!(c.balances(0, *chan).0, 100, "every payment applied");
     }
@@ -191,16 +205,13 @@ fn recover_on_live_enclave_rejected() {
     c.pay(0, chan, 100).unwrap();
     let before = c.balances(1, chan);
     let recovery = c.store(1).unwrap().lock().recover().unwrap();
-    let nid = c.nid(1);
-    let result = c.sim.call(nid, |host, ctx| {
-        host.node.command(
-            ctx,
-            Command::Recover {
-                snapshot: recovery.snapshot,
-                log: recovery.log,
-            },
-        )
-    });
+    let result = c.op(
+        1,
+        Command::Recover {
+            snapshot: recovery.snapshot,
+            log: recovery.log,
+        },
+    );
     assert!(result.is_err(), "live replay must be refused: {result:?}");
     assert_eq!(c.balances(1, chan), before, "no double-apply");
     // Refusal is not a freeze: the live enclave keeps working.
@@ -212,16 +223,9 @@ fn recover_on_live_enclave_rejected() {
 fn recovery_on_fresh_node_is_a_no_op() {
     let mut c = persist_cluster(1, 4);
     c.crash_node(0);
-    c.recover_node(0).unwrap();
+    let recovery = c.recover_node(0).unwrap();
     assert_eq!(
-        c.count_events(0, |e| matches!(
-            e,
-            HostEvent::Recovered {
-                channels: 0,
-                deposits: 0,
-                commits: 0
-            }
-        )),
-        1
+        (recovery.channels, recovery.deposits, recovery.commits),
+        (0, 0, 0)
     );
 }

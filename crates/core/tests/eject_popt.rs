@@ -1,8 +1,9 @@
 //! Premature termination of multi-hop payments: eject, τ and PoPTs (§5).
 
 use teechain::enclave::Command;
+use teechain::ops::OpError;
 use teechain::testkit::Cluster;
-use teechain::{ChannelId, RouteId};
+use teechain::{ChannelId, ProtocolError, RouteId};
 
 /// Builds a 3-node path and drives the multi-hop protocol only up to a
 /// given number of simulator events, so tests can freeze it mid-protocol.
@@ -16,7 +17,9 @@ fn setup() -> (Cluster, ChannelId, ChannelId, RouteId) {
 
 fn start_multihop(c: &mut Cluster, route: RouteId, c01: ChannelId, c12: ChannelId, amount: u64) {
     let hops = vec![c.ids[0], c.ids[1], c.ids[2]];
-    c.command(
+    // Submit without resolving: the tests freeze the protocol
+    // mid-flight, so the multihop operation deliberately stays pending.
+    c.submit(
         0,
         Command::PayMultihop {
             route,
@@ -24,8 +27,7 @@ fn start_multihop(c: &mut Cluster, route: RouteId, c01: ChannelId, c12: ChannelI
             channels: vec![c01, c12],
             amount,
         },
-    )
-    .unwrap();
+    );
 }
 
 #[test]
@@ -38,7 +40,7 @@ fn eject_at_lock_settles_pre_payment() {
         let p = c.node(0).enclave.program().unwrap();
         p.channel(&c01).unwrap().my_settlement
     };
-    c.command(0, Command::Eject { route }).unwrap();
+    c.op_now(0, Command::Eject { route }).unwrap();
     c.mine(1);
     assert_eq!(c.chain_balance(&my_settle), 1000, "pre-payment settlement");
 }
@@ -65,7 +67,7 @@ fn eject_mid_protocol_settles_via_tau() {
         let p = c.node(2).enclave.program().unwrap();
         p.channel(&c12).unwrap().my_settlement
     };
-    c.command(0, Command::Eject { route }).unwrap();
+    c.op_now(0, Command::Eject { route }).unwrap();
     c.mine(1);
     // τ carries post-payment balances: p1 ends with 700, p3 with 300.
     assert_eq!(c.chain_balance(&settle0), 700);
@@ -81,7 +83,7 @@ fn popt_forces_consistent_pre_payment_settlement() {
     c.sim.run_to_idle(4);
     // p3 (node 2) prematurely terminates at stage *sign*: its settlement
     // is at pre-payment state.
-    c.command(2, Command::Eject { route }).unwrap();
+    c.op_now(2, Command::Eject { route }).unwrap();
     c.mine(1);
     let popt = {
         // Node 0's host finds the conflicting settlement on chain by
@@ -96,8 +98,7 @@ fn popt_forces_consistent_pre_payment_settlement() {
         let p = c.node(0).enclave.program().unwrap();
         p.channel(&c01).unwrap().my_settlement
     };
-    c.command(0, Command::EjectWithPopt { route, popt })
-        .unwrap();
+    c.op_now(0, Command::EjectWithPopt { route, popt }).unwrap();
     c.mine(1);
     assert_eq!(c.chain_balance(&my_settle), 1000, "pre-payment, not 700");
 }
@@ -133,7 +134,7 @@ fn popt_forces_consistent_post_payment_settlement() {
     );
     // p2 prematurely terminates at postUpdate: individual *post-payment*
     // settlements of both its channels.
-    c.command(1, Command::Eject { route }).unwrap();
+    c.op_now(1, Command::Eject { route }).unwrap();
     c.mine(1);
     // pn (node 2), still at update, discovers the conflicting settlement
     // of its channel and presents it as PoPT: its TEE authorizes the
@@ -144,8 +145,7 @@ fn popt_forces_consistent_post_payment_settlement() {
         let dep = p.channel(&c12).unwrap().all_deposits()[0];
         c.chain.lock().find_spender(&dep).unwrap().clone()
     };
-    c.command(2, Command::EjectWithPopt { route, popt })
-        .unwrap();
+    c.op_now(2, Command::EjectWithPopt { route, popt }).unwrap();
     c.mine(1);
     // Everyone ended post-payment: p3's settlement address holds 300.
     let p3_settle = {
@@ -167,8 +167,8 @@ fn conflicting_settlements_cannot_both_confirm() {
     start_multihop(&mut c, route, c01, c12, 300);
     c.sim.run_to_idle(4); // p1 at preUpdate with τ.
                           // p1 ejects via τ; p3 simultaneously ejects at its own state.
-    c.command(0, Command::Eject { route }).unwrap();
-    c.command(2, Command::Eject { route }).unwrap();
+    c.op_now(0, Command::Eject { route }).unwrap();
+    c.op_now(2, Command::Eject { route }).unwrap();
     c.mine(2);
     // Exactly one settlement family confirmed for each deposit: the chain
     // rejected whichever conflicting transaction came second.
@@ -204,15 +204,15 @@ fn bad_popt_rejected() {
     };
     alien.sign_input(0, &alien_key.sk);
     let err = c
-        .command(0, Command::EjectWithPopt { route, popt: alien })
+        .op_now(0, Command::EjectWithPopt { route, popt: alien })
         .unwrap_err();
-    assert_eq!(err, teechain::ProtocolError::BadPopt);
+    assert_eq!(err, OpError::Rejected(ProtocolError::BadPopt));
 }
 
 #[test]
 fn ejected_route_cannot_eject_twice() {
     let (mut c, c01, c12, route) = setup();
     start_multihop(&mut c, route, c01, c12, 300);
-    c.command(0, Command::Eject { route }).unwrap();
-    assert!(c.command(0, Command::Eject { route }).is_err());
+    c.op_now(0, Command::Eject { route }).unwrap();
+    assert!(c.op_now(0, Command::Eject { route }).is_err());
 }

@@ -1,18 +1,24 @@
 //! Replication, committee and persistence tests (§6).
 
-use teechain::enclave::{Command, HostEvent};
+use teechain::enclave::Command;
+use teechain::ops::{OpError, OpOutput};
 use teechain::testkit::{Cluster, ClusterConfig};
+use teechain::ProtocolError;
 
 #[test]
 fn backup_attachment_builds_committee() {
     let mut c = Cluster::functional(3);
     c.attach_backup(0, 1); // 0 → 1
     c.attach_backup(1, 2); // chain: 0 → 1 → 2
-    assert_eq!(
-        c.count_events(0, |e| matches!(e, HostEvent::BackupAttached(_))),
-        2,
-        "head learns of both chain members"
-    );
+                           // The head's typed attach completed, and it also learned of the
+                           // second chain member (an unsolicited notification on its stream).
+    let attached = c
+        .node(0)
+        .events
+        .iter()
+        .filter(|(_, e)| matches!(e, teechain::HostEvent::BackupAttached(_)))
+        .count();
+    assert_eq!(attached, 2, "head learns of both chain members");
 }
 
 #[test]
@@ -41,21 +47,11 @@ fn payment_ack_gated_on_replication() {
     let chan = c.standard_channel(0, 1, "c1", 1000, 1);
     // Crash the backup's enclave: updates will go unacknowledged.
     c.node_mut(2).enclave.crash();
-    c.command(
-        0,
-        Command::Pay {
-            id: chan,
-            amount: 100,
-            count: 1,
-        },
-    )
-    .unwrap();
-    c.settle_network();
-    // The peer never saw the payment (no ack event at the sender).
-    assert_eq!(
-        c.count_events(0, |e| matches!(e, HostEvent::PaymentAcked { .. })),
-        0
-    );
+    // Force-freeze replication holds the Pay message at the primary: no
+    // terminal response ever arrives, so the operation is declared dead
+    // at quiescence — the typed form of "the ack never came".
+    let err = c.pay(0, chan, 100).unwrap_err();
+    assert!(matches!(err, OpError::Timeout { .. }), "{err:?}");
     assert_eq!(c.balances(1, chan), (0, 1000), "receiver saw nothing");
 }
 
@@ -74,10 +70,13 @@ fn crash_failover_settles_from_replica() {
     };
     // Primary is gone.
     c.node_mut(0).enclave.crash();
-    // Failover via the backup.
-    c.command(2, Command::ReadReplica).unwrap();
-    c.command(2, Command::SettleFromReplica).unwrap();
-    c.settle_network();
+    // Failover via the backup: the replica read reports typed state.
+    let out = c.exec(2, Command::ReadReplica);
+    assert!(
+        matches!(out, OpOutput::ReplicaState { channels: 1, .. }),
+        "{out:?}"
+    );
+    c.exec(2, Command::SettleFromReplica);
     c.mine(1);
     assert_eq!(c.chain_balance(&my_settle), 600);
 }
@@ -89,13 +88,16 @@ fn frozen_backup_rejects_further_updates() {
     let chan = c.standard_channel(0, 1, "c1", 1000, 1);
     c.pay(0, chan, 100).unwrap();
     // Freeze via a replica read.
-    c.command(2, Command::ReadReplica).unwrap();
+    c.exec(2, Command::ReadReplica);
     c.settle_network();
     assert!(c.node(2).enclave.program().unwrap().is_frozen());
     // The freeze propagated up the chain to the primary.
     assert!(c.node(0).enclave.program().unwrap().is_frozen());
     // Frozen primary refuses new payments (roll-back defence, §6).
-    assert!(c.pay(0, chan, 10).is_err());
+    assert_eq!(
+        c.pay(0, chan, 10).unwrap_err(),
+        OpError::Rejected(ProtocolError::Frozen)
+    );
 }
 
 #[test]
@@ -114,9 +116,11 @@ fn committee_two_of_two_settlement() {
         let p = c.node(0).enclave.program().unwrap();
         p.channel(&chan).unwrap().my_settlement
     };
-    c.command(0, Command::Settle { id: chan }).unwrap();
-    // The co-sign round trip happens over the network.
-    c.settle_network();
+    // The settle operation's completion spans the whole co-sign round
+    // trip: it resolves only once the threshold is met and the
+    // settlement is broadcast.
+    let s = c.settle_channel(0, chan).unwrap();
+    assert!(matches!(s.kind, teechain::SettleKind::OnChain(_)));
     c.mine(1);
     assert_eq!(c.chain_balance(&my_settle), 500);
 }
@@ -142,26 +146,22 @@ fn byzantine_primary_cannot_inflate_settlement() {
         teechain::settle::current_settlement_tx(&stale)
     };
     // The attacker asks the committee member to co-sign the stale
-    // settlement directly.
-    c.command(
+    // settlement directly; the refusal is the operation's typed output.
+    let out = c.exec(
         2,
         Command::CoSign {
             req_id: 99,
             tx: forged_tx.clone(),
         },
-    )
-    .unwrap();
-    let refused = c.node(2).events.iter().any(|(_, e)| {
-        matches!(
-            e,
-            HostEvent::CoSignResult {
-                req_id: 99,
-                refused: true,
-                ..
-            }
-        )
-    });
-    assert!(refused, "committee member must refuse the stale settlement");
+    );
+    assert_eq!(
+        out,
+        OpOutput::CoSigned {
+            req_id: 99,
+            refused: true
+        },
+        "committee member must refuse the stale settlement"
+    );
     // And the chain rejects the forged tx outright (1 of 2 signatures).
     let submit = {
         let mut tx = forged_tx;
@@ -187,8 +187,7 @@ fn one_of_two_committee_tolerates_crash_but_not_byzantine() {
     c.approve_and_associate(0, 1, chan, &dep);
     c.pay(0, chan, 200).unwrap();
     c.node_mut(0).enclave.crash();
-    c.command(2, Command::SettleFromReplica).unwrap();
-    c.settle_network();
+    c.exec(2, Command::SettleFromReplica);
     c.mine(1);
     let my_settle = {
         let p = c.node(2).enclave.program().unwrap();
@@ -207,19 +206,22 @@ fn persist_mode_throttles_payments() {
         ..ClusterConfig::default()
     });
     let chan = c.standard_channel(0, 1, "c1", 1000, 1);
+    // Let the setup's last counter increment age out.
+    let t = c.sim.now_ns() + 300_000_000;
+    c.sim.run_until(t);
     // First payment increments the counter; an immediate second payment
-    // at the same instant is throttled.
-    c.command(
+    // at the same instant is throttled — and with auto-retry disabled
+    // the throttle surfaces as the operation's typed rejection.
+    c.submit(
         0,
         Command::Pay {
             id: chan,
             amount: 1,
             count: 1,
         },
-    )
-    .unwrap();
+    );
     let err = c
-        .try_command(
+        .op_no_retry(
             0,
             Command::Pay {
                 id: chan,
@@ -228,10 +230,13 @@ fn persist_mode_throttles_payments() {
             },
         )
         .unwrap_err();
-    assert!(matches!(
-        err,
-        teechain::ProtocolError::CounterThrottled { .. }
-    ));
+    assert!(
+        matches!(
+            err,
+            OpError::Rejected(ProtocolError::CounterThrottled { .. })
+        ),
+        "{err:?}"
+    );
 }
 
 #[test]
@@ -255,13 +260,13 @@ fn persist_mode_emits_sealed_blobs_and_restores() {
     c.node_mut(0)
         .enclave
         .restart(teechain::TeechainEnclave::new(cfg));
-    c.command(0, Command::RestoreSealed { blob }).unwrap();
+    c.exec(0, Command::RestoreSealed { blob });
     // The restored enclave can settle the channel unilaterally.
     let my_settle = {
         let p = c.node(0).enclave.program().unwrap();
         p.channel(&chan).unwrap().my_settlement
     };
-    c.command(0, Command::Settle { id: chan }).unwrap();
+    c.settle_channel(0, chan).unwrap();
     c.mine(1);
     assert_eq!(c.chain_balance(&my_settle), 950);
 }
@@ -295,6 +300,6 @@ fn stale_sealed_blob_rejected() {
     c.node_mut(0)
         .enclave
         .restart(teechain::TeechainEnclave::new(cfg));
-    let result = c.command(0, Command::RestoreSealed { blob: old_blob });
+    let result = c.op(0, Command::RestoreSealed { blob: old_blob });
     assert!(result.is_err(), "stale blob must be rejected");
 }

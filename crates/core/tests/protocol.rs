@@ -1,9 +1,11 @@
-//! End-to-end protocol tests over the simulated network and blockchain.
+//! End-to-end protocol tests over the simulated network and blockchain,
+//! driven through the typed operation API (submit → `Completion`).
 
-use teechain::enclave::{Command, HostEvent};
+use teechain::enclave::Command;
+use teechain::ops::{OpError, OpOutput, SettleKind};
 use teechain::testkit::Cluster;
 use teechain::types::MultihopStage;
-use teechain::ChannelId;
+use teechain::{ChannelId, ProtocolError};
 
 #[test]
 fn session_establishment() {
@@ -37,22 +39,29 @@ fn deposit_approval_and_association() {
 fn simple_payments_move_balances() {
     let mut c = Cluster::functional(2);
     let chan = c.standard_channel(0, 1, "c1", 1000, 1);
-    c.pay(0, chan, 300).unwrap();
+    // The completion IS the acknowledgement (the paper's latency
+    // endpoint): typed, exactly once.
+    let receipt = c.pay(0, chan, 300).unwrap();
+    assert_eq!(
+        (receipt.chan, receipt.amount, receipt.count),
+        (chan, 300, 1)
+    );
     assert_eq!(c.balances(0, chan), (700, 300));
     assert_eq!(c.balances(1, chan), (300, 700));
     // Pay back.
-    c.pay(1, chan, 100).unwrap();
+    let receipt = c.pay(1, chan, 100).unwrap();
+    assert_eq!(receipt.amount, 100);
     assert_eq!(c.balances(0, chan), (800, 200));
-    // Acks were observed by the sender (latency metric endpoint).
-    assert!(c.count_events(0, |e| matches!(e, HostEvent::PaymentAcked { .. })) >= 1);
-    assert!(c.count_events(1, |e| matches!(e, HostEvent::PaymentReceived { .. })) >= 1);
 }
 
 #[test]
 fn overspend_rejected() {
     let mut c = Cluster::functional(2);
     let chan = c.standard_channel(0, 1, "c1", 100, 1);
-    assert!(c.pay(0, chan, 101).is_err());
+    assert_eq!(
+        c.pay(0, chan, 101).unwrap_err(),
+        OpError::Rejected(ProtocolError::InsufficientBalance)
+    );
     assert_eq!(c.balances(0, chan), (100, 0));
 }
 
@@ -75,20 +84,16 @@ fn dissociation_returns_deposit() {
     let dep = c.fund_deposit(0, 400, 1);
     c.approve_and_associate(0, 1, chan, &dep);
     assert_eq!(c.balances(0, chan), (400, 0));
-    c.command(
-        0,
-        Command::DissociateDeposit {
-            id: chan,
-            outpoint: dep.outpoint,
-        },
-    )
-    .unwrap();
-    c.settle_network();
-    assert_eq!(c.balances(0, chan), (0, 0));
+    let p = c.handle(0).dissociate_deposit(chan, dep.outpoint);
+    let out = c.wait(p).unwrap();
     assert_eq!(
-        c.count_events(0, |e| matches!(e, HostEvent::DepositDissociated { .. })),
-        1
+        out,
+        OpOutput::DepositDissociated {
+            chan,
+            outpoint: dep.outpoint
+        }
     );
+    assert_eq!(c.balances(0, chan), (0, 0));
 }
 
 #[test]
@@ -101,9 +106,11 @@ fn dissociation_blocked_when_balance_spent() {
         let p = c.node(0).enclave.program().unwrap();
         p.channel(&chan).unwrap().my_deps[0]
     };
-    assert!(c
-        .command(0, Command::DissociateDeposit { id: chan, outpoint })
-        .is_err());
+    assert_eq!(
+        c.op(0, Command::DissociateDeposit { id: chan, outpoint })
+            .unwrap_err(),
+        OpError::Rejected(ProtocolError::InsufficientBalance)
+    );
 }
 
 #[test]
@@ -118,15 +125,8 @@ fn deposit_rebalancing_between_channels() {
     let dep = c.fund_deposit(0, 500, 1);
     c.approve_and_associate(0, 1, c01, &dep);
     assert_eq!(c.balances(0, c01), (500, 0));
-    c.command(
-        0,
-        Command::DissociateDeposit {
-            id: c01,
-            outpoint: dep.outpoint,
-        },
-    )
-    .unwrap();
-    c.settle_network();
+    let p = c.handle(0).dissociate_deposit(c01, dep.outpoint);
+    c.wait(p).unwrap();
     // Now associate the same deposit with the other channel.
     c.approve_and_associate(0, 2, c02, &dep);
     assert_eq!(c.balances(0, c02), (500, 0));
@@ -147,8 +147,11 @@ fn on_chain_settlement_pays_correct_balances() {
         let p = c.node(0).enclave.program().unwrap();
         p.channel(&chan).unwrap().remote_settlement
     };
-    c.command(0, Command::Settle { id: chan }).unwrap();
-    c.settle_network();
+    let s = c.settle_channel(0, chan).unwrap();
+    assert!(
+        matches!(s.kind, SettleKind::OnChain(_)),
+        "moved balances settle on chain: {s:?}"
+    );
     c.mine(1);
     assert_eq!(c.chain_balance(&my_settle), 750);
     assert_eq!(c.chain_balance(&their_settle), 250);
@@ -163,8 +166,8 @@ fn neutral_channel_settles_off_chain() {
     // Pay and pay back: balances return to neutral.
     c.pay(0, chan, 400).unwrap();
     c.pay(1, chan, 400).unwrap();
-    c.command(0, Command::Settle { id: chan }).unwrap();
-    c.settle_network();
+    let s = c.settle_channel(0, chan).unwrap();
+    assert_eq!(s.kind, SettleKind::OffChain, "neutral channel: {s:?}");
     // No blockchain writes: termination was purely off-chain (§4.1),
     // placing 0 transactions instead of a settlement.
     assert_eq!(c.node(0).broadcasts.len(), 0);
@@ -184,8 +187,10 @@ fn unilateral_settlement_without_counterparty() {
         let p = c.node(0).enclave.program().unwrap();
         p.channel(&chan).unwrap().my_settlement
     };
-    c.command(0, Command::Settle { id: chan }).unwrap();
-    // Do not run the network: broadcast already happened via the effect.
+    // The settle operation completes on the local broadcast — no
+    // counterparty cooperation involved.
+    let s = c.settle_channel(0, chan).unwrap();
+    assert!(matches!(s.kind, SettleKind::OnChain(_)));
     c.mine(1);
     assert_eq!(c.chain_balance(&my_settle), 500);
 }
@@ -194,9 +199,14 @@ fn unilateral_settlement_without_counterparty() {
 fn payments_after_settle_rejected() {
     let mut c = Cluster::functional(2);
     let chan = c.standard_channel(0, 1, "c1", 100, 1);
-    c.command(0, Command::Settle { id: chan }).unwrap();
-    c.settle_network();
-    assert!(c.pay(0, chan, 10).is_err());
+    // Neutral balances (nothing was ever paid): the settle terminates
+    // off-chain, leaving an empty channel that can no longer pay.
+    let s = c.settle_channel(0, chan).unwrap();
+    assert_eq!(s.kind, SettleKind::OffChain);
+    assert_eq!(
+        c.pay(0, chan, 10).unwrap_err(),
+        OpError::Rejected(ProtocolError::InsufficientBalance)
+    );
 }
 
 // ---- Multi-hop payments ----
@@ -211,20 +221,14 @@ fn three_hop_cluster() -> (Cluster, ChannelId, ChannelId) {
 #[test]
 fn multihop_payment_completes() {
     let (mut c, c01, c12) = three_hop_cluster();
-    c.pay_multihop(&[0, 1, 2], &[c01, c12], 250, "r1").unwrap();
+    // The typed completion reports end-to-end delivery at p1.
+    let d = c.pay_multihop(&[0, 1, 2], &[c01, c12], 250, "r1").unwrap();
+    assert_eq!(d.amount, 250);
     // p1 paid, p2 forwarded, p3 received.
     assert_eq!(c.balances(0, c01), (750, 250));
     assert_eq!(c.balances(1, c01), (250, 750));
     assert_eq!(c.balances(1, c12), (750, 250));
     assert_eq!(c.balances(2, c12), (250, 750));
-    assert_eq!(
-        c.count_events(0, |e| matches!(e, HostEvent::MultihopComplete { .. })),
-        1
-    );
-    assert_eq!(
-        c.count_events(2, |e| matches!(e, HostEvent::MultihopReceived { .. })),
-        1
-    );
     // Channels unlocked again.
     for (i, ch) in [(0usize, c01), (1, c01), (1, c12), (2, c12)] {
         let stage = c
@@ -244,12 +248,12 @@ fn multihop_insufficient_balance_aborts_cleanly() {
     let (mut c, c01, c12) = three_hop_cluster();
     // Drain the middle hop's forwarding balance.
     c.pay(1, c12, 950).unwrap();
-    let result = c.pay_multihop(&[0, 1, 2], &[c01, c12], 500, "r2");
-    // The command itself succeeds (lock sent); failure arrives as an event.
-    result.unwrap();
+    // The abort unwinds backward carrying the intermediary's real
+    // refusal reason, which becomes the operation's typed error.
     assert_eq!(
-        c.count_events(0, |e| matches!(e, HostEvent::MultihopFailed { .. })),
-        1
+        c.pay_multihop(&[0, 1, 2], &[c01, c12], 500, "r2")
+            .unwrap_err(),
+        OpError::Remote(ProtocolError::InsufficientBalance)
     );
     // Balances unchanged and channels unlocked.
     assert_eq!(c.balances(0, c01), (1000, 0));
@@ -279,10 +283,11 @@ fn multihop_sequential_payments_share_channels() {
 fn single_channel_pay_blocked_while_locked() {
     // A channel in an in-flight multi-hop payment refuses ordinary pays.
     let (mut c, c01, c12) = three_hop_cluster();
-    // Start a multihop but do NOT let the network run: channel stays locked.
+    // Start a multihop but do NOT resolve it yet: the lock is applied
+    // synchronously at submission, so the channel is already locked.
     let route = teechain::RouteId([9; 32]);
     let hops = vec![c.ids[0], c.ids[1], c.ids[2]];
-    c.command(
+    let mh = c.submit(
         0,
         Command::PayMultihop {
             route,
@@ -290,10 +295,11 @@ fn single_channel_pay_blocked_while_locked() {
             channels: vec![c01, c12],
             amount: 10,
         },
-    )
-    .unwrap();
+    );
+    // The racing direct pay is rejected locally with the lock error (its
+    // completion is recorded before the network runs).
     let err = c
-        .command(
+        .op(
             0,
             Command::Pay {
                 id: c01,
@@ -302,9 +308,9 @@ fn single_channel_pay_blocked_while_locked() {
             },
         )
         .unwrap_err();
-    assert_eq!(err, teechain::ProtocolError::ChannelLocked);
-    // Finish the multihop; the channel unlocks and pays again.
-    c.settle_network();
+    assert_eq!(err, OpError::Rejected(ProtocolError::ChannelLocked));
+    // The multihop completed during the wait; the channel pays again.
+    c.wait::<teechain::ops::Delivered>(c.pending(mh)).unwrap();
     c.pay(0, c01, 5).unwrap();
 }
 

@@ -1,9 +1,9 @@
 //! Event-queue building blocks shared by the engine implementations.
 //!
-//! The sequential engine orders events by [`EventKey`] `(time, global
+//! The sequential engine orders events by `EventKey` `(time, global
 //! seq)` — creation order breaks ties, which is well-defined because one
 //! thread creates every event. The sharded engine cannot use a global
-//! counter (shards would race for it), so it orders by [`LaneKey`]
+//! counter (shards would race for it), so it orders by `LaneKey`
 //! `(time, origin node, per-origin seq)`: each node allocates sequence
 //! numbers from its own lane, and since any one node's actions are
 //! applied in a deterministic order, the key of every event is

@@ -4,7 +4,8 @@
 //!
 //! Run with: `cargo run --example committee_failover`
 
-use teechain::enclave::{Command, HostEvent};
+use teechain::enclave::Command;
+use teechain::ops::OpOutput;
 use teechain::testkit::Cluster;
 
 fn main() {
@@ -35,19 +36,15 @@ fn main() {
         stale.remote_bal = 0;
         teechain::settle::current_settlement_tx(&stale)
     };
-    net.command(
+    // The co-sign operation's typed output carries the verdict.
+    let verdict = net.exec(
         2,
         Command::CoSign {
             req_id: 1,
             tx: forged.clone(),
         },
-    )
-    .unwrap();
-    let refused = net
-        .node(2)
-        .events
-        .iter()
-        .any(|(_, e)| matches!(e, HostEvent::CoSignResult { refused: true, .. }));
+    );
+    let refused = matches!(verdict, OpOutput::CoSigned { refused: true, .. });
     println!("committee member refused stale settlement: {refused}");
     assert!(refused);
     assert!(
@@ -59,9 +56,9 @@ fn main() {
     // Alice's machine dies entirely. The committee member holds the
     // replicated state: force-freeze, then settle at the TRUE balances.
     net.node_mut(0).enclave.crash();
-    net.command(2, Command::ReadReplica).unwrap();
-    net.command(2, Command::SettleFromReplica).unwrap();
-    net.settle_network();
+    let replica = net.exec(2, Command::ReadReplica);
+    println!("replica state before failover: {replica:?}");
+    net.exec(2, Command::SettleFromReplica);
     net.mine(1);
     let alice_addr = {
         let p = net.node(2).enclave.program().unwrap();

@@ -4,7 +4,8 @@
 //!
 //! Run with: `cargo run --release --example crash_recovery`
 
-use teechain::enclave::{Command, HostEvent};
+use teechain::enclave::Command;
+use teechain::ops::OpError;
 use teechain::testkit::{Cluster, ClusterConfig};
 use teechain::{DurabilityBackend, PersistPolicy, ProtocolError};
 
@@ -37,38 +38,28 @@ fn main() {
 
     net.pay(0, chan, 100).unwrap(); // Payment 6 commits durably.
 
-    // Power failure: Bob dies with payment 7 on the wire.
-    net.command(
+    // Power failure: Bob dies with payment 7 on the wire. The payment
+    // operation never resolves with an ack — it is typed-dead instead of
+    // silently vanishing.
+    let inflight = net.submit(
         0,
         Command::Pay {
             id: chan,
             amount: 100,
             count: 1,
         },
-    )
-    .unwrap();
+    );
     net.crash_node(1);
-    net.settle_network();
-    println!("\nBob crashed mid-payment (payment 7 was in flight)");
+    let p7: Result<teechain::ops::Payment, _> = net.wait(net.pending(inflight));
+    assert!(matches!(p7, Err(OpError::Timeout { .. })));
+    println!("\nBob crashed mid-payment (payment 7 was in flight: {p7:?})");
 
-    // Honest recovery: replay snapshot + WAL, counters check out.
-    net.recover_node(1).unwrap();
-    let recovered = net
-        .node_mut(1)
-        .drain_events()
-        .into_iter()
-        .find_map(|(_, e)| match e {
-            HostEvent::Recovered {
-                channels,
-                deposits,
-                commits,
-            } => Some((channels, deposits, commits)),
-            _ => None,
-        })
-        .expect("recovery event");
+    // Honest recovery: replay snapshot + WAL, counters check out. The
+    // recovery operation's typed completion reports what was replayed.
+    let recovered = net.recover_node(1).unwrap();
     println!(
         "recovered: {} channel(s), {} deposit(s), {} durable commits replayed",
-        recovered.0, recovered.1, recovered.2
+        recovered.channels, recovered.deposits, recovered.commits
     );
     let (bob, _) = net.balances(1, chan);
     println!("Bob's balance after recovery: {bob} (payments 1-6 intact, 7 was never applied)");
@@ -90,7 +81,7 @@ fn main() {
         .restore_raw(stale_snapshot, stale_log)
         .unwrap();
     match net.recover_node(1) {
-        Err(ProtocolError::StaleState { found, expected }) => println!(
+        Err(OpError::Rejected(ProtocolError::StaleState { found, expected })) => println!(
             "\nroll-back attack refused: storage reaches commit {found}, \
              hardware counter proves {expected} exist"
         ),

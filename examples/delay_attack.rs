@@ -5,7 +5,6 @@
 //!
 //! Run with: `cargo run --example delay_attack`
 
-use teechain::enclave::Command;
 use teechain::testkit::Cluster;
 use teechain_baselines::attack::delay_attack_on_ln;
 use teechain_blockchain::AdversaryPolicy;
@@ -36,8 +35,7 @@ fn main() {
         let p = net.node(1).enclave.program().unwrap();
         p.channel(&chan).unwrap().my_settlement
     };
-    net.command(1, Command::Settle { id: chan }).unwrap();
-    net.settle_network();
+    net.settle_channel(1, chan).unwrap();
     net.mine(49);
     println!(
         "after 49 censored blocks Bob has {} on chain (settlement delayed, not defeated)",

@@ -24,8 +24,10 @@ fn main() {
     // A multi-hop purchase: 420 flows Alice → Processor → Carol, with all
     // channels updating atomically (lock → sign τ → preUpdate → update →
     // postUpdate → release).
-    net.pay_multihop(&[alice, processor, carol], &[c1, c2], 420, "order-1")
+    let delivered = net
+        .pay_multihop(&[alice, processor, carol], &[c1, c2], 420, "order-1")
         .unwrap();
+    assert_eq!(delivered.amount, 420);
     println!(
         "purchase complete: Alice {:?}, Carol {:?}",
         net.balances(alice, c1),
@@ -39,7 +41,9 @@ fn main() {
     // channel settles at a CONSISTENT state — nobody loses funds.
     let route = RouteId([7; 32]);
     let hops = vec![net.ids[alice], net.ids[processor], net.ids[carol]];
-    net.command(
+    // Submit without resolving: the purchase is deliberately frozen
+    // mid-protocol (its completion will carry the failure).
+    net.submit(
         alice,
         Command::PayMultihop {
             route,
@@ -47,12 +51,11 @@ fn main() {
             channels: vec![c1, c2],
             amount: 100,
         },
-    )
-    .unwrap();
+    );
     // Run only lock+sign: everyone holds τ; balances not yet updated.
     net.sim.run_to_idle(4);
     println!("\nsecond purchase locked; Carol ejects prematurely...");
-    net.command(carol, Command::Eject { route }).unwrap();
+    net.op_now(carol, Command::Eject { route }).unwrap();
     net.mine(1);
 
     // Alice's host sees the conflicting settlement on chain and presents
@@ -62,7 +65,7 @@ fn main() {
         let dep = p.channel(&c2).unwrap().all_deposits()[0];
         net.chain.lock().find_spender(&dep).unwrap().clone()
     };
-    net.command(alice, Command::EjectWithPopt { route, popt })
+    net.op_now(alice, Command::EjectWithPopt { route, popt })
         .unwrap();
     net.mine(1);
     let alice_addr = {

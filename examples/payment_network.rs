@@ -42,13 +42,19 @@ fn main() {
     println!("issuing {assigned} multi-hop payments (window 1 per node)...");
     let stats = net.cluster.run(500_000_000);
     println!(
-        "completed {} payments in {:.2}s simulated: {:.1} tx/s, mean {:.0} ms, avg {:.1} hops, {} retries",
+        "completed {} payments in {:.2}s simulated: {:.1} tx/s, mean {:.0} ms, avg {:.1} hops, {} retries ({} payments needed one)",
         stats.completed,
         stats.duration_ns as f64 / 1e9,
         stats.throughput,
         stats.mean_ms,
         stats.avg_hops + 1.0,
-        stats.retries
+        stats.retries,
+        stats.retried_completed,
     );
+    // Typed failure accounting: every non-completion is a counted
+    // OpError, not an absent event.
+    for (label, n) in net.cluster.op_errors() {
+        println!("  op error {label}: {n}");
+    }
     assert!(stats.completed > 0);
 }

@@ -76,8 +76,7 @@ proptest! {
             let c = p.channel(&chan).unwrap();
             (c.my_settlement, c.remote_settlement)
         };
-        net.command(settler, Command::Settle { id: chan }).unwrap();
-        net.settle_network();
+        net.settle_channel(settler, chan).unwrap();
         net.mine(1);
         // OPS3: both parties release any deposits the termination freed.
         for party in [0usize, 1] {
@@ -90,7 +89,7 @@ proptest! {
                 .free_deposits();
             let target = if party == settler { addr0 } else { addr1 };
             for dep in frees {
-                net.command(
+                net.op(
                     party,
                     Command::ReleaseDeposit {
                         outpoint: dep.outpoint,

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full stack (crypto → TEE →
 //! blockchain → network → protocol) under realistic conditions.
 
-use teechain::enclave::Command;
+use teechain::ops::SettleKind;
 use teechain::testkit::{Cluster, ClusterConfig};
 use teechain_baselines::attack::delay_attack_on_ln;
 use teechain_blockchain::AdversaryPolicy;
@@ -23,8 +23,8 @@ fn full_lifecycle_on_wan_links() {
     let elapsed_ms = (net.sim.now_ns() - t0) as f64 / 1e6;
     // One payment = one 84 ms round trip (+jitter/processing).
     assert!((80.0..120.0).contains(&elapsed_ms), "{elapsed_ms}");
-    net.command(0, Command::Settle { id: chan }).unwrap();
-    net.settle_network();
+    let s = net.settle_channel(0, chan).unwrap();
+    assert!(matches!(s.kind, SettleKind::OnChain(_)));
     net.mine(1);
     let chain = net.chain.lock();
     assert_eq!(
@@ -49,8 +49,7 @@ fn teechain_immune_to_delay_attack_ln_is_not() {
         let p = net.node(1).enclave.program().unwrap();
         p.channel(&chan).unwrap().my_settlement
     };
-    net.command(1, Command::Settle { id: chan }).unwrap();
-    net.settle_network();
+    net.settle_channel(1, chan).unwrap();
     net.mine(101);
     // Delayed, never diverted: Bob receives exactly what he is owed.
     assert_eq!(net.chain_balance(&bob_addr), 600);
@@ -72,7 +71,7 @@ fn channel_state_survives_host_message_loss() {
         let p = net.node(0).enclave.program().unwrap();
         p.channel(&chan).unwrap().my_settlement
     };
-    net.command(0, Command::Settle { id: chan }).unwrap();
+    net.settle_channel(0, chan).unwrap();
     net.mine(1);
     assert_eq!(net.chain_balance(&addr), 900);
 }
@@ -110,8 +109,7 @@ fn outsourced_user_via_remote_tee() {
     net.pay(0, chan, 50).unwrap();
     // The outsourced operator disappears; Dave recovers via the committee.
     net.node_mut(0).enclave.crash();
-    net.command(2, Command::SettleFromReplica).unwrap();
-    net.settle_network();
+    net.exec(2, teechain::Command::SettleFromReplica);
     net.mine(1);
     let addr = {
         let p = net.node(2).enclave.program().unwrap();

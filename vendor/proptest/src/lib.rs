@@ -191,7 +191,7 @@ fn parse_len_bounds(pattern: &str) -> Option<(usize, usize)> {
 pub mod collection {
     use super::{Strategy, TestRng};
 
-    /// Element-count bounds for [`vec`].
+    /// Element-count bounds for [`vec()`].
     pub struct SizeRange {
         lo: usize,
         hi: usize,
@@ -212,7 +212,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,
