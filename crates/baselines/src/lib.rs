@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Baselines from the Teechain evaluation (§7).
 //!
 //! * [`ln`] — a protocol-level model of the Lightning Network: on-chain

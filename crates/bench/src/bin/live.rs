@@ -1,0 +1,195 @@
+//! Live payment throughput and latency on real hardware.
+//!
+//! Every other bench bin measures the protocol inside the discrete-event
+//! simulator under the *calibrated* CPU cost model. This one runs it for
+//! real: `LiveCluster` puts each node on its own OS thread with a
+//! wall-clock timer heap, and payments cross an actual transport — the
+//! in-process channel mesh and localhost TCP sockets — so the numbers
+//! are whatever this machine's hardware gives, not Table 1's SGX
+//! calibration. The paper's own testbed measurements (Fig. 3 hardware)
+//! are the conceptual counterpart.
+//!
+//! Per backend, two phases on one long-lived channel:
+//!
+//! * **latency** — window 1, sequential payments: each completion is a
+//!   full submit → enclave → wire → ack round trip.
+//! * **throughput** — a sliding window of in-flight payments (the §7.4
+//!   `W` mechanic), sustained until the target count completes.
+//!
+//! Latency is measured from the completion timestamps on the cluster
+//! clock (submit time to terminal outcome), and every typed failure is
+//! counted per [`OpError`](teechain::ops::OpError) label into the
+//! standard `op_errors` section of `BENCH_live.json`. Run with `--quick`
+//! for the CI-sized sweep.
+
+use std::collections::{BTreeMap, HashMap};
+use std::time::Duration;
+use teechain::live::{LiveCluster, LiveConfig};
+use teechain::types::ChannelId;
+use teechain_bench::report::{fmt_thousands, BenchJson, Table};
+use teechain_net::Histogram;
+
+/// Results of one measured phase.
+struct Phase {
+    throughput: f64,
+    mean_ms: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    completed: u64,
+    op_errors: BTreeMap<String, u64>,
+}
+
+/// Drives `total` unit payments over `chan` from node 0, keeping up to
+/// `window` in flight, draining the published completion stream — so
+/// the cluster's memory stays proportional to the window, not to how
+/// many payments the measurement has pushed through.
+fn run_payments(net: &LiveCluster, chan: ChannelId, total: usize, window: usize) -> Phase {
+    let mut issue_ns: HashMap<u64, u64> = HashMap::new();
+    let mut submitted = 0usize;
+    let mut resolved = 0usize;
+    let mut completed = 0u64;
+    let mut first_issue = u64::MAX;
+    let mut last_done = 0u64;
+    let mut latencies = Histogram::new();
+    let mut op_errors: BTreeMap<String, u64> = BTreeMap::new();
+    while resolved < total {
+        while issue_ns.len() < window && submitted < total {
+            let t = net.now_ns();
+            let p = net.submit_pay(0, chan, 1);
+            first_issue = first_issue.min(t);
+            issue_ns.insert(p.op.seq, t);
+            submitted += 1;
+        }
+        let fresh = net.take_completions(0);
+        if fresh.is_empty() {
+            std::thread::sleep(Duration::from_micros(50));
+            continue;
+        }
+        for c in fresh {
+            let Some(t0) = issue_ns.remove(&c.op.seq) else {
+                continue; // Setup noise, not one of ours.
+            };
+            resolved += 1;
+            last_done = last_done.max(c.time_ns);
+            match c.outcome {
+                Ok(_) => {
+                    completed += 1;
+                    latencies.record(c.time_ns.saturating_sub(t0));
+                }
+                Err(e) => {
+                    *op_errors.entry(e.label()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let duration_ns = last_done.saturating_sub(first_issue).max(1);
+    Phase {
+        throughput: completed as f64 / (duration_ns as f64 / 1e9),
+        mean_ms: latencies.mean() / 1e6,
+        p50_ms: latencies.p50() as f64 / 1e6,
+        p99_ms: latencies.p99() as f64 / 1e6,
+        completed,
+        op_errors,
+    }
+}
+
+fn measure(
+    name: &str,
+    net: &LiveCluster,
+    lat_payments: usize,
+    tp_payments: usize,
+    window: usize,
+    table: &mut Table,
+    doc: &mut BenchJson,
+) {
+    let chan = net.standard_channel(0, 1, &format!("live-{name}"), u64::MAX / 4, 1);
+    let lat = run_payments(net, chan, lat_payments, 1);
+    let tp = run_payments(net, chan, tp_payments, window);
+    table.row(&[
+        name.into(),
+        fmt_thousands(tp.throughput),
+        format!("{:.3}", lat.mean_ms),
+        format!("{:.3}", lat.p50_ms),
+        format!("{:.3}", lat.p99_ms),
+        tp.completed.to_string(),
+        window.to_string(),
+    ]);
+    doc.metric(&format!("{name}_throughput_tx_s"), tp.throughput)
+        .metric(&format!("{name}_latency_mean_ms"), lat.mean_ms)
+        .metric(&format!("{name}_latency_p50_ms"), lat.p50_ms)
+        .metric(&format!("{name}_latency_p99_ms"), lat.p99_ms)
+        .metric(&format!("{name}_completed"), tp.completed + lat.completed)
+        .op_errors(&lat.op_errors)
+        .op_errors(&tp.op_errors);
+    assert_eq!(
+        tp.completed + lat.completed,
+        (lat_payments + tp_payments) as u64,
+        "{name}: every live payment must complete successfully"
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (lat_payments, tp_payments, window) = if quick {
+        (200, 2_000, 64)
+    } else {
+        (1_000, 20_000, 64)
+    };
+    let mut table = Table::new(
+        "Live execution: real threads, sockets and clocks (this machine, not the paper's testbed)",
+        &[
+            "Transport",
+            "Throughput (tx/s)",
+            "Latency ms",
+            "[p50]",
+            "[p99]",
+            "Completed",
+            "Window",
+        ],
+    );
+    let mut doc = BenchJson::new("live");
+    doc.metric("quick", if quick { 1u64 } else { 0u64 })
+        .metric(
+            "host_parallelism",
+            std::thread::available_parallelism().map_or(0, |p| p.get()),
+        )
+        .metric("window", window)
+        .metric("latency_payments_per_backend", lat_payments)
+        .metric("throughput_payments_per_backend", tp_payments);
+
+    let threads = LiveCluster::over_threads(LiveConfig {
+        n: 2,
+        seed: 0x11FE,
+        ..LiveConfig::default()
+    });
+    measure(
+        "threads",
+        &threads,
+        lat_payments,
+        tp_payments,
+        window,
+        &mut table,
+        &mut doc,
+    );
+    threads.shutdown();
+
+    let tcp = LiveCluster::over_tcp(LiveConfig {
+        n: 2,
+        seed: 0x11FE,
+        ..LiveConfig::default()
+    })
+    .expect("bind localhost listeners");
+    measure(
+        "tcp",
+        &tcp,
+        lat_payments,
+        tp_payments,
+        window,
+        &mut table,
+        &mut doc,
+    );
+    tcp.shutdown();
+
+    table.print();
+    doc.table(&table).write().expect("bench json");
+}

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! A simulated Bitcoin-like blockchain for the Teechain reproduction.
 //!
 //! Teechain requires only *asynchronous* access to an append-only ledger

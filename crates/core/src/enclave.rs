@@ -56,7 +56,8 @@ impl EnclaveConfig {
 /// Ecalls accepted by the Teechain enclave.
 #[derive(Clone)]
 pub enum Command {
-    /// Returns this enclave's identity key via [`HostEvent::Identity`].
+    /// Returns this enclave's identity key; as an operation it completes
+    /// with [`OpOutput::Identity`](crate::ops::OpOutput::Identity).
     GetIdentity,
     /// Initiates a secure session with a remote enclave (identity key
     /// exchanged out-of-band, §4.1).
@@ -70,11 +71,13 @@ pub enum Command {
         wire: Vec<u8>,
     },
     /// Generates a fresh blockchain address inside the TEE (Alg. 1
-    /// `newAddr`); returned via [`HostEvent::NewAddress`].
+    /// `newAddr`); as an operation it completes with
+    /// [`OpOutput::Address`](crate::ops::OpOutput::Address).
     NewAddress,
     /// Builds an m-of-n committee spec for a new deposit: a fresh
     /// per-deposit key plus every chain member's blockchain key (§6.1).
-    /// Returned via [`HostEvent::CommitteeAddress`].
+    /// As an operation it completes with
+    /// [`OpOutput::Committee`](crate::ops::OpOutput::Committee).
     NewCommitteeAddress {
         /// Signature threshold `m` (1 ≤ m ≤ chain length + 1).
         m: u8,
@@ -185,15 +188,17 @@ pub enum Command {
         backup: PublicKey,
     },
     /// Force-freeze read of replicated state (issued on a backup, §6):
-    /// freezes the chain and reports replica summary via
-    /// [`HostEvent::ReplicaState`].
+    /// freezes the chain; as an operation it completes with the replica
+    /// summary ([`OpOutput::ReplicaState`](crate::ops::OpOutput::ReplicaState)).
     ReadReplica,
     /// Generates settlement transactions for every replicated channel (the
     /// failover path after the primary crashed).
     SettleFromReplica,
     /// Co-signs a settlement produced elsewhere in our committee, after
-    /// verifying it against replicated state (§6.1). Responds via
-    /// [`HostEvent::CoSignResult`].
+    /// verifying it against replicated state (§6.1). As an operation it
+    /// completes with [`OpOutput::CoSigned`](crate::ops::OpOutput::CoSigned);
+    /// the host routes the granted signatures back to the requesting
+    /// node.
     CoSign {
         /// Request id to echo.
         req_id: u64,

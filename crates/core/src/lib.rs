@@ -28,6 +28,9 @@
 //!   remote rejections and timeouts).
 //! * [`driver`] — runs hosts inside the deterministic network simulator
 //!   with the calibrated CPU cost model (reproduces §7).
+//! * [`live`] — runs the *same* hosts as a real concurrent system:
+//!   per-node OS threads, wall-clock timers and a real transport
+//!   (in-process channels or localhost TCP) instead of the simulator.
 //! * [`routing`] — shortest-path and k-path route selection for payment
 //!   networks (§7.4 dynamic routing).
 //!
@@ -91,6 +94,7 @@ pub mod deposit;
 pub mod driver;
 pub mod durability;
 pub mod enclave;
+pub mod live;
 pub mod msg;
 pub mod multihop;
 pub mod node;
@@ -104,6 +108,7 @@ pub mod types;
 
 pub use durability::{DurabilityBackend, PersistPolicy};
 pub use enclave::{Command, Effect, EnclaveConfig, HostEvent, Outcome, TeechainEnclave};
+pub use live::{LiveCluster, LiveConfig};
 pub use node::TeechainNode;
 pub use ops::{Completion, OpError, OpId, OpOutput, Pending, SettleKind};
 pub use types::{ChannelId, CommitteeSpec, Deposit, MultihopStage, ProtocolError, RouteId};

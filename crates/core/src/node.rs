@@ -471,11 +471,6 @@ impl TeechainNode {
         self.events.push((now_ns, event));
     }
 
-    /// Drains collected host events.
-    pub fn drain_events(&mut self) -> Vec<(u64, HostEvent)> {
-        std::mem::take(&mut self.events)
-    }
-
     // ---- Correlated operations (the `ops` layer) ----
 
     /// Submits `cmd` as a correlated operation: the returned [`OpId`]'s

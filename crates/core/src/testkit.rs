@@ -76,6 +76,63 @@ impl Default for ClusterConfig {
     }
 }
 
+/// Builds `total` nodes with identities exchanged and the full-mesh
+/// directory registered — shared by every harness that must mint
+/// *identical* enclave identities for one `seed`: the simulated
+/// [`Cluster`] here and the live cluster ([`crate::live::LiveCluster`]).
+/// Keeping this in one place is what makes sim-vs-live outcome
+/// comparison meaningful: any drift in device ids, enclave seeds or
+/// wiring would silently diverge identities, channel ids and txids.
+/// Persistent-mode nodes get a harness-owned in-memory store (returned
+/// alongside, like a disk that outlives the node).
+pub(crate) fn build_wired_nodes(
+    total: usize,
+    seed: u64,
+    durability: DurabilityBackend,
+    chain: &SharedChain,
+) -> (
+    TrustRoot,
+    Vec<TeechainNode>,
+    Vec<Option<SharedStore>>,
+    Vec<PublicKey>,
+) {
+    let root = TrustRoot::new(seed ^ 0x7ee);
+    let measurement = TeechainNode::measurement();
+    let mut nodes = Vec::with_capacity(total);
+    let mut stores: Vec<Option<SharedStore>> = Vec::with_capacity(total);
+    for i in 0..total {
+        let device = root.issue_device(1000 + i as u64);
+        let enclave_cfg = EnclaveConfig {
+            trust_root: root.public_key(),
+            measurement,
+            durability,
+        };
+        let mut node = TeechainNode::new(
+            device,
+            enclave_cfg,
+            seed.wrapping_mul(0x9E3779B9).wrapping_add(i as u64),
+            chain.clone(),
+        );
+        if durability.is_persist() {
+            let store = PersistentStore::in_memory().into_shared();
+            node.attach_store(store.clone());
+            stores.push(Some(store));
+        } else {
+            stores.push(None);
+        }
+        nodes.push(node);
+    }
+    let ids: Vec<PublicKey> = nodes.iter_mut().map(|n| n.identity(0)).collect();
+    for (i, node) in nodes.iter_mut().enumerate() {
+        for (j, id) in ids.iter().enumerate() {
+            if i != j {
+                node.register_peer(*id, NodeId(j as u32));
+            }
+        }
+    }
+    (root, nodes, stores, ids)
+}
+
 /// A running cluster of Teechain nodes.
 pub struct Cluster {
     /// The discrete-event engine hosting all nodes (sequential or
@@ -99,51 +156,15 @@ impl Cluster {
     /// harness-owned in-memory store; replication mode appends and
     /// chains `backups` extra nodes per primary.
     pub fn new(cfg: ClusterConfig) -> Cluster {
-        let root = TrustRoot::new(cfg.seed ^ 0x7ee);
         let chain: SharedChain = Arc::new(Mutex::new(Chain::new()));
-        let measurement = TeechainNode::measurement();
         let backups = cfg.durability.auto_backups();
         let total = cfg.n * (1 + backups);
-        let mut stores: Vec<Option<SharedStore>> = Vec::with_capacity(total);
-        let mut hosts = Vec::with_capacity(total);
-        for i in 0..total {
-            let device = root.issue_device(1000 + i as u64);
-            let enclave_cfg = EnclaveConfig {
-                trust_root: root.public_key(),
-                measurement,
-                durability: cfg.durability,
-            };
-            let mut node = TeechainNode::new(
-                device,
-                enclave_cfg,
-                cfg.seed.wrapping_mul(0x9E3779B9).wrapping_add(i as u64),
-                chain.clone(),
-            );
-            if cfg.durability.is_persist() {
-                let store = PersistentStore::in_memory().into_shared();
-                node.attach_store(store.clone());
-                stores.push(Some(store));
-            } else {
-                stores.push(None);
-            }
-            hosts.push(SimHost::new(node, cfg.costs));
-        }
-        let mut sim = AnyEngine::new(cfg.engine, hosts, cfg.default_link, cfg.seed);
-        // Collect identities and populate every directory.
-        let mut ids = Vec::with_capacity(total);
-        for i in 0..total {
-            let id = sim.node_mut(NodeId(i as u32)).node.identity(0);
-            ids.push(id);
-        }
-        for i in 0..total {
-            for (j, id) in ids.iter().enumerate() {
-                if i != j {
-                    sim.node_mut(NodeId(i as u32))
-                        .node
-                        .register_peer(*id, NodeId(j as u32));
-                }
-            }
-        }
+        let (root, nodes, stores, ids) = build_wired_nodes(total, cfg.seed, cfg.durability, &chain);
+        let hosts: Vec<SimHost> = nodes
+            .into_iter()
+            .map(|node| SimHost::new(node, cfg.costs))
+            .collect();
+        let sim = AnyEngine::new(cfg.engine, hosts, cfg.default_link, cfg.seed);
         let mut cluster = Cluster {
             sim,
             chain,

@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! Cryptographic substrate for the Teechain reproduction.
 //!
 //! The original system links libsecp256k1, a side-channel-resistant ECDH and

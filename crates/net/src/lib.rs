@@ -1,8 +1,9 @@
-//! A deterministic discrete-event network simulator.
+//! The network substrate: a deterministic discrete-event simulator and a
+//! live runtime over real threads and sockets.
 //!
 //! The paper's evaluation runs on a 33-machine testbed spanning the UK, the
-//! US and Israel (Fig. 3). This crate reproduces that substrate in
-//! simulation:
+//! US and Israel (Fig. 3). This crate reproduces that substrate twice —
+//! once in simulation, once for real:
 //!
 //! * [`engine`] — the event-loop family behind the [`Engine`] trait:
 //!   message delivery, timers, and a per-node single-server CPU model (a
@@ -11,17 +12,27 @@
 //!   implementations: the sequential loop ([`SeqEngine`], the original
 //!   `Simulator`) and the sharded conservative-parallel engine
 //!   ([`ShardedEngine`]) whose results are identical for any shard count.
-//! * [`link`] — per-link latency, jitter and bandwidth.
+//! * [`live`] — the real substrate: the [`Transport`] abstraction with an
+//!   in-process channel backend ([`ThreadNet`]) and a localhost TCP
+//!   backend ([`TcpNet`]), plus the [`live::drive`] bridge that runs the
+//!   unmodified node handlers outside any engine so a live event loop can
+//!   perform their actions as actual I/O.
+//! * [`link`] — per-link latency, jitter and bandwidth (simulation only;
+//!   live links are as fast as the kernel and the wire).
 //! * [`topology`] — the Fig. 3 WAN testbed, complete graphs and the Fig. 5
 //!   hub-and-spoke overlay (including generated large-scale variants).
 //! * [`stats`] — latency histograms (mean / p50 / p99, as reported in the
 //!   paper's tables), mergeable across shards and runs.
 //!
-//! Everything is deterministic given a seed: two runs of the same scenario
-//! produce identical traces.
+//! Simulation is deterministic given a seed: two runs of the same scenario
+//! produce identical traces. Live runs race like any real system; they
+//! promise only per-connection FIFO delivery, and the sim-vs-live
+//! equivalence suite in `crates/core` checks that protocol *outcomes*
+//! agree across both substrates.
 
 pub mod engine;
 pub mod link;
+pub mod live;
 pub mod stats;
 pub mod topology;
 
@@ -30,6 +41,9 @@ pub use engine::{
     Simulator,
 };
 pub use link::LinkSpec;
+pub use live::{
+    NodeAction, TcpNet, ThreadNet, Transport, TransportError, TransportRx, TransportTx,
+};
 pub use stats::Histogram;
 
 /// Nanoseconds per microsecond.

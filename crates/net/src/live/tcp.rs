@@ -1,0 +1,412 @@
+//! The localhost TCP transport backend.
+//!
+//! One listening socket per node; peer connections are established
+//! lazily on first send and kept open. Frames on the wire use the
+//! workspace codec (`teechain_util::codec`): a `u32` little-endian length
+//! prefix followed by the codec-encoded `(sender id, payload)` body —
+//! the same bit-stable format every protocol message already uses, so a
+//! live node's bytes could in principle cross a real WAN. TCP itself
+//! provides the reliable, FIFO-per-connection delivery contract.
+//!
+//! Threading: each endpoint spawns one acceptor thread at construction
+//! and one reader thread per accepted connection. All of them watch a
+//! shared stop flag (set when the receiving half is dropped) and use
+//! short socket timeouts, so dropping the [`TcpRx`] winds the whole
+//! endpoint down without leaking threads past a test run.
+
+use super::{Transport, TransportError, TransportRx, TransportTx};
+use crate::engine::NodeId;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+use teechain_util::codec::{Decode, Encode, Reader as WireReader, WireError};
+
+/// Upper bound on a single frame body; anything larger is junk (the
+/// biggest legitimate protocol message is a sealed snapshot, well under
+/// this).
+const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// One length-prefixed wire frame: who sent it and the payload bytes.
+struct Frame {
+    from: u32,
+    payload: Vec<u8>,
+}
+
+impl Encode for Frame {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.from.encode(out);
+        self.payload.encode(out);
+    }
+}
+
+impl Decode for Frame {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        Ok(Frame {
+            from: r.read()?,
+            payload: r.read()?,
+        })
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
+    let body = frame.encode_to_vec();
+    let mut buf = (body.len() as u32).encode_to_vec();
+    buf.extend_from_slice(&body);
+    stream.write_all(&buf)
+}
+
+/// Incremental frame parser: bytes accumulate across reads, so a read
+/// timeout in the middle of a frame (stalled sender, segmented
+/// delivery) never loses the partial prefix — `read_exact` would.
+struct FrameBuffer {
+    buf: Vec<u8>,
+}
+
+impl FrameBuffer {
+    fn new() -> Self {
+        FrameBuffer { buf: Vec::new() }
+    }
+
+    fn extend(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Pops the next complete frame, `Ok(None)` if more bytes are
+    /// needed, `Err` if the stream is corrupt (oversized or undecodable
+    /// frame — the connection must be dropped, resynchronization is
+    /// impossible).
+    fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
+        if len > MAX_FRAME {
+            return Err(WireError::InvalidValue("frame exceeds MAX_FRAME"));
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame = Frame::decode_exact(&self.buf[4..total])?;
+        self.buf.drain(..total);
+        Ok(Some(frame))
+    }
+}
+
+/// The localhost TCP network: a factory for [`TcpEndpoint`]s whose
+/// listeners are already accepting when the constructor returns.
+pub struct TcpNet;
+
+impl TcpNet {
+    /// Binds `n` endpoints on ephemeral 127.0.0.1 ports and starts their
+    /// acceptor threads. Endpoint `i` is for node `i`.
+    pub fn localhost(n: usize) -> std::io::Result<Vec<TcpEndpoint>> {
+        let mut listeners = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let listener = TcpListener::bind(("127.0.0.1", 0))?;
+            addrs.push(listener.local_addr()?);
+            listeners.push(listener);
+        }
+        let addrs = Arc::new(addrs);
+        let endpoints = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(i, listener)| {
+                let (inbound_tx, inbound_rx) = mpsc::channel();
+                let stop = Arc::new(AtomicBool::new(false));
+                spawn_acceptor(listener, inbound_tx, stop.clone());
+                TcpEndpoint {
+                    id: NodeId(i as u32),
+                    addrs: addrs.clone(),
+                    rx: inbound_rx,
+                    stop,
+                }
+            })
+            .collect();
+        Ok(endpoints)
+    }
+}
+
+/// Accepts connections and spawns a frame-reader thread per peer.
+fn spawn_acceptor(
+    listener: TcpListener,
+    inbound: Sender<(NodeId, Vec<u8>)>,
+    stop: Arc<AtomicBool>,
+) {
+    listener
+        .set_nonblocking(true)
+        .expect("set_nonblocking on listener");
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    spawn_reader(stream, inbound.clone(), stop.clone());
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(_) => break,
+            }
+        }
+    });
+}
+
+/// Reads frames off one peer connection until EOF, error or stop.
+fn spawn_reader(mut stream: TcpStream, inbound: Sender<(NodeId, Vec<u8>)>, stop: Arc<AtomicBool>) {
+    std::thread::spawn(move || {
+        // The listener is nonblocking for stop-flag polling and some
+        // platforms let accepted sockets inherit that; reads here must
+        // block (with a timeout keeping the thread responsive to stop).
+        let _ = stream.set_nonblocking(false);
+        let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+        let mut frames = FrameBuffer::new();
+        let mut chunk = [0u8; 64 * 1024];
+        'conn: while !stop.load(Ordering::Relaxed) {
+            match stream.read(&mut chunk) {
+                Ok(0) => break, // Peer closed.
+                Ok(n) => {
+                    frames.extend(&chunk[..n]);
+                    loop {
+                        match frames.next_frame() {
+                            Ok(Some(frame)) => {
+                                if inbound.send((NodeId(frame.from), frame.payload)).is_err() {
+                                    break 'conn; // Receiving half is gone.
+                                }
+                            }
+                            Ok(None) => break,     // Await more bytes.
+                            Err(_) => break 'conn, // Corrupt stream: drop it.
+                        }
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock
+                            | std::io::ErrorKind::TimedOut
+                            | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue; // Timeout tick: re-check the stop flag.
+                }
+                Err(_) => break,
+            }
+        }
+    });
+}
+
+/// One node's endpoint on the localhost TCP network.
+pub struct TcpEndpoint {
+    id: NodeId,
+    addrs: Arc<Vec<SocketAddr>>,
+    rx: Receiver<(NodeId, Vec<u8>)>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Transport for TcpEndpoint {
+    type Tx = TcpTx;
+    type Rx = TcpRx;
+
+    fn local_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    fn split(self) -> (TcpTx, TcpRx) {
+        (
+            TcpTx {
+                id: self.id,
+                addrs: self.addrs.clone(),
+                conns: (0..self.addrs.len()).map(|_| None).collect(),
+            },
+            TcpRx {
+                rx: self.rx,
+                stop: self.stop,
+            },
+        )
+    }
+}
+
+/// Sending half of a [`TcpEndpoint`]: lazily connects to each peer's
+/// listener and keeps the stream open.
+pub struct TcpTx {
+    id: NodeId,
+    addrs: Arc<Vec<SocketAddr>>,
+    conns: Vec<Option<TcpStream>>,
+}
+
+impl TcpTx {
+    fn stream_for(&mut self, to: NodeId) -> Result<&mut TcpStream, TransportError> {
+        let idx = to.0 as usize;
+        if idx >= self.addrs.len() {
+            return Err(TransportError::Disconnected(to));
+        }
+        if self.conns[idx].is_none() {
+            let stream = TcpStream::connect(self.addrs[idx])
+                .map_err(|_| TransportError::Disconnected(to))?;
+            // Payments are latency-sensitive single small frames; never
+            // let Nagle batch them.
+            stream
+                .set_nodelay(true)
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+            self.conns[idx] = Some(stream);
+        }
+        Ok(self.conns[idx].as_mut().expect("just connected"))
+    }
+}
+
+impl TransportTx for TcpTx {
+    fn send(&mut self, to: NodeId, msg: Vec<u8>) -> Result<(), TransportError> {
+        let from = self.id.0;
+        let stream = self.stream_for(to)?;
+        let frame = Frame { from, payload: msg };
+        if write_frame(stream, &frame).is_err() {
+            // The peer dropped the connection (e.g. it shut down): forget
+            // the stream so a later send can re-dial a restarted peer.
+            self.conns[to.0 as usize] = None;
+            return Err(TransportError::Disconnected(to));
+        }
+        Ok(())
+    }
+}
+
+/// Receiving half of a [`TcpEndpoint`]. Dropping it stops the endpoint's
+/// acceptor and reader threads.
+pub struct TcpRx {
+    rx: Receiver<(NodeId, Vec<u8>)>,
+    stop: Arc<AtomicBool>,
+}
+
+impl TransportRx for TcpRx {
+    fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(NodeId, Vec<u8>)>, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+}
+
+impl Drop for TcpRx {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = Frame {
+            from: 7,
+            payload: vec![1, 2, 3],
+        };
+        let body = f.encode_to_vec();
+        let back = Frame::decode_exact(&body).unwrap();
+        assert_eq!(back.from, 7);
+        assert_eq!(back.payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn localhost_mesh_delivers_fifo() {
+        let mut eps = TcpNet::localhost(2).unwrap().into_iter();
+        let a = eps.next().unwrap();
+        let b = eps.next().unwrap();
+        assert_eq!((a.local_id(), a.len()), (NodeId(0), 2));
+        let (mut atx, _arx) = a.split();
+        let (_btx, mut brx) = b.split();
+        for i in 0..20u8 {
+            atx.send(NodeId(1), vec![i; 3]).unwrap();
+        }
+        for i in 0..20u8 {
+            let (from, msg) = brx
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .expect("frame");
+            assert_eq!(from, NodeId(0));
+            assert_eq!(msg, vec![i; 3]);
+        }
+    }
+
+    #[test]
+    fn bidirectional_echo_across_threads() {
+        let mut eps = TcpNet::localhost(2).unwrap().into_iter();
+        let (mut atx, mut arx) = eps.next().unwrap().split();
+        let (mut btx, mut brx) = eps.next().unwrap().split();
+        let echo = std::thread::spawn(move || {
+            while let Ok(Some((from, msg))) = brx.recv_timeout(Duration::from_secs(5)) {
+                if msg == b"stop" {
+                    break;
+                }
+                btx.send(from, msg).unwrap();
+            }
+        });
+        for _ in 0..5 {
+            atx.send(NodeId(1), b"ping".to_vec()).unwrap();
+            let (from, msg) = arx
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .expect("echo");
+            assert_eq!((from, &msg[..]), (NodeId(1), &b"ping"[..]));
+        }
+        atx.send(NodeId(1), b"stop".to_vec()).unwrap();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn frame_split_across_slow_writes_survives_read_timeouts() {
+        // A frame whose length prefix and body arrive in separate TCP
+        // segments, with pauses longer than the reader's 50 ms poll
+        // timeout, must still be delivered intact: the reader buffers
+        // partial bytes instead of losing them to a timed-out read.
+        let eps = TcpNet::localhost(1).unwrap();
+        let addr = eps[0].addrs[0];
+        let (_tx, mut rx) = eps.into_iter().next().unwrap().split();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let body = Frame {
+            from: 5,
+            payload: b"slowly".to_vec(),
+        }
+        .encode_to_vec();
+        let mut wire = (body.len() as u32).encode_to_vec();
+        wire.extend_from_slice(&body);
+        // Dribble it out: 2 bytes (half the length prefix), pause past
+        // the poll timeout, then the rest one byte at a time.
+        raw.write_all(&wire[..2]).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(120));
+        for b in &wire[2..] {
+            raw.write_all(&[*b]).unwrap();
+            raw.flush().unwrap();
+        }
+        let (from, msg) = rx
+            .recv_timeout(Duration::from_secs(5))
+            .unwrap()
+            .expect("split frame delivered");
+        assert_eq!((from, &msg[..]), (NodeId(5), &b"slowly"[..]));
+    }
+
+    #[test]
+    fn oversized_frame_rejected_by_reader() {
+        // A raw socket writing an absurd length prefix must not make the
+        // reader allocate or deliver anything.
+        let eps = TcpNet::localhost(1).unwrap();
+        let addr = eps[0].addrs[0];
+        let (_tx, mut rx) = eps.into_iter().next().unwrap().split();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        raw.flush().unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(200)), Ok(None));
+    }
+}

@@ -1,0 +1,182 @@
+//! The in-process transport backend: one `std::sync::mpsc` channel per
+//! node, endpoints wired into a full mesh.
+//!
+//! This is the cheapest real substrate — no serialization beyond the
+//! payload bytes themselves, no kernel round-trips — which makes it the
+//! reference backend for the sim-vs-live equivalence suite and the
+//! upper-bound backend for the live throughput bench. Per-connection
+//! FIFO holds because each sending node performs all of its sends to a
+//! given peer from its own event-loop thread, and an mpsc channel never
+//! reorders messages from one producer.
+
+use super::{Transport, TransportError, TransportRx, TransportTx};
+use crate::engine::NodeId;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// The in-process channel network: a factory for mesh-wired
+/// [`ThreadEndpoint`]s.
+pub struct ThreadNet;
+
+impl ThreadNet {
+    /// Creates `n` endpoints wired into a full mesh. Endpoint `i` is for
+    /// node `i`; hand each to its node's event loop and
+    /// [`split`](Transport::split) it there.
+    pub fn mesh(n: usize) -> Vec<ThreadEndpoint> {
+        let mut txs = Vec::with_capacity(n);
+        let mut rxs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = mpsc::channel();
+            txs.push(tx);
+            rxs.push(rx);
+        }
+        rxs.into_iter()
+            .enumerate()
+            .map(|(i, rx)| ThreadEndpoint {
+                id: NodeId(i as u32),
+                peers: txs.clone(),
+                rx,
+            })
+            .collect()
+    }
+}
+
+/// One node's endpoint on the in-process channel mesh.
+pub struct ThreadEndpoint {
+    id: NodeId,
+    peers: Vec<Sender<(NodeId, Vec<u8>)>>,
+    rx: Receiver<(NodeId, Vec<u8>)>,
+}
+
+impl Transport for ThreadEndpoint {
+    type Tx = ThreadTx;
+    type Rx = ThreadRx;
+
+    fn local_id(&self) -> NodeId {
+        self.id
+    }
+
+    fn len(&self) -> usize {
+        self.peers.len()
+    }
+
+    fn split(self) -> (ThreadTx, ThreadRx) {
+        (
+            ThreadTx {
+                id: self.id,
+                peers: self.peers,
+            },
+            ThreadRx { rx: self.rx },
+        )
+    }
+}
+
+/// Sending half of a [`ThreadEndpoint`].
+pub struct ThreadTx {
+    id: NodeId,
+    peers: Vec<Sender<(NodeId, Vec<u8>)>>,
+}
+
+impl TransportTx for ThreadTx {
+    fn send(&mut self, to: NodeId, msg: Vec<u8>) -> Result<(), TransportError> {
+        let peer = self
+            .peers
+            .get(to.0 as usize)
+            .ok_or(TransportError::Disconnected(to))?;
+        peer.send((self.id, msg))
+            .map_err(|_| TransportError::Disconnected(to))
+    }
+}
+
+/// Receiving half of a [`ThreadEndpoint`].
+pub struct ThreadRx {
+    rx: Receiver<(NodeId, Vec<u8>)>,
+}
+
+impl TransportRx for ThreadRx {
+    fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(NodeId, Vec<u8>)>, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_delivers_and_orders_per_connection() {
+        let mut eps = ThreadNet::mesh(3).into_iter();
+        let a = eps.next().unwrap();
+        let b = eps.next().unwrap();
+        assert_eq!(a.local_id(), NodeId(0));
+        assert_eq!(a.len(), 3);
+        let (mut atx, _arx) = a.split();
+        let (_btx, mut brx) = b.split();
+        for i in 0..10u8 {
+            atx.send(NodeId(1), vec![i]).unwrap();
+        }
+        for i in 0..10u8 {
+            let (from, msg) = brx
+                .recv_timeout(Duration::from_secs(1))
+                .unwrap()
+                .expect("message");
+            assert_eq!(from, NodeId(0));
+            assert_eq!(msg, vec![i]);
+        }
+        assert_eq!(brx.recv_timeout(Duration::from_millis(1)), Ok(None));
+    }
+
+    #[test]
+    fn closed_when_every_sender_is_gone() {
+        let mut eps = ThreadNet::mesh(2).into_iter();
+        let a = eps.next().unwrap();
+        let b = eps.next().unwrap();
+        let (atx, mut arx) = a.split();
+        let (btx, brx) = b.split();
+        drop((atx, btx, brx)); // All senders into a's channel are gone.
+        assert_eq!(
+            arx.recv_timeout(Duration::from_millis(1)),
+            Err(TransportError::Closed)
+        );
+    }
+
+    #[test]
+    fn send_to_unknown_node_is_disconnected() {
+        let mut eps = ThreadNet::mesh(1).into_iter();
+        let (mut tx, _rx) = eps.next().unwrap().split();
+        assert_eq!(
+            tx.send(NodeId(9), vec![]),
+            Err(TransportError::Disconnected(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn cross_thread_echo() {
+        let mut eps = ThreadNet::mesh(2).into_iter();
+        let (mut atx, mut arx) = eps.next().unwrap().split();
+        let (mut btx, mut brx) = eps.next().unwrap().split();
+        let echo = std::thread::spawn(move || {
+            while let Ok(Some((from, msg))) = brx.recv_timeout(Duration::from_secs(1)) {
+                if msg == b"stop" {
+                    break;
+                }
+                btx.send(from, msg).unwrap();
+            }
+        });
+        atx.send(NodeId(1), b"ping".to_vec()).unwrap();
+        let (from, msg) = arx
+            .recv_timeout(Duration::from_secs(1))
+            .unwrap()
+            .expect("echo");
+        assert_eq!((from, msg), (NodeId(1), b"ping".to_vec()));
+        atx.send(NodeId(1), b"stop".to_vec()).unwrap();
+        echo.join().unwrap();
+    }
+}

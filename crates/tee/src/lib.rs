@@ -1,3 +1,5 @@
+#![warn(missing_docs)]
+
 //! A simulated trusted execution environment.
 //!
 //! The Teechain protocols consume an *abstract* TEE — the paper formalizes
