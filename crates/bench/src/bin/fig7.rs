@@ -1,7 +1,7 @@
 //! Fig. 7: throughput with temporary channels — tier-1/tier-2 edges get
 //! G parallel channels, relieving lock contention (§5.2).
 
-use teechain_bench::report::{fmt_thousands, BenchJson, Table};
+use teechain_bench::report::{fmt_thousands, BenchJson, JsonValue, Table};
 use teechain_bench::scenarios::{build_network, fund_reverse, hub_spoke_jobs, wan_100ms};
 use teechain_net::topology::HubSpoke;
 
@@ -67,10 +67,13 @@ fn main() {
         &["G", "n=1 (no FT)", "n=2 (one replica)"],
     );
     let mut errs = OpErrors::new();
+    let mut points: Vec<(usize, usize, f64)> = Vec::new();
     for &g in &gs {
         let mut cells = vec![g.to_string()];
         for &n in &ns {
-            cells.push(fmt_thousands(run(n, g, payments, 7 + g as u64, &mut errs)));
+            let tps = run(n, g, payments, 7 + g as u64, &mut errs);
+            points.push((g, n, tps));
+            cells.push(fmt_thousands(tps));
         }
         while cells.len() < 3 {
             cells.push("-".into());
@@ -79,6 +82,23 @@ fn main() {
     }
     table.print();
     let mut doc = BenchJson::new("fig7");
+    doc.metric("payments_per_run", payments)
+        .metric("quick", JsonValue::Bool(quick));
+    for &(g, n, tps) in &points {
+        doc.metric(&format!("tx_per_s_g{g}_n{n}"), tps);
+    }
+    // Headline scaling ratio the paper's Fig. 7 is about: throughput at
+    // the largest measured G over the G=1 baseline (both at n=1).
+    let base = points.iter().find(|&&(g, n, _)| g == 1 && n == 1);
+    let top = points
+        .iter()
+        .filter(|&&(_, n, _)| n == 1)
+        .max_by_key(|&&(g, _, _)| g);
+    if let (Some(&(_, _, b)), Some(&(gmax, _, t))) = (base, top) {
+        if b > 0.0 && gmax > 1 {
+            doc.metric(&format!("scaling_g{gmax}_over_g1"), t / b);
+        }
+    }
     doc.op_errors(&errs);
     doc.table(&table).write().expect("bench json");
     println!("\nPaper: near-linear scaling in G with diminishing returns (tier-3 congestion).");

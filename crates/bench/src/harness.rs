@@ -13,6 +13,12 @@
 //! operation, measured from the job's *first* issue so retries do not
 //! reset the clock), and every failure is counted per [`OpError`] variant
 //! in [`DriverStats::op_errors`] instead of vanishing.
+//!
+//! Lock contention no longer produces a retry storm: a payment against a
+//! locked channel queues *inside the enclave* (admission control) and is
+//! batch-applied at the unlock point. [`RunStats`] therefore reports the
+//! admission counters — how many ops queued, how many drain batches
+//! committed and their size distribution — instead of retry counts.
 
 use parking_lot::Mutex;
 use std::collections::{BTreeMap, HashMap, VecDeque};
@@ -69,12 +75,6 @@ struct BatchState {
 pub struct DriverStats {
     /// Logical payments completed (acked).
     pub completed: u64,
-    /// Retry attempts performed (a job re-issued after a transient
-    /// failure — distinct from first attempts).
-    pub retries: u64,
-    /// Completed payments that needed at least one retry (their latency
-    /// samples span the full first-issue → ack interval).
-    pub retried_completed: u64,
     /// Failed completions per [`OpError::label`] — typed error
     /// accounting, exported as the `op_errors` section of the
     /// `BENCH_*.json` artifacts.
@@ -104,8 +104,6 @@ struct Flight {
     first_issue: u64,
     /// Logical payments inside the operation (batching).
     count: u32,
-    /// True if this attempt is a retry.
-    retried: bool,
 }
 
 /// A simulator node: Teechain host + workload driver.
@@ -131,6 +129,10 @@ pub struct BenchNode {
     /// Recorded completion stream (see
     /// [`BenchNode::record_completions`]).
     pub completion_log: Vec<Completion>,
+    /// Enclave admission counters at the start of the current run —
+    /// they live in the enclave for its whole lifetime, so per-run
+    /// numbers are deltas against this snapshot.
+    admit_base: teechain::admit::AdmitStats,
     /// Statistics (public for collection).
     pub stats: DriverStats,
 }
@@ -149,6 +151,7 @@ impl BenchNode {
             route_seq: 0,
             record_completions: false,
             completion_log: Vec::new(),
+            admit_base: teechain::admit::AdmitStats::default(),
             stats: DriverStats::default(),
         }
     }
@@ -173,9 +176,6 @@ impl BenchNode {
                     self.stats
                         .latencies
                         .record(c.time_ns.saturating_sub(flight.first_issue));
-                    if flight.retried {
-                        self.stats.retried_completed += 1;
-                    }
                     self.inflight = self.inflight.saturating_sub(count as usize);
                 }
                 Ok(OpOutput::MultihopDelivered { .. }) => {
@@ -185,9 +185,6 @@ impl BenchNode {
                     self.stats
                         .latencies
                         .record(c.time_ns.saturating_sub(flight.first_issue));
-                    if flight.retried {
-                        self.stats.retried_completed += 1;
-                    }
                     if let Job::Multihop {
                         paths, next_path, ..
                     } = &flight.job
@@ -211,17 +208,17 @@ impl BenchNode {
         }
     }
 
-    /// Retry policy per typed failure, matching the paper's load
-    /// generator: transient refusals (lock contention races, throttling
-    /// surfaced synchronously) back off and retry; permanent rejections
-    /// drop the job (they are already counted in `op_errors`).
+    /// Retry policy per typed failure. In-enclave admission absorbs lock
+    /// contention (queued, not rejected), so what remains transient is a
+    /// remote refusal (multi-hop retries over the next alternative path;
+    /// direct payments re-send) and the rare admission push-back: a full
+    /// queue or a deadline expiry, both surfaced as `ChannelLocked`.
+    /// Permanent rejections drop the job (already counted in
+    /// `op_errors`).
     fn handle_failure(&mut self, ctx: &mut Ctx<'_>, flight: Flight, e: &OpError) {
         let transient = match (&flight.job, e) {
-            // A nack or a remote abort: the multi-hop machinery retries
-            // over the next alternative path; direct payments re-send.
             (_, OpError::Remote(_)) => true,
             (_, OpError::Rejected(ProtocolError::ChannelLocked)) => true,
-            (_, OpError::Rejected(ProtocolError::CounterThrottled { .. })) => true,
             // Multi-hop lock setup can also fail locally mid-race.
             (Job::Multihop { .. }, OpError::Rejected(_)) => true,
             _ => false,
@@ -252,7 +249,6 @@ impl BenchNode {
     }
 
     fn schedule_retry(&mut self, ctx: &mut Ctx<'_>, job: Job, first_issue: u64) {
-        self.stats.retries += 1;
         self.retry_bucket.push_back((job, first_issue));
         // Randomized 100–200 ms backoff (§7.4).
         let delay = ctx.rng().next_range(100_000_000, 200_000_000);
@@ -279,11 +275,18 @@ impl BenchNode {
         }
     }
 
-    fn next_route_id(&mut self, ctx: &Ctx<'_>) -> RouteId {
+    /// Route ids double as the admission layer's wait-die priority
+    /// (lexicographically smaller id = may wait behind a lock holder).
+    /// Leading with the big-endian *first-issue* timestamp makes that
+    /// priority the payment's age: a retried payment keeps its original
+    /// timestamp, so it outranks younger traffic and eventually queues
+    /// instead of aborting — classic wait-die without starvation.
+    fn next_route_id(&mut self, ctx: &Ctx<'_>, first_issue: u64) -> RouteId {
         self.route_seq += 1;
         let mut id = [0u8; 32];
-        id[..4].copy_from_slice(&ctx.self_id().0.to_le_bytes());
-        id[8..16].copy_from_slice(&self.route_seq.to_le_bytes());
+        id[..8].copy_from_slice(&first_issue.to_be_bytes());
+        id[8..12].copy_from_slice(&ctx.self_id().0.to_be_bytes());
+        id[12..20].copy_from_slice(&self.route_seq.to_be_bytes());
         RouteId(id)
     }
 
@@ -294,7 +297,6 @@ impl BenchNode {
         if self.stats.first_issue.is_none() {
             self.stats.first_issue = Some(ctx.now_ns());
         }
-        let retried = first_issue.is_some();
         let first_issue = first_issue.unwrap_or_else(|| ctx.now_ns());
         match job {
             Job::Direct { chan, amount } => {
@@ -307,7 +309,6 @@ impl BenchNode {
                         count: 1,
                     },
                     None,
-                    true,
                 );
                 self.inflight += 1;
                 self.flights.insert(
@@ -316,7 +317,6 @@ impl BenchNode {
                         job: Job::Direct { chan, amount },
                         first_issue,
                         count: 1,
-                        retried,
                     },
                 );
             }
@@ -328,7 +328,7 @@ impl BenchNode {
                 ctx.busy(self.host.costs.logical_ns);
                 let idx = next_path.min(paths.len() - 1);
                 let (hops, channels) = paths[idx].clone();
-                let route = self.next_route_id(ctx);
+                let route = self.next_route_id(ctx, first_issue);
                 let op = self.host.node.submit_op(
                     ctx,
                     Command::PayMultihop {
@@ -338,7 +338,6 @@ impl BenchNode {
                         amount,
                     },
                     None,
-                    true,
                 );
                 self.inflight += 1;
                 self.flights.insert(
@@ -351,7 +350,6 @@ impl BenchNode {
                         },
                         first_issue,
                         count: 1,
-                        retried,
                     },
                 );
             }
@@ -391,9 +389,9 @@ impl BenchNode {
             if self.stats.first_issue.is_none() {
                 self.stats.first_issue = Some(ctx.now_ns().saturating_sub(interval));
             }
-            // Counter throttling (stable storage) is retried inside the
-            // node at `ready_at` — the merged operation simply stays in
-            // flight until the whole batch group-commits.
+            // Counter throttling (stable storage) is re-dispatched by the
+            // node's admission pump at `ready_at` — the merged operation
+            // simply stays in flight until the whole batch group-commits.
             let op = self.host.node.submit_op(
                 ctx,
                 Command::Pay {
@@ -402,7 +400,6 @@ impl BenchNode {
                     count,
                 },
                 None,
-                true,
             );
             self.inflight += count as usize;
             self.flights.insert(
@@ -411,7 +408,6 @@ impl BenchNode {
                     job: Job::Direct { chan, amount },
                     first_issue: effective_send,
                     count,
-                    retried: false,
                 },
             );
         }
@@ -503,12 +499,24 @@ pub struct RunStats {
     pub p99_ms: f64,
     /// Average hops per completed multi-hop payment.
     pub avg_hops: f64,
-    /// Total retry attempts (lock contention and other transients).
-    pub retries: u64,
-    /// Completed payments that needed at least one retry — kept separate
-    /// from first-attempt completions so retry-heavy runs cannot
-    /// masquerade as clean ones.
-    pub retried_completed: u64,
+    /// Ops that entered an enclave admission queue instead of erroring
+    /// with `ChannelLocked` (cluster-wide, from the enclave counters).
+    pub queued: u64,
+    /// Inbound messages deferred behind a locked channel.
+    pub deferred: u64,
+    /// Admission drain batches committed (each = one counter increment
+    /// and one WAL record in persistent mode).
+    pub batches: u64,
+    /// Payments applied through those batches.
+    pub batched_payments: u64,
+    /// Largest single drain batch.
+    pub max_batch: u64,
+    /// Batch-size histogram: bucket i counts batches of size in
+    /// `[2^i, 2^(i+1))`.
+    pub batch_hist: [u64; 16],
+    /// Ops carried by an unlocked parallel (temporary) channel instead
+    /// of waiting behind the locked one they named.
+    pub rerouted: u64,
 }
 
 /// A benchmark cluster: like `teechain::testkit::Cluster` but with
@@ -654,12 +662,11 @@ impl BenchCluster {
 
     // ---- Setup operations (the same correlated-op API as the testkit) ----
 
-    /// Submits a setup command on node `i` (throttle auto-retried).
+    /// Submits a setup command on node `i`.
     pub fn submit(&mut self, i: usize, cmd: Command) -> teechain::OpId {
         let nid = NodeId(i as u32);
-        self.sim.call(nid, |node, ctx| {
-            node.host.node.submit_op(ctx, cmd, None, true)
-        })
+        self.sim
+            .call(nid, |node, ctx| node.host.node.submit_op(ctx, cmd, None))
     }
 
     /// Resolves a pending setup operation: runs to quiescence and
@@ -719,7 +726,7 @@ impl BenchCluster {
     pub fn fund_deposit(&mut self, i: usize, value: u64, m: u8) -> teechain::Deposit {
         let nid = NodeId(i as u32);
         let op = self.sim.call(nid, |node, ctx| {
-            node.host.node.submit_fund_deposit(ctx, value, m, true)
+            node.host.node.submit_fund_deposit(ctx, value, m)
         });
         self.wait(Pending::new(op)).expect("fund deposit failed")
     }
@@ -835,13 +842,22 @@ impl BenchCluster {
     /// Kicks all drivers and runs until quiescent (or the event cap).
     /// Returns aggregated statistics.
     pub fn run(&mut self, max_events: u64) -> RunStats {
-        // Clear setup noise from the stats and completion bookkeeping.
+        // Clear setup noise from the stats and completion bookkeeping,
+        // and snapshot the enclave admission counters (they are
+        // enclave-lifetime; per-run numbers are deltas).
         for i in 0..self.sim.len() {
             let node = self.sim.node_mut(NodeId(i as u32));
             node.stats = DriverStats::default();
             node.unclaimed.clear();
             node.host.node.events.clear();
             node.host.node.completions.clear();
+            node.admit_base = node
+                .host
+                .node
+                .enclave
+                .program()
+                .map(|p| p.admit_stats().clone())
+                .unwrap_or_default();
         }
         for i in 0..self.sim.len() {
             self.sim.call(NodeId(i as u32), |node, ctx| node.pump(ctx));
@@ -865,8 +881,13 @@ impl BenchCluster {
         let mut lat = Histogram::new();
         let mut hops_total = 0;
         let mut mh = 0;
-        let mut retries = 0;
-        let mut retried_completed = 0;
+        let mut queued = 0;
+        let mut deferred = 0;
+        let mut batches = 0;
+        let mut batched_payments = 0;
+        let mut max_batch = 0u64;
+        let mut batch_hist = [0u64; 16];
+        let mut rerouted = 0;
         for i in 0..self.sim.len() {
             let node = self.sim.node_mut(NodeId(i as u32));
             completed += node.stats.completed;
@@ -876,9 +897,25 @@ impl BenchCluster {
             last = last.max(node.stats.last_ack);
             hops_total += node.stats.hops_total;
             mh += node.stats.multihop_completed;
-            retries += node.stats.retries;
-            retried_completed += node.stats.retried_completed;
             lat.merge(&node.stats.latencies);
+            if let Some(a) = node.host.node.enclave.program().map(|p| p.admit_stats()) {
+                let base = &node.admit_base;
+                queued += a.enqueued - base.enqueued;
+                deferred += a.deferred - base.deferred;
+                batches += a.batches - base.batches;
+                batched_payments += a.batched_payments - base.batched_payments;
+                rerouted += a.rerouted - base.rerouted;
+                // Lifetime max (a per-run max is not recoverable from a
+                // snapshot); fine — runs only ever grow it.
+                max_batch = max_batch.max(a.max_batch);
+                for ((acc, n), b) in batch_hist
+                    .iter_mut()
+                    .zip(a.batch_hist.iter())
+                    .zip(base.batch_hist.iter())
+                {
+                    *acc += n - b;
+                }
+            }
         }
         let duration_ns = last.saturating_sub(if first == u64::MAX { 0 } else { first });
         let throughput = if duration_ns > 0 {
@@ -897,8 +934,13 @@ impl BenchCluster {
             } else {
                 0.0
             },
-            retries,
-            retried_completed,
+            queued,
+            deferred,
+            batches,
+            batched_payments,
+            max_batch,
+            batch_hist,
+            rerouted,
         }
     }
 

@@ -16,8 +16,11 @@ use teechain_net::SimStats;
 #[derive(Debug, PartialEq)]
 struct Fingerprint {
     completed: u64,
-    retries: u64,
-    retried_completed: u64,
+    queued: u64,
+    batches: u64,
+    batched_payments: u64,
+    max_batch: u64,
+    rerouted: u64,
     duration_ns: u64,
     sim_stats: SimStats,
     now_ns: u64,
@@ -80,8 +83,11 @@ fn run_at(shards: usize) -> Fingerprint {
     }
     Fingerprint {
         completed: stats.completed,
-        retries: stats.retries,
-        retried_completed: stats.retried_completed,
+        queued: stats.queued,
+        batches: stats.batches,
+        batched_payments: stats.batched_payments,
+        max_batch: stats.max_batch,
+        rerouted: stats.rerouted,
         duration_ns: stats.duration_ns,
         sim_stats: net.cluster.sim.stats(),
         now_ns: net.cluster.sim.now_ns(),
@@ -112,11 +118,12 @@ fn fixed_seed_run_is_identical_across_shard_counts() {
         "every logical payment resolves through a completion"
     );
     println!(
-        "baseline (sharded:{}): {} payments, {} events, {} retries",
+        "baseline (sharded:{}): {} payments, {} events, {} queued, {} batches",
         counts[0],
         baseline.completed,
         fmt_thousands(baseline.sim_stats.events as f64),
-        baseline.retries,
+        baseline.queued,
+        baseline.batches,
     );
     for &shards in &counts[1..] {
         let run = run_at(shards);

@@ -11,6 +11,10 @@
 //! Multi-hop payments (Alg. 2) live in [`crate::multihop`]; chain
 //! replication and committees (Alg. 3, §6) in [`crate::replication`].
 
+use crate::admit::{
+    AdmitState, DeferredMsg, QueueEntry, QueuedOp, ADMIT_DEADLINE_NS, ADMIT_QUEUE_CAP,
+    DEFER_DEADLINE_NS,
+};
 use crate::channel::Channel;
 use crate::deposit::{DepositBook, DepositStatus};
 use crate::durability::DurabilityBackend;
@@ -230,10 +234,12 @@ pub enum Command {
         /// Sealed WAL records from [`Effect::AppendLog`], oldest first.
         log: Vec<Vec<u8>>,
     },
-    /// Re-dispatches messages stashed while the monotonic counter was
+    /// Pumps the admission layer: expires queued/deferred ops past their
+    /// deadline, drains any unlocked channel with a backlog, and
+    /// re-dispatches messages stashed while the monotonic counter was
     /// throttled (persistent mode, §6.2). The host calls this at the
-    /// `ready_at` time from [`ProtocolError::CounterThrottled`].
-    RetryPending,
+    /// time given by [`HostEvent::PumpAt`].
+    PumpAdmission,
 }
 
 /// Notifications from the enclave to its host.
@@ -296,8 +302,9 @@ pub enum HostEvent {
         /// Batched count.
         count: u32,
     },
-    /// A payment we sent was refused (channel locked at the remote);
-    /// balances were rolled back. Retry later.
+    /// A payment we sent was refused by the remote (terminal: its
+    /// admission queue was full, expired, or the channel closed there);
+    /// balances were rolled back.
     PaymentNacked {
         /// Channel.
         id: ChannelId,
@@ -305,6 +312,21 @@ pub enum HostEvent {
         amount: u64,
         /// Batched count.
         count: u32,
+        /// The remote's refusal reason, carried on the wire nack.
+        reason: ProtocolError,
+    },
+    /// A queued payment was dropped without ever reaching the wire
+    /// (terminal): the channel closed, the admission deadline passed, or
+    /// the balance could not cover it at drain time.
+    PaymentRejected {
+        /// Channel.
+        id: ChannelId,
+        /// Amount (never debited).
+        amount: u64,
+        /// Batched count.
+        count: u32,
+        /// Why the op was dropped.
+        reason: ProtocolError,
     },
     /// Channel settled cooperatively off-chain; deposits are free.
     SettledOffChain(ChannelId),
@@ -369,9 +391,10 @@ pub enum HostEvent {
     },
     /// This enclave froze (force-freeze tripped or Byzantine suspicion).
     Frozen,
-    /// More stashed messages are waiting on the monotonic counter; call
-    /// [`Command::RetryPending`] at the given time (ns).
-    RetryAt(u64),
+    /// The admission layer wants a pump: call [`Command::PumpAdmission`]
+    /// at the given time (ns) — a queued-op deadline, or the monotonic
+    /// counter's `ready_at`. Hosts keep the earliest outstanding time.
+    PumpAt(u64),
     /// Crash recovery succeeded (answer to [`Command::Recover`]).
     Recovered {
         /// Channels restored.
@@ -434,6 +457,11 @@ pub struct TeechainEnclave {
     /// Durable commits performed (persistent mode); drives the snapshot
     /// cadence. Restored during recovery.
     pub(crate) commits: u64,
+    /// Admission layer: per-channel queues of local ops and deferred
+    /// inbound messages waiting on a locked channel, plus the ack
+    /// fan-out bookkeeping for batched payments. Volatile (§6.2): queued
+    /// ops that never committed simply vanish on crash.
+    pub(crate) admit: AdmitState,
 }
 
 impl TeechainEnclave {
@@ -454,6 +482,7 @@ impl TeechainEnclave {
             counter_id: None,
             pending_msgs: std::collections::VecDeque::new(),
             commits: 0,
+            admit: AdmitState::default(),
         }
     }
 
@@ -992,29 +1021,96 @@ impl TeechainEnclave {
         Ok(effects)
     }
 
+    /// Lock-aware channel selection (admission's second tool besides
+    /// queueing): when `id` is locked, another open, unlocked channel to
+    /// the *same counterparty* with enough balance can carry the payment
+    /// instead — that is exactly what the paper's parallel temporary
+    /// channels (§7.4, Fig. 7) exist for. Deterministic pick: highest
+    /// spendable balance, largest id as tie-break, so every engine
+    /// configuration chooses the same sibling regardless of map order.
+    pub(crate) fn sibling_unlocked(&self, id: &ChannelId, amount: u64) -> Option<ChannelId> {
+        let want = self.channels.get(id)?.remote;
+        self.channels
+            .iter()
+            .filter(|(cid, c)| {
+                **cid != *id && c.remote == want && c.usable() && !c.locked() && c.my_bal >= amount
+            })
+            .max_by_key(|(cid, c)| (c.my_bal, **cid))
+            .map(|(cid, _)| *cid)
+    }
+
     fn cmd_pay(&mut self, env: &mut EnclaveEnv, id: ChannelId, amount: u64, count: u32) -> Outcome {
         self.require_unfrozen()?;
         self.require_counter_ready(env)?;
-        let chan = self.channel_mut(&id)?;
+        let chan = self
+            .channels
+            .get(&id)
+            .ok_or(ProtocolError::UnknownChannel)?;
         if !chan.usable() {
             return Err(ProtocolError::ChannelNotOpen);
         }
-        if chan.locked() {
-            return Err(ProtocolError::ChannelLocked);
-        }
+        // Lock-aware selection: a locked channel does not park the payment
+        // when a parallel channel to the same peer can carry it right now.
+        // The op stays correlated to the channel it was *submitted* on —
+        // the inflight group records that id, so the ack fans back out
+        // under the caller's key.
+        let wire = if chan.locked() {
+            match self.sibling_unlocked(&id, amount) {
+                Some(sib) => {
+                    self.admit.stats.rerouted += 1;
+                    sib
+                }
+                None => {
+                    // Admission (vs the old `Err(ChannelLocked)` retry
+                    // storm): park the op on the channel's FIFO; the
+                    // unlock drain batches it with its queue neighbours
+                    // into one commit. Only a full queue still pushes
+                    // back on the caller.
+                    let q = self.admit.queues.entry(id).or_default();
+                    if q.len() >= ADMIT_QUEUE_CAP {
+                        return Err(ProtocolError::ChannelLocked);
+                    }
+                    let deadline_ns = env.now_ns() + ADMIT_DEADLINE_NS;
+                    q.push_back(QueueEntry {
+                        op: QueuedOp::Pay { amount, count },
+                        deadline_ns,
+                        ready_ns: 0,
+                    });
+                    self.admit.stats.enqueued += 1;
+                    return Ok(vec![Effect::Event(HostEvent::PumpAt(deadline_ns))]);
+                }
+            }
+        } else {
+            id
+        };
+        let chan = &self.channels[&wire];
         if chan.my_bal < amount {
             return Err(ProtocolError::InsufficientBalance);
         }
+        let remote = chan.remote;
+        let msg = ProtocolMsg::Pay {
+            id: wire,
+            amount,
+            count,
+        };
+        let eff = self.seal_to(&remote, &msg)?;
+        let chan = self.channels.get_mut(&wire).expect("checked");
         chan.my_bal -= amount;
         chan.remote_bal += amount;
-        let remote = chan.remote;
         self.stage_delta(StateDelta::Pay {
-            id,
+            id: wire,
             my_delta: -(amount as i64),
             remote_delta: amount as i64,
         });
-        let msg = ProtocolMsg::Pay { id, amount, count };
-        Ok(vec![self.seal_to(&remote, &msg)?])
+        // Every outbound wire `Pay` registers an ack fan-out group so
+        // `PayAck`/`PayNack` resolve ops strictly in send order, keyed by
+        // the channel each op was submitted on.
+        self.admit
+            .inflight
+            .entry(wire)
+            .or_default()
+            .push_back(vec![(id, amount, count)]);
+        Ok(vec![eff])
     }
 
     fn on_pay(
@@ -1033,12 +1129,29 @@ impl TeechainEnclave {
         }
         if chan.locked() {
             // The channel was locked for a multi-hop payment after the
-            // peer sent this pay (racing in the other direction). Refuse
-            // and let the sender roll back — session FIFO keeps both sides
-            // consistent.
-            let msg = ProtocolMsg::PayNack { id, amount, count };
-            return Ok(vec![self.seal_to(&from, &msg)?]);
+            // peer sent this pay (racing in the other direction). Defer
+            // the decrypted message; the unlock drain re-delivers it. A
+            // full deferral queue falls back to the old nack-and-rollback.
+            let dq = self.admit.deferred.entry(id).or_default();
+            if dq.len() >= ADMIT_QUEUE_CAP {
+                let msg = ProtocolMsg::PayNack {
+                    id,
+                    amount,
+                    count,
+                    reason: ProtocolError::ChannelLocked.abort_code(),
+                };
+                return Ok(vec![self.seal_to(&from, &msg)?]);
+            }
+            let deadline_ns = env.now_ns() + DEFER_DEADLINE_NS;
+            dq.push_back(DeferredMsg {
+                from,
+                msg: ProtocolMsg::Pay { id, amount, count },
+                deadline_ns,
+            });
+            self.admit.stats.deferred += 1;
+            return Ok(vec![Effect::Event(HostEvent::PumpAt(deadline_ns))]);
         }
+        let chan = self.channel_mut(&id)?;
         if chan.remote_bal < amount {
             return Err(ProtocolError::BadMessage); // Peer violated protocol.
         }
@@ -1062,19 +1175,42 @@ impl TeechainEnclave {
         if chan.remote != from {
             return Err(ProtocolError::BadMessage);
         }
-        Ok(vec![Effect::Event(HostEvent::PaymentAcked {
-            id,
-            amount,
-            count,
-        })])
+        // One wire ack covers a whole drain batch: fan it back out to one
+        // event per merged op, in queue order (the op layer matches
+        // per-channel FIFO). A missing group (pre-crash send) degrades to
+        // the single aggregate event.
+        match self.admit.inflight.get_mut(&id).and_then(|q| q.pop_front()) {
+            Some(group) => Ok(group
+                .into_iter()
+                .map(|(oid, amount, count)| {
+                    Effect::Event(HostEvent::PaymentAcked {
+                        id: oid,
+                        amount,
+                        count,
+                    })
+                })
+                .collect()),
+            None => Ok(vec![Effect::Event(HostEvent::PaymentAcked {
+                id,
+                amount,
+                count,
+            })]),
+        }
     }
 
-    fn on_pay_nack(&mut self, from: PublicKey, id: ChannelId, amount: u64, count: u32) -> Outcome {
+    fn on_pay_nack(
+        &mut self,
+        from: PublicKey,
+        id: ChannelId,
+        amount: u64,
+        count: u32,
+        reason: u8,
+    ) -> Outcome {
         let chan = self.channel_mut(&id)?;
         if chan.remote != from {
             return Err(ProtocolError::BadMessage);
         }
-        // Roll back the optimistic debit.
+        // Roll back the optimistic debit (covers the whole wire batch).
         chan.my_bal += amount;
         chan.remote_bal -= amount;
         self.stage_delta(StateDelta::Pay {
@@ -1082,11 +1218,26 @@ impl TeechainEnclave {
             my_delta: amount as i64,
             remote_delta: -(amount as i64),
         });
-        Ok(vec![Effect::Event(HostEvent::PaymentNacked {
-            id,
-            amount,
-            count,
-        })])
+        let reason = ProtocolError::from_abort_code(reason);
+        match self.admit.inflight.get_mut(&id).and_then(|q| q.pop_front()) {
+            Some(group) => Ok(group
+                .into_iter()
+                .map(|(oid, amount, count)| {
+                    Effect::Event(HostEvent::PaymentNacked {
+                        id: oid,
+                        amount,
+                        count,
+                        reason: reason.clone(),
+                    })
+                })
+                .collect()),
+            None => Ok(vec![Effect::Event(HostEvent::PaymentNacked {
+                id,
+                amount,
+                count,
+                reason,
+            })]),
+        }
     }
 
     fn cmd_settle(&mut self, env: &mut EnclaveEnv, id: ChannelId) -> Outcome {
@@ -1151,6 +1302,10 @@ impl TeechainEnclave {
         let tx = settle::current_settlement_tx(chan);
         self.stage_delta(StateDelta::CloseChannel(id));
         let mut effects = Vec::new();
+        // Defensive: settle rejects locked channels, so the admission
+        // queues are empty in practice — but flush so nothing can linger
+        // behind a closed channel.
+        self.flush_admission(id, ProtocolError::ChannelClosed, &mut effects);
         // Best-effort courtesy notification: unilateral settlement must
         // work with no session (e.g. after a crash-restore, §6.2).
         let notify = ProtocolMsg::ChannelClosed { id };
@@ -1206,7 +1361,11 @@ impl TeechainEnclave {
             self.book.set_status(&d, DepositStatus::Spent);
         }
         self.stage_delta(StateDelta::CloseChannel(id));
-        Ok(vec![])
+        // Anything still queued behind the (remotely settled) channel is
+        // terminal now.
+        let mut effects = Vec::new();
+        self.flush_admission(id, ProtocolError::ChannelClosed, &mut effects);
+        Ok(effects)
     }
 
     // ---- Protocol message dispatch ----
@@ -1239,10 +1398,15 @@ impl TeechainEnclave {
             }
             ProtocolMsg::Pay { id, amount, count } => self.on_pay(env, from, id, amount, count),
             ProtocolMsg::PayAck { id, amount, count } => self.on_pay_ack(from, id, amount, count),
-            ProtocolMsg::PayNack { id, amount, count } => self.on_pay_nack(from, id, amount, count),
+            ProtocolMsg::PayNack {
+                id,
+                amount,
+                count,
+                reason,
+            } => self.on_pay_nack(from, id, amount, count, reason),
             ProtocolMsg::SettleRequest { id } => self.on_settle_request(from, id),
             ProtocolMsg::ChannelClosed { id } => self.on_channel_closed(from, id),
-            ProtocolMsg::MhLock(m) => self.on_mh_lock(from, m),
+            ProtocolMsg::MhLock(m) => self.on_mh_lock(env, from, m),
             ProtocolMsg::MhSign {
                 route,
                 tau,
@@ -1251,9 +1415,9 @@ impl TeechainEnclave {
             } => self.on_mh_sign(from, route, tau, digests, deposits),
             ProtocolMsg::MhPreUpdate { route, tau } => self.on_mh_pre_update(from, route, tau),
             ProtocolMsg::MhUpdate { route } => self.on_mh_update(from, route),
-            ProtocolMsg::MhPostUpdate { route } => self.on_mh_post_update(from, route),
-            ProtocolMsg::MhRelease { route } => self.on_mh_release(from, route),
-            ProtocolMsg::MhAbort { route, reason } => self.on_mh_abort(from, route, reason),
+            ProtocolMsg::MhPostUpdate { route } => self.on_mh_post_update(env, from, route),
+            ProtocolMsg::MhRelease { route } => self.on_mh_release(env, from, route),
+            ProtocolMsg::MhAbort { route, reason } => self.on_mh_abort(env, from, route, reason),
             ProtocolMsg::RepAssign => self.on_rep_assign(env, from),
             ProtocolMsg::RepAssignAck { member_key } => self.on_rep_assign_ack(from, member_key),
             ProtocolMsg::RepUpdate { seq, deltas } => self.on_rep_update(from, seq, deltas),
@@ -1322,7 +1486,7 @@ impl EnclaveProgram for TeechainEnclave {
             Command::AddCoSigs { req_id, sigs } => self.cmd_add_co_sigs(req_id, sigs),
             Command::RestoreSealed { blob } => self.cmd_restore_sealed(env, blob),
             Command::Recover { snapshot, log } => self.cmd_recover(env, snapshot, log),
-            Command::RetryPending => self.cmd_retry_pending(env),
+            Command::PumpAdmission => self.cmd_pump_admission(env),
         };
         match result {
             Ok(effects) => self.finalize(env, effects),
@@ -1366,8 +1530,8 @@ impl TeechainEnclave {
                     Err(ProtocolError::CounterThrottled { ready_at }) => {
                         // Defensive: handlers re-check; stash the
                         // decrypted message (its sequence number is
-                        // spent) and let the host retry via
-                        // RetryPending.
+                        // spent) and let the host re-dispatch it via
+                        // PumpAdmission.
                         self.pending_msgs.push_back((from, msg));
                         Err(ProtocolError::CounterThrottled { ready_at })
                     }
@@ -1377,14 +1541,60 @@ impl TeechainEnclave {
         }
     }
 
-    fn cmd_retry_pending(&mut self, env: &mut EnclaveEnv) -> Outcome {
-        // Group commit (§6.2): with no replication chain attached, every
-        // stashed message is dispatched into ONE commit — a single
-        // counter increment and WAL append cover the whole batch,
-        // amortizing the 100 ms counter throttle over many payments.
+    // ---- Admission pump (queues, deferred messages, counter stash) ----
+
+    /// The host-timer entry point of the admission layer. Expires
+    /// overdue queued/deferred entries, then — if the monotonic counter
+    /// permits committing — drains any unlocked channel with a backlog
+    /// and re-dispatches counter-stashed messages as one group commit.
+    fn cmd_pump_admission(&mut self, env: &mut EnclaveEnv) -> Outcome {
+        if self.frozen {
+            // A frozen enclave keeps its queues; ops resolve at the host
+            // (dead-op resolution), not here.
+            return Ok(vec![]);
+        }
+        let mut effects = Vec::new();
+        self.expire_admissions(env, &mut effects);
+        match self.require_counter_ready(env) {
+            Ok(()) => {
+                let ids: Vec<ChannelId> = self
+                    .admit
+                    .queues
+                    .keys()
+                    .chain(self.admit.deferred.keys())
+                    .copied()
+                    .collect();
+                for id in ids {
+                    // Safety net: unlock points drain eagerly, so this
+                    // only finds work after an expiry or an odd
+                    // interleaving — but it guarantees no backlog can
+                    // outlive its lock.
+                    self.drain_admission(env, id, &mut effects);
+                }
+                let mut out = self.pump_stashed(env, effects)?;
+                // Re-arm for whatever is still parked (behind channels
+                // that are genuinely still locked, or inside a backoff).
+                if let Some(d) = self.admit.next_deadline(env.now_ns()) {
+                    out.push(Effect::Event(HostEvent::PumpAt(d)));
+                }
+                Ok(out)
+            }
+            Err(ProtocolError::CounterThrottled { ready_at }) => {
+                effects.push(Effect::Event(HostEvent::PumpAt(ready_at)));
+                Ok(effects)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Re-dispatches messages stashed while the counter was throttled.
+    /// Group commit (§6.2): with no replication chain attached, every
+    /// stashed message is dispatched into ONE commit — a single counter
+    /// increment and WAL append cover the whole batch, amortizing the
+    /// 100 ms counter throttle over many payments.
+    fn pump_stashed(&mut self, env: &mut EnclaveEnv, seed: Vec<Effect>) -> Outcome {
         if self.cfg.persist() && self.rep.backup.is_none() {
-            self.require_counter_ready(env)?;
-            let mut out = Vec::new();
+            let mut out = seed;
             while let Some((from, msg)) = self.pending_msgs.pop_front() {
                 match self.dispatch_protocol(env, from, msg.clone()) {
                     Ok(effects) => out.extend(effects),
@@ -1393,7 +1603,7 @@ impl TeechainEnclave {
                         // is only spent by the finalize below), but if a
                         // handler ever throttles, preserve ordering.
                         self.pending_msgs.push_front((from, msg));
-                        out.push(Effect::Event(HostEvent::RetryAt(ready_at)));
+                        out.push(Effect::Event(HostEvent::PumpAt(ready_at)));
                         break;
                     }
                     Err(_) => {
@@ -1403,7 +1613,7 @@ impl TeechainEnclave {
             }
             return self.finalize(env, out);
         }
-        let mut out = Vec::new();
+        let mut out = seed;
         while let Some((from, msg)) = self.pending_msgs.pop_front() {
             match self.dispatch_protocol(env, from, msg.clone()) {
                 Ok(effects) => {
@@ -1414,7 +1624,7 @@ impl TeechainEnclave {
                 }
                 Err(ProtocolError::CounterThrottled { ready_at }) => {
                     self.pending_msgs.push_front((from, msg));
-                    out.push(Effect::Event(HostEvent::RetryAt(ready_at)));
+                    out.push(Effect::Event(HostEvent::PumpAt(ready_at)));
                     return Ok(out);
                 }
                 Err(_) => {
@@ -1422,7 +1632,328 @@ impl TeechainEnclave {
                 }
             }
         }
-        Ok(out)
+        self.finalize(env, out)
+    }
+
+    /// Fails every queued/deferred entry whose admission deadline has
+    /// passed. Deadlines are monotone within a queue (enqueue time + a
+    /// constant), so popping from the front is exhaustive.
+    fn expire_admissions(&mut self, env: &mut EnclaveEnv, effects: &mut Vec<Effect>) {
+        let now = env.now_ns();
+        let ids: Vec<ChannelId> = self.admit.queues.keys().copied().collect();
+        for id in ids {
+            while let Some(entry) = self.admit.queues.get_mut(&id).and_then(|q| {
+                q.front()
+                    .is_some_and(|e| e.deadline_ns <= now)
+                    .then(|| q.pop_front().unwrap())
+            }) {
+                self.admit.stats.expired += 1;
+                match entry.op {
+                    QueuedOp::Pay { amount, count } => {
+                        effects.push(Effect::Event(HostEvent::PaymentRejected {
+                            id,
+                            amount,
+                            count,
+                            reason: ProtocolError::ChannelLocked,
+                        }));
+                    }
+                    QueuedOp::Multihop { route, .. } => {
+                        effects.push(Effect::Event(HostEvent::MultihopFailed {
+                            route,
+                            reason: ProtocolError::ChannelLocked,
+                        }));
+                    }
+                }
+            }
+        }
+        let ids: Vec<ChannelId> = self.admit.deferred.keys().copied().collect();
+        for id in ids {
+            while let Some(d) = self.admit.deferred.get_mut(&id).and_then(|q| {
+                q.front()
+                    .is_some_and(|e| e.deadline_ns <= now)
+                    .then(|| q.pop_front().unwrap())
+            }) {
+                self.admit.stats.expired += 1;
+                self.refuse_deferred(d, ProtocolError::ChannelLocked, effects);
+            }
+        }
+        self.admit.queues.retain(|_, q| !q.is_empty());
+        self.admit.deferred.retain(|_, q| !q.is_empty());
+    }
+
+    /// Answers a deferred inbound message backward with a typed refusal,
+    /// so the sender's op completes instead of hanging.
+    fn refuse_deferred(
+        &mut self,
+        d: DeferredMsg,
+        reason: ProtocolError,
+        effects: &mut Vec<Effect>,
+    ) {
+        let refusal = match d.msg {
+            ProtocolMsg::Pay { id, amount, count } => ProtocolMsg::PayNack {
+                id,
+                amount,
+                count,
+                reason: reason.abort_code(),
+            },
+            ProtocolMsg::MhLock(m) => ProtocolMsg::MhAbort {
+                route: m.route,
+                reason: reason.abort_code(),
+            },
+            _ => return, // Only Pay/MhLock are ever deferred.
+        };
+        if let Ok(eff) = self.seal_to(&d.from, &refusal) {
+            effects.push(eff);
+        }
+    }
+
+    /// Drains a channel's admission backlog after it unlocked: deferred
+    /// inbound messages re-dispatch first (they were decrypted before any
+    /// local op could observe the unlock), then queued local payments are
+    /// applied as one batched delta — the enclosing ecall's `finalize`
+    /// turns the whole drain into a single commit / WAL record.
+    pub(crate) fn drain_admission(
+        &mut self,
+        env: &mut EnclaveEnv,
+        id: ChannelId,
+        effects: &mut Vec<Effect>,
+    ) {
+        self.drain_deferred(env, id, effects);
+        self.drain_queued(env.now_ns(), id, effects);
+    }
+
+    fn drain_deferred(&mut self, env: &mut EnclaveEnv, id: ChannelId, effects: &mut Vec<Effect>) {
+        loop {
+            let unlocked = self
+                .channels
+                .get(&id)
+                .map(|c| !c.locked() && !c.closed)
+                .unwrap_or(false);
+            if !unlocked {
+                break;
+            }
+            let Some(d) = self.admit.deferred.get_mut(&id).and_then(|q| q.pop_front()) else {
+                break;
+            };
+            match d.msg {
+                ProtocolMsg::Pay { id, amount, count } => {
+                    match self.on_pay(env, d.from, id, amount, count) {
+                        Ok(effs) => effects.extend(effs),
+                        Err(e) => {
+                            let nack = ProtocolMsg::PayNack {
+                                id,
+                                amount,
+                                count,
+                                reason: e.abort_code(),
+                            };
+                            if let Ok(eff) = self.seal_to(&d.from, &nack) {
+                                effects.push(eff);
+                            }
+                        }
+                    }
+                }
+                ProtocolMsg::MhLock(m) => {
+                    let route = m.route;
+                    match self.on_mh_lock(env, d.from, m) {
+                        Ok(effs) => effects.extend(effs),
+                        Err(e) => {
+                            let abort = ProtocolMsg::MhAbort {
+                                route,
+                                reason: e.abort_code(),
+                            };
+                            if let Ok(eff) = self.seal_to(&d.from, &abort) {
+                                effects.push(eff);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.admit.deferred.retain(|_, q| !q.is_empty());
+    }
+
+    fn drain_queued(&mut self, now: u64, id: ChannelId, effects: &mut Vec<Effect>) {
+        loop {
+            match self.channels.get(&id) {
+                None => {
+                    self.flush_admission(id, ProtocolError::ChannelClosed, effects);
+                    return;
+                }
+                Some(c) if c.closed => {
+                    self.flush_admission(id, ProtocolError::ChannelClosed, effects);
+                    return;
+                }
+                Some(c) if c.locked() => return, // A drained multihop re-locked it.
+                Some(_) => {}
+            }
+            // Strict FIFO: a front entry still inside its re-origination
+            // backoff parks the whole queue until its ready time (the
+            // pump wakes us, via `next_deadline`).
+            if self
+                .admit
+                .queues
+                .get(&id)
+                .and_then(|q| q.front())
+                .is_some_and(|e| e.ready_ns > now)
+            {
+                break;
+            }
+            let Some(front_is_pay) = self
+                .admit
+                .queues
+                .get(&id)
+                .and_then(|q| q.front())
+                .map(|e| matches!(e.op, QueuedOp::Pay { .. }))
+            else {
+                break;
+            };
+            if front_is_pay {
+                self.apply_pay_batch(id, effects);
+            } else {
+                let entry = self
+                    .admit
+                    .queues
+                    .get_mut(&id)
+                    .and_then(|q| q.pop_front())
+                    .expect("front checked");
+                let QueuedOp::Multihop {
+                    route,
+                    hops,
+                    channels,
+                    amount,
+                } = entry.op
+                else {
+                    unreachable!("front checked as multihop");
+                };
+                match self.pay_multihop_inner(route, hops, channels, amount) {
+                    Ok(effs) => effects.extend(effs),
+                    Err(e) => effects.push(Effect::Event(HostEvent::MultihopFailed {
+                        route,
+                        reason: e,
+                    })),
+                }
+            }
+        }
+        self.admit.queues.retain(|_, q| !q.is_empty());
+    }
+
+    /// Pops the longest prefix of consecutive queued payments the current
+    /// balance covers and applies them as ONE payment: one staged delta,
+    /// one wire `Pay` carrying the summed amount/count, one ack fan-out
+    /// group. This is the batch the group commit amortizes. A front
+    /// payment that does not fit even alone is rejected (terminal) so the
+    /// queue cannot head-of-line block behind it.
+    fn apply_pay_batch(&mut self, id: ChannelId, effects: &mut Vec<Effect>) {
+        let Some(chan) = self.channels.get(&id) else {
+            return;
+        };
+        let (my_bal, remote) = (chan.my_bal, chan.remote);
+        let Some(q) = self.admit.queues.get_mut(&id) else {
+            return;
+        };
+        let mut batch: Vec<(u64, u32)> = Vec::new();
+        let mut total = 0u64;
+        let mut total_count = 0u32;
+        while let Some(front) = q.front() {
+            match front.op {
+                QueuedOp::Pay { amount, count } => {
+                    if total + amount <= my_bal {
+                        total += amount;
+                        total_count += count;
+                        batch.push((amount, count));
+                        q.pop_front();
+                    } else if batch.is_empty() {
+                        q.pop_front();
+                        effects.push(Effect::Event(HostEvent::PaymentRejected {
+                            id,
+                            amount,
+                            count,
+                            reason: ProtocolError::InsufficientBalance,
+                        }));
+                    } else {
+                        break;
+                    }
+                }
+                QueuedOp::Multihop { .. } => break,
+            }
+        }
+        if batch.is_empty() {
+            return;
+        }
+        let msg = ProtocolMsg::Pay {
+            id,
+            amount: total,
+            count: total_count,
+        };
+        match self.seal_to(&remote, &msg) {
+            Ok(eff) => {
+                let chan = self.channels.get_mut(&id).expect("checked");
+                chan.my_bal -= total;
+                chan.remote_bal += total;
+                self.stage_delta(StateDelta::Pay {
+                    id,
+                    my_delta: -(total as i64),
+                    remote_delta: total as i64,
+                });
+                self.admit.stats.record_batch(batch.len() as u64);
+                self.admit
+                    .inflight
+                    .entry(id)
+                    .or_default()
+                    .push_back(batch.into_iter().map(|(a, c)| (id, a, c)).collect());
+                effects.push(eff);
+            }
+            Err(e) => {
+                // No session (should not happen for an open channel):
+                // nothing was debited, fail the whole batch.
+                for (amount, count) in batch {
+                    effects.push(Effect::Event(HostEvent::PaymentRejected {
+                        id,
+                        amount,
+                        count,
+                        reason: e.clone(),
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Terminally fails everything queued or deferred behind `id` —
+    /// called when the channel closes (settle, eject, remote settlement).
+    pub(crate) fn flush_admission(
+        &mut self,
+        id: ChannelId,
+        reason: ProtocolError,
+        effects: &mut Vec<Effect>,
+    ) {
+        if let Some(q) = self.admit.queues.remove(&id) {
+            for entry in q {
+                self.admit.stats.flushed += 1;
+                match entry.op {
+                    QueuedOp::Pay { amount, count } => {
+                        effects.push(Effect::Event(HostEvent::PaymentRejected {
+                            id,
+                            amount,
+                            count,
+                            reason: reason.clone(),
+                        }));
+                    }
+                    QueuedOp::Multihop { route, .. } => {
+                        effects.push(Effect::Event(HostEvent::MultihopFailed {
+                            route,
+                            reason: reason.clone(),
+                        }));
+                    }
+                }
+            }
+        }
+        if let Some(dq) = self.admit.deferred.remove(&id) {
+            for d in dq {
+                self.admit.stats.flushed += 1;
+                self.refuse_deferred(d, reason.clone(), effects);
+            }
+        }
     }
 
     fn cmd_start_session(&mut self, env: &mut EnclaveEnv, remote: PublicKey) -> Outcome {
@@ -1876,5 +2407,15 @@ impl TeechainEnclave {
     /// Read-only deposit book access (tests and compromised-TEE modelling).
     pub fn book_ref(&self) -> &DepositBook {
         &self.book
+    }
+
+    /// Admission-layer counters: enqueues, deferrals, batch sizes.
+    pub fn admit_stats(&self) -> &crate::admit::AdmitStats {
+        &self.admit.stats
+    }
+
+    /// Entries currently parked in the admission layer (tests).
+    pub fn admit_backlog(&self) -> usize {
+        self.admit.backlog()
     }
 }

@@ -89,6 +89,7 @@
 //! counterparty settles unilaterally; funds are safe (balance
 //! correctness never depends on liveness), only availability is lost.
 
+pub mod admit;
 pub mod channel;
 pub mod deposit;
 pub mod driver;

@@ -271,7 +271,8 @@ impl LiveCluster {
     // ---- Operation submission and resolution ----
 
     /// Submits `cmd` on node `i` as a correlated operation (counter
-    /// throttling is auto-retried, as in the simulated harnesses).
+    /// throttling parks the op for the admission pump, as in the
+    /// simulated harnesses).
     pub fn submit(&self, i: usize, cmd: Command) -> OpId {
         self.request_op(i, |reply| LiveReq::Submit {
             cmd,
@@ -636,15 +637,15 @@ impl<Tx: TransportTx> NodeLoop<Tx> {
                 deadline_ns,
                 reply,
             } => {
-                let op = self.dispatch(|node, ctx| node.submit_op(ctx, cmd, deadline_ns, true));
+                let op = self.dispatch(|node, ctx| node.submit_op(ctx, cmd, deadline_ns));
                 let _ = reply.send(op);
             }
             LiveReq::OpenChannel { id, remote, reply } => {
-                let op = self.dispatch(|node, ctx| node.submit_open_channel(ctx, id, remote, true));
+                let op = self.dispatch(|node, ctx| node.submit_open_channel(ctx, id, remote));
                 let _ = reply.send(op);
             }
             LiveReq::FundDeposit { value, m, reply } => {
-                let op = self.dispatch(|node, ctx| node.submit_fund_deposit(ctx, value, m, true));
+                let op = self.dispatch(|node, ctx| node.submit_fund_deposit(ctx, value, m));
                 let _ = reply.send(op);
             }
             LiveReq::ResolveDead { op, reply } => {

@@ -393,8 +393,10 @@ pub enum ProtocolMsg {
         /// Batched count acknowledged.
         count: u32,
     },
-    /// Payment refused (channel locked by a racing multi-hop payment);
-    /// the sender rolls its optimistic debit back.
+    /// Payment refused; the sender rolls its optimistic debit back.
+    /// `reason` carries the refusing side's [`ProtocolError::abort_code`](crate::types::ProtocolError::abort_code)
+    /// (e.g. a deferred payment expiring behind a lock, or arriving on a
+    /// channel that closed) so the sender's host sees a typed failure.
     PayNack {
         /// Channel.
         id: ChannelId,
@@ -402,6 +404,8 @@ pub enum ProtocolMsg {
         amount: u64,
         /// Batched count.
         count: u32,
+        /// Refusal reason ([`ProtocolError::abort_code`](crate::types::ProtocolError::abort_code)).
+        reason: u8,
     },
     /// Request cooperative (off-chain) termination (Alg. 1 line 108).
     SettleRequest {
@@ -546,7 +550,12 @@ impl Encode for ProtocolMsg {
                 sigs,
                 refused,
             } => tagged!(out, 23, req_id, sigs, refused),
-            PayNack { id, amount, count } => tagged!(out, 24, id, amount, count),
+            PayNack {
+                id,
+                amount,
+                count,
+                reason,
+            } => tagged!(out, 24, id, amount, count, reason),
             MhAbort { route, reason } => tagged!(out, 25, route, reason),
         }
     }
@@ -630,6 +639,7 @@ impl Decode for ProtocolMsg {
                 id: r.read()?,
                 amount: r.read()?,
                 count: r.read()?,
+                reason: r.read()?,
             },
             25 => MhAbort {
                 route: r.read()?,
@@ -655,6 +665,12 @@ mod tests {
                 id,
                 amount: 42,
                 count: 3,
+            },
+            ProtocolMsg::PayNack {
+                id,
+                amount: 42,
+                count: 3,
+                reason: 4,
             },
             ProtocolMsg::RepAck { seq: 7 },
             ProtocolMsg::MhUpdate {

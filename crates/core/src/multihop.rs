@@ -195,6 +195,57 @@ impl TeechainEnclave {
         if hops[0] != me || self.routes.contains_key(&route_id) {
             return Err(ProtocolError::BadStage);
         }
+        // Admission: if our outgoing channel is busy with another route,
+        // first try an unlocked parallel channel to the same first hop
+        // (lock-aware selection over temporary channels); only when every
+        // sibling is busy too, queue the origination — the unlock drain
+        // re-runs it.
+        let mut channels = channels;
+        let out_locked = self
+            .channels
+            .get(&channels[0])
+            .is_some_and(|c| c.usable() && c.locked());
+        if out_locked {
+            if let Some(sib) = self.sibling_unlocked(&channels[0], amount) {
+                self.admit.stats.rerouted += 1;
+                channels[0] = sib;
+                return self.pay_multihop_inner(route_id, hops, channels, amount);
+            }
+            let q = self.admit.queues.entry(channels[0]).or_default();
+            if q.len() >= crate::admit::ADMIT_QUEUE_CAP {
+                return Err(ProtocolError::ChannelLocked);
+            }
+            let deadline_ns = env.now_ns() + crate::admit::ADMIT_DEADLINE_NS;
+            q.push_back(crate::admit::QueueEntry {
+                op: crate::admit::QueuedOp::Multihop {
+                    route: route_id,
+                    hops,
+                    channels,
+                    amount,
+                },
+                deadline_ns,
+                ready_ns: 0,
+            });
+            self.admit.stats.enqueued += 1;
+            return Ok(vec![Effect::Event(HostEvent::PumpAt(deadline_ns))]);
+        }
+        self.pay_multihop_inner(route_id, hops, channels, amount)
+    }
+
+    /// Origination body, shared by the direct path and the admission
+    /// queue's drain (which re-runs a parked origination once the
+    /// outgoing channel unlocks). Preconditions (unfrozen, counter
+    /// ready, shape checks, fresh route id) hold at both call sites.
+    pub(crate) fn pay_multihop_inner(
+        &mut self,
+        route_id: RouteId,
+        hops: Vec<PublicKey>,
+        channels: Vec<ChannelId>,
+        amount: u64,
+    ) -> Outcome {
+        if self.routes.contains_key(&route_id) {
+            return Err(ProtocolError::BadStage);
+        }
         let mut route = RouteState {
             id: route_id,
             amount,
@@ -232,7 +283,12 @@ impl TeechainEnclave {
         Ok(vec![eff])
     }
 
-    pub(crate) fn on_mh_lock(&mut self, from: PublicKey, m: MhLock) -> Outcome {
+    pub(crate) fn on_mh_lock(
+        &mut self,
+        env: &mut EnclaveEnv,
+        from: PublicKey,
+        m: MhLock,
+    ) -> Outcome {
         self.require_unfrozen()?;
         let me = self.identity.as_ref().ok_or(ProtocolError::NoSession)?.pk;
         let pos = m
@@ -244,6 +300,26 @@ impl TeechainEnclave {
             return Err(ProtocolError::BadStage);
         }
         let n = m.hops.len();
+        // Lock-aware selection on our *outgoing* hop: the originator named
+        // a channel per edge, but which of an edge's parallel temporary
+        // channels carries the route is this hop's choice — τ has not been
+        // extended with it yet. Swapping in an unlocked sibling here (and
+        // in the forwarded lock message) keeps the route moving instead of
+        // deferring behind another route's 6-pass lock hold. The incoming
+        // channel cannot be swapped: the previous hop already extended τ
+        // over it.
+        let mut m = m;
+        if pos + 1 < n
+            && self
+                .channels
+                .get(&m.channels[pos])
+                .is_some_and(|c| c.usable() && c.locked())
+        {
+            if let Some(sib) = self.sibling_unlocked(&m.channels[pos], m.amount) {
+                self.admit.stats.rerouted += 1;
+                m.channels[pos] = sib;
+            }
+        }
         let mut route = RouteState {
             id: m.route,
             amount: m.amount,
@@ -266,6 +342,54 @@ impl TeechainEnclave {
             Ok(())
         })();
         if let Err(reason) = check {
+            // Admission: a route channel merely busy with another in-flight
+            // multihop is a *wait*, not a refusal — defer the whole lock
+            // message behind that channel; the unlock drain re-delivers
+            // it. Deadlines bound the hold-and-wait chains this forms
+            // (the previous hop keeps its channel locked while we wait).
+            if reason == ProtocolError::ChannelLocked {
+                let locked_id = route.my_channels().into_iter().find(|cid| {
+                    self.channels
+                        .get(cid)
+                        .is_some_and(|c| c.usable() && c.locked())
+                });
+                // Wait-die: deferring here is hold-and-wait (our upstream
+                // hops keep their channels locked while we wait), so a
+                // route may only wait behind routes that order *above* it
+                // — the current holder and every multihop already parked
+                // in the queue. Wait-for edges then always point from the
+                // smaller route id to a larger one, the graph is acyclic,
+                // and admission can never deadlock. Routes that lose the
+                // comparison abort immediately; the originator retries
+                // with a fresh id (a fresh priority draw).
+                let may_wait = locked_id.is_some_and(|lid| {
+                    let holder_ok = self
+                        .channels
+                        .get(&lid)
+                        .and_then(|c| c.route)
+                        .is_some_and(|holder| m.route < holder);
+                    let queue_ok = self.admit.deferred.get(&lid).is_none_or(|q| {
+                        q.iter().all(|d| match &d.msg {
+                            ProtocolMsg::MhLock(x) => m.route < x.route,
+                            _ => true, // Deferred Pays hold no locks.
+                        })
+                    });
+                    holder_ok && queue_ok
+                });
+                if let (Some(lid), true) = (locked_id, may_wait) {
+                    let dq = self.admit.deferred.entry(lid).or_default();
+                    if dq.len() < crate::admit::ADMIT_QUEUE_CAP {
+                        let deadline_ns = env.now_ns() + crate::admit::DEFER_DEADLINE_NS;
+                        dq.push_back(crate::admit::DeferredMsg {
+                            from,
+                            msg: ProtocolMsg::MhLock(m),
+                            deadline_ns,
+                        });
+                        self.admit.stats.deferred += 1;
+                        return Ok(vec![Effect::Event(HostEvent::PumpAt(deadline_ns))]);
+                    }
+                }
+            }
             // Unwind with the real refusal reason so the originator's
             // operation completes with a typed error.
             let abort = ProtocolMsg::MhAbort {
@@ -499,7 +623,12 @@ impl TeechainEnclave {
         }
     }
 
-    pub(crate) fn on_mh_post_update(&mut self, from: PublicKey, route_id: RouteId) -> Outcome {
+    pub(crate) fn on_mh_post_update(
+        &mut self,
+        env: &mut EnclaveEnv,
+        from: PublicKey,
+        route_id: RouteId,
+    ) -> Outcome {
         self.require_unfrozen()?;
         let route = self.routes.get(&route_id).ok_or(ProtocolError::BadStage)?;
         if route.prev_hop() != Some(from) {
@@ -523,15 +652,25 @@ impl TeechainEnclave {
             Ok(vec![self.seal_to(&next, &msg)?])
         } else {
             // pn: unlock and send release backward (Alg. 2 line 53).
+            let unlocked = self.routes[&route_id].my_channels();
             self.set_route_stage(&route_id, MultihopStage::Idle);
             let prev = self.routes[&route_id].prev_hop().expect("pn");
             self.routes.remove(&route_id);
             let msg = ProtocolMsg::MhRelease { route: route_id };
-            Ok(vec![self.seal_to(&prev, &msg)?])
+            let mut effects = vec![self.seal_to(&prev, &msg)?];
+            for id in unlocked {
+                self.drain_admission(env, id, &mut effects);
+            }
+            Ok(effects)
         }
     }
 
-    pub(crate) fn on_mh_release(&mut self, from: PublicKey, route_id: RouteId) -> Outcome {
+    pub(crate) fn on_mh_release(
+        &mut self,
+        env: &mut EnclaveEnv,
+        from: PublicKey,
+        route_id: RouteId,
+    ) -> Outcome {
         self.require_unfrozen()?;
         let route = self.routes.get(&route_id).ok_or(ProtocolError::BadStage)?;
         if route.next_hop() != Some(from) {
@@ -542,21 +681,28 @@ impl TeechainEnclave {
         }
         self.set_route_stage(&route_id, MultihopStage::Idle);
         let route = self.routes.remove(&route_id).expect("checked");
-        if route.pos > 0 {
+        let unlocked = route.my_channels();
+        let mut effects = if route.pos > 0 {
             let msg = ProtocolMsg::MhRelease { route: route_id };
-            Ok(vec![
-                self.seal_to(&route.prev_hop().expect("pos > 0"), &msg)?
-            ])
+            vec![self.seal_to(&route.prev_hop().expect("pos > 0"), &msg)?]
         } else {
-            Ok(vec![Effect::Event(HostEvent::MultihopComplete {
+            vec![Effect::Event(HostEvent::MultihopComplete {
                 route: route_id,
                 amount: route.amount,
-            })])
+            })]
+        };
+        // The drain is the tentpole's fast path: an intermediate hop that
+        // just released re-admits its deferred locks and queued payments
+        // inside this same ecall — one commit covers release + batch.
+        for id in unlocked {
+            self.drain_admission(env, id, &mut effects);
         }
+        Ok(effects)
     }
 
     pub(crate) fn on_mh_abort(
         &mut self,
+        env: &mut EnclaveEnv,
         from: PublicKey,
         route_id: RouteId,
         reason: u8,
@@ -578,20 +724,67 @@ impl TeechainEnclave {
             tau: None,
         });
         let route = self.routes.remove(&route_id).expect("checked");
-        if route.pos > 0 {
+        let unlocked = route.my_channels();
+        let mut effects = if route.pos > 0 {
             let msg = ProtocolMsg::MhAbort {
                 route: route_id,
                 reason,
             };
-            Ok(vec![
-                self.seal_to(&route.prev_hop().expect("pos > 0"), &msg)?
-            ])
+            vec![self.seal_to(&route.prev_hop().expect("pos > 0"), &msg)?]
+        } else if ProtocolError::from_abort_code(reason) == ProtocolError::ChannelLocked {
+            // The origin's in-enclave retry: a downstream hop lost the
+            // wait-die comparison, which is contention, not failure. Park
+            // the origination back on our outgoing channel's queue with a
+            // short deterministic backoff; the op stays pending and the
+            // host never sees a ChannelLocked completion. The route id is
+            // kept, so the payment's wait-die age (and thus its priority)
+            // keeps improving with every round.
+            match self.requeue_origination(env, &route) {
+                Some(eff) => vec![eff],
+                None => vec![Effect::Event(HostEvent::MultihopFailed {
+                    route: route_id,
+                    reason: ProtocolError::ChannelLocked,
+                })],
+            }
         } else {
-            Ok(vec![Effect::Event(HostEvent::MultihopFailed {
+            vec![Effect::Event(HostEvent::MultihopFailed {
                 route: route_id,
                 reason: ProtocolError::from_abort_code(reason),
-            })])
+            })]
+        };
+        for id in unlocked {
+            self.drain_admission(env, id, &mut effects);
         }
+        Ok(effects)
+    }
+
+    /// Re-queues an aborted origination (contention only) on its first
+    /// channel with a deterministic ~100–200 ms backoff. Returns the
+    /// `PumpAt` effect to arm the retry, or `None` if the queue is full —
+    /// the only case that still surfaces `ChannelLocked` to the caller.
+    fn requeue_origination(&mut self, env: &EnclaveEnv, route: &RouteState) -> Option<Effect> {
+        let first = *route.channels.first()?;
+        let q = self.admit.queues.entry(first).or_default();
+        if q.len() >= crate::admit::ADMIT_QUEUE_CAP {
+            return None;
+        }
+        // Deterministic jitter from the route id spreads synchronized
+        // losers without an RNG in the enclave.
+        let jitter = u64::from(route.id.0[19]) % 100 * 1_000_000;
+        let ready_ns = env.now_ns() + 100_000_000 + jitter;
+        q.push_back(crate::admit::QueueEntry {
+            op: crate::admit::QueuedOp::Multihop {
+                route: route.id,
+                hops: route.hops.clone(),
+                channels: route.channels.clone(),
+                amount: route.amount,
+            },
+            deadline_ns: env.now_ns() + crate::admit::ADMIT_DEADLINE_NS,
+            ready_ns,
+        });
+        self.admit.stats.enqueued += 1;
+        self.admit.stats.requeued += 1;
+        Some(Effect::Event(HostEvent::PumpAt(ready_ns)))
     }
 
     // ---- Eject and PoPT (Alg. 2 lines 60–72) ----
@@ -610,6 +803,11 @@ impl TeechainEnclave {
         let my_channels = route.my_channels();
         self.set_route_stage(&route_id, MultihopStage::Terminated);
         let mut effects = Vec::new();
+        // Ejection closes our route channels: everything still queued or
+        // deferred behind them is terminally refused.
+        for id in &my_channels {
+            self.flush_admission(*id, ProtocolError::ChannelClosed, &mut effects);
+        }
         match stage {
             MultihopStage::Lock
             | MultihopStage::Sign
@@ -676,6 +874,9 @@ impl TeechainEnclave {
         route.terminated = true;
         self.set_route_stage(&route_id, MultihopStage::Terminated);
         let mut effects = Vec::new();
+        for id in &my_channels {
+            self.flush_admission(*id, ProtocolError::ChannelClosed, &mut effects);
+        }
         match classify {
             None => {
                 // τ confirmed: our channels are settled by it; just close.

@@ -133,18 +133,22 @@ pub struct TeechainNode {
     /// Errors surfaced while delivering messages (protocol violations by
     /// peers are dropped, as a real implementation logs-and-drops).
     pub delivery_errors: Vec<ProtocolError>,
-    /// True when a counter-retry timer is outstanding.
-    retry_scheduled: bool,
+    /// Operations whose dispatch hit [`ProtocolError::CounterThrottled`],
+    /// awaiting re-dispatch (FIFO) on the next admission pump.
+    throttled: std::collections::VecDeque<u64>,
+    /// Earliest outstanding pump-timer deadline (0 = none armed). The
+    /// enclave asks for pumps via [`HostEvent::PumpAt`]; arming tracks
+    /// the earliest request so redundant timers are not set.
+    pump_armed_until: u64,
 }
 
-/// Timer token the node uses for counter-retry wakeups.
-pub const RETRY_TOKEN: u64 = 0x7EE_C8A1_4E57;
+/// Timer token the node uses for admission-pump wakeups (queued-op
+/// deadlines, counter-throttle expiry, deferred-message drains).
+pub const PUMP_TOKEN: u64 = 0x7EE_C8A1_4E57;
 
 /// High-16-bit timer-token tag for operation deadline timers (low 48
 /// bits carry the operation sequence number).
 const OP_DEADLINE_TAG: u64 = 0x4F44 << 48;
-/// Tag for operation throttle-retry timers.
-const OP_RETRY_TAG: u64 = 0x4F52 << 48;
 /// Mask selecting a token's tag bits.
 const OP_TAG_MASK: u64 = 0xFFFF << 48;
 
@@ -168,7 +172,8 @@ impl TeechainNode {
             ops: OpTracker::default(),
             broadcasts: Vec::new(),
             delivery_errors: Vec::new(),
-            retry_scheduled: false,
+            throttled: std::collections::VecDeque::new(),
+            pump_armed_until: 0,
         }
     }
 
@@ -182,7 +187,10 @@ impl TeechainNode {
     /// the sealing key and the durable store survive.
     pub fn crash_enclave(&mut self) {
         self.enclave.crash();
-        self.retry_scheduled = false;
+        // Throttled dispatches target the dead program; the ops stay
+        // pending and resolve as dead at quiescence.
+        self.throttled.clear();
+        self.pump_armed_until = 0;
     }
 
     /// Restarts a crashed enclave with a fresh program and replays the
@@ -266,8 +274,8 @@ impl TeechainNode {
                     Ok(Ok(effects)) => self.perform(ctx, effects),
                     Ok(Err(ProtocolError::CounterThrottled { ready_at })) => {
                         // Persistent mode backpressure: the enclave stashed
-                        // the message; retry once the counter is ready.
-                        self.schedule_retry(ctx, ready_at);
+                        // the message; pump once the counter is ready.
+                        self.schedule_pump(ctx, ready_at);
                     }
                     Ok(Err(e)) => self.delivery_errors.push(e),
                 }
@@ -310,45 +318,55 @@ impl TeechainNode {
         }
     }
 
-    fn schedule_retry(&mut self, ctx: &mut Ctx<'_>, ready_at: u64) {
-        if self.retry_scheduled {
+    /// Arms (or keeps) a pump timer no later than `at`. Stale timers
+    /// fire harmlessly: the pump is idempotent.
+    fn schedule_pump(&mut self, ctx: &mut Ctx<'_>, at: u64) {
+        if self.pump_armed_until != 0 && self.pump_armed_until <= at {
             return;
         }
-        self.retry_scheduled = true;
-        let delay = ready_at.saturating_sub(ctx.now_ns()).max(1);
-        ctx.set_timer(delay, RETRY_TOKEN);
+        self.pump_armed_until = at;
+        let delay = at.saturating_sub(ctx.now_ns()).max(1);
+        ctx.set_timer(delay, PUMP_TOKEN);
     }
 
-    /// Fires node timers: counter retry, operation deadlines and
-    /// operation throttle retries.
+    /// Fires node timers: admission pumps and operation deadlines.
     pub fn handle_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        match token & OP_TAG_MASK {
-            OP_DEADLINE_TAG => {
-                let seq = token & !OP_TAG_MASK;
-                if let Some(c) = self.ops.cancel(seq, ctx.now_ns()) {
-                    self.completions.push(c);
-                }
-                return;
+        if token & OP_TAG_MASK == OP_DEADLINE_TAG {
+            let seq = token & !OP_TAG_MASK;
+            if let Some(c) = self.ops.cancel(seq, ctx.now_ns()) {
+                self.completions.push(c);
             }
-            OP_RETRY_TAG => {
-                let seq = token & !OP_TAG_MASK;
-                if self.ops.is_pending(seq) {
-                    self.dispatch_op(ctx, seq);
-                }
-                return;
-            }
-            _ => {}
-        }
-        if token != RETRY_TOKEN {
             return;
         }
-        self.retry_scheduled = false;
-        match self.enclave.call(ctx.now_ns(), Command::RetryPending) {
+        if token != PUMP_TOKEN {
+            return;
+        }
+        self.pump_armed_until = 0;
+        self.pump(ctx);
+    }
+
+    /// Pumps the enclave admission layer (expires deadline-passed queued
+    /// ops, drains unlocked channels, re-dispatches counter-stashed
+    /// messages) and then re-dispatches any host-side throttled
+    /// operations FIFO.
+    fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        match self.enclave.call(ctx.now_ns(), Command::PumpAdmission) {
             Ok(Ok(effects)) => self.perform(ctx, effects),
             Ok(Err(ProtocolError::CounterThrottled { ready_at })) => {
-                self.schedule_retry(ctx, ready_at);
+                self.schedule_pump(ctx, ready_at);
+                return; // The counter gates the throttled ops too.
             }
             _ => {}
+        }
+        let mut n = self.throttled.len();
+        while n > 0 {
+            n -= 1;
+            let Some(seq) = self.throttled.pop_front() else {
+                break;
+            };
+            if self.ops.is_pending(seq) {
+                self.dispatch_op(ctx, seq);
+            }
         }
     }
 
@@ -421,9 +439,9 @@ impl TeechainNode {
                     self.perform(ctx, effects);
                 }
             }
-            HostEvent::RetryAt(ready_at) => {
-                let ready_at = *ready_at;
-                self.schedule_retry(ctx, ready_at);
+            HostEvent::PumpAt(at) => {
+                let at = *at;
+                self.schedule_pump(ctx, at);
             }
             HostEvent::NeedCoSign { req_id, tx } => {
                 let me = self.identity.expect("identity known by now");
@@ -487,38 +505,21 @@ impl TeechainNode {
     ///   the round trip expires on a *live* path, the late response
     ///   FIFO-matches the next same-key operation. Pick deadlines above
     ///   the path RTT.
-    /// * `retry_throttle`: when the enclave's monotonic counter is
-    ///   throttled (persistent mode), automatically re-issue the command
-    ///   at `ready_at` instead of failing — mirroring a host that waits
-    ///   out the hardware throttle.
-    pub fn submit_op(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        cmd: Command,
-        deadline_ns: Option<u64>,
-        retry_throttle: bool,
-    ) -> OpId {
+    ///
+    /// When the enclave's monotonic counter is throttled (persistent
+    /// mode), the operation parks on the host's throttle queue and is
+    /// re-dispatched FIFO on the next admission pump — callers never see
+    /// `CounterThrottled`.
+    pub fn submit_op(&mut self, ctx: &mut Ctx<'_>, cmd: Command, deadline_ns: Option<u64>) -> OpId {
         let key = ops::expect_for(&cmd);
-        self.submit_job(ctx, OpJob::Cmd(cmd), key, deadline_ns, retry_throttle)
+        self.submit_job(ctx, OpJob::Cmd(cmd), key, deadline_ns)
     }
 
     /// Submits the composite fund-deposit operation (mint on chain, wait
     /// for confirmations, register with the enclave) as a correlated
     /// operation completing with [`OpOutput::DepositFunded`].
-    pub fn submit_fund_deposit(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        value: u64,
-        m: u8,
-        retry_throttle: bool,
-    ) -> OpId {
-        self.submit_job(
-            ctx,
-            OpJob::FundDeposit { value, m },
-            None,
-            None,
-            retry_throttle,
-        )
+    pub fn submit_fund_deposit(&mut self, ctx: &mut Ctx<'_>, value: u64, m: u8) -> OpId {
+        self.submit_job(ctx, OpJob::FundDeposit { value, m }, None, None)
     }
 
     /// Submits the composite open-channel operation (generate an
@@ -529,27 +530,19 @@ impl TeechainNode {
         ctx: &mut Ctx<'_>,
         id: crate::types::ChannelId,
         remote: PublicKey,
-        retry_throttle: bool,
     ) -> OpId {
         self.submit_job(
             ctx,
             OpJob::OpenChannel { id, remote },
             Some(ops::MatchKey::ChannelOpen(id)),
             None,
-            retry_throttle,
         )
     }
 
     /// Submits crash recovery from the durable store as a correlated
     /// operation completing with [`OpOutput::Recovered`].
     pub fn submit_recover(&mut self, ctx: &mut Ctx<'_>) -> OpId {
-        self.submit_job(
-            ctx,
-            OpJob::Recover,
-            Some(ops::MatchKey::Recovered),
-            None,
-            false,
-        )
+        self.submit_job(ctx, OpJob::Recover, Some(ops::MatchKey::Recovered), None)
     }
 
     fn submit_job(
@@ -558,9 +551,8 @@ impl TeechainNode {
         job: OpJob,
         key: Option<crate::ops::MatchKey>,
         deadline_ns: Option<u64>,
-        retry_throttle: bool,
     ) -> OpId {
-        let op = self.ops.register(ctx.self_id().0, job, key, retry_throttle);
+        let op = self.ops.register(ctx.self_id().0, job, key);
         if let Some(deadline) = deadline_ns {
             let delay = deadline.saturating_sub(ctx.now_ns()).max(1);
             ctx.set_timer(delay, OP_DEADLINE_TAG | op.seq);
@@ -569,13 +561,13 @@ impl TeechainNode {
         op
     }
 
-    /// Executes (or re-executes, after a throttle retry) a pending
-    /// operation's job and resolves what can be resolved synchronously.
+    /// Executes (or re-executes, once the counter throttle lifts) a
+    /// pending operation's job and resolves what can be resolved
+    /// synchronously.
     fn dispatch_op(&mut self, ctx: &mut Ctx<'_>, seq: u64) {
         let Some(job) = self.ops.job(seq) else {
             return;
         };
-        let retry = self.ops.retries_throttle(seq);
         let result: Result<Option<OpOutput>, ProtocolError> = match job {
             OpJob::Cmd(cmd) => self.command(ctx, cmd).map(|()| None),
             OpJob::FundDeposit { value, m } => self
@@ -598,9 +590,11 @@ impl TeechainNode {
                 // the operation (it was in this call's own effects) or
                 // will arrive over the network.
             }
-            Err(ProtocolError::CounterThrottled { ready_at }) if retry => {
-                let delay = ready_at.saturating_sub(ctx.now_ns()).max(1);
-                ctx.set_timer(delay, OP_RETRY_TAG | seq);
+            Err(ProtocolError::CounterThrottled { ready_at }) => {
+                // Park the op; the admission pump re-dispatches FIFO once
+                // the counter is ready.
+                self.throttled.push_back(seq);
+                self.schedule_pump(ctx, ready_at);
             }
             Err(e) => self.finish_op(seq, ctx.now_ns(), Err(OpError::Rejected(e))),
         }

@@ -155,9 +155,10 @@ pub enum OpOutput {
 /// Typed failure of a completed operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpError {
-    /// The local enclave rejected the operation synchronously (state
-    /// checks, freeze, or — when throttle auto-retry is disabled — a
-    /// monotonic-counter throttle).
+    /// The local enclave rejected the operation — synchronously (state
+    /// checks, freeze, a full admission queue) or later, when its
+    /// admission-queue entry expired, the channel closed underneath it,
+    /// or the drain found the balance could not cover it.
     Rejected(ProtocolError),
     /// The operation reached the network and a remote participant
     /// refused it (e.g. a payment nack on a locked channel, or a
@@ -458,7 +459,7 @@ pub(crate) fn expect_for(cmd: &Command) -> Option<MatchKey> {
         | Command::SettleFromReplica
         | Command::AddCoSigs { .. }
         | Command::RestoreSealed { .. }
-        | Command::RetryPending => None,
+        | Command::PumpAdmission => None,
     }
 }
 
@@ -505,11 +506,17 @@ fn outcome_of(event: &HostEvent) -> Option<(MatchKey, Result<OpOutput, OpError>)
                 count: *count,
             }),
         ),
-        // A nack is the remote's typed refusal: the channel was locked by
-        // a racing multi-hop payment and our debit was rolled back.
-        HostEvent::PaymentNacked { id, .. } => (
+        // A nack is the remote's typed refusal (carried on the wire);
+        // our debit was rolled back.
+        HostEvent::PaymentNacked { id, reason, .. } => {
+            (MatchKey::Payment(*id), Err(OpError::Remote(reason.clone())))
+        }
+        // A rejection is the local admission layer giving up on a queued
+        // payment: deadline expiry, channel closed, or insufficient
+        // balance at drain time. Nothing was ever debited or sent.
+        HostEvent::PaymentRejected { id, reason, .. } => (
             MatchKey::Payment(*id),
-            Err(OpError::Remote(ProtocolError::ChannelLocked)),
+            Err(OpError::Rejected(reason.clone())),
         ),
         HostEvent::SettledOffChain(id) => (
             MatchKey::Settle(*id),
@@ -579,11 +586,12 @@ fn outcome_of(event: &HostEvent) -> Option<(MatchKey, Result<OpOutput, OpError>)
         | HostEvent::MultihopReceived { .. }
         | HostEvent::NeedCoSign { .. }
         | HostEvent::Frozen
-        | HostEvent::RetryAt(_) => return None,
+        | HostEvent::PumpAt(_) => return None,
     })
 }
 
-/// What a pending operation re-executes on a throttle-retry timer.
+/// What a pending operation re-executes when the counter throttle lifts
+/// (the node re-dispatches throttled ops FIFO on the admission pump).
 #[derive(Clone)]
 pub(crate) enum OpJob {
     /// An enclave command.
@@ -601,7 +609,6 @@ pub(crate) enum OpJob {
 struct PendingOp {
     job: OpJob,
     key: Option<MatchKey>,
-    retry_throttle: bool,
 }
 
 /// Tracks in-flight operations on one node: submission order per
@@ -617,27 +624,14 @@ pub(crate) struct OpTracker {
 
 impl OpTracker {
     /// Registers a new operation; returns its id.
-    pub(crate) fn register(
-        &mut self,
-        node: u32,
-        job: OpJob,
-        key: Option<MatchKey>,
-        retry_throttle: bool,
-    ) -> OpId {
+    pub(crate) fn register(&mut self, node: u32, job: OpJob, key: Option<MatchKey>) -> OpId {
         self.node = node;
         self.next_seq += 1;
         let seq = self.next_seq;
         if let Some(k) = key {
             self.queues.entry(k).or_default().push_back(seq);
         }
-        self.pending.insert(
-            seq,
-            PendingOp {
-                job,
-                key,
-                retry_throttle,
-            },
-        );
+        self.pending.insert(seq, PendingOp { job, key });
         OpId { node, seq }
     }
 
@@ -646,14 +640,10 @@ impl OpTracker {
         self.pending.contains_key(&seq)
     }
 
-    /// The operation's job, for a throttle retry.
+    /// The operation's job, for re-dispatch when the counter throttle
+    /// lifts.
     pub(crate) fn job(&self, seq: u64) -> Option<OpJob> {
         self.pending.get(&seq).map(|p| p.job.clone())
-    }
-
-    /// Whether the operation auto-retries counter throttling.
-    pub(crate) fn retries_throttle(&self, seq: u64) -> bool {
-        self.pending.get(&seq).is_some_and(|p| p.retry_throttle)
     }
 
     /// True for a pending operation with no asynchronous terminal event.
@@ -755,7 +745,6 @@ mod tests {
                 count: 1,
             }),
             Some(MatchKey::Payment(chan("c"))),
-            true,
         );
         let b = t.register(
             0,
@@ -765,7 +754,6 @@ mod tests {
                 count: 1,
             }),
             Some(MatchKey::Payment(chan("c"))),
-            true,
         );
         let ack = HostEvent::PaymentAcked {
             id: chan("c"),
@@ -779,6 +767,7 @@ mod tests {
             id: chan("c"),
             amount: 2,
             count: 1,
+            reason: ProtocolError::ChannelLocked,
         };
         let second = t.observe(&nack, 20).expect("matches next");
         assert_eq!(second.op, b);
@@ -800,7 +789,6 @@ mod tests {
                 count: 1,
             }),
             Some(MatchKey::Payment(chan("c"))),
-            true,
         );
         let other = HostEvent::PaymentAcked {
             id: chan("other"),
@@ -827,7 +815,6 @@ mod tests {
             3,
             OpJob::Cmd(Command::GetIdentity),
             Some(MatchKey::Identity),
-            false,
         );
         let c = t.cancel(a.seq, 99).expect("was pending");
         assert_eq!(c.outcome, Err(OpError::Timeout { at_ns: 99 }));
@@ -837,7 +824,6 @@ mod tests {
             3,
             OpJob::Cmd(Command::GetIdentity),
             Some(MatchKey::Identity),
-            false,
         );
         let pk = teechain_crypto::schnorr::Keypair::from_seed(&[1; 32]).pk;
         let done = t.observe(&HostEvent::Identity(pk), 101).expect("matches");

@@ -210,20 +210,12 @@ impl Cluster {
     // ---- Operation submission and resolution ----
 
     /// Submits `cmd` on node `i` as a correlated operation. Monotonic-
-    /// counter throttling (persistent mode) is retried automatically at
-    /// `ready_at` via an in-simulation timer.
+    /// counter throttling (persistent mode) never surfaces: the node
+    /// parks the op and re-dispatches it on the admission pump.
     pub fn submit(&mut self, i: usize, cmd: Command) -> OpId {
         let id = self.nid(i);
         self.sim
-            .call(id, |host, ctx| host.node.submit_op(ctx, cmd, None, true))
-    }
-
-    /// Submits without throttle auto-retry: a throttled counter surfaces
-    /// as `Err(OpError::Rejected(ProtocolError::CounterThrottled))`.
-    pub fn submit_no_retry(&mut self, i: usize, cmd: Command) -> OpId {
-        let id = self.nid(i);
-        self.sim
-            .call(id, |host, ctx| host.node.submit_op(ctx, cmd, None, false))
+            .call(id, |host, ctx| host.node.submit_op(ctx, cmd, None))
     }
 
     /// Submits with an absolute deadline (simulated ns): a still-pending
@@ -233,7 +225,7 @@ impl Cluster {
     pub fn submit_with_deadline(&mut self, i: usize, cmd: Command, deadline_ns: u64) -> OpId {
         let id = self.nid(i);
         self.sim.call(id, |host, ctx| {
-            host.node.submit_op(ctx, cmd, Some(deadline_ns), true)
+            host.node.submit_op(ctx, cmd, Some(deadline_ns))
         })
     }
 
@@ -271,12 +263,6 @@ impl Cluster {
         self.wait(Pending::new(op))
     }
 
-    /// [`Cluster::op`] without throttle auto-retry.
-    pub fn op_no_retry(&mut self, i: usize, cmd: Command) -> Result<OpOutput, OpError> {
-        let op = self.submit_no_retry(i, cmd);
-        self.wait(Pending::new(op))
-    }
-
     /// The thin panicking wrapper over [`Cluster::op`].
     pub fn exec(&mut self, i: usize, cmd: Command) -> OpOutput {
         self.op(i, cmd).expect("operation failed")
@@ -293,7 +279,7 @@ impl Cluster {
     /// (i.e. it awaits a network response); use [`Cluster::op`] for
     /// those.
     pub fn op_now(&mut self, i: usize, cmd: Command) -> Result<OpOutput, OpError> {
-        let op = self.submit_no_retry(i, cmd);
+        let op = self.submit(i, cmd);
         self.node(i)
             .completions
             .iter()
@@ -539,7 +525,7 @@ impl NodeHandle<'_> {
         let id = ChannelId::from_label(label);
         let remote = self.cluster.ids[peer];
         let op = self.cluster.sim.call(NodeId(i as u32), |host, ctx| {
-            host.node.submit_open_channel(ctx, id, remote, true)
+            host.node.submit_open_channel(ctx, id, remote)
         });
         Pending::new(op)
     }
@@ -548,7 +534,7 @@ impl NodeHandle<'_> {
     pub fn fund_deposit(self, value: u64, m: u8) -> Pending<Deposit> {
         let i = self.i;
         let op = self.cluster.sim.call(NodeId(i as u32), |host, ctx| {
-            host.node.submit_fund_deposit(ctx, value, m, true)
+            host.node.submit_fund_deposit(ctx, value, m)
         });
         Pending::new(op)
     }

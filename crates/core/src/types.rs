@@ -37,8 +37,11 @@ impl Decode for ChannelId {
     }
 }
 
-/// Identifies a multi-hop payment route instance.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Identifies a multi-hop payment route instance. The `Ord` impl is the
+/// admission layer's wait-die priority: route ids are totally ordered,
+/// so "defer only behind a greater id" makes the cross-enclave wait-for
+/// graph acyclic (see `admit`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RouteId(pub [u8; 32]);
 
 impl Encode for RouteId {
@@ -167,6 +170,9 @@ pub enum ProtocolError {
     ChannelNotOpen,
     /// The channel is locked by an in-flight multi-hop payment (§5.1).
     ChannelLocked,
+    /// The channel was settled, ejected or closed while the operation
+    /// was still queued behind its lock (admission queue flush).
+    ChannelClosed,
     /// Balance too low for the requested payment or dissociation.
     InsufficientBalance,
     /// Deposit unknown, not free, or not approved by the counterparty.
@@ -210,6 +216,7 @@ impl ProtocolError {
             ProtocolError::ChannelExists => "ChannelExists",
             ProtocolError::ChannelNotOpen => "ChannelNotOpen",
             ProtocolError::ChannelLocked => "ChannelLocked",
+            ProtocolError::ChannelClosed => "ChannelClosed",
             ProtocolError::InsufficientBalance => "InsufficientBalance",
             ProtocolError::BadDeposit => "BadDeposit",
             ProtocolError::BadMessage => "BadMessage",
@@ -244,6 +251,7 @@ impl ProtocolError {
             ProtocolError::BadPopt => 12,
             ProtocolError::CounterThrottled { .. } => 13,
             ProtocolError::StaleState { .. } => 14,
+            ProtocolError::ChannelClosed => 15,
         }
     }
 
@@ -268,6 +276,7 @@ impl ProtocolError {
                 found: 0,
                 expected: 0,
             },
+            15 => ProtocolError::ChannelClosed,
             _ => ProtocolError::BadStage,
         }
     }
@@ -281,6 +290,7 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::ChannelExists => "channel already exists",
             ProtocolError::ChannelNotOpen => "channel not open",
             ProtocolError::ChannelLocked => "channel locked by multi-hop payment",
+            ProtocolError::ChannelClosed => "channel closed while operation queued",
             ProtocolError::InsufficientBalance => "insufficient balance",
             ProtocolError::BadDeposit => "deposit unknown, unapproved or not free",
             ProtocolError::BadMessage => "message failed authentication",

@@ -120,7 +120,7 @@ fn forged_stale_storage_rejected_and_enclave_freezes() {
         "stale storage must be detected: {err:?}"
     );
     // The enclave froze itself: nothing runs on rolled-back state.
-    let refused = c.op_no_retry(
+    let refused = c.op(
         0,
         Command::Pay {
             id: chan,

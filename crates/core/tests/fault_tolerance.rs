@@ -199,7 +199,7 @@ fn one_of_two_committee_tolerates_crash_but_not_byzantine() {
 // ---- Persistent storage mode (§6.2) ----
 
 #[test]
-fn persist_mode_throttles_payments() {
+fn persist_mode_throttle_is_absorbed_by_the_pump() {
     let mut c = Cluster::new(ClusterConfig {
         n: 2,
         durability: teechain::DurabilityBackend::eager_persist(),
@@ -210,9 +210,11 @@ fn persist_mode_throttles_payments() {
     let t = c.sim.now_ns() + 300_000_000;
     c.sim.run_until(t);
     // First payment increments the counter; an immediate second payment
-    // at the same instant is throttled — and with auto-retry disabled
-    // the throttle surfaces as the operation's typed rejection.
-    c.submit(
+    // at the same instant is throttled. The throttle never surfaces as
+    // an error any more: the host parks the op and the admission pump
+    // re-dispatches it once the counter window opens, so both resolve
+    // with the payment's typed success.
+    let first = c.submit(
         0,
         Command::Pay {
             id: chan,
@@ -220,23 +222,20 @@ fn persist_mode_throttles_payments() {
             count: 1,
         },
     );
-    let err = c
-        .op_no_retry(
-            0,
-            Command::Pay {
-                id: chan,
-                amount: 1,
-                count: 1,
-            },
-        )
-        .unwrap_err();
-    assert!(
-        matches!(
-            err,
-            OpError::Rejected(ProtocolError::CounterThrottled { .. })
-        ),
-        "{err:?}"
+    let second = c.submit(
+        0,
+        Command::Pay {
+            id: chan,
+            amount: 1,
+            count: 1,
+        },
     );
+    c.settle_network();
+    for op in [first, second] {
+        c.wait::<teechain::ops::Payment>(c.pending(op))
+            .expect("throttled payment is pumped to completion");
+    }
+    assert_eq!(c.balances(0, chan).0, 1000 - 2);
 }
 
 #[test]

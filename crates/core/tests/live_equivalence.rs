@@ -54,12 +54,12 @@ impl Substrate for Sim {
     }
     fn submit_open_channel(&mut self, i: usize, id: ChannelId, remote: PublicKey) -> OpId {
         self.0.sim.call(NodeId(i as u32), |host, ctx| {
-            host.node.submit_open_channel(ctx, id, remote, true)
+            host.node.submit_open_channel(ctx, id, remote)
         })
     }
     fn submit_fund_deposit(&mut self, i: usize, value: u64, m: u8) -> OpId {
         self.0.sim.call(NodeId(i as u32), |host, ctx| {
-            host.node.submit_fund_deposit(ctx, value, m, true)
+            host.node.submit_fund_deposit(ctx, value, m)
         })
     }
     fn wait_output(&mut self, op: OpId) -> Result<OpOutput, OpError> {
@@ -177,6 +177,34 @@ fn run_scenario(s: &mut impl Substrate) -> Vec<(u32, u64, String)> {
         },
     )
     .expect("multihop 0->1->2");
+    // A second multihop racing two direct pays against its (locked)
+    // first hop: on the deterministic engines the pays park in the
+    // enclave's admission queue and drain as a batch on unlock; on the
+    // live substrates the wall-clock race may resolve either way. The
+    // typed outcomes must be identical regardless — a queued op
+    // completes exactly like an unqueued one.
+    let route2 = teechain::types::RouteId(teechain_crypto::sha256::tagged_hash(
+        "teechain/route",
+        &[b"eq-route-2"],
+    ));
+    let mh2 = s.submit(
+        0,
+        Command::PayMultihop {
+            route: route2,
+            hops: vec![ids[0], ids[1], ids[2]],
+            channels: vec![c01, c12],
+            amount: 40,
+        },
+    );
+    let racing: Vec<OpId> = [25u64, 30]
+        .iter()
+        .map(|&amount| s.submit(0, pay(c01, amount)))
+        .collect();
+    s.wait_output(mh2).expect("second multihop");
+    for op in racing {
+        s.wait_output(op)
+            .expect("racing pay completes via the queue");
+    }
     // Settle the 2-3 channel: balances are non-neutral, so this
     // broadcasts a settlement transaction whose txid must also agree.
     step(s, 2, Command::Settle { id: c23 }).expect("settle 2-3");

@@ -280,8 +280,10 @@ fn multihop_sequential_payments_share_channels() {
 }
 
 #[test]
-fn single_channel_pay_blocked_while_locked() {
-    // A channel in an in-flight multi-hop payment refuses ordinary pays.
+fn single_channel_pay_queued_while_locked() {
+    // A channel in an in-flight multi-hop payment no longer refuses
+    // ordinary pays: the enclave parks them on the per-channel admission
+    // queue and applies them when the lock releases.
     let (mut c, c01, c12) = three_hop_cluster();
     // Start a multihop but do NOT resolve it yet: the lock is applied
     // synchronously at submission, so the channel is already locked.
@@ -296,22 +298,27 @@ fn single_channel_pay_blocked_while_locked() {
             amount: 10,
         },
     );
-    // The racing direct pay is rejected locally with the lock error (its
-    // completion is recorded before the network runs).
-    let err = c
-        .op(
-            0,
-            Command::Pay {
-                id: c01,
-                amount: 5,
-                count: 1,
-            },
-        )
-        .unwrap_err();
-    assert_eq!(err, OpError::Rejected(ProtocolError::ChannelLocked));
-    // The multihop completed during the wait; the channel pays again.
+    // The racing direct pay queues inside the enclave...
+    let pay = c.submit(
+        0,
+        Command::Pay {
+            id: c01,
+            amount: 5,
+            count: 1,
+        },
+    );
+    let enqueued = c
+        .node(0)
+        .enclave
+        .program()
+        .map(|p| p.admit_stats().enqueued)
+        .unwrap();
+    assert!(enqueued >= 1, "direct pay parked on the admission queue");
+    // ...and both operations resolve with their typed success once the
+    // network runs: the lock release drains the queue.
     c.wait::<teechain::ops::Delivered>(c.pending(mh)).unwrap();
-    c.pay(0, c01, 5).unwrap();
+    c.wait::<teechain::ops::Payment>(c.pending(pay)).unwrap();
+    assert_eq!(c.balances(0, c01), (985, 15));
 }
 
 #[test]

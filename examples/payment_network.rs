@@ -1,5 +1,6 @@
 //! A miniature §7.4 payment network: a hub-and-spoke overlay processing a
-//! skewed workload with multi-hop routing and lock-contention retries.
+//! skewed workload with multi-hop routing and in-enclave admission
+//! queues absorbing lock contention.
 //!
 //! Run with: `cargo run --release --example payment_network`
 
@@ -42,14 +43,15 @@ fn main() {
     println!("issuing {assigned} multi-hop payments (window 1 per node)...");
     let stats = net.cluster.run(500_000_000);
     println!(
-        "completed {} payments in {:.2}s simulated: {:.1} tx/s, mean {:.0} ms, avg {:.1} hops, {} retries ({} payments needed one)",
+        "completed {} payments in {:.2}s simulated: {:.1} tx/s, mean {:.0} ms, avg {:.1} hops, {} queued on locked channels, {} batches (max {})",
         stats.completed,
         stats.duration_ns as f64 / 1e9,
         stats.throughput,
         stats.mean_ms,
         stats.avg_hops + 1.0,
-        stats.retries,
-        stats.retried_completed,
+        stats.queued,
+        stats.batches,
+        stats.max_batch,
     );
     // Typed failure accounting: every non-completion is a counted
     // OpError, not an absent event.
