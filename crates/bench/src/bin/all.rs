@@ -1,13 +1,22 @@
 //! Runs every table and figure experiment in sequence (pass `--quick` for
 //! reduced parameter sweeps). Each child bin writes its own
 //! `BENCH_<name>.json`; this bin records the run manifest in
-//! `BENCH_all.json`.
+//! `BENCH_all.json`. With `--trace-out <path>` each child gets its own
+//! flight-recorder export at `<path>.<bin>.json`.
 
 use std::process::Command;
 use teechain_bench::report::{BenchJson, JsonValue};
 
+fn arg_val(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let trace_out = arg_val("--trace-out");
     let me = std::env::current_exe().expect("current exe");
     let dir = me.parent().expect("bin dir");
     let bins = [
@@ -27,6 +36,9 @@ fn main() {
         let mut cmd = Command::new(dir.join(bin));
         if quick {
             cmd.arg("--quick");
+        }
+        if let Some(prefix) = &trace_out {
+            cmd.args(["--trace-out", &format!("{prefix}.{bin}.json")]);
         }
         let start = std::time::Instant::now();
         let status = cmd.status().expect("spawn experiment");

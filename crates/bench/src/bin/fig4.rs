@@ -6,11 +6,25 @@
 use teechain_bench::harness::Job;
 use teechain_bench::report::{BenchJson, Table};
 use teechain_bench::scenarios::transatlantic_chain;
+use teechain_bench::trace_out::TraceSink;
+use teechain_net::Histogram;
+use teechain_trace::TraceEvent;
 
 type OpErrors = std::collections::BTreeMap<String, u64>;
+type Latency = std::collections::BTreeMap<String, Histogram>;
 
-fn teechain_latency(hops: usize, backups: usize, probes: usize, errs: &mut OpErrors) -> f64 {
+fn teechain_latency(
+    hops: usize,
+    backups: usize,
+    probes: usize,
+    errs: &mut OpErrors,
+    lat: &mut Latency,
+    trace: Option<&mut Vec<TraceEvent>>,
+) -> f64 {
     let (mut cluster, chans) = transatlantic_chain(hops, backups, 55 + hops as u64);
+    if trace.is_some() {
+        cluster.set_tracing(true);
+    }
     let hops_ids: Vec<_> = (0..=hops).map(|i| cluster.ids[i]).collect();
     let jobs: Vec<Job> = (0..probes)
         .map(|_| Job::Multihop {
@@ -24,6 +38,12 @@ fn teechain_latency(hops: usize, backups: usize, probes: usize, errs: &mut OpErr
     for (label, n) in cluster.op_errors() {
         *errs.entry(label).or_insert(0) += n;
     }
+    for (kind, h) in cluster.latency_by_kind() {
+        lat.entry(kind).or_default().merge(&h);
+    }
+    if let Some(events) = trace {
+        *events = cluster.drain_trace();
+    }
     stats.mean_ms
 }
 
@@ -35,7 +55,10 @@ fn main() {
         vec![2, 3, 4, 5, 6, 7, 8, 9, 10, 11]
     };
     let probes = if quick { 3 } else { 10 };
+    let sink = TraceSink::from_args();
+    let mut trace = Vec::new();
     let mut errs = OpErrors::new();
+    let mut lat = Latency::new();
     let mut table = Table::new(
         "Fig. 4: multi-hop payment latency (seconds) vs hops",
         &["Hops", "LN", "No FT", "1 replica", "2 replicas"],
@@ -45,12 +68,22 @@ fn main() {
         // LN: measured slope of Fig. 4 is ≈0.63 s/hop (lnd HTLC commit +
         // revoke per hop on the transatlantic path).
         let ln_s = hops as f64 * 0.63;
-        let no_ft = teechain_latency(hops, 0, probes, &mut errs) / 1000.0;
-        let one_rep = teechain_latency(hops, 1, probes, &mut errs) / 1000.0;
+        // The no-FT run at the shortest path is what --trace-out records
+        // (a clean multi-hop causal chain without replication noise).
+        let want_trace = sink.active() && hops == hop_counts[0];
+        let no_ft = teechain_latency(
+            hops,
+            0,
+            probes,
+            &mut errs,
+            &mut lat,
+            if want_trace { Some(&mut trace) } else { None },
+        ) / 1000.0;
+        let one_rep = teechain_latency(hops, 1, probes, &mut errs, &mut lat, None) / 1000.0;
         let two_rep = if quick {
             f64::NAN
         } else {
-            teechain_latency(hops, 2, probes, &mut errs) / 1000.0
+            teechain_latency(hops, 2, probes, &mut errs, &mut lat, None) / 1000.0
         };
         last_lat = (no_ft, one_rep);
         table.row(&[
@@ -76,16 +109,17 @@ fn main() {
         &["Hops", "Teechain (batch 135k)", "LN (batch 1k)"],
     );
     for hops in [2usize, max_hops] {
-        let lat = teechain_latency(hops, reps, probes, &mut errs) / 1000.0;
+        let lat_s = teechain_latency(hops, reps, probes, &mut errs, &mut lat, None) / 1000.0;
         t2.row(&[
             hops.to_string(),
-            format!("{:.0} tx/s", 135_000.0 / lat.max(1e-9)),
+            format!("{:.0} tx/s", 135_000.0 / lat_s.max(1e-9)),
             format!("{:.0} tx/s", 1_000.0 / (hops as f64 * 0.63)),
         ]);
     }
     t2.print();
+    sink.write(&trace);
     let mut doc = BenchJson::new("fig4");
-    doc.op_errors(&errs);
+    doc.op_errors(&errs).latency(&lat);
     doc.table(&table).table(&t2).write().expect("bench json");
     println!(
         "\nPaper: LN 1 s @ 2 hops → 7 s @ 11 hops; Teechain no-FT ≈2× LN;\n\

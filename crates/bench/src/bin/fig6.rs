@@ -4,11 +4,14 @@
 use teechain_bench::harness::Job;
 use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::build_network;
+use teechain_bench::trace_out::TraceSink;
 use teechain_bench::workload::Workload;
 use teechain_net::topology::complete_pairs;
-use teechain_net::{LinkSpec, MS};
+use teechain_net::{Histogram, LinkSpec, MS};
+use teechain_trace::TraceEvent;
 
 type OpErrors = std::collections::BTreeMap<String, u64>;
+type Latency = std::collections::BTreeMap<String, Histogram>;
 
 fn run(
     nodes: usize,
@@ -16,6 +19,8 @@ fn run(
     payments_per_node: usize,
     seed: u64,
     errs: &mut OpErrors,
+    lat: &mut Latency,
+    trace: Option<&mut Vec<TraceEvent>>,
 ) -> f64 {
     // The complete-graph deployment runs on the UK LAN cluster (Fig. 3):
     // 0.5 ms RTT at 1 Gb/s. (The 100 ms WAN emulation of §7.4 applies to
@@ -40,9 +45,18 @@ fn run(
     for (i, jobs) in per_node.into_iter().enumerate() {
         net.cluster.load(i, jobs, 1000); // W = 1000 sliding window (§7.4).
     }
+    if trace.is_some() {
+        net.cluster.set_tracing(true);
+    }
     let stats = net.cluster.run(2_000_000_000);
     for (label, n) in net.cluster.op_errors() {
         *errs.entry(label).or_insert(0) += n;
+    }
+    for (kind, h) in net.cluster.latency_by_kind() {
+        lat.entry(kind).or_default().merge(&h);
+    }
+    if let Some(events) = trace {
+        *events = net.cluster.drain_trace();
     }
     stats.throughput
 }
@@ -60,11 +74,24 @@ fn main() {
         "Fig. 6: complete-graph throughput (tx/s) vs machines",
         &["Machines", "n=1 (no FT)", "n=2", "n=3"],
     );
+    let sink = TraceSink::from_args();
+    let mut trace = Vec::new();
     let mut errs = OpErrors::new();
+    let mut lat = Latency::new();
     for &nodes in &node_counts {
         let mut cells = vec![nodes.to_string()];
         for &n in &committee_ns {
-            let tput = run(nodes, n, per_node, 42 + nodes as u64, &mut errs);
+            // --trace-out records the smallest n=1 deployment.
+            let want_trace = sink.active() && nodes == node_counts[0] && n == committee_ns[0];
+            let tput = run(
+                nodes,
+                n,
+                per_node,
+                42 + nodes as u64,
+                &mut errs,
+                &mut lat,
+                if want_trace { Some(&mut trace) } else { None },
+            );
             cells.push(fmt_thousands(tput));
         }
         while cells.len() < 4 {
@@ -73,8 +100,9 @@ fn main() {
         table.row(&cells);
     }
     table.print();
+    sink.write(&trace);
     let mut doc = BenchJson::new("fig6");
-    doc.op_errors(&errs);
+    doc.op_errors(&errs).latency(&lat);
     doc.table(&table).write().expect("bench json");
     println!(
         "\nPaper: linear scaling; ≈2.2M tx/s at 30 machines with n=1;\n\

@@ -3,11 +3,23 @@
 
 use teechain_bench::report::{fmt_thousands, BenchJson, JsonValue, Table};
 use teechain_bench::scenarios::{build_network, fund_reverse, hub_spoke_jobs, wan_100ms};
+use teechain_bench::trace_out::TraceSink;
 use teechain_net::topology::HubSpoke;
+use teechain_net::Histogram;
+use teechain_trace::TraceEvent;
 
 type OpErrors = std::collections::BTreeMap<String, u64>;
+type Latency = std::collections::BTreeMap<String, Histogram>;
 
-fn run(committee_n: usize, g: usize, payments: usize, seed: u64, errs: &mut OpErrors) -> f64 {
+fn run(
+    committee_n: usize,
+    g: usize,
+    payments: usize,
+    seed: u64,
+    errs: &mut OpErrors,
+    lat: &mut Latency,
+    trace: Option<&mut Vec<TraceEvent>>,
+) -> f64 {
     let hs = HubSpoke::paper_default();
     let edges = hs.channel_pairs();
     // Temporary channels on tier1-tier1, tier1-tier2 edges only: tier-3
@@ -50,9 +62,18 @@ fn run(committee_n: usize, g: usize, payments: usize, seed: u64, errs: &mut OpEr
     for (i, j) in jobs {
         net.cluster.load(i, j, 16);
     }
+    if trace.is_some() {
+        net.cluster.set_tracing(true);
+    }
     let stats = net.cluster.run(3_000_000_000);
     for (label, n) in net.cluster.op_errors() {
         *errs.entry(label).or_insert(0) += n;
+    }
+    for (kind, h) in net.cluster.latency_by_kind() {
+        lat.entry(kind).or_default().merge(&h);
+    }
+    if let Some(events) = trace {
+        *events = net.cluster.drain_trace();
     }
     stats.throughput
 }
@@ -66,12 +87,26 @@ fn main() {
         "Fig. 7: throughput (tx/s) with G temporary channels",
         &["G", "n=1 (no FT)", "n=2 (one replica)"],
     );
+    let sink = TraceSink::from_args();
+    let mut trace = Vec::new();
     let mut errs = OpErrors::new();
+    let mut lat = Latency::new();
     let mut points: Vec<(usize, usize, f64)> = Vec::new();
     for &g in &gs {
         let mut cells = vec![g.to_string()];
         for &n in &ns {
-            let tps = run(n, g, payments, 7 + g as u64, &mut errs);
+            // --trace-out records the G=1 n=1 baseline (reroutes appear
+            // in later G sweeps but the baseline stays readable).
+            let want_trace = sink.active() && g == gs[0] && n == ns[0];
+            let tps = run(
+                n,
+                g,
+                payments,
+                7 + g as u64,
+                &mut errs,
+                &mut lat,
+                if want_trace { Some(&mut trace) } else { None },
+            );
             points.push((g, n, tps));
             cells.push(fmt_thousands(tps));
         }
@@ -99,7 +134,8 @@ fn main() {
             doc.metric(&format!("scaling_g{gmax}_over_g1"), t / b);
         }
     }
-    doc.op_errors(&errs);
+    sink.write(&trace);
+    doc.op_errors(&errs).latency(&lat);
     doc.table(&table).write().expect("bench json");
     println!("\nPaper: near-linear scaling in G with diminishing returns (tier-3 congestion).");
 }

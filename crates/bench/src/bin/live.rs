@@ -27,6 +27,7 @@ use std::time::Duration;
 use teechain::live::{LiveCluster, LiveConfig};
 use teechain::types::ChannelId;
 use teechain_bench::report::{fmt_thousands, BenchJson, Table};
+use teechain_bench::trace_out::TraceSink;
 use teechain_net::Histogram;
 
 /// Results of one measured phase.
@@ -36,6 +37,7 @@ struct Phase {
     p50_ms: f64,
     p99_ms: f64,
     completed: u64,
+    latencies: Histogram,
     op_errors: BTreeMap<String, u64>,
 }
 
@@ -89,6 +91,7 @@ fn run_payments(net: &LiveCluster, chan: ChannelId, total: usize, window: usize)
         p50_ms: latencies.p50() as f64 / 1e6,
         p99_ms: latencies.p99() as f64 / 1e6,
         completed,
+        latencies,
         op_errors,
     }
 }
@@ -119,6 +122,8 @@ fn measure(
         .metric(&format!("{name}_latency_p50_ms"), lat.p50_ms)
         .metric(&format!("{name}_latency_p99_ms"), lat.p99_ms)
         .metric(&format!("{name}_completed"), tp.completed + lat.completed)
+        .latency_hist(&format!("payment_{name}_seq"), &lat.latencies)
+        .latency_hist(&format!("payment_{name}_windowed"), &tp.latencies)
         .op_errors(&lat.op_errors)
         .op_errors(&tp.op_errors);
     assert_eq!(
@@ -157,6 +162,9 @@ fn main() {
         .metric("latency_payments_per_backend", lat_payments)
         .metric("throughput_payments_per_backend", tp_payments);
 
+    // --trace-out records the TCP backend (wall-clock timestamps; the
+    // flow arrows cross real sockets).
+    let sink = TraceSink::from_args();
     let threads = LiveCluster::over_threads(LiveConfig {
         n: 2,
         seed: 0x11FE,
@@ -176,6 +184,7 @@ fn main() {
     let tcp = LiveCluster::over_tcp(LiveConfig {
         n: 2,
         seed: 0x11FE,
+        tracing: sink.active(),
         ..LiveConfig::default()
     })
     .expect("bind localhost listeners");
@@ -188,6 +197,7 @@ fn main() {
         &mut table,
         &mut doc,
     );
+    sink.write(&tcp.drain_trace());
     tcp.shutdown();
 
     table.print();

@@ -11,12 +11,19 @@ use teechain::{DurabilityBackend, PersistPolicy};
 use teechain_bench::harness::Job;
 use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::{fig3_pair, FtMode};
+use teechain_bench::trace_out::TraceSink;
+use teechain_net::Histogram;
+use teechain_trace::TraceEvent;
+
+type Latency = std::collections::BTreeMap<String, Histogram>;
 
 /// One throughput/latency row over the Fig. 3 US↔UK pair.
 fn run_row(
     ft: FtMode,
     batching: bool,
     seed: u64,
+    lat: &mut Latency,
+    trace: Option<&mut Vec<TraceEvent>>,
 ) -> (
     f64,
     f64,
@@ -54,14 +61,25 @@ fn run_row(
         None => "—".to_string(),
     };
 
-    // Latency: a sequential (window = 1) run on a fresh cluster.
+    // Latency: a sequential (window = 1) run on a fresh cluster. This
+    // is the run --trace-out records: under WAL-backed modes the flight
+    // recording shows the WalAppend events inside each payment span.
     let (mut cluster, chan) = fig3_pair(ft, seed + 1);
+    if trace.is_some() {
+        cluster.set_tracing(true);
+    }
     let lat_payments = if ft.persist() { 40 } else { 300 };
     let jobs: Vec<Job> = (0..lat_payments)
         .map(|_| Job::Direct { chan, amount: 1 })
         .collect();
     cluster.load(0, jobs, 1);
     let stats_lat = cluster.run(50_000_000);
+    for (kind, h) in cluster.latency_by_kind() {
+        lat.entry(kind).or_default().merge(&h);
+    }
+    if let Some(events) = trace {
+        *events = cluster.drain_trace();
+    }
     (
         stats.throughput,
         stats_lat.mean_ms,
@@ -165,9 +183,22 @@ fn main() {
             ),
         ]
     };
+    let sink = TraceSink::from_args();
+    let mut trace = Vec::new();
+    let mut lat = Latency::new();
     let mut all_op_errors = std::collections::BTreeMap::new();
-    for (name, ft, batching) in rows {
-        let (tps, mean, p99, storage, op_errors) = run_row(ft, batching, 4321);
+    let last_row = rows.len() - 1;
+    for (i, (name, ft, batching)) in rows.into_iter().enumerate() {
+        // --trace-out records the last row (a WAL-backed configuration
+        // in both sweeps, so the trace shows persistence at work).
+        let want_trace = sink.active() && i == last_row;
+        let (tps, mean, p99, storage, op_errors) = run_row(
+            ft,
+            batching,
+            4321,
+            &mut lat,
+            if want_trace { Some(&mut trace) } else { None },
+        );
         for (label, n) in op_errors {
             *all_op_errors.entry(label).or_insert(0) += n;
         }
@@ -196,7 +227,8 @@ fn main() {
         commits.to_string(),
     ]);
     churn.print();
+    sink.write(&trace);
     let mut doc = BenchJson::new("persistence");
-    doc.op_errors(&all_op_errors);
+    doc.op_errors(&all_op_errors).latency(&lat);
     doc.table(&table).table(&churn).write().expect("bench json");
 }

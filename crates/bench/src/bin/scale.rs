@@ -20,8 +20,9 @@
 use std::time::Instant;
 use teechain_bench::report::{fmt_thousands, BenchJson, JsonValue, Table};
 use teechain_bench::scenarios::{build_sparse_network, scale_jobs, wan_100ms};
+use teechain_bench::trace_out::TraceSink;
 use teechain_net::topology::HubSpoke;
-use teechain_net::EngineKind;
+use teechain_net::{EngineKind, Histogram};
 
 fn arg_val(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -41,6 +42,9 @@ struct ConfigRun {
     max_batch: u64,
     batch_hist: [u64; 16],
     rerouted: u64,
+    queue_depth_hwm: u64,
+    defer_depth_hwm: u64,
+    defer_age_max_ns: u64,
     sim_throughput: f64,
 }
 
@@ -98,17 +102,34 @@ fn main() {
     for &s in &shard_counts {
         kinds.push((format!("sharded:{s}"), EngineKind::Sharded { shards: s }));
     }
+    let sink = TraceSink::from_args();
+    let mut trace = Vec::new();
+    let mut lat: std::collections::BTreeMap<String, Histogram> = Default::default();
     let mut runs: Vec<ConfigRun> = Vec::new();
     let mut op_errors_all: Vec<std::collections::BTreeMap<String, u64>> = Vec::new();
-    for (label, kind) in kinds {
+    let last_kind = kinds.len() - 1;
+    for (k, (label, kind)) in kinds.into_iter().enumerate() {
         net.cluster.set_engine(kind);
         for (i, j) in jobs.clone() {
             net.cluster.load(i, j, window);
+        }
+        // --trace-out records the last (most-sharded) configuration:
+        // the merged stream is identical across shard counts, so any
+        // one run is representative — the last keeps setup noise out.
+        let want_trace = sink.active() && k == last_kind;
+        if want_trace {
+            net.cluster.set_tracing(true);
         }
         let ev0 = net.cluster.sim.stats().events;
         let t = Instant::now();
         let stats = net.cluster.run(2_000_000_000);
         op_errors_all.push(net.cluster.op_errors());
+        for (kind_label, h) in net.cluster.latency_by_kind() {
+            lat.entry(kind_label).or_default().merge(&h);
+        }
+        if want_trace {
+            trace = net.cluster.drain_trace();
+        }
         let wall_s = t.elapsed().as_secs_f64();
         let events = net.cluster.sim.stats().events - ev0;
         println!(
@@ -136,6 +157,9 @@ fn main() {
             max_batch: stats.max_batch,
             batch_hist: stats.batch_hist,
             rerouted: stats.rerouted,
+            queue_depth_hwm: stats.queue_depth_hwm,
+            defer_depth_hwm: stats.defer_depth_hwm,
+            defer_age_max_ns: stats.defer_age_max_ns,
             sim_throughput: stats.throughput,
         });
     }
@@ -187,6 +211,9 @@ fn main() {
             ("batched_payments".into(), run.batched_payments.into()),
             ("max_batch".into(), run.max_batch.into()),
             ("rerouted".into(), run.rerouted.into()),
+            ("queue_depth_hwm".into(), run.queue_depth_hwm.into()),
+            ("defer_depth_hwm".into(), run.defer_depth_hwm.into()),
+            ("defer_age_max_ns".into(), run.defer_age_max_ns.into()),
             (
                 "batch_hist".into(),
                 JsonValue::Arr(run.batch_hist.iter().map(|&n| n.into()).collect()),
@@ -198,6 +225,16 @@ fn main() {
         }
     }
     table.print();
+    // Admission pressure summary (enclave-lifetime high-watermark gauges,
+    // so the max across configs is the whole measurement's peak).
+    let queue_depth_hwm = runs.iter().map(|r| r.queue_depth_hwm).max().unwrap_or(0);
+    let defer_depth_hwm = runs.iter().map(|r| r.defer_depth_hwm).max().unwrap_or(0);
+    let defer_age_max_ns = runs.iter().map(|r| r.defer_age_max_ns).max().unwrap_or(0);
+    println!(
+        "\nadmission pressure: queue depth hwm {queue_depth_hwm}, defer depth hwm \
+         {defer_depth_hwm}, oldest deferred message {:.0}ms",
+        defer_age_max_ns as f64 / 1e6
+    );
     for errs in &op_errors_all {
         doc.op_errors(errs);
     }
@@ -223,10 +260,15 @@ fn main() {
         .metric(
             "max_batch",
             runs.iter().map(|r| r.max_batch).max().unwrap_or(0),
-        );
+        )
+        .metric("queue_depth_hwm", queue_depth_hwm)
+        .metric("defer_depth_hwm", defer_depth_hwm)
+        .metric("defer_age_max_ns", defer_age_max_ns);
     doc.metric("best_speedup_vs_seq", best_speedup);
     doc.metric("configs", JsonValue::Arr(configs));
+    doc.latency(&lat);
     doc.table(&table);
+    sink.write(&trace);
     doc.write().expect("write BENCH_scale.json");
     if parallelism == 1 {
         println!(

@@ -8,10 +8,23 @@
 use teechain_bench::harness::Job;
 use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::{fig3_pair, FtMode};
+use teechain_bench::trace_out::TraceSink;
+use teechain_net::Histogram;
+use teechain_trace::TraceEvent;
 
 type OpErrors = std::collections::BTreeMap<String, u64>;
+type Latency = std::collections::BTreeMap<String, Histogram>;
 
-fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64, OpErrors) {
+struct RowResult {
+    throughput: f64,
+    mean_ms: f64,
+    p99_ms: f64,
+    op_errors: OpErrors,
+    latency: Latency,
+    trace: Vec<TraceEvent>,
+}
+
+fn run_row(ft: FtMode, batching: bool, seed: u64, trace: bool) -> RowResult {
     // Throughput: a large pipelined load.
     let (mut cluster, chan) = fig3_pair(ft, seed);
     let payments = match (ft, batching) {
@@ -31,9 +44,15 @@ fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64, OpErrors) {
     let stats = cluster.run(300_000_000);
     let throughput = stats.throughput;
     let op_errors = cluster.op_errors();
+    let mut latency = cluster.latency_by_kind();
 
-    // Latency: a sequential (window = 1) run on a fresh cluster.
+    // Latency: a sequential (window = 1) run on a fresh cluster. This is
+    // the run `--trace-out` records: window 1 keeps the flight recording
+    // readable (one full round trip at a time).
     let (mut cluster, chan) = fig3_pair(ft, seed + 1);
+    if trace {
+        cluster.set_tracing(true);
+    }
     let lat_payments = if matches!(ft, FtMode::StableStorage) {
         40
     } else {
@@ -47,7 +66,21 @@ fn run_row(ft: FtMode, batching: bool, seed: u64) -> (f64, f64, f64, OpErrors) {
         cluster.enable_batching(0, chan, 100_000_000);
     }
     let stats = cluster.run(50_000_000);
-    (throughput, stats.mean_ms, stats.p99_ms, op_errors)
+    for (kind, h) in cluster.latency_by_kind() {
+        latency.entry(kind).or_default().merge(&h);
+    }
+    RowResult {
+        throughput,
+        mean_ms: stats.mean_ms,
+        p99_ms: stats.p99_ms,
+        op_errors,
+        latency,
+        trace: if trace {
+            cluster.drain_trace()
+        } else {
+            Vec::new()
+        },
+    }
 }
 
 fn main() {
@@ -98,17 +131,24 @@ fn main() {
             ),
         ]
     };
+    let sink = TraceSink::from_args();
     let mut doc = BenchJson::new("table1");
-    for (name, ft, batching) in rows {
-        let (tps, mean, p99, op_errors) = run_row(ft, batching, 1234);
-        doc.op_errors(&op_errors);
+    let mut trace = Vec::new();
+    for (i, (name, ft, batching)) in rows.into_iter().enumerate() {
+        // The first (no-fault-tolerance) row is the one --trace-out records.
+        let r = run_row(ft, batching, 1234, sink.active() && i == 0);
+        doc.op_errors(&r.op_errors).latency(&r.latency);
+        if !r.trace.is_empty() {
+            trace = r.trace;
+        }
         table.row(&[
             name.into(),
-            fmt_thousands(tps),
-            format!("{mean:.0} [{p99:.0}]"),
+            fmt_thousands(r.throughput),
+            format!("{:.0} [{:.0}]", r.mean_ms, r.p99_ms),
         ]);
     }
     table.print();
+    sink.write(&trace);
     doc.table(&table).write().expect("bench json");
     println!(
         "\nPaper: LN 1,000 tx/s @ 387 ms; Teechain no-FT 130,311 @ 86 ms; 1 replica 34,115 @ 292 ms;\n\

@@ -11,6 +11,7 @@ use teechain::types::ChannelId;
 use teechain_bench::harness::{BenchCluster, BenchConfig};
 use teechain_bench::report::{BenchJson, Table};
 use teechain_bench::scenarios::{fig3_pair, FtMode};
+use teechain_bench::trace_out::TraceSink;
 use teechain_net::topology::{fig3_link, Region};
 use teechain_net::NodeId;
 
@@ -41,8 +42,14 @@ fn main() {
         format!("{:.0}", teechain_baselines::ln::perf::channel_creation_ms()),
     ]);
 
-    // Teechain channel creation: attested session + channel open.
+    // Teechain channel creation: attested session + channel open. This
+    // is the run --trace-out records (handshake, open and deposit ecalls
+    // make a compact, readable flight recording).
+    let sink = TraceSink::from_args();
     let mut c = fresh_pair();
+    if sink.active() {
+        c.set_tracing(true);
+    }
     let ms = timed(&mut c, |c| {
         c.connect(0, 1);
         let remote = c.ids[1];
@@ -60,6 +67,7 @@ fn main() {
         );
     });
     table.row(&["Teechain channel creation".into(), format!("{ms:.0}")]);
+    sink.write(&c.drain_trace());
 
     // Outsourced channel creation: the client additionally attests the
     // remote TEE it outsources to (one extra attested handshake from IL).

@@ -3,9 +3,13 @@
 
 use teechain_bench::report::{fmt_thousands, BenchJson, Table};
 use teechain_bench::scenarios::{build_network, hub_spoke_jobs, wan_100ms};
+use teechain_bench::trace_out::TraceSink;
 use teechain_net::topology::HubSpoke;
+use teechain_net::Histogram;
+use teechain_trace::TraceEvent;
 
 type OpErrors = std::collections::BTreeMap<String, u64>;
+type Latency = std::collections::BTreeMap<String, Histogram>;
 
 fn run(
     committee_n: usize,
@@ -13,6 +17,8 @@ fn run(
     payments: usize,
     seed: u64,
     errs: &mut OpErrors,
+    lat: &mut Latency,
+    trace: Option<&mut Vec<TraceEvent>>,
 ) -> (f64, f64, f64) {
     let hs = HubSpoke::paper_default();
     let edges = hs.channel_pairs();
@@ -28,9 +34,18 @@ fn run(
     for (i, j) in jobs {
         net.cluster.load(i, j, 16);
     }
+    if trace.is_some() {
+        net.cluster.set_tracing(true);
+    }
     let stats = net.cluster.run(3_000_000_000);
     for (label, n) in net.cluster.op_errors() {
         *errs.entry(label).or_insert(0) += n;
+    }
+    for (kind, h) in net.cluster.latency_by_kind() {
+        lat.entry(kind).or_default().merge(&h);
+    }
+    if let Some(events) = trace {
+        *events = net.cluster.drain_trace();
     }
     (stats.throughput, stats.mean_ms, stats.avg_hops + 1.0)
 }
@@ -57,19 +72,33 @@ fn main() {
             ("Dynamic routing (One replica)", 2, 3),
         ]
     };
+    let sink = TraceSink::from_args();
+    let mut trace = Vec::new();
     let mut errs = OpErrors::new();
-    for (name, n, alts) in rows {
-        let (tput, lat, hops) = run(n, alts, payments, 99, &mut errs);
+    let mut lat = Latency::new();
+    for (i, (name, n, alts)) in rows.into_iter().enumerate() {
+        // --trace-out records the first (no fault tolerance) row.
+        let want_trace = sink.active() && i == 0;
+        let (tput, lat_ms, hops) = run(
+            n,
+            alts,
+            payments,
+            99,
+            &mut errs,
+            &mut lat,
+            if want_trace { Some(&mut trace) } else { None },
+        );
         table.row(&[
             name.into(),
             fmt_thousands(tput),
-            format!("{lat:.0}"),
+            format!("{lat_ms:.0}"),
             format!("{hops:.1}"),
         ]);
     }
     table.print();
+    sink.write(&trace);
     let mut doc = BenchJson::new("table3");
-    doc.op_errors(&errs);
+    doc.op_errors(&errs).latency(&lat);
     doc.table(&table).write().expect("bench json");
     println!(
         "\nPaper: no FT 671 tx/s @ 540 ms, 3.2 hops; one replica 210 tx/s @ 720 ms;\n\

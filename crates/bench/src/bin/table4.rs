@@ -6,12 +6,18 @@
 use teechain::testkit::Cluster;
 use teechain_baselines::{dmc, ln, sfmc};
 use teechain_bench::report::{BenchJson, Table};
+use teechain_bench::trace_out::TraceSink;
 
 /// Executes a real Teechain channel lifecycle and counts on-chain
 /// transactions + cost. `bilateral` ends with neutral balances (off-chain
-/// termination); unilateral settles on chain.
-fn measured_teechain(n_committee: u8, bilateral: bool) -> (usize, f64) {
+/// termination); unilateral settles on chain. When `sink` is active the
+/// whole lifecycle is flight-recorded (the unilateral run, which includes
+/// the settlement, is the one written).
+fn measured_teechain(n_committee: u8, bilateral: bool, sink: &TraceSink) -> (usize, f64) {
     let mut c = Cluster::functional(2 + n_committee as usize - 1);
+    if sink.active() {
+        c.set_tracing(true);
+    }
     for b in 0..(n_committee as usize - 1) {
         let tail = if b == 0 { 0 } else { 2 + b - 1 };
         c.attach_backup(tail, 2 + b);
@@ -26,6 +32,9 @@ fn measured_teechain(n_committee: u8, bilateral: bool) -> (usize, f64) {
     }
     c.settle_channel(0, chan).unwrap();
     c.mine(1);
+    if !bilateral {
+        sink.write(&c.drain_trace());
+    }
     // Count non-mint transactions (the mint is the faucet, which the
     // paper's accounting attributes to the funding side: we add the
     // funding tx cost of 1 + n/2 analytically below).
@@ -78,8 +87,9 @@ fn main() {
         format!("3 / {:.1}", 1.0 + nn / 2.0 + nn / 2.0 + m + m),
     ]);
     // Teechain measured on the simulated chain (1-of-1 deposit).
-    let (txs_uni, cost_uni) = measured_teechain(1, false);
-    let (txs_bi, cost_bi) = measured_teechain(1, true);
+    let sink = TraceSink::from_args();
+    let (txs_uni, cost_uni) = measured_teechain(1, false, &sink);
+    let (txs_bi, cost_bi) = measured_teechain(1, true, &sink);
     table.row(&[
         "Teechain measured (1-of-1, excl. funding)".into(),
         format!("{txs_bi} / {cost_bi:.1}"),

@@ -89,11 +89,22 @@ pub struct DriverStats {
     pub last_ack: u64,
     /// Latency samples (ns), measured from each job's first issue.
     pub latencies: Histogram,
+    /// Latency samples split per [`OpOutput::kind`] label — the source
+    /// of the `latency` section in the `BENCH_*.json` artifacts.
+    pub latency_by_kind: BTreeMap<String, Histogram>,
 }
 
 impl DriverStats {
     fn count_error(&mut self, e: &OpError) {
         *self.op_errors.entry(e.label()).or_insert(0) += 1;
+    }
+
+    fn record_latency(&mut self, kind: &'static str, lat_ns: u64) {
+        self.latencies.record(lat_ns);
+        self.latency_by_kind
+            .entry(kind.to_string())
+            .or_default()
+            .record(lat_ns);
     }
 }
 
@@ -169,22 +180,25 @@ impl BenchNode {
                 self.unclaimed.insert(c.op.seq, c);
                 continue;
             };
+            let kind = c.outcome.as_ref().ok().map(OpOutput::kind);
             match c.outcome {
                 Ok(OpOutput::PaymentApplied { count, .. }) => {
                     self.stats.completed += count as u64;
                     self.stats.last_ack = c.time_ns;
-                    self.stats
-                        .latencies
-                        .record(c.time_ns.saturating_sub(flight.first_issue));
+                    self.stats.record_latency(
+                        kind.expect("checked Ok"),
+                        c.time_ns.saturating_sub(flight.first_issue),
+                    );
                     self.inflight = self.inflight.saturating_sub(count as usize);
                 }
                 Ok(OpOutput::MultihopDelivered { .. }) => {
                     self.stats.completed += 1;
                     self.stats.multihop_completed += 1;
                     self.stats.last_ack = c.time_ns;
-                    self.stats
-                        .latencies
-                        .record(c.time_ns.saturating_sub(flight.first_issue));
+                    self.stats.record_latency(
+                        kind.expect("checked Ok"),
+                        c.time_ns.saturating_sub(flight.first_issue),
+                    );
                     if let Job::Multihop {
                         paths, next_path, ..
                     } = &flight.job
@@ -517,6 +531,15 @@ pub struct RunStats {
     /// Ops carried by an unlocked parallel (temporary) channel instead
     /// of waiting behind the locked one they named.
     pub rerouted: u64,
+    /// Deepest per-channel admission queue observed on any node
+    /// (enclave-lifetime high-watermark).
+    pub queue_depth_hwm: u64,
+    /// Deepest deferred-delivery queue observed on any node
+    /// (enclave-lifetime high-watermark).
+    pub defer_depth_hwm: u64,
+    /// Oldest deferred message age seen at drain or expiry, ns
+    /// (enclave-lifetime maximum).
+    pub defer_age_max_ns: u64,
 }
 
 /// A benchmark cluster: like `teechain::testkit::Cluster` but with
@@ -888,6 +911,9 @@ impl BenchCluster {
         let mut max_batch = 0u64;
         let mut batch_hist = [0u64; 16];
         let mut rerouted = 0;
+        let mut queue_depth_hwm = 0u64;
+        let mut defer_depth_hwm = 0u64;
+        let mut defer_age_max_ns = 0u64;
         for i in 0..self.sim.len() {
             let node = self.sim.node_mut(NodeId(i as u32));
             completed += node.stats.completed;
@@ -905,9 +931,12 @@ impl BenchCluster {
                 batches += a.batches - base.batches;
                 batched_payments += a.batched_payments - base.batched_payments;
                 rerouted += a.rerouted - base.rerouted;
-                // Lifetime max (a per-run max is not recoverable from a
-                // snapshot); fine — runs only ever grow it.
+                // Lifetime maxima (a per-run max is not recoverable from
+                // a snapshot); fine — runs only ever grow them.
                 max_batch = max_batch.max(a.max_batch);
+                queue_depth_hwm = queue_depth_hwm.max(a.queue_depth_hwm);
+                defer_depth_hwm = defer_depth_hwm.max(a.defer_depth_hwm);
+                defer_age_max_ns = defer_age_max_ns.max(a.defer_age_max_ns);
                 for ((acc, n), b) in batch_hist
                     .iter_mut()
                     .zip(a.batch_hist.iter())
@@ -941,6 +970,9 @@ impl BenchCluster {
             max_batch,
             batch_hist,
             rerouted,
+            queue_depth_hwm,
+            defer_depth_hwm,
+            defer_age_max_ns,
         }
     }
 
@@ -955,5 +987,57 @@ impl BenchCluster {
             }
         }
         out
+    }
+
+    /// Per-[`OpOutput::kind`] latency histograms merged across all
+    /// drivers since the last [`BenchCluster::run`] — the `latency`
+    /// section of the `BENCH_*.json` artifacts.
+    pub fn latency_by_kind(&self) -> BTreeMap<String, Histogram> {
+        let mut out: BTreeMap<String, Histogram> = BTreeMap::new();
+        for i in 0..self.sim.len() {
+            for (kind, h) in &self.sim.node(NodeId(i as u32)).stats.latency_by_kind {
+                out.entry(kind.clone()).or_default().merge(h);
+            }
+        }
+        out
+    }
+
+    /// Enables (or disables) the flight recorder on every node's tracer
+    /// (default ring capacity). Tracing changes no protocol or simulated
+    /// timing, only host-side recording.
+    pub fn set_tracing(&mut self, on: bool) {
+        for i in 0..self.sim.len() {
+            self.sim
+                .node_mut(NodeId(i as u32))
+                .host
+                .node
+                .tracer
+                .configure(on, None);
+        }
+    }
+
+    /// Drains every node's flight ring into one merged, deterministic
+    /// stream (ordered by `(ts_ns, node)`; per-node order preserved).
+    pub fn drain_trace(&mut self) -> Vec<teechain_trace::TraceEvent> {
+        let streams: Vec<Vec<teechain_trace::TraceEvent>> = (0..self.sim.len())
+            .map(|i| self.sim.node_mut(NodeId(i as u32)).host.node.tracer.drain())
+            .collect();
+        teechain_trace::merge_events(streams)
+    }
+
+    /// Snapshots the cluster-wide metrics registry (same shape as
+    /// `teechain::testkit::Cluster::observe`): node registries merged,
+    /// plus the engine's own delivery counters under `sim.*`.
+    pub fn observe(&self) -> teechain_trace::Snapshot {
+        let mut reg = teechain_trace::Registry::new();
+        for i in 0..self.sim.len() {
+            reg.merge(&self.sim.node(NodeId(i as u32)).host.node.registry());
+        }
+        let s = self.sim.stats();
+        reg.counter("sim.messages", s.messages);
+        reg.counter("sim.bytes", s.bytes);
+        reg.counter("sim.events", s.events);
+        reg.counter("sim.dropped", s.dropped);
+        reg.snapshot()
     }
 }

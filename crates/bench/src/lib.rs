@@ -27,6 +27,7 @@
 pub mod harness;
 pub mod report;
 pub mod scenarios;
+pub mod trace_out;
 pub mod workload;
 
 pub use harness::{BenchCluster, BenchConfig, RunStats};

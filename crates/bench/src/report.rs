@@ -2,7 +2,9 @@
 //! the machine-readable `BENCH_<name>.json` artifacts that track the
 //! perf trajectory across PRs.
 
+use std::collections::BTreeMap;
 use std::path::PathBuf;
+use teechain_trace::{HistSummary, Histogram};
 
 /// Renders a markdown-style table.
 pub struct Table {
@@ -171,6 +173,227 @@ impl JsonValue {
         self.render_into(&mut out);
         out
     }
+
+    /// Object field lookup (`None` on non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Parses a JSON document (the inverse of [`JsonValue::render`],
+    /// hand-rolled like the renderer). The trend tooling reads
+    /// `BENCH_*.json` artifacts back through this; it accepts any
+    /// standard JSON with `null` mapped to NaN (the renderer's own
+    /// encoding of non-finite numbers).
+    pub fn parse(s: &str) -> Result<JsonValue, String> {
+        let mut p = Parser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+}
+
+/// Recursive-descent JSON reader over raw bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.bytes.get(self.pos).map(|&c| c as char)
+            ))
+        }
+    }
+
+    fn lit(&mut self, word: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::Str(self.string()?)),
+            Some(b't') => self.lit("true", JsonValue::Bool(true)),
+            Some(b'f') => self.lit("false", JsonValue::Bool(false)),
+            // `render` writes non-finite numbers as null; round-trip
+            // them back to a non-finite number.
+            Some(b'n') => self.lit("null", JsonValue::Num(f64::NAN)),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let k = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            fields.push((k, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, String> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            // BMP only — the renderer never emits
+                            // surrogate pairs (it escapes only controls).
+                            out.push(char::from_u32(code).ok_or("bad \\u code point")?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through untouched.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in string")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(JsonValue::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
 }
 
 /// A machine-readable benchmark artifact, written as
@@ -183,7 +406,12 @@ pub struct BenchJson {
     metrics: Vec<(String, JsonValue)>,
     tables: Vec<JsonValue>,
     op_errors: std::collections::BTreeMap<String, u64>,
+    latency: BTreeMap<String, Histogram>,
 }
+
+/// `BENCH_*.json` schema version (`"schema"` field). Bumped to 2 when
+/// the per-kind `latency` section was added.
+pub const BENCH_SCHEMA: u64 = 2;
 
 impl BenchJson {
     /// Starts an artifact for the bench bin `name`.
@@ -193,6 +421,7 @@ impl BenchJson {
             metrics: Vec::new(),
             tables: Vec::new(),
             op_errors: std::collections::BTreeMap::new(),
+            latency: BTreeMap::new(),
         }
     }
 
@@ -211,6 +440,24 @@ impl BenchJson {
         for (label, n) in counts {
             *self.op_errors.entry(label.clone()).or_insert(0) += n;
         }
+        self
+    }
+
+    /// Folds per-[`OpOutput::kind`](teechain::ops::OpOutput::kind)
+    /// latency histograms (from `BenchCluster::latency_by_kind`) into the
+    /// artifact's `latency` section. Samples accumulate across calls, so
+    /// multi-run bins report the union.
+    pub fn latency(&mut self, by_kind: &BTreeMap<String, Histogram>) -> &mut Self {
+        for (kind, h) in by_kind {
+            self.latency.entry(kind.clone()).or_default().merge(h);
+        }
+        self
+    }
+
+    /// Records one pre-labeled latency histogram (live bins, which
+    /// measure phases rather than driver kinds).
+    pub fn latency_hist(&mut self, label: &str, h: &Histogram) -> &mut Self {
+        self.latency.entry(label.to_string()).or_default().merge(h);
         self
     }
 
@@ -243,10 +490,32 @@ impl BenchJson {
                 .map(|(k, v)| (k.clone(), JsonValue::from(*v)))
                 .collect(),
         );
+        let latency = JsonValue::Obj(
+            self.latency
+                .iter()
+                .map(|(kind, h)| {
+                    let s = HistSummary::of(&mut h.clone());
+                    (
+                        kind.clone(),
+                        JsonValue::Obj(vec![
+                            ("count".into(), s.count.into()),
+                            ("mean_ms".into(), (s.mean_ns / 1e6).into()),
+                            ("min_ms".into(), (s.min as f64 / 1e6).into()),
+                            ("p50_ms".into(), (s.p50 as f64 / 1e6).into()),
+                            ("p99_ms".into(), (s.p99 as f64 / 1e6).into()),
+                            ("p999_ms".into(), (s.p999 as f64 / 1e6).into()),
+                            ("max_ms".into(), (s.max as f64 / 1e6).into()),
+                        ]),
+                    )
+                })
+                .collect(),
+        );
         JsonValue::Obj(vec![
             ("bench".into(), self.name.as_str().into()),
+            ("schema".into(), BENCH_SCHEMA.into()),
             ("metrics".into(), JsonValue::Obj(self.metrics.clone())),
             ("op_errors".into(), op_errors),
+            ("latency".into(), latency),
             ("tables".into(), JsonValue::Arr(self.tables.clone())),
         ])
     }
@@ -318,6 +587,61 @@ mod tests {
             v.render(),
             r#"{"int":42,"float":1.5,"nan":null,"s":"a\"b\\c\nd","flag":true,"arr":[1,2]}"#
         );
+    }
+
+    #[test]
+    fn parse_round_trips_render() {
+        let v = JsonValue::Obj(vec![
+            ("int".into(), 42u64.into()),
+            ("float".into(), 1.5.into()),
+            ("s".into(), "a\"b\\c\nd — π".into()),
+            ("flag".into(), JsonValue::Bool(true)),
+            (
+                "arr".into(),
+                JsonValue::Arr(vec![1u64.into(), JsonValue::Obj(vec![])]),
+            ),
+        ]);
+        let rendered = v.render();
+        let back = JsonValue::parse(&rendered).expect("parse");
+        assert_eq!(back.render(), rendered);
+        assert_eq!(back.get("int").and_then(|v| v.as_f64()), Some(42.0));
+        assert_eq!(
+            back.get("s").and_then(|v| v.as_str()),
+            Some("a\"b\\c\nd — π")
+        );
+    }
+
+    #[test]
+    fn parse_null_and_whitespace() {
+        let v = JsonValue::parse(" { \"x\" : null , \"y\" : [ 1 , -2.5e1 ] } ").expect("parse");
+        assert!(v.get("x").and_then(|v| v.as_f64()).unwrap().is_nan());
+        let JsonValue::Arr(items) = v.get("y").unwrap() else {
+            panic!("y should be an array");
+        };
+        assert_eq!(items[1].as_f64(), Some(-25.0));
+        assert!(JsonValue::parse("{\"a\":1}trailing").is_err());
+        assert!(JsonValue::parse("{\"a\"").is_err());
+    }
+
+    #[test]
+    fn bench_json_latency_section() {
+        let mut h = Histogram::new();
+        for ms in [1u64, 2, 3] {
+            h.record(ms * 1_000_000);
+        }
+        let mut by_kind = BTreeMap::new();
+        by_kind.insert("payment".to_string(), h);
+        let mut doc = BenchJson::new("demo");
+        doc.latency(&by_kind);
+        let v = JsonValue::parse(&doc.to_value().render()).expect("parse");
+        assert_eq!(v.get("schema").and_then(|s| s.as_f64()), Some(2.0));
+        let p = v
+            .get("latency")
+            .and_then(|l| l.get("payment"))
+            .expect("payment kind");
+        assert_eq!(p.get("count").and_then(|c| c.as_f64()), Some(3.0));
+        assert_eq!(p.get("p50_ms").and_then(|c| c.as_f64()), Some(2.0));
+        assert_eq!(p.get("p999_ms").and_then(|c| c.as_f64()), Some(3.0));
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! `--trace-out <path>`: flight-recorder export for the bench bins.
+//!
+//! Every bench binary accepts `--trace-out <path>`. When present, the
+//! bin enables the cluster's flight recorder around its measured runs
+//! and writes the drained, merged event stream as a chrome://tracing
+//! JSON document (load it in `chrome://tracing` or Perfetto):
+//!
+//! * every [`TraceEvent`] becomes an instant event on track
+//!   `pid 0 / tid <node>`, named by its [`EventKind`], with the span,
+//!   parent and payload words in `args` (hex span ids — they are 64-bit
+//!   FNV hashes and would lose precision as JSON numbers);
+//! * cross-track causality renders as flow arrows: a `WireSend` opens a
+//!   flow (`ph:"s"`) that the matching `WireRecv` closes (`ph:"f"`) —
+//!   both ends derive the same span id from the sealed frame header, so
+//!   no id exchange is needed — and each `OpSubmit`/`OpComplete` pair
+//!   does the same per operation.
+//!
+//! Timestamps are the trace's own (sim-time under the engines,
+//! wall-clock under `LiveCluster`), converted to the microseconds
+//! chrome://tracing expects.
+
+use std::path::PathBuf;
+
+use crate::report::JsonValue;
+use teechain_trace::{EventKind, TraceEvent};
+
+/// Where `--trace-out` points this run, if anywhere.
+pub struct TraceSink {
+    path: Option<PathBuf>,
+}
+
+impl TraceSink {
+    /// Parses `--trace-out <path>` from the process arguments.
+    pub fn from_args() -> TraceSink {
+        let args: Vec<String> = std::env::args().collect();
+        let path = args
+            .iter()
+            .position(|a| a == "--trace-out")
+            .and_then(|i| args.get(i + 1))
+            .map(PathBuf::from);
+        TraceSink { path }
+    }
+
+    /// A sink bound to a fixed path (tests).
+    pub fn to_path(path: PathBuf) -> TraceSink {
+        TraceSink { path: Some(path) }
+    }
+
+    /// Whether `--trace-out` was given — bins use this to decide whether
+    /// to enable tracing at all (recording is off by default).
+    pub fn active(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// Writes the chrome://tracing document; no-op without `--trace-out`.
+    pub fn write(&self, events: &[TraceEvent]) {
+        let Some(path) = &self.path else {
+            return;
+        };
+        let doc = chrome_trace_json(events);
+        std::fs::write(path, doc.render() + "\n").expect("write --trace-out file");
+        println!("wrote trace {} ({} events)", path.display(), events.len());
+    }
+}
+
+fn hex(v: u64) -> JsonValue {
+    JsonValue::Str(format!("{v:#x}"))
+}
+
+/// One chrome trace event object.
+fn chrome_event(
+    name: &str,
+    ph: &str,
+    e: &TraceEvent,
+    extra: Vec<(String, JsonValue)>,
+) -> JsonValue {
+    let mut fields = vec![
+        ("name".to_string(), name.into()),
+        ("cat".to_string(), "teechain".into()),
+        ("ph".to_string(), ph.into()),
+        ("ts".to_string(), (e.ts_ns as f64 / 1e3).into()),
+        ("pid".to_string(), 0u64.into()),
+        ("tid".to_string(), (e.node as u64).into()),
+    ];
+    fields.extend(extra);
+    JsonValue::Obj(fields)
+}
+
+/// Renders a merged event stream as a chrome://tracing JSON document.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> JsonValue {
+    let mut out: Vec<JsonValue> = Vec::with_capacity(events.len() * 2);
+    for e in events {
+        out.push(chrome_event(
+            e.kind.name(),
+            "i",
+            e,
+            vec![
+                ("s".to_string(), "t".into()),
+                (
+                    "args".to_string(),
+                    JsonValue::Obj(vec![
+                        ("span".to_string(), hex(e.span)),
+                        ("parent".to_string(), hex(e.parent)),
+                        ("a".to_string(), e.a.into()),
+                        ("b".to_string(), e.b.into()),
+                    ]),
+                ),
+            ],
+        ));
+        // Flow arrows: both ends of a pair carry the same span id, so
+        // the id field alone stitches them across tracks.
+        let flow = match e.kind {
+            EventKind::WireSend => Some(("wire", "s", false)),
+            EventKind::WireRecv => Some(("wire", "f", true)),
+            EventKind::OpSubmit => Some(("op", "s", false)),
+            EventKind::OpComplete => Some(("op", "f", true)),
+            _ => None,
+        };
+        if let Some((name, ph, enclosing)) = flow {
+            let mut extra = vec![("id".to_string(), hex(e.span))];
+            if enclosing {
+                extra.push(("bp".to_string(), "e".into()));
+            }
+            out.push(chrome_event(name, ph, e, extra));
+        }
+    }
+    JsonValue::Obj(vec![
+        ("traceEvents".to_string(), JsonValue::Arr(out)),
+        ("displayTimeUnit".to_string(), "ms".into()),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: EventKind, node: u32, span: u64, parent: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: 1_500,
+            node,
+            kind,
+            span,
+            parent,
+            a: 7,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn instants_and_flow_pairs() {
+        let events = vec![
+            ev(EventKind::OpSubmit, 0, 0xAB, 0),
+            ev(EventKind::WireSend, 0, 0xCD, 0xAB),
+            ev(EventKind::WireRecv, 1, 0xCD, 0),
+            ev(EventKind::OpComplete, 0, 0xAB, 0),
+            ev(EventKind::Ecall, 1, 0xEF, 0xCD),
+        ];
+        let doc = chrome_trace_json(&events);
+        let rendered = doc.render();
+        // Parses back as valid JSON.
+        let back = JsonValue::parse(&rendered).expect("valid chrome json");
+        let JsonValue::Arr(items) = back.get("traceEvents").unwrap() else {
+            panic!("traceEvents must be an array");
+        };
+        // 5 instants + 4 flow halves (the lone Ecall emits no flow).
+        assert_eq!(items.len(), 9);
+        // The wire flow pair shares one id across both tracks.
+        let flows: Vec<&JsonValue> = items
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("wire"))
+            .collect();
+        assert_eq!(flows.len(), 2);
+        assert_eq!(
+            flows[0].get("id").and_then(|v| v.as_str()),
+            flows[1].get("id").and_then(|v| v.as_str())
+        );
+        assert_eq!(flows[0].get("ph").and_then(|v| v.as_str()), Some("s"));
+        assert_eq!(flows[1].get("ph").and_then(|v| v.as_str()), Some("f"));
+        // Microsecond timestamps.
+        assert_eq!(items[0].get("ts").and_then(|v| v.as_f64()), Some(1.5));
+    }
+
+    #[test]
+    fn inactive_sink_is_a_noop() {
+        let sink = TraceSink { path: None };
+        assert!(!sink.active());
+        sink.write(&[]); // Must not try to write anywhere.
+    }
+}

@@ -128,6 +128,13 @@ pub struct AdmitStats {
     /// Histogram of batch sizes: bucket i counts batches of size in
     /// `[2^i, 2^(i+1))`; the last bucket absorbs the tail.
     pub batch_hist: [u64; 16],
+    /// Deepest any single local-op queue ever got (high-watermark).
+    pub queue_depth_hwm: u64,
+    /// Deepest any single defer queue ever got (high-watermark).
+    pub defer_depth_hwm: u64,
+    /// Longest a deferred inbound message waited before being
+    /// re-dispatched or expired, in ns (high-watermark).
+    pub defer_age_max_ns: u64,
 }
 
 impl AdmitStats {
@@ -141,6 +148,21 @@ impl AdmitStats {
         self.max_batch = self.max_batch.max(n);
         let bucket = (63 - n.leading_zeros()) as usize;
         self.batch_hist[bucket.min(self.batch_hist.len() - 1)] += 1;
+    }
+
+    /// Raises the local-op queue-depth high-watermark to `depth`.
+    pub fn note_queue_depth(&mut self, depth: usize) {
+        self.queue_depth_hwm = self.queue_depth_hwm.max(depth as u64);
+    }
+
+    /// Raises the defer queue-depth high-watermark to `depth`.
+    pub fn note_defer_depth(&mut self, depth: usize) {
+        self.defer_depth_hwm = self.defer_depth_hwm.max(depth as u64);
+    }
+
+    /// Raises the deferred-message age high-watermark to `age_ns`.
+    pub fn note_defer_age(&mut self, age_ns: u64) {
+        self.defer_age_max_ns = self.defer_age_max_ns.max(age_ns);
     }
 }
 

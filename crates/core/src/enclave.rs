@@ -1076,7 +1076,9 @@ impl TeechainEnclave {
                         deadline_ns,
                         ready_ns: 0,
                     });
+                    let depth = q.len();
                     self.admit.stats.enqueued += 1;
+                    self.admit.stats.note_queue_depth(depth);
                     return Ok(vec![Effect::Event(HostEvent::PumpAt(deadline_ns))]);
                 }
             }
@@ -1148,7 +1150,9 @@ impl TeechainEnclave {
                 msg: ProtocolMsg::Pay { id, amount, count },
                 deadline_ns,
             });
+            let depth = dq.len();
             self.admit.stats.deferred += 1;
+            self.admit.stats.note_defer_depth(depth);
             return Ok(vec![Effect::Event(HostEvent::PumpAt(deadline_ns))]);
         }
         let chan = self.channel_mut(&id)?;
@@ -1674,6 +1678,9 @@ impl TeechainEnclave {
                     .then(|| q.pop_front().unwrap())
             }) {
                 self.admit.stats.expired += 1;
+                // Enqueue time is reconstructible: deadline - constant.
+                let age = now.saturating_sub(d.deadline_ns - DEFER_DEADLINE_NS);
+                self.admit.stats.note_defer_age(age);
                 self.refuse_deferred(d, ProtocolError::ChannelLocked, effects);
             }
         }
@@ -1735,6 +1742,10 @@ impl TeechainEnclave {
             let Some(d) = self.admit.deferred.get_mut(&id).and_then(|q| q.pop_front()) else {
                 break;
             };
+            let age = env
+                .now_ns()
+                .saturating_sub(d.deadline_ns - DEFER_DEADLINE_NS);
+            self.admit.stats.note_defer_age(age);
             match d.msg {
                 ProtocolMsg::Pay { id, amount, count } => {
                     match self.on_pay(env, d.from, id, amount, count) {

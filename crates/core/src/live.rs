@@ -81,6 +81,11 @@ pub struct LiveConfig {
     /// [`LiveCluster::new`] rejects it rather than silently running
     /// replication-mode enclaves with an empty committee.
     pub durability: DurabilityBackend,
+    /// Enable every node's flight recorder from launch. Timestamps are
+    /// wall-clock ns since the cluster epoch; drain the merged stream
+    /// with [`LiveCluster::drain_trace`]. Recording only happens when
+    /// the `trace-record` feature is compiled in.
+    pub tracing: bool,
 }
 
 impl Default for LiveConfig {
@@ -89,6 +94,7 @@ impl Default for LiveConfig {
             n: 2,
             seed: 7,
             durability: DurabilityBackend::None,
+            tracing: false,
         }
     }
 }
@@ -122,6 +128,15 @@ enum LiveReq {
     /// timeout): its typed `Timeout` completion is recorded like any
     /// other, keeping the stream exactly-once.
     ResolveDead { op: OpId, reply: Sender<bool> },
+    /// Snapshot the node's metrics registry (plus the loop's own
+    /// transport counters) — the live analogue of `Cluster::observe`.
+    Observe {
+        reply: Sender<teechain_trace::Registry>,
+    },
+    /// Drain the node's flight-recorder ring.
+    DrainTrace {
+        reply: Sender<Vec<teechain_trace::TraceEvent>>,
+    },
     /// Exit the event loop.
     Shutdown,
 }
@@ -206,8 +221,11 @@ impl LiveCluster {
         let mut completions = Vec::with_capacity(cfg.n);
         let mut workers = Vec::with_capacity(cfg.n);
         let mut pumps = Vec::with_capacity(cfg.n);
-        for (i, (node, endpoint)) in nodes.into_iter().zip(endpoints).enumerate() {
+        for (i, (mut node, endpoint)) in nodes.into_iter().zip(endpoints).enumerate() {
             assert_eq!(endpoint.local_id(), NodeId(i as u32), "endpoint order");
+            if cfg.tracing {
+                node.tracer.configure(true, None);
+            }
             let (tx, rx) = endpoint.split();
             let (input_tx, input_rx) = mpsc::channel::<Input>();
             let done = Arc::new(Mutex::new(Vec::new()));
@@ -220,6 +238,8 @@ impl LiveCluster {
                 epoch,
                 input: input_rx,
                 done: done.clone(),
+                sent_msgs: 0,
+                sent_bytes: 0,
             };
             workers.push(
                 std::thread::Builder::new()
@@ -506,6 +526,42 @@ impl LiveCluster {
         self.chain.lock().balance_p2pk(pk)
     }
 
+    // ---- Observability (the `teechain-trace` surface) ----
+
+    /// Snapshots the cluster-wide metrics registry — every node's
+    /// counters, admission totals, queue high-watermarks and the live
+    /// loops' transport counters, merged. Each node answers from its own
+    /// event loop, so the snapshot is per-node consistent (not a global
+    /// instant).
+    pub fn observe(&self) -> teechain_trace::Snapshot {
+        let mut reg = teechain_trace::Registry::new();
+        for req in &self.reqs {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            req.send(Input::Req(LiveReq::Observe { reply: reply_tx }))
+                .expect("node event loop is running");
+            reg.merge(&reply_rx.recv().expect("node event loop replies"));
+        }
+        reg.snapshot()
+    }
+
+    /// Drains every node's flight ring into one merged stream ordered by
+    /// `(ts_ns, node)`. Timestamps are wall-clock ns since the cluster
+    /// epoch, so the order is real-time (and, unlike sim traces, not
+    /// reproducible across runs).
+    pub fn drain_trace(&self) -> Vec<teechain_trace::TraceEvent> {
+        let streams: Vec<Vec<teechain_trace::TraceEvent>> = self
+            .reqs
+            .iter()
+            .map(|req| {
+                let (reply_tx, reply_rx) = mpsc::channel();
+                req.send(Input::Req(LiveReq::DrainTrace { reply: reply_tx }))
+                    .expect("node event loop is running");
+                reply_rx.recv().expect("node event loop replies")
+            })
+            .collect();
+        teechain_trace::merge_events(streams)
+    }
+
     /// Stops every event loop and pump, joins all threads and returns
     /// the final nodes (for balance and state assertions).
     pub fn shutdown(self) -> Vec<TeechainNode> {
@@ -561,6 +617,11 @@ struct NodeLoop<Tx: TransportTx> {
     input: Receiver<Input>,
     /// Published completion stream (shared with the harness).
     done: Arc<Mutex<Vec<Completion>>>,
+    /// Transport messages this loop put on the wire (the live analogue
+    /// of the simulator's `SimStats.messages`).
+    sent_msgs: u64,
+    /// Transport payload bytes sent.
+    sent_bytes: u64,
 }
 
 /// Longest the event loop sleeps with no timer armed (keeps shutdown and
@@ -581,6 +642,8 @@ impl<Tx: TransportTx> NodeLoop<Tx> {
                     // A dead peer is indistinguishable from a crashed
                     // machine: traffic to it is dropped, exactly like the
                     // simulator's offline handling.
+                    self.sent_msgs += 1;
+                    self.sent_bytes += msg.len() as u64;
                     let _ = self.tx.send(to, msg);
                 }
                 NodeAction::Timer { delay_ns, token } => {
@@ -653,6 +716,15 @@ impl<Tx: TransportTx> NodeLoop<Tx> {
                 let resolved = self.node.resolve_dead_op(op, now).is_some();
                 self.publish();
                 let _ = reply.send(resolved);
+            }
+            LiveReq::Observe { reply } => {
+                let mut reg = self.node.registry();
+                reg.counter("live.sent_msgs", self.sent_msgs);
+                reg.counter("live.sent_bytes", self.sent_bytes);
+                let _ = reply.send(reg);
+            }
+            LiveReq::DrainTrace { reply } => {
+                let _ = reply.send(self.node.tracer.drain());
             }
             LiveReq::Shutdown => return false,
         }

@@ -226,7 +226,9 @@ impl TeechainEnclave {
                 deadline_ns,
                 ready_ns: 0,
             });
+            let depth = q.len();
             self.admit.stats.enqueued += 1;
+            self.admit.stats.note_queue_depth(depth);
             return Ok(vec![Effect::Event(HostEvent::PumpAt(deadline_ns))]);
         }
         self.pay_multihop_inner(route_id, hops, channels, amount)
@@ -385,7 +387,9 @@ impl TeechainEnclave {
                             msg: ProtocolMsg::MhLock(m),
                             deadline_ns,
                         });
+                        let depth = dq.len();
                         self.admit.stats.deferred += 1;
+                        self.admit.stats.note_defer_depth(depth);
                         return Ok(vec![Effect::Event(HostEvent::PumpAt(deadline_ns))]);
                     }
                 }
@@ -782,8 +786,10 @@ impl TeechainEnclave {
             deadline_ns: env.now_ns() + crate::admit::ADMIT_DEADLINE_NS,
             ready_ns,
         });
+        let depth = q.len();
         self.admit.stats.enqueued += 1;
         self.admit.stats.requeued += 1;
+        self.admit.stats.note_queue_depth(depth);
         Some(Effect::Event(HostEvent::PumpAt(ready_ns)))
     }
 

@@ -14,6 +14,7 @@ use teechain_crypto::schnorr::{PublicKey, Signature};
 use teechain_net::{Ctx, NodeId};
 use teechain_persist::SharedStore;
 use teechain_tee::{DeviceIdentity, Enclave, Measurement};
+use teechain_trace::{span, EventKind, Tracer};
 use teechain_util::codec::{Decode, Encode, Reader, WireError};
 
 /// Node-to-node wire wrapper: enclave traffic plus host-level committee
@@ -133,6 +134,10 @@ pub struct TeechainNode {
     /// Errors surfaced while delivering messages (protocol violations by
     /// peers are dropped, as a real implementation logs-and-drops).
     pub delivery_errors: Vec<ProtocolError>,
+    /// Host-side flight recorder: causal spans + ring buffer. Disabled
+    /// by default (one branch per instrumentation site); compiled out
+    /// entirely without the `trace-record` feature.
+    pub tracer: Tracer,
     /// Operations whose dispatch hit [`ProtocolError::CounterThrottled`],
     /// awaiting re-dispatch (FIFO) on the next admission pump.
     throttled: std::collections::VecDeque<u64>,
@@ -172,6 +177,7 @@ impl TeechainNode {
             ops: OpTracker::default(),
             broadcasts: Vec::new(),
             delivery_errors: Vec::new(),
+            tracer: Tracer::default(),
             throttled: std::collections::VecDeque::new(),
             pump_armed_until: 0,
         }
@@ -252,10 +258,12 @@ impl TeechainNode {
 
     /// Issues a command to the enclave and performs the resulting effects.
     pub fn command(&mut self, ctx: &mut Ctx<'_>, cmd: Command) -> Result<(), ProtocolError> {
+        let t = self.trace_ecall_begin(ctx.now_ns());
         let outcome = self
             .enclave
             .call(ctx.now_ns(), cmd)
             .map_err(|_| ProtocolError::Frozen)?;
+        self.trace_ecall_end(ctx.now_ns(), t);
         let effects = outcome?;
         self.perform(ctx, effects);
         Ok(())
@@ -268,7 +276,10 @@ impl TeechainNode {
         };
         match msg {
             NodeWire::Enclave(wire) => {
+                self.trace_wire_recv(ctx.now_ns(), &wire);
+                let t = self.trace_ecall_begin(ctx.now_ns());
                 let result = self.enclave.call(ctx.now_ns(), Command::Deliver { wire });
+                self.trace_ecall_end(ctx.now_ns(), t);
                 match result {
                     Err(_) => {} // Crashed enclave drops traffic.
                     Ok(Ok(effects)) => self.perform(ctx, effects),
@@ -281,9 +292,23 @@ impl TeechainNode {
                 }
             }
             NodeWire::SigRequest { req_id, origin, tx } => {
+                if self.tracer.enabled() {
+                    let s = span::sig_span(req_id, &origin.to_bytes(), 0);
+                    self.tracer.record(
+                        ctx.now_ns(),
+                        EventKind::WireRecv,
+                        s,
+                        0,
+                        bytes.len() as u64,
+                        0,
+                    );
+                    self.tracer.set_cause(s);
+                }
+                let t = self.trace_ecall_begin(ctx.now_ns());
                 let result = self
                     .enclave
                     .call(ctx.now_ns(), Command::CoSign { req_id, tx });
+                self.trace_ecall_end(ctx.now_ns(), t);
                 if let Ok(Ok(effects)) = result {
                     // CoSignResult events answer back to the origin node.
                     for e in effects {
@@ -299,7 +324,19 @@ impl TeechainNode {
                                     sigs,
                                     refused,
                                 };
-                                ctx.send(node, resp.encode_to_vec());
+                                let enc = resp.encode_to_vec();
+                                if self.tracer.enabled() {
+                                    let s = span::sig_span(req_id, &origin.to_bytes(), 1);
+                                    self.tracer.record(
+                                        ctx.now_ns(),
+                                        EventKind::WireSend,
+                                        s,
+                                        self.tracer.cause(),
+                                        enc.len() as u64,
+                                        0,
+                                    );
+                                }
+                                ctx.send(node, enc);
                             }
                         } else {
                             self.perform(ctx, vec![e]);
@@ -308,9 +345,27 @@ impl TeechainNode {
                 }
             }
             NodeWire::SigResponse { req_id, sigs, .. } => {
+                if self.tracer.enabled() {
+                    // We are the origin the request named, so both ends
+                    // derive the response span from our identity.
+                    if let Some(me) = self.identity {
+                        let s = span::sig_span(req_id, &me.to_bytes(), 1);
+                        self.tracer.record(
+                            ctx.now_ns(),
+                            EventKind::WireRecv,
+                            s,
+                            0,
+                            bytes.len() as u64,
+                            0,
+                        );
+                        self.tracer.set_cause(s);
+                    }
+                }
+                let t = self.trace_ecall_begin(ctx.now_ns());
                 let result = self
                     .enclave
                     .call(ctx.now_ns(), Command::AddCoSigs { req_id, sigs });
+                self.trace_ecall_end(ctx.now_ns(), t);
                 if let Ok(Ok(effects)) = result {
                     self.perform(ctx, effects);
                 }
@@ -334,6 +389,8 @@ impl TeechainNode {
         if token & OP_TAG_MASK == OP_DEADLINE_TAG {
             let seq = token & !OP_TAG_MASK;
             if let Some(c) = self.ops.cancel(seq, ctx.now_ns()) {
+                self.tracer.set_cause(0); // A deadline firing has no cause.
+                self.trace_completion(ctx.now_ns(), &c);
                 self.completions.push(c);
             }
             return;
@@ -350,7 +407,12 @@ impl TeechainNode {
     /// messages) and then re-dispatches any host-side throttled
     /// operations FIFO.
     fn pump(&mut self, ctx: &mut Ctx<'_>) {
-        match self.enclave.call(ctx.now_ns(), Command::PumpAdmission) {
+        self.tracer.set_cause(0); // Timer-driven: the pump ecall is a root.
+        let t = self.trace_ecall_begin(ctx.now_ns());
+        let result = self.enclave.call(ctx.now_ns(), Command::PumpAdmission);
+        self.trace_ecall_end(ctx.now_ns(), t);
+        let pump_span = self.tracer.cause();
+        match result {
             Ok(Ok(effects)) => self.perform(ctx, effects),
             Ok(Err(ProtocolError::CounterThrottled { ready_at })) => {
                 self.schedule_pump(ctx, ready_at);
@@ -365,6 +427,13 @@ impl TeechainNode {
                 break;
             };
             if self.ops.is_pending(seq) {
+                if self.tracer.enabled() {
+                    // Un-park: the op leaves the host throttle queue,
+                    // causally released by this pump.
+                    let s = span::op_span(ctx.self_id().0, seq);
+                    self.tracer
+                        .record(ctx.now_ns(), EventKind::QueueExit, s, pump_span, 0, 0);
+                }
                 self.dispatch_op(ctx, seq);
             }
         }
@@ -377,6 +446,7 @@ impl TeechainNode {
             match effect {
                 Effect::Send { to, wire } => {
                     if let Some(&node) = self.directory.get(&to) {
+                        self.trace_wire_send(ctx.now_ns(), &to, &wire);
                         ctx.send(node, NodeWire::Enclave(wire).encode_to_vec());
                     }
                 }
@@ -400,6 +470,17 @@ impl TeechainNode {
                             .lock()
                             .append_commit(&blob)
                             .expect("durable WAL append failed; node cannot continue");
+                        if self.tracer.enabled() {
+                            let cause = self.tracer.cause();
+                            self.tracer.record(
+                                ctx.now_ns(),
+                                EventKind::WalAppend,
+                                cause,
+                                cause,
+                                blob.len() as u64,
+                                0,
+                            );
+                        }
                     }
                 }
                 Effect::Persist(blob) => {
@@ -408,6 +489,17 @@ impl TeechainNode {
                             .lock()
                             .install_snapshot(&blob)
                             .expect("durable snapshot install failed; node cannot continue");
+                    }
+                    if self.tracer.enabled() {
+                        let cause = self.tracer.cause();
+                        self.tracer.record(
+                            ctx.now_ns(),
+                            EventKind::WalSnapshot,
+                            cause,
+                            cause,
+                            blob.len() as u64,
+                            0,
+                        );
                     }
                     self.sealed_store = Some(blob);
                 }
@@ -452,7 +544,22 @@ impl TeechainNode {
                             origin: me,
                             tx: tx.clone(),
                         };
-                        ctx.send(node, req.encode_to_vec());
+                        let enc = req.encode_to_vec();
+                        if self.tracer.enabled() {
+                            // One span for the whole fan-out: every
+                            // receiver derives the same id from
+                            // (req_id, origin).
+                            let s = span::sig_span(*req_id, &me.to_bytes(), 0);
+                            self.tracer.record(
+                                ctx.now_ns(),
+                                EventKind::WireSend,
+                                s,
+                                self.tracer.cause(),
+                                enc.len() as u64,
+                                0,
+                            );
+                        }
+                        ctx.send(node, enc);
                     }
                 }
             }
@@ -484,9 +591,155 @@ impl TeechainNode {
     /// the internal notification stream.
     fn note_event(&mut self, now_ns: u64, event: HostEvent) {
         if let Some(c) = self.ops.observe(&event, now_ns) {
+            self.trace_completion(now_ns, &c);
             self.completions.push(c);
         }
         self.events.push((now_ns, event));
+    }
+
+    // ---- Trace instrumentation (host-side flight recorder) ----
+    //
+    // Every helper early-returns unless the tracer is enabled, and
+    // `Tracer::enabled` is a compile-time `false` without the
+    // `trace-record` feature — the span derivation below (decoding wire
+    // headers, cloning admission stats) folds away entirely.
+
+    /// Marks an enclave entry: mints the node's next deterministic ecall
+    /// span, records it parented to the current cause, makes it the new
+    /// cause (so effects performed during the call chain under it), and
+    /// snapshots admission stats for [`TeechainNode::trace_ecall_end`]'s
+    /// delta events. Returns `None` (and records nothing) when disabled.
+    fn trace_ecall_begin(&mut self, now_ns: u64) -> Option<crate::admit::AdmitStats> {
+        if !self.tracer.enabled() {
+            return None;
+        }
+        let parent = self.tracer.cause();
+        let span = self.tracer.next_ecall_span();
+        self.tracer
+            .record(now_ns, EventKind::Ecall, span, parent, 0, 0);
+        self.tracer.set_cause(span);
+        self.enclave.program().map(|p| p.admit_stats().clone())
+    }
+
+    /// Emits admission-layer events for whatever the ecall did to the
+    /// in-enclave queues, derived host-side from the stats delta — the
+    /// enclave itself records nothing (its sealed state and effect
+    /// vocabulary stay trace-free).
+    fn trace_ecall_end(&mut self, now_ns: u64, before: Option<crate::admit::AdmitStats>) {
+        let Some(before) = before else {
+            return;
+        };
+        let Some(after) = self.enclave.program().map(|p| p.admit_stats().clone()) else {
+            return;
+        };
+        let cause = self.tracer.cause();
+        // Saturating: a crash-restart inside the window resets the stats.
+        let d = u64::saturating_sub;
+        let deltas = [
+            (EventKind::QueueEnter, d(after.enqueued, before.enqueued), 0),
+            (EventKind::AdmitDefer, d(after.deferred, before.deferred), 0),
+            (
+                EventKind::AdmitBatch,
+                d(after.batches, before.batches),
+                d(after.batched_payments, before.batched_payments),
+            ),
+            (
+                EventKind::AdmitReroute,
+                d(after.rerouted, before.rerouted),
+                0,
+            ),
+            (EventKind::AdmitExpire, d(after.expired, before.expired), 0),
+        ];
+        for (kind, a, b) in deltas {
+            if a > 0 {
+                self.tracer.record(now_ns, kind, cause, cause, a, b);
+            }
+        }
+    }
+
+    /// Records an inbound sealed frame and makes its span — the same id
+    /// the sender minted from the `(from, to, seq)` header — the current
+    /// cause, stitching the cross-node causal edge with zero wire bytes.
+    fn trace_wire_recv(&mut self, now_ns: u64, wire: &[u8]) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let Some(me) = self.identity else {
+            return;
+        };
+        if let Ok(crate::msg::WireMsg::Sealed { from, seq, .. }) =
+            crate::msg::WireMsg::decode_exact(wire)
+        {
+            let s = span::wire_span(&from.to_bytes(), &me.to_bytes(), seq);
+            self.tracer
+                .record(now_ns, EventKind::WireRecv, s, 0, wire.len() as u64, 0);
+            self.tracer.set_cause(s);
+        }
+    }
+
+    /// Records an outbound sealed frame, parented to the emitting ecall.
+    fn trace_wire_send(&mut self, now_ns: u64, to: &PublicKey, wire: &[u8]) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        if let Ok(crate::msg::WireMsg::Sealed { from, seq, .. }) =
+            crate::msg::WireMsg::decode_exact(wire)
+        {
+            let s = span::wire_span(&from.to_bytes(), &to.to_bytes(), seq);
+            self.tracer.record(
+                now_ns,
+                EventKind::WireSend,
+                s,
+                self.tracer.cause(),
+                wire.len() as u64,
+                0,
+            );
+        }
+    }
+
+    /// Records an operation's terminal completion against its root span.
+    fn trace_completion(&mut self, now_ns: u64, c: &Completion) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let s = span::op_span(c.op.node, c.op.seq);
+        self.tracer.record(
+            now_ns,
+            EventKind::OpComplete,
+            s,
+            self.tracer.cause(),
+            c.outcome.is_ok() as u64,
+            0,
+        );
+    }
+
+    /// Snapshots this node's metrics into a fresh registry: host-level
+    /// counters, admission totals and the queue-depth/defer-age
+    /// high-watermarks as gauges. Mergeable across nodes (counters add,
+    /// gauges take the max).
+    pub fn registry(&self) -> teechain_trace::Registry {
+        let mut r = teechain_trace::Registry::new();
+        r.counter("node.completions", self.completions.len() as u64);
+        r.counter("node.events", self.events.len() as u64);
+        r.counter("node.broadcasts", self.broadcasts.len() as u64);
+        r.counter("node.delivery_errors", self.delivery_errors.len() as u64);
+        r.counter("trace.dropped", self.tracer.dropped());
+        r.counter("trace.buffered", self.tracer.len() as u64);
+        if let Some(a) = self.enclave.program().map(|p| p.admit_stats()) {
+            r.counter("admit.enqueued", a.enqueued);
+            r.counter("admit.deferred", a.deferred);
+            r.counter("admit.batches", a.batches);
+            r.counter("admit.batched_payments", a.batched_payments);
+            r.counter("admit.expired", a.expired);
+            r.counter("admit.flushed", a.flushed);
+            r.counter("admit.requeued", a.requeued);
+            r.counter("admit.rerouted", a.rerouted);
+            r.gauge_max("admit.queue_depth_hwm", a.queue_depth_hwm);
+            r.gauge_max("admit.defer_depth_hwm", a.defer_depth_hwm);
+            r.gauge_max("admit.defer_age_max_ns", a.defer_age_max_ns);
+            r.gauge_max("admit.max_batch", a.max_batch);
+        }
+        r
     }
 
     // ---- Correlated operations (the `ops` layer) ----
@@ -553,6 +806,12 @@ impl TeechainNode {
         deadline_ns: Option<u64>,
     ) -> OpId {
         let op = self.ops.register(ctx.self_id().0, job, key);
+        if self.tracer.enabled() {
+            // Root of the operation's causal tree (parent 0).
+            let s = span::op_span(op.node, op.seq);
+            self.tracer
+                .record(ctx.now_ns(), EventKind::OpSubmit, s, 0, op.seq, 0);
+        }
         if let Some(deadline) = deadline_ns {
             let delay = deadline.saturating_sub(ctx.now_ns()).max(1);
             ctx.set_timer(delay, OP_DEADLINE_TAG | op.seq);
@@ -568,6 +827,11 @@ impl TeechainNode {
         let Some(job) = self.ops.job(seq) else {
             return;
         };
+        if self.tracer.enabled() {
+            // Whatever the dispatch does (ecalls, sends) descends from
+            // the operation's root span.
+            self.tracer.set_cause(span::op_span(ctx.self_id().0, seq));
+        }
         let result: Result<Option<OpOutput>, ProtocolError> = match job {
             OpJob::Cmd(cmd) => self.command(ctx, cmd).map(|()| None),
             OpJob::FundDeposit { value, m } => self
@@ -593,6 +857,17 @@ impl TeechainNode {
             Err(ProtocolError::CounterThrottled { ready_at }) => {
                 // Park the op; the admission pump re-dispatches FIFO once
                 // the counter is ready.
+                if self.tracer.enabled() {
+                    let s = span::op_span(ctx.self_id().0, seq);
+                    self.tracer.record(
+                        ctx.now_ns(),
+                        EventKind::QueueEnter,
+                        s,
+                        self.tracer.cause(),
+                        0,
+                        0,
+                    );
+                }
                 self.throttled.push_back(seq);
                 self.schedule_pump(ctx, ready_at);
             }
@@ -634,6 +909,7 @@ impl TeechainNode {
 
     fn finish_op(&mut self, seq: u64, now_ns: u64, outcome: Result<OpOutput, OpError>) {
         if let Some(c) = self.ops.complete(seq, now_ns, outcome) {
+            self.trace_completion(now_ns, &c);
             self.completions.push(c);
         }
     }
@@ -643,6 +919,8 @@ impl TeechainNode {
     /// completion. `None` if the operation already completed.
     pub fn resolve_dead_op(&mut self, op: OpId, now_ns: u64) -> Option<Completion> {
         let c = self.ops.cancel(op.seq, now_ns)?;
+        self.tracer.set_cause(0); // Quiescence resolution has no cause.
+        self.trace_completion(now_ns, &c);
         self.completions.push(c.clone());
         Some(c)
     }
@@ -657,6 +935,10 @@ impl TeechainNode {
     pub fn resolve_all_dead(&mut self, now_ns: u64) -> usize {
         let dead = self.ops.cancel_all(now_ns);
         let n = dead.len();
+        self.tracer.set_cause(0); // Quiescence resolution has no cause.
+        for c in &dead {
+            self.trace_completion(now_ns, c);
+        }
         self.completions.extend(dead);
         n
     }

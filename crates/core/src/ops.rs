@@ -152,6 +152,32 @@ pub enum OpOutput {
     Done,
 }
 
+impl OpOutput {
+    /// Stable kind label, keying the per-op-type latency histograms in
+    /// bench reports (`latency.<kind>` in `BENCH_*.json`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            OpOutput::Identity(_) => "identity",
+            OpOutput::Address(_) => "address",
+            OpOutput::Committee(_) => "committee",
+            OpOutput::SessionEstablished(_) => "session",
+            OpOutput::ChannelOpen(_) => "channel_open",
+            OpOutput::DepositFunded(_) => "deposit_funded",
+            OpOutput::DepositApproved { .. } => "deposit_approved",
+            OpOutput::DepositAssociated { .. } => "deposit_associated",
+            OpOutput::DepositDissociated { .. } => "deposit_dissociated",
+            OpOutput::PaymentApplied { .. } => "payment",
+            OpOutput::MultihopDelivered { .. } => "multihop",
+            OpOutput::Settled { .. } => "settle",
+            OpOutput::BackupAttached(_) => "backup_attached",
+            OpOutput::ReplicaState { .. } => "replica_state",
+            OpOutput::CoSigned { .. } => "cosigned",
+            OpOutput::Recovered { .. } => "recovered",
+            OpOutput::Done => "done",
+        }
+    }
+}
+
 /// Typed failure of a completed operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum OpError {

@@ -120,6 +120,7 @@ pub(crate) fn build_wired_nodes(
         } else {
             stores.push(None);
         }
+        node.tracer.set_node(i as u32);
         nodes.push(node);
     }
     let ids: Vec<PublicKey> = nodes.iter_mut().map(|n| n.identity(0)).collect();
@@ -302,6 +303,46 @@ impl Cluster {
             .map(|i| self.node(i).completions.as_slice())
             .collect();
         crate::ops::merge_completions(&streams)
+    }
+
+    // ---- Observability (the `teechain-trace` surface) ----
+
+    /// Turns the flight recorder on (or off) on every node. Recording is
+    /// passive — it touches no simulated clock, RNG or wire bytes — so
+    /// the completion history is identical either way. With the
+    /// `trace-record` feature compiled out this sets a flag nobody reads.
+    pub fn set_tracing(&mut self, on: bool) {
+        for i in 0..self.sim.len() {
+            self.node_mut(i).tracer.configure(on, None);
+        }
+    }
+
+    /// Drains every node's flight ring into one merged, deterministic
+    /// stream (ordered by `(ts_ns, node)`; per-node order preserved).
+    /// Under the sim engines the encoded bytes of this stream are
+    /// identical across reruns and shard counts.
+    pub fn drain_trace(&mut self) -> Vec<teechain_trace::TraceEvent> {
+        let streams: Vec<Vec<teechain_trace::TraceEvent>> = (0..self.sim.len())
+            .map(|i| self.node_mut(i).tracer.drain())
+            .collect();
+        teechain_trace::merge_events(streams)
+    }
+
+    /// Snapshots the cluster-wide metrics registry: every node's
+    /// counters, admission totals and queue high-watermarks merged
+    /// (counters add, gauges max, histograms concatenate), plus the
+    /// engine's own delivery counters under `sim.*`.
+    pub fn observe(&self) -> teechain_trace::Snapshot {
+        let mut reg = teechain_trace::Registry::new();
+        for i in 0..self.sim.len() {
+            reg.merge(&self.node(i).registry());
+        }
+        let s = self.sim.stats();
+        reg.counter("sim.messages", s.messages);
+        reg.counter("sim.bytes", s.bytes);
+        reg.counter("sim.events", s.events);
+        reg.counter("sim.dropped", s.dropped);
+        reg.snapshot()
     }
 
     /// A typed operation handle for node `i`.

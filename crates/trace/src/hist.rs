@@ -1,0 +1,207 @@
+//! Latency statistics, matching the paper's reporting format
+//! (average and 99th percentile).
+//!
+//! Lived in `teechain-net` historically; moved here so the metrics
+//! registry, the bench harness and the engines all share one type
+//! (`teechain-net` re-exports it for compatibility).
+
+/// A simple exact histogram: stores all samples.
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    samples: Vec<u64>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a sample (e.g. a latency in nanoseconds).
+    pub fn record(&mut self, v: u64) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Raw samples (unsorted order not guaranteed).
+    pub fn samples(&self) -> &[u64] {
+        &self.samples
+    }
+
+    /// Folds another histogram's samples into this one — the shard/run
+    /// aggregation primitive. Quantiles of the merged histogram are
+    /// exact (samples are stored, not bucketed), so merging per-shard
+    /// histograms gives the same percentiles as one global histogram.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.samples.is_empty() {
+            return;
+        }
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// The `q`-quantile (0.0..=1.0) by nearest-rank; 0 if empty.
+    pub fn quantile(&mut self, q: f64) -> u64 {
+        if self.samples.is_empty() {
+            return 0;
+        }
+        self.ensure_sorted();
+        let rank = ((self.samples.len() as f64) * q).ceil() as usize;
+        self.samples[rank.clamp(1, self.samples.len()) - 1]
+    }
+
+    /// Median.
+    pub fn p50(&mut self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile — the bracketed figure in Tables 1 and 2.
+    pub fn p99(&mut self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile — the tail the per-op-kind latency sections
+    /// report.
+    pub fn p999(&mut self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Maximum sample (0 if empty).
+    pub fn max(&mut self) -> u64 {
+        self.ensure_sorted();
+        self.samples.last().copied().unwrap_or(0)
+    }
+
+    /// Minimum sample (0 if empty).
+    pub fn min(&mut self) -> u64 {
+        self.ensure_sorted();
+        self.samples.first().copied().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p99(), 0);
+        assert_eq!(h.p999(), 0);
+    }
+
+    #[test]
+    fn mean_and_quantiles() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.mean(), 50.5);
+        assert_eq!(h.p50(), 50);
+        assert_eq!(h.p99(), 99);
+        assert_eq!(h.p999(), 100);
+        assert_eq!(h.quantile(1.0), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+    }
+
+    #[test]
+    fn p999_separates_from_p99_at_scale() {
+        let mut h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.p99(), 9_900);
+        assert_eq!(h.p999(), 9_990);
+    }
+
+    #[test]
+    fn interleaved_record_and_query() {
+        let mut h = Histogram::new();
+        h.record(10);
+        assert_eq!(h.p50(), 10);
+        h.record(20);
+        h.record(30);
+        assert_eq!(h.p50(), 20);
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn merge_equals_global_recording() {
+        // Recording 1..=100 split across three shards and merging gives
+        // exactly the same statistics as one global histogram.
+        let mut global = Histogram::new();
+        let mut shards = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for v in 1..=100u64 {
+            global.record(v);
+            shards[(v % 3) as usize].record(v);
+        }
+        let mut merged = Histogram::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.len(), global.len());
+        assert_eq!(merged.mean(), global.mean());
+        assert_eq!(merged.p50(), global.p50());
+        assert_eq!(merged.p99(), global.p99());
+        assert_eq!(merged.min(), global.min());
+        assert_eq!(merged.max(), global.max());
+    }
+
+    #[test]
+    fn merge_empty_is_identity_and_resets_sort() {
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(1);
+        assert_eq!(h.p50(), 1); // Forces a sort.
+        let empty = Histogram::new();
+        h.merge(&empty);
+        assert_eq!(h.len(), 2);
+        let mut other = Histogram::new();
+        other.record(0);
+        h.merge(&other);
+        // Still correct after merging into a previously-sorted histogram.
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 5);
+        let mut into_empty = Histogram::new();
+        into_empty.merge(&h);
+        assert_eq!(into_empty.len(), 3);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!(h.p50(), 42);
+        assert_eq!(h.p99(), 42);
+        assert_eq!(h.mean(), 42.0);
+    }
+}

@@ -1,0 +1,82 @@
+//! `teechain-trace`: the observability layer of the reproduction.
+//!
+//! Three pillars, all hand-rolled (the workspace vendors every
+//! dependency; no `tracing` crate):
+//!
+//! * **Causal spans** ([`span`]) — every operation, enclave ecall and
+//!   wire frame gets a 64-bit span id, derived *deterministically* from
+//!   protocol state that both endpoints of an edge already see (operation
+//!   ids, sealed-frame `(from, to, seq)` headers, route ids). No trace
+//!   context ever rides on the wire: message bytes feed the simulator's
+//!   bandwidth model, so adding envelope bytes would change simulated
+//!   timing and break the "tracing on == tracing off" determinism
+//!   guarantee. Parent links are recorded host-side instead, and
+//!   [`span::SpanTree`] rebuilds the causal tree offline.
+//! * **Flight recorder** ([`Tracer`] over [`Ring`]) — a fixed-capacity
+//!   per-node ring buffer of compact binary [`TraceEvent`]s, overwriting
+//!   the oldest on overflow (counted, never silently). Host side only:
+//!   the enclave's sealed state and the wire format are untouched.
+//! * **Metrics registry** ([`Registry`]) — named counters, gauges and
+//!   the exact [`Histogram`] behind one snapshot-able surface, merged
+//!   across nodes/shards for `Cluster::observe()` and the `BENCH_*.json`
+//!   artifacts.
+//!
+//! # Cost model
+//!
+//! Recording compiles out entirely without the `record` cargo feature:
+//! [`Tracer::record`] is an inlined empty stub and
+//! [`Tracer::enabled`] is a compile-time `false`, so guarded call sites
+//! fold away. With the feature on, a *disabled* tracer (the default)
+//! costs one branch per site and allocates nothing — rings allocate
+//! lazily on first push. Timestamps are supplied by the caller: sim-time
+//! under the engines, monotonic wall-clock under the live runtime, which
+//! is what keeps sim traces bit-reproducible.
+
+pub mod event;
+pub mod hist;
+pub mod metrics;
+pub mod ring;
+pub mod span;
+pub mod tracer;
+
+pub use event::{EventKind, TraceEvent};
+pub use hist::Histogram;
+pub use metrics::{HistSummary, Registry, Snapshot};
+pub use ring::Ring;
+pub use span::SpanTree;
+pub use tracer::Tracer;
+
+/// Merges per-node drained event streams into one deterministic
+/// cluster-wide stream, ordered by `(ts_ns, node)` with each node's own
+/// insertion order preserved (stable sort). Under the simulated engines
+/// this order — and therefore [`event::encode_all`] of the result — is
+/// identical for any shard count and across reruns.
+pub fn merge_events(streams: Vec<Vec<TraceEvent>>) -> Vec<TraceEvent> {
+    let mut all: Vec<TraceEvent> = streams.into_iter().flatten().collect();
+    all.sort_by_key(|e| (e.ts_ns, e.node));
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_by_time_then_node_stably() {
+        let ev = |ts, node, a| TraceEvent {
+            ts_ns: ts,
+            node,
+            kind: EventKind::Mark,
+            span: 1,
+            parent: 0,
+            a,
+            b: 0,
+        };
+        let merged = merge_events(vec![
+            vec![ev(5, 1, 0), ev(5, 1, 1)],
+            vec![ev(3, 0, 2), ev(5, 0, 3)],
+        ]);
+        let key: Vec<(u64, u32, u64)> = merged.iter().map(|e| (e.ts_ns, e.node, e.a)).collect();
+        assert_eq!(key, vec![(3, 0, 2), (5, 0, 3), (5, 1, 0), (5, 1, 1)]);
+    }
+}

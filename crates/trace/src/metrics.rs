@@ -1,0 +1,214 @@
+//! The unified metrics registry: named counters, gauges and exact
+//! histograms behind one snapshot-able, mergeable surface.
+//!
+//! Counters add across nodes, gauges take the max (they are
+//! high-watermarks), histograms merge sample-exactly — so folding
+//! per-node registries into one gives the same numbers a single global
+//! registry would have seen. `BTreeMap` keys keep iteration (and every
+//! emitted JSON) deterministically ordered.
+
+use std::collections::BTreeMap;
+
+use crate::hist::Histogram;
+
+/// A mergeable bag of named metrics.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, u64>,
+    hists: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `v` to the named counter (a zero add still materializes the
+    /// key, so snapshots list the metric).
+    pub fn counter(&mut self, name: &str, v: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += v;
+    }
+
+    /// Sets the named gauge to `v` (last write wins).
+    pub fn gauge(&mut self, name: &str, v: u64) {
+        self.gauges.insert(name.to_string(), v);
+    }
+
+    /// Raises the named gauge to `v` if higher — the high-watermark
+    /// primitive.
+    pub fn gauge_max(&mut self, name: &str, v: u64) {
+        let g = self.gauges.entry(name.to_string()).or_insert(0);
+        if v > *g {
+            *g = v;
+        }
+    }
+
+    /// Records a sample into the named histogram.
+    pub fn hist(&mut self, name: &str, sample: u64) {
+        self.hists
+            .entry(name.to_string())
+            .or_default()
+            .record(sample);
+    }
+
+    /// Merges a histogram wholesale under `name` (bench aggregation).
+    pub fn hist_merge(&mut self, name: &str, h: &Histogram) {
+        self.hists.entry(name.to_string()).or_default().merge(h);
+    }
+
+    /// Folds `other` in: counters add, gauges take the max, histograms
+    /// merge their samples.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauge_max(k, *v);
+        }
+        for (k, h) in &other.hists {
+            self.hist_merge(k, h);
+        }
+    }
+
+    /// Reads a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Reads a gauge (0 if never set).
+    pub fn gauge_value(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Freezes the current state into an ordered, summary-form snapshot.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            hists: self
+                .hists
+                .iter()
+                .map(|(k, h)| (k.clone(), HistSummary::of(&mut h.clone())))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time, plain-data view of a [`Registry`].
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Monotonic totals.
+    pub counters: BTreeMap<String, u64>,
+    /// Levels / high-watermarks.
+    pub gauges: BTreeMap<String, u64>,
+    /// Summarized latency distributions.
+    pub hists: BTreeMap<String, HistSummary>,
+}
+
+/// The summary form a histogram takes in snapshots and `BENCH_*.json`
+/// latency sections.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct HistSummary {
+    /// Sample count.
+    pub count: u64,
+    /// Arithmetic mean, in the samples' unit (ns throughout this repo).
+    pub mean_ns: f64,
+    /// Minimum sample.
+    pub min: u64,
+    /// Median.
+    pub p50: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+    /// Maximum sample.
+    pub max: u64,
+}
+
+impl HistSummary {
+    /// Summarizes a histogram (zeros if empty).
+    pub fn of(h: &mut Histogram) -> HistSummary {
+        HistSummary {
+            count: h.len() as u64,
+            mean_ns: h.mean(),
+            min: h.min(),
+            p50: h.p50(),
+            p99: h.p99(),
+            p999: h.p999(),
+            max: h.max(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_gauges_max_hists_merge() {
+        let mut a = Registry::new();
+        a.counter("ops", 3);
+        a.gauge_max("queue_depth_hwm", 5);
+        a.hist("lat", 10);
+        a.hist("lat", 30);
+
+        let mut b = Registry::new();
+        b.counter("ops", 4);
+        b.gauge_max("queue_depth_hwm", 2);
+        b.hist("lat", 20);
+
+        a.merge(&b);
+        assert_eq!(a.counter_value("ops"), 7);
+        assert_eq!(a.gauge_value("queue_depth_hwm"), 5);
+        let snap = a.snapshot();
+        let lat = snap.hists["lat"];
+        assert_eq!(lat.count, 3);
+        assert_eq!(lat.min, 10);
+        assert_eq!(lat.max, 30);
+        assert_eq!(lat.p50, 20);
+    }
+
+    #[test]
+    fn gauge_set_vs_max() {
+        let mut r = Registry::new();
+        r.gauge("depth", 9);
+        r.gauge("depth", 4); // Plain set: last write wins.
+        assert_eq!(r.gauge_value("depth"), 4);
+        r.gauge_max("depth", 2); // Max: never lowers.
+        assert_eq!(r.gauge_value("depth"), 4);
+        r.gauge_max("depth", 11);
+        assert_eq!(r.gauge_value("depth"), 11);
+    }
+
+    #[test]
+    fn snapshot_is_ordered_and_zero_safe() {
+        let mut r = Registry::new();
+        r.counter("b", 1);
+        r.counter("a", 0);
+        let snap = r.snapshot();
+        let keys: Vec<&String> = snap.counters.keys().collect();
+        assert_eq!(keys, vec!["a", "b"]);
+        assert_eq!(snap.counters["a"], 0);
+        assert!(snap.hists.is_empty());
+    }
+
+    #[test]
+    fn merged_registry_matches_global() {
+        let mut global = Registry::new();
+        let mut shards = vec![Registry::new(), Registry::new()];
+        for v in 1..=50u64 {
+            global.hist("lat", v);
+            shards[(v % 2) as usize].hist("lat", v);
+        }
+        let mut merged = Registry::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(
+            merged.snapshot().hists["lat"],
+            global.snapshot().hists["lat"]
+        );
+    }
+}

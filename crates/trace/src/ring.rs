@@ -1,0 +1,125 @@
+//! The flight-recorder storage: a capacity-bounded ring of trace
+//! events that overwrites the oldest entry on overflow.
+//!
+//! Allocation is lazy — a ring that never records (the common case: the
+//! default-off tracer at every node of a 10k-node scale run) holds an
+//! empty `VecDeque` and costs a few machine words, not `cap` slots.
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+
+/// Default per-node capacity: 64k events ≈ 2.8 MiB when full.
+pub const DEFAULT_RING_CAP: usize = 65_536;
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug, Clone)]
+pub struct Ring {
+    buf: VecDeque<TraceEvent>,
+    cap: usize,
+    dropped: u64,
+}
+
+impl Default for Ring {
+    fn default() -> Self {
+        Ring::new(DEFAULT_RING_CAP)
+    }
+}
+
+impl Ring {
+    /// Creates an empty ring holding at most `cap` events (`cap` 0 is
+    /// clamped to 1 so `push` stays total).
+    pub fn new(cap: usize) -> Ring {
+        Ring {
+            buf: VecDeque::new(),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest (and counting it dropped)
+    /// when full.
+    pub fn push(&mut self, e: TraceEvent) {
+        if self.buf.len() == self.cap {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(e);
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity bound.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// How many events were overwritten before they could be drained.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Removes and returns all buffered events, oldest first. The
+    /// dropped counter is preserved (it describes lifetime loss, not
+    /// the current buffer).
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.buf.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(a: u64) -> TraceEvent {
+        TraceEvent {
+            ts_ns: a,
+            node: 0,
+            kind: EventKind::Mark,
+            span: 1,
+            parent: 0,
+            a,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn overwrites_oldest_and_counts_drops() {
+        let mut r = Ring::new(3);
+        for i in 0..5 {
+            r.push(ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let kept: Vec<u64> = r.drain().iter().map(|e| e.a).collect();
+        assert_eq!(kept, vec![2, 3, 4]);
+        assert!(r.is_empty());
+        // Lifetime drop count survives the drain.
+        assert_eq!(r.dropped(), 2);
+    }
+
+    #[test]
+    fn empty_ring_allocates_nothing() {
+        let r = Ring::new(DEFAULT_RING_CAP);
+        assert_eq!(r.buf.capacity(), 0);
+        assert_eq!(r.cap(), DEFAULT_RING_CAP);
+    }
+
+    #[test]
+    fn zero_cap_is_clamped() {
+        let mut r = Ring::new(0);
+        r.push(ev(1));
+        r.push(ev(2));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.drain()[0].a, 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! The per-node recording handle: a runtime on/off switch, the current
+//! causal context, the deterministic ecall counter and the flight ring.
+//!
+//! Cost model, in order of cheapness:
+//!
+//! * `record` feature off → [`Tracer::enabled`] is a compile-time
+//!   `false` and [`Tracer::record`] an inlined empty stub, so guarded
+//!   call sites (and the span-derivation work they protect) fold away.
+//! * feature on, tracer off (the default) → one predictable branch per
+//!   site, no allocation (the ring allocates on first push).
+//! * feature on, tracer on → a ring push per event.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::ring::{Ring, DEFAULT_RING_CAP};
+
+/// Per-node flight recorder and causal-context holder.
+#[derive(Debug)]
+pub struct Tracer {
+    on: bool,
+    node: u32,
+    /// The span causally responsible for whatever the node is doing
+    /// right now (op root while dispatching, wire span while delivering,
+    /// ecall span inside the enclave). 0 = no cause (e.g. a timer).
+    cause: u64,
+    /// Ecall counter feeding [`crate::span::ecall_span`]; monotonically
+    /// increments per enclave entry, giving deterministic ids in sim.
+    ecalls: u64,
+    ring: Ring,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new(0)
+    }
+}
+
+impl Tracer {
+    /// A disabled tracer for `node` with the default ring capacity.
+    pub fn new(node: u32) -> Tracer {
+        Tracer {
+            on: false,
+            node,
+            cause: 0,
+            ecalls: 0,
+            ring: Ring::new(DEFAULT_RING_CAP),
+        }
+    }
+
+    /// Turns recording on/off and (optionally) rebounds the ring.
+    pub fn configure(&mut self, on: bool, cap: Option<usize>) {
+        self.on = on;
+        if let Some(cap) = cap {
+            self.ring = Ring::new(cap);
+        }
+    }
+
+    /// The node id stamped on recorded events.
+    pub fn node(&self) -> u32 {
+        self.node
+    }
+
+    /// Re-assigns the node id (used when a node is built before its
+    /// final position is known).
+    pub fn set_node(&mut self, node: u32) {
+        self.node = node;
+    }
+
+    /// True only when recording is compiled in *and* switched on — a
+    /// compile-time `false` without the `record` feature, so
+    /// `if tracer.enabled() { ...derive spans... }` blocks fold away.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        cfg!(feature = "record") && self.on
+    }
+
+    /// Sets the current causal context (0 clears it).
+    #[inline]
+    pub fn set_cause(&mut self, span: u64) {
+        self.cause = span;
+    }
+
+    /// The current causal context.
+    #[inline]
+    pub fn cause(&self) -> u64 {
+        self.cause
+    }
+
+    /// Mints the span id for the next enclave entry. Counts every ecall
+    /// (even with recording off) so enabling tracing mid-run never
+    /// changes the ids an always-on run would mint.
+    #[inline]
+    pub fn next_ecall_span(&mut self) -> u64 {
+        let n = self.ecalls;
+        self.ecalls += 1;
+        crate::span::ecall_span(self.node, n)
+    }
+
+    /// Records one event. An empty inlined stub without the `record`
+    /// feature; a no-op when the tracer is off.
+    #[inline]
+    pub fn record(&mut self, ts_ns: u64, kind: EventKind, span: u64, parent: u64, a: u64, b: u64) {
+        #[cfg(feature = "record")]
+        if self.on {
+            self.ring.push(TraceEvent {
+                ts_ns,
+                node: self.node,
+                kind,
+                span,
+                parent,
+                a,
+                b,
+            });
+        }
+        #[cfg(not(feature = "record"))]
+        let _ = (ts_ns, kind, span, parent, a, b);
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events overwritten before drain (ring overflow).
+    pub fn dropped(&self) -> u64 {
+        self.ring.dropped()
+    }
+
+    /// Drains the buffered events, oldest first.
+    pub fn drain(&mut self) -> Vec<TraceEvent> {
+        self.ring.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::new(1);
+        t.record(10, EventKind::Mark, 1, 0, 0, 0);
+        assert!(t.is_empty());
+        assert!(!t.enabled());
+    }
+
+    #[cfg(feature = "record")]
+    #[test]
+    fn enabled_tracer_buffers_and_drains() {
+        let mut t = Tracer::new(4);
+        t.configure(true, Some(8));
+        assert!(t.enabled());
+        t.set_cause(77);
+        t.record(10, EventKind::Mark, 5, t.cause(), 1, 2);
+        let drained = t.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].node, 4);
+        assert_eq!(drained[0].parent, 77);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn ecall_spans_are_deterministic_and_advance_when_off() {
+        let mut a = Tracer::new(2);
+        let mut b = Tracer::new(2);
+        // `a` records, `b` doesn't — the minted ids must match anyway.
+        a.configure(true, None);
+        let ids_a: Vec<u64> = (0..3).map(|_| a.next_ecall_span()).collect();
+        let ids_b: Vec<u64> = (0..3).map(|_| b.next_ecall_span()).collect();
+        assert_eq!(ids_a, ids_b);
+        assert_eq!(ids_a.len(), 3);
+        assert!(ids_a.iter().all(|&s| s != 0));
+    }
+}

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Diffs two BENCH_*.json snapshots (see crates/bench/src/bin/trend.rs).
+#
+# Usage:
+#   scripts/bench_trend.sh <old.json> <new.json> [--threshold <pct>]
+#
+# Typical flow when touching perf-sensitive code:
+#   cp BENCH_scale.json /tmp/scale-before.json
+#   cargo run --release -p teechain-bench --bin scale -- --quick
+#   scripts/bench_trend.sh /tmp/scale-before.json BENCH_scale.json
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <old.json> <new.json> [--threshold <pct>]" >&2
+    exit 2
+fi
+
+cd "$(dirname "$0")/.."
+exec cargo run --release -q -p teechain-bench --bin trend -- "$@"
