@@ -165,6 +165,21 @@ fn main() {
     }
 
     let seq_ev_per_s = runs[0].events as f64 / runs[0].wall_s.max(1e-9);
+    // Honesty: on a single-CPU host the sharded/seq wall-clock ratio
+    // measures queue overhead, not parallel speedup — name it (and its
+    // JSON keys) accordingly so CI artifacts from 1-core runners are
+    // never mistaken for scaling claims.
+    let multi_core = parallelism > 1;
+    let ratio_header = if multi_core {
+        "Speedup vs seq"
+    } else {
+        "Wall ratio vs seq (1 CPU)"
+    };
+    let ratio_key = if multi_core {
+        "speedup_vs_seq"
+    } else {
+        "wall_ratio_vs_seq"
+    };
     let mut table = Table::new(
         &format!("Scale: {nodes}-node hub-and-spoke, {payments} payments"),
         &[
@@ -172,7 +187,7 @@ fn main() {
             "Wall (s)",
             "Events",
             "Events/s (wall)",
-            "Speedup vs seq",
+            ratio_header,
             "Sim tx/s",
         ],
     );
@@ -201,10 +216,11 @@ fn main() {
         ]);
         configs.push(JsonValue::Obj(vec![
             ("engine".into(), run.label.as_str().into()),
+            ("host_parallelism".into(), parallelism.into()),
             ("wall_s".into(), run.wall_s.into()),
             ("events".into(), run.events.into()),
             ("events_per_s".into(), ev_per_s.into()),
-            ("speedup_vs_seq".into(), speedup.into()),
+            (ratio_key.into(), speedup.into()),
             ("completed".into(), run.completed.into()),
             ("queued".into(), run.queued.into()),
             ("batches".into(), run.batches.into()),
@@ -220,7 +236,7 @@ fn main() {
             ),
             ("sim_throughput".into(), run.sim_throughput.into()),
         ]));
-        if run.label != "seq" {
+        if run.label != "seq" && multi_core {
             doc.metric(&format!("speedup_at_{}", &run.label), speedup);
         }
     }
@@ -264,12 +280,82 @@ fn main() {
         .metric("queue_depth_hwm", queue_depth_hwm)
         .metric("defer_depth_hwm", defer_depth_hwm)
         .metric("defer_age_max_ns", defer_age_max_ns);
-    doc.metric("best_speedup_vs_seq", best_speedup);
+    // Trend-gate anchors: flat keys CI can diff against the committed
+    // artifact without digging through the positional `configs` array.
+    let best_ev_per_s = runs
+        .iter()
+        .map(|r| r.events as f64 / r.wall_s.max(1e-9))
+        .fold(0.0f64, f64::max);
+    doc.metric("events_per_s_seq", seq_ev_per_s)
+        .metric("events_per_s_best", best_ev_per_s);
+    if multi_core {
+        doc.metric("best_speedup_vs_seq", best_speedup);
+    } else {
+        doc.metric("best_wall_ratio_vs_seq", best_speedup);
+    }
     doc.metric("configs", JsonValue::Arr(configs));
     doc.latency(&lat);
     doc.table(&table);
     sink.write(&trace);
-    doc.write().expect("write BENCH_scale.json");
+
+    // Per-overlay summary rows, merged across invocations: the
+    // committed artifact keeps one row per node count (e.g. the 100k
+    // overlay regenerated rarely, the quick 600 refreshed by CI)
+    // instead of each run clobbering the others' results.
+    let completed_total: u64 = runs.iter().map(|r| r.completed).sum();
+    let overlay_row = JsonValue::Obj(vec![
+        ("nodes".into(), (nodes as u64).into()),
+        ("edges".into(), edges.len().into()),
+        ("temp_channels_upper".into(), temp_channels.into()),
+        ("payments".into(), payments.into()),
+        ("setup_s".into(), setup_s.into()),
+        ("host_parallelism".into(), parallelism.into()),
+        ("events_per_s_seq".into(), seq_ev_per_s.into()),
+        ("events_per_s_best".into(), best_ev_per_s.into()),
+        (format!("best_{ratio_key}"), best_speedup.into()),
+        ("completed_total".into(), completed_total.into()),
+        ("channel_locked_total".into(), locked_total.into()),
+    ]);
+    let prior = std::fs::read_to_string(doc.path())
+        .ok()
+        .and_then(|t| JsonValue::parse(&t).ok());
+    let mut overlays: Vec<(String, JsonValue)> = prior
+        .as_ref()
+        .and_then(|d| d.get("metrics"))
+        .and_then(|m| m.get("overlays"))
+        .and_then(|o| match o {
+            JsonValue::Obj(fields) => Some(fields.clone()),
+            _ => None,
+        })
+        .unwrap_or_default();
+    let row_key = format!("n{nodes}");
+    overlays.retain(|(k, _)| k != &row_key);
+    overlays.push((row_key, overlay_row));
+    overlays.sort_by_key(|(k, _)| k[1..].parse::<u64>().unwrap_or(0));
+    doc.metric("overlays", JsonValue::Obj(overlays.clone()));
+
+    if std::env::args().any(|a| a == "--row-only") {
+        // Record this run *only* as its overlay row, leaving the rest
+        // of the committed artifact (the CI-regenerable quick baseline)
+        // untouched — this is how the 100k-node row lands without
+        // replacing the trend-gate anchors.
+        let prior = prior.expect("--row-only needs an existing BENCH_scale.json");
+        let JsonValue::Obj(mut top) = prior else {
+            panic!("BENCH_scale.json is not an object");
+        };
+        for (k, v) in &mut top {
+            if k == "metrics" {
+                let JsonValue::Obj(metrics) = v else { continue };
+                metrics.retain(|(mk, _)| mk != "overlays");
+                metrics.push(("overlays".into(), JsonValue::Obj(overlays.clone())));
+            }
+        }
+        std::fs::write(doc.path(), JsonValue::Obj(top).render())
+            .expect("write BENCH_scale.json (--row-only)");
+        println!("wrote ./BENCH_scale.json (overlay row n{nodes} only)");
+    } else {
+        doc.write().expect("write BENCH_scale.json");
+    }
     if parallelism == 1 {
         println!(
             "note: host exposes a single CPU; sharded wall-clock wins here come \

@@ -50,9 +50,18 @@ fn run(
     (stats.throughput, stats.mean_ms, stats.avg_hops + 1.0)
 }
 
+fn arg_val(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let payments = if quick { 600 } else { 3000 };
+    let payments = arg_val("--payments")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if quick { 600 } else { 3000 });
     let mut table = Table::new(
         "Table 3: hub-and-spoke performance",
         &[

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! trend <old.json> <new.json> [--threshold <pct>]
+//!       [--fail-drop <dotted.key>]... [--fail-rise <dotted.key>]...
 //! ```
 //!
 //! Every numeric leaf of the artifacts' `metrics`, `op_errors` and
@@ -11,6 +12,11 @@
 //! they are skipped). Rows moving more than the threshold (default 10%)
 //! are flagged; keys present on only one side are reported as added or
 //! removed. `scripts/bench_trend.sh` wraps this binary.
+//!
+//! The `--fail-*` flags turn the diff into a CI gate: exit nonzero when
+//! a named key *drops* (`--fail-drop`, e.g. `metrics.events_per_s_seq`)
+//! or *rises* (`--fail-rise`, e.g. `metrics.channel_locked_total`) by
+//! more than the threshold, or disappears from the new artifact.
 
 use teechain_bench::report::{JsonValue, Table};
 
@@ -49,14 +55,37 @@ fn arg_val(name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+fn arg_vals(name: &str) -> Vec<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.windows(2)
+        .filter(|w| w[0] == name)
+        .map(|w| w[1].clone())
+        .collect()
+}
+
 fn main() {
-    let paths: Vec<String> = std::env::args()
-        .skip(1)
-        .filter(|a| !a.starts_with("--"))
-        .take(2)
-        .collect();
+    // Positional args, skipping the value slots of known flags (gate
+    // keys like `metrics.events_per_s_seq` would otherwise parse as
+    // file paths).
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        let a = &raw[i];
+        if a == "--threshold" || a == "--fail-drop" || a == "--fail-rise" {
+            i += 2;
+            continue;
+        }
+        if !a.starts_with("--") {
+            paths.push(a.clone());
+        }
+        i += 1;
+    }
     let [old_path, new_path] = &paths[..] else {
-        eprintln!("usage: trend <old.json> <new.json> [--threshold <pct>]");
+        eprintln!(
+            "usage: trend <old.json> <new.json> [--threshold <pct>] \
+             [--fail-drop <key>]... [--fail-rise <key>]..."
+        );
         std::process::exit(2);
     };
     let threshold: f64 = arg_val("--threshold")
@@ -124,4 +153,42 @@ fn main() {
             .filter(|(k, _)| new.iter().any(|(nk, _)| nk == k))
             .count()
     );
+
+    // CI gate: named keys may not regress past the threshold.
+    let delta_of = |key: &str| -> Option<f64> {
+        let old_v = old.iter().find(|(k, _)| k == key).map(|(_, v)| *v)?;
+        let new_v = new.iter().find(|(k, _)| k == key).map(|(_, v)| *v)?;
+        Some(if old_v != 0.0 {
+            (new_v - old_v) / old_v.abs() * 100.0
+        } else if new_v != 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        })
+    };
+    let mut violations = Vec::new();
+    for key in arg_vals("--fail-drop") {
+        match delta_of(&key) {
+            Some(d) if d < -threshold => {
+                violations.push(format!("{key} dropped {:.1}% (limit {threshold}%)", -d));
+            }
+            Some(_) => {}
+            None => violations.push(format!("{key} missing from one side")),
+        }
+    }
+    for key in arg_vals("--fail-rise") {
+        match delta_of(&key) {
+            Some(d) if d > threshold => {
+                violations.push(format!("{key} rose {d:.1}% (limit {threshold}%)"));
+            }
+            Some(_) => {}
+            None => violations.push(format!("{key} missing from one side")),
+        }
+    }
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("FAIL: {v}");
+        }
+        std::process::exit(1);
+    }
 }

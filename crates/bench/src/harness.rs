@@ -697,6 +697,15 @@ impl BenchCluster {
     /// fell silent without a terminal response).
     pub fn wait<T: OpResult>(&mut self, p: Pending<T>) -> Result<T, OpError> {
         self.settle();
+        self.claim(p)
+    }
+
+    /// Extracts the typed result of an operation that has **already
+    /// settled**. Phase-batched setup submits a whole wave of
+    /// independent ops, settles once, then claims every result —
+    /// replacing the per-op settle-and-scan (O(nodes) per op) that made
+    /// large topologies quadratic to build.
+    pub fn claim<T: OpResult>(&mut self, p: Pending<T>) -> Result<T, OpError> {
         let nid = NodeId(p.op.node);
         let now = self.sim.now_ns();
         let node = self.sim.node_mut(nid);
@@ -745,12 +754,19 @@ impl BenchCluster {
         self.exec(a, Command::StartSession { remote });
     }
 
+    /// Submits (without settling) an m-of-n committee deposit of
+    /// `value` on node `i`; claim the [`teechain::Deposit`] after a
+    /// batched settle.
+    pub fn submit_deposit(&mut self, i: usize, value: u64, m: u8) -> teechain::OpId {
+        let nid = NodeId(i as u32);
+        self.sim.call(nid, |node, ctx| {
+            node.host.node.submit_fund_deposit(ctx, value, m)
+        })
+    }
+
     /// Funds an m-of-n committee deposit of `value` on node `i`.
     pub fn fund_deposit(&mut self, i: usize, value: u64, m: u8) -> teechain::Deposit {
-        let nid = NodeId(i as u32);
-        let op = self.sim.call(nid, |node, ctx| {
-            node.host.node.submit_fund_deposit(ctx, value, m)
-        });
+        let op = self.submit_deposit(i, value, m);
         self.wait(Pending::new(op)).expect("fund deposit failed")
     }
 

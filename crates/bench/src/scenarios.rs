@@ -353,10 +353,21 @@ pub fn wan_100ms() -> LinkSpec {
 /// Builds a large sparse hub-and-spoke network for generated topologies
 /// (the `scale` bench bin): channels funded on both sides, **peer
 /// directories populated along edges only** — O(edges) instead of the
-/// O(n²) full mesh, which is what makes 10k+-node clusters buildable —
-/// and no committee backups. Upper-tier edges (both endpoints in tiers
-/// 1–2) get `upper_parallel` parallel channels, the Fig. 7 temporary
-/// channels that relieve hub lock contention; leaf edges get one.
+/// O(n²) full mesh — and no committee backups. Upper-tier edges (both
+/// endpoints in tiers 1–2) get `upper_parallel` parallel channels, the
+/// Fig. 7 temporary channels that relieve hub lock contention; leaf
+/// edges get one.
+///
+/// Construction is **streamed in phase batches**: a chunk of edges
+/// submits one whole wave of independent operations per protocol phase
+/// (sessions → settlement addresses → channel opens → deposits →
+/// approvals → associations) and the cluster settles once per phase
+/// instead of once per operation. The per-op `wait` this replaces cost
+/// O(nodes) per settle, making topology construction O(nodes ·
+/// channels) — the difference between 100k-node overlays building in
+/// seconds and in hours. Chunking bounds in-flight operations (and
+/// their event-queue footprint), so memory stays proportional to the
+/// chunk, not the overlay.
 pub fn build_sparse_network(
     hs: &HubSpoke,
     link: LinkSpec,
@@ -380,28 +391,191 @@ pub fn build_sparse_network(
     };
     let mut cluster = BenchCluster::new(cfg);
     let mut channels: HashMap<(NodeId, NodeId), Vec<ChannelId>> = HashMap::new();
+    // Keep roughly this many channel instances in flight per phase
+    // batch (edges stay whole, so a batch can exceed it by one edge's
+    // parallel channels).
+    const CHUNK_CHANNELS: usize = 4_096;
+    let mut batch: Vec<(NodeId, NodeId, usize)> = Vec::new();
+    let mut batched_channels = 0usize;
+    let flush = |cluster: &mut BenchCluster,
+                 channels: &mut HashMap<(NodeId, NodeId), Vec<ChannelId>>,
+                 batch: &mut Vec<(NodeId, NodeId, usize)>| {
+        if batch.is_empty() {
+            return;
+        }
+        build_channel_batch(cluster, channels, batch);
+        batch.clear();
+    };
     for &(a, b) in &edges {
         let parallel = if hs.tier_of(a) <= 2 && hs.tier_of(b) <= 2 {
             upper_parallel.max(1)
         } else {
             1
         };
-        for p in 0..parallel {
-            let label = format!("e{}-{}-{}", a.0, b.0, p);
-            let chan =
-                cluster.standard_channel(a.0 as usize, b.0 as usize, &label, 1_000_000_000, 1);
-            fund_reverse(&mut cluster, chan, a, b, 1_000_000_000);
-            channels
-                .entry(if a <= b { (a, b) } else { (b, a) })
-                .or_default()
-                .push(chan);
+        batch.push((a, b, parallel));
+        batched_channels += parallel;
+        if batched_channels >= CHUNK_CHANNELS {
+            flush(&mut cluster, &mut channels, &mut batch);
+            batched_channels = 0;
         }
     }
+    flush(&mut cluster, &mut channels, &mut batch);
     let graph = ChannelGraph::from_pairs(&edges);
     Network {
         cluster,
         channels,
         graph,
+    }
+}
+
+/// One streamed construction batch: every edge in `batch` gets its
+/// sessions, parallel channels and double-sided funding, with exactly
+/// one cluster settle per protocol phase (operations within a phase are
+/// independent across edges; phases order the per-channel protocol
+/// steps exactly as [`BenchCluster::standard_channel`] does serially).
+fn build_channel_batch(
+    cluster: &mut BenchCluster,
+    channels: &mut HashMap<(NodeId, NodeId), Vec<ChannelId>>,
+    batch: &[(NodeId, NodeId, usize)],
+) {
+    use teechain::Command;
+
+    // Phase 1: one session per edge (parallel channels share it).
+    let sessions: Vec<teechain::OpId> = batch
+        .iter()
+        .map(|&(a, b, _)| {
+            let remote = cluster.ids[b.0 as usize];
+            cluster.submit(a.0 as usize, Command::StartSession { remote })
+        })
+        .collect();
+    cluster.settle();
+    for op in sessions {
+        cluster
+            .claim::<teechain_crypto::schnorr::PublicKey>(teechain::Pending::new(op))
+            .expect("session failed");
+    }
+
+    // Channel instances of this batch, in deterministic edge order.
+    let insts: Vec<(NodeId, NodeId, ChannelId)> = batch
+        .iter()
+        .flat_map(|&(a, b, parallel)| {
+            (0..parallel).map(move |p| {
+                let label = format!("e{}-{}-{}", a.0, b.0, p);
+                (a, b, ChannelId::from_label(&label))
+            })
+        })
+        .collect();
+
+    // Phase 2: a settlement address per channel (generated in-enclave).
+    let addr_ops: Vec<teechain::OpId> = insts
+        .iter()
+        .map(|&(a, _, _)| cluster.submit(a.0 as usize, Command::NewAddress))
+        .collect();
+    cluster.settle();
+    let addrs: Vec<_> = addr_ops
+        .into_iter()
+        .map(|op| {
+            cluster
+                .claim::<teechain_crypto::schnorr::PublicKey>(teechain::Pending::new(op))
+                .expect("address failed")
+        })
+        .collect();
+
+    // Phase 3: open every channel.
+    let open_ops: Vec<teechain::OpId> = insts
+        .iter()
+        .zip(&addrs)
+        .map(|(&(a, b, id), &my_settlement)| {
+            let remote = cluster.ids[b.0 as usize];
+            cluster.submit(
+                a.0 as usize,
+                Command::NewChannel {
+                    id,
+                    remote,
+                    my_settlement,
+                },
+            )
+        })
+        .collect();
+    cluster.settle();
+    for op in open_ops {
+        cluster
+            .claim::<ChannelId>(teechain::Pending::new(op))
+            .expect("channel open failed");
+    }
+
+    // Phase 4: fund a deposit on both sides of every channel.
+    let dep_ops: Vec<(usize, teechain::OpId)> = insts
+        .iter()
+        .flat_map(|&(a, b, _)| [a, b])
+        .map(|side| {
+            let i = side.0 as usize;
+            (i, cluster.submit_deposit(i, 1_000_000_000, 1))
+        })
+        .collect();
+    cluster.settle();
+    let deposits: Vec<(usize, teechain::Deposit)> = dep_ops
+        .into_iter()
+        .map(|(i, op)| {
+            (
+                i,
+                cluster
+                    .claim::<teechain::Deposit>(teechain::Pending::new(op))
+                    .expect("deposit failed"),
+            )
+        })
+        .collect();
+
+    // Phase 5: each side approves its deposit toward its peer.
+    let peers: Vec<NodeId> = insts.iter().flat_map(|&(a, b, _)| [b, a]).collect();
+    let approve_ops: Vec<teechain::OpId> = deposits
+        .iter()
+        .zip(&peers)
+        .map(|(&(i, ref dep), &peer)| {
+            let remote = cluster.ids[peer.0 as usize];
+            cluster.submit(
+                i,
+                Command::ApproveDeposit {
+                    remote,
+                    outpoint: dep.outpoint,
+                },
+            )
+        })
+        .collect();
+    cluster.settle();
+    for op in approve_ops {
+        cluster
+            .claim::<()>(teechain::Pending::new(op))
+            .expect("approve failed");
+    }
+
+    // Phase 6: associate each deposit with its channel.
+    let chans: Vec<ChannelId> = insts.iter().flat_map(|&(_, _, id)| [id, id]).collect();
+    let assoc_ops: Vec<teechain::OpId> = deposits
+        .iter()
+        .zip(&chans)
+        .map(|(&(i, ref dep), &id)| {
+            cluster.submit(
+                i,
+                Command::AssociateDeposit {
+                    id,
+                    outpoint: dep.outpoint,
+                },
+            )
+        })
+        .collect();
+    cluster.settle();
+    for op in assoc_ops {
+        cluster
+            .claim::<()>(teechain::Pending::new(op))
+            .expect("associate failed");
+    }
+
+    for &(a, b, id) in &insts {
+        channels
+            .entry(if a <= b { (a, b) } else { (b, a) })
+            .or_default()
+            .push(id);
     }
 }
 

@@ -35,10 +35,12 @@ struct Fingerprint {
 }
 
 /// Builds the cluster AND runs the workload entirely under
-/// `sharded:<shards>` (via the env knob every harness honors), then
-/// fingerprints the world.
-fn run_at(shards: usize) -> Fingerprint {
+/// `sharded:<shards>` (via the env knob every harness honors) with the
+/// window scheduler's work stealing forced on or off, then fingerprints
+/// the world.
+fn run_at(shards: usize, steal: bool) -> Fingerprint {
     std::env::set_var("TEECHAIN_ENGINE", format!("sharded:{shards}"));
+    std::env::set_var("TEECHAIN_STEAL", if steal { "1" } else { "0" });
     // A shrunk Fig. 5 overlay (same three-tier shape as paper_default,
     // fewer leaves) so three full setups stay fast in debug builds.
     let hs = HubSpoke {
@@ -105,8 +107,9 @@ fn fixed_seed_run_is_identical_across_shard_counts() {
         .filter(|v: &Vec<usize>| !v.is_empty())
         .unwrap_or_else(|| vec![1, 2, 8]);
     let prev_engine = std::env::var("TEECHAIN_ENGINE").ok();
+    let prev_steal = std::env::var("TEECHAIN_STEAL").ok();
 
-    let baseline = run_at(counts[0]);
+    let baseline = run_at(counts[0], true);
     assert!(
         baseline.completed >= 250,
         "workload barely ran: {} completed",
@@ -125,17 +128,33 @@ fn fixed_seed_run_is_identical_across_shard_counts() {
         baseline.queued,
         baseline.batches,
     );
+    // Every other shard count, with stealing both on and off: the
+    // claim-based pool is scheduling only, so the full fingerprint —
+    // completion stream, latency samples, balances, clocks — must be
+    // bit-for-bit identical in all four cells of the matrix.
     for &shards in &counts[1..] {
-        let run = run_at(shards);
-        assert_eq!(
-            run, baseline,
-            "sharded:{shards} diverged from sharded:{}",
-            counts[0]
-        );
+        for steal in [true, false] {
+            let run = run_at(shards, steal);
+            assert_eq!(
+                run, baseline,
+                "sharded:{shards} (steal={steal}) diverged from sharded:{}",
+                counts[0]
+            );
+        }
     }
+    let run = run_at(counts[0], false);
+    assert_eq!(
+        run, baseline,
+        "sharded:{} without stealing diverged from itself with stealing",
+        counts[0]
+    );
 
     match prev_engine {
         Some(v) => std::env::set_var("TEECHAIN_ENGINE", v),
         None => std::env::remove_var("TEECHAIN_ENGINE"),
+    }
+    match prev_steal {
+        Some(v) => std::env::set_var("TEECHAIN_STEAL", v),
+        None => std::env::remove_var("TEECHAIN_STEAL"),
     }
 }

@@ -46,7 +46,7 @@
 
 use crate::msg::ProtocolMsg;
 use crate::types::ChannelId;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 use teechain_crypto::schnorr::PublicKey;
 
 /// Max ops queued per channel before admission pushes back with
@@ -175,15 +175,22 @@ impl AdmitStats {
 pub type AckGroup = Vec<(ChannelId, u64, u32)>;
 
 /// Per-enclave admission state. Volatile: never sealed, never replayed.
+///
+/// The per-channel maps are `BTreeMap`s, not `HashMap`s: the admission
+/// pump drains every backlogged channel in one ecall, and the order it
+/// visits channels decides the order of the resulting wire sends. Map
+/// iteration therefore has to be a pure function of the channel ids —
+/// hash-order iteration leaks the hasher's random state into protocol
+/// timing, which the cross-shard-count determinism suites catch.
 #[derive(Default)]
 pub struct AdmitState {
     /// Locally submitted ops waiting per channel, FIFO.
-    pub queues: HashMap<ChannelId, VecDeque<QueueEntry>>,
+    pub queues: BTreeMap<ChannelId, VecDeque<QueueEntry>>,
     /// Deferred inbound messages per channel, FIFO.
-    pub deferred: HashMap<ChannelId, VecDeque<DeferredMsg>>,
+    pub deferred: BTreeMap<ChannelId, VecDeque<DeferredMsg>>,
     /// Ack fan-out groups per *wire* channel: front group matches the
     /// oldest outstanding outbound wire `Pay`.
-    pub inflight: HashMap<ChannelId, VecDeque<AckGroup>>,
+    pub inflight: BTreeMap<ChannelId, VecDeque<AckGroup>>,
     /// Counters for benches and tests.
     pub stats: AdmitStats,
 }

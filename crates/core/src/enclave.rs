@@ -1640,16 +1640,21 @@ impl TeechainEnclave {
     }
 
     /// Fails every queued/deferred entry whose admission deadline has
-    /// passed. Deadlines are monotone within a queue (enqueue time + a
-    /// constant), so popping from the front is exhaustive.
+    /// passed. Queued deadlines are NOT monotone within a queue — a
+    /// contention requeue re-enters with its *original* admission
+    /// deadline — so the whole queue is scanned. Deferred deadlines stay
+    /// monotone (defer time + a constant); front pops are exhaustive
+    /// there.
     fn expire_admissions(&mut self, env: &mut EnclaveEnv, effects: &mut Vec<Effect>) {
         let now = env.now_ns();
         let ids: Vec<ChannelId> = self.admit.queues.keys().copied().collect();
         for id in ids {
+            let mut i = 0;
             while let Some(entry) = self.admit.queues.get_mut(&id).and_then(|q| {
-                q.front()
-                    .is_some_and(|e| e.deadline_ns <= now)
-                    .then(|| q.pop_front().unwrap())
+                while i < q.len() && q[i].deadline_ns > now {
+                    i += 1;
+                }
+                (i < q.len()).then(|| q.remove(i).unwrap())
             }) {
                 self.admit.stats.expired += 1;
                 match entry.op {
@@ -1810,18 +1815,24 @@ impl TeechainEnclave {
             {
                 break;
             }
-            let Some(front_is_pay) = self
-                .admit
-                .queues
-                .get(&id)
-                .and_then(|q| q.front())
-                .map(|e| matches!(e.op, QueuedOp::Pay { .. }))
-            else {
+            let Some(front) = self.admit.queues.get(&id).and_then(|q| q.front()) else {
                 break;
             };
-            if front_is_pay {
+            if matches!(front.op, QueuedOp::Pay { .. }) {
                 self.apply_pay_batch(id, effects);
             } else {
+                // Wait-die reservation: an older route's deferred lock at
+                // this node needs this (currently unlocked) channel, so a
+                // younger queued origination may not take it — doing so
+                // starves the waiter, whose two hop channels then never
+                // free up together. Park the queue; the pump or the
+                // waiter's own lock/release re-drains it.
+                let QueuedOp::Multihop { route, .. } = front.op else {
+                    unreachable!("non-Pay front is Multihop");
+                };
+                if self.reserved_for_older(id, route) {
+                    break;
+                }
                 let entry = self
                     .admit
                     .queues
@@ -1837,7 +1848,7 @@ impl TeechainEnclave {
                 else {
                     unreachable!("front checked as multihop");
                 };
-                match self.pay_multihop_inner(route, hops, channels, amount) {
+                match self.pay_multihop_inner(route, hops, channels, amount, entry.deadline_ns) {
                     Ok(effs) => effects.extend(effs),
                     Err(e) => effects.push(Effect::Event(HostEvent::MultihopFailed {
                         route,

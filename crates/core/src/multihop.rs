@@ -49,6 +49,12 @@ pub struct RouteState {
     pub path_deposits: Vec<crate::types::Deposit>,
     /// True once terminated (ejected or completed).
     pub terminated: bool,
+    /// Admission deadline of the *origination* (absolute ns). Carried
+    /// across in-enclave contention requeues so a payment cannot orbit
+    /// the admission queue forever: once past this instant the next
+    /// abort surfaces to the host instead of re-parking. Zero on
+    /// non-origin hops (they never requeue).
+    pub deadline_ns: u64,
 }
 
 impl RouteState {
@@ -195,27 +201,32 @@ impl TeechainEnclave {
         if hops[0] != me || self.routes.contains_key(&route_id) {
             return Err(ProtocolError::BadStage);
         }
-        // Admission: if our outgoing channel is busy with another route,
-        // first try an unlocked parallel channel to the same first hop
+        // Admission: if our outgoing channel is busy with another route
+        // (locked, or unlocked but reserved for an older deferred lock),
+        // first try a free parallel channel to the same first hop
         // (lock-aware selection over temporary channels); only when every
         // sibling is busy too, queue the origination — the unlock drain
         // re-runs it.
+        let deadline_ns = env.now_ns() + crate::admit::ADMIT_DEADLINE_NS;
         let mut channels = channels;
-        let out_locked = self
+        let out_busy = self
             .channels
             .get(&channels[0])
-            .is_some_and(|c| c.usable() && c.locked());
-        if out_locked {
-            if let Some(sib) = self.sibling_unlocked(&channels[0], amount) {
+            .is_some_and(|c| c.usable() && c.locked())
+            || self.reserved_for_older(channels[0], route_id);
+        if out_busy {
+            if let Some(sib) = self
+                .sibling_unlocked(&channels[0], amount)
+                .filter(|s| !self.reserved_for_older(*s, route_id))
+            {
                 self.admit.stats.rerouted += 1;
                 channels[0] = sib;
-                return self.pay_multihop_inner(route_id, hops, channels, amount);
+                return self.pay_multihop_inner(route_id, hops, channels, amount, deadline_ns);
             }
             let q = self.admit.queues.entry(channels[0]).or_default();
             if q.len() >= crate::admit::ADMIT_QUEUE_CAP {
                 return Err(ProtocolError::ChannelLocked);
             }
-            let deadline_ns = env.now_ns() + crate::admit::ADMIT_DEADLINE_NS;
             q.push_back(crate::admit::QueueEntry {
                 op: crate::admit::QueuedOp::Multihop {
                     route: route_id,
@@ -231,7 +242,37 @@ impl TeechainEnclave {
             self.admit.stats.note_queue_depth(depth);
             return Ok(vec![Effect::Event(HostEvent::PumpAt(deadline_ns))]);
         }
-        self.pay_multihop_inner(route_id, hops, channels, amount)
+        self.pay_multihop_inner(route_id, hops, channels, amount, deadline_ns)
+    }
+
+    /// True when a [`MhLock`] deferred at this node belongs to a route
+    /// older than `than` and needs channel `id` to advance. A deferred
+    /// lock waits keyed on ONE locked channel, but an intermediate hop
+    /// needs BOTH of its hop channels free at the same instant. If
+    /// younger lock acquisitions may grab whichever channel is currently
+    /// free, the waiter's two channels free up alternately — never
+    /// together — and the oldest route starves while younger locals
+    /// rotate the locks (a livelock observed on hub nodes). Treating an
+    /// unlocked-but-needed channel as *reserved* for the older waiter
+    /// extends wait-die's age order to channels the waiter does not hold
+    /// yet, restoring its progress guarantee.
+    pub(crate) fn reserved_for_older(&self, id: ChannelId, than: RouteId) -> bool {
+        let Some(me) = self.identity.as_ref().map(|k| k.pk) else {
+            return false;
+        };
+        self.admit.deferred.values().flatten().any(|d| {
+            let ProtocolMsg::MhLock(m) = &d.msg else {
+                return false;
+            };
+            if m.route >= than {
+                return false;
+            }
+            let Some(pos) = m.hops.iter().position(|h| *h == me) else {
+                return false;
+            };
+            (pos > 0 && m.channels[pos - 1] == id)
+                || (pos + 1 < m.hops.len() && m.channels[pos] == id)
+        })
     }
 
     /// Origination body, shared by the direct path and the admission
@@ -244,6 +285,7 @@ impl TeechainEnclave {
         hops: Vec<PublicKey>,
         channels: Vec<ChannelId>,
         amount: u64,
+        deadline_ns: u64,
     ) -> Outcome {
         if self.routes.contains_key(&route_id) {
             return Err(ProtocolError::BadStage);
@@ -259,6 +301,7 @@ impl TeechainEnclave {
             pre_balances: HashMap::new(),
             path_deposits: Vec::new(),
             terminated: false,
+            deadline_ns,
         };
         self.prepare_route_channel(&mut route, channels[0], Some(amount))?;
         let mut tau = Transaction {
@@ -317,7 +360,10 @@ impl TeechainEnclave {
                 .get(&m.channels[pos])
                 .is_some_and(|c| c.usable() && c.locked())
         {
-            if let Some(sib) = self.sibling_unlocked(&m.channels[pos], m.amount) {
+            if let Some(sib) = self
+                .sibling_unlocked(&m.channels[pos], m.amount)
+                .filter(|s| !self.reserved_for_older(*s, m.route))
+            {
                 self.admit.stats.rerouted += 1;
                 m.channels[pos] = sib;
             }
@@ -333,10 +379,20 @@ impl TeechainEnclave {
             pre_balances: HashMap::new(),
             path_deposits: Vec::new(),
             terminated: false,
+            deadline_ns: 0,
         };
         // Validate our channels; on failure, abort backward so upstream
-        // hops unlock (payments then retry, §7.4).
+        // hops unlock (payments then retry, §7.4). An unlocked channel
+        // reserved for an older deferred lock counts as busy: taking it
+        // would starve that waiter (see `reserved_for_older`), and with
+        // nothing actually locked there is no holder to defer behind, so
+        // the younger route aborts — plain wait-die.
         let check = (|| -> Result<(), ProtocolError> {
+            for cid in route.my_channels() {
+                if self.reserved_for_older(cid, m.route) {
+                    return Err(ProtocolError::ChannelLocked);
+                }
+            }
             self.prepare_route_channel(&mut route, m.channels[pos - 1], None)?;
             if pos + 1 < n {
                 self.prepare_route_channel(&mut route, m.channels[pos], Some(m.amount))?;
@@ -764,18 +820,25 @@ impl TeechainEnclave {
 
     /// Re-queues an aborted origination (contention only) on its first
     /// channel with a deterministic ~100–200 ms backoff. Returns the
-    /// `PumpAt` effect to arm the retry, or `None` if the queue is full —
-    /// the only case that still surfaces `ChannelLocked` to the caller.
+    /// `PumpAt` effect to arm the retry, or `None` when the queue is
+    /// full or the origination's admission deadline has passed — the
+    /// cases that surface `ChannelLocked` to the caller. The deadline is
+    /// the one fixed at first admission, NOT refreshed per round: a
+    /// payment that cannot win its locks within the admission window
+    /// must fail visibly rather than orbit the queue forever.
     fn requeue_origination(&mut self, env: &EnclaveEnv, route: &RouteState) -> Option<Effect> {
         let first = *route.channels.first()?;
-        let q = self.admit.queues.entry(first).or_default();
-        if q.len() >= crate::admit::ADMIT_QUEUE_CAP {
-            return None;
-        }
         // Deterministic jitter from the route id spreads synchronized
         // losers without an RNG in the enclave.
         let jitter = u64::from(route.id.0[19]) % 100 * 1_000_000;
         let ready_ns = env.now_ns() + 100_000_000 + jitter;
+        if ready_ns >= route.deadline_ns {
+            return None;
+        }
+        let q = self.admit.queues.entry(first).or_default();
+        if q.len() >= crate::admit::ADMIT_QUEUE_CAP {
+            return None;
+        }
         q.push_back(crate::admit::QueueEntry {
             op: crate::admit::QueuedOp::Multihop {
                 route: route.id,
@@ -783,7 +846,7 @@ impl TeechainEnclave {
                 channels: route.channels.clone(),
                 amount: route.amount,
             },
-            deadline_ns: env.now_ns() + crate::admit::ADMIT_DEADLINE_NS,
+            deadline_ns: route.deadline_ns,
             ready_ns,
         });
         let depth = q.len();

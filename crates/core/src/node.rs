@@ -121,7 +121,10 @@ pub struct TeechainNode {
     /// Events produced by the enclave, in order, with timestamps. This is
     /// the host's *internal* notification stream (unsolicited events such
     /// as `VerifyDeposit` callbacks land here); external callers consume
-    /// [`TeechainNode::completions`] instead.
+    /// [`TeechainNode::completions`] instead. Bounded: once the log
+    /// reaches [`EVENT_LOG_CAP`] entries the oldest half is dropped, so a
+    /// long or pathological run keeps recent history without growing RSS
+    /// without bound.
     pub events: Vec<(u64, HostEvent)>,
     /// Terminal completions of submitted operations, in resolution order.
     /// Exactly one entry per [`TeechainNode::submit_op`] call eventually
@@ -150,6 +153,9 @@ pub struct TeechainNode {
 /// Timer token the node uses for admission-pump wakeups (queued-op
 /// deadlines, counter-throttle expiry, deferred-message drains).
 pub const PUMP_TOKEN: u64 = 0x7EE_C8A1_4E57;
+
+/// Cap on [`TeechainNode::events`]: reaching it drops the oldest half.
+pub const EVENT_LOG_CAP: usize = 65_536;
 
 /// High-16-bit timer-token tag for operation deadline timers (low 48
 /// bits carry the operation sequence number).
@@ -593,6 +599,9 @@ impl TeechainNode {
         if let Some(c) = self.ops.observe(&event, now_ns) {
             self.trace_completion(now_ns, &c);
             self.completions.push(c);
+        }
+        if self.events.len() >= EVENT_LOG_CAP {
+            self.events.drain(..EVENT_LOG_CAP / 2);
         }
         self.events.push((now_ns, event));
     }

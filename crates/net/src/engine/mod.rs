@@ -314,6 +314,16 @@ impl<N: SimNode + Send> AnyEngine<N> {
         }
     }
 
+    /// Forces the sharded engine's window work stealing on or off
+    /// (no-op on the sequential engine); see
+    /// [`ShardedEngine::set_steal`]. Scheduling only — results are
+    /// identical either way.
+    pub fn set_steal(&mut self, steal: bool) {
+        if let AnyEngine::Sharded(e) = self {
+            e.set_steal(steal);
+        }
+    }
+
     /// Converts a **quiescent** simulation (empty event queue — e.g.
     /// after [`AnyEngine::run_to_idle`]) to another engine kind, carrying
     /// nodes, links, clock, busy periods, offline flags, per-connection

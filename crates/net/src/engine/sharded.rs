@@ -9,18 +9,42 @@
 //!
 //! 1. The coordinator takes the globally earliest pending event time
 //!    `T` and opens the window `[T, T + L)`, where the lookahead `L` is
-//!    the minimum latency over every configured link (clamped to ≥ 1 ns,
-//!    see below).
+//!    the **per-cut minimum**: the minimum latency over the links that
+//!    are *currently cross-shard* under the round-robin partition
+//!    (clamped to ≥ 1 ns, see below). Intra-shard links do not bound
+//!    the window — a shard processes its own heap strictly in key
+//!    order, so a low-latency local hop can never be observed early.
+//!    With one shard there is no cut at all and the window is
+//!    unbounded. The cut minimum is recomputed only when a link
+//!    changes, from the partition arithmetic (`node i → shard i mod
+//!    S`), not by scanning pairs per window.
 //! 2. Every shard independently processes *all* of its events scheduled
 //!    before `T + L`, buffering cross-shard deliveries.
 //! 3. At the window barrier the buffered deliveries are merged into the
 //!    target shards' heaps, and the next window opens.
 //!
-//! A message sent at time `t ≥ T` arrives no earlier than `t + L ≥ T +
-//! L` — outside the current window — so no shard can ever receive an
-//! event "in the past": the classic conservative-synchronization
-//! argument (Chandy–Misra–Bryant lookahead, here derived from link
-//! latency the way the paper's WAN testbed would justify).
+//! A cross-shard message sent at time `t ≥ T` travels a cross-shard
+//! link, whose sampled delay is at least its configured latency
+//! (jitter and serialization are additive) and therefore at least `L`:
+//! it arrives at `t + delay ≥ T + L` — outside the current window — so
+//! no shard can ever receive an event "in the past": the classic
+//! conservative-synchronization argument (Chandy–Misra–Bryant
+//! lookahead, here derived from link latency the way the paper's WAN
+//! testbed would justify), tightened from the global minimum to the
+//! minimum over the cut.
+//!
+//! # Scheduling: work stealing at the barrier
+//!
+//! Above a small pending-event threshold, windows fan out to a worker
+//! pool of `min(available CPUs, shards)` threads. Workers *claim*
+//! shards from a shared atomic counter: a worker that drains a light
+//! shard immediately claims the next unclaimed one instead of spinning
+//! at the barrier behind a heavy shard. Which worker processes a shard
+//! cannot affect results — shards share no mutable state inside a
+//! window and the barrier merge orders buffered deliveries by their
+//! `(time, origin, seq)` keys — so stealing changes wall-clock only.
+//! `TEECHAIN_STEAL=0` (or [`ShardedEngine::set_steal`]) falls back to
+//! one thread per shard.
 //!
 //! # Determinism across shard counts
 //!
@@ -41,11 +65,19 @@
 //!   the random streams consumed by a node are a function of that
 //!   node's own deterministic event sequence — never of thread
 //!   interleaving.
-//! * **Partition-independent windows.** `L` is the minimum over *all*
-//!   links (not just the currently-cross-shard ones) and window starts
-//!   are global minima, so window boundaries — and therefore the
-//!   `run_to_idle` event-budget check, which runs at window granularity
-//!   — are the same for every shard count.
+//! * **Partition-independent event order.** The per-node total order
+//!   above is a function of event keys alone; window boundaries only
+//!   decide *when* a pending event is dispatched, never its key or its
+//!   relative order at the target node. Widening or narrowing windows —
+//!   as the per-cut lookahead does when the shard count changes — can
+//!   therefore never change an observable trace. The one
+//!   partition-*dependent* artifact is the `run_to_idle` event budget:
+//!   it is checked at window granularity (per event for a single shard,
+//!   whose window is unbounded), so *where* a run stops when the
+//!   runaway guard actually binds may differ across shard counts. The
+//!   budget is a backstop against non-quiescing simulations, not a
+//!   semantic knob; the determinism suites all use budgets that never
+//!   bind.
 //! * **Minimum link delay.** Zero-latency ("ideal") links would make
 //!   the lookahead zero, and a zero-delay cross-node message could
 //!   interleave with the target's same-instant events differently
@@ -67,6 +99,8 @@ use super::queue::{Ev, LaneKey, LaneQueue};
 use super::{Action, Ctx, EngineState, EventKind, NodeId, SimNode, SimStats};
 use crate::link::LinkSpec;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use teechain_util::rng::{SplitMix64, Xoshiro256};
 
 /// Every sampled message delay is clamped to at least this (see the
@@ -81,19 +115,31 @@ pub const MIN_DELAY_NS: u64 = 1;
 const PARALLEL_THRESHOLD: usize = 384;
 
 /// Link lookup shared read-only by every worker during a window.
+///
+/// The table knows the engine's round-robin partition (`node i → shard
+/// i mod S`) so it can maintain the **per-cut** lookahead: the minimum
+/// clamped latency over links whose endpoints live on *different*
+/// shards. Intra-shard links never bound a window (a shard pops its own
+/// heap in key order), so a fast local link does not force tiny windows
+/// on everyone else.
 struct LinkTable {
     links: HashMap<(u32, u32), LinkSpec>,
     default_link: LinkSpec,
-    /// Minimum latency over the default link and every override,
-    /// clamped to ≥ [`MIN_DELAY_NS`]; the conservative lookahead.
+    num_nodes: usize,
+    num_shards: usize,
+    /// Minimum clamped latency over the currently cross-shard links
+    /// (the default link included unless every cross pair is
+    /// overridden); `u64::MAX` for a single shard, whose cut is empty.
     lookahead: u64,
 }
 
 impl LinkTable {
-    fn new(default_link: LinkSpec) -> Self {
+    fn new(default_link: LinkSpec, num_nodes: usize, num_shards: usize) -> Self {
         let mut t = LinkTable {
             links: HashMap::new(),
             default_link,
+            num_nodes,
+            num_shards,
             lookahead: MIN_DELAY_NS,
         };
         t.recompute();
@@ -110,10 +156,41 @@ impl LinkTable {
         self.recompute();
     }
 
+    /// Recomputes the per-cut lookahead. Called only on topology change
+    /// (link overrides are rare), never per window, so the cost of the
+    /// override scan is irrelevant; whether the *default* link still
+    /// sits on the cut is decided by counting, not enumerating, the
+    /// cross pairs.
     fn recompute(&mut self) {
-        let mut l = self.default_link.latency_ns.max(MIN_DELAY_NS);
-        for spec in self.links.values() {
-            l = l.min(spec.latency_ns.max(MIN_DELAY_NS));
+        let (n, s) = (self.num_nodes, self.num_shards);
+        if s <= 1 || n <= 1 {
+            // No cut: nothing a shard does can surprise another shard.
+            self.lookahead = u64::MAX;
+            return;
+        }
+        // Unordered cross-shard pairs under the round-robin partition:
+        // all pairs minus the pairs internal to each shard.
+        let total_pairs = n * (n - 1) / 2;
+        let intra_pairs: usize = (0..s)
+            .map(|r| {
+                let size = n / s + usize::from(r < n % s);
+                size * (size - 1) / 2
+            })
+            .sum();
+        let cross_pairs = total_pairs - intra_pairs;
+        let mut l = u64::MAX;
+        let mut overridden = 0usize;
+        for (&(a, b), spec) in &self.links {
+            // Overrides are stored in both orientations; count each
+            // unordered pair once.
+            if a < b && (a as usize % s) != (b as usize % s) {
+                overridden += 1;
+                l = l.min(spec.latency_ns.max(MIN_DELAY_NS));
+            }
+        }
+        if overridden < cross_pairs {
+            // At least one cross pair still uses the default link.
+            l = l.min(self.default_link.latency_ns.max(MIN_DELAY_NS));
         }
         self.lookahead = l;
     }
@@ -161,8 +238,14 @@ struct Shard<N> {
     slots: Vec<Slot<N>>,
     queue: LaneQueue,
     /// Cross-shard deliveries buffered during a window, indexed by
-    /// destination shard; merged at the window barrier.
+    /// destination shard; merged at the window barrier. Buffers are
+    /// recycled at the barrier (capacity survives the drain) so steady
+    /// state allocates nothing here.
     outbound: Vec<Vec<Ev>>,
+    /// Action scratch reused across every handler invocation on this
+    /// shard — one arena-style allocation instead of a fresh `Vec` per
+    /// event.
+    scratch: Vec<Action>,
     now: u64,
     stats: SimStats,
 }
@@ -181,10 +264,18 @@ impl<N: SimNode> Shard<N> {
         }
     }
 
-    /// Applies a handler's actions on behalf of `from` at time `now`.
-    fn apply_actions(&mut self, now: u64, from: NodeId, actions: Vec<Action>, links: &LinkTable) {
+    /// Applies (and drains) a handler's actions on behalf of `from` at
+    /// time `now`. Draining instead of consuming lets the caller keep
+    /// the buffer's capacity for the next invocation.
+    fn apply_actions(
+        &mut self,
+        now: u64,
+        from: NodeId,
+        actions: &mut Vec<Action>,
+        links: &LinkTable,
+    ) {
         let local = self.local(from);
-        for action in actions {
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg } => {
                     let ev = {
@@ -243,7 +334,8 @@ impl<N: SimNode> Shard<N> {
         links: &LinkTable,
         f: impl FnOnce(&mut N, &mut Ctx<'_>) -> R,
     ) -> R {
-        let mut actions = Vec::new();
+        let mut actions = std::mem::take(&mut self.scratch);
+        debug_assert!(actions.is_empty());
         let now = self.now;
         let local = self.local(id);
         let r = {
@@ -256,7 +348,8 @@ impl<N: SimNode> Shard<N> {
             };
             f(&mut slot.node, &mut ctx)
         };
-        self.apply_actions(now, id, actions, links);
+        self.apply_actions(now, id, &mut actions, links);
+        self.scratch = actions;
         r
     }
 
@@ -296,11 +389,19 @@ impl<N: SimNode> Shard<N> {
         }
     }
 
-    /// Processes every local event scheduled strictly before `w_end`.
-    /// Same per-event semantics as the sequential engine's `step`.
-    fn process_window(&mut self, w_end: u64, links: &LinkTable) -> u64 {
+    /// Processes every local event scheduled strictly before `w_end`,
+    /// up to `budget` events. Same per-event semantics as the
+    /// sequential engine's `step`. Multi-shard windows pass
+    /// `u64::MAX` — stopping a shard mid-window would break the
+    /// barrier contract — while the single-shard path (whose one
+    /// window is unbounded) uses the budget to honor `run_to_idle`'s
+    /// runaway guard per event.
+    fn process_window(&mut self, w_end: u64, links: &LinkTable, budget: u64) -> u64 {
         let mut processed = 0;
-        while let Some(ev) = self.queue.pop_before(w_end) {
+        while processed < budget {
+            let Some(ev) = self.queue.pop_before(w_end) else {
+                break;
+            };
             processed += 1;
             self.now = self.now.max(ev.key.time);
             let node = ev.kind.target();
@@ -350,6 +451,11 @@ pub struct ShardedEngine<N> {
     /// Counters carried over from an engine conversion.
     base_stats: SimStats,
     started: bool,
+    /// Host CPUs available for window fan-out (cached once).
+    workers: usize,
+    /// Claim-based work stealing on the window fan-out (scheduling
+    /// only — results are identical either way).
+    steal: bool,
 }
 
 impl<N: SimNode + Send> ShardedEngine<N> {
@@ -365,6 +471,7 @@ impl<N: SimNode + Send> ShardedEngine<N> {
                 slots: Vec::new(),
                 queue: LaneQueue::new(),
                 outbound: (0..s).map(|_| Vec::new()).collect(),
+                scratch: Vec::new(),
                 now: 0,
                 stats: SimStats::default(),
             })
@@ -375,11 +482,13 @@ impl<N: SimNode + Send> ShardedEngine<N> {
         ShardedEngine {
             shards: built,
             num_nodes,
-            links: LinkTable::new(default_link),
+            links: LinkTable::new(default_link, num_nodes, s),
             now: 0,
             seed,
             base_stats: SimStats::default(),
             started: false,
+            workers: std::thread::available_parallelism().map_or(1, |p| p.get()),
+            steal: std::env::var("TEECHAIN_STEAL").map_or(true, |v| v != "0"),
         }
     }
 
@@ -468,9 +577,19 @@ impl<N: SimNode + Send> ShardedEngine<N> {
         self.shards.len()
     }
 
-    /// The conservative lookahead (minimum clamped link latency).
+    /// The conservative lookahead: the minimum clamped latency over the
+    /// currently cross-shard links (`u64::MAX` for a single shard,
+    /// whose cut is empty).
     pub fn lookahead_ns(&self) -> u64 {
         self.links.lookahead
+    }
+
+    /// Forces window work stealing on or off, overriding the
+    /// `TEECHAIN_STEAL` environment default (on). Pure scheduling
+    /// knob: results are bit-for-bit identical either way, which the
+    /// determinism suites assert.
+    pub fn set_steal(&mut self, steal: bool) {
+        self.steal = steal;
     }
 
     /// Sets the (symmetric) link between two nodes.
@@ -546,6 +665,8 @@ impl<N: SimNode + Send> ShardedEngine<N> {
     }
 
     /// Moves buffered cross-shard deliveries into their target heaps.
+    /// Buffers go back where they came from so their capacity is
+    /// reused next window.
     fn exchange(&mut self) {
         let s = self.shards.len();
         for src in 0..s {
@@ -553,8 +674,9 @@ impl<N: SimNode + Send> ShardedEngine<N> {
                 if src == dst || self.shards[src].outbound[dst].is_empty() {
                     continue;
                 }
-                let evs = std::mem::take(&mut self.shards[src].outbound[dst]);
-                self.shards[dst].queue.extend(evs);
+                let mut evs = std::mem::take(&mut self.shards[src].outbound[dst]);
+                self.shards[dst].queue.extend(evs.drain(..));
+                self.shards[src].outbound[dst] = evs;
             }
         }
     }
@@ -571,16 +693,50 @@ impl<N: SimNode + Send> ShardedEngine<N> {
     }
 
     /// Processes one lookahead window ending (exclusively) at `w_end`,
-    /// in parallel when enough work is queued. Returns events processed.
-    fn run_window(&mut self, w_end: u64) -> u64 {
+    /// in parallel when enough work is queued. `budget` caps events for
+    /// the single-shard path only (see [`Shard::process_window`]).
+    /// Returns events processed.
+    fn run_window(&mut self, w_end: u64, budget: u64) -> u64 {
         let pending: usize = self.shards.iter().map(|sh| sh.queue.len()).sum();
+        let steal = self.steal;
+        let workers = self.workers.min(self.shards.len());
         let links = &self.links;
         let shards = &mut self.shards;
-        let processed: u64 = if shards.len() > 1 && pending >= PARALLEL_THRESHOLD {
+        let processed: u64 = if shards.len() == 1 {
+            // One shard has no barrier to honor, so the event budget
+            // can bind mid-window (its single window is unbounded).
+            shards[0].process_window(w_end, links, budget)
+        } else if pending < PARALLEL_THRESHOLD || workers <= 1 {
+            // Handshake trickle, or nothing to gain from threads.
+            shards
+                .iter_mut()
+                .map(|shard| shard.process_window(w_end, links, u64::MAX))
+                .sum()
+        } else if steal {
+            // Claim-based pool: each worker grabs the next unclaimed
+            // shard, so a worker that drains a light shard takes over a
+            // waiting one instead of idling at the barrier. Claims are
+            // unique (fetch_add), so each mutex is locked exactly once
+            // — it exists to loan `&mut Shard` across threads, not to
+            // arbitrate contention.
+            let tasks: Vec<Mutex<&mut Shard<N>>> = shards.iter_mut().map(Mutex::new).collect();
+            let next = AtomicUsize::new(0);
             std::thread::scope(|scope| {
-                let handles: Vec<_> = shards
-                    .iter_mut()
-                    .map(|shard| scope.spawn(move || shard.process_window(w_end, links)))
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        scope.spawn(|| {
+                            let mut done = 0u64;
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(task) = tasks.get(i) else {
+                                    break;
+                                };
+                                let mut shard = task.lock().expect("claimed shard");
+                                done += shard.process_window(w_end, links, u64::MAX);
+                            }
+                            done
+                        })
+                    })
                     .collect();
                 handles
                     .into_iter()
@@ -588,10 +744,17 @@ impl<N: SimNode + Send> ShardedEngine<N> {
                     .sum()
             })
         } else {
-            shards
-                .iter_mut()
-                .map(|shard| shard.process_window(w_end, links))
-                .sum()
+            // Stealing disabled: one dedicated thread per shard.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .map(|shard| scope.spawn(move || shard.process_window(w_end, links, u64::MAX)))
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard worker panicked"))
+                    .sum()
+            })
         };
         self.exchange();
         processed
@@ -618,7 +781,7 @@ impl<N: SimNode + Send> ShardedEngine<N> {
             if let Some(d) = deadline {
                 w_end = w_end.min(d.saturating_add(1));
             }
-            total += self.run_window(w_end);
+            total += self.run_window(w_end, max_events - total);
         }
         let frontier = self.shards.iter().map(|sh| sh.now).max().unwrap_or(0);
         self.now = self.now.max(frontier);
@@ -634,9 +797,11 @@ impl<N: SimNode + Send> ShardedEngine<N> {
     }
 
     /// Runs until the event queue is empty, or approximately `max_events`
-    /// were processed (a runaway guard, checked at window boundaries —
-    /// unlike the sequential engine the budget can overshoot by up to
-    /// one window). Returns the number of events processed.
+    /// were processed (a runaway guard). With multiple shards the budget
+    /// is checked at window boundaries and can overshoot by up to one
+    /// window; with a single shard — whose one window is unbounded — it
+    /// binds per event, exactly like the sequential engine. Returns the
+    /// number of events processed.
     pub fn run_to_idle(&mut self, max_events: u64) -> u64 {
         self.drive(None, max_events)
     }
@@ -770,6 +935,85 @@ mod tests {
         sim.run_to_idle(10);
         // A "zero-latency" hop takes the 1 ns physical minimum.
         assert_eq!(sim.node(NodeId(1)).received[0].0, MIN_DELAY_NS);
+    }
+
+    #[test]
+    fn lookahead_uses_only_cross_shard_links() {
+        // Hub-spoke-ish layout at 2 shards: nodes {0,2} share shard 0,
+        // {1,3} share shard 1. A fast link *inside* a shard must not
+        // narrow the window; only cross-shard links sit on the cut.
+        let default = LinkSpec {
+            latency_ns: 5 * MS,
+            jitter_frac: 0.0,
+            bandwidth_bps: None,
+        };
+        let nodes: Vec<Echo> = (0..4).map(|_| Echo::new(false)).collect();
+        let mut sim = ShardedEngine::new(nodes, default, 3, 2);
+        assert_eq!(sim.lookahead_ns(), 5 * MS);
+        // Intra-shard override (0 and 2 both map to shard 0): the
+        // per-cut lookahead stays at the default — strictly wider than
+        // the global minimum (1 ns) the old derivation would pick.
+        sim.set_link(NodeId(0), NodeId(2), LinkSpec::ideal());
+        assert_eq!(sim.lookahead_ns(), 5 * MS);
+        // A cross-shard override does tighten the window.
+        let cross = LinkSpec {
+            latency_ns: 2 * MS,
+            jitter_frac: 0.0,
+            bandwidth_bps: None,
+        };
+        sim.set_link(NodeId(0), NodeId(1), cross);
+        assert_eq!(sim.lookahead_ns(), 2 * MS);
+        // One shard has an empty cut: the window is unbounded.
+        let nodes: Vec<Echo> = (0..4).map(|_| Echo::new(false)).collect();
+        let solo = ShardedEngine::new(nodes, default, 3, 1);
+        assert_eq!(solo.lookahead_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn single_shard_budget_binds_per_event() {
+        // The single-shard window is unbounded, so run_to_idle's guard
+        // must bind inside the window, exactly like the sequential
+        // engine.
+        let link = LinkSpec {
+            latency_ns: MS,
+            jitter_frac: 0.0,
+            bandwidth_bps: None,
+        };
+        let mut sim = ShardedEngine::new(vec![Echo::new(true), Echo::new(true)], link, 1, 1);
+        // Two echo nodes bounce forever; without the in-window budget
+        // this would never return.
+        sim.call(NodeId(0), |_, ctx| ctx.send(NodeId(1), b"ping".to_vec()));
+        assert_eq!(sim.run_to_idle(25), 25);
+    }
+
+    #[test]
+    fn stealing_matches_dedicated_workers() {
+        // Same workload with the claim-based pool forced on and off:
+        // traces and stats must be bit-for-bit identical (stealing is
+        // scheduling only).
+        let link = LinkSpec {
+            latency_ns: MS,
+            jitter_frac: 0.2,
+            bandwidth_bps: None,
+        };
+        let run = |steal: bool| {
+            let nodes: Vec<Echo> = (0..8).map(|i| Echo::new(i % 2 == 1)).collect();
+            let mut sim = ShardedEngine::new(nodes, link, 13, 4);
+            sim.set_steal(steal);
+            for i in 0..8u32 {
+                sim.call(NodeId(i), |_, ctx| {
+                    for k in 0..150u16 {
+                        ctx.send(NodeId((i + 3) % 8), k.to_le_bytes().to_vec());
+                    }
+                });
+            }
+            sim.run_to_idle(1_000_000);
+            let trace: Vec<_> = (0..8u32)
+                .map(|i| sim.node(NodeId(i)).received.clone())
+                .collect();
+            (trace, sim.stats(), sim.now_ns())
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]
@@ -927,7 +1171,10 @@ mod tests {
                     }
                 });
             }
-            sim.run_to_idle(10_000);
+            // Odd echo pairs ping-pong forever, so bound by *time*, not
+            // by event budget: where a binding budget stops is window-
+            // granular and thus partition-dependent (see module docs).
+            sim.run_until(80 * MS);
             let trace: Vec<_> = (0..5u32)
                 .map(|i| sim.node(NodeId(i)).received.clone())
                 .collect();

@@ -10,7 +10,8 @@
 //! 3. conservation — every sent message is either delivered or counted
 //!    dropped by crash fault injection;
 //! 4. shard-count invariance — the sharded engine's full receipt trace
-//!    is bit-for-bit identical at 1 and 3 shards.
+//!    is bit-for-bit identical at 1 and 3 shards, with window work
+//!    stealing forced on or off.
 
 use proptest::prelude::*;
 use teechain_net::{AnyEngine, Ctx, EngineKind, LinkSpec, NodeId, SimNode, SimStats, MS};
@@ -64,6 +65,7 @@ fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
 #[allow(clippy::type_complexity)]
 fn run_case(
     kind: EngineKind,
+    steal: Option<bool>,
     ops: &[Op],
     latency_ms: u64,
     jitter_pct: u64,
@@ -82,6 +84,9 @@ fn run_case(
         })
         .collect();
     let mut eng: AnyEngine<Recorder> = AnyEngine::new(kind, nodes, link, 0xfeed);
+    if let Some(steal) = steal {
+        eng.set_steal(steal);
+    }
     let mut next_seq = vec![0u32; (NODES * NODES) as usize];
     let mut sent = 0u64;
     for op in ops {
@@ -165,23 +170,32 @@ proptest! {
         costs in proptest::collection::vec(0u64..2_000_000, 4..5),
     ) {
         let (seq_traces, seq_stats, seq_sent) =
-            run_case(EngineKind::Seq, &ops, latency_ms, jitter_pct, &costs);
+            run_case(EngineKind::Seq, None, &ops, latency_ms, jitter_pct, &costs);
         check_invariants("seq", &seq_traces, &seq_stats, seq_sent, &costs)?;
 
         let one = run_case(
             EngineKind::Sharded { shards: 1 },
-            &ops, latency_ms, jitter_pct, &costs,
+            None, &ops, latency_ms, jitter_pct, &costs,
         );
         check_invariants("sharded:1", &one.0, &one.1, one.2, &costs)?;
 
         let three = run_case(
             EngineKind::Sharded { shards: 3 },
-            &ops, latency_ms, jitter_pct, &costs,
+            Some(true), &ops, latency_ms, jitter_pct, &costs,
         );
         check_invariants("sharded:3", &three.0, &three.1, three.2, &costs)?;
 
         // (4) Shard-count invariance, trace-exact.
         prop_assert!(one.0 == three.0, "sharded traces diverged");
         prop_assert!(one.1 == three.1, "sharded stats diverged");
+
+        // (5) Scheduling invariance: the claim-based stealing pool is
+        // scheduling only, so forcing it off changes nothing.
+        let no_steal = run_case(
+            EngineKind::Sharded { shards: 3 },
+            Some(false), &ops, latency_ms, jitter_pct, &costs,
+        );
+        prop_assert!(three.0 == no_steal.0, "steal on/off traces diverged");
+        prop_assert!(three.1 == no_steal.1, "steal on/off stats diverged");
     }
 }
