@@ -21,6 +21,12 @@
 //! counted per [`OpError`](teechain::ops::OpError) label into the
 //! standard `op_errors` section of `BENCH_live.json`. Run with `--quick`
 //! for the CI-sized sweep.
+//!
+//! The **nodes axis**: the reactor backend is additionally swept at 10,
+//! 100 and 1,000 live nodes — n/2 disjoint payment pairs driven
+//! concurrently — which the thread-per-node backends cannot reach (2,000
+//! OS threads for the 1,000-node point; the reactor runtime spends a
+//! constant few, recorded as `reactor_nodes{n}_runtime_threads`).
 
 use std::collections::{BTreeMap, HashMap};
 use std::time::Duration;
@@ -94,6 +100,121 @@ fn run_payments(net: &LiveCluster, chan: ChannelId, total: usize, window: usize)
         latencies,
         op_errors,
     }
+}
+
+/// Drives `total_each` unit payments over every pair in `pairs`
+/// concurrently, keeping up to `window_each` in flight per pair — the
+/// nodes-axis workload: aggregate throughput across n/2 disjoint
+/// channels instead of one hot channel.
+fn run_mesh_payments(
+    net: &LiveCluster,
+    pairs: &[(usize, ChannelId)],
+    total_each: usize,
+    window_each: usize,
+) -> Phase {
+    let mut issue_ns: HashMap<(usize, u64), u64> = HashMap::new();
+    let mut submitted = vec![0usize; pairs.len()];
+    let mut inflight = vec![0usize; pairs.len()];
+    let mut resolved = 0usize;
+    let total = total_each * pairs.len();
+    let mut completed = 0u64;
+    let mut first_issue = u64::MAX;
+    let mut last_done = 0u64;
+    let mut latencies = Histogram::new();
+    let mut op_errors: BTreeMap<String, u64> = BTreeMap::new();
+    while resolved < total {
+        for (k, &(payer, chan)) in pairs.iter().enumerate() {
+            while inflight[k] < window_each && submitted[k] < total_each {
+                let t = net.now_ns();
+                let p = net.submit_pay(payer, chan, 1);
+                first_issue = first_issue.min(t);
+                issue_ns.insert((payer, p.op.seq), t);
+                submitted[k] += 1;
+                inflight[k] += 1;
+            }
+        }
+        let mut progressed = false;
+        for (k, &(payer, _)) in pairs.iter().enumerate() {
+            for c in net.take_completions(payer) {
+                let Some(t0) = issue_ns.remove(&(payer, c.op.seq)) else {
+                    continue; // Setup noise, not one of ours.
+                };
+                inflight[k] -= 1;
+                resolved += 1;
+                progressed = true;
+                last_done = last_done.max(c.time_ns);
+                match c.outcome {
+                    Ok(_) => {
+                        completed += 1;
+                        latencies.record(c.time_ns.saturating_sub(t0));
+                    }
+                    Err(e) => {
+                        *op_errors.entry(e.label()).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+    let duration_ns = last_done.saturating_sub(first_issue).max(1);
+    Phase {
+        throughput: completed as f64 / (duration_ns as f64 / 1e9),
+        mean_ms: latencies.mean() / 1e6,
+        p50_ms: latencies.p50() as f64 / 1e6,
+        p99_ms: latencies.p99() as f64 / 1e6,
+        completed,
+        latencies,
+        op_errors,
+    }
+}
+
+/// One nodes-axis sweep point: an `n`-node reactor cluster, one funded
+/// channel per (2k, 2k+1) pair, aggregate windowed payments.
+fn measure_reactor_nodes(n: usize, aggregate_total: usize, table: &mut Table, doc: &mut BenchJson) {
+    let net = LiveCluster::over_reactor(LiveConfig {
+        n,
+        seed: 0x11FE,
+        ..LiveConfig::default()
+    })
+    .expect("bind reactor listener");
+    let pairs: Vec<(usize, ChannelId)> = (0..n / 2)
+        .map(|k| {
+            let chan =
+                net.standard_channel(2 * k, 2 * k + 1, &format!("sweep-{k}"), u64::MAX / 4, 1);
+            (2 * k, chan)
+        })
+        .collect();
+    let total_each = (aggregate_total / pairs.len()).max(2);
+    let window_each = 4usize;
+    let tp = run_mesh_payments(&net, &pairs, total_each, window_each);
+    let name = format!("reactor/{n}n");
+    table.row(&[
+        name,
+        fmt_thousands(tp.throughput),
+        format!("{:.3}", tp.mean_ms),
+        format!("{:.3}", tp.p50_ms),
+        format!("{:.3}", tp.p99_ms),
+        tp.completed.to_string(),
+        (window_each * pairs.len()).to_string(),
+    ]);
+    doc.metric(&format!("reactor_nodes{n}_throughput_tx_s"), tp.throughput)
+        .metric(&format!("reactor_nodes{n}_latency_mean_ms"), tp.mean_ms)
+        .metric(&format!("reactor_nodes{n}_latency_p99_ms"), tp.p99_ms)
+        .metric(&format!("reactor_nodes{n}_completed"), tp.completed)
+        .metric(
+            &format!("reactor_nodes{n}_runtime_threads"),
+            net.runtime_threads(),
+        )
+        .latency_hist(&format!("payment_reactor_nodes{n}_windowed"), &tp.latencies)
+        .op_errors(&tp.op_errors);
+    assert_eq!(
+        tp.completed,
+        (total_each * pairs.len()) as u64,
+        "reactor/{n}n: every live payment must complete successfully"
+    );
+    net.shutdown();
 }
 
 fn measure(
@@ -199,6 +320,31 @@ fn main() {
     );
     sink.write(&tcp.drain_trace());
     tcp.shutdown();
+
+    let reactor = LiveCluster::over_reactor(LiveConfig {
+        n: 2,
+        seed: 0x11FE,
+        ..LiveConfig::default()
+    })
+    .expect("bind reactor listener");
+    measure(
+        "reactor",
+        &reactor,
+        lat_payments,
+        tp_payments,
+        window,
+        &mut table,
+        &mut doc,
+    );
+    reactor.shutdown();
+
+    // The nodes axis: only the reactor backend is swept — at 1,000 nodes
+    // the thread-per-node runtimes would need 2,000 OS threads, while
+    // the sharded scheduler's count stays constant.
+    let aggregate_total = if quick { 2_000 } else { 10_000 };
+    for n in [10usize, 100, 1_000] {
+        measure_reactor_nodes(n, aggregate_total, &mut table, &mut doc);
+    }
 
     table.print();
     doc.table(&table).write().expect("bench json");

@@ -267,6 +267,22 @@ fn multihop_trace_is_single_rooted_live_tcp() {
     net.shutdown();
 }
 
+#[test]
+fn multihop_trace_is_single_rooted_live_reactor() {
+    // The fifth substrate: wire spans must stitch across the reactor's
+    // multiplexed pool and the run-queue scheduler exactly as they do
+    // across per-node sockets and threads.
+    let net = LiveCluster::over_reactor(LiveConfig {
+        n: 4,
+        seed: 0x0B5,
+        tracing: true,
+        ..LiveConfig::default()
+    })
+    .expect("bind reactor listener");
+    live_multihop_trace(&net, "live/reactor");
+    net.shutdown();
+}
+
 /// The chrome://tracing export round-trips through the hand-rolled JSON
 /// parser, and every flow arrow that starts also finishes (wire frames
 /// stitch sender to receiver; op flows stitch submit to completion).

@@ -30,7 +30,9 @@
 //!   with the calibrated CPU cost model (reproduces §7).
 //! * [`live`] — runs the *same* hosts as a real concurrent system:
 //!   per-node OS threads, wall-clock timers and a real transport
-//!   (in-process channels or localhost TCP) instead of the simulator.
+//!   (in-process channels or localhost TCP) instead of the simulator —
+//!   or, for 1,000+ nodes per box, the internal run-queue scheduler
+//!   (`live_sched`) over the non-blocking reactor transport.
 //! * [`routing`] — shortest-path and k-path route selection for payment
 //!   networks (§7.4 dynamic routing).
 //!
@@ -96,6 +98,7 @@ pub mod driver;
 pub mod durability;
 pub mod enclave;
 pub mod live;
+pub(crate) mod live_sched;
 pub mod msg;
 pub mod multihop;
 pub mod node;
@@ -109,7 +112,7 @@ pub mod types;
 
 pub use durability::{DurabilityBackend, PersistPolicy};
 pub use enclave::{Command, Effect, EnclaveConfig, HostEvent, Outcome, TeechainEnclave};
-pub use live::{LiveCluster, LiveConfig};
+pub use live::{LiveBackend, LiveCluster, LiveConfig};
 pub use node::TeechainNode;
 pub use ops::{Completion, OpError, OpId, OpOutput, Pending, SettleKind};
 pub use types::{ChannelId, CommitteeSpec, Deposit, MultihopStage, ProtocolError, RouteId};

@@ -4,9 +4,21 @@
 //! Everywhere else in this crate the nodes run inside the discrete-event
 //! simulator. [`LiveCluster`] runs the *unmodified* state machines —
 //! [`TeechainNode`], its enclave and its operation tracker — as an actual
-//! concurrent system: every node gets its own OS thread with a wall-clock
-//! timer heap, and messages travel over a real [`Transport`] backend
-//! (in-process channels or localhost TCP, see `teechain_net::live`).
+//! concurrent system behind a [`LiveBackend`] selector:
+//!
+//! * [`LiveBackend::Threads`] / [`LiveBackend::Tcp`] — the per-node
+//!   runtime: every node gets its own OS thread with a wall-clock timer
+//!   heap, and messages travel over a real [`Transport`] backend
+//!   (in-process channels or localhost TCP, see `teechain_net::live`).
+//! * [`LiveBackend::Reactor`] — the sharded runtime (the internal
+//!   `live_sched` module): thousands of nodes share a fixed pool of
+//!   worker threads via run-queues, with the non-blocking reactor
+//!   transport delivering frames straight into node inboxes. Total
+//!   thread count is constant in cluster size, which is what makes
+//!   1,000+ real nodes per box possible.
+//!
+//! Both runtimes publish completions to the same shared streams, so the
+//! entire public surface below behaves identically across backends.
 //!
 //! # How a node runs live
 //!
@@ -86,6 +98,10 @@ pub struct LiveConfig {
     /// with [`LiveCluster::drain_trace`]. Recording only happens when
     /// the `trace-record` feature is compiled in.
     pub tracing: bool,
+    /// Worker-thread pool size for the sharded runtime
+    /// ([`LiveBackend::Reactor`]); `0` resolves to the host's available
+    /// parallelism. Ignored by the thread-per-node backends.
+    pub workers: usize,
 }
 
 impl Default for LiveConfig {
@@ -95,8 +111,22 @@ impl Default for LiveConfig {
             seed: 7,
             durability: DurabilityBackend::None,
             tracing: false,
+            workers: 0,
         }
     }
+}
+
+/// Which live substrate a [`LiveCluster`] runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LiveBackend {
+    /// Thread-per-node over in-process channels ([`ThreadNet`]).
+    Threads,
+    /// Thread-per-node over localhost TCP sockets ([`TcpNet`]).
+    Tcp,
+    /// Run-queue scheduler over the non-blocking reactor transport
+    /// ([`teechain_net::ReactorNet`]): constant thread count, built for
+    /// 1,000+ nodes.
+    Reactor,
 }
 
 /// How long the blocking conveniences ([`LiveCluster::connect`],
@@ -104,8 +134,9 @@ impl Default for LiveConfig {
 /// operation dead. Generous: live CI machines stall unpredictably.
 pub const DEFAULT_OP_TIMEOUT: Duration = Duration::from_secs(30);
 
-/// Control-plane requests the harness sends into a node's event loop.
-enum LiveReq {
+/// Control-plane requests the harness sends into a node's event loop
+/// (per-node runtime) or inbox (sharded runtime).
+pub(crate) enum LiveReq {
     /// Submit `cmd` as a correlated operation.
     Submit {
         cmd: Command,
@@ -141,9 +172,13 @@ enum LiveReq {
     Shutdown,
 }
 
-/// A node event loop's unified input: network bytes or a control request.
-enum Input {
+/// A node's unified input: network bytes, a fired wall-clock timer, or a
+/// control request. The per-node loops keep their own timer heaps and
+/// never see [`Input::TimerFired`]; the sharded scheduler's global timer
+/// thread delivers fires through the inbox like any other input.
+pub(crate) enum Input {
     Net(NodeId, Vec<u8>),
+    TimerFired(u64),
     Req(LiveReq),
 }
 
@@ -168,12 +203,22 @@ pub struct LiveCluster {
     pub chain: SharedChain,
     /// Durable stores per node (persistent mode), harness-owned.
     pub stores: Vec<Option<SharedStore>>,
-    reqs: Vec<Sender<Input>>,
     completions: Vec<Arc<Mutex<Vec<Completion>>>>,
     epoch: Instant,
-    stop: Arc<AtomicBool>,
-    workers: Vec<JoinHandle<TeechainNode>>,
-    pumps: Vec<JoinHandle<()>>,
+    runtime: Runtime,
+}
+
+/// The two live execution strategies behind [`LiveCluster`]'s one API.
+enum Runtime {
+    /// Thread-per-node: an event loop and a transport pump per node.
+    PerNode {
+        reqs: Vec<Sender<Input>>,
+        stop: Arc<AtomicBool>,
+        workers: Vec<JoinHandle<TeechainNode>>,
+        pumps: Vec<JoinHandle<()>>,
+    },
+    /// Run-queue scheduler sharing a fixed worker pool across all nodes.
+    Sharded(crate::live_sched::Sched),
 }
 
 impl LiveCluster {
@@ -188,6 +233,48 @@ impl LiveCluster {
     pub fn over_tcp(cfg: LiveConfig) -> std::io::Result<LiveCluster> {
         let endpoints = TcpNet::localhost(cfg.n)?;
         Ok(LiveCluster::new(cfg, endpoints))
+    }
+
+    /// Builds a live cluster on the sharded run-queue scheduler over the
+    /// non-blocking reactor transport: `cfg.workers` worker threads (or
+    /// the host parallelism when `0`) plus one poller and one timer
+    /// thread, regardless of `cfg.n`. Same identities, same operation
+    /// ids, same completion streams as the thread-per-node backends.
+    ///
+    /// # Panics
+    ///
+    /// Panics on [`DurabilityBackend::Replication`], like
+    /// [`LiveCluster::new`].
+    pub fn over_reactor(cfg: LiveConfig) -> std::io::Result<LiveCluster> {
+        assert!(
+            cfg.durability.auto_backups() == 0,
+            "LiveCluster does not support committee-chain replication; \
+             use DurabilityBackend::None or Persist"
+        );
+        let chain: SharedChain = Arc::new(Mutex::new(Chain::new()));
+        let (_root, nodes, stores, ids) =
+            build_wired_nodes(cfg.n, cfg.seed, cfg.durability, &chain);
+        let epoch = Instant::now();
+        let sched = crate::live_sched::Sched::launch(&cfg, nodes, epoch)?;
+        let completions = sched.completion_handles();
+        Ok(LiveCluster {
+            ids,
+            chain,
+            stores,
+            completions,
+            epoch,
+            runtime: Runtime::Sharded(sched),
+        })
+    }
+
+    /// Builds a live cluster on the selected backend — the uniform entry
+    /// point sweeps and equivalence suites iterate over.
+    pub fn over(backend: LiveBackend, cfg: LiveConfig) -> std::io::Result<LiveCluster> {
+        match backend {
+            LiveBackend::Threads => Ok(LiveCluster::over_threads(cfg)),
+            LiveBackend::Tcp => LiveCluster::over_tcp(cfg),
+            LiveBackend::Reactor => LiveCluster::over_reactor(cfg),
+        }
     }
 
     /// Builds a live cluster over caller-provided transport endpoints
@@ -255,12 +342,36 @@ impl LiveCluster {
             ids,
             chain,
             stores,
-            reqs,
             completions,
             epoch,
-            stop,
-            workers,
-            pumps,
+            runtime: Runtime::PerNode {
+                reqs,
+                stop,
+                workers,
+                pumps,
+            },
+        }
+    }
+
+    /// Routes an input to node `i` on whichever runtime is active.
+    fn send_input(&self, i: usize, input: Input) {
+        match &self.runtime {
+            Runtime::PerNode { reqs, .. } => {
+                reqs[i].send(input).expect("node event loop is running");
+            }
+            Runtime::Sharded(sched) => sched.enqueue(i, input),
+        }
+    }
+
+    /// Total OS threads the runtime itself owns (node loops and pumps,
+    /// or scheduler workers plus the reactor poller and timer threads).
+    /// For the per-node backends this is `2 * n`; for the reactor
+    /// backend it is a constant independent of `n` — the property the
+    /// 1,000-node bench rows record.
+    pub fn runtime_threads(&self) -> usize {
+        match &self.runtime {
+            Runtime::PerNode { workers, pumps, .. } => workers.len() + pumps.len(),
+            Runtime::Sharded(sched) => sched.worker_count + 2,
         }
     }
 
@@ -272,19 +383,17 @@ impl LiveCluster {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.reqs.len()
+        self.completions.len()
     }
 
     /// True if the cluster has no nodes.
     pub fn is_empty(&self) -> bool {
-        self.reqs.is_empty()
+        self.completions.is_empty()
     }
 
     fn request_op(&self, i: usize, make: impl FnOnce(Sender<OpId>) -> LiveReq) -> OpId {
         let (reply_tx, reply_rx) = mpsc::channel();
-        self.reqs[i]
-            .send(Input::Req(make(reply_tx)))
-            .expect("node event loop is running");
+        self.send_input(i, Input::Req(make(reply_tx)));
         reply_rx.recv().expect("node event loop replies")
     }
 
@@ -345,10 +454,13 @@ impl LiveCluster {
             }
             if Instant::now() >= deadline {
                 let (reply_tx, reply_rx) = mpsc::channel();
-                let _ = self.reqs[i].send(Input::Req(LiveReq::ResolveDead {
-                    op: p.op,
-                    reply: reply_tx,
-                }));
+                self.send_input(
+                    i,
+                    Input::Req(LiveReq::ResolveDead {
+                        op: p.op,
+                        reply: reply_tx,
+                    }),
+                );
                 let _ = reply_rx.recv();
                 // Either the node just recorded the timeout completion,
                 // or the real one landed in the race window — read back
@@ -535,10 +647,9 @@ impl LiveCluster {
     /// instant).
     pub fn observe(&self) -> teechain_trace::Snapshot {
         let mut reg = teechain_trace::Registry::new();
-        for req in &self.reqs {
+        for i in 0..self.len() {
             let (reply_tx, reply_rx) = mpsc::channel();
-            req.send(Input::Req(LiveReq::Observe { reply: reply_tx }))
-                .expect("node event loop is running");
+            self.send_input(i, Input::Req(LiveReq::Observe { reply: reply_tx }));
             reg.merge(&reply_rx.recv().expect("node event loop replies"));
         }
         reg.snapshot()
@@ -549,36 +660,43 @@ impl LiveCluster {
     /// epoch, so the order is real-time (and, unlike sim traces, not
     /// reproducible across runs).
     pub fn drain_trace(&self) -> Vec<teechain_trace::TraceEvent> {
-        let streams: Vec<Vec<teechain_trace::TraceEvent>> = self
-            .reqs
-            .iter()
-            .map(|req| {
+        let streams: Vec<Vec<teechain_trace::TraceEvent>> = (0..self.len())
+            .map(|i| {
                 let (reply_tx, reply_rx) = mpsc::channel();
-                req.send(Input::Req(LiveReq::DrainTrace { reply: reply_tx }))
-                    .expect("node event loop is running");
+                self.send_input(i, Input::Req(LiveReq::DrainTrace { reply: reply_tx }));
                 reply_rx.recv().expect("node event loop replies")
             })
             .collect();
         teechain_trace::merge_events(streams)
     }
 
-    /// Stops every event loop and pump, joins all threads and returns
-    /// the final nodes (for balance and state assertions).
+    /// Stops the runtime (event loops and pumps, or the scheduler's
+    /// workers, timer and poller), joins all threads and returns the
+    /// final nodes (for balance and state assertions).
     pub fn shutdown(self) -> Vec<TeechainNode> {
-        self.stop.store(true, Ordering::Relaxed);
-        for req in &self.reqs {
-            let _ = req.send(Input::Req(LiveReq::Shutdown));
+        match self.runtime {
+            Runtime::PerNode {
+                reqs,
+                stop,
+                workers,
+                pumps,
+            } => {
+                stop.store(true, Ordering::Relaxed);
+                for req in &reqs {
+                    let _ = req.send(Input::Req(LiveReq::Shutdown));
+                }
+                drop(reqs);
+                let nodes: Vec<TeechainNode> = workers
+                    .into_iter()
+                    .map(|w| w.join().expect("node thread panicked"))
+                    .collect();
+                for pump in pumps {
+                    pump.join().expect("pump thread panicked");
+                }
+                nodes
+            }
+            Runtime::Sharded(sched) => sched.shutdown(),
         }
-        drop(self.reqs);
-        let nodes: Vec<TeechainNode> = self
-            .workers
-            .into_iter()
-            .map(|w| w.join().expect("node thread panicked"))
-            .collect();
-        for pump in self.pumps {
-            pump.join().expect("pump thread panicked");
-        }
-        nodes
     }
 }
 
@@ -743,6 +861,12 @@ impl<Tx: TransportTx> NodeLoop<Tx> {
             match self.input.recv_timeout(wait) {
                 Ok(Input::Net(from, msg)) => {
                     self.dispatch(|node, ctx| node.handle_wire(ctx, from, msg));
+                }
+                // Only the sharded scheduler routes timer fires through
+                // the inbox; this loop keeps its own heap. Handle it
+                // anyway so the input type stays total.
+                Ok(Input::TimerFired(token)) => {
+                    self.dispatch(|node, ctx| node.handle_timer(ctx, token));
                 }
                 Ok(Input::Req(req)) => {
                     if !self.handle_req(req) {

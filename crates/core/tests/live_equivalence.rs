@@ -1,4 +1,4 @@
-//! Sim-vs-live equivalence: one seeded scenario, four substrates, one
+//! Sim-vs-live equivalence: one seeded scenario, five substrates, one
 //! outcome history.
 //!
 //! The correlated-operation layer gives every substrate the same
@@ -11,8 +11,9 @@
 //! * the sharded conservative-parallel engine (4 shards),
 //! * the live runtime over in-process thread channels,
 //! * the live runtime over localhost TCP sockets,
+//! * the sharded live scheduler over the non-blocking reactor transport,
 //!
-//! and asserts the four outcome sets are identical. Identities, channel
+//! and asserts the five outcome sets are identical. Identities, channel
 //! ids, deposit outpoints and settlement transaction ids all match
 //! bit-for-bit because the harnesses derive hardware seeds with the same
 //! formulas; only completion *times* (and cross-node interleavings on the
@@ -281,6 +282,22 @@ fn live_tcp_agrees_with_seq() {
 }
 
 #[test]
+fn live_reactor_agrees_with_seq() {
+    let seq = sim_fingerprint(EngineKind::Seq);
+    let mut live = Live(
+        LiveCluster::over_reactor(LiveConfig {
+            n: N,
+            seed: SEED,
+            ..LiveConfig::default()
+        })
+        .expect("bind reactor listener"),
+    );
+    let reactor = run_scenario(&mut live);
+    live.0.shutdown();
+    assert_eq!(seq, reactor, "seq vs live-reactor outcome sets differ");
+}
+
+#[test]
 fn live_concurrent_payments_conserve_balance() {
     // Beyond the lock-step scenario: many payments in flight at once on
     // the live substrate must still conserve channel balance exactly.
@@ -290,6 +307,33 @@ fn live_concurrent_payments_conserve_balance() {
         ..LiveConfig::default()
     });
     let chan = net.standard_channel(0, 1, "eq-burst", 100_000, 1);
+    let pendings: Vec<_> = (0..50).map(|_| net.submit_pay(0, chan, 7)).collect();
+    let mut delivered = 0u64;
+    for p in pendings {
+        delivered += net.wait(p, LIVE_WAIT).expect("burst payment").amount;
+    }
+    assert_eq!(delivered, 350);
+    let nodes = net.shutdown();
+    let c = nodes[0]
+        .enclave
+        .program()
+        .and_then(|p| p.channel(&chan))
+        .expect("channel");
+    assert_eq!((c.my_bal, c.remote_bal), (100_000 - 350, 350));
+}
+
+#[test]
+fn reactor_concurrent_payments_conserve_balance() {
+    // The same burst on the sharded scheduler: fifty payments in flight
+    // at once cross the run queue, the shared timer heap and the reactor
+    // pool, and channel balance must still be conserved exactly.
+    let net = LiveCluster::over_reactor(LiveConfig {
+        n: 2,
+        seed: 9,
+        ..LiveConfig::default()
+    })
+    .expect("bind reactor listener");
+    let chan = net.standard_channel(0, 1, "eq-burst-reactor", 100_000, 1);
     let pendings: Vec<_> = (0..50).map(|_| net.submit_pay(0, chan, 7)).collect();
     let mut delivered = 0u64;
     for p in pendings {

@@ -42,7 +42,7 @@ pub use engine::{
 };
 pub use link::LinkSpec;
 pub use live::{
-    NodeAction, TcpNet, ThreadNet, Transport, TransportError, TransportRx, TransportTx,
+    NodeAction, ReactorNet, TcpNet, ThreadNet, Transport, TransportError, TransportRx, TransportTx,
 };
 pub use stats::Histogram;
 

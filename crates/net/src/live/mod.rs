@@ -18,6 +18,11 @@
 //!   listener per node, lazily-established peer connections, frames
 //!   encoded with the workspace wire codec (`teechain_util::codec`). TCP
 //!   gives the FIFO-per-connection guarantee for free.
+//! * [`reactor`] — the non-blocking backend ([`ReactorNet`]): every
+//!   (source, destination) flow multiplexed over a small fixed pool of
+//!   nonblocking sockets swept by a single poller thread, so transport
+//!   thread count is O(1) in cluster size instead of O(N²). Same codec
+//!   framing, extended with the destination id.
 //! * [`drive`] — runs a node handler *outside* any engine, returning the
 //!   [`NodeAction`]s it emitted so a live event loop can perform them as
 //!   real I/O (send on the transport, arm a wall-clock timer) instead of
@@ -31,9 +36,12 @@
 //! Protocol *outcomes* remain comparable across substrates — the
 //! sim-vs-live equivalence suite in `crates/core` asserts exactly that.
 
+mod framing;
+pub mod reactor;
 pub mod tcp;
 pub mod thread;
 
+pub use reactor::{InboundSink, ReactorHandle, ReactorNet, ReactorTx};
 pub use tcp::TcpNet;
 pub use thread::ThreadNet;
 

@@ -1,0 +1,688 @@
+//! The non-blocking reactor transport backend.
+//!
+//! [`TcpNet`](super::TcpNet) spends threads the way the paper's testbed
+//! spends machines: one acceptor per node plus one reader per accepted
+//! connection, so an N-node box burns O(N²) threads just moving bytes.
+//! [`ReactorNet`] moves the same protocol bytes with **one** thread.
+//!
+//! # Design
+//!
+//! The vendored-dependency environment rules out tokio/mio, so the
+//! readiness loop is hand-rolled on `std::net` primitives: every socket
+//! is switched to nonblocking mode and a single *poller* thread runs a
+//! level-triggered sweep — try to accept, try to flush each connection's
+//! write buffer, try to read from each connection, and park briefly on
+//! the command channel when a full sweep moved nothing. There is no
+//! epoll handle to wait on without `libc`, but the sweep is cheap
+//! because the socket count is fixed:
+//!
+//! * The net binds **one** listener for the whole cluster.
+//! * Outbound frames are multiplexed over a small fixed pool of
+//!   connections to that listener ([`POOL`] by default). Each logical
+//!   (source, destination) flow is pinned to one pooled connection by a
+//!   deterministic hash, and the single poller writes a flow's frames in
+//!   submission order — so the per-(source, destination) FIFO contract
+//!   holds even though thousands of flows share a socket. This is the
+//!   flow/session separation of LDN-style transports: sessions are
+//!   kernel sockets, flows are frame-tagged.
+//! * Frames extend the [`TcpNet`](super::TcpNet) codec body with the
+//!   destination id (`u32 len | from | to | payload`, the `MuxFrame`
+//!   body) because the socket no longer implies it.
+//!
+//! Connections are dialed lazily (first frame that needs a pooled slot
+//! dials it), partial frames reassemble in per-connection
+//! `FrameBuffer`s, and per-connection write buffers absorb
+//! `WouldBlock`. Backpressure is two-stage: senders block on the bounded
+//! command channel, and the poller stops draining commands while any
+//! write buffer sits above its high watermark — so a slow kernel socket
+//! propagates pressure to producers instead of growing buffers without
+//! bound.
+//!
+//! # Delivery modes
+//!
+//! * [`ReactorNet::localhost`] — [`Transport`] endpoints like every
+//!   other backend (per-endpoint inbound queues); drop every receiving
+//!   half and the poller winds down.
+//! * [`ReactorNet::localhost_sink`] — inbound frames are handed to one
+//!   caller-provided sink instead of per-endpoint queues. This is the
+//!   mode the live node scheduler uses: the sink enqueues straight into
+//!   per-node run queues, so inbound traffic marks nodes ready without a
+//!   pump thread per node.
+
+use super::framing::{encode_frame, FrameBuffer, MuxFrame};
+use super::{Transport, TransportError, TransportRx, TransportTx};
+use crate::engine::NodeId;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Default number of pooled outbound connections all (source,
+/// destination) flows are multiplexed over.
+pub const POOL: usize = 4;
+
+/// Bound on the command channel from senders into the poller: senders
+/// block once this many frames are queued (first backpressure stage).
+const CMD_QUEUE: usize = 4096;
+
+/// Per-connection write-buffer high watermark: while any connection's
+/// buffer exceeds this, the poller stops draining sender commands
+/// (second backpressure stage) and concentrates on flushing.
+const WRITE_HIGH_WATER: usize = 1 << 20;
+
+/// Longest the poller parks when a full sweep moved nothing. A new
+/// command wakes it immediately (the park *is* the command-channel
+/// receive); inbound bytes wait at most this long.
+const IDLE_PARK: Duration = Duration::from_micros(500);
+
+/// A sink for inbound frames: `(destination, source, payload)`.
+pub type InboundSink = Box<dyn FnMut(NodeId, NodeId, Vec<u8>) + Send>;
+
+/// A frame queued by a sender for the poller to put on the wire.
+struct Cmd {
+    from: NodeId,
+    to: NodeId,
+    payload: Vec<u8>,
+}
+
+/// What [`ReactorNet::build`] hands back: the sending halves, the
+/// per-endpoint inbound queues (empty in sink mode) and the poller's
+/// handle.
+type BuiltNet = (
+    Vec<ReactorTx>,
+    Vec<Receiver<(NodeId, Vec<u8>)>>,
+    ReactorHandle,
+);
+
+/// The reactor network: a factory for endpoints whose shared poller
+/// thread is already running when the constructor returns.
+pub struct ReactorNet;
+
+impl ReactorNet {
+    /// Creates `n` [`Transport`] endpoints multiplexed over one listener
+    /// and the default connection pool. Endpoint `i` is for node `i`.
+    /// The poller exits once every receiving half has been dropped.
+    pub fn localhost(n: usize) -> std::io::Result<Vec<ReactorEndpoint>> {
+        let (txs, rx_queues, handle) = Self::build(n, POOL, None)?;
+        let live_rx = Arc::new(AtomicUsize::new(n));
+        let handle = Arc::new(handle);
+        Ok(txs
+            .into_iter()
+            .zip(rx_queues)
+            .map(|(tx, rx)| ReactorEndpoint {
+                tx,
+                rx,
+                live_rx: live_rx.clone(),
+                handle: handle.clone(),
+            })
+            .collect())
+    }
+
+    /// Creates `n` sending halves whose inbound frames are delivered to
+    /// `sink` from the poller thread, plus the [`ReactorHandle`] that
+    /// owns the poller. No per-endpoint queues, no pump threads: the
+    /// scheduler's run queues are fed directly.
+    pub fn localhost_sink(
+        n: usize,
+        pool: usize,
+        sink: InboundSink,
+    ) -> std::io::Result<(Vec<ReactorTx>, ReactorHandle)> {
+        let (txs, _queues, handle) = Self::build(n, pool.max(1), Some(sink))?;
+        Ok((txs, handle))
+    }
+
+    fn build(n: usize, pool: usize, sink: Option<InboundSink>) -> std::io::Result<BuiltNet> {
+        let listener = TcpListener::bind(("127.0.0.1", 0))?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let (cmd_tx, cmd_rx) = mpsc::sync_channel::<Cmd>(CMD_QUEUE);
+        let stop = Arc::new(AtomicBool::new(false));
+        let (route_txs, rx_queues) = match sink {
+            Some(_) => (Vec::new(), Vec::new()),
+            None => {
+                let mut txs = Vec::with_capacity(n);
+                let mut rxs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let (tx, rx) = mpsc::channel();
+                    txs.push(tx);
+                    rxs.push(rx);
+                }
+                (txs, rxs)
+            }
+        };
+        let poller = Poller {
+            listener,
+            addr,
+            cmds: cmd_rx,
+            dialed: (0..pool).map(|_| None).collect(),
+            accepted: Vec::new(),
+            routes: route_txs,
+            sink,
+            stop: stop.clone(),
+            n,
+        };
+        let thread = std::thread::Builder::new()
+            .name("teechain-reactor".into())
+            .spawn(move || poller.run())
+            .expect("spawn reactor poller");
+        let txs = (0..n)
+            .map(|i| ReactorTx {
+                id: NodeId(i as u32),
+                n,
+                cmds: cmd_tx.clone(),
+            })
+            .collect();
+        Ok((
+            txs,
+            rx_queues,
+            ReactorHandle {
+                stop,
+                thread: Some(thread),
+            },
+        ))
+    }
+}
+
+/// Owns the poller thread. [`shutdown`](ReactorHandle::shutdown) (or
+/// drop) stops the readiness loop and joins it — the clean winddown the
+/// scheduler calls after its workers have quiesced.
+pub struct ReactorHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ReactorHandle {
+    /// Stops the poller and joins it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ReactorHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// One pooled or accepted connection with its reassembly and write
+/// buffers.
+struct Conn {
+    stream: TcpStream,
+    inbuf: FrameBuffer,
+    outbuf: Vec<u8>,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            inbuf: FrameBuffer::new(),
+            outbuf: Vec::new(),
+        }
+    }
+
+    /// Writes as much of the buffered output as the kernel accepts.
+    /// Returns false if the connection died.
+    fn flush(&mut self) -> bool {
+        while !self.outbuf.is_empty() {
+            match self.stream.write(&self.outbuf) {
+                Ok(0) => return false,
+                Ok(wrote) => {
+                    self.outbuf.drain(..wrote);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+/// The single readiness-loop thread: owns every socket in the net.
+struct Poller {
+    listener: TcpListener,
+    addr: SocketAddr,
+    cmds: Receiver<Cmd>,
+    /// Lazily-dialed outbound pool; flows hash onto slots.
+    dialed: Vec<Option<Conn>>,
+    /// Accepted inbound connections (the other end of the pool).
+    accepted: Vec<Conn>,
+    /// Per-endpoint inbound queues ([`ReactorNet::localhost`] mode).
+    routes: Vec<mpsc::Sender<(NodeId, Vec<u8>)>>,
+    /// Inbound sink ([`ReactorNet::localhost_sink`] mode).
+    sink: Option<InboundSink>,
+    stop: Arc<AtomicBool>,
+    n: usize,
+}
+
+impl Poller {
+    /// Which pooled connection carries the (from, to) flow. Stable for
+    /// the net's lifetime, so the flow's frames stay FIFO.
+    fn slot(&self, from: NodeId, to: NodeId) -> usize {
+        (from.0 as usize)
+            .wrapping_mul(31)
+            .wrapping_add(to.0 as usize)
+            % self.dialed.len()
+    }
+
+    /// True while any write buffer is above the high watermark — the
+    /// signal to stop draining sender commands.
+    fn over_watermark(&self) -> bool {
+        self.dialed
+            .iter()
+            .flatten()
+            .any(|c| c.outbuf.len() > WRITE_HIGH_WATER)
+    }
+
+    /// Queues one frame onto its flow's pooled connection, dialing the
+    /// slot on first use.
+    fn enqueue(&mut self, cmd: Cmd) {
+        let slot = self.slot(cmd.from, cmd.to);
+        if self.dialed[slot].is_none() {
+            let Ok(stream) = TcpStream::connect(self.addr) else {
+                return; // Listener gone mid-winddown: drop the frame.
+            };
+            let _ = stream.set_nodelay(true);
+            stream
+                .set_nonblocking(true)
+                .expect("set_nonblocking on dialed stream");
+            self.dialed[slot] = Some(Conn::new(stream));
+        }
+        let conn = self.dialed[slot].as_mut().expect("slot dialed");
+        encode_frame(
+            &MuxFrame {
+                from: cmd.from.0,
+                to: cmd.to.0,
+                payload: cmd.payload,
+            },
+            &mut conn.outbuf,
+        );
+    }
+
+    /// Accepts every connection currently pending on the listener.
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    stream
+                        .set_nonblocking(true)
+                        .expect("set_nonblocking on accepted stream");
+                    self.accepted.push(Conn::new(stream));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Routes one reassembled frame to its destination endpoint or the
+    /// sink. Frames for dropped endpoints vanish, like traffic to a
+    /// crashed machine.
+    fn deliver(&mut self, frame: MuxFrame) {
+        if frame.to as usize >= self.n {
+            return;
+        }
+        if let Some(sink) = self.sink.as_mut() {
+            sink(NodeId(frame.to), NodeId(frame.from), frame.payload);
+        } else if let Some(route) = self.routes.get(frame.to as usize) {
+            let _ = route.send((NodeId(frame.from), frame.payload));
+        }
+    }
+
+    /// Reads whatever the kernel has on one accepted connection.
+    /// Returns false if the connection died, and how many frames moved.
+    fn read_ready(conn: &mut Conn, chunk: &mut [u8], frames: &mut Vec<MuxFrame>) -> bool {
+        loop {
+            match conn.stream.read(chunk) {
+                Ok(0) => return false,
+                Ok(got) => {
+                    conn.inbuf.extend(&chunk[..got]);
+                    loop {
+                        match conn.inbuf.next_frame::<MuxFrame>() {
+                            Ok(Some(frame)) => frames.push(frame),
+                            Ok(None) => break,
+                            Err(_) => return false, // Corrupt stream.
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    fn run(mut self) {
+        let mut chunk = vec![0u8; 64 * 1024];
+        let mut frames: Vec<MuxFrame> = Vec::new();
+        loop {
+            let mut progressed = false;
+
+            // 1. Sender commands — unless backpressured by a full write
+            //    buffer, in which case flushing comes first.
+            if !self.over_watermark() {
+                for _ in 0..CMD_QUEUE {
+                    match self.cmds.try_recv() {
+                        Ok(cmd) => {
+                            self.enqueue(cmd);
+                            progressed = true;
+                        }
+                        Err(_) => break,
+                    }
+                }
+            }
+
+            // 2. Flush pending writes (level-triggered retry).
+            for slot in 0..self.dialed.len() {
+                if let Some(conn) = self.dialed[slot].as_mut() {
+                    let before = conn.outbuf.len();
+                    if !conn.flush() {
+                        self.dialed[slot] = None; // Dead: drop buffered bytes.
+                    } else if conn.outbuf.len() != before {
+                        progressed = true;
+                    }
+                }
+            }
+
+            // 3. New inbound connections.
+            self.accept_ready();
+
+            // 4. Read sweep over accepted connections.
+            let mut i = 0;
+            while i < self.accepted.len() {
+                let alive = Self::read_ready(&mut self.accepted[i], &mut chunk, &mut frames);
+                if !frames.is_empty() {
+                    progressed = true;
+                    for frame in frames.drain(..) {
+                        self.deliver(frame);
+                    }
+                }
+                if alive {
+                    i += 1;
+                } else {
+                    self.accepted.swap_remove(i);
+                }
+            }
+
+            // Winddown: the last dropped receiving half (localhost
+            // mode) or the owning handle (sink mode) flips this flag.
+            if self.stop.load(Ordering::Relaxed) {
+                break;
+            }
+
+            // 5. Nothing moved: park on the command channel so the next
+            //    send wakes the loop instantly.
+            if !progressed {
+                match self.cmds.recv_timeout(IDLE_PARK) {
+                    Ok(cmd) => self.enqueue(cmd),
+                    Err(RecvTimeoutError::Timeout) => {}
+                    Err(RecvTimeoutError::Disconnected) => {
+                        // Every sender is gone; drain reads until the
+                        // stop flag or quiescence ends the loop.
+                        if self.stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        std::thread::sleep(IDLE_PARK);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// One node's [`Transport`] endpoint on the reactor net
+/// ([`ReactorNet::localhost`] mode).
+pub struct ReactorEndpoint {
+    tx: ReactorTx,
+    rx: Receiver<(NodeId, Vec<u8>)>,
+    live_rx: Arc<AtomicUsize>,
+    handle: Arc<ReactorHandle>,
+}
+
+impl Transport for ReactorEndpoint {
+    type Tx = ReactorTx;
+    type Rx = ReactorRx;
+
+    fn local_id(&self) -> NodeId {
+        self.tx.id
+    }
+
+    fn len(&self) -> usize {
+        self.tx.n
+    }
+
+    fn split(self) -> (ReactorTx, ReactorRx) {
+        (
+            self.tx,
+            ReactorRx {
+                rx: self.rx,
+                live_rx: self.live_rx,
+                handle: self.handle,
+            },
+        )
+    }
+}
+
+/// Sending half of a reactor endpoint: hands frames to the shared
+/// poller over the bounded command channel (blocking there is the first
+/// backpressure stage).
+pub struct ReactorTx {
+    id: NodeId,
+    n: usize,
+    cmds: SyncSender<Cmd>,
+}
+
+impl TransportTx for ReactorTx {
+    fn send(&mut self, to: NodeId, msg: Vec<u8>) -> Result<(), TransportError> {
+        if to.0 as usize >= self.n {
+            return Err(TransportError::Disconnected(to));
+        }
+        let mut cmd = Cmd {
+            from: self.id,
+            to,
+            payload: msg,
+        };
+        loop {
+            match self.cmds.try_send(cmd) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(c)) => {
+                    // Backpressure: wait for the poller to drain. A
+                    // bounded blocking send would do the same thing but
+                    // could not observe a concurrent poller shutdown.
+                    cmd = c;
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(TrySendError::Disconnected(_)) => return Err(TransportError::Closed),
+            }
+        }
+    }
+}
+
+/// Receiving half of a reactor endpoint. Dropping the last one stops
+/// the shared poller.
+pub struct ReactorRx {
+    rx: Receiver<(NodeId, Vec<u8>)>,
+    live_rx: Arc<AtomicUsize>,
+    handle: Arc<ReactorHandle>,
+}
+
+impl TransportRx for ReactorRx {
+    fn recv_timeout(
+        &mut self,
+        timeout: Duration,
+    ) -> Result<Option<(NodeId, Vec<u8>)>, TransportError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(m) => Ok(Some(m)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(TransportError::Closed),
+        }
+    }
+}
+
+impl Drop for ReactorRx {
+    fn drop(&mut self) {
+        if self.live_rx.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last receiver gone: nobody can observe another frame.
+            self.handle.stop.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_delivers_fifo_per_flow() {
+        let mut eps = ReactorNet::localhost(3).unwrap().into_iter();
+        let a = eps.next().unwrap();
+        let b = eps.next().unwrap();
+        assert_eq!((a.local_id(), a.len()), (NodeId(0), 3));
+        let (mut atx, _arx) = a.split();
+        let (_btx, mut brx) = b.split();
+        for i in 0..50u8 {
+            atx.send(NodeId(1), vec![i; 5]).unwrap();
+        }
+        for i in 0..50u8 {
+            let (from, msg) = brx
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .expect("frame");
+            assert_eq!(from, NodeId(0));
+            assert_eq!(msg, vec![i; 5]);
+        }
+    }
+
+    #[test]
+    fn many_flows_share_the_pool_without_cross_talk() {
+        // 8 nodes all sending to node 0 over a 2-connection pool: each
+        // flow must arrive FIFO and intact despite the multiplexing.
+        let n = 8;
+        let eps = ReactorNet::localhost(n).unwrap();
+        let mut parts: Vec<_> = eps.into_iter().map(|e| e.split()).collect();
+        let (_tx0, mut rx0) = parts.remove(0);
+        let senders: Vec<std::thread::JoinHandle<()>> = parts
+            .into_iter()
+            .enumerate()
+            .map(|(k, (mut tx, _rx))| {
+                std::thread::spawn(move || {
+                    for i in 0..40u8 {
+                        tx.send(NodeId(0), vec![(k + 1) as u8, i]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let mut next: Vec<u8> = vec![0; n];
+        for _ in 0..(40 * (n - 1)) {
+            let (from, msg) = rx0
+                .recv_timeout(Duration::from_secs(10))
+                .unwrap()
+                .expect("frame");
+            assert_eq!(msg[0] as u32, from.0); // Tag matches source.
+            assert_eq!(msg[1], next[from.0 as usize], "per-flow FIFO broken");
+            next[from.0 as usize] += 1;
+        }
+        for s in senders {
+            s.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn bidirectional_echo_across_threads() {
+        let mut eps = ReactorNet::localhost(2).unwrap().into_iter();
+        let (mut atx, mut arx) = eps.next().unwrap().split();
+        let (mut btx, mut brx) = eps.next().unwrap().split();
+        let echo = std::thread::spawn(move || {
+            while let Ok(Some((from, msg))) = brx.recv_timeout(Duration::from_secs(5)) {
+                if msg == b"stop" {
+                    break;
+                }
+                btx.send(from, msg).unwrap();
+            }
+        });
+        for _ in 0..5 {
+            atx.send(NodeId(1), b"ping".to_vec()).unwrap();
+            let (from, msg) = arx
+                .recv_timeout(Duration::from_secs(5))
+                .unwrap()
+                .expect("echo");
+            assert_eq!((from, &msg[..]), (NodeId(1), &b"ping"[..]));
+        }
+        atx.send(NodeId(1), b"stop".to_vec()).unwrap();
+        echo.join().unwrap();
+    }
+
+    #[test]
+    fn send_to_unknown_node_is_disconnected() {
+        let mut eps = ReactorNet::localhost(1).unwrap().into_iter();
+        let (mut tx, _rx) = eps.next().unwrap().split();
+        assert_eq!(
+            tx.send(NodeId(9), vec![]),
+            Err(TransportError::Disconnected(NodeId(9)))
+        );
+    }
+
+    #[test]
+    fn sink_mode_feeds_frames_without_per_node_queues() {
+        let (got_tx, got_rx) = mpsc::channel();
+        let (mut txs, handle) = ReactorNet::localhost_sink(
+            4,
+            2,
+            Box::new(move |to, from, payload| {
+                let _ = got_tx.send((to, from, payload));
+            }),
+        )
+        .unwrap();
+        txs[2].send(NodeId(3), b"hello".to_vec()).unwrap();
+        let (to, from, payload) = got_rx.recv_timeout(Duration::from_secs(5)).expect("frame");
+        assert_eq!(
+            (to, from, &payload[..]),
+            (NodeId(3), NodeId(2), &b"hello"[..])
+        );
+        handle.shutdown();
+    }
+
+    #[test]
+    fn winddown_stops_the_poller_when_receivers_drop() {
+        let eps = ReactorNet::localhost(2).unwrap();
+        let handle = eps[0].handle.clone();
+        let parts: Vec<_> = eps.into_iter().map(|e| e.split()).collect();
+        drop(parts); // All Rx halves gone -> stop flag set.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while !handle.stop.load(Ordering::Relaxed) {
+            assert!(std::time::Instant::now() < deadline, "stop flag never set");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn large_frame_survives_pool_multiplexing() {
+        // A frame bigger than the kernel's socket buffers must arrive
+        // intact through the write-buffer / partial-read machinery.
+        let mut eps = ReactorNet::localhost(2).unwrap().into_iter();
+        let (mut atx, _arx) = eps.next().unwrap().split();
+        let (_btx, mut brx) = eps.next().unwrap().split();
+        let big: Vec<u8> = (0..3_000_000u32).map(|i| (i % 251) as u8).collect();
+        let want = big.clone();
+        let sender = std::thread::spawn(move || atx.send(NodeId(1), big));
+        let (from, msg) = brx
+            .recv_timeout(Duration::from_secs(30))
+            .unwrap()
+            .expect("big frame");
+        assert_eq!(from, NodeId(0));
+        assert_eq!(msg.len(), want.len());
+        assert_eq!(msg, want);
+        sender.join().unwrap().unwrap();
+    }
+}

@@ -10,89 +10,71 @@
 //!
 //! Threading: each endpoint spawns one acceptor thread at construction
 //! and one reader thread per accepted connection. All of them watch a
-//! shared stop flag (set when the receiving half is dropped) and use
-//! short socket timeouts, so dropping the [`TcpRx`] winds the whole
-//! endpoint down without leaking threads past a test run.
+//! shared stop flag (set when the receiving half is dropped), and the
+//! winddown path additionally *nudges* every reader by calling
+//! `shutdown(2)` on its socket — a blocked read returns immediately
+//! instead of waiting out its poll timeout, so dropping the [`TcpRx`]
+//! winds the whole endpoint down promptly and deterministically rather
+//! than "within one timeout tick if the platform honors read timeouts".
 
+use super::framing::{encode_frame, Frame, FrameBuffer};
 use super::{Transport, TransportError, TransportRx, TransportTx};
 use crate::engine::NodeId;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
-use teechain_util::codec::{Decode, Encode, Reader as WireReader, WireError};
-
-/// Upper bound on a single frame body; anything larger is junk (the
-/// biggest legitimate protocol message is a sealed snapshot, well under
-/// this).
-const MAX_FRAME: u32 = 64 * 1024 * 1024;
-
-/// One length-prefixed wire frame: who sent it and the payload bytes.
-struct Frame {
-    from: u32,
-    payload: Vec<u8>,
-}
-
-impl Encode for Frame {
-    fn encode(&self, out: &mut Vec<u8>) {
-        self.from.encode(out);
-        self.payload.encode(out);
-    }
-}
-
-impl Decode for Frame {
-    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
-        Ok(Frame {
-            from: r.read()?,
-            payload: r.read()?,
-        })
-    }
-}
 
 fn write_frame(stream: &mut TcpStream, frame: &Frame) -> std::io::Result<()> {
-    let body = frame.encode_to_vec();
-    let mut buf = (body.len() as u32).encode_to_vec();
-    buf.extend_from_slice(&body);
+    let mut buf = Vec::new();
+    encode_frame(frame, &mut buf);
     stream.write_all(&buf)
 }
 
-/// Incremental frame parser: bytes accumulate across reads, so a read
-/// timeout in the middle of a frame (stalled sender, segmented
-/// delivery) never loses the partial prefix — `read_exact` would.
-struct FrameBuffer {
-    buf: Vec<u8>,
+/// The winddown switch shared by an endpoint's acceptor and readers:
+/// the stop flag plus a registry of every accepted socket, so stopping
+/// can interrupt reads that are currently blocked in the kernel instead
+/// of waiting for their poll timeout to notice the flag.
+struct Winddown {
+    stop: AtomicBool,
+    readers: Mutex<Vec<TcpStream>>,
 }
 
-impl FrameBuffer {
-    fn new() -> Self {
-        FrameBuffer { buf: Vec::new() }
+impl Winddown {
+    fn new() -> Arc<Winddown> {
+        Arc::new(Winddown {
+            stop: AtomicBool::new(false),
+            readers: Mutex::new(Vec::new()),
+        })
     }
 
-    fn extend(&mut self, bytes: &[u8]) {
-        self.buf.extend_from_slice(bytes);
+    fn stopped(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
     }
 
-    /// Pops the next complete frame, `Ok(None)` if more bytes are
-    /// needed, `Err` if the stream is corrupt (oversized or undecodable
-    /// frame — the connection must be dropped, resynchronization is
-    /// impossible).
-    fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
-        if self.buf.len() < 4 {
-            return Ok(None);
+    /// Registers an accepted socket for the shutdown nudge. If the
+    /// winddown already happened, shuts it down on the spot so a racing
+    /// accept cannot leave a reader blocked forever.
+    fn register(&self, stream: &TcpStream) {
+        if let Ok(clone) = stream.try_clone() {
+            let mut readers = self.readers.lock().expect("winddown registry");
+            if self.stopped() {
+                let _ = clone.shutdown(Shutdown::Both);
+            } else {
+                readers.push(clone);
+            }
         }
-        let len = u32::from_le_bytes(self.buf[..4].try_into().expect("4 bytes"));
-        if len > MAX_FRAME {
-            return Err(WireError::InvalidValue("frame exceeds MAX_FRAME"));
+    }
+
+    /// Sets the stop flag and nudges every registered reader out of its
+    /// blocking read.
+    fn trigger(&self) {
+        self.stop.store(true, Ordering::Relaxed);
+        for stream in self.readers.lock().expect("winddown registry").drain(..) {
+            let _ = stream.shutdown(Shutdown::Both);
         }
-        let total = 4 + len as usize;
-        if self.buf.len() < total {
-            return Ok(None);
-        }
-        let frame = Frame::decode_exact(&self.buf[4..total])?;
-        self.buf.drain(..total);
-        Ok(Some(frame))
     }
 }
 
@@ -117,13 +99,13 @@ impl TcpNet {
             .enumerate()
             .map(|(i, listener)| {
                 let (inbound_tx, inbound_rx) = mpsc::channel();
-                let stop = Arc::new(AtomicBool::new(false));
-                spawn_acceptor(listener, inbound_tx, stop.clone());
+                let winddown = Winddown::new();
+                spawn_acceptor(listener, inbound_tx, winddown.clone());
                 TcpEndpoint {
                     id: NodeId(i as u32),
                     addrs: addrs.clone(),
                     rx: inbound_rx,
-                    stop,
+                    winddown,
                 }
             })
             .collect();
@@ -135,16 +117,17 @@ impl TcpNet {
 fn spawn_acceptor(
     listener: TcpListener,
     inbound: Sender<(NodeId, Vec<u8>)>,
-    stop: Arc<AtomicBool>,
+    winddown: Arc<Winddown>,
 ) {
     listener
         .set_nonblocking(true)
         .expect("set_nonblocking on listener");
     std::thread::spawn(move || {
-        while !stop.load(Ordering::Relaxed) {
+        while !winddown.stopped() {
             match listener.accept() {
                 Ok((stream, _peer)) => {
-                    spawn_reader(stream, inbound.clone(), stop.clone());
+                    winddown.register(&stream);
+                    spawn_reader(stream, inbound.clone(), winddown.clone());
                 }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                     std::thread::sleep(Duration::from_millis(2));
@@ -155,23 +138,30 @@ fn spawn_acceptor(
     });
 }
 
-/// Reads frames off one peer connection until EOF, error or stop.
-fn spawn_reader(mut stream: TcpStream, inbound: Sender<(NodeId, Vec<u8>)>, stop: Arc<AtomicBool>) {
+/// Reads frames off one peer connection until EOF, error or stop. The
+/// winddown path shuts the socket down out from under a blocked read,
+/// so exit does not depend on the poll timeout firing.
+fn spawn_reader(
+    mut stream: TcpStream,
+    inbound: Sender<(NodeId, Vec<u8>)>,
+    winddown: Arc<Winddown>,
+) {
     std::thread::spawn(move || {
         // The listener is nonblocking for stop-flag polling and some
         // platforms let accepted sockets inherit that; reads here must
-        // block (with a timeout keeping the thread responsive to stop).
+        // block (with a timeout as a second line of defense should the
+        // shutdown nudge ever be unavailable).
         let _ = stream.set_nonblocking(false);
         let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
         let mut frames = FrameBuffer::new();
         let mut chunk = [0u8; 64 * 1024];
-        'conn: while !stop.load(Ordering::Relaxed) {
+        'conn: while !winddown.stopped() {
             match stream.read(&mut chunk) {
-                Ok(0) => break, // Peer closed.
+                Ok(0) => break, // Peer closed (or the winddown nudge).
                 Ok(n) => {
                     frames.extend(&chunk[..n]);
                     loop {
-                        match frames.next_frame() {
+                        match frames.next_frame::<Frame>() {
                             Ok(Some(frame)) => {
                                 if inbound.send((NodeId(frame.from), frame.payload)).is_err() {
                                     break 'conn; // Receiving half is gone.
@@ -203,7 +193,7 @@ pub struct TcpEndpoint {
     id: NodeId,
     addrs: Arc<Vec<SocketAddr>>,
     rx: Receiver<(NodeId, Vec<u8>)>,
-    stop: Arc<AtomicBool>,
+    winddown: Arc<Winddown>,
 }
 
 impl Transport for TcpEndpoint {
@@ -227,7 +217,7 @@ impl Transport for TcpEndpoint {
             },
             TcpRx {
                 rx: self.rx,
-                stop: self.stop,
+                winddown: self.winddown,
             },
         )
     }
@@ -277,10 +267,10 @@ impl TransportTx for TcpTx {
 }
 
 /// Receiving half of a [`TcpEndpoint`]. Dropping it stops the endpoint's
-/// acceptor and reader threads.
+/// acceptor and nudges every reader thread out of its blocking read.
 pub struct TcpRx {
     rx: Receiver<(NodeId, Vec<u8>)>,
-    stop: Arc<AtomicBool>,
+    winddown: Arc<Winddown>,
 }
 
 impl TransportRx for TcpRx {
@@ -298,13 +288,14 @@ impl TransportRx for TcpRx {
 
 impl Drop for TcpRx {
     fn drop(&mut self) {
-        self.stop.store(true, Ordering::Relaxed);
+        self.winddown.trigger();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use teechain_util::codec::{Decode, Encode};
 
     #[test]
     fn frame_roundtrip() {
@@ -395,6 +386,36 @@ mod tests {
             .unwrap()
             .expect("split frame delivered");
         assert_eq!((from, &msg[..]), (NodeId(5), &b"slowly"[..]));
+    }
+
+    #[test]
+    fn dropping_rx_unblocks_reader_threads_immediately() {
+        // Regression (winddown race): the reader used to notice the stop
+        // flag only between blocking reads, so a harness drop while a
+        // reader sat mid-read left winddown at the mercy of the poll
+        // timeout. The nudge shuts the socket out from under the read.
+        let eps = TcpNet::localhost(1).unwrap();
+        let addr = eps[0].addrs[0];
+        let (_tx, rx) = eps.into_iter().next().unwrap().split();
+        let mut raw = TcpStream::connect(addr).unwrap();
+        // Half a length prefix: the reader blocks mid-frame.
+        raw.write_all(&[1, 2]).unwrap();
+        raw.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(100)); // Acceptor registers it.
+        drop(rx); // Harness drop: must nudge the blocked reader.
+        raw.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        let start = std::time::Instant::now();
+        let mut buf = [0u8; 16];
+        // The nudge shuts the socket both ways, so the raw peer observes
+        // EOF (or a reset) promptly.
+        match raw.read(&mut buf) {
+            Ok(0) | Err(_) => {}
+            Ok(n) => panic!("unexpected {n} bytes from a wound-down endpoint"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "winddown nudge did not interrupt the blocked reader"
+        );
     }
 
     #[test]

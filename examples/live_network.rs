@@ -4,9 +4,10 @@
 //! Three nodes — Alice, Bob, Carol — each run their enclave + host on a
 //! dedicated thread. The first act uses the in-process channel
 //! transport; the second act repeats the flow over TCP sockets, byte-
-//! identical wire format and all. Every interaction is still a
-//! correlated operation (`OpId` → typed `Completion`); only the
-//! substrate changed.
+//! identical wire format and all; the third act runs it on the sharded
+//! reactor runtime, where the nodes share a fixed worker pool instead
+//! of owning threads. Every interaction is still a correlated operation
+//! (`OpId` → typed `Completion`); only the substrate changed.
 //!
 //! Run with: `cargo run --release --example live_network`
 
@@ -83,11 +84,25 @@ fn main() {
     })
     .expect("bind localhost listeners");
     tour(&net, "tcp");
+    net.shutdown();
+
+    // Act III: the reactor runtime — same three nodes, but scheduled
+    // onto a fixed worker pool over the non-blocking multiplexed
+    // transport (the configuration that scales to 1,000+ nodes).
+    let net = LiveCluster::over_reactor(LiveConfig {
+        n: 3,
+        seed: 2026,
+        ..LiveConfig::default()
+    })
+    .expect("bind reactor listener");
+    tour(&net, "reactor");
     let history = net.completion_log();
+    let threads = net.runtime_threads();
     let nodes = net.shutdown();
     println!(
-        "Done: {} live nodes wound down cleanly; {} operations completed over TCP, every one exactly once.",
+        "Done: {} live nodes wound down cleanly; {} operations completed over the reactor ({} runtime threads), every one exactly once.",
         nodes.len(),
-        history.len()
+        history.len(),
+        threads
     );
 }
