@@ -156,10 +156,7 @@ impl LnChannel {
             });
         }
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: self.funding,
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(self.funding)],
             outputs,
         };
         // 2-of-2: both signatures (exchanged during commitment signing).
@@ -190,13 +187,10 @@ impl LnChannel {
             .expect("stale commitment has a revocable output") as u32;
         let value = commitment.outputs[vout as usize].value;
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: OutPoint {
-                    txid: commitment.txid(),
-                    vout,
-                },
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(OutPoint {
+                txid: commitment.txid(),
+                vout,
+            })],
             outputs: vec![TxOut {
                 value,
                 script: ScriptPubKey::P2pk(self.key_b.pk),
@@ -215,13 +209,10 @@ impl LnChannel {
             .expect("commitment has a revocable output") as u32;
         let value = commitment.outputs[vout as usize].value;
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: OutPoint {
-                    txid: commitment.txid(),
-                    vout,
-                },
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(OutPoint {
+                txid: commitment.txid(),
+                vout,
+            })],
             outputs: vec![TxOut {
                 value,
                 script: ScriptPubKey::P2pk(self.key_a.pk),
@@ -247,10 +238,7 @@ impl LnChannel {
             });
         }
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: self.funding,
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(self.funding)],
             outputs,
         };
         tx.sign_input(0, &self.key_a.sk);

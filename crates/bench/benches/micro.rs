@@ -33,10 +33,7 @@ fn blockchain(c: &mut Criterion) {
         let kp = Keypair::from_seed(&[2; 32]);
         let op = chain.mint_p2pk(&kp.pk, 100);
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: op,
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(op)],
             outputs: vec![TxOut {
                 value: 100,
                 script: ScriptPubKey::P2pk(kp.pk),

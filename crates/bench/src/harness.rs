@@ -549,6 +549,8 @@ pub struct BenchCluster {
     pub sim: AnyEngine<BenchNode>,
     /// The shared chain.
     pub chain: SharedChain,
+    /// The shared alternate chain (cross-chain atomic swaps).
+    pub chain2: SharedChain,
     /// Node identities.
     pub ids: Vec<PublicKey>,
     /// Durable stores per node (persistent mode; harness-owned so they
@@ -561,6 +563,7 @@ impl BenchCluster {
     pub fn new(cfg: BenchConfig) -> BenchCluster {
         let root = TrustRoot::new(cfg.seed ^ 0xbe);
         let chain: SharedChain = Arc::new(Mutex::new(Chain::new()));
+        let chain2: SharedChain = Arc::new(Mutex::new(Chain::new()));
         let measurement = TeechainNode::measurement();
         let mut nodes = Vec::with_capacity(cfg.n);
         let mut stores: Vec<Option<SharedStore>> = Vec::with_capacity(cfg.n);
@@ -577,6 +580,7 @@ impl BenchCluster {
                 cfg.seed.wrapping_mul(0xD1B5_4A32).wrapping_add(i as u64),
                 chain.clone(),
             );
+            node.attach_alt_chain(chain2.clone());
             if cfg.durability.is_persist() {
                 let store = PersistentStore::in_memory().into_shared();
                 node.attach_store(store.clone());
@@ -620,6 +624,7 @@ impl BenchCluster {
         BenchCluster {
             sim,
             chain,
+            chain2,
             ids,
             stores,
         }

@@ -32,6 +32,11 @@ struct Fingerprint {
     /// The merged completion stream of the measured phase: operation
     /// ids, outcomes AND times must be identical for any shard count.
     completions: Vec<Completion>,
+    /// Per-node swap phase-transition counters
+    /// (init, locked, redeemed, refunded): the cross-chain swap state
+    /// machine — timers, alternate-chain mining, secret reveal — must
+    /// schedule identically under every engine configuration.
+    swap_phases: Vec<(u64, u64, u64, u64)>,
 }
 
 /// Builds the cluster AND runs the workload entirely under
@@ -58,6 +63,54 @@ fn run_at(shards: usize, steal: bool) -> Fingerprint {
     // across shard counts, like any other event.
     net.cluster.set_record_completions(true);
     let stats = net.cluster.run(50_000_000);
+    // Swap phase: a deterministic batch of cross-chain swaps over the
+    // first few channels — one of them griefed (that responder's host
+    // never funds the HTLC) so the deadline-refund timers are part of
+    // the fingerprint too. All channels share the hub as initiator, so
+    // the grief knob must sit on a responder to hit exactly one swap.
+    {
+        let mut keys: Vec<_> = net.channels.keys().copied().collect();
+        keys.sort();
+        for (idx, key) in keys.iter().take(6).enumerate() {
+            let chan = net.channels[key][0];
+            let from = key.0 .0 as usize;
+            if idx == 0 {
+                net.cluster
+                    .sim
+                    .node_mut(key.1)
+                    .host
+                    .node
+                    .swap_withhold_funding = true;
+            }
+            net.cluster.submit(
+                from,
+                teechain::enclave::Command::Swap {
+                    swap: teechain::types::SwapId::from_label(&format!("det-swap-{idx}")),
+                    channel: chan,
+                    amount: 1,
+                    alt_amount: 2,
+                    timeout_blocks: 3,
+                },
+            );
+        }
+        net.cluster.settle();
+    }
+    let mut swap_phases = Vec::new();
+    for i in 0..net.cluster.sim.len() {
+        let r = net
+            .cluster
+            .sim
+            .node(teechain_net::NodeId(i as u32))
+            .host
+            .node
+            .registry();
+        swap_phases.push((
+            r.counter_value("swap.phase.init"),
+            r.counter_value("swap.phase.locked"),
+            r.counter_value("swap.phase.redeemed"),
+            r.counter_value("swap.phase.refunded"),
+        ));
+    }
     let mut latencies = Vec::new();
     for i in 0..net.cluster.sim.len() {
         let node = net.cluster.sim.node(teechain_net::NodeId(i as u32));
@@ -96,6 +149,7 @@ fn run_at(shards: usize, steal: bool) -> Fingerprint {
         latencies,
         balances,
         completions: net.cluster.completion_log(),
+        swap_phases,
     }
 }
 
@@ -119,6 +173,18 @@ fn fixed_seed_run_is_identical_across_shard_counts() {
     assert!(
         baseline.completions.len() as u64 >= baseline.completed,
         "every logical payment resolves through a completion"
+    );
+    // The swap batch exercised every terminal path: at least one redeem
+    // (cooperative) and at least one refund (the griefed channel).
+    assert!(
+        baseline.swap_phases.iter().any(|p| p.2 > 0),
+        "no swap redeemed: {:?}",
+        baseline.swap_phases
+    );
+    assert!(
+        baseline.swap_phases.iter().any(|p| p.3 > 0),
+        "no swap refunded: {:?}",
+        baseline.swap_phases
     );
     println!(
         "baseline (sharded:{}): {} payments, {} events, {} queued, {} batches",

@@ -153,21 +153,29 @@ impl Chain {
                 .get(&input.prevout)
                 .ok_or(ValidationError::UnknownInput(input.prevout))?;
             let confirmations = self.height().saturating_sub(*created_at) + 1;
-            if let crate::script::ScriptPubKey::Revocable { .. } = &prev.script {
-                if !prev
-                    .script
-                    .verify_witness_at(&sighash, &input.witness, confirmations)
-                {
-                    // Distinguish "too early" from "bad signature" for
-                    // diagnosability: retry with no timelock.
-                    return if prev.script.verify_witness(&sighash, &input.witness) {
-                        Err(ValidationError::TimelockNotMet(input.prevout))
-                    } else {
-                        Err(ValidationError::BadWitness(input.prevout))
-                    };
-                }
-            } else if !prev.script.verify_witness(&sighash, &input.witness) {
-                return Err(ValidationError::BadWitness(input.prevout));
+            let timelocked = matches!(
+                &prev.script,
+                ScriptPubKey::Revocable { .. } | ScriptPubKey::Htlc { .. }
+            );
+            if !prev.script.verify_spend_at(
+                &sighash,
+                &input.witness,
+                &input.preimage,
+                confirmations,
+            ) {
+                // Distinguish "too early" from "bad signature" for
+                // diagnosability: retry with no timelock.
+                return if timelocked
+                    && prev.script.verify_spend_at(
+                        &sighash,
+                        &input.witness,
+                        &input.preimage,
+                        u64::MAX,
+                    ) {
+                    Err(ValidationError::TimelockNotMet(input.prevout))
+                } else {
+                    Err(ValidationError::BadWitness(input.prevout))
+                };
             }
             input_value = input_value
                 .checked_add(prev.value)
@@ -292,6 +300,18 @@ impl Chain {
             .map(|(_, h)| self.height().saturating_sub(*h) + 1)
     }
 
+    /// Finds an unspent output locking exactly `value` under `script`,
+    /// lowest outpoint first (deterministic under rescans). This is the
+    /// wallet-rescan primitive: a host that crashed after funding an
+    /// HTLC re-discovers its own lock instead of minting a second one.
+    pub fn find_utxo_by_script(&self, script: &ScriptPubKey, value: u64) -> Option<OutPoint> {
+        self.utxo
+            .iter()
+            .filter(|(_, (o, _))| o.value == value && o.script == *script)
+            .map(|(op, _)| *op)
+            .min()
+    }
+
     /// Returns the confirmed transaction that spent `outpoint`, if any.
     /// This is how a Teechain participant discovers a settlement placed by
     /// a counterparty and obtains a proof of premature termination (§5.1).
@@ -377,10 +397,7 @@ mod tests {
     ) -> Transaction {
         let _ = chain;
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: from,
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(from)],
             outputs: vec![TxOut {
                 value,
                 script: ScriptPubKey::P2pk(*to),
@@ -468,16 +485,7 @@ mod tests {
         let alice = kp(1);
         let op = chain.mint_p2pk(&alice.pk, 100);
         let mut tx = Transaction {
-            inputs: vec![
-                TxIn {
-                    prevout: op,
-                    witness: vec![],
-                },
-                TxIn {
-                    prevout: op,
-                    witness: vec![],
-                },
-            ],
+            inputs: vec![TxIn::spend(op), TxIn::spend(op)],
             outputs: vec![TxOut {
                 value: 150,
                 script: ScriptPubKey::P2pk(kp(2).pk),
@@ -498,10 +506,7 @@ mod tests {
         let op = chain.mint(script, 1000);
         // Spend with 2 of 4 signatures.
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: op,
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(op)],
             outputs: vec![TxOut {
                 value: 1000,
                 script: ScriptPubKey::P2pk(kp(7).pk),
@@ -521,10 +526,7 @@ mod tests {
         let script = ScriptPubKey::multisig(2, committee.iter().map(|k| k.pk).collect());
         let op = chain.mint(script, 1000);
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: op,
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(op)],
             outputs: vec![TxOut {
                 value: 1000,
                 script: ScriptPubKey::P2pk(kp(7).pk),
@@ -567,6 +569,73 @@ mod tests {
         chain.mine_blocks(100);
         assert_eq!(chain.confirmations(&txid), 0);
         assert_eq!(chain.mempool_len(), 1);
+    }
+
+    fn htlc_script(secret: &[u8], claim: &Keypair, refund: &Keypair, timeout: u64) -> ScriptPubKey {
+        ScriptPubKey::Htlc {
+            hash: teechain_crypto::sha256::sha256(secret),
+            claim_key: claim.pk,
+            refund_key: refund.pk,
+            timeout_blocks: timeout,
+        }
+    }
+
+    fn htlc_spend(from: OutPoint, key: &Keypair, preimage: &[u8], value: u64) -> Transaction {
+        let mut input = TxIn::spend(from);
+        input.preimage = preimage.to_vec();
+        let mut tx = Transaction {
+            inputs: vec![input],
+            outputs: vec![TxOut {
+                value,
+                script: ScriptPubKey::P2pk(key.pk),
+            }],
+        };
+        tx.sign_input(0, &key.sk);
+        tx
+    }
+
+    #[test]
+    fn htlc_claim_with_preimage() {
+        let mut chain = Chain::new();
+        let (claim, refund) = (kp(1), kp(2));
+        let op = chain.mint(htlc_script(b"swap-secret", &claim, &refund, 10), 500);
+        let tx = htlc_spend(op, &claim, b"swap-secret", 500);
+        chain.submit(tx).unwrap();
+        chain.mine_block();
+        assert_eq!(chain.balance_p2pk(&claim.pk), 500);
+        // The confirmed spender carries the revealed preimage: this is how
+        // a swap counterparty learns the secret from the chain.
+        let spender = chain.find_spender(&op).unwrap();
+        assert_eq!(spender.inputs[0].preimage, b"swap-secret".to_vec());
+    }
+
+    #[test]
+    fn htlc_wrong_preimage_rejected() {
+        let mut chain = Chain::new();
+        let (claim, refund) = (kp(1), kp(2));
+        let op = chain.mint(htlc_script(b"swap-secret", &claim, &refund, 10), 500);
+        let tx = htlc_spend(op, &claim, b"not-the-secret", 500);
+        assert!(matches!(
+            chain.submit(tx),
+            Err(SubmitError::Invalid(ValidationError::BadWitness(_)))
+        ));
+    }
+
+    #[test]
+    fn htlc_refund_respects_timeout() {
+        let mut chain = Chain::new();
+        let (claim, refund) = (kp(1), kp(2));
+        let op = chain.mint(htlc_script(b"swap-secret", &claim, &refund, 5), 500);
+        // Refund before the timelock matures is "too early", not "bad sig".
+        let early = htlc_spend(op, &refund, &[], 500);
+        assert!(matches!(
+            chain.submit(early.clone()),
+            Err(SubmitError::Invalid(ValidationError::TimelockNotMet(_)))
+        ));
+        chain.mine_blocks(5);
+        chain.submit(early).unwrap();
+        chain.mine_block();
+        assert_eq!(chain.balance_p2pk(&refund.pk), 500);
     }
 
     #[test]

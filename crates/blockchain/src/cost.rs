@@ -50,13 +50,10 @@ mod tests {
     fn p2pk_spend_costs_one() {
         // One signature in, one pubkey out: cost (1+1)/2 = 1.
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: OutPoint {
-                    txid: TxId([1; 32]),
-                    vout: 0,
-                },
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(OutPoint {
+                txid: TxId([1; 32]),
+                vout: 0,
+            })],
             outputs: vec![TxOut {
                 value: 5,
                 script: ScriptPubKey::P2pk(kp(1).pk),
@@ -74,13 +71,10 @@ mod tests {
         for n in 1..=4u8 {
             let committee: Vec<_> = (1..=n).map(|i| kp(i).pk).collect();
             let mut tx = Transaction {
-                inputs: vec![TxIn {
-                    prevout: OutPoint {
-                        txid: TxId([1; 32]),
-                        vout: 0,
-                    },
-                    witness: vec![],
-                }],
+                inputs: vec![TxIn::spend(OutPoint {
+                    txid: TxId([1; 32]),
+                    vout: 0,
+                })],
                 outputs: vec![TxOut {
                     value: 5,
                     // The change output is omitted in the paper's accounting;

@@ -158,13 +158,10 @@ mod tests {
 
     fn tx(input_tag: u8, value: u64) -> Transaction {
         Transaction {
-            inputs: vec![TxIn {
-                prevout: OutPoint {
-                    txid: TxId([input_tag; 32]),
-                    vout: 0,
-                },
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(OutPoint {
+                txid: TxId([input_tag; 32]),
+                vout: 0,
+            })],
             outputs: vec![TxOut {
                 value,
                 script: ScriptPubKey::P2pk(Keypair::from_seed(&[1; 32]).pk),

@@ -1,6 +1,7 @@
 //! Output spending conditions.
 
 use teechain_crypto::schnorr::{self, PublicKey, Signature};
+use teechain_crypto::sha256::sha256;
 use teechain_util::codec::{Decode, Encode, Reader, WireError};
 
 /// The condition under which a transaction output may be spent.
@@ -29,6 +30,23 @@ pub enum ScriptPubKey {
         /// The immediate revocation key.
         revocation: PublicKey,
     },
+    /// A hashed timelock contract output for cross-chain atomic swaps:
+    /// `claim_key` may spend at any time by revealing a preimage whose
+    /// SHA-256 equals `hash`; `refund_key` may spend without a preimage
+    /// once the output has `timeout_blocks` confirmations (a CSV relative
+    /// timelock). The two paths are mutually exclusive: a claim witness
+    /// never satisfies the refund path and vice versa.
+    Htlc {
+        /// SHA-256 of the swap secret.
+        hash: [u8; 32],
+        /// Key entitled to the preimage-gated claim path.
+        claim_key: PublicKey,
+        /// Key entitled to the timelocked refund path.
+        refund_key: PublicKey,
+        /// Relative timelock (in confirmations of the spent output) before
+        /// the refund path opens.
+        timeout_blocks: u64,
+    },
 }
 
 impl ScriptPubKey {
@@ -53,6 +71,7 @@ impl ScriptPubKey {
             ScriptPubKey::P2pk(_) => 1,
             ScriptPubKey::Multisig { keys, .. } => keys.len(),
             ScriptPubKey::Revocable { .. } => 2,
+            ScriptPubKey::Htlc { .. } => 2,
         }
     }
 
@@ -62,6 +81,7 @@ impl ScriptPubKey {
             ScriptPubKey::P2pk(_) => 1,
             ScriptPubKey::Multisig { m, .. } => *m as usize,
             ScriptPubKey::Revocable { .. } => 1,
+            ScriptPubKey::Htlc { .. } => 1,
         }
     }
 
@@ -71,10 +91,28 @@ impl ScriptPubKey {
     /// For multisig, each signature must verify under a *distinct* key from
     /// the committee; extra signatures beyond `m` are permitted but
     /// unnecessary.
+    ///
+    /// For [`ScriptPubKey::Htlc`] this checks the refund path only — the
+    /// claim path additionally needs a preimage, which only
+    /// [`ScriptPubKey::verify_spend_at`] carries.
     pub fn verify_witness_at(
         &self,
         sighash: &[u8; 32],
         witness: &[Signature],
+        confirmations: u64,
+    ) -> bool {
+        self.verify_spend_at(sighash, witness, &[], confirmations)
+    }
+
+    /// Verifies a full spend: witness signatures plus the (possibly empty)
+    /// hashlock preimage carried by the spending input. This is the method
+    /// consensus validation uses; `verify_witness_at` is the signature-only
+    /// view for scripts without hashlocks.
+    pub fn verify_spend_at(
+        &self,
+        sighash: &[u8; 32],
+        witness: &[Signature],
+        preimage: &[u8],
         confirmations: u64,
     ) -> bool {
         match self {
@@ -103,6 +141,23 @@ impl ScriptPubKey {
                     }
                 }
                 false
+            }
+            ScriptPubKey::Htlc {
+                hash,
+                claim_key,
+                refund_key,
+                timeout_blocks,
+            } => {
+                let claim = !preimage.is_empty()
+                    && sha256(preimage) == *hash
+                    && witness
+                        .iter()
+                        .any(|sig| schnorr::verify(claim_key, sighash, sig));
+                let refund = confirmations >= *timeout_blocks
+                    && witness
+                        .iter()
+                        .any(|sig| schnorr::verify(refund_key, sighash, sig));
+                claim || refund
             }
         }
     }
@@ -136,6 +191,18 @@ impl Encode for ScriptPubKey {
                 delay_blocks.encode(out);
                 revocation.encode(out);
             }
+            ScriptPubKey::Htlc {
+                hash,
+                claim_key,
+                refund_key,
+                timeout_blocks,
+            } => {
+                3u8.encode(out);
+                hash.encode(out);
+                claim_key.encode(out);
+                refund_key.encode(out);
+                timeout_blocks.encode(out);
+            }
         }
     }
 }
@@ -156,6 +223,12 @@ impl Decode for ScriptPubKey {
                 owner: r.read()?,
                 delay_blocks: r.read()?,
                 revocation: r.read()?,
+            }),
+            3 => Ok(ScriptPubKey::Htlc {
+                hash: r.read()?,
+                claim_key: r.read()?,
+                refund_key: r.read()?,
+                timeout_blocks: r.read()?,
             }),
             _ => Err(WireError::InvalidValue("script tag")),
         }
@@ -224,5 +297,139 @@ mod tests {
         let script = ScriptPubKey::multisig(2, vec![kp(1).pk, kp(2).pk, kp(3).pk]);
         let decoded = ScriptPubKey::decode_exact(&script.encode_to_vec()).unwrap();
         assert_eq!(decoded, script);
+    }
+
+    fn htlc(secret: &[u8], claim: &Keypair, refund: &Keypair, timeout: u64) -> ScriptPubKey {
+        ScriptPubKey::Htlc {
+            hash: sha256(secret),
+            claim_key: claim.pk,
+            refund_key: refund.pk,
+            timeout_blocks: timeout,
+        }
+    }
+
+    #[test]
+    fn htlc_claim_needs_preimage_and_claim_key() {
+        let (claim, refund) = (kp(1), kp(2));
+        let script = htlc(b"secret", &claim, &refund, 10);
+        let h = [3u8; 32];
+        let sig = claim.sign(&h);
+        // Correct preimage + claim signature: spendable immediately.
+        assert!(script.verify_spend_at(&h, &[sig], b"secret", 1));
+        // Wrong preimage rejected.
+        assert!(!script.verify_spend_at(&h, &[sig], b"wrong", 1));
+        // Empty preimage rejected before timeout.
+        assert!(!script.verify_spend_at(&h, &[sig], &[], 1));
+        // Preimage without a claim-key signature rejected.
+        assert!(!script.verify_spend_at(&h, &[refund.sign(&h)], b"secret", 1));
+    }
+
+    #[test]
+    fn htlc_refund_needs_maturity_and_refund_key() {
+        let (claim, refund) = (kp(1), kp(2));
+        let script = htlc(b"secret", &claim, &refund, 10);
+        let h = [4u8; 32];
+        let sig = refund.sign(&h);
+        // Refund before timeout rejected.
+        assert!(!script.verify_spend_at(&h, &[sig], &[], 9));
+        // Refund at/after timeout accepted.
+        assert!(script.verify_spend_at(&h, &[sig], &[], 10));
+        assert!(script.verify_spend_at(&h, &[sig], &[], 1000));
+        // The claim key cannot take the refund path even after timeout.
+        assert!(!script.verify_spend_at(&h, &[claim.sign(&h)], &[], 1000));
+    }
+
+    #[test]
+    fn htlc_codec_roundtrip() {
+        let script = htlc(b"s", &kp(1), &kp(2), 144);
+        let decoded = ScriptPubKey::decode_exact(&script.encode_to_vec()).unwrap();
+        assert_eq!(decoded, script);
+    }
+}
+
+#[cfg(test)]
+mod htlc_props {
+    use super::*;
+    use proptest::prelude::*;
+    use teechain_crypto::schnorr::Keypair;
+
+    fn kp(seed: u8) -> Keypair {
+        Keypair::from_seed(&[seed; 32])
+    }
+
+    proptest! {
+        /// Any preimage other than the committed secret is rejected on the
+        /// claim path, regardless of maturity.
+        #[test]
+        fn wrong_preimage_rejected(
+            secret in proptest::collection::vec(any::<u8>(), 1..64),
+            wrong in proptest::collection::vec(any::<u8>(), 1..64),
+            confs in 0u64..1000,
+        ) {
+            prop_assume!(wrong != secret);
+            let (claim, refund) = (kp(1), kp(2));
+            let script = ScriptPubKey::Htlc {
+                hash: sha256(&secret),
+                claim_key: claim.pk,
+                refund_key: refund.pk,
+                timeout_blocks: u64::MAX,
+            };
+            let h = [7u8; 32];
+            let sig = claim.sign(&h);
+            prop_assert!(script.verify_spend_at(&h, &[sig], &secret, confs));
+            prop_assert!(!script.verify_spend_at(&h, &[sig], &wrong, confs));
+        }
+
+        /// The refund path stays closed strictly before `timeout_blocks`
+        /// confirmations and opens exactly at it.
+        #[test]
+        fn refund_gated_by_timeout(
+            timeout in 1u64..500,
+            early in 0u64..500,
+            late in 0u64..500,
+        ) {
+            let (claim, refund) = (kp(1), kp(2));
+            let script = ScriptPubKey::Htlc {
+                hash: sha256(b"s"),
+                claim_key: claim.pk,
+                refund_key: refund.pk,
+                timeout_blocks: timeout,
+            };
+            let h = [8u8; 32];
+            let sig = refund.sign(&h);
+            let early = early.min(timeout - 1);
+            let late = timeout + late;
+            prop_assert!(!script.verify_spend_at(&h, &[sig], &[], early));
+            prop_assert!(script.verify_spend_at(&h, &[sig], &[], late));
+        }
+
+        /// Path exclusivity: a claim witness (claim signature + preimage)
+        /// never validates through the refund key, and a refund witness
+        /// (refund signature, no preimage) never validates through the
+        /// claim key — under every maturity.
+        #[test]
+        fn paths_mutually_exclusive(
+            secret in proptest::collection::vec(any::<u8>(), 1..64),
+            timeout in 1u64..500,
+            confs in 0u64..1000,
+        ) {
+            let (claim, refund) = (kp(1), kp(2));
+            let script = ScriptPubKey::Htlc {
+                hash: sha256(&secret),
+                claim_key: claim.pk,
+                refund_key: refund.pk,
+                timeout_blocks: timeout,
+            };
+            let h = [9u8; 32];
+            // Refund-key signature plus the true preimage: the claim path
+            // demands the claim key, the refund path demands maturity.
+            let cross = script.verify_spend_at(&h, &[refund.sign(&h)], &secret, confs);
+            prop_assert_eq!(cross, confs >= timeout);
+            // Claim-key signature with no preimage: only the (closed to
+            // this key) refund path could apply — always rejected.
+            prop_assert!(!script.verify_spend_at(&h, &[claim.sign(&h)], &[], confs));
+            // No witness at all never spends.
+            prop_assert!(!script.verify_spend_at(&h, &[], &secret, confs));
+        }
     }
 }

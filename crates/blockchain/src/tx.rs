@@ -66,9 +66,28 @@ pub struct TxIn {
     pub prevout: OutPoint,
     /// Signatures over the transaction's sighash.
     pub witness: Vec<Signature>,
+    /// Hashlock preimage for [`ScriptPubKey::Htlc`] claim spends; empty for
+    /// every other script. Stripped (like witnesses) from the txid/sighash
+    /// preimage, so signing and preimage attachment commute.
+    pub preimage: Vec<u8>,
 }
 
-teechain_util::impl_wire_struct!(TxIn { prevout, witness });
+impl TxIn {
+    /// An input spending `prevout` with no witness or preimage attached yet.
+    pub fn spend(prevout: OutPoint) -> Self {
+        TxIn {
+            prevout,
+            witness: Vec::new(),
+            preimage: Vec::new(),
+        }
+    }
+}
+
+teechain_util::impl_wire_struct!(TxIn {
+    prevout,
+    witness,
+    preimage
+});
 
 /// A transaction.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -88,6 +107,7 @@ impl Transaction {
         let mut stripped = self.clone();
         for input in &mut stripped.inputs {
             input.witness.clear();
+            input.preimage.clear();
         }
         stripped.encode_to_vec()
     }
@@ -176,10 +196,7 @@ mod tests {
     fn txid_ignores_witness() {
         let k = kp(1);
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: dummy_outpoint(1),
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(dummy_outpoint(1))],
             outputs: vec![p2pk_out(50, 2)],
         };
         let before = tx.txid();
@@ -190,10 +207,7 @@ mod tests {
     #[test]
     fn txid_commits_to_inputs_and_outputs() {
         let base = Transaction {
-            inputs: vec![TxIn {
-                prevout: dummy_outpoint(1),
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(dummy_outpoint(1))],
             outputs: vec![p2pk_out(50, 2)],
         };
         let mut other_input = base.clone();
@@ -208,10 +222,7 @@ mod tests {
     fn signature_satisfies_script() {
         let k = kp(3);
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: dummy_outpoint(1),
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(dummy_outpoint(1))],
             outputs: vec![p2pk_out(10, 4)],
         };
         tx.sign_input(0, &k.sk);
@@ -223,30 +234,15 @@ mod tests {
     fn conflict_detection() {
         let shared = dummy_outpoint(7);
         let a = Transaction {
-            inputs: vec![TxIn {
-                prevout: shared,
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(shared)],
             outputs: vec![p2pk_out(1, 1)],
         };
         let b = Transaction {
-            inputs: vec![
-                TxIn {
-                    prevout: dummy_outpoint(8),
-                    witness: vec![],
-                },
-                TxIn {
-                    prevout: shared,
-                    witness: vec![],
-                },
-            ],
+            inputs: vec![TxIn::spend(dummy_outpoint(8)), TxIn::spend(shared)],
             outputs: vec![p2pk_out(2, 2)],
         };
         let c = Transaction {
-            inputs: vec![TxIn {
-                prevout: dummy_outpoint(9),
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(dummy_outpoint(9))],
             outputs: vec![p2pk_out(3, 3)],
         };
         assert!(a.conflicts_with(&b));
@@ -258,10 +254,7 @@ mod tests {
     fn codec_roundtrip() {
         let k = kp(5);
         let mut tx = Transaction {
-            inputs: vec![TxIn {
-                prevout: dummy_outpoint(1),
-                witness: vec![],
-            }],
+            inputs: vec![TxIn::spend(dummy_outpoint(1))],
             outputs: vec![
                 p2pk_out(10, 1),
                 TxOut {
@@ -281,14 +274,8 @@ mod tests {
         let k = kp(6);
         let mut tx = Transaction {
             inputs: vec![
-                TxIn {
-                    prevout: dummy_outpoint(1),
-                    witness: vec![],
-                },
-                TxIn {
-                    prevout: dummy_outpoint(2),
-                    witness: vec![],
-                },
+                TxIn::spend(dummy_outpoint(1)),
+                TxIn::spend(dummy_outpoint(2)),
             ],
             outputs: vec![p2pk_out(5, 1)],
         };

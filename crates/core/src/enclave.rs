@@ -22,9 +22,11 @@ use crate::msg::{ProtocolMsg, StateDelta, WireMsg};
 use crate::replication::{Replication, SigCollect};
 use crate::session::{self, Session};
 use crate::settle;
-use crate::types::{ChannelId, Deposit, ProtocolError, RouteId};
+use crate::swap::{SwapPhase, SwapState};
+use crate::types::{ChannelId, Deposit, ProtocolError, RouteId, SwapId};
 use std::collections::HashMap;
 use teechain_crypto::schnorr::{Keypair, PrivateKey, PublicKey, Signature};
+use teechain_crypto::sha256::sha256;
 use teechain_tee::{EnclaveEnv, EnclaveProgram, Measurement};
 use teechain_util::codec::{Decode, Encode};
 
@@ -240,6 +242,56 @@ pub enum Command {
     /// throttled (persistent mode, §6.2). The host calls this at the
     /// time given by [`HostEvent::PumpAt`].
     PumpAdmission,
+    /// Initiates a cross-chain atomic swap: trades `amount` of our
+    /// balance on `channel` for `alt_amount` locked for us on the
+    /// alternate chain behind an HTLC hashed to a secret drawn inside
+    /// this enclave. As an operation it completes with
+    /// [`OpOutput::Swap`](crate::ops::OpOutput::Swap) once the swap
+    /// resolves (redeemed or refunded) — a stuck swap is a protocol bug.
+    Swap {
+        /// Host-chosen swap instance id (operation correlation).
+        swap: SwapId,
+        /// The channel whose balance is traded.
+        channel: ChannelId,
+        /// Channel balance moved to the counterparty on redeem.
+        amount: u64,
+        /// Alternate-chain value the counterparty must lock for us.
+        alt_amount: u64,
+        /// HTLC refund timelock in alternate-chain confirmations.
+        timeout_blocks: u64,
+    },
+    /// Host's answer to [`HostEvent::SwapFundingNeeded`]: the HTLC
+    /// output was funded on the alternate chain at `outpoint`.
+    SwapFunded {
+        /// The swap.
+        swap: SwapId,
+        /// The funded HTLC output.
+        outpoint: teechain_blockchain::OutPoint,
+    },
+    /// Host's answer to [`HostEvent::VerifySwapHtlc`]: whether the
+    /// counterparty's HTLC is live on the alternate chain with the
+    /// expected script and value.
+    SwapHtlcVerified {
+        /// The swap.
+        swap: SwapId,
+        /// True if the HTLC checked out.
+        valid: bool,
+    },
+    /// Host timer report for a swap (armed by
+    /// [`HostEvent::SwapCheckAt`]): the current alternate-chain view of
+    /// the HTLC output. Drives deadline aborts, timeout refunds, and the
+    /// chain-watch redeem fallback (learning the preimage from a
+    /// confirmed claim spend instead of a lost `SwapSecret` message).
+    SwapTick {
+        /// The swap.
+        swap: SwapId,
+        /// Preimage carried by a confirmed spend of the HTLC, if any.
+        spent_preimage: Option<Vec<u8>>,
+        /// Confirmations of the HTLC output (0 if unfunded/spent).
+        confirmations: u64,
+        /// True once our own claim spend is confirmed.
+        claim_confirmed: bool,
+    },
 }
 
 /// Notifications from the enclave to its host.
@@ -404,6 +456,53 @@ pub enum HostEvent {
         /// Durable commits replayed (snapshot counter + WAL records).
         commits: u64,
     },
+    /// The responder host must fund this HTLC script with `value` on the
+    /// alternate chain and answer with [`Command::SwapFunded`].
+    SwapFundingNeeded {
+        /// The swap.
+        swap: SwapId,
+        /// The HTLC script to fund.
+        script: teechain_blockchain::ScriptPubKey,
+        /// The value to lock.
+        value: u64,
+    },
+    /// The initiator host must check that the counterparty's HTLC is
+    /// live on the alternate chain — exactly `script` with `value` at
+    /// `outpoint` — and answer with [`Command::SwapHtlcVerified`].
+    VerifySwapHtlc {
+        /// The swap.
+        swap: SwapId,
+        /// Where the counterparty claims to have funded it.
+        outpoint: teechain_blockchain::OutPoint,
+        /// The script the output must carry.
+        script: teechain_blockchain::ScriptPubKey,
+        /// The value the output must carry.
+        value: u64,
+    },
+    /// The swap wants a chain/deadline check: call [`Command::SwapTick`]
+    /// with the alternate-chain view at the given time (ns).
+    SwapCheckAt {
+        /// The swap.
+        swap: SwapId,
+        /// When to tick (ns).
+        at: u64,
+    },
+    /// A swap entered a new phase (metrics; non-terminal).
+    SwapPhaseEntered {
+        /// The swap.
+        swap: SwapId,
+        /// The phase just entered.
+        phase: SwapPhase,
+    },
+    /// A swap resolved — terminal for the initiating operation. Both
+    /// resolutions are successful completions; `redeemed` says which
+    /// branch the two-ledger atomic outcome took.
+    SwapResolved {
+        /// The swap.
+        swap: SwapId,
+        /// True if redeemed on both ledgers, false if refunded on both.
+        redeemed: bool,
+    },
 }
 
 /// Effects the host must carry out.
@@ -418,6 +517,9 @@ pub enum Effect {
     },
     /// Broadcast a transaction to the blockchain.
     Broadcast(teechain_blockchain::Transaction),
+    /// Broadcast a transaction to the *alternate* chain (cross-chain
+    /// atomic swaps: HTLC claim and refund spends).
+    BroadcastAlt(teechain_blockchain::Transaction),
     /// Notify the host application.
     Event(HostEvent),
     /// Persist this sealed full-state snapshot, superseding the WAL so
@@ -436,6 +538,15 @@ pub type Outcome = Result<Vec<Effect>, ProtocolError>;
 /// Version tag of the durable state-image format (the legacy format has
 /// no tag; its first byte is the 0/1 of an `Option`).
 const STATE_IMAGE_V2: u8 = 2;
+/// V3 appends the atomic-swap table after the blockchain keys.
+const STATE_IMAGE_V3: u8 = 3;
+
+/// Initiator/responder wall-or-sim-clock budget (ns) for a swap to reach
+/// resolution before the local deadline abort kicks in. Generous enough
+/// for live round trips; sim tests advance virtual time past it.
+const SWAP_DEADLINE_NS: u64 = 2_000_000_000;
+/// Re-check cadence (ns) for a pending swap's chain watch.
+const SWAP_CHECK_INTERVAL_NS: u64 = 200_000_000;
 
 /// The Teechain enclave program state.
 pub struct TeechainEnclave {
@@ -462,6 +573,10 @@ pub struct TeechainEnclave {
     /// fan-out bookkeeping for batched payments. Volatile (§6.2): queued
     /// ops that never committed simply vanish on crash.
     pub(crate) admit: AdmitState,
+    /// Cross-chain atomic swaps by instance id. Durable: every phase
+    /// transition stages a [`StateDelta::Swap`] and the table rides the
+    /// sealed state image (v3), so swaps recover exactly-once.
+    pub(crate) swaps: HashMap<SwapId, SwapState>,
 }
 
 impl TeechainEnclave {
@@ -483,6 +598,7 @@ impl TeechainEnclave {
             pending_msgs: std::collections::VecDeque::new(),
             commits: 0,
             admit: AdmitState::default(),
+            swaps: HashMap::new(),
         }
     }
 
@@ -1256,6 +1372,14 @@ impl TeechainEnclave {
         if chan.locked() {
             return Err(ProtocolError::ChannelLocked);
         }
+        // Anti-griefing: a settlement freezing the channel mid-swap could
+        // strand the counterparty's HTLC (it locked on-chain funds against
+        // a channel credit that would never land). The swap resolves
+        // first — redeem or refund — then the channel may settle.
+        if self.swap_pending_on(&id) {
+            return Err(ProtocolError::SwapPending);
+        }
+        let chan = self.channels.get(&id).expect("checked");
         let remote = chan.remote;
         // Off-chain termination (Alg. 1 line 106): if balances are neutral
         // (every deposit's value equals its owner's share), dissociating
@@ -1322,6 +1446,11 @@ impl TeechainEnclave {
 
     fn on_settle_request(&mut self, from: PublicKey, id: ChannelId) -> Outcome {
         self.require_unfrozen()?;
+        // Mirror of the guard in `cmd_settle`: refuse to cooperate with a
+        // peer settling out from under a pending swap.
+        if self.swap_pending_on(&id) {
+            return Err(ProtocolError::SwapPending);
+        }
         let chan = self.channel_mut(&id)?;
         if chan.remote != from {
             return Err(ProtocolError::BadMessage);
@@ -1370,6 +1499,537 @@ impl TeechainEnclave {
         let mut effects = Vec::new();
         self.flush_admission(id, ProtocolError::ChannelClosed, &mut effects);
         Ok(effects)
+    }
+
+    // ---- Cross-chain atomic swaps (Command::Swap, [`crate::swap`]) ----
+
+    /// True if any swap on `id` can still go either way.
+    pub(crate) fn swap_pending_on(&self, id: &ChannelId) -> bool {
+        self.swaps
+            .values()
+            .any(|s| s.channel == *id && s.phase.pending())
+    }
+
+    /// Marks a still-pending swap locally refunded — valid only on paths
+    /// where nothing of OURS is locked on-chain — stages the transition,
+    /// notifies the peer best-effort and resolves the operation. A
+    /// responder's live HTLC is recovered separately by its chain-watch
+    /// refund timer: that is how "both refunds land" without trust.
+    fn refund_swap_local(&mut self, swap: SwapId, effects: &mut Vec<Effect>) {
+        let Some(state) = self.swaps.get_mut(&swap) else {
+            return;
+        };
+        state.phase = SwapPhase::Refunded;
+        let remote = state.remote;
+        let snap = Box::new(state.clone());
+        self.stage_delta(StateDelta::Swap(snap));
+        let nack = ProtocolMsg::SwapNack {
+            swap,
+            reason: ProtocolError::SwapPending.abort_code(),
+        };
+        if let Ok(eff) = self.seal_to(&remote, &nack) {
+            effects.push(eff);
+        }
+        effects.push(Effect::Event(HostEvent::SwapPhaseEntered {
+            swap,
+            phase: SwapPhase::Refunded,
+        }));
+        effects.push(Effect::Event(HostEvent::SwapResolved {
+            swap,
+            redeemed: false,
+        }));
+    }
+
+    fn cmd_swap(
+        &mut self,
+        env: &mut EnclaveEnv,
+        swap: SwapId,
+        channel: ChannelId,
+        amount: u64,
+        alt_amount: u64,
+        timeout_blocks: u64,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        if amount == 0 || alt_amount == 0 || timeout_blocks == 0 {
+            return Err(ProtocolError::BadMessage);
+        }
+        if self.swaps.contains_key(&swap) {
+            return Err(ProtocolError::BadMessage);
+        }
+        if self.swap_pending_on(&channel) {
+            return Err(ProtocolError::SwapPending);
+        }
+        let chan = self
+            .channels
+            .get(&channel)
+            .ok_or(ProtocolError::UnknownChannel)?;
+        if !chan.usable() {
+            return Err(ProtocolError::ChannelNotOpen);
+        }
+        if chan.locked() {
+            return Err(ProtocolError::ChannelLocked);
+        }
+        if chan.my_bal < amount {
+            return Err(ProtocolError::InsufficientBalance);
+        }
+        let remote = chan.remote;
+        // The secret is born inside the enclave and leaves only through
+        // the redeem itself (the claim spend / `SwapSecret` message).
+        let secret = env.random_bytes32();
+        let hash = sha256(&secret);
+        let msg = ProtocolMsg::SwapInit {
+            swap,
+            channel,
+            amount,
+            alt_amount,
+            hash,
+            timeout_blocks,
+        };
+        let eff = self.seal_to(&remote, &msg)?;
+        let deadline_ns = env.now_ns() + SWAP_DEADLINE_NS;
+        let state = SwapState {
+            id: swap,
+            channel,
+            remote,
+            initiator: true,
+            amount,
+            alt_amount,
+            hash,
+            secret: Some(secret),
+            timeout_blocks,
+            htlc_outpoint: None,
+            deadline_ns,
+            phase: SwapPhase::Init,
+        };
+        self.swaps.insert(swap, state.clone());
+        self.stage_delta(StateDelta::Swap(Box::new(state)));
+        Ok(vec![
+            eff,
+            Effect::Event(HostEvent::SwapPhaseEntered {
+                swap,
+                phase: SwapPhase::Init,
+            }),
+            Effect::Event(HostEvent::SwapCheckAt {
+                swap,
+                at: deadline_ns,
+            }),
+        ])
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn on_swap_init(
+        &mut self,
+        env: &mut EnclaveEnv,
+        from: PublicKey,
+        swap: SwapId,
+        channel: ChannelId,
+        amount: u64,
+        alt_amount: u64,
+        hash: [u8; 32],
+        timeout_blocks: u64,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        if self.swaps.contains_key(&swap) || amount == 0 || alt_amount == 0 || timeout_blocks == 0 {
+            return Err(ProtocolError::BadMessage);
+        }
+        let chan = self
+            .channels
+            .get(&channel)
+            .ok_or(ProtocolError::UnknownChannel)?;
+        if chan.remote != from || !chan.usable() {
+            return Err(ProtocolError::BadMessage);
+        }
+        if self.swap_pending_on(&channel) {
+            // One swap per channel at a time; refuse rather than stack.
+            let nack = ProtocolMsg::SwapNack {
+                swap,
+                reason: ProtocolError::SwapPending.abort_code(),
+            };
+            return Ok(vec![self.seal_to(&from, &nack)?]);
+        }
+        let me = self.identity.as_ref().ok_or(ProtocolError::NoSession)?.pk;
+        let deadline_ns = env.now_ns() + SWAP_DEADLINE_NS;
+        let state = SwapState {
+            id: swap,
+            channel,
+            remote: from,
+            initiator: false,
+            amount,
+            alt_amount,
+            hash,
+            secret: None,
+            timeout_blocks,
+            htlc_outpoint: None,
+            deadline_ns,
+            phase: SwapPhase::Init,
+        };
+        let script = state.htlc_script(&me);
+        self.swaps.insert(swap, state.clone());
+        self.stage_delta(StateDelta::Swap(Box::new(state)));
+        Ok(vec![
+            Effect::Event(HostEvent::SwapPhaseEntered {
+                swap,
+                phase: SwapPhase::Init,
+            }),
+            Effect::Event(HostEvent::SwapFundingNeeded {
+                swap,
+                script,
+                value: alt_amount,
+            }),
+            Effect::Event(HostEvent::SwapCheckAt {
+                swap,
+                at: deadline_ns,
+            }),
+        ])
+    }
+
+    fn cmd_swap_funded(
+        &mut self,
+        env: &mut EnclaveEnv,
+        swap: SwapId,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        let state = self.swaps.get(&swap).ok_or(ProtocolError::BadMessage)?;
+        if state.initiator {
+            return Err(ProtocolError::BadMessage);
+        }
+        if state.phase != SwapPhase::Init {
+            return Ok(vec![]); // Aborted (or already funded) meanwhile.
+        }
+        let remote = state.remote;
+        let state = self.swaps.get_mut(&swap).expect("checked");
+        state.phase = SwapPhase::Locked;
+        state.htlc_outpoint = Some(outpoint);
+        let snap = Box::new(state.clone());
+        self.stage_delta(StateDelta::Swap(snap));
+        let mut effects = Vec::new();
+        // Best-effort notification: after a crash-recovery replay no
+        // session survives, but the lock must still commit — the enclave
+        // now tracks the on-chain value, its chain watch reclaims it at
+        // the timelock, and the uninformed initiator aborts at its own
+        // deadline. Refusing here would strand the minted HTLC forever.
+        let msg = ProtocolMsg::SwapLocked { swap, outpoint };
+        if let Ok(eff) = self.seal_to(&remote, &msg) {
+            effects.push(eff);
+        }
+        effects.push(Effect::Event(HostEvent::SwapPhaseEntered {
+            swap,
+            phase: SwapPhase::Locked,
+        }));
+        effects.push(Effect::Event(HostEvent::SwapCheckAt {
+            swap,
+            at: env.now_ns() + SWAP_CHECK_INTERVAL_NS,
+        }));
+        Ok(effects)
+    }
+
+    fn on_swap_locked(
+        &mut self,
+        env: &mut EnclaveEnv,
+        from: PublicKey,
+        swap: SwapId,
+        outpoint: teechain_blockchain::OutPoint,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        let state = self.swaps.get(&swap).ok_or(ProtocolError::BadMessage)?;
+        if !state.initiator || state.remote != from {
+            return Err(ProtocolError::BadMessage);
+        }
+        if state.phase != SwapPhase::Init {
+            return Ok(vec![]); // Deadline-aborted before the lock arrived.
+        }
+        let me = self.identity.as_ref().ok_or(ProtocolError::NoSession)?.pk;
+        let state = self.swaps.get_mut(&swap).expect("checked");
+        state.phase = SwapPhase::Locked;
+        state.htlc_outpoint = Some(outpoint);
+        let snap = state.clone();
+        self.stage_delta(StateDelta::Swap(Box::new(snap.clone())));
+        // The enclave cannot read chains (§4): the host verifies the
+        // HTLC (script, value, confirmations per its policy) and answers
+        // with SwapHtlcVerified, mirroring the VerifyDeposit flow.
+        Ok(vec![
+            Effect::Event(HostEvent::SwapPhaseEntered {
+                swap,
+                phase: SwapPhase::Locked,
+            }),
+            Effect::Event(HostEvent::VerifySwapHtlc {
+                swap,
+                outpoint,
+                script: snap.htlc_script(&me),
+                value: snap.alt_amount,
+            }),
+        ])
+    }
+
+    fn cmd_swap_htlc_verified(
+        &mut self,
+        env: &mut EnclaveEnv,
+        swap: SwapId,
+        valid: bool,
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        let state = self
+            .swaps
+            .get(&swap)
+            .ok_or(ProtocolError::BadMessage)?
+            .clone();
+        if !state.initiator {
+            return Err(ProtocolError::BadMessage);
+        }
+        if state.phase != SwapPhase::Locked {
+            return Ok(vec![]); // Aborted meanwhile; nothing was committed.
+        }
+        let covered = self
+            .channels
+            .get(&state.channel)
+            .map(|c| c.usable() && !c.locked() && c.my_bal >= state.amount)
+            .unwrap_or(false);
+        if !valid || !covered {
+            // A bad lock (or a balance drained since Init) aborts before
+            // any value moves; the responder recovers its HTLC via the
+            // timelocked refund path.
+            let mut effects = Vec::new();
+            self.refund_swap_local(swap, &mut effects);
+            return Ok(effects);
+        }
+        let kp = *self.identity.as_ref().ok_or(ProtocolError::NoSession)?;
+        let secret = state.secret.expect("initiator holds the secret");
+        let outpoint = state.htlc_outpoint.expect("locked phase has the outpoint");
+        let claim = crate::swap::claim_tx(outpoint, state.alt_amount, &secret, kp.pk, &kp.sk);
+        let msg = ProtocolMsg::SwapSecret { swap, secret };
+        let eff = self.seal_to(&state.remote, &msg)?;
+        // One atomic commit: the channel debit and the phase transition
+        // ride the same WAL record, so a crash either keeps the swap
+        // Locked (no debit) or lands Redeemed (debited, claim
+        // re-drivable from the recorded secret).
+        let chan = self.channels.get_mut(&state.channel).expect("checked");
+        chan.my_bal -= state.amount;
+        chan.remote_bal += state.amount;
+        self.stage_delta(StateDelta::Pay {
+            id: state.channel,
+            my_delta: -(state.amount as i64),
+            remote_delta: state.amount as i64,
+        });
+        let st = self.swaps.get_mut(&swap).expect("checked");
+        st.phase = SwapPhase::Redeemed;
+        let snap = Box::new(st.clone());
+        self.stage_delta(StateDelta::Swap(snap));
+        Ok(vec![
+            Effect::BroadcastAlt(claim),
+            eff,
+            Effect::Event(HostEvent::SwapPhaseEntered {
+                swap,
+                phase: SwapPhase::Redeemed,
+            }),
+            Effect::Event(HostEvent::SwapResolved {
+                swap,
+                redeemed: true,
+            }),
+        ])
+    }
+
+    fn on_swap_secret(
+        &mut self,
+        env: &mut EnclaveEnv,
+        from: PublicKey,
+        swap: SwapId,
+        secret: [u8; 32],
+    ) -> Outcome {
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
+        let state = self.swaps.get(&swap).ok_or(ProtocolError::BadMessage)?;
+        if state.initiator || state.remote != from {
+            return Err(ProtocolError::BadMessage);
+        }
+        if !state.phase.pending() {
+            return Ok(vec![]); // Duplicate (Redeemed) or too late (Refunded).
+        }
+        if sha256(&secret) != state.hash {
+            return Err(ProtocolError::BadMessage);
+        }
+        self.credit_swap_redeem(swap, secret)
+    }
+
+    /// Responder redeem: credits the channel and records the revealed
+    /// secret in one commit. Reached from `SwapSecret` or from the
+    /// chain-watch fallback (preimage read off the confirmed claim).
+    fn credit_swap_redeem(&mut self, swap: SwapId, secret: [u8; 32]) -> Outcome {
+        let state = self
+            .swaps
+            .get(&swap)
+            .ok_or(ProtocolError::BadMessage)?
+            .clone();
+        let Some(chan) = self.channels.get_mut(&state.channel) else {
+            return Err(ProtocolError::UnknownChannel);
+        };
+        if chan.remote_bal < state.amount {
+            return Err(ProtocolError::BadMessage); // Peer violated protocol.
+        }
+        chan.remote_bal -= state.amount;
+        chan.my_bal += state.amount;
+        self.stage_delta(StateDelta::Pay {
+            id: state.channel,
+            my_delta: state.amount as i64,
+            remote_delta: -(state.amount as i64),
+        });
+        let st = self.swaps.get_mut(&swap).expect("checked");
+        st.phase = SwapPhase::Redeemed;
+        st.secret = Some(secret);
+        let snap = Box::new(st.clone());
+        self.stage_delta(StateDelta::Swap(snap));
+        Ok(vec![
+            Effect::Event(HostEvent::SwapPhaseEntered {
+                swap,
+                phase: SwapPhase::Redeemed,
+            }),
+            Effect::Event(HostEvent::SwapResolved {
+                swap,
+                redeemed: true,
+            }),
+        ])
+    }
+
+    fn on_swap_nack(&mut self, from: PublicKey, swap: SwapId, reason: u8) -> Outcome {
+        let _ = ProtocolError::from_abort_code(reason);
+        let state = self.swaps.get_mut(&swap).ok_or(ProtocolError::BadMessage)?;
+        if state.remote != from {
+            return Err(ProtocolError::BadMessage);
+        }
+        match state.phase {
+            // Responder with a live HTLC: funds come back via the
+            // timelocked refund, driven by the chain-watch tick.
+            SwapPhase::Locked if !state.initiator => Ok(vec![]),
+            SwapPhase::Init | SwapPhase::Locked => {
+                state.phase = SwapPhase::Refunded;
+                let snap = Box::new(state.clone());
+                self.stage_delta(StateDelta::Swap(snap));
+                Ok(vec![
+                    Effect::Event(HostEvent::SwapPhaseEntered {
+                        swap,
+                        phase: SwapPhase::Refunded,
+                    }),
+                    Effect::Event(HostEvent::SwapResolved {
+                        swap,
+                        redeemed: false,
+                    }),
+                ])
+            }
+            _ => Ok(vec![]),
+        }
+    }
+
+    fn cmd_swap_tick(
+        &mut self,
+        env: &mut EnclaveEnv,
+        swap: SwapId,
+        spent_preimage: Option<Vec<u8>>,
+        confirmations: u64,
+        claim_confirmed: bool,
+    ) -> Outcome {
+        if self.frozen {
+            return Ok(vec![]);
+        }
+        let Some(state) = self.swaps.get(&swap) else {
+            return Ok(vec![]);
+        };
+        let state = state.clone();
+        match state.phase {
+            SwapPhase::Refunded => Ok(vec![]),
+            SwapPhase::Redeemed => {
+                // Post-crash re-drive: the debit committed but the claim
+                // may never have reached the alternate chain. Re-broadcast
+                // (duplicate submits are rejected harmlessly), re-offer
+                // the secret, and watch until the claim confirms.
+                if !state.initiator || claim_confirmed {
+                    return Ok(vec![]);
+                }
+                let (Some(outpoint), Some(secret)) = (state.htlc_outpoint, state.secret) else {
+                    return Ok(vec![]);
+                };
+                let kp = *self.identity.as_ref().ok_or(ProtocolError::NoSession)?;
+                let claim =
+                    crate::swap::claim_tx(outpoint, state.alt_amount, &secret, kp.pk, &kp.sk);
+                let mut effects = vec![Effect::BroadcastAlt(claim)];
+                let msg = ProtocolMsg::SwapSecret { swap, secret };
+                if let Ok(eff) = self.seal_to(&state.remote, &msg) {
+                    effects.push(eff);
+                }
+                effects.push(Effect::Event(HostEvent::SwapCheckAt {
+                    swap,
+                    at: env.now_ns() + SWAP_CHECK_INTERVAL_NS,
+                }));
+                Ok(effects)
+            }
+            SwapPhase::Init | SwapPhase::Locked => {
+                // Pending-phase resolutions mutate state; gate on the
+                // counter and re-arm rather than fail when throttled.
+                if let Err(e) = self.require_counter_ready(env) {
+                    return match e {
+                        ProtocolError::CounterThrottled { ready_at } => {
+                            Ok(vec![Effect::Event(HostEvent::SwapCheckAt {
+                                swap,
+                                at: ready_at,
+                            })])
+                        }
+                        other => Err(other),
+                    };
+                }
+                if !state.initiator && state.phase == SwapPhase::Locked {
+                    // Chain-watch redeem: a confirmed claim reveals the
+                    // preimage even if `SwapSecret` never arrived.
+                    if let Some(p) = spent_preimage.as_deref() {
+                        if p.len() == 32 && sha256(p) == state.hash {
+                            let mut secret = [0u8; 32];
+                            secret.copy_from_slice(p);
+                            return self.credit_swap_redeem(swap, secret);
+                        }
+                    }
+                    if confirmations >= state.timeout_blocks {
+                        // Timeout: reclaim our HTLC on-chain.
+                        let kp = *self.identity.as_ref().ok_or(ProtocolError::NoSession)?;
+                        let outpoint = state.htlc_outpoint.expect("locked has outpoint");
+                        let refund =
+                            crate::swap::refund_tx(outpoint, state.alt_amount, kp.pk, &kp.sk);
+                        let st = self.swaps.get_mut(&swap).expect("checked");
+                        st.phase = SwapPhase::Refunded;
+                        let snap = Box::new(st.clone());
+                        self.stage_delta(StateDelta::Swap(snap));
+                        return Ok(vec![
+                            Effect::BroadcastAlt(refund),
+                            Effect::Event(HostEvent::SwapPhaseEntered {
+                                swap,
+                                phase: SwapPhase::Refunded,
+                            }),
+                            Effect::Event(HostEvent::SwapResolved {
+                                swap,
+                                redeemed: false,
+                            }),
+                        ]);
+                    }
+                }
+                if env.now_ns() >= state.deadline_ns
+                    && (state.initiator || state.phase == SwapPhase::Init)
+                {
+                    // Deadline abort: nothing of ours is locked on-chain
+                    // on these paths, so a local refund is safe. (A
+                    // responder in Locked keeps watching the chain — its
+                    // HTLC needs the timelocked refund above.)
+                    let mut effects = Vec::new();
+                    self.refund_swap_local(swap, &mut effects);
+                    return Ok(effects);
+                }
+                Ok(vec![Effect::Event(HostEvent::SwapCheckAt {
+                    swap,
+                    at: env.now_ns() + SWAP_CHECK_INTERVAL_NS,
+                })])
+            }
+        }
     }
 
     // ---- Protocol message dispatch ----
@@ -1427,6 +2087,30 @@ impl TeechainEnclave {
             ProtocolMsg::RepUpdate { seq, deltas } => self.on_rep_update(from, seq, deltas),
             ProtocolMsg::RepAck { seq } => self.on_rep_ack(from, seq),
             ProtocolMsg::RepFreeze => self.on_rep_freeze(from),
+            ProtocolMsg::SwapInit {
+                swap,
+                channel,
+                amount,
+                alt_amount,
+                hash,
+                timeout_blocks,
+            } => self.on_swap_init(
+                env,
+                from,
+                swap,
+                channel,
+                amount,
+                alt_amount,
+                hash,
+                timeout_blocks,
+            ),
+            ProtocolMsg::SwapLocked { swap, outpoint } => {
+                self.on_swap_locked(env, from, swap, outpoint)
+            }
+            ProtocolMsg::SwapSecret { swap, secret } => {
+                self.on_swap_secret(env, from, swap, secret)
+            }
+            ProtocolMsg::SwapNack { swap, reason } => self.on_swap_nack(from, swap, reason),
             ProtocolMsg::SigRequest { .. } | ProtocolMsg::SigResponse { .. } => {
                 // Signing traffic is routed at the host layer (it carries
                 // no secrets); enclaves serve it via Command::CoSign.
@@ -1491,6 +2175,23 @@ impl EnclaveProgram for TeechainEnclave {
             Command::RestoreSealed { blob } => self.cmd_restore_sealed(env, blob),
             Command::Recover { snapshot, log } => self.cmd_recover(env, snapshot, log),
             Command::PumpAdmission => self.cmd_pump_admission(env),
+            Command::Swap {
+                swap,
+                channel,
+                amount,
+                alt_amount,
+                timeout_blocks,
+            } => self.cmd_swap(env, swap, channel, amount, alt_amount, timeout_blocks),
+            Command::SwapFunded { swap, outpoint } => self.cmd_swap_funded(env, swap, outpoint),
+            Command::SwapHtlcVerified { swap, valid } => {
+                self.cmd_swap_htlc_verified(env, swap, valid)
+            }
+            Command::SwapTick {
+                swap,
+                spent_preimage,
+                confirmations,
+                claim_confirmed,
+            } => self.cmd_swap_tick(env, swap, spent_preimage, confirmations, claim_confirmed),
         };
         match result {
             Ok(effects) => self.finalize(env, effects),
@@ -2049,9 +2750,10 @@ impl TeechainEnclave {
     // ---- Persistence (§6.2) ----
 
     /// Serializes the full durable state: identity, channels, both sides
-    /// of the deposit book with statuses, and blockchain keys.
+    /// of the deposit book with statuses, blockchain keys, and (v3) the
+    /// atomic-swap table.
     fn state_image(&self) -> Vec<u8> {
-        let mut out = vec![STATE_IMAGE_V2];
+        let mut out = vec![STATE_IMAGE_V3];
         self.identity
             .as_ref()
             .map(|k| k.sk.to_bytes())
@@ -2076,14 +2778,24 @@ impl TeechainEnclave {
         remote.encode(&mut out);
         let keys: Vec<[u8; 32]> = self.book.keys.values().map(|k| k.to_bytes()).collect();
         keys.encode(&mut out);
+        // Sorted for a canonical image (HashMap order is arbitrary).
+        let mut swaps: Vec<SwapState> = self.swaps.values().cloned().collect();
+        swaps.sort_by_key(|s| s.id);
+        swaps.encode(&mut out);
         out
     }
 
-    /// Deserializes a state image produced by [`Self::state_image`] (v2)
-    /// or by the legacy format that predates the WAL (no version byte).
+    /// Deserializes a state image produced by [`Self::state_image`]
+    /// (v3), its swap-free predecessor (v2), or the legacy format that
+    /// predates the WAL (no version byte).
     fn load_state_image(&mut self, state: &[u8]) -> Result<(), ProtocolError> {
         let mut r = teechain_util::codec::Reader::new(state);
-        let v2 = state.first() == Some(&STATE_IMAGE_V2);
+        let version: u8 = match state.first() {
+            Some(&STATE_IMAGE_V3) => STATE_IMAGE_V3,
+            Some(&STATE_IMAGE_V2) => STATE_IMAGE_V2,
+            _ => 0,
+        };
+        let v2 = version >= STATE_IMAGE_V2;
         if v2 {
             let _version: u8 = r.read().map_err(|_| ProtocolError::BadMessage)?;
         }
@@ -2135,6 +2847,12 @@ impl TeechainEnclave {
                     DepositStatus::Associated(ChannelId([0; 32]))
                 };
                 self.book.mine.insert(dep.outpoint, (dep, status));
+            }
+        }
+        if version >= STATE_IMAGE_V3 {
+            let swaps: Vec<SwapState> = r.read().map_err(|_| ProtocolError::BadMessage)?;
+            for s in swaps {
+                self.swaps.insert(s.id, s);
             }
         }
         Ok(())
@@ -2224,6 +2942,7 @@ impl TeechainEnclave {
             || !self.channels.is_empty()
             || !self.book.mine.is_empty()
             || !self.book.remote.is_empty()
+            || !self.swaps.is_empty()
         {
             return Err(ProtocolError::BadMessage);
         }
@@ -2302,11 +3021,51 @@ impl TeechainEnclave {
         }
         self.commits = applied;
         self.rebuild_deposit_statuses();
-        Ok(vec![Effect::Event(HostEvent::Recovered {
+        let mut effects = vec![Effect::Event(HostEvent::Recovered {
             channels: self.channels.len(),
             deposits: self.book.mine.len() + self.book.remote.len(),
             commits: applied,
-        })])
+        })];
+        // Re-arm swap timers: a pending swap resumes its chain watch /
+        // deadline abort; an initiator whose debit committed (Redeemed)
+        // re-drives the idempotent claim broadcast until it confirms —
+        // sessions did not survive the crash, so the responder learns the
+        // preimage from the chain if the re-sent `SwapSecret` cannot go.
+        let now = env.now_ns();
+        let mut rearm: Vec<SwapId> = self
+            .swaps
+            .values()
+            .filter(|s| s.phase.pending() || (s.phase == SwapPhase::Redeemed && s.initiator))
+            .map(|s| s.id)
+            .collect();
+        rearm.sort();
+        for swap in rearm {
+            effects.push(Effect::Event(HostEvent::SwapCheckAt { swap, at: now }));
+        }
+        // A responder that crashed inside the funding window replays at
+        // Init with no outpoint while its minted HTLC sits on-chain (the
+        // `SwapFunded` ack never reached the WAL). Re-ask the host for
+        // funding: the host's answer is a rescan — it re-offers an
+        // existing matching lock rather than minting a second one — so
+        // the replayed request is idempotent and the value is never
+        // stranded.
+        if let Some(me) = self.identity.as_ref().map(|i| i.pk) {
+            let mut refund: Vec<_> = self
+                .swaps
+                .values()
+                .filter(|s| !s.initiator && s.phase == SwapPhase::Init)
+                .map(|s| (s.id, s.htlc_script(&me), s.alt_amount))
+                .collect();
+            refund.sort_by_key(|(id, _, _)| *id);
+            for (swap, script, value) in refund {
+                effects.push(Effect::Event(HostEvent::SwapFundingNeeded {
+                    swap,
+                    script,
+                    value,
+                }));
+            }
+        }
+        Ok(effects)
     }
 
     /// Applies a WAL-replayed delta to *primary* state (the dual of
@@ -2362,6 +3121,11 @@ impl TeechainEnclave {
                 if let Some(c) = self.channels.get_mut(&id) {
                     c.closed = true;
                 }
+            }
+            StateDelta::Swap(s) => {
+                // Each transition carries the full swap state; replaying
+                // in WAL order converges on the last committed phase.
+                self.swaps.insert(s.id, *s);
             }
         }
     }
@@ -2439,5 +3203,15 @@ impl TeechainEnclave {
     /// Entries currently parked in the admission layer (tests).
     pub fn admit_backlog(&self) -> usize {
         self.admit.backlog()
+    }
+
+    /// A swap's full state (tests and host chain-watch wiring).
+    pub fn swap_state(&self, id: &SwapId) -> Option<&SwapState> {
+        self.swaps.get(id)
+    }
+
+    /// Number of swaps that can still go either way.
+    pub fn pending_swaps(&self) -> usize {
+        self.swaps.values().filter(|s| s.phase.pending()).count()
     }
 }

@@ -107,6 +107,7 @@ pub mod replication;
 pub mod routing;
 pub mod session;
 pub mod settle;
+pub mod swap;
 pub mod testkit;
 pub mod types;
 
@@ -115,4 +116,5 @@ pub use enclave::{Command, Effect, EnclaveConfig, HostEvent, Outcome, TeechainEn
 pub use live::{LiveBackend, LiveCluster, LiveConfig};
 pub use node::TeechainNode;
 pub use ops::{Completion, OpError, OpId, OpOutput, Pending, SettleKind};
-pub use types::{ChannelId, CommitteeSpec, Deposit, MultihopStage, ProtocolError, RouteId};
+pub use swap::{SwapOutcome, SwapPhase, SwapState};
+pub use types::{ChannelId, CommitteeSpec, Deposit, MultihopStage, ProtocolError, RouteId, SwapId};

@@ -201,6 +201,9 @@ pub struct LiveCluster {
     pub ids: Vec<PublicKey>,
     /// The shared blockchain.
     pub chain: SharedChain,
+    /// The shared *alternate* blockchain (cross-chain swap HTLCs land
+    /// here; see [`crate::swap`]).
+    pub chain2: SharedChain,
     /// Durable stores per node (persistent mode), harness-owned.
     pub stores: Vec<Option<SharedStore>>,
     completions: Vec<Arc<Mutex<Vec<Completion>>>>,
@@ -252,14 +255,16 @@ impl LiveCluster {
              use DurabilityBackend::None or Persist"
         );
         let chain: SharedChain = Arc::new(Mutex::new(Chain::new()));
+        let chain2: SharedChain = Arc::new(Mutex::new(Chain::new()));
         let (_root, nodes, stores, ids) =
-            build_wired_nodes(cfg.n, cfg.seed, cfg.durability, &chain);
+            build_wired_nodes(cfg.n, cfg.seed, cfg.durability, &chain, &chain2);
         let epoch = Instant::now();
         let sched = crate::live_sched::Sched::launch(&cfg, nodes, epoch)?;
         let completions = sched.completion_handles();
         Ok(LiveCluster {
             ids,
             chain,
+            chain2,
             stores,
             completions,
             epoch,
@@ -297,10 +302,11 @@ impl LiveCluster {
              use DurabilityBackend::None or Persist"
         );
         let chain: SharedChain = Arc::new(Mutex::new(Chain::new()));
+        let chain2: SharedChain = Arc::new(Mutex::new(Chain::new()));
         // Nodes, identities and directories are built by the exact code
         // the simulated harness uses — before any thread exists.
         let (_root, nodes, stores, ids) =
-            build_wired_nodes(cfg.n, cfg.seed, cfg.durability, &chain);
+            build_wired_nodes(cfg.n, cfg.seed, cfg.durability, &chain, &chain2);
         // One epoch for every node: in-protocol absolute times agree.
         let epoch = Instant::now();
         let stop = Arc::new(AtomicBool::new(false));
@@ -341,6 +347,7 @@ impl LiveCluster {
         LiveCluster {
             ids,
             chain,
+            chain2,
             stores,
             completions,
             epoch,
@@ -630,6 +637,30 @@ impl LiveCluster {
     /// [`Settlement`] (off-chain or on-chain).
     pub fn settle_channel(&self, i: usize, chan: ChannelId) -> Result<Settlement, OpError> {
         let op = self.submit(i, Command::Settle { id: chan });
+        self.wait(Pending::new(op), DEFAULT_OP_TIMEOUT)
+    }
+
+    /// Initiates a cross-chain atomic swap from node `from` and blocks
+    /// for its terminal [`crate::swap::SwapOutcome`].
+    pub fn swap(
+        &self,
+        from: usize,
+        chan: ChannelId,
+        label: &str,
+        amount: u64,
+        alt_amount: u64,
+        timeout_blocks: u64,
+    ) -> Result<crate::swap::SwapOutcome, OpError> {
+        let op = self.submit(
+            from,
+            Command::Swap {
+                swap: crate::types::SwapId::from_label(label),
+                channel: chan,
+                amount,
+                alt_amount,
+                timeout_blocks,
+            },
+        );
         self.wait(Pending::new(op), DEFAULT_OP_TIMEOUT)
     }
 

@@ -15,7 +15,8 @@
 //! messages fail authentication.
 
 use crate::channel::Channel;
-use crate::types::{ChannelId, Deposit, MultihopStage, RouteId};
+use crate::swap::SwapState;
+use crate::types::{ChannelId, Deposit, MultihopStage, RouteId, SwapId};
 use teechain_blockchain::{OutPoint, Transaction, TxId};
 use teechain_crypto::schnorr::{PublicKey, Signature};
 use teechain_tee::Quote;
@@ -199,6 +200,10 @@ pub enum StateDelta {
     },
     /// Remove all state for a settled channel.
     CloseChannel(ChannelId),
+    /// Install or overwrite a cross-chain swap's state — one record per
+    /// phase transition, so WAL replay recovers a crashed enclave to the
+    /// exact committed phase.
+    Swap(Box<SwapState>),
 }
 
 impl Encode for StateDelta {
@@ -242,6 +247,10 @@ impl Encode for StateDelta {
                 6u8.encode(out);
                 id.encode(out);
             }
+            StateDelta::Swap(s) => {
+                7u8.encode(out);
+                s.as_ref().encode(out);
+            }
         }
     }
 }
@@ -270,6 +279,7 @@ impl Decode for StateDelta {
                 tau: r.read()?,
             },
             6 => StateDelta::CloseChannel(r.read()?),
+            7 => StateDelta::Swap(Box::new(r.read()?)),
             _ => return Err(WireError::InvalidValue("delta tag")),
         })
     }
@@ -504,6 +514,48 @@ pub enum ProtocolMsg {
         /// True if the member refused (state mismatch — Byzantine guard).
         refused: bool,
     },
+
+    // ---- Cross-chain atomic swaps (see `crate::swap`) ----
+    /// Swap proposal from the initiator: trade `amount` of channel
+    /// balance for `alt_amount` locked under `hash` on the other chain.
+    SwapInit {
+        /// Swap instance id.
+        swap: SwapId,
+        /// Channel whose balance is traded.
+        channel: ChannelId,
+        /// Channel amount (initiator → responder on redeem).
+        amount: u64,
+        /// Alternate-chain amount the responder must lock.
+        alt_amount: u64,
+        /// SHA-256 commitment to the initiator's secret.
+        hash: [u8; 32],
+        /// HTLC refund timelock in alternate-chain confirmations.
+        timeout_blocks: u64,
+    },
+    /// Responder's HTLC is funded and confirmed on the alternate chain.
+    SwapLocked {
+        /// Swap instance id.
+        swap: SwapId,
+        /// The HTLC output.
+        outpoint: OutPoint,
+    },
+    /// The secret, revealed after the initiator's claim is broadcast —
+    /// the fast path for the responder's channel credit (the slow path
+    /// extracts the preimage from the confirmed claim spend).
+    SwapSecret {
+        /// Swap instance id.
+        swap: SwapId,
+        /// The preimage of `hash`.
+        secret: [u8; 32],
+    },
+    /// Swap refused or unilaterally aborted; carries the refusing side's
+    /// [`ProtocolError::abort_code`](crate::types::ProtocolError::abort_code).
+    SwapNack {
+        /// Swap instance id.
+        swap: SwapId,
+        /// Failure reason wire code.
+        reason: u8,
+    },
 }
 
 macro_rules! tagged {
@@ -557,6 +609,26 @@ impl Encode for ProtocolMsg {
                 reason,
             } => tagged!(out, 24, id, amount, count, reason),
             MhAbort { route, reason } => tagged!(out, 25, route, reason),
+            SwapInit {
+                swap,
+                channel,
+                amount,
+                alt_amount,
+                hash,
+                timeout_blocks,
+            } => tagged!(
+                out,
+                26,
+                swap,
+                channel,
+                amount,
+                alt_amount,
+                hash,
+                timeout_blocks
+            ),
+            SwapLocked { swap, outpoint } => tagged!(out, 27, swap, outpoint),
+            SwapSecret { swap, secret } => tagged!(out, 28, swap, secret),
+            SwapNack { swap, reason } => tagged!(out, 29, swap, reason),
         }
     }
 }
@@ -643,6 +715,26 @@ impl Decode for ProtocolMsg {
             },
             25 => MhAbort {
                 route: r.read()?,
+                reason: r.read()?,
+            },
+            26 => SwapInit {
+                swap: r.read()?,
+                channel: r.read()?,
+                amount: r.read()?,
+                alt_amount: r.read()?,
+                hash: r.read()?,
+                timeout_blocks: r.read()?,
+            },
+            27 => SwapLocked {
+                swap: r.read()?,
+                outpoint: r.read()?,
+            },
+            28 => SwapSecret {
+                swap: r.read()?,
+                secret: r.read()?,
+            },
+            29 => SwapNack {
+                swap: r.read()?,
                 reason: r.read()?,
             },
             _ => return Err(WireError::InvalidValue("protocol tag")),

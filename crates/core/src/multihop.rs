@@ -142,10 +142,7 @@ impl TeechainEnclave {
         let id = route.out_chan().expect("only non-terminal hops extend τ");
         let chan = &self.channels[&id];
         for prevout in chan.all_deposits() {
-            tau.inputs.push(TxIn {
-                prevout,
-                witness: Vec::new(),
-            });
+            tau.inputs.push(TxIn::spend(prevout));
             if let Some(dep) = self.book.deposit_of(&prevout) {
                 deposits.push(dep.clone());
             }

@@ -5,7 +5,7 @@
 
 use crate::enclave::{Command, Effect, EnclaveConfig, HostEvent, TeechainEnclave};
 use crate::ops::{self, Completion, OpError, OpId, OpJob, OpOutput, OpTracker};
-use crate::types::{Deposit, ProtocolError};
+use crate::types::{Deposit, ProtocolError, SwapId};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -103,6 +103,12 @@ pub struct TeechainNode {
     pub directory: HashMap<PublicKey, NodeId>,
     /// The blockchain this node reads and writes asynchronously.
     pub chain: SharedChain,
+    /// The *alternate* blockchain used by cross-chain atomic swaps
+    /// ([`crate::swap`]): HTLCs are locked, claimed and refunded here
+    /// while the Teechain channel side moves on `chain`. Freshly created
+    /// per node; clusters share one instance via
+    /// [`TeechainNode::attach_alt_chain`].
+    pub chain2: SharedChain,
     /// Confirmations this host requires before approving a deposit
     /// (the per-participant security parameter of §4.1).
     pub required_confirmations: u64,
@@ -134,6 +140,16 @@ pub struct TeechainNode {
     pub(crate) ops: OpTracker,
     /// Transactions this node broadcast (txids, for assertions).
     pub broadcasts: Vec<teechain_blockchain::TxId>,
+    /// Transactions this node broadcast to the *alternate* chain (swap
+    /// claims and refunds; txids, for assertions).
+    pub alt_broadcasts: Vec<teechain_blockchain::TxId>,
+    /// Adversarial knob: ignore [`HostEvent::VerifySwapHtlc`] requests,
+    /// so the enclave never verifies the counterparty's HTLC and never
+    /// reveals the swap secret (an initiator withholding past timeout).
+    pub swap_withhold_verify: bool,
+    /// Adversarial knob: ignore [`HostEvent::SwapFundingNeeded`], so a
+    /// responder never locks the HTLC on the alternate chain.
+    pub swap_withhold_funding: bool,
     /// Errors surfaced while delivering messages (protocol violations by
     /// peers are dropped, as a real implementation logs-and-drops).
     pub delivery_errors: Vec<ProtocolError>,
@@ -148,6 +164,23 @@ pub struct TeechainNode {
     /// enclave asks for pumps via [`HostEvent::PumpAt`]; arming tracks
     /// the earliest request so redundant timers are not set.
     pump_armed_until: u64,
+    /// Outstanding swap timers: token low bits → the action to run when
+    /// the timer fires (a chain-watch tick, or a counter-throttled swap
+    /// command retry).
+    swap_timers: HashMap<u64, SwapTimerAction>,
+    /// Next swap timer sequence number (48-bit token space).
+    swap_timer_seq: u64,
+    /// Swap phases entered on this node, indexed by phase discriminant
+    /// (Init, Locked, Redeemed, Refunded); feeds the metrics registry.
+    swap_phase_counts: [u64; 4],
+}
+
+/// What a fired swap timer should do.
+enum SwapTimerAction {
+    /// Observe the alternate chain and tick the swap state machine.
+    Tick(SwapId),
+    /// Re-issue a swap command that was counter-throttled.
+    Retry(Command),
 }
 
 /// Timer token the node uses for admission-pump wakeups (queued-op
@@ -160,6 +193,9 @@ pub const EVENT_LOG_CAP: usize = 65_536;
 /// High-16-bit timer-token tag for operation deadline timers (low 48
 /// bits carry the operation sequence number).
 const OP_DEADLINE_TAG: u64 = 0x4F44 << 48;
+/// High-16-bit timer-token tag for swap chain-watch/retry timers (low
+/// 48 bits carry the swap timer sequence number).
+const SWAP_TIMER_TAG: u64 = 0x5357 << 48;
 /// Mask selecting a token's tag bits.
 const OP_TAG_MASK: u64 = 0xFFFF << 48;
 
@@ -173,6 +209,7 @@ impl TeechainNode {
             identity: None,
             directory: HashMap::new(),
             chain,
+            chain2: Arc::new(Mutex::new(Chain::new())),
             required_confirmations: 1,
             committee_peers: Vec::new(),
             sealed_store: None,
@@ -182,11 +219,23 @@ impl TeechainNode {
             completions: Vec::new(),
             ops: OpTracker::default(),
             broadcasts: Vec::new(),
+            alt_broadcasts: Vec::new(),
+            swap_withhold_verify: false,
+            swap_withhold_funding: false,
             delivery_errors: Vec::new(),
             tracer: Tracer::default(),
             throttled: std::collections::VecDeque::new(),
             pump_armed_until: 0,
+            swap_timers: HashMap::new(),
+            swap_timer_seq: 0,
+            swap_phase_counts: [0; 4],
         }
+    }
+
+    /// Replaces the alternate (swap) chain with a shared instance so
+    /// every node in the cluster observes the same second ledger.
+    pub fn attach_alt_chain(&mut self, chain2: SharedChain) {
+        self.chain2 = chain2;
     }
 
     /// Attaches durable storage (persistent mode). The store should be
@@ -203,12 +252,15 @@ impl TeechainNode {
         // pending and resolve as dead at quiescence.
         self.throttled.clear();
         self.pump_armed_until = 0;
+        // Armed swap timers target the dead program; recovery re-arms
+        // fresh checks for every swap that still needs driving.
+        self.swap_timers.clear();
     }
 
     /// Restarts a crashed enclave with a fresh program and replays the
     /// durable store ([`Command::Recover`]). Fails with
     /// [`ProtocolError::StaleState`] if the store was rolled back.
-    pub fn recover_from_store(&mut self, now_ns: u64) -> Result<(), ProtocolError> {
+    pub fn recover_from_store(&mut self, ctx: &mut Ctx<'_>) -> Result<(), ProtocolError> {
         let store = self.store.clone().ok_or(ProtocolError::BadMessage)?;
         let recovery = store
             .lock()
@@ -218,19 +270,17 @@ impl TeechainNode {
         let outcome = self
             .enclave
             .call(
-                now_ns,
+                ctx.now_ns(),
                 Command::Recover {
                     snapshot: recovery.snapshot,
                     log: recovery.log,
                 },
             )
             .map_err(|_| ProtocolError::Frozen)?;
-        // Recovery produces only host events; no network I/O is needed.
-        for effect in outcome? {
-            if let Effect::Event(event) = effect {
-                self.note_event(now_ns, event);
-            }
-        }
+        // Recovery produces host events only — no network I/O — but the
+        // events may ask for swap-check timers, so perform them fully.
+        let effects = outcome?;
+        self.perform(ctx, effects);
         Ok(())
     }
 
@@ -401,11 +451,96 @@ impl TeechainNode {
             }
             return;
         }
+        if token & OP_TAG_MASK == SWAP_TIMER_TAG {
+            let seq = token & !OP_TAG_MASK;
+            match self.swap_timers.remove(&seq) {
+                Some(SwapTimerAction::Tick(swap)) => self.swap_tick(ctx, swap),
+                Some(SwapTimerAction::Retry(cmd)) => self.swap_call(ctx, cmd),
+                None => {}
+            }
+            return;
+        }
         if token != PUMP_TOKEN {
             return;
         }
         self.pump_armed_until = 0;
         self.pump(ctx);
+    }
+
+    /// Arms a swap timer firing at absolute time `at`.
+    fn arm_swap_timer(&mut self, ctx: &mut Ctx<'_>, at: u64, action: SwapTimerAction) {
+        let seq = self.swap_timer_seq;
+        self.swap_timer_seq = self.swap_timer_seq.wrapping_add(1) & !OP_TAG_MASK;
+        self.swap_timers.insert(seq, action);
+        let delay = at.saturating_sub(ctx.now_ns()).max(1);
+        ctx.set_timer(delay, SWAP_TIMER_TAG | seq);
+    }
+
+    /// Issues a swap command to the enclave; a counter-throttled
+    /// rejection re-arms the command itself as a retry timer (swap
+    /// commands are host reactions, not tracked operations, so the
+    /// admission pump cannot re-dispatch them).
+    fn swap_call(&mut self, ctx: &mut Ctx<'_>, cmd: Command) {
+        let t = self.trace_ecall_begin(ctx.now_ns());
+        let result = self.enclave.call(ctx.now_ns(), cmd.clone());
+        self.trace_ecall_end(ctx.now_ns(), t);
+        match result {
+            Err(_) => {} // Crashed enclave: recovery re-drives swaps.
+            Ok(Ok(effects)) => self.perform(ctx, effects),
+            Ok(Err(ProtocolError::CounterThrottled { ready_at })) => {
+                self.arm_swap_timer(ctx, ready_at, SwapTimerAction::Retry(cmd));
+            }
+            Ok(Err(e)) => self.delivery_errors.push(e),
+        }
+    }
+
+    /// Observes the alternate chain on a swap-check timer and feeds the
+    /// observation to the enclave ([`Command::SwapTick`]), which alone
+    /// decides what it means.
+    fn swap_tick(&mut self, ctx: &mut Ctx<'_>, swap: SwapId) {
+        let Some(state) = self
+            .enclave
+            .program()
+            .and_then(|p| p.swap_state(&swap).cloned())
+        else {
+            return;
+        };
+        // Block production while a locked HTLC waits out its timelock:
+        // the alternate chain grows regardless of anything Teechain
+        // does, and the responder's on-chain refund is gated on real
+        // confirmations. One block per chain-watch tick past the swap
+        // deadline keeps that path reachable without an external miner
+        // while leaving pre-deadline pacing to the harness.
+        if !state.initiator
+            && state.phase == crate::swap::SwapPhase::Locked
+            && ctx.now_ns() >= state.deadline_ns
+        {
+            self.chain2.lock().mine_blocks(1);
+        }
+        let (spent_preimage, confirmations, claim_confirmed) = match state.htlc_outpoint {
+            None => (None, 0, false),
+            Some(outpoint) => {
+                let chain = self.chain2.lock();
+                let spender = chain.find_spender(&outpoint);
+                let preimage = spender
+                    .and_then(|tx| tx.inputs.iter().find(|i| i.prevout == outpoint))
+                    .map(|i| i.preimage.clone())
+                    .filter(|p| !p.is_empty());
+                // The claim (or refund) counts once the spender is mined.
+                let claimed = spender.map(|tx| tx.txid());
+                let confirmed = claimed.is_some_and(|txid| chain.confirmations(&txid) >= 1);
+                (preimage, chain.confirmations(&outpoint.txid), confirmed)
+            }
+        };
+        self.swap_call(
+            ctx,
+            Command::SwapTick {
+                swap,
+                spent_preimage,
+                confirmations,
+                claim_confirmed,
+            },
+        );
     }
 
     /// Pumps the enclave admission layer (expires deadline-passed queued
@@ -462,6 +597,19 @@ impl TeechainNode {
                     // or linger unconfirmed arbitrarily long; the protocol
                     // never depends on when this lands.
                     let _ = self.chain.lock().submit(tx);
+                }
+                Effect::BroadcastAlt(tx) => {
+                    self.alt_broadcasts.push(tx.txid());
+                    // Duplicate re-drives after recovery are rejected
+                    // here harmlessly. The alternate chain confirms
+                    // eagerly: its miners extend it independently of
+                    // anything Teechain does, and no swap path depends
+                    // on *when* a valid spend lands — only on the HTLC
+                    // script's own rules.
+                    let mut chain = self.chain2.lock();
+                    if chain.submit(tx).is_ok() {
+                        chain.mine_blocks(1);
+                    }
                 }
                 Effect::AppendLog(blob) => {
                     // Durability barrier before anything else in this
@@ -540,6 +688,53 @@ impl TeechainNode {
             HostEvent::PumpAt(at) => {
                 let at = *at;
                 self.schedule_pump(ctx, at);
+            }
+            HostEvent::SwapFundingNeeded {
+                swap,
+                script,
+                value,
+            } => {
+                if self.swap_withhold_funding {
+                    return; // Adversary: leave the initiator hanging.
+                }
+                // Idempotent funding: recovery replays this request if the
+                // crash fell inside the funding window, so re-offer an
+                // existing matching lock instead of minting a second one.
+                let outpoint = {
+                    let mut chain = self.chain2.lock();
+                    match chain.find_utxo_by_script(script, *value) {
+                        Some(existing) => existing,
+                        None => chain.mint(script.clone(), *value),
+                    }
+                };
+                let swap = *swap;
+                self.swap_call(ctx, Command::SwapFunded { swap, outpoint });
+            }
+            HostEvent::VerifySwapHtlc {
+                swap,
+                outpoint,
+                script,
+                value,
+            } => {
+                if self.swap_withhold_verify {
+                    return; // Adversary: never verify, never reveal.
+                }
+                let valid = {
+                    let chain = self.chain2.lock();
+                    chain
+                        .utxo(outpoint)
+                        .is_some_and(|out| out.value == *value && out.script == *script)
+                        && chain.confirmations(&outpoint.txid) >= 1
+                };
+                let swap = *swap;
+                self.swap_call(ctx, Command::SwapHtlcVerified { swap, valid });
+            }
+            HostEvent::SwapCheckAt { swap, at } => {
+                let (swap, at) = (*swap, *at);
+                self.arm_swap_timer(ctx, at, SwapTimerAction::Tick(swap));
+            }
+            HostEvent::SwapPhaseEntered { phase, .. } => {
+                self.swap_phase_counts[*phase as usize] += 1;
             }
             HostEvent::NeedCoSign { req_id, tx } => {
                 let me = self.identity.expect("identity known by now");
@@ -731,7 +926,17 @@ impl TeechainNode {
         r.counter("node.completions", self.completions.len() as u64);
         r.counter("node.events", self.events.len() as u64);
         r.counter("node.broadcasts", self.broadcasts.len() as u64);
+        r.counter("node.alt_broadcasts", self.alt_broadcasts.len() as u64);
         r.counter("node.delivery_errors", self.delivery_errors.len() as u64);
+        r.counter("swap.phase.init", self.swap_phase_counts[0]);
+        r.counter("swap.phase.locked", self.swap_phase_counts[1]);
+        r.counter("swap.phase.redeemed", self.swap_phase_counts[2]);
+        r.counter("swap.phase.refunded", self.swap_phase_counts[3]);
+        if let Some(p) = self.enclave.program() {
+            // Swaps still pending on this node: the "stuck" gauge the
+            // bench trend gate asserts is zero at quiescence.
+            r.gauge_max("swap.pending", p.pending_swaps() as u64);
+        }
         r.counter("trace.dropped", self.tracer.dropped());
         r.counter("trace.buffered", self.tracer.len() as u64);
         if let Some(a) = self.enclave.program().map(|p| p.admit_stats()) {
@@ -748,7 +953,55 @@ impl TeechainNode {
             r.gauge_max("admit.defer_age_max_ns", a.defer_age_max_ns);
             r.gauge_max("admit.max_batch", a.max_batch);
         }
+        for (name, h) in self.swap_phase_latencies() {
+            r.hist_merge(&name, &h);
+        }
         r
+    }
+
+    /// Per-phase swap latency histograms, computed from this node's host
+    /// event log (`SwapPhaseEntered` timestamps): time from `Init` to
+    /// `Locked`, from `Locked` to the terminal phase, and end to end.
+    /// Sample-exact and mergeable across nodes, like every registry
+    /// histogram.
+    pub fn swap_phase_latencies(
+        &self,
+    ) -> std::collections::BTreeMap<String, teechain_trace::Histogram> {
+        use crate::swap::SwapPhase;
+        let mut entered: HashMap<SwapId, [Option<u64>; 4]> = HashMap::new();
+        for (ts, e) in &self.events {
+            if let HostEvent::SwapPhaseEntered { swap, phase } = e {
+                let slots = entered.entry(*swap).or_default();
+                let slot = &mut slots[*phase as usize];
+                if slot.is_none() {
+                    *slot = Some(*ts);
+                }
+            }
+        }
+        let mut out: std::collections::BTreeMap<String, teechain_trace::Histogram> =
+            std::collections::BTreeMap::new();
+        for slots in entered.values() {
+            let init = slots[SwapPhase::Init as usize];
+            let locked = slots[SwapPhase::Locked as usize];
+            let terminal =
+                slots[SwapPhase::Redeemed as usize].or(slots[SwapPhase::Refunded as usize]);
+            if let (Some(a), Some(b)) = (init, locked) {
+                out.entry("swap.latency.init_to_locked".into())
+                    .or_default()
+                    .record(b.saturating_sub(a));
+            }
+            if let (Some(a), Some(b)) = (locked, terminal) {
+                out.entry("swap.latency.locked_to_terminal".into())
+                    .or_default()
+                    .record(b.saturating_sub(a));
+            }
+            if let (Some(a), Some(b)) = (init, terminal) {
+                out.entry("swap.latency.total".into())
+                    .or_default()
+                    .record(b.saturating_sub(a));
+            }
+        }
+        out
     }
 
     // ---- Correlated operations (the `ops` layer) ----
@@ -849,7 +1102,7 @@ impl TeechainNode {
             OpJob::OpenChannel { id, remote } => {
                 self.open_channel_steps(ctx, id, remote).map(|()| None)
             }
-            OpJob::Recover => self.recover_from_store(ctx.now_ns()).map(|()| None),
+            OpJob::Recover => self.recover_from_store(ctx).map(|()| None),
         };
         match result {
             Ok(output) => {

@@ -26,7 +26,8 @@
 //!   no caller outside `crates/core` touches it.
 
 use crate::enclave::{Command, HostEvent};
-use crate::types::{ChannelId, CommitteeSpec, Deposit, ProtocolError, RouteId};
+use crate::swap::SwapOutcome;
+use crate::types::{ChannelId, CommitteeSpec, Deposit, ProtocolError, RouteId, SwapId};
 use std::collections::{HashMap, VecDeque};
 use teechain_blockchain::{OutPoint, TxId};
 use teechain_crypto::schnorr::PublicKey;
@@ -147,6 +148,10 @@ pub enum OpOutput {
         /// Durable commits replayed.
         commits: u64,
     },
+    /// A cross-chain atomic swap resolved (`Command::Swap`). Both
+    /// resolutions — redeemed on both ledgers or refunded on both — are
+    /// successful completions; the payload says which.
+    Swap(SwapOutcome),
     /// The command was accepted and has no asynchronous response (e.g.
     /// `Command::NewDeposit`, `Command::Eject`).
     Done,
@@ -173,6 +178,7 @@ impl OpOutput {
             OpOutput::ReplicaState { .. } => "replica_state",
             OpOutput::CoSigned { .. } => "cosigned",
             OpOutput::Recovered { .. } => "recovered",
+            OpOutput::Swap(_) => "swap",
             OpOutput::Done => "done",
         }
     }
@@ -429,6 +435,15 @@ impl OpResult for Recovery {
     }
 }
 
+impl OpResult for SwapOutcome {
+    fn from_output(out: OpOutput) -> Option<Self> {
+        match out {
+            OpOutput::Swap(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
 /// Correlation key a pending operation waits on: the identifying payload
 /// of the terminal [`HostEvent`] its command produces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -448,6 +463,7 @@ pub(crate) enum MatchKey {
     BackupAttached(PublicKey),
     Replica,
     Recovered,
+    Swap(SwapId),
 }
 
 /// The terminal correlation key for a command, or `None` for commands
@@ -477,6 +493,7 @@ pub(crate) fn expect_for(cmd: &Command) -> Option<MatchKey> {
         Command::ReadReplica => Some(MatchKey::Replica),
         Command::CoSign { req_id, .. } => Some(MatchKey::CoSign(*req_id)),
         Command::Recover { .. } => Some(MatchKey::Recovered),
+        Command::Swap { swap, .. } => Some(MatchKey::Swap(*swap)),
         Command::NewDeposit { .. }
         | Command::DepositVerified { .. }
         | Command::Deliver { .. }
@@ -485,7 +502,10 @@ pub(crate) fn expect_for(cmd: &Command) -> Option<MatchKey> {
         | Command::SettleFromReplica
         | Command::AddCoSigs { .. }
         | Command::RestoreSealed { .. }
-        | Command::PumpAdmission => None,
+        | Command::PumpAdmission
+        | Command::SwapFunded { .. }
+        | Command::SwapHtlcVerified { .. }
+        | Command::SwapTick { .. } => None,
     }
 }
 
@@ -606,13 +626,27 @@ fn outcome_of(event: &HostEvent) -> Option<(MatchKey, Result<OpOutput, OpError>)
                 commits: *commits,
             }),
         ),
+        // A swap resolving is terminal for the initiator's operation
+        // (the responder has no local operation; its tracker simply
+        // finds no queue for the key and drops the completion).
+        HostEvent::SwapResolved { swap, redeemed } => (
+            MatchKey::Swap(*swap),
+            Ok(OpOutput::Swap(SwapOutcome {
+                swap: *swap,
+                redeemed: *redeemed,
+            })),
+        ),
         // Unsolicited notifications: never terminal for an operation.
         HostEvent::VerifyDeposit { .. }
         | HostEvent::PaymentReceived { .. }
         | HostEvent::MultihopReceived { .. }
         | HostEvent::NeedCoSign { .. }
         | HostEvent::Frozen
-        | HostEvent::PumpAt(_) => return None,
+        | HostEvent::PumpAt(_)
+        | HostEvent::SwapFundingNeeded { .. }
+        | HostEvent::VerifySwapHtlc { .. }
+        | HostEvent::SwapCheckAt { .. }
+        | HostEvent::SwapPhaseEntered { .. } => return None,
     })
 }
 

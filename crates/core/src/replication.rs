@@ -116,6 +116,13 @@ impl ReplicaState {
                     c.closed = true;
                 }
             }
+            StateDelta::Swap(_) => {
+                // Swap progress is not needed to settle replicated
+                // channels: the balance movement of a redeem arrives as
+                // its own `Pay` delta in the same update, and the HTLC
+                // side lives on the alternate chain under the primary's
+                // identity key, which backups do not hold.
+            }
         }
     }
 

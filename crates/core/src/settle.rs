@@ -19,14 +19,7 @@ use teechain_util::codec::Encode;
 /// Builds the unsigned settlement transaction for a channel at explicit
 /// balances (callers pass pre- or post-payment balances as needed).
 pub fn settlement_tx(chan: &Channel, my_bal: u64, remote_bal: u64) -> Transaction {
-    let inputs = chan
-        .all_deposits()
-        .into_iter()
-        .map(|prevout| TxIn {
-            prevout,
-            witness: Vec::new(),
-        })
-        .collect();
+    let inputs = chan.all_deposits().into_iter().map(TxIn::spend).collect();
     let mut outputs = Vec::new();
     if my_bal > 0 {
         outputs.push(TxOut {
@@ -51,10 +44,7 @@ pub fn current_settlement_tx(chan: &Channel) -> Transaction {
 /// Builds a release transaction spending a free deposit to `to`.
 pub fn release_tx(dep: &Deposit, to: PublicKey) -> Transaction {
     Transaction {
-        inputs: vec![TxIn {
-            prevout: dep.outpoint,
-            witness: Vec::new(),
-        }],
+        inputs: vec![TxIn::spend(dep.outpoint)],
         outputs: vec![TxOut {
             value: dep.value,
             script: ScriptPubKey::P2pk(to),

@@ -32,7 +32,8 @@ use crate::ops::{
     Completion, Delivered, OpError, OpId, OpOutput, OpResult, Payment, Pending, Recovery,
     Settlement,
 };
-use crate::types::{ChannelId, Deposit, RouteId};
+use crate::swap::SwapOutcome;
+use crate::types::{ChannelId, Deposit, RouteId, SwapId};
 use parking_lot::Mutex;
 use std::sync::Arc;
 use teechain_blockchain::Chain;
@@ -90,6 +91,7 @@ pub(crate) fn build_wired_nodes(
     seed: u64,
     durability: DurabilityBackend,
     chain: &SharedChain,
+    chain2: &SharedChain,
 ) -> (
     TrustRoot,
     Vec<TeechainNode>,
@@ -113,6 +115,7 @@ pub(crate) fn build_wired_nodes(
             seed.wrapping_mul(0x9E3779B9).wrapping_add(i as u64),
             chain.clone(),
         );
+        node.attach_alt_chain(chain2.clone());
         if durability.is_persist() {
             let store = PersistentStore::in_memory().into_shared();
             node.attach_store(store.clone());
@@ -141,6 +144,9 @@ pub struct Cluster {
     pub sim: AnyEngine<SimHost>,
     /// The shared blockchain.
     pub chain: SharedChain,
+    /// The shared *alternate* blockchain (cross-chain swaps lock their
+    /// HTLCs here; see [`crate::swap`]).
+    pub chain2: SharedChain,
     /// Enclave identity of each node.
     pub ids: Vec<PublicKey>,
     /// The manufacturer trust root (for launching additional TEEs).
@@ -158,9 +164,11 @@ impl Cluster {
     /// chains `backups` extra nodes per primary.
     pub fn new(cfg: ClusterConfig) -> Cluster {
         let chain: SharedChain = Arc::new(Mutex::new(Chain::new()));
+        let chain2: SharedChain = Arc::new(Mutex::new(Chain::new()));
         let backups = cfg.durability.auto_backups();
         let total = cfg.n * (1 + backups);
-        let (root, nodes, stores, ids) = build_wired_nodes(total, cfg.seed, cfg.durability, &chain);
+        let (root, nodes, stores, ids) =
+            build_wired_nodes(total, cfg.seed, cfg.durability, &chain, &chain2);
         let hosts: Vec<SimHost> = nodes
             .into_iter()
             .map(|node| SimHost::new(node, cfg.costs))
@@ -169,6 +177,7 @@ impl Cluster {
         let mut cluster = Cluster {
             sim,
             chain,
+            chain2,
             ids,
             root,
             stores,
@@ -524,6 +533,29 @@ impl Cluster {
     pub fn mine(&mut self, k: u64) {
         self.chain.lock().mine_blocks(k);
     }
+
+    /// Mines `k` blocks on the *alternate* (swap) chain.
+    pub fn mine_alt(&mut self, k: u64) {
+        self.chain2.lock().mine_blocks(k);
+    }
+
+    /// Initiates a cross-chain atomic swap from node `from` and resolves
+    /// its terminal [`SwapOutcome`] (redeemed or refunded — both are
+    /// successful completions; aborts surface as typed errors).
+    pub fn swap(
+        &mut self,
+        from: usize,
+        chan: ChannelId,
+        label: &str,
+        amount: u64,
+        alt_amount: u64,
+        timeout_blocks: u64,
+    ) -> Result<SwapOutcome, OpError> {
+        let p = self
+            .handle(from)
+            .swap(chan, label, amount, alt_amount, timeout_blocks);
+        self.wait(p)
+    }
 }
 
 /// A typed operation handle for one node of a [`Cluster`]: every method
@@ -643,6 +675,26 @@ impl NodeHandle<'_> {
     /// broadcasting a settlement transaction.
     pub fn settle(self, chan: ChannelId) -> Pending<Settlement> {
         Pending::new(self.submit(Command::Settle { id: chan }))
+    }
+
+    /// Initiates a cross-chain atomic swap: trades `amount` of this
+    /// node's balance on `chan` against `alt_amount` locked in an HTLC
+    /// on the alternate chain; `label` derives the [`SwapId`].
+    pub fn swap(
+        self,
+        chan: ChannelId,
+        label: &str,
+        amount: u64,
+        alt_amount: u64,
+        timeout_blocks: u64,
+    ) -> Pending<SwapOutcome> {
+        Pending::new(self.submit(Command::Swap {
+            swap: SwapId::from_label(label),
+            channel: chan,
+            amount,
+            alt_amount,
+            timeout_blocks,
+        }))
     }
 
     /// Attaches node `backup` to this node's committee chain (requires a

@@ -56,6 +56,40 @@ impl Decode for RouteId {
     }
 }
 
+/// Identifies a cross-chain atomic swap instance (see [`crate::swap`]).
+/// Chosen by the initiating host (like [`RouteId`] for multi-hop routes)
+/// so the operation layer can correlate the eventual completion; the swap
+/// *secret* is generated inside the enclave and is unrelated to this id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SwapId(pub [u8; 32]);
+
+impl SwapId {
+    /// Derives a swap id from a human-readable label (tests, examples).
+    pub fn from_label(label: &str) -> Self {
+        SwapId(teechain_crypto::sha256::tagged_hash(
+            "teechain/swap-id",
+            &[label.as_bytes()],
+        ))
+    }
+
+    /// Short printable form.
+    pub fn short(&self) -> String {
+        hex::encode(&self.0[..4])
+    }
+}
+
+impl Encode for SwapId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+}
+
+impl Decode for SwapId {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, WireError> {
+        Ok(SwapId(r.read()?))
+    }
+}
+
 /// The committee configuration of a deposit: the deposit pays into an
 /// `m`-of-`members.len()` multisignature address over the committee TEEs'
 /// blockchain keys (§6.1).
@@ -204,6 +238,11 @@ pub enum ProtocolError {
         /// The hardware counter value (commits that must be present).
         expected: u64,
     },
+    /// A cross-chain atomic swap is pending on the channel: settlement
+    /// and further swaps are refused until it resolves (the anti-griefing
+    /// guard — settling mid-swap would strand the counterparty's on-chain
+    /// lock).
+    SwapPending,
 }
 
 impl ProtocolError {
@@ -227,6 +266,7 @@ impl ProtocolError {
             ProtocolError::BadPopt => "BadPopt",
             ProtocolError::CounterThrottled { .. } => "CounterThrottled",
             ProtocolError::StaleState { .. } => "StaleState",
+            ProtocolError::SwapPending => "SwapPending",
         }
     }
 
@@ -252,6 +292,7 @@ impl ProtocolError {
             ProtocolError::CounterThrottled { .. } => 13,
             ProtocolError::StaleState { .. } => 14,
             ProtocolError::ChannelClosed => 15,
+            ProtocolError::SwapPending => 16,
         }
     }
 
@@ -277,6 +318,7 @@ impl ProtocolError {
                 expected: 0,
             },
             15 => ProtocolError::ChannelClosed,
+            16 => ProtocolError::SwapPending,
             _ => ProtocolError::BadStage,
         }
     }
@@ -300,6 +342,7 @@ impl std::fmt::Display for ProtocolError {
             ProtocolError::ReplicationError => "replication error",
             ProtocolError::BadPopt => "invalid proof of premature termination",
             ProtocolError::CounterThrottled { .. } => "monotonic counter throttled",
+            ProtocolError::SwapPending => "atomic swap pending on channel",
             ProtocolError::StaleState { found, expected } => {
                 return write!(
                     f,

@@ -193,10 +193,7 @@ fn bad_popt_rejected() {
     let alien_key = teechain_crypto::schnorr::Keypair::from_seed(&[99; 32]);
     let op = c.chain.lock().mint_p2pk(&alien_key.pk, 5);
     let mut alien = teechain_blockchain::Transaction {
-        inputs: vec![teechain_blockchain::TxIn {
-            prevout: op,
-            witness: vec![],
-        }],
+        inputs: vec![teechain_blockchain::TxIn::spend(op)],
         outputs: vec![teechain_blockchain::TxOut {
             value: 5,
             script: teechain_blockchain::ScriptPubKey::P2pk(alien_key.pk),

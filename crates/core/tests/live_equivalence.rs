@@ -4,8 +4,8 @@
 //! The correlated-operation layer gives every substrate the same
 //! observable: a set of `(OpId, outcome)` pairs. This suite replays an
 //! identical scenario — sessions, channels, deposits, payments (including
-//! deterministic failures), a multi-hop transfer and an on-chain
-//! settlement — on:
+//! deterministic failures), a multi-hop transfer, a cross-chain atomic
+//! swap and an on-chain settlement — on:
 //!
 //! * the sequential discrete-event engine,
 //! * the sharded conservative-parallel engine (4 shards),
@@ -206,6 +206,23 @@ fn run_scenario(s: &mut impl Substrate) -> Vec<(u32, u64, String)> {
         s.wait_output(op)
             .expect("racing pay completes via the queue");
     }
+    // A cross-chain atomic swap on the 0-1 channel: channel balance
+    // against an HTLC on the alternate chain. The happy path is purely
+    // message-driven (no timer races), so every substrate redeems and
+    // the typed `SwapOutcome` — including the label-derived SwapId —
+    // fingerprints identically.
+    step(
+        s,
+        0,
+        Command::Swap {
+            swap: teechain::types::SwapId::from_label("eq-swap"),
+            channel: c01,
+            amount: 60,
+            alt_amount: 120,
+            timeout_blocks: 4,
+        },
+    )
+    .expect("atomic swap 0<->1");
     // Settle the 2-3 channel: balances are non-neutral, so this
     // broadcasts a settlement transaction whose txid must also agree.
     step(s, 2, Command::Settle { id: c23 }).expect("settle 2-3");
@@ -251,6 +268,11 @@ fn seq_sharded_and_live_threads_agree() {
     assert!(
         seq.iter().any(|(_, _, o)| o.contains("err:rejected")),
         "scenario exercises typed failures: {seq:?}"
+    );
+    assert!(
+        seq.iter()
+            .any(|(_, _, o)| o.contains("Swap") && o.contains("redeemed: true")),
+        "scenario exercises a redeemed atomic swap: {seq:?}"
     );
     let sharded = sim_fingerprint(EngineKind::Sharded { shards: 4 });
     assert_eq!(seq, sharded, "seq vs sharded outcome sets differ");

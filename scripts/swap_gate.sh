@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Asserts a BENCH_swap.json artifact is healthy: nonzero swap
+# throughput, both terminal paths (redeem + refund) exercised, and —
+# the invariant the whole subsystem hangs on — zero swaps stuck at
+# quiescence.
+#
+# Usage: scripts/swap_gate.sh [BENCH_swap.json]
+set -euo pipefail
+
+ARTIFACT="${1:-BENCH_swap.json}"
+python3 - "$ARTIFACT" <<'EOF'
+import json
+import sys
+
+doc = json.load(open(sys.argv[1]))
+m = doc["metrics"]
+assert m["stuck_swaps"] == 0, f"swaps stuck at quiescence: {m['stuck_swaps']}"
+assert m["swaps_completed"] > 0, "no swap completed"
+assert m["swaps_redeemed"] > 0, "no swap redeemed"
+assert m["swaps_refunded"] > 0, "griefed channel never refunded"
+for key in ("swaps_per_s_none", "swaps_per_s_wal"):
+    assert m[key] > 0, f"{key} is zero"
+lat = doc["latency"]
+for key in ("swap.latency.init_to_locked",
+            "swap.latency.locked_to_terminal",
+            "swap.latency.total"):
+    assert lat[key]["count"] > 0, f"latency histogram {key} is empty"
+print(f"{sys.argv[1]}: {m['swaps_completed']} swaps "
+      f"({m['swaps_redeemed']} redeemed / {m['swaps_refunded']} refunded), "
+      f"0 stuck, {m['swaps_per_s_none']:.1f} swaps/s (no fault tolerance), "
+      f"{m['swaps_per_s_wal']:.1f} swaps/s (WAL)")
+EOF
