@@ -73,7 +73,13 @@ fn run_config(
                         channel: chans[p],
                         amount: 1,
                         alt_amount: 2,
-                        timeout_blocks: 3,
+                        // Generous timelock: swaps share one alternate
+                        // chain that grows with every concurrent HTLC
+                        // mint and claim, and the enclave refuses to
+                        // redeem a lock whose refund path is near
+                        // maturity — a tight timeout here would measure
+                        // refusals, not throughput.
+                        timeout_blocks: 144,
                     },
                 );
                 Pending::new(op)

@@ -89,7 +89,11 @@ fn run_at(shards: usize, steal: bool) -> Fingerprint {
                     channel: chan,
                     amount: 1,
                     alt_amount: 2,
-                    timeout_blocks: 3,
+                    // Roomy timelock: the six swaps share one alternate
+                    // chain, and the enclave refuses locks whose refund
+                    // path is near maturity (confirmations accrue with
+                    // every concurrent mint/claim block).
+                    timeout_blocks: 144,
                 },
             );
         }

@@ -274,8 +274,15 @@ pub enum Command {
     SwapHtlcVerified {
         /// The swap.
         swap: SwapId,
-        /// True if the HTLC checked out.
+        /// True if the HTLC checked out (script and value match a live
+        /// confirmed output).
         valid: bool,
+        /// Confirmations of the HTLC output as observed by the host. The
+        /// enclave — not the host — enforces the maturity policy: it
+        /// redeems only while the refund timelock still has headroom
+        /// (`confirmations + SWAP_REFUND_SAFETY_BLOCKS < timeout_blocks`),
+        /// so a lock delivered late cannot extract the secret.
+        confirmations: u64,
     },
     /// Host timer report for a swap (armed by
     /// [`HostEvent::SwapCheckAt`]): the current alternate-chain view of
@@ -468,7 +475,9 @@ pub enum HostEvent {
     },
     /// The initiator host must check that the counterparty's HTLC is
     /// live on the alternate chain — exactly `script` with `value` at
-    /// `outpoint` — and answer with [`Command::SwapHtlcVerified`].
+    /// `outpoint` — and answer with [`Command::SwapHtlcVerified`],
+    /// reporting the output's confirmation count so the enclave can
+    /// refuse a lock whose refund timelock is already (near) mature.
     VerifySwapHtlc {
         /// The swap.
         swap: SwapId,
@@ -547,6 +556,13 @@ const STATE_IMAGE_V3: u8 = 3;
 const SWAP_DEADLINE_NS: u64 = 2_000_000_000;
 /// Re-check cadence (ns) for a pending swap's chain watch.
 const SWAP_CHECK_INTERVAL_NS: u64 = 200_000_000;
+/// Minimum headroom, in alternate-chain blocks, the initiator demands
+/// between an HTLC's confirmations and its refund timelock before it
+/// debits the channel and reveals the secret. A responder that delivers
+/// the lock late — refund path mature or about to mature — could race
+/// its own refund against our claim and win on both ledgers; refusing
+/// while `confirmations + margin >= timeout_blocks` closes that window.
+const SWAP_REFUND_SAFETY_BLOCKS: u64 = 1;
 
 /// The Teechain enclave program state.
 pub struct TeechainEnclave {
@@ -1698,6 +1714,22 @@ impl TeechainEnclave {
             return Err(ProtocolError::BadMessage);
         }
         if state.phase != SwapPhase::Init {
+            // A deadline abort can race a delayed (e.g. counter-throttled
+            // replay after a crash in the funding window) funding report:
+            // the refund committed with no outpoint on record, yet the
+            // host has already minted the HTLC. Adopt the outpoint and
+            // arm the chain watch so the timelocked reclaim still runs —
+            // silently dropping it would strand the on-chain value.
+            if state.phase == SwapPhase::Refunded && state.htlc_outpoint.is_none() {
+                let state = self.swaps.get_mut(&swap).expect("checked");
+                state.htlc_outpoint = Some(outpoint);
+                let snap = Box::new(state.clone());
+                self.stage_delta(StateDelta::Swap(snap));
+                return Ok(vec![Effect::Event(HostEvent::SwapCheckAt {
+                    swap,
+                    at: env.now_ns() + SWAP_CHECK_INTERVAL_NS,
+                })]);
+            }
             return Ok(vec![]); // Aborted (or already funded) meanwhile.
         }
         let remote = state.remote;
@@ -1771,6 +1803,7 @@ impl TeechainEnclave {
         env: &mut EnclaveEnv,
         swap: SwapId,
         valid: bool,
+        confirmations: u64,
     ) -> Outcome {
         self.require_unfrozen()?;
         self.require_counter_ready(env)?;
@@ -1790,10 +1823,17 @@ impl TeechainEnclave {
             .get(&state.channel)
             .map(|c| c.usable() && !c.locked() && c.my_bal >= state.amount)
             .unwrap_or(false);
-        if !valid || !covered {
-            // A bad lock (or a balance drained since Init) aborts before
-            // any value moves; the responder recovers its HTLC via the
-            // timelocked refund path.
+        // The refund timelock must still be comfortably unmatured: once
+        // `timeout_blocks` confirmations exist, the responder can spend
+        // the refund path, so revealing the secret now would let it race
+        // our claim AND collect the channel credit via the revealed
+        // secret — losing `amount` on both ledgers.
+        let unmatured =
+            confirmations >= 1 && confirmations + SWAP_REFUND_SAFETY_BLOCKS < state.timeout_blocks;
+        if !valid || !unmatured || !covered {
+            // A bad or already-mature lock (or a balance drained since
+            // Init) aborts before any value moves; the responder recovers
+            // its HTLC via the timelocked refund path.
             let mut effects = Vec::new();
             self.refund_swap_local(swap, &mut effects);
             return Ok(effects);
@@ -1895,7 +1935,19 @@ impl TeechainEnclave {
         ])
     }
 
-    fn on_swap_nack(&mut self, from: PublicKey, swap: SwapId, reason: u8) -> Outcome {
+    fn on_swap_nack(
+        &mut self,
+        env: &mut EnclaveEnv,
+        from: PublicKey,
+        swap: SwapId,
+        reason: u8,
+    ) -> Outcome {
+        // Same preamble as every other state-mutating swap handler: the
+        // Refunded transition below stages a WAL record, which in persist
+        // mode must ride a counter-gated commit (a throttled rejection
+        // re-enters via the admission pump's stash).
+        self.require_unfrozen()?;
+        self.require_counter_ready(env)?;
         let _ = ProtocolError::from_abort_code(reason);
         let state = self.swaps.get_mut(&swap).ok_or(ProtocolError::BadMessage)?;
         if state.remote != from {
@@ -1940,7 +1992,30 @@ impl TeechainEnclave {
         };
         let state = state.clone();
         match state.phase {
-            SwapPhase::Refunded => Ok(vec![]),
+            SwapPhase::Refunded => {
+                // A responder can land here with a live HTLC: the abort
+                // committed first and the funding report arrived late
+                // (see `cmd_swap_funded`), or a broadcast refund was
+                // lost. Keep driving the timelocked reclaim until the
+                // spend confirms; the initiator has nothing on-chain.
+                if state.initiator || claim_confirmed {
+                    return Ok(vec![]);
+                }
+                let Some(outpoint) = state.htlc_outpoint else {
+                    return Ok(vec![]);
+                };
+                let mut effects = Vec::new();
+                if confirmations >= state.timeout_blocks {
+                    let kp = *self.identity.as_ref().ok_or(ProtocolError::NoSession)?;
+                    let refund = crate::swap::refund_tx(outpoint, state.alt_amount, kp.pk, &kp.sk);
+                    effects.push(Effect::BroadcastAlt(refund));
+                }
+                effects.push(Effect::Event(HostEvent::SwapCheckAt {
+                    swap,
+                    at: env.now_ns() + SWAP_CHECK_INTERVAL_NS,
+                }));
+                Ok(effects)
+            }
             SwapPhase::Redeemed => {
                 // Post-crash re-drive: the debit committed but the claim
                 // may never have reached the alternate chain. Re-broadcast
@@ -2110,7 +2185,7 @@ impl TeechainEnclave {
             ProtocolMsg::SwapSecret { swap, secret } => {
                 self.on_swap_secret(env, from, swap, secret)
             }
-            ProtocolMsg::SwapNack { swap, reason } => self.on_swap_nack(from, swap, reason),
+            ProtocolMsg::SwapNack { swap, reason } => self.on_swap_nack(env, from, swap, reason),
             ProtocolMsg::SigRequest { .. } | ProtocolMsg::SigResponse { .. } => {
                 // Signing traffic is routed at the host layer (it carries
                 // no secrets); enclaves serve it via Command::CoSign.
@@ -2183,9 +2258,11 @@ impl EnclaveProgram for TeechainEnclave {
                 timeout_blocks,
             } => self.cmd_swap(env, swap, channel, amount, alt_amount, timeout_blocks),
             Command::SwapFunded { swap, outpoint } => self.cmd_swap_funded(env, swap, outpoint),
-            Command::SwapHtlcVerified { swap, valid } => {
-                self.cmd_swap_htlc_verified(env, swap, valid)
-            }
+            Command::SwapHtlcVerified {
+                swap,
+                valid,
+                confirmations,
+            } => self.cmd_swap_htlc_verified(env, swap, valid, confirmations),
             Command::SwapTick {
                 swap,
                 spent_preimage,

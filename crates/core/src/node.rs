@@ -505,22 +505,28 @@ impl TeechainNode {
         else {
             return;
         };
-        // Block production while a locked HTLC waits out its timelock:
-        // the alternate chain grows regardless of anything Teechain
-        // does, and the responder's on-chain refund is gated on real
-        // confirmations. One block per chain-watch tick past the swap
-        // deadline keeps that path reachable without an external miner
-        // while leaving pre-deadline pacing to the harness.
-        if !state.initiator
-            && state.phase == crate::swap::SwapPhase::Locked
-            && ctx.now_ns() >= state.deadline_ns
-        {
-            self.chain2.lock().mine_blocks(1);
-        }
         let (spent_preimage, confirmations, claim_confirmed) = match state.htlc_outpoint {
             None => (None, 0, false),
             Some(outpoint) => {
-                let chain = self.chain2.lock();
+                let mut chain = self.chain2.lock();
+                // Block production while a reclaimable HTLC waits out its
+                // timelock: the alternate chain grows regardless of
+                // anything Teechain does, and the responder's on-chain
+                // refund is gated on real confirmations. One block per
+                // chain-watch tick — past the swap deadline in Locked, or
+                // whenever an aborted swap still owns an unspent HTLC
+                // (the stranded-funding race) — keeps that path reachable
+                // without an external miner while leaving pre-deadline
+                // pacing to the harness.
+                let reclaim_pending = !state.initiator
+                    && match state.phase {
+                        crate::swap::SwapPhase::Locked => ctx.now_ns() >= state.deadline_ns,
+                        crate::swap::SwapPhase::Refunded => true,
+                        _ => false,
+                    };
+                if reclaim_pending && chain.find_spender(&outpoint).is_none() {
+                    chain.mine_blocks(1);
+                }
                 let spender = chain.find_spender(&outpoint);
                 let preimage = spender
                     .and_then(|tx| tx.inputs.iter().find(|i| i.prevout == outpoint))
@@ -719,15 +725,27 @@ impl TeechainNode {
                 if self.swap_withhold_verify {
                     return; // Adversary: never verify, never reveal.
                 }
-                let valid = {
+                // The host vouches for script/value and reports the raw
+                // confirmation count; the maturity policy (enough headroom
+                // before the refund timelock) is enforced in the enclave,
+                // which is the party at risk of a late, already-refundable
+                // lock.
+                let (valid, confirmations) = {
                     let chain = self.chain2.lock();
-                    chain
+                    let valid = chain
                         .utxo(outpoint)
-                        .is_some_and(|out| out.value == *value && out.script == *script)
-                        && chain.confirmations(&outpoint.txid) >= 1
+                        .is_some_and(|out| out.value == *value && out.script == *script);
+                    (valid, chain.confirmations(&outpoint.txid))
                 };
                 let swap = *swap;
-                self.swap_call(ctx, Command::SwapHtlcVerified { swap, valid });
+                self.swap_call(
+                    ctx,
+                    Command::SwapHtlcVerified {
+                        swap,
+                        valid,
+                        confirmations,
+                    },
+                );
             }
             HostEvent::SwapCheckAt { swap, at } => {
                 let (swap, at) = (*swap, *at);

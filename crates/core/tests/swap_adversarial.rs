@@ -128,6 +128,85 @@ fn responder_never_funds_refunds_both_sides_locally() {
     assert_eq!(c.chain2.lock().utxo_total(), 0);
 }
 
+/// The HTLC script the responder on node `i` committed to for `swap`.
+fn responder_script(c: &Cluster, i: usize, swap: &SwapId) -> teechain_blockchain::ScriptPubKey {
+    c.node(i)
+        .enclave
+        .program()
+        .and_then(|p| p.swap_state(swap))
+        .map(|s| s.htlc_script(&c.ids[i]))
+        .expect("responder staged the swap")
+}
+
+#[test]
+fn mature_htlc_delivered_late_is_refused_and_both_refund() {
+    // A malicious responder host funds the HTLC but sits on the funding
+    // report until the refund timelock has matured, hoping the initiator
+    // debits the channel and reveals the secret while the responder can
+    // already win the claim-vs-refund race on the alternate chain. The
+    // enclave must refuse: confirmations are reported with the
+    // verification, and a lock without timelock headroom never extracts
+    // the secret.
+    let mut c = Cluster::functional(2);
+    let chan = c.standard_channel(0, 1, "swap-late", 1_000, 1);
+    let swap = SwapId::from_label("late");
+    c.node_mut(1).swap_withhold_funding = true;
+    let p = c.handle(0).swap(chan, "late", 250, 500, 5);
+    assert!(
+        run_until_true(&mut c, 1_000, |c| phase(c, 0, &swap)
+            == Some(SwapPhase::Init)
+            && phase(c, 1, &swap) == Some(SwapPhase::Init)),
+        "swap parked at Init on both sides"
+    );
+    // Fund exactly the committed script, then let the refund path mature
+    // before the responder's enclave ever hears about the funding.
+    let outpoint = c.chain2.lock().mint(responder_script(&c, 1, &swap), 500);
+    c.chain2.lock().mine_blocks(5);
+    c.submit(1, Command::SwapFunded { swap, outpoint });
+    let out = c.wait(p).unwrap();
+    assert!(!out.redeemed, "late mature lock must not redeem");
+    // No channel movement, no claim, and the secret never left the
+    // initiator's enclave; the responder reclaimed its HTLC on-chain.
+    assert_eq!(phase(&c, 0, &swap), Some(SwapPhase::Refunded));
+    assert_eq!(phase(&c, 1, &swap), Some(SwapPhase::Refunded));
+    assert_eq!(c.balances(0, chan), (1_000, 0));
+    assert_eq!(c.balances(1, chan), (0, 1_000));
+    assert_eq!(c.chain2.lock().balance_p2pk(&c.ids[0]), 0, "no claim");
+    assert_eq!(c.chain2.lock().balance_p2pk(&c.ids[1]), 500, "refund");
+    assert_eq!(resolved_count(&c, 0, &swap), 1);
+    assert_eq!(resolved_count(&c, 1, &swap), 1);
+}
+
+#[test]
+fn late_funding_after_refund_reclaims_stranded_htlc() {
+    // The stranded-funding race: the responder aborts at its deadline
+    // with no outpoint on record (the funding report was delayed — e.g.
+    // a counter-throttled replay after a crash in the funding window),
+    // yet the HTLC is already minted on-chain. The late SwapFunded must
+    // not be dropped: the enclave adopts the outpoint and its chain
+    // watch drives the timelocked reclaim.
+    let mut c = Cluster::functional(2);
+    let chan = c.standard_channel(0, 1, "swap-stranded", 1_000, 1);
+    let swap = SwapId::from_label("stranded");
+    c.node_mut(1).swap_withhold_funding = true;
+    let out = c.swap(0, chan, "stranded", 250, 500, 5).unwrap();
+    assert!(!out.redeemed);
+    assert_eq!(phase(&c, 1, &swap), Some(SwapPhase::Refunded));
+    // The delayed funding report lands only now, on an already-refunded
+    // swap backed by a real on-chain lock.
+    let outpoint = c.chain2.lock().mint(responder_script(&c, 1, &swap), 500);
+    c.submit(1, Command::SwapFunded { swap, outpoint });
+    c.settle_network();
+    // The minted value is not stranded: the responder waited out the
+    // timelock and reclaimed it, and the late adoption did not
+    // re-resolve the already-terminal swap.
+    assert_eq!(c.chain2.lock().balance_p2pk(&c.ids[1]), 500);
+    assert_eq!(c.chain2.lock().utxo_total(), 500);
+    assert_eq!(phase(&c, 1, &swap), Some(SwapPhase::Refunded));
+    assert_eq!(resolved_count(&c, 1, &swap), 1);
+    assert_eq!(c.balances(1, chan), (0, 1_000), "no channel movement");
+}
+
 #[test]
 fn premature_settle_while_swap_pending_is_rejected() {
     let mut c = Cluster::functional(2);
@@ -262,7 +341,22 @@ fn crash_at_redeemed_boundary_responder_learns_secret_from_chain() {
     // The host-side verification the adversary withheld, re-driven
     // explicitly: the initiator redeems while its peer is dead.
     c.node_mut(0).swap_withhold_verify = false;
-    c.submit(0, Command::SwapHtlcVerified { swap, valid: true });
+    let outpoint = c
+        .node(0)
+        .enclave
+        .program()
+        .and_then(|p| p.swap_state(&swap))
+        .and_then(|s| s.htlc_outpoint)
+        .expect("locked swap records its outpoint");
+    let confirmations = c.chain2.lock().confirmations(&outpoint.txid);
+    c.submit(
+        0,
+        Command::SwapHtlcVerified {
+            swap,
+            valid: true,
+            confirmations,
+        },
+    );
     assert!(
         run_until_true(&mut c, 1_000, |c| phase(c, 0, &swap)
             == Some(SwapPhase::Redeemed)),
